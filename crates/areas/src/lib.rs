@@ -1,0 +1,33 @@
+//! # sting-areas — the STING storage model
+//!
+//! Per-thread storage *areas* with generational scavenging collection, the
+//! paper's Section 2 storage model: threads allocate in heaps they manage
+//! exclusively and collect independently (no global synchronization);
+//! long-lived data is promoted to an old generation; references across
+//! area boundaries go through entry tables so objects can move while
+//! external holders keep stable [`EntryId`]s.
+//!
+//! The computation language (`sting-scheme`) uses one [`Heap`] per thread
+//! for all Scheme data; this crate also stands alone:
+//!
+//! ```
+//! use sting_areas::{Heap, NoRoots, Val};
+//!
+//! let mut heap = Heap::default();
+//! let mut roots: Vec<sting_areas::Word> = Vec::new();
+//! let pair = heap.cons(Val::Int(1), Val::Int(2), &mut roots);
+//! assert_eq!(heap.car(pair), Val::Int(1));
+//! let mut no = NoRoots;
+//! heap.set_cdr(pair, Val::Char('x'), &mut no);
+//! assert_eq!(heap.cdr(pair), Val::Char('x'));
+//! ```
+
+#![deny(missing_docs)]
+
+mod heap;
+mod word;
+
+pub use heap::{
+    EntryId, Heap, HeapConfig, HeapStats, NoRoots, ObjKind, RootSet, PROMOTE_AGE,
+};
+pub use word::{Gc, Space, Val, Word, FIXNUM_MAX, FIXNUM_MIN};

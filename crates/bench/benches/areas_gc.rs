@@ -1,0 +1,59 @@
+//! Storage-model microbenchmarks: allocation and scavenging in the
+//! per-thread areas (the paper's storage model, Section 2).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sting::areas::{Heap, HeapConfig, Val, Word};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("areas");
+    g.sample_size(20);
+
+    g.bench_function("cons_young", |b| {
+        let mut heap = Heap::new(HeapConfig::default());
+        let mut roots: Vec<Word> = Vec::new();
+        b.iter(|| {
+            let gc = heap.cons(Val::Int(1), Val::Nil, &mut roots);
+            criterion::black_box(gc);
+        });
+    });
+
+    g.bench_function("minor_collection_64k_nursery", |b| {
+        b.iter_custom(|iters| {
+            let mut heap = Heap::new(HeapConfig {
+                young_words: 64 * 1024,
+                old_trigger_words: usize::MAX / 2,
+            });
+            // A rooted survivor set of ~1k pairs.
+            let mut roots: Vec<Word> = Vec::new();
+            for i in 0..1000 {
+                let gc = heap.cons(Val::Int(i), Val::Nil, &mut roots);
+                roots.push(gc.word());
+            }
+            let start = std::time::Instant::now();
+            for _ in 0..iters {
+                heap.collect_minor(&mut roots);
+            }
+            start.elapsed()
+        });
+    });
+
+    g.bench_function("alloc_churn_with_gc", |b| {
+        b.iter_custom(|iters| {
+            let mut heap = Heap::new(HeapConfig {
+                young_words: 16 * 1024,
+                old_trigger_words: usize::MAX / 2,
+            });
+            let mut roots: Vec<Word> = Vec::new();
+            let start = std::time::Instant::now();
+            for i in 0..iters {
+                let _ = heap.cons(Val::Int(i as i64), Val::Nil, &mut roots);
+            }
+            start.elapsed()
+        });
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,125 @@
+//! Criterion version of the Figure 6 rows (see also the `figure6` binary,
+//! which prints the paper-vs-measured table).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sting::prelude::*;
+use sting_bench::{figure6_vm, on_thread};
+
+fn bench_figure6(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figure6");
+    g.sample_size(20);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(300));
+
+    g.bench_function("thread_creation", |b| {
+        let vm = figure6_vm();
+        b.iter_custom(|iters| {
+            let vm = vm.clone();
+            on_thread(&vm, move |cx| {
+                let mut keep = Vec::with_capacity(iters as usize);
+                let start = std::time::Instant::now();
+                for _ in 0..iters {
+                    keep.push(cx.delayed(|_| 0i64));
+                }
+                start.elapsed()
+            })
+        });
+    });
+
+    g.bench_function("fork_and_value", |b| {
+        let vm = figure6_vm();
+        b.iter_custom(|iters| {
+            let vm = vm.clone();
+            on_thread(&vm, move |cx| {
+                let start = std::time::Instant::now();
+                for _ in 0..iters {
+                    let t = cx.fork(|_| 0i64);
+                    let _ = cx.wait(&t);
+                }
+                start.elapsed()
+            })
+        });
+    });
+
+    g.bench_function("context_switch", |b| {
+        let vm = figure6_vm();
+        b.iter_custom(|iters| {
+            let vm = vm.clone();
+            on_thread(&vm, move |cx| {
+                let start = std::time::Instant::now();
+                for _ in 0..iters {
+                    cx.yield_now();
+                }
+                start.elapsed()
+            })
+        });
+    });
+
+    g.bench_function("stealing", |b| {
+        let vm = figure6_vm();
+        b.iter_custom(|iters| {
+            let vm = vm.clone();
+            on_thread(&vm, move |cx| {
+                let ts: Vec<_> = (0..iters).map(|_| cx.delayed(|_| 0i64)).collect();
+                let start = std::time::Instant::now();
+                for t in &ts {
+                    let _ = cx.touch(t);
+                }
+                start.elapsed()
+            })
+        });
+    });
+
+    g.bench_function("tuple_space_put_get", |b| {
+        let vm = figure6_vm();
+        b.iter_custom(|iters| {
+            let vm = vm.clone();
+            on_thread(&vm, move |_cx| {
+                let start = std::time::Instant::now();
+                for _ in 0..iters {
+                    let ts = TupleSpace::new();
+                    ts.put(vec![Value::Int(1)]);
+                    let _ = ts.get(&Template::any(1));
+                }
+                start.elapsed()
+            })
+        });
+    });
+
+    g.bench_function("speculative_fork_2", |b| {
+        let vm = figure6_vm();
+        b.iter_custom(|iters| {
+            let vm = vm.clone();
+            on_thread(&vm, move |cx| {
+                let start = std::time::Instant::now();
+                for _ in 0..iters {
+                    let a = cx.fork(|_| 0i64);
+                    let b2 = cx.fork(|_| 0i64);
+                    let _ = wait_for_one(&[a, b2]);
+                }
+                start.elapsed()
+            })
+        });
+    });
+
+    g.bench_function("barrier_sync_2", |b| {
+        let vm = figure6_vm();
+        b.iter_custom(|iters| {
+            let vm = vm.clone();
+            on_thread(&vm, move |cx| {
+                let start = std::time::Instant::now();
+                for _ in 0..iters {
+                    let a = cx.fork(|_| 0i64);
+                    let b2 = cx.fork(|_| 0i64);
+                    let _ = wait_for_all(&[a, b2]);
+                }
+                start.elapsed()
+            })
+        });
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_figure6);
+criterion_main!(benches);

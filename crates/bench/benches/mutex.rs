@@ -1,0 +1,38 @@
+//! E5: active/passive spinning mutexes (§4.2.1) — sweep the active-spin
+//! count under contention.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sting::prelude::*;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mutex_spins");
+    g.sample_size(10);
+    for active in [0u32, 16, 256] {
+        g.bench_with_input(BenchmarkId::new("active", active), &active, |b, &active| {
+            b.iter(|| {
+                let vm = VmBuilder::new().vps(1).build();
+                let m = Mutex::new(active, 2);
+                let ts: Vec<_> = (0..4)
+                    .map(|_| {
+                        let m = m.clone();
+                        vm.fork(move |cx| {
+                            for _ in 0..200 {
+                                m.with(|| {});
+                                cx.checkpoint();
+                            }
+                            0i64
+                        })
+                    })
+                    .collect();
+                for t in ts {
+                    t.join_blocking().unwrap();
+                }
+                vm.shutdown();
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! E1: the Figure 3 primes workload under LIFO vs FIFO (stealing rates).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sting::prelude::*;
+use std::sync::Arc;
+
+fn primes(vm: &Arc<Vm>, limit: i64) {
+    vm.run(move |cx| {
+        let mut primes = Future::spawn(cx, |_| Value::list([Value::Int(2)]));
+        let mut i = 3i64;
+        while i <= limit {
+            let prev = primes.clone();
+            primes = Future::spawn(cx, move |cx| {
+                let mut j = 3i64;
+                while j * j <= i {
+                    if i % j == 0 {
+                        return prev.force(cx);
+                    }
+                    j += 2;
+                }
+                Value::cons(Value::Int(i), prev.force(cx))
+            });
+            i += 2;
+        }
+        primes.force(cx)
+    })
+    .unwrap();
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("stealing_primes");
+    g.sample_size(10);
+    for (name, lifo) in [("lifo", true), ("fifo", false)] {
+        g.bench_with_input(BenchmarkId::new("policy", name), &lifo, |b, &lifo| {
+            b.iter(|| {
+                let vm = VmBuilder::new()
+                    .vps(1)
+                    .processors(1)
+                    .policy(move |_| {
+                        if lifo {
+                            policies::local_lifo().boxed()
+                        } else {
+                            policies::local_fifo().boxed()
+                        }
+                    })
+                    .build();
+                primes(&vm, 500);
+                vm.shutdown();
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

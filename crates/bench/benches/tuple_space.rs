@@ -1,0 +1,66 @@
+//! E3: per-bucket vs global-lock tuple spaces; representation
+//! specializations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sting::prelude::*;
+use sting_bench::on_thread;
+
+fn bench_locking(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tuple_locking");
+    g.sample_size(10);
+    for (name, buckets) in [("bins64", 64usize), ("bins1", 1)] {
+        g.bench_with_input(BenchmarkId::new("buckets", name), &buckets, |b, &buckets| {
+            let vm = VmBuilder::new().vps(1).build();
+            let ts = TupleSpace::with_kind(SpaceKind::Hashed { buckets });
+            // Keep 256 distinct keys resident so bin length matters.
+            for k in 0..256i64 {
+                ts.put(vec![Value::Int(k), Value::Int(0)]);
+            }
+            b.iter_custom(|iters| {
+                let vm = vm.clone();
+                let ts = ts.clone();
+                on_thread(&vm, move |_cx| {
+                    let start = std::time::Instant::now();
+                    for i in 0..iters {
+                        let k = (i % 256) as i64;
+                        let b = ts.get(&Template::new(vec![lit(k), formal()]));
+                        ts.put(vec![Value::Int(k), b[0].clone()]);
+                    }
+                    start.elapsed()
+                })
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_reps(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tuple_reps");
+    g.sample_size(10);
+    for (name, kind) in [
+        ("hashed", SpaceKind::Hashed { buckets: 64 }),
+        ("queue", SpaceKind::Queue),
+        ("bag", SpaceKind::Bag),
+        ("shared-var", SpaceKind::SharedVar),
+    ] {
+        g.bench_with_input(BenchmarkId::new("rep", name), &kind, |b, &kind| {
+            let vm = VmBuilder::new().vps(1).build();
+            b.iter_custom(|iters| {
+                let vm = vm.clone();
+                on_thread(&vm, move |_cx| {
+                    let ts = TupleSpace::with_kind(kind);
+                    let start = std::time::Instant::now();
+                    for i in 0..iters {
+                        ts.put(vec![Value::Int(i as i64)]);
+                        let _ = ts.get(&Template::any(1));
+                    }
+                    start.elapsed()
+                })
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_locking, bench_reps);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Regenerates the paper's Figure 6: baseline timings of the substrate
+//! operations, on a single-VP machine with one LIFO queue.
+//!
+//! Run with: `cargo run --release -p sting-bench --bin figure6 [iters]`
+//!
+//! Absolute values reflect your hardware (the paper's are a 1992 MIPS
+//! R3000); compare the ×sw columns (each row normalized to a synchronous
+//! context switch) for the shape.
+
+fn main() {
+    let iters: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(100_000);
+    eprintln!("measuring Figure 6 with up to {iters} iterations per row...");
+    let rows = sting_bench::measure_figure6(iters);
+    println!("\nFigure 6 — baseline timings (paper: 8-CPU MIPS R3000, 1992)\n");
+    print!("{}", sting_bench::render_figure6(&rows));
+    println!(
+        "\nShape checks (paper ordering that should hold here too):\n\
+           context switch < stealing < thread creation+scheduling < block/resume\n\
+           fork&value > block/resume;  barrier(2) > speculative(2);  tuple-space is the most expensive"
+    );
+}

@@ -1,0 +1,82 @@
+//! Shape experiment E4 (§4.2.2, after Tucker & Gupta): sometimes
+//! preemption is best disabled.  The paper's setting is master/slave
+//! programs with heavy synchronization: preempting a worker at the wrong
+//! moment stalls everyone who depends on it.
+//!
+//! The sharpest observable instance on a single processor is a preemption
+//! that lands *inside a critical section*: the lock holder loses the VP
+//! while every other worker burns its active-spin budget, yields, blocks
+//! and reschedules.  Wrapping the section in `without-preemption`
+//! eliminates those convoys.
+//!
+//! Run with: `cargo run --release -p sting-bench --bin shape_preemption`
+
+use sting::prelude::*;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn run(vm: &Arc<Vm>, workers: usize, rounds: usize, shield: bool) -> Duration {
+    let m = Mutex::new(64, 2);
+    let start = Instant::now();
+    let ts: Vec<_> = (0..workers)
+        .map(|_| {
+            let m = m.clone();
+            vm.fork(move |cx| {
+                let mut acc = 0u64;
+                for _ in 0..rounds {
+                    let mut section = || {
+                        m.with(|| {
+                            // A critical section long enough that the 200µs
+                            // tick regularly expires inside it.
+                            for i in 0..40_000u64 {
+                                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+                                if i % 512 == 0 {
+                                    cx.checkpoint();
+                                }
+                            }
+                        });
+                    };
+                    if shield {
+                        cx.without_preemption(&mut section);
+                    } else {
+                        section();
+                    }
+                    cx.checkpoint();
+                }
+                acc as i64
+            })
+        })
+        .collect();
+    for t in ts {
+        t.join_blocking().unwrap();
+    }
+    start.elapsed()
+}
+
+fn main() {
+    let workers = 4;
+    let rounds = 150;
+    println!(
+        "E4 — preemption inside critical sections ({workers} workers × {rounds} rounds, 200µs tick)\n"
+    );
+    for (name, shield) in [("preemption enabled ", false), ("without-preemption  ", true)] {
+        let vm = VmBuilder::new()
+            .vps(1)
+            .processors(1)
+            .tick(Duration::from_micros(200))
+            .build();
+        let t = run(&vm, workers, rounds, shield);
+        let s = vm.counters().snapshot();
+        println!(
+            "{name} {t:>10.2?}   preemptions={:<6} blocks={:<6} yields={:<6} switches={}",
+            s.preemptions, s.blocks, s.yields, s.context_switches
+        );
+        vm.shutdown();
+    }
+    println!(
+        "\nA preemption inside the critical section parks the lock holder behind\n\
+         every contender, each of which must spin, yield and block before the\n\
+         holder resumes — the convoys show up as extra blocks and context\n\
+         switches.  without-preemption (the paper's recommendation) avoids them."
+    );
+}

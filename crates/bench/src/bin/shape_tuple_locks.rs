@@ -1,0 +1,63 @@
+//! Shape experiment E3 (§4.2.1): "the implementation minimizes
+//! synchronization overhead by associating a mutex with every hash bin
+//! rather than having a global mutex on the entire hash table".
+//!
+//! We compare the per-bucket configuration against the one-bucket (global
+//! lock + linear scan) configuration under an associative load with many
+//! distinct keys in flight.
+//!
+//! Run with: `cargo run --release -p sting-bench --bin shape_tuple_locks`
+
+use sting::prelude::*;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn workload(vm: &Arc<Vm>, ts: &TupleSpace, keys: i64, rounds: i64) {
+    // Preload one tuple per key, then have workers repeatedly remove and
+    // re-deposit their own key (disjoint working sets).
+    for k in 0..keys {
+        ts.put(vec![Value::Int(k), Value::Int(0)]);
+    }
+    let workers: Vec<_> = (0..4)
+        .map(|w| {
+            let ts = ts.clone();
+            vm.fork(move |cx| {
+                // Each worker owns a quarter of the key space.
+                let lo = keys / 4 * w;
+                let hi = keys / 4 * (w + 1);
+                for r in 0..rounds {
+                    for k in lo..hi {
+                        let b = ts.get(&Template::new(vec![lit(k), formal()]));
+                        let v = b[0].as_int().unwrap();
+                        ts.put(vec![Value::Int(k), Value::Int(v + r)]);
+                    }
+                    cx.checkpoint();
+                }
+                0i64
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join_blocking().unwrap();
+    }
+}
+
+fn main() {
+    let keys = 256i64;
+    let rounds = 20i64;
+    println!("E3 — tuple-space locking granularity ({keys} keys × {rounds} rounds × 4 workers)\n");
+    for (name, buckets) in [("per-bucket (64 bins)", 64usize), ("global lock (1 bin)", 1)] {
+        let vm = VmBuilder::new().vps(2).processors(2).build();
+        let ts = TupleSpace::with_kind(SpaceKind::Hashed { buckets });
+        let start = Instant::now();
+        workload(&vm, &ts, keys, rounds);
+        let t = start.elapsed();
+        println!("{:<24} {:>10.2?}   ({} ops)", name, t, keys * rounds);
+        vm.shutdown();
+    }
+    println!(
+        "\nThe per-bucket configuration wins twice over: shorter chains to scan\n\
+         per operation, and concurrent producers/consumers touch different\n\
+         mutexes instead of serializing on one."
+    );
+}

@@ -1,0 +1,289 @@
+//! Shared measurement helpers for the Figure 6 harness and the shape
+//! experiments.
+//!
+//! The paper's baseline timings (Figure 6) were taken on an 8-processor
+//! Silicon Graphics MIPS R3000 (~25 MHz) with a single LIFO queue; ours
+//! run wherever you run them.  Absolute values are therefore incomparable
+//! — what must reproduce is the *shape*: the ordering of operation costs
+//! and their rough ratios (see EXPERIMENTS.md).
+
+use sting::prelude::*;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The paper's Figure 6, verbatim (microseconds on the 1992 testbed).
+pub const PAPER_FIGURE6: &[(&str, f64)] = &[
+    ("Thread Creation", 8.9),
+    ("Thread Fork and Value", 44.9),
+    ("Scheduling a Thread", 18.9),
+    ("Synchronous Context Switch", 3.77),
+    ("Stealing", 7.7),
+    ("Thread Block and Resume", 27.9),
+    ("Tuple-Space", 170.0),
+    ("Speculative Fork (2 threads)", 68.9),
+    ("Barrier Synchronization (2 threads)", 144.8),
+];
+
+/// Builds the measurement VM: one VP, one processor, a single LIFO queue —
+/// the configuration Figure 6's caption describes ("derived using a single
+/// LIFO queue").
+pub fn figure6_vm() -> Arc<Vm> {
+    VmBuilder::new()
+        .vps(1)
+        .processors(1)
+        .policy(|_| policies::local_lifo().boxed())
+        .name("figure6")
+        .build()
+}
+
+/// Runs `f` on a STING thread of `vm` and returns its result.
+pub fn on_thread<R, F>(vm: &Arc<Vm>, f: F) -> R
+where
+    F: FnOnce(&Cx) -> R + Send + 'static,
+    R: Send + 'static,
+{
+    let slot: Arc<std::sync::Mutex<Option<R>>> = Arc::new(std::sync::Mutex::new(None));
+    let s2 = slot.clone();
+    let t = vm.fork(move |cx| {
+        *s2.lock().expect("bench slot") = Some(f(cx));
+        0i64
+    });
+    t.join_blocking().expect("bench thread determined");
+    let mut g = slot.lock().expect("bench slot");
+    g.take().expect("bench thread stored its result")
+}
+
+/// Times `iters` runs of `f` and returns the mean per-iteration duration.
+pub fn time_per_iter(iters: u64, mut f: impl FnMut()) -> Duration {
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed() / u32::try_from(iters).expect("iteration count fits u32")
+}
+
+/// One measured row of the Figure 6 reproduction.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Operation name (matches [`PAPER_FIGURE6`]).
+    pub name: &'static str,
+    /// Paper's timing in microseconds.
+    pub paper_us: f64,
+    /// Our measured timing in microseconds.
+    pub measured_us: f64,
+}
+
+/// Measures all nine Figure 6 operations; `iters` scales runtime.
+pub fn measure_figure6(iters: u64) -> Vec<Row> {
+    let mut rows = Vec::new();
+    let mut push = |name: &'static str, d: Duration| {
+        let paper_us = PAPER_FIGURE6
+            .iter()
+            .find(|(n, _)| *n == name)
+            .expect("known row")
+            .1;
+        rows.push(Row {
+            name,
+            paper_us,
+            measured_us: d.as_secs_f64() * 1e6,
+        });
+        eprintln!("  measured: {name}");
+    };
+
+    // 1. Thread Creation: a thread object with no dynamic state.
+    {
+        let vm = figure6_vm();
+        let d = on_thread(&vm, move |cx| {
+            let mut keep = Vec::with_capacity(iters as usize);
+            let d = time_per_iter(iters, || {
+                keep.push(cx.delayed(|_| 0i64));
+            });
+            drop(keep);
+            d
+        });
+        push("Thread Creation", d);
+        vm.shutdown();
+    }
+
+    // 2. Thread Fork and Value: fork the null procedure and wait.
+    {
+        let vm = figure6_vm();
+        let d = on_thread(&vm, move |cx| {
+            time_per_iter(iters.min(20_000), || {
+                let t = cx.fork(|_| 0i64);
+                let _ = cx.wait(&t);
+            })
+        });
+        push("Thread Fork and Value", d);
+        vm.shutdown();
+    }
+
+    // 3. Scheduling a Thread: insert a delayed thread into the ready queue.
+    {
+        let vm = figure6_vm();
+        let d = on_thread(&vm, move |cx| {
+            let n = iters.min(20_000);
+            let ts: Vec<_> = (0..n)
+                .map(|_| {
+                    // Unstealable so nothing short-circuits the queue path.
+                    ThreadBuilder::new(&cx.vm())
+                        .stealable(false)
+                        .delayed(|_| 0i64)
+                })
+                .collect();
+            let vp = cx.current_vp().index();
+            let mut i = 0;
+            let d = time_per_iter(n, || {
+                sting::core::tc::thread_run(&ts[i], vp).expect("schedule");
+                i += 1;
+            });
+            for t in &ts {
+                let _ = cx.wait(t);
+            }
+            d
+        });
+        push("Scheduling a Thread", d);
+        vm.shutdown();
+    }
+
+    // 4. Synchronous Context Switch: yield with immediate resumption.
+    {
+        let vm = figure6_vm();
+        let d = on_thread(&vm, move |cx| {
+            time_per_iter(iters, || {
+                cx.yield_now();
+            })
+        });
+        push("Synchronous Context Switch", d);
+        vm.shutdown();
+    }
+
+    // 5. Stealing: touch a claimable null thread (runs on our TCB).
+    {
+        let vm = figure6_vm();
+        let d = on_thread(&vm, move |cx| {
+            let n = iters.min(50_000);
+            let ts: Vec<_> = (0..n).map(|_| cx.delayed(|_| 0i64)).collect();
+            let mut i = 0;
+            time_per_iter(n, || {
+                let _ = cx.touch(&ts[i]);
+                i += 1;
+            })
+        });
+        push("Stealing", d);
+        vm.shutdown();
+    }
+
+    // 6. Thread Block and Resume: strict ping-pong — each side blocks
+    // after waking the other, so one iteration is exactly two block+resume
+    // pairs; we report the per-pair cost.
+    {
+        let vm = figure6_vm();
+        let d = on_thread(&vm, move |cx| {
+            let n = iters.min(20_000);
+            let me = cx.current_thread();
+            let partner = cx.fork(move |cx2| {
+                // Handshake: tell the driver we are running, then enter the
+                // ping-pong.  (Blocking — never yield-spinning — matters
+                // under LIFO, where a yielder starves fresh threads.)
+                sting::core::tc::unblock(&me);
+                for _ in 0..n {
+                    cx2.block(None);
+                    sting::core::tc::unblock(&me);
+                }
+                0i64
+            });
+            cx.block(None); // until the partner is up
+            let d = time_per_iter(n, || {
+                sting::core::tc::unblock(&partner);
+                cx.block(None);
+            });
+            let _ = cx.wait(&partner);
+            d / 2
+        });
+        push("Thread Block and Resume", d);
+        vm.shutdown();
+    }
+
+    // 7. Tuple-Space: create, insert, remove a singleton tuple.
+    {
+        let vm = figure6_vm();
+        let d = on_thread(&vm, move |_cx| {
+            let n = iters.min(50_000);
+            time_per_iter(n, || {
+                let ts = TupleSpace::new();
+                ts.put(vec![Value::Int(1)]);
+                let _ = ts.get(&Template::any(1));
+            })
+        });
+        push("Tuple-Space", d);
+        vm.shutdown();
+    }
+
+    // 8. Speculative Fork (2 threads): wait-for-one over two null threads.
+    {
+        let vm = figure6_vm();
+        let d = on_thread(&vm, move |cx| {
+            let n = iters.min(10_000);
+            time_per_iter(n, || {
+                let a = cx.fork(|_| 0i64);
+                let b = cx.fork(|_| 0i64);
+                let _ = wait_for_one(&[a, b]);
+            })
+        });
+        push("Speculative Fork (2 threads)", d);
+        vm.shutdown();
+    }
+
+    // 9. Barrier Synchronization (2 threads): wait-for-all over two nulls.
+    {
+        let vm = figure6_vm();
+        let d = on_thread(&vm, move |cx| {
+            let n = iters.min(10_000);
+            time_per_iter(n, || {
+                let a = cx.fork(|_| 0i64);
+                let b = cx.fork(|_| 0i64);
+                let _ = wait_for_all(&[a, b]);
+            })
+        });
+        push("Barrier Synchronization (2 threads)", d);
+        vm.shutdown();
+    }
+
+    rows
+}
+
+/// Renders the Figure 6 comparison table, including shape ratios
+/// normalized to the cheapest common operation (context switch).
+pub fn render_figure6(rows: &[Row]) -> String {
+    use std::fmt::Write;
+    let paper_base = rows
+        .iter()
+        .find(|r| r.name == "Synchronous Context Switch")
+        .map(|r| r.paper_us)
+        .unwrap_or(1.0);
+    let ours_base = rows
+        .iter()
+        .find(|r| r.name == "Synchronous Context Switch")
+        .map(|r| r.measured_us)
+        .unwrap_or(1.0);
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "{:<38} {:>12} {:>14} {:>12} {:>12}",
+        "Case", "paper (µs)", "measured (µs)", "paper ×sw", "ours ×sw"
+    );
+    let _ = writeln!(s, "{}", "-".repeat(92));
+    for r in rows {
+        let _ = writeln!(
+            s,
+            "{:<38} {:>12.2} {:>14.3} {:>12.1} {:>12.1}",
+            r.name,
+            r.paper_us,
+            r.measured_us,
+            r.paper_us / paper_base,
+            r.measured_us / ours_base
+        );
+    }
+    s
+}

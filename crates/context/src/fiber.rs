@@ -1,0 +1,452 @@
+//! Typed, panic-safe coroutines over the raw switching layer.
+//!
+//! A [`Fiber`] owns a [`Stack`] and a suspended computation.  The host
+//! resumes it with an input value; the fiber either *yields* an output and
+//! waits for the next input, or *returns* a final output.  Panics inside the
+//! fiber are caught at the entry frame and re-raised in the resumer, so no
+//! unwind ever crosses the assembly switch.  A suspended fiber can be
+//! [forcibly unwound](Fiber::force_unwind), which makes its pending
+//! [`Suspender::suspend`] call panic with [`ForcedUnwind`] so destructors on
+//! the fiber stack run; dropping a live fiber does this automatically.
+//!
+//! `sting-core` builds TCBs directly on this type: the input is the
+//! scheduler's wake-up message, the yield type is the thread's reason for
+//! re-entering the thread controller.
+
+use crate::raw;
+use crate::stack::Stack;
+use std::any::Any;
+use std::panic::{self, AssertUnwindSafe};
+
+/// Panic payload used to forcibly unwind a suspended fiber.
+///
+/// User code must not catch and swallow this; the fiber layer rethrows it
+/// after `catch_unwind` so cancellation is reliable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ForcedUnwind;
+
+/// Outcome of a [`Fiber::resume`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FiberResult<Y, R> {
+    /// The fiber suspended with this value and can be resumed again.
+    Yield(Y),
+    /// The fiber ran to completion with this value.
+    Return(R),
+}
+
+impl<Y, R> FiberResult<Y, R> {
+    /// Returns the yielded value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fiber completed instead.
+    pub fn unwrap_yield(self) -> Y {
+        match self {
+            FiberResult::Yield(y) => y,
+            FiberResult::Return(_) => panic!("fiber completed; expected a yield"),
+        }
+    }
+
+    /// Returns the final value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fiber yielded instead.
+    pub fn unwrap_return(self) -> R {
+        match self {
+            FiberResult::Return(r) => r,
+            FiberResult::Yield(_) => panic!("fiber yielded; expected completion"),
+        }
+    }
+}
+
+enum Input<I> {
+    Value(I),
+    Cancel,
+}
+
+enum Output<Y, R> {
+    Yielded(Y),
+    Returned(R),
+    Cancelled,
+    Panicked(Box<dyn Any + Send>),
+}
+
+struct Exchange<I, Y, R> {
+    host_sp: *mut u8,
+    fiber_sp: *mut u8,
+    input: Option<Input<I>>,
+    output: Option<Output<Y, R>>,
+}
+
+/// Handle the fiber body uses to suspend itself.
+pub struct Suspender<I, Y, R> {
+    exch: *mut Exchange<I, Y, R>,
+}
+
+impl<I, Y, R> Suspender<I, Y, R> {
+    /// Suspends the fiber, delivering `value` to the resumer, and returns
+    /// the input of the next [`Fiber::resume`].
+    ///
+    /// # Panics
+    ///
+    /// Panics with [`ForcedUnwind`] if the host cancels the fiber instead of
+    /// resuming it; do not catch this.
+    pub fn suspend(&mut self, value: Y) -> I {
+        unsafe {
+            (*self.exch).output = Some(Output::Yielded(value));
+            let host = (*self.exch).host_sp;
+            raw::switch(&mut (*self.exch).fiber_sp, host, 0);
+            match (*self.exch).input.take() {
+                Some(Input::Value(i)) => i,
+                Some(Input::Cancel) => panic::panic_any(ForcedUnwind),
+                None => unreachable!("fiber resumed without input"),
+            }
+        }
+    }
+}
+
+/// The boxed fiber body.
+type Body<I, Y, R> = Box<dyn FnOnce(&mut Suspender<I, Y, R>, I) -> R + Send>;
+
+struct Task<I, Y, R> {
+    f: Body<I, Y, R>,
+    exch: *mut Exchange<I, Y, R>,
+}
+
+extern "C" fn fiber_entry<I, Y, R>(task: usize, _arg: usize) -> ! {
+    let exch;
+    {
+        // Scope everything droppable so nothing with a destructor is live at
+        // the final switch below.
+        let task = unsafe { Box::from_raw(task as *mut Task<I, Y, R>) };
+        exch = task.exch;
+        let f = task.f;
+        let first = unsafe { (*exch).input.take() };
+        let out = match first {
+            Some(Input::Value(i)) => {
+                let mut sus = Suspender { exch };
+                match panic::catch_unwind(AssertUnwindSafe(move || f(&mut sus, i))) {
+                    Ok(r) => Output::Returned(r),
+                    Err(p) if p.is::<ForcedUnwind>() => Output::Cancelled,
+                    Err(p) => Output::Panicked(p),
+                }
+            }
+            Some(Input::Cancel) => Output::Cancelled,
+            None => unreachable!("fiber started without input"),
+        };
+        unsafe { (*exch).output = Some(out) };
+    }
+    unsafe {
+        let mut scratch: *mut u8 = core::ptr::null_mut();
+        raw::switch(&mut scratch, (*exch).host_sp, 0);
+    }
+    unreachable!("completed fiber was resumed");
+}
+
+/// A suspended stackful computation with typed resume/yield values.
+///
+/// See the [module docs](self) and the crate-level example.
+pub struct Fiber<I, Y, R> {
+    exch: Box<Exchange<I, Y, R>>,
+    stack: Option<Stack>,
+    done: bool,
+}
+
+unsafe impl<I: Send, Y: Send, R: Send> Send for Fiber<I, Y, R> {}
+
+impl<I, Y, R> std::fmt::Debug for Fiber<I, Y, R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Fiber")
+            .field("done", &self.done)
+            .field(
+                "stack_size",
+                &self.stack.as_ref().map(Stack::size).unwrap_or(0),
+            )
+            .finish()
+    }
+}
+
+impl<I, Y, R> Fiber<I, Y, R> {
+    /// Creates a fiber that will run `f` on `stack` when first resumed.
+    pub fn new<F>(stack: Stack, f: F) -> Fiber<I, Y, R>
+    where
+        F: FnOnce(&mut Suspender<I, Y, R>, I) -> R + Send + 'static,
+    {
+        let mut exch = Box::new(Exchange {
+            host_sp: core::ptr::null_mut(),
+            fiber_sp: core::ptr::null_mut(),
+            input: None,
+            output: None,
+        });
+        let task = Box::new(Task::<I, Y, R> {
+            f: Box::new(f),
+            exch: &mut *exch,
+        });
+        let sp = unsafe {
+            raw::prepare(
+                stack.top(),
+                fiber_entry::<I, Y, R>,
+                Box::into_raw(task) as usize,
+            )
+        };
+        exch.fiber_sp = sp;
+        Fiber {
+            exch,
+            stack: Some(stack),
+            done: false,
+        }
+    }
+
+    /// Whether the fiber has completed (returned, panicked, or been
+    /// cancelled) and may not be resumed again.
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// Resumes the fiber with `input`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fiber already completed, and re-raises any panic the
+    /// fiber body escaped with.
+    pub fn resume(&mut self, input: I) -> FiberResult<Y, R> {
+        assert!(!self.done, "resumed a completed fiber");
+        match self.hop(Input::Value(input)) {
+            Output::Yielded(y) => FiberResult::Yield(y),
+            Output::Returned(r) => {
+                self.done = true;
+                FiberResult::Return(r)
+            }
+            Output::Cancelled => {
+                // Only possible if user code caught ForcedUnwind without a
+                // cancel request; treat as completion.
+                self.done = true;
+                panic!("fiber cancelled itself without a cancel request");
+            }
+            Output::Panicked(p) => {
+                self.done = true;
+                panic::resume_unwind(p);
+            }
+        }
+    }
+
+    /// Cancels a suspended fiber: its pending suspend panics with
+    /// [`ForcedUnwind`], destructors on its stack run, and the fiber becomes
+    /// done.  No-op if already done.
+    pub fn force_unwind(&mut self) {
+        if self.done {
+            return;
+        }
+        match self.hop(Input::Cancel) {
+            Output::Cancelled => self.done = true,
+            Output::Panicked(p) => {
+                self.done = true;
+                panic::resume_unwind(p);
+            }
+            Output::Returned(_) | Output::Yielded(_) => {
+                // A fiber that yields or returns normally while being
+                // cancelled swallowed ForcedUnwind; surface the bug.
+                self.done = true;
+                panic!("fiber ignored a forced unwind");
+            }
+        }
+    }
+
+    /// Consumes the fiber and returns its stack for recycling, cancelling
+    /// it first if still suspended.
+    pub fn into_stack(mut self) -> Stack {
+        self.force_unwind();
+        self.stack.take().expect("fiber stack present")
+    }
+
+    fn hop(&mut self, input: Input<I>) -> Output<Y, R> {
+        self.exch.input = Some(input);
+        unsafe {
+            let to = self.exch.fiber_sp;
+            raw::switch(&mut self.exch.host_sp, to, 0);
+        }
+        self.exch.output.take().expect("fiber produced no output")
+    }
+}
+
+impl<I, Y, R> Drop for Fiber<I, Y, R> {
+    fn drop(&mut self) {
+        if !self.done {
+            // Ensure destructors on the fiber stack run. Swallow secondary
+            // panics: destructors never fail (C-DTOR-FAIL), and aborting in
+            // drop would take down the whole VP.
+            let _ = panic::catch_unwind(AssertUnwindSafe(|| self.force_unwind()));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    fn stack() -> Stack {
+        Stack::new(64 * 1024)
+    }
+
+    #[test]
+    fn yields_and_returns() {
+        let mut f = Fiber::new(stack(), |sus, a: i32| {
+            let b = sus.suspend(a + 1);
+            let c = sus.suspend(b + 10);
+            a + b + c
+        });
+        assert_eq!(f.resume(1), FiberResult::Yield(2));
+        assert_eq!(f.resume(2), FiberResult::Yield(12));
+        assert_eq!(f.resume(3), FiberResult::Return(6));
+        assert!(f.is_done());
+    }
+
+    #[test]
+    fn immediate_return() {
+        let mut f: Fiber<u64, (), u64> = Fiber::new(stack(), |_sus, x| x * 3);
+        assert_eq!(f.resume(7), FiberResult::Return(21));
+    }
+
+    #[test]
+    #[should_panic(expected = "resumed a completed fiber")]
+    fn resume_after_done_panics() {
+        let mut f: Fiber<u64, (), u64> = Fiber::new(stack(), |_sus, x| x);
+        let _ = f.resume(1);
+        let _ = f.resume(2);
+    }
+
+    #[test]
+    fn panic_propagates_to_resumer() {
+        let mut f: Fiber<u64, (), u64> = Fiber::new(stack(), |_sus, _x| panic!("boom"));
+        let err = panic::catch_unwind(AssertUnwindSafe(|| f.resume(0))).unwrap_err();
+        assert_eq!(err.downcast_ref::<&str>(), Some(&"boom"));
+        assert!(f.is_done());
+    }
+
+    #[test]
+    fn forced_unwind_runs_destructors() {
+        struct SetOnDrop(Arc<AtomicBool>);
+        impl Drop for SetOnDrop {
+            fn drop(&mut self) {
+                self.0.store(true, Ordering::SeqCst);
+            }
+        }
+        let dropped = Arc::new(AtomicBool::new(false));
+        let d = dropped.clone();
+        let mut f = Fiber::new(stack(), move |sus, _: ()| {
+            let _guard = SetOnDrop(d);
+            sus.suspend(());
+            // Never reached when cancelled.
+        });
+        f.resume(()).unwrap_yield();
+        assert!(!dropped.load(Ordering::SeqCst));
+        f.force_unwind();
+        assert!(dropped.load(Ordering::SeqCst));
+        assert!(f.is_done());
+    }
+
+    #[test]
+    fn drop_cancels_suspended_fiber() {
+        let count = Arc::new(AtomicUsize::new(0));
+        struct Bump(Arc<AtomicUsize>);
+        impl Drop for Bump {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        {
+            let c = count.clone();
+            let mut f = Fiber::new(stack(), move |sus, _: ()| {
+                let _a = Bump(c.clone());
+                let _b = Bump(c);
+                sus.suspend(());
+            });
+            f.resume(()).unwrap_yield();
+            // Dropped here while suspended.
+        }
+        assert_eq!(count.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn drop_of_never_started_fiber_drops_closure() {
+        let count = Arc::new(AtomicUsize::new(0));
+        struct Bump(Arc<AtomicUsize>);
+        impl Drop for Bump {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        {
+            let b = Bump(count.clone());
+            let _f: Fiber<(), (), ()> = Fiber::new(stack(), move |_sus, _| {
+                let _keep = &b;
+            });
+        }
+        assert_eq!(count.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn into_stack_recycles() {
+        let mut f: Fiber<u8, (), u8> = Fiber::new(stack(), |_sus, x| x);
+        let _ = f.resume(0);
+        let s = f.into_stack();
+        assert!(s.check_canary());
+    }
+
+    #[test]
+    fn into_stack_on_suspended_fiber_cancels_first() {
+        let mut f = Fiber::new(stack(), |sus, _: ()| {
+            sus.suspend(());
+        });
+        f.resume(()).unwrap_yield();
+        let s = f.into_stack();
+        assert!(s.check_canary());
+    }
+
+    #[test]
+    fn fibers_are_send() {
+        fn assert_send<T: Send>(_t: &T) {}
+        let f: Fiber<i32, (), i32> = Fiber::new(stack(), |_sus, x| x);
+        assert_send(&f);
+        let mut f = f;
+        std::thread::spawn(move || {
+            assert_eq!(f.resume(5), FiberResult::Return(5));
+        })
+        .join()
+        .unwrap();
+    }
+
+    #[test]
+    fn deep_yield_sequence() {
+        let mut f = Fiber::new(stack(), |sus, first: usize| {
+            let mut acc = first;
+            for _ in 0..1000 {
+                acc = sus.suspend(acc + 1);
+            }
+            acc
+        });
+        let mut v = 0usize;
+        for _ in 0..1000 {
+            v = f.resume(v).unwrap_yield();
+        }
+        assert_eq!(f.resume(v).unwrap_return(), 1000);
+    }
+
+    #[test]
+    fn nested_fibers() {
+        let mut outer = Fiber::new(stack(), |sus, x: i32| {
+            let mut inner = Fiber::new(Stack::new(32 * 1024), |sus2, y: i32| {
+                let z = sus2.suspend(y * 10);
+                z + 1
+            });
+            let ten_x = inner.resume(x).unwrap_yield();
+            let mid = sus.suspend(ten_x);
+            inner.resume(mid).unwrap_return()
+        });
+        assert_eq!(outer.resume(4).unwrap_yield(), 40);
+        assert_eq!(outer.resume(100).unwrap_return(), 101);
+    }
+}

@@ -1,0 +1,42 @@
+//! Stackful execution contexts for the STING substrate.
+//!
+//! STING threads are *first-class* objects whose dynamic context (a thread
+//! control block, or TCB) owns a real machine stack.  The thread controller
+//! moves between threads by saving and restoring a handful of registers —
+//! the paper describes the controller as "written entirely in Scheme with the
+//! exception of a few primitive operations to save and restore registers".
+//! This crate is those primitive operations, packaged three ways:
+//!
+//! * [`raw`] — the register save/restore primitive itself ([`raw::switch`])
+//!   plus initial-frame preparation ([`raw::prepare`]).
+//! * [`stack`] — heap-allocated machine stacks ([`Stack`]) and a recycling
+//!   pool ([`StackPool`]), mirroring the paper's observation that "storage
+//!   for running threads are cached on VPs and are recycled for immediate
+//!   reuse when a thread terminates".
+//! * [`fiber`] — a safe, typed coroutine ([`Fiber`]) built on the two layers
+//!   below.  A fiber can be resumed with an input value and suspends or
+//!   completes with an output value; panics propagate to the resumer and a
+//!   suspended fiber can be [forcibly unwound](Fiber::force_unwind) so that
+//!   destructors on its stack run.
+//!
+//! # Example
+//!
+//! ```
+//! use sting_context::{Fiber, Stack};
+//!
+//! let mut fib = Fiber::new(Stack::new(32 * 1024), |sus, first: i32| {
+//!     let second = sus.suspend(first + 1);
+//!     second * 2
+//! });
+//! assert_eq!(fib.resume(10).unwrap_yield(), 11);
+//! assert_eq!(fib.resume(21).unwrap_return(), 42);
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod fiber;
+pub mod raw;
+pub mod stack;
+
+pub use fiber::{Fiber, FiberResult, ForcedUnwind, Suspender};
+pub use stack::{Stack, StackPool};

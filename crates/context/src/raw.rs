@@ -1,0 +1,222 @@
+//! Raw register save/restore: the lowest layer of the substrate.
+//!
+//! The protocol is the classic symmetric stack switch.  A suspended context
+//! is represented by a single stack pointer; the words at and above it hold
+//! the callee-saved register file (System V x86-64: `rbx`, `rbp`, `r12`–`r15`
+//! plus the `mxcsr` and x87 control words) and a return address.
+//!
+//! [`switch`] pushes the current register file, stores the resulting stack
+//! pointer through `from`, installs `to` as the stack pointer, pops the
+//! register file found there and returns — landing either in a previous
+//! [`switch`] call (an already-running context) or in the entry trampoline
+//! of a context freshly built by [`prepare`].
+//!
+//! The `arg` word travels across the switch and is returned by the `switch`
+//! call that the destination context wakes up in (or handed to the entry
+//! function for a fresh context).  Callers thread pointers to exchange
+//! structures through it.
+
+use core::arch::global_asm;
+
+/// Entry function type for a fresh context.
+///
+/// Receives the `task` word given to [`prepare`] and the `arg` word from the
+/// first [`switch`] into the context.  Must never return; finish by switching
+/// away one final time and ensuring the context is not resumed again.
+pub type Entry = extern "C" fn(task: usize, arg: usize) -> !;
+
+#[cfg(target_arch = "x86_64")]
+global_asm!(
+    // fn sting_ctx_switch(from: *mut *mut u8 (rdi), to: *mut u8 (rsi), arg: usize (rdx)) -> usize
+    ".text",
+    ".globl sting_ctx_switch",
+    ".p2align 4",
+    "sting_ctx_switch:",
+    "push rbp",
+    "push rbx",
+    "push r12",
+    "push r13",
+    "push r14",
+    "push r15",
+    "sub rsp, 8",
+    "stmxcsr [rsp]",
+    "fnstcw [rsp + 4]",
+    "mov [rdi], rsp",
+    "mov rsp, rsi",
+    "ldmxcsr [rsp]",
+    "fldcw [rsp + 4]",
+    "add rsp, 8",
+    "pop r15",
+    "pop r14",
+    "pop r13",
+    "pop r12",
+    "pop rbx",
+    "pop rbp",
+    "mov rax, rdx",
+    "ret",
+    // Entry trampoline for fresh contexts: `prepare` stores the entry
+    // function in the r13 slot and the task word in the r12 slot of the
+    // initial frame; the first switch into the context pops them and
+    // "returns" here with the cross-switch arg in rax.
+    ".globl sting_ctx_trampoline",
+    ".p2align 4",
+    "sting_ctx_trampoline:",
+    "mov rdi, r12",
+    "mov rsi, rax",
+    "xor ebp, ebp",
+    "call r13",
+    "ud2",
+);
+
+#[cfg(target_arch = "x86_64")]
+extern "C" {
+    fn sting_ctx_switch(from: *mut *mut u8, to: *mut u8, arg: usize) -> usize;
+    fn sting_ctx_trampoline();
+}
+
+/// Transfers control from the current context to `to`.
+///
+/// The current context's resume point is stored through `from`; `arg` is
+/// delivered to the destination (see module docs).  Returns the `arg` of the
+/// switch that eventually resumes this context.
+///
+/// # Safety
+///
+/// * `to` must be a stack pointer previously produced by [`prepare`] or
+///   stored through a `from` pointer by an earlier [`switch`], and it must
+///   not be resumed more than once.
+/// * `from` must be valid for a write.
+/// * The destination context must not unwind a panic across the switch
+///   boundary (the [`fiber`](crate::fiber) layer guarantees this by catching
+///   panics at the entry function).
+#[inline]
+pub unsafe fn switch(from: *mut *mut u8, to: *mut u8, arg: usize) -> usize {
+    sting_ctx_switch(from, to, arg)
+}
+
+/// Number of machine words in the initial frame written by [`prepare`].
+const FRAME_WORDS: usize = 8;
+
+/// Default value of `mxcsr` (all exceptions masked, round-to-nearest).
+const MXCSR_DEFAULT: u32 = 0x1F80;
+/// Default value of the x87 control word.
+const FCW_DEFAULT: u16 = 0x037F;
+
+/// Builds the initial frame for a fresh context on `stack` and returns the
+/// suspended-context stack pointer to pass to the first [`switch`].
+///
+/// `stack_top` must be the one-past-the-end address of a writable stack
+/// region (highest address, exclusive).  `entry` is invoked on that stack
+/// with `task` and the first switch's `arg` when the context first runs.
+///
+/// # Safety
+///
+/// `stack_top` must point one past the end of a region of at least
+/// `FRAME_WORDS * 8 + 64` writable bytes that stays alive and is not
+/// otherwise used while the context exists.
+pub unsafe fn prepare(stack_top: *mut u8, entry: Entry, task: usize) -> *mut u8 {
+    // Align down to 16 so the trampoline runs with a 16-byte aligned stack
+    // (see layout notes below).
+    let top = (stack_top as usize) & !15usize;
+    let sp = (top - FRAME_WORDS * 8) as *mut u64;
+    // Frame layout (ascending addresses), consumed by the restore half of
+    // sting_ctx_switch:
+    //   sp + 0 : mxcsr (4 bytes) | fcw (2 bytes) | padding
+    //   sp + 1 : r15
+    //   sp + 2 : r14
+    //   sp + 3 : r13  <- entry function
+    //   sp + 4 : r12  <- task word
+    //   sp + 5 : rbx
+    //   sp + 6 : rbp
+    //   sp + 7 : return address <- trampoline
+    sp.add(0)
+        .write((MXCSR_DEFAULT as u64) | ((FCW_DEFAULT as u64) << 32));
+    sp.add(1).write(0);
+    sp.add(2).write(0);
+    sp.add(3).write(entry as usize as u64);
+    sp.add(4).write(task as u64);
+    sp.add(5).write(0);
+    sp.add(6).write(0);
+    sp.add(7)
+        .write(sting_ctx_trampoline as unsafe extern "C" fn() as usize as u64);
+    sp as *mut u8
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+compile_error!(
+    "sting-context currently implements raw stack switching for x86_64 only; \
+     port raw.rs (one switch routine and one trampoline) to this architecture"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two-slot exchange used to hop between a host and one context: each
+    /// side saves its own stack pointer into its slot when switching to the
+    /// other side's slot.
+    #[repr(C)]
+    struct Exchange {
+        host_sp: *mut u8,
+        ctx_sp: *mut u8,
+    }
+
+    extern "C" fn ping_entry(task: usize, mut arg: usize) -> ! {
+        let exch = task as *mut Exchange;
+        for _ in 0..3 {
+            arg = unsafe { switch(&mut (*exch).ctx_sp, (*exch).host_sp, arg + 1) };
+        }
+        unsafe {
+            let mut scratch: *mut u8 = core::ptr::null_mut();
+            switch(&mut scratch, (*exch).host_sp, arg + 1);
+        }
+        unreachable!("context resumed after completion");
+    }
+
+    #[test]
+    fn raw_round_trips() {
+        let mut stack = vec![0u8; 64 * 1024];
+        let top = unsafe { stack.as_mut_ptr().add(stack.len()) };
+        let mut exch = Exchange {
+            host_sp: core::ptr::null_mut(),
+            ctx_sp: core::ptr::null_mut(),
+        };
+        exch.ctx_sp = unsafe { prepare(top, ping_entry, &mut exch as *mut Exchange as usize) };
+        let mut v = 10usize;
+        for _ in 0..4 {
+            v = unsafe { switch(&mut exch.host_sp, exch.ctx_sp, v) };
+        }
+        assert_eq!(v, 14);
+    }
+
+    #[test]
+    fn arg_travels_both_ways() {
+        extern "C" fn doubler(task: usize, mut arg: usize) -> ! {
+            let exch = task as *mut Exchange;
+            loop {
+                arg = unsafe { switch(&mut (*exch).ctx_sp, (*exch).host_sp, arg * 2) };
+                if arg == 0 {
+                    // Host asked us to finish.
+                    unsafe {
+                        let mut scratch: *mut u8 = core::ptr::null_mut();
+                        switch(&mut scratch, (*exch).host_sp, usize::MAX);
+                    }
+                    unreachable!();
+                }
+            }
+        }
+        let mut stack = vec![0u8; 64 * 1024];
+        let top = unsafe { stack.as_mut_ptr().add(stack.len()) };
+        let mut exch = Exchange {
+            host_sp: core::ptr::null_mut(),
+            ctx_sp: core::ptr::null_mut(),
+        };
+        exch.ctx_sp = unsafe { prepare(top, doubler, &mut exch as *mut Exchange as usize) };
+        for i in 1..10usize {
+            let got = unsafe { switch(&mut exch.host_sp, exch.ctx_sp, i) };
+            assert_eq!(got, i * 2);
+        }
+        let done = unsafe { switch(&mut exch.host_sp, exch.ctx_sp, 0) };
+        assert_eq!(done, usize::MAX);
+    }
+}

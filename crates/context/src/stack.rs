@@ -1,0 +1,200 @@
+//! Machine stacks and the per-VP stack recycling pool.
+//!
+//! STING observes that thread dynamic state is expensive to create relative
+//! to the thread objects themselves, so "storage for running threads are
+//! cached on VPs and are recycled for immediate reuse when a thread
+//! terminates".  [`StackPool`] implements that cache for the stack half of a
+//! TCB; the TCB-level pool in `sting-core` composes it.
+
+use std::alloc::{alloc, dealloc, Layout};
+use std::ptr::NonNull;
+
+/// Magic word written at the low end of every stack and checked on release;
+/// detects the most common overflow pattern (running off the low end).
+const CANARY: u64 = 0x5719_CA9A_57AC_50FE;
+
+/// Stack alignment.  16 is what the System V ABI requires; we align the
+/// whole allocation so the top is trivially alignable.
+const STACK_ALIGN: usize = 16;
+
+/// Minimum stack size accepted by [`Stack::new`].
+pub const MIN_STACK_SIZE: usize = 4 * 1024;
+
+/// A heap-allocated machine stack for one execution context.
+///
+/// The stack is plain heap memory (no guard page — the substrate is pure
+/// library code and takes no platform dependencies); a canary word at the
+/// low end is checked by [`Stack::check_canary`] and on drop in debug builds.
+#[derive(Debug)]
+pub struct Stack {
+    base: NonNull<u8>,
+    size: usize,
+}
+
+// The stack is exclusively owned; moving it between OS threads is fine.
+unsafe impl Send for Stack {}
+
+impl Stack {
+    /// Allocates a stack of at least `size` bytes (rounded up to
+    /// [`MIN_STACK_SIZE`] and to the stack alignment).
+    ///
+    /// # Panics
+    ///
+    /// Panics on allocation failure.
+    pub fn new(size: usize) -> Stack {
+        let size = size.max(MIN_STACK_SIZE).next_multiple_of(STACK_ALIGN);
+        let layout = Layout::from_size_align(size, STACK_ALIGN).expect("stack layout");
+        let base = unsafe { alloc(layout) };
+        let base = NonNull::new(base).expect("stack allocation failed");
+        let stack = Stack { base, size };
+        unsafe { (stack.base.as_ptr() as *mut u64).write(CANARY) };
+        stack
+    }
+
+    /// Size of the stack in bytes.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// One-past-the-end (highest) address of the stack; initial stack
+    /// pointers are derived from this.
+    pub fn top(&self) -> *mut u8 {
+        unsafe { self.base.as_ptr().add(self.size) }
+    }
+
+    /// Lowest address of the stack.
+    pub fn limit(&self) -> *mut u8 {
+        self.base.as_ptr()
+    }
+
+    /// Returns `true` while the overflow canary at the low end is intact.
+    pub fn check_canary(&self) -> bool {
+        unsafe { (self.base.as_ptr() as *const u64).read() == CANARY }
+    }
+}
+
+impl Drop for Stack {
+    fn drop(&mut self) {
+        // Destructors never fail (C-DTOR-FAIL): a clobbered canary is
+        // reported by `check_canary` callers (e.g. StackPool::put), not here.
+        let layout = Layout::from_size_align(self.size, STACK_ALIGN).expect("stack layout");
+        unsafe { dealloc(self.base.as_ptr(), layout) };
+    }
+}
+
+/// A size-classed cache of stacks, recycled on thread termination.
+///
+/// The pool is intentionally *not* synchronized: in STING each virtual
+/// processor owns its own cache, so recycling never contends.  (`sting-core`
+/// keeps one pool per VP.)
+#[derive(Debug)]
+pub struct StackPool {
+    stack_size: usize,
+    capacity: usize,
+    free: Vec<Stack>,
+    /// Stacks handed out over the pool's lifetime.
+    allocated: u64,
+    /// Hand-outs satisfied from the cache rather than fresh allocation.
+    recycled: u64,
+}
+
+impl StackPool {
+    /// Creates a pool producing stacks of `stack_size` bytes, caching at
+    /// most `capacity` free stacks.
+    pub fn new(stack_size: usize, capacity: usize) -> StackPool {
+        StackPool {
+            stack_size: stack_size.max(MIN_STACK_SIZE),
+            capacity,
+            free: Vec::new(),
+            allocated: 0,
+            recycled: 0,
+        }
+    }
+
+    /// Takes a stack from the cache, or allocates a fresh one.
+    pub fn take(&mut self) -> Stack {
+        self.allocated += 1;
+        match self.free.pop() {
+            Some(s) => {
+                self.recycled += 1;
+                s
+            }
+            None => Stack::new(self.stack_size),
+        }
+    }
+
+    /// Returns a stack to the cache; drops it if the cache is full or the
+    /// stack's canary has been clobbered.
+    pub fn put(&mut self, stack: Stack) {
+        if self.free.len() < self.capacity && stack.check_canary() {
+            self.free.push(stack);
+        }
+    }
+
+    /// Number of stacks currently cached.
+    pub fn cached(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Total hand-outs and cache-satisfied hand-outs, for instrumentation.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.allocated, self.recycled)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stack_basics() {
+        let s = Stack::new(64 * 1024);
+        assert!(s.size() >= 64 * 1024);
+        assert!(s.check_canary());
+        assert_eq!(s.top() as usize - s.limit() as usize, s.size());
+        assert_eq!(s.top() as usize % STACK_ALIGN, 0);
+    }
+
+    #[test]
+    fn stack_minimum_size_enforced() {
+        let s = Stack::new(1);
+        assert!(s.size() >= MIN_STACK_SIZE);
+    }
+
+    #[test]
+    fn pool_recycles() {
+        let mut pool = StackPool::new(16 * 1024, 2);
+        let a = pool.take();
+        let b = pool.take();
+        let a_base = a.limit() as usize;
+        pool.put(a);
+        pool.put(b);
+        assert_eq!(pool.cached(), 2);
+        let c = pool.take();
+        // LIFO reuse: most recently freed stack comes back first.
+        assert!(!c.limit().is_null());
+        let (allocated, recycled) = pool.stats();
+        assert_eq!(allocated, 3);
+        assert_eq!(recycled, 1);
+        let _ = a_base;
+    }
+
+    #[test]
+    fn pool_respects_capacity() {
+        let mut pool = StackPool::new(16 * 1024, 1);
+        let a = pool.take();
+        let b = pool.take();
+        pool.put(a);
+        pool.put(b); // dropped, over capacity
+        assert_eq!(pool.cached(), 1);
+    }
+
+    #[test]
+    fn clobbered_canary_not_recycled() {
+        let mut pool = StackPool::new(16 * 1024, 4);
+        let s = pool.take();
+        unsafe { (s.limit() as *mut u64).write(0xDEAD) };
+        pool.put(s);
+        assert_eq!(pool.cached(), 0);
+    }
+}

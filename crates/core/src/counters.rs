@@ -1,0 +1,97 @@
+//! Substrate event counters.
+//!
+//! The shape experiments in the evaluation (stealing vs. context switching,
+//! policy comparisons, preemption effects) are driven by these counters, so
+//! they are first-class rather than a debug afterthought.  All counters are
+//! relaxed atomics: they are statistics, not synchronization.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+macro_rules! counters {
+    ($(#[$doc:meta] $name:ident),+ $(,)?) => {
+        /// Monotonic event counters for one virtual machine.
+        #[derive(Debug, Default)]
+        pub struct Counters {
+            $(#[$doc] pub $name: AtomicU64,)+
+        }
+
+        /// A point-in-time copy of [`Counters`].
+        #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+        pub struct CounterSnapshot {
+            $(#[$doc] pub $name: u64,)+
+        }
+
+        impl Counters {
+            /// Copies the current values.
+            pub fn snapshot(&self) -> CounterSnapshot {
+                CounterSnapshot {
+                    $($name: self.$name.load(Ordering::Relaxed),)+
+                }
+            }
+        }
+
+        impl CounterSnapshot {
+            /// Per-field difference `self - earlier` (saturating).
+            pub fn since(&self, earlier: &CounterSnapshot) -> CounterSnapshot {
+                CounterSnapshot {
+                    $($name: self.$name.saturating_sub(earlier.$name),)+
+                }
+            }
+        }
+    };
+}
+
+counters! {
+    /// Thread objects created (fork-thread + create-thread).
+    threads_created,
+    /// Thread control blocks allocated (a TCB means a stack + fiber).
+    tcbs_allocated,
+    /// TCB stacks satisfied from a VP's recycling pool.
+    stacks_recycled,
+    /// Delayed/scheduled thunks absorbed by a toucher (thread stealing).
+    steals,
+    /// Context switches into a thread (fiber resumes).
+    context_switches,
+    /// Voluntary yields (yield-processor).
+    yields,
+    /// Preemption-induced yields.
+    preemptions,
+    /// Threads that parked blocked.
+    blocks,
+    /// Blocked/suspended threads made runnable again.
+    wakeups,
+    /// Threads that parked suspended.
+    suspends,
+    /// Threads migrated between virtual processors.
+    migrations,
+    /// Threads that reached the determined state.
+    determinations,
+    /// Threads determined by an uncaught exception.
+    exceptions,
+}
+
+impl Counters {
+    #[inline]
+    pub(crate) fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_and_since() {
+        let c = Counters::default();
+        c.steals.fetch_add(3, Ordering::Relaxed);
+        c.blocks.fetch_add(1, Ordering::Relaxed);
+        let a = c.snapshot();
+        c.steals.fetch_add(2, Ordering::Relaxed);
+        let b = c.snapshot();
+        let d = b.since(&a);
+        assert_eq!(d.steals, 2);
+        assert_eq!(d.blocks, 0);
+        assert_eq!(b.steals, 5);
+    }
+}

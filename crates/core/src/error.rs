@@ -1,0 +1,57 @@
+//! Substrate error types.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by fallible substrate operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// A virtual-processor index was out of range for its virtual machine.
+    VpOutOfRange {
+        /// The requested index.
+        index: usize,
+        /// Number of VPs in the machine.
+        len: usize,
+    },
+    /// The operation requires running on a STING thread, but the calling OS
+    /// thread is not executing one.
+    NotOnThread,
+    /// The virtual machine has been shut down.
+    Shutdown,
+    /// A thread operation was requested in a state that forbids it (e.g.
+    /// `thread_run` on an evaluating thread).
+    InvalidTransition {
+        /// Human-readable description of the offending transition.
+        detail: &'static str,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::VpOutOfRange { index, len } => {
+                write!(f, "virtual processor {index} out of range (machine has {len})")
+            }
+            CoreError::NotOnThread => write!(f, "not executing on a STING thread"),
+            CoreError::Shutdown => write!(f, "virtual machine is shut down"),
+            CoreError::InvalidTransition { detail } => {
+                write!(f, "invalid thread state transition: {detail}")
+            }
+        }
+    }
+}
+
+impl Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = CoreError::VpOutOfRange { index: 9, len: 4 };
+        assert_eq!(e.to_string(), "virtual processor 9 out of range (machine has 4)");
+        assert!(CoreError::NotOnThread.to_string().contains("STING thread"));
+    }
+}

@@ -1,0 +1,208 @@
+//! Thread groups: "a means of gaining control over a related collection of
+//! threads".
+//!
+//! Every thread carries a group identifier; groups offer the ordinary
+//! thread operations en masse (termination, suspension, resumption) plus
+//! debugging/monitoring operations (listing members and subgroups, state
+//! histograms, genealogy profiling).  A child thread inherits its parent's
+//! group unless the [`ThreadBuilder`](crate::builder::ThreadBuilder) says
+//! otherwise, so terminating the group of a computation's root thread kills
+//! the whole process tree (the paper's `kill-group`).
+
+use crate::error::CoreError;
+use crate::state::{StateRequest, ThreadState};
+use crate::thread::Thread;
+use parking_lot::Mutex;
+use sting_value::Value;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+use std::time::Duration;
+
+static NEXT_GROUP_ID: AtomicU64 = AtomicU64::new(1);
+
+/// A group of related threads.
+pub struct ThreadGroup {
+    id: u64,
+    name: Option<String>,
+    members: Mutex<Members>,
+    parent: Weak<ThreadGroup>,
+    subgroups: Mutex<Vec<Weak<ThreadGroup>>>,
+}
+
+/// Member list with amortized-O(1) pruning of dead weak references: we
+/// sweep only when the list doubles past the last sweep's survivor count.
+#[derive(Debug, Default)]
+struct Members {
+    list: Vec<Weak<Thread>>,
+    prune_at: usize,
+}
+
+impl Members {
+    fn push(&mut self, w: Weak<Thread>) {
+        if self.list.len() >= self.prune_at.max(64) {
+            self.list.retain(|w| w.strong_count() > 0);
+            self.prune_at = self.list.len() * 2;
+        }
+        self.list.push(w);
+    }
+}
+
+impl std::fmt::Debug for ThreadGroup {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadGroup")
+            .field("id", &self.id)
+            .field("name", &self.name)
+            .field("live", &self.threads().len())
+            .finish()
+    }
+}
+
+impl ThreadGroup {
+    /// Creates a root group (no parent).
+    pub fn root(name: Option<String>) -> Arc<ThreadGroup> {
+        Arc::new(ThreadGroup {
+            id: NEXT_GROUP_ID.fetch_add(1, Ordering::Relaxed),
+            name,
+            members: Mutex::new(Members::default()),
+            parent: Weak::new(),
+            subgroups: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// Creates a subgroup of `self`.
+    pub fn subgroup(self: &Arc<ThreadGroup>, name: Option<String>) -> Arc<ThreadGroup> {
+        let g = Arc::new(ThreadGroup {
+            id: NEXT_GROUP_ID.fetch_add(1, Ordering::Relaxed),
+            name,
+            members: Mutex::new(Members::default()),
+            parent: Arc::downgrade(self),
+            subgroups: Mutex::new(Vec::new()),
+        });
+        self.subgroups.lock().push(Arc::downgrade(&g));
+        g
+    }
+
+    /// The group's unique identifier.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Optional debug name.
+    pub fn name(&self) -> Option<&str> {
+        self.name.as_deref()
+    }
+
+    /// The enclosing group, if any.
+    pub fn parent(&self) -> Option<Arc<ThreadGroup>> {
+        self.parent.upgrade()
+    }
+
+    /// Live subgroups.
+    pub fn subgroups(&self) -> Vec<Arc<ThreadGroup>> {
+        let mut subs = self.subgroups.lock();
+        subs.retain(|w| w.strong_count() > 0);
+        subs.iter().filter_map(Weak::upgrade).collect()
+    }
+
+    pub(crate) fn add(&self, thread: &Arc<Thread>) {
+        self.members.lock().push(Arc::downgrade(thread));
+    }
+
+    /// Live threads directly in this group (monitoring: "listing all
+    /// threads in a given group").
+    pub fn threads(&self) -> Vec<Arc<Thread>> {
+        self.members
+            .lock()
+            .list
+            .iter()
+            .filter_map(Weak::upgrade)
+            .collect()
+    }
+
+    /// Live threads in this group and all subgroups, transitively.
+    pub fn threads_recursive(&self) -> Vec<Arc<Thread>> {
+        let mut out = self.threads();
+        for sub in self.subgroups() {
+            out.extend(sub.threads_recursive());
+        }
+        out
+    }
+
+    /// Histogram of member states (monitoring aid).
+    pub fn state_histogram(&self) -> HashMap<ThreadState, usize> {
+        let mut h = HashMap::new();
+        for t in self.threads_recursive() {
+            *h.entry(t.state()).or_insert(0) += 1;
+        }
+        h
+    }
+
+    /// Requests termination of every live member (the paper's
+    /// `kill-group`), with `value` as each member's result.  Already
+    /// determined members are skipped; per-thread transition errors are
+    /// ignored (the group sweep is best-effort by design).
+    pub fn terminate_all(&self, value: Value) {
+        for t in self.threads_recursive() {
+            let _ = t.request(StateRequest::Terminate(value.clone()));
+        }
+    }
+
+    /// Requests suspension of every live member.
+    pub fn suspend_all(&self, quantum: Option<Duration>) {
+        for t in self.threads_recursive() {
+            let _ = t.request(StateRequest::Suspend(quantum));
+        }
+    }
+
+    /// Resumes every blocked/suspended member.
+    pub fn resume_all(&self) {
+        for t in self.threads_recursive() {
+            let _ = t.request(StateRequest::Resume);
+        }
+    }
+
+    /// Renders the genealogy of `root`'s process tree, one thread per line
+    /// (the paper's profiling of "the dynamic unfolding of a process
+    /// tree").
+    pub fn genealogy(root: &Arc<Thread>) -> String {
+        fn walk(t: &Arc<Thread>, depth: usize, out: &mut String) {
+            use std::fmt::Write;
+            let _ = writeln!(
+                out,
+                "{:indent$}{} [{:?}] group={}",
+                "",
+                t.id(),
+                t.state(),
+                t.group().id(),
+                indent = depth * 2
+            );
+            for c in t.children() {
+                walk(&c, depth + 1, out);
+            }
+        }
+        let mut s = String::new();
+        walk(root, 0, &mut s);
+        s
+    }
+
+    /// Number of live members (direct only).
+    pub fn len(&self) -> usize {
+        self.threads().len()
+    }
+
+    /// Whether the group has no live members.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Convenience: `kill-group (thread.group T)`.
+///
+/// # Errors
+///
+/// Currently infallible; returns `Result` for future compatibility.
+pub fn kill_group(thread: &Arc<Thread>, value: Value) -> Result<(), CoreError> {
+    thread.group().terminate_all(value);
+    Ok(())
+}

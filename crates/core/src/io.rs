@@ -1,0 +1,152 @@
+//! Non-blocking I/O support: offloading blocking calls off the VPs.
+//!
+//! "STING permits … non-blocking I/O": a thread that must make a blocking
+//! operating-system call (file read, DNS lookup, …) should not stall its
+//! virtual processor — every other thread on that VP would stall with it.
+//! [`offload`] runs the blocking closure on a small pool of plain OS
+//! threads and parks only the calling STING thread; the VP keeps running
+//! other threads, and the caller is rescheduled with the result when the
+//! call completes (the paper's "non-blocking I/O calls with call-back",
+//! with the continuation being the parked thread itself).
+
+use crate::tc;
+use parking_lot::Mutex;
+use std::sync::mpsc::{channel, Sender};
+use std::sync::OnceLock;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct Pool {
+    tx: Mutex<Sender<Job>>,
+}
+
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let (tx, rx) = channel::<Job>();
+        let rx = std::sync::Arc::new(Mutex::new(rx));
+        for i in 0..4 {
+            let rx = rx.clone();
+            std::thread::Builder::new()
+                .name(format!("sting-io-{i}"))
+                .spawn(move || loop {
+                    let job = {
+                        let guard = rx.lock();
+                        guard.recv()
+                    };
+                    match job {
+                        Ok(job) => job(),
+                        Err(_) => return,
+                    }
+                })
+                .expect("spawn io worker");
+        }
+        Pool { tx: Mutex::new(tx) }
+    })
+}
+
+/// Runs `f` (a potentially blocking call) on the I/O worker pool, parking
+/// only the calling STING thread; the virtual processor stays available
+/// for other threads.  Called from a plain OS thread, it just runs `f`
+/// inline.
+///
+/// ```
+/// use sting_core::{io, VmBuilder};
+///
+/// let vm = VmBuilder::new().vps(1).build();
+/// let t = vm.fork(|_cx| {
+///     io::offload(|| 6 * 7) // imagine a blocking read here
+/// });
+/// assert_eq!(t.join_blocking().unwrap().as_int(), Some(42));
+/// vm.shutdown();
+/// ```
+pub fn offload<R, F>(f: F) -> R
+where
+    R: Send + 'static,
+    F: FnOnce() -> R + Send + 'static,
+{
+    let Some(me) = tc::current_owner() else {
+        return f();
+    };
+    let slot: std::sync::Arc<Mutex<Option<R>>> = std::sync::Arc::new(Mutex::new(None));
+    let slot2 = slot.clone();
+    let job: Job = Box::new(move || {
+        let r = f();
+        *slot2.lock() = Some(r);
+        tc::unblock(&me);
+    });
+    pool()
+        .tx
+        .lock()
+        .send(job)
+        .expect("io pool alive for the process lifetime");
+    loop {
+        if let Some(r) = slot.lock().take() {
+            return r;
+        }
+        let _ = tc::block_current(Some(sting_value::Value::sym("io-offload")));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::VmBuilder;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn offload_returns_value() {
+        let vm = VmBuilder::new().vps(1).build();
+        let t = vm.fork(|_cx| offload(|| 21i64 * 2));
+        assert_eq!(t.join_blocking().unwrap().as_int(), Some(42));
+        vm.shutdown();
+    }
+
+    #[test]
+    fn vp_keeps_running_other_threads_during_offload() {
+        let vm = VmBuilder::new().vps(1).processors(1).build();
+        let progressed = Arc::new(AtomicUsize::new(0));
+        let p = progressed.clone();
+        // One thread blocks in "I/O" for 100ms...
+        let io_thread = vm.fork(|_cx| {
+            offload(|| {
+                std::thread::sleep(Duration::from_millis(100));
+                1i64
+            })
+        });
+        // ...while a sibling on the same (only) VP keeps making progress.
+        let spinner = vm.fork(move |cx| {
+            for _ in 0..1000 {
+                p.fetch_add(1, Ordering::SeqCst);
+                cx.yield_now();
+            }
+            0i64
+        });
+        spinner.join_blocking().unwrap();
+        let before_io_done = progressed.load(Ordering::SeqCst);
+        assert_eq!(before_io_done, 1000, "VP was never stalled by the I/O");
+        assert_eq!(io_thread.join_blocking().unwrap().as_int(), Some(1));
+        vm.shutdown();
+    }
+
+    #[test]
+    fn offload_off_thread_runs_inline() {
+        assert_eq!(offload(|| 5), 5);
+    }
+
+    #[test]
+    fn many_concurrent_offloads() {
+        let vm = VmBuilder::new().vps(1).build();
+        let ts: Vec<_> = (0..16i64)
+            .map(|i| vm.fork(move |_cx| offload(move || i * i)))
+            .collect();
+        let sum: i64 = ts
+            .iter()
+            .map(|t| t.join_blocking().unwrap().as_int().unwrap())
+            .sum();
+        assert_eq!(sum, (0..16i64).map(|i| i * i).sum());
+        vm.shutdown();
+    }
+}

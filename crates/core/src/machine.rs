@@ -1,0 +1,186 @@
+//! The physical machine: OS worker threads multiplexing virtual processors.
+//!
+//! "Virtual processors are multiplexed on physical processors in the same
+//! way that threads are multiplexed on virtual processors."  A
+//! [`PhysicalMachine`] owns `n` worker OS threads (the physical processors)
+//! plus a timekeeper that raises preemption flags and drains timers.  VPs
+//! are assigned to workers by index modulo the worker count; several
+//! virtual machines may be attached to one physical machine (they are held
+//! weakly — dropping a `Vm` detaches it).
+
+use crate::vm::Vm;
+use parking_lot::{Condvar, Mutex, RwLock};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Weak};
+use std::time::Duration;
+
+pub(crate) struct MachineShared {
+    vms: RwLock<Vec<Weak<Vm>>>,
+    stop: AtomicBool,
+    work_epoch: Mutex<u64>,
+    work_cv: Condvar,
+    tick: Duration,
+}
+
+/// A set of physical processors (OS threads) driving virtual machines.
+pub struct PhysicalMachine {
+    shared: Arc<MachineShared>,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    processors: usize,
+}
+
+impl std::fmt::Debug for PhysicalMachine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PhysicalMachine")
+            .field("processors", &self.processors)
+            .field("tick", &self.shared.tick)
+            .finish()
+    }
+}
+
+/// How many threads one VP slice may run before the worker rotates to the
+/// next VP; keeps one busy VP from starving its siblings on a worker.
+const SLICE_BUDGET: usize = 16;
+
+impl PhysicalMachine {
+    /// Creates a machine with `processors` workers and the default 500 µs
+    /// preemption tick.
+    pub fn new(processors: usize) -> Arc<PhysicalMachine> {
+        PhysicalMachine::with_tick(processors, Duration::from_micros(500))
+    }
+
+    /// Creates a machine with an explicit preemption `tick`.
+    pub fn with_tick(processors: usize, tick: Duration) -> Arc<PhysicalMachine> {
+        crate::tc::install_quiet_panic_hook();
+        let processors = processors.max(1);
+        let shared = Arc::new(MachineShared {
+            vms: RwLock::new(Vec::new()),
+            stop: AtomicBool::new(false),
+            work_epoch: Mutex::new(0),
+            work_cv: Condvar::new(),
+            tick,
+        });
+        let mut workers = Vec::with_capacity(processors + 1);
+        for i in 0..processors {
+            let s = shared.clone();
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("sting-pp-{i}"))
+                    .spawn(move || worker_loop(&s, i, processors))
+                    .expect("spawn physical processor"),
+            );
+        }
+        let s = shared.clone();
+        workers.push(
+            std::thread::Builder::new()
+                .name("sting-timekeeper".to_string())
+                .spawn(move || timekeeper_loop(&s))
+                .expect("spawn timekeeper"),
+        );
+        Arc::new(PhysicalMachine {
+            shared,
+            workers: Mutex::new(workers),
+            processors,
+        })
+    }
+
+    /// Number of physical processors (workers).
+    pub fn processors(&self) -> usize {
+        self.processors
+    }
+
+    /// Attaches `vm` so its VPs are driven by this machine's workers.
+    pub fn attach(self: &Arc<PhysicalMachine>, vm: &Arc<Vm>) {
+        *vm.machine.lock() = Some(self.clone());
+        self.shared.vms.write().push(Arc::downgrade(vm));
+        self.signal_work();
+    }
+
+    /// Detaches `vm`; its threads stop being scheduled.
+    pub fn detach(&self, vm: &Arc<Vm>) {
+        let target = Arc::downgrade(vm);
+        self.shared.vms.write().retain(|w| !w.ptr_eq(&target));
+    }
+
+    /// Wakes parked workers because new work was enqueued.
+    pub(crate) fn signal_work(&self) {
+        let mut epoch = self.shared.work_epoch.lock();
+        *epoch += 1;
+        self.shared.work_cv.notify_all();
+    }
+
+    /// Stops all workers and joins them.  Called automatically on drop.
+    ///
+    /// If the last reference to the machine is dropped *by one of its own
+    /// workers* (possible when a worker holds the final `Arc<Vm>`), that
+    /// worker cannot join itself; it is detached instead and exits on its
+    /// own once the stop flag is visible.
+    pub fn shutdown(&self) {
+        self.shared.stop.store(true, Ordering::Release);
+        self.signal_work();
+        let me = std::thread::current().id();
+        let mut workers = self.workers.lock();
+        for w in workers.drain(..) {
+            if w.thread().id() == me {
+                continue;
+            }
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for PhysicalMachine {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn attached_vms(shared: &MachineShared) -> Vec<Arc<Vm>> {
+    shared.vms.read().iter().filter_map(Weak::upgrade).collect()
+}
+
+fn worker_loop(shared: &MachineShared, index: usize, processors: usize) {
+    while !shared.stop.load(Ordering::Acquire) {
+        let epoch = *shared.work_epoch.lock();
+        let mut did_work = false;
+        for vm in attached_vms(shared) {
+            if vm.is_stopped() {
+                continue;
+            }
+            vm.process_timers();
+            vm.active_slices.fetch_add(1, Ordering::AcqRel);
+            for vp in vm.vps() {
+                if vp.index() % processors == index && !vm.is_stopped() {
+                    did_work |= vp.run_slice(SLICE_BUDGET);
+                }
+            }
+            vm.active_slices.fetch_sub(1, Ordering::AcqRel);
+        }
+        if !did_work {
+            let mut g = shared.work_epoch.lock();
+            if *g == epoch && !shared.stop.load(Ordering::Acquire) {
+                shared
+                    .work_cv
+                    .wait_for(&mut g, shared.tick.max(Duration::from_micros(200)));
+            }
+        }
+    }
+}
+
+fn timekeeper_loop(shared: &MachineShared) {
+    while !shared.stop.load(Ordering::Acquire) {
+        std::thread::sleep(shared.tick);
+        for vm in attached_vms(shared) {
+            for vp in vm.vps() {
+                vp.preempt_flag.store(true, Ordering::Relaxed);
+            }
+            if vm
+                .timers()
+                .next_deadline()
+                .is_some_and(|d| d <= std::time::Instant::now())
+            {
+                vm.process_timers();
+            }
+        }
+    }
+}

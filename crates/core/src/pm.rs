@@ -1,0 +1,131 @@
+//! The policy manager interface.
+//!
+//! The thread controller "defines a thread state transition procedure, but
+//! does not define a priori scheduling or migration policies" — those live
+//! in a [`PolicyManager`], one per virtual processor, entirely replaceable
+//! by applications.  The trait mirrors the paper's six-procedure interface:
+//!
+//! | paper                  | here                                   |
+//! |------------------------|----------------------------------------|
+//! | `pm-get-next-thread`   | [`PolicyManager::get_next_thread`]     |
+//! | `pm-enqueue-thread`    | [`PolicyManager::enqueue_thread`]      |
+//! | `pm-priority`          | [`PolicyManager::set_priority`]        |
+//! | `pm-quantum`           | [`PolicyManager::set_quantum`]         |
+//! | `pm-allocate-vp`       | [`PolicyManager::choose_vp`]           |
+//! | `pm-vp-idle`           | [`PolicyManager::vp_idle`]             |
+//!
+//! `get_next_thread` returns either a fresh thread (no TCB — "a new TCB
+//! must be allocated for it") or a parked TCB ("its associated thread is
+//! evaluating"), exactly the distinction the paper draws.  Migration is
+//! two-sided: an idle VP's `vp_idle` may pull work that a victim VP's
+//! [`PolicyManager::offer_migration`] is willing to give up.
+
+use crate::tcb::Tcb;
+use crate::thread::Thread;
+use crate::vp::Vp;
+use std::sync::Arc;
+
+/// A unit of runnable work handed between the scheduler and a policy
+/// manager.
+#[derive(Debug)]
+pub enum RunItem {
+    /// A thread that has not started evaluating; the VP that picks it up
+    /// allocates a TCB for it.
+    Fresh(Arc<Thread>),
+    /// A thread mid-evaluation (between quanta, or just woken); resuming it
+    /// is a context switch onto its existing TCB.
+    Parked(Tcb),
+}
+
+impl RunItem {
+    /// The thread this item will run.
+    pub fn thread(&self) -> &Arc<Thread> {
+        match self {
+            RunItem::Fresh(t) => t,
+            RunItem::Parked(tcb) => tcb.thread(),
+        }
+    }
+
+    /// Scheduling priority of the underlying thread at this moment.
+    pub fn priority(&self) -> i32 {
+        self.thread().priority()
+    }
+
+    /// Whether this is a fresh (never-run) thread.
+    pub fn is_fresh(&self) -> bool {
+        matches!(self, RunItem::Fresh(_))
+    }
+}
+
+/// The state in which a thread is handed to
+/// [`PolicyManager::enqueue_thread`] (the paper's `state` argument to
+/// `pm-enqueue-thread`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EnqueueState {
+    /// Newly forked, or a delayed thread demanded via `thread-run`.
+    New,
+    /// Voluntarily yielded (`yield-processor`).
+    Yielded,
+    /// Preempted at quantum expiry.
+    Preempted,
+    /// Woken from a block (the paper's kernel-/user-block re-entry).
+    Unblocked,
+    /// Resumed from suspension (timer expiry or explicit `thread-run`).
+    Resumed,
+    /// Migrated in from another VP.
+    Migrated,
+}
+
+/// A scheduling and migration policy for one virtual processor.
+///
+/// Implementations are ordinary user code; see [`crate::policies`] for the
+/// ones shipped with the substrate and the classification (locality,
+/// granularity, structure, serialization) they cover.  The thread
+/// controller is the only caller — "user applications need not be aware of
+/// the policy/thread manager interface".
+pub trait PolicyManager: Send {
+    /// Returns the next item to run on `vp`, or `None` if the VP has no
+    /// local work.
+    fn get_next_thread(&mut self, vp: &Vp) -> Option<RunItem>;
+
+    /// Accepts `item` into the ready set of `vp`; `state` says why the item
+    /// is being enqueued so priorities can differ per cause.
+    fn enqueue_thread(&mut self, vp: &Vp, item: RunItem, state: EnqueueState);
+
+    /// Priority hint for the currently running thread (`pm-priority`).
+    fn set_priority(&mut self, _vp: &Vp, _priority: i32) {}
+
+    /// Quantum hint for the currently running thread (`pm-quantum`).
+    fn set_quantum(&mut self, _vp: &Vp, _quantum: u32) {}
+
+    /// Chooses the VP on which a newly forked thread should first run
+    /// (`pm-allocate-vp` / initial load balancing).  Defaults to `vp`
+    /// itself.
+    fn choose_vp(&mut self, vp: &Vp) -> usize {
+        vp.index()
+    }
+
+    /// Called when `vp` found no local work; may produce migrated work
+    /// (e.g. by pulling from sibling VPs via [`Vp::try_offer_migration`]),
+    /// perform bookkeeping, or return `None` to let the processor move on.
+    fn vp_idle(&mut self, _vp: &Vp) -> Option<RunItem> {
+        None
+    }
+
+    /// Victim side of migration: surrender an item this VP is willing to
+    /// lose, if any.  Policies that forbid migration keep the default.
+    fn offer_migration(&mut self, _vp: &Vp) -> Option<RunItem> {
+        None
+    }
+
+    /// Number of items currently queued (for introspection and tests).
+    fn len(&self) -> usize;
+
+    /// Whether the ready set is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Short policy name for diagnostics.
+    fn name(&self) -> &'static str;
+}

@@ -1,0 +1,372 @@
+//! Policy managers shipped with the substrate.
+//!
+//! Section 3.3 classifies scheduling policies along four dimensions —
+//! *locality* (per-VP vs. global queues), *granularity* (are TCBs and fresh
+//! threads distinguished?), *structure* (FIFO / LIFO / priority / realtime)
+//! and *serialization* (what is locked).  The two types here cover the
+//! whole space the paper discusses:
+//!
+//! * [`LocalQueue`] — a per-VP queue in any [`QueueOrder`], optionally
+//!   migrating (idle VPs pull from siblings; only fresh threads move unless
+//!   [`LocalQueue::migrate_tcbs`] is enabled — the paper's example of keeping
+//!   the evaluating-thread queue lock-free while the scheduled queue is a
+//!   migration target).
+//! * [`GlobalQueue`] — one queue shared by every VP of the machine (the
+//!   master/slave configuration: workers "rarely block", so the contention
+//!   cost buys perfect load sharing).
+//!
+//! Priority orders double as the realtime structure: with
+//! [`QueueOrder::PriorityLow`] and priorities set to deadlines, the queue
+//! is earliest-deadline-first.
+//!
+//! All of these are ordinary implementations of
+//! [`crate::pm::PolicyManager`] — applications are free to
+//! write their own (see `tests/custom_policy.rs` in the repository).
+
+use crate::pm::{EnqueueState, PolicyManager, RunItem};
+use crate::vp::Vp;
+use parking_lot::Mutex;
+use std::collections::{BinaryHeap, VecDeque};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Queue discipline for a policy manager.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueueOrder {
+    /// First-in first-out (fair; round-robin under preemption).
+    Fifo,
+    /// Last-in first-out (depth-first; best for tree-structured
+    /// result-parallel programs — and it maximizes stealing, §4.1.1).
+    Lifo,
+    /// Highest [`priority`](crate::thread::Thread::priority) first
+    /// (speculative scheduling: favour promising tasks).
+    PriorityHigh,
+    /// Lowest priority value first (with priority = deadline this is EDF,
+    /// the realtime structure).
+    PriorityLow,
+}
+
+struct Ranked {
+    key: i64,
+    seq: u64,
+    item: RunItem,
+}
+
+impl PartialEq for Ranked {
+    fn eq(&self, other: &Ranked) -> bool {
+        self.key == other.key && self.seq == other.seq
+    }
+}
+impl Eq for Ranked {}
+impl PartialOrd for Ranked {
+    fn partial_cmp(&self, other: &Ranked) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Ranked {
+    fn cmp(&self, other: &Ranked) -> std::cmp::Ordering {
+        // Max-heap on key, FIFO (lowest seq first) among equals.
+        (self.key, std::cmp::Reverse(self.seq)).cmp(&(other.key, std::cmp::Reverse(other.seq)))
+    }
+}
+
+enum Store {
+    Deque(VecDeque<RunItem>),
+    Heap(BinaryHeap<Ranked>),
+}
+
+impl Store {
+    fn new(order: QueueOrder) -> Store {
+        match order {
+            QueueOrder::Fifo | QueueOrder::Lifo => Store::Deque(VecDeque::new()),
+            _ => Store::Heap(BinaryHeap::new()),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            Store::Deque(d) => d.len(),
+            Store::Heap(h) => h.len(),
+        }
+    }
+
+    fn push(&mut self, order: QueueOrder, seq: u64, item: RunItem) {
+        match self {
+            Store::Deque(d) => d.push_back(item),
+            Store::Heap(h) => {
+                let p = i64::from(item.priority());
+                let key = match order {
+                    QueueOrder::PriorityHigh => p,
+                    _ => -p,
+                };
+                h.push(Ranked { key, seq, item });
+            }
+        }
+    }
+
+    fn pop(&mut self, order: QueueOrder) -> Option<RunItem> {
+        match self {
+            Store::Deque(d) => match order {
+                QueueOrder::Fifo => d.pop_front(),
+                _ => d.pop_back(),
+            },
+            Store::Heap(h) => h.pop().map(|r| r.item),
+        }
+    }
+
+    /// Removes a migration candidate from the "cold" end: the opposite end
+    /// of the owner's pop for deques, the top for heaps.  Only fresh
+    /// threads are taken unless `tcbs_ok`.
+    fn steal(&mut self, order: QueueOrder, tcbs_ok: bool) -> Option<RunItem> {
+        match self {
+            Store::Deque(d) => {
+                let idx = match order {
+                    // Owner pops front; thief scans from the back.
+                    QueueOrder::Fifo => (0..d.len()).rev().find(|&i| tcbs_ok || d[i].is_fresh()),
+                    // Owner pops back; thief scans from the front.
+                    _ => (0..d.len()).find(|&i| tcbs_ok || d[i].is_fresh()),
+                }?;
+                d.remove(idx)
+            }
+            Store::Heap(h) => {
+                if !tcbs_ok && !h.peek().map(|r| r.item.is_fresh()).unwrap_or(false) {
+                    return None;
+                }
+                h.pop().map(|r| r.item)
+            }
+        }
+    }
+}
+
+/// A per-VP ready queue (the *local* locality class).
+pub struct LocalQueue {
+    order: QueueOrder,
+    store: Store,
+    seq: u64,
+    migrating: bool,
+    migrate_tcbs: bool,
+    place_round_robin: bool,
+    next_place: usize,
+}
+
+impl std::fmt::Debug for LocalQueue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LocalQueue")
+            .field("order", &self.order)
+            .field("len", &self.store.len())
+            .field("migrating", &self.migrating)
+            .finish()
+    }
+}
+
+impl LocalQueue {
+    /// Creates a local queue with the given discipline.
+    pub fn new(order: QueueOrder) -> LocalQueue {
+        LocalQueue {
+            order,
+            store: Store::new(order),
+            seq: 0,
+            migrating: false,
+            migrate_tcbs: false,
+            place_round_robin: false,
+            next_place: 0,
+        }
+    }
+
+    /// Enables pulling work from sibling VPs when idle, and offering work
+    /// to idle siblings.  Also turns on round-robin initial placement.
+    pub fn migrating(mut self, yes: bool) -> LocalQueue {
+        self.migrating = yes;
+        self.place_round_robin = yes;
+        self
+    }
+
+    /// Allows parked TCBs (evaluating threads) to migrate, not just fresh
+    /// threads.  Costs locality; see the policy shape experiment.
+    pub fn migrate_tcbs(mut self, yes: bool) -> LocalQueue {
+        self.migrate_tcbs = yes;
+        self
+    }
+
+    /// Forked threads are placed round-robin over the machine's VPs rather
+    /// than on the forking VP.
+    pub fn place_round_robin(mut self, yes: bool) -> LocalQueue {
+        self.place_round_robin = yes;
+        self
+    }
+
+    /// Boxes the policy for [`VmBuilder::policy`](crate::builder::VmBuilder::policy).
+    pub fn boxed(self) -> Box<dyn PolicyManager> {
+        Box::new(self)
+    }
+}
+
+impl PolicyManager for LocalQueue {
+    fn get_next_thread(&mut self, _vp: &Vp) -> Option<RunItem> {
+        self.store.pop(self.order)
+    }
+
+    fn enqueue_thread(&mut self, _vp: &Vp, item: RunItem, _state: EnqueueState) {
+        self.seq += 1;
+        self.store.push(self.order, self.seq, item);
+    }
+
+    fn choose_vp(&mut self, vp: &Vp) -> usize {
+        if self.place_round_robin {
+            let n = vp.vm().vp_count();
+            self.next_place = (self.next_place + 1) % n.max(1);
+            self.next_place
+        } else {
+            vp.index()
+        }
+    }
+
+    fn vp_idle(&mut self, vp: &Vp) -> Option<RunItem> {
+        if !self.migrating {
+            return None;
+        }
+        let vm = vp.vm();
+        let me = vp.index();
+        let n = vm.vp_count();
+        for d in 1..n {
+            let victim = &vm.vps()[(me + d) % n];
+            if let Some(item) = victim.try_offer_migration(vp) {
+                return Some(item);
+            }
+        }
+        None
+    }
+
+    fn offer_migration(&mut self, _vp: &Vp) -> Option<RunItem> {
+        if !self.migrating {
+            return None;
+        }
+        self.store.steal(self.order, self.migrate_tcbs)
+    }
+
+    fn len(&self) -> usize {
+        self.store.len()
+    }
+
+    fn name(&self) -> &'static str {
+        match (self.order, self.migrating) {
+            (QueueOrder::Fifo, false) => "local-fifo",
+            (QueueOrder::Fifo, true) => "migrating-fifo",
+            (QueueOrder::Lifo, false) => "local-lifo",
+            (QueueOrder::Lifo, true) => "migrating-lifo",
+            (QueueOrder::PriorityHigh, _) => "priority-high",
+            (QueueOrder::PriorityLow, _) => "priority-low",
+        }
+    }
+}
+
+/// A queue shared by all VPs of a machine (the *global* locality class).
+///
+/// Clone one handle per VP via [`GlobalQueue::policy`]:
+///
+/// ```
+/// use sting_core::policies::{GlobalQueue, QueueOrder};
+/// use sting_core::VmBuilder;
+///
+/// let q = GlobalQueue::shared(QueueOrder::Fifo);
+/// let vm = VmBuilder::new()
+///     .vps(2)
+///     .policy(move |_vp| q.policy())
+///     .build();
+/// assert_eq!(vm.vp(0).unwrap().policy_name(), "global-fifo");
+/// vm.shutdown();
+/// ```
+pub struct GlobalQueue {
+    order: QueueOrder,
+    inner: Arc<Mutex<(Store, u64)>>,
+    next_place: Arc<AtomicUsize>,
+}
+
+impl Clone for GlobalQueue {
+    fn clone(&self) -> GlobalQueue {
+        GlobalQueue {
+            order: self.order,
+            inner: self.inner.clone(),
+            next_place: self.next_place.clone(),
+        }
+    }
+}
+
+impl std::fmt::Debug for GlobalQueue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GlobalQueue")
+            .field("order", &self.order)
+            .field("len", &self.inner.lock().0.len())
+            .finish()
+    }
+}
+
+impl GlobalQueue {
+    /// Creates the shared queue; clone the handle into each VP's policy.
+    pub fn shared(order: QueueOrder) -> GlobalQueue {
+        GlobalQueue {
+            order,
+            inner: Arc::new(Mutex::new((Store::new(order), 0))),
+            next_place: Arc::new(AtomicUsize::new(0)),
+        }
+    }
+
+    /// A boxed per-VP policy backed by this shared queue.
+    pub fn policy(&self) -> Box<dyn PolicyManager> {
+        Box::new(self.clone())
+    }
+}
+
+impl PolicyManager for GlobalQueue {
+    fn get_next_thread(&mut self, _vp: &Vp) -> Option<RunItem> {
+        let mut g = self.inner.lock();
+        g.0.pop(self.order)
+    }
+
+    fn enqueue_thread(&mut self, _vp: &Vp, item: RunItem, _state: EnqueueState) {
+        let mut g = self.inner.lock();
+        g.1 += 1;
+        let seq = g.1;
+        g.0.push(self.order, seq, item);
+    }
+
+    fn choose_vp(&mut self, vp: &Vp) -> usize {
+        // Spread forks: any VP will pull from the shared queue anyway, but
+        // the wake-up target matters for locality.
+        let n = vp.vm().vp_count().max(1);
+        self.next_place.fetch_add(1, Ordering::Relaxed) % n
+    }
+
+    fn len(&self) -> usize {
+        self.inner.lock().0.len()
+    }
+
+    fn name(&self) -> &'static str {
+        match self.order {
+            QueueOrder::Fifo => "global-fifo",
+            QueueOrder::Lifo => "global-lifo",
+            QueueOrder::PriorityHigh => "global-priority-high",
+            QueueOrder::PriorityLow => "global-priority-low",
+        }
+    }
+}
+
+/// A per-VP FIFO queue (fair round-robin under preemption).
+pub fn local_fifo() -> LocalQueue {
+    LocalQueue::new(QueueOrder::Fifo)
+}
+
+/// A per-VP LIFO queue (depth-first; maximizes stealing).
+pub fn local_lifo() -> LocalQueue {
+    LocalQueue::new(QueueOrder::Lifo)
+}
+
+/// A per-VP highest-priority-first queue (speculative scheduling).
+pub fn priority_high() -> LocalQueue {
+    LocalQueue::new(QueueOrder::PriorityHigh)
+}
+
+/// A per-VP lowest-value-first queue (EDF when priority = deadline).
+pub fn priority_low() -> LocalQueue {
+    LocalQueue::new(QueueOrder::PriorityLow)
+}

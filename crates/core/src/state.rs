@@ -1,0 +1,175 @@
+//! The thread state machine.
+//!
+//! The paper's Section 3.1 names five "static" states — *delayed*,
+//! *scheduled*, *evaluating*, *stolen* and *determined* — plus the dynamic
+//! TCB-level conditions *blocked* and *suspended* that an evaluating thread
+//! may be in.  We flatten both levels into one observable [`ThreadState`];
+//! the TCB is present exactly in the `Evaluating`/`Blocked`/`Suspended`
+//! states.
+//!
+//! State changes requested by *other* threads are not applied directly:
+//! they are recorded as [`StateRequest`]s and honoured by the target at its
+//! next thread-controller entry — "only threads can actually effect a
+//! change to their own state", which is what lets a TCB transition without
+//! acquiring locks in the paper.  Requests that would violate the
+//! transition relation (checked by [`ThreadState::can_request`]) are
+//! rejected at record time.
+
+use sting_value::Value;
+
+/// Observable state of a STING thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum ThreadState {
+    /// Created lazily (`create-thread`); runs only if demanded.
+    Delayed = 0,
+    /// Placed in some policy manager's ready queue; no TCB yet.
+    Scheduled = 1,
+    /// Running (has a TCB); includes being in a ready queue between quanta.
+    Evaluating = 2,
+    /// Blocked on another thread or synchronization object (TCB parked).
+    Blocked = 3,
+    /// Suspended, possibly with a wake-up time (TCB parked).
+    Suspended = 4,
+    /// Thunk was absorbed by another thread's TCB (see `steal`).
+    Stolen = 5,
+    /// Completed; the result value (or exception) is available.
+    Determined = 6,
+}
+
+impl ThreadState {
+    /// Decodes the `u8` representation used in the thread's atomic state
+    /// word.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a byte that is not a valid state.
+    pub fn from_u8(b: u8) -> ThreadState {
+        match b {
+            0 => ThreadState::Delayed,
+            1 => ThreadState::Scheduled,
+            2 => ThreadState::Evaluating,
+            3 => ThreadState::Blocked,
+            4 => ThreadState::Suspended,
+            5 => ThreadState::Stolen,
+            6 => ThreadState::Determined,
+            other => panic!("invalid thread state byte {other}"),
+        }
+    }
+
+    /// Whether the thread has finished (its value is available).
+    pub fn is_determined(self) -> bool {
+        self == ThreadState::Determined
+    }
+
+    /// Whether a TCB exists in this state.
+    pub fn has_tcb(self) -> bool {
+        matches!(
+            self,
+            ThreadState::Evaluating | ThreadState::Blocked | ThreadState::Suspended
+        )
+    }
+
+    /// Whether this thread can still be claimed for fresh execution or
+    /// stealing (no TCB allocated yet).
+    pub fn is_claimable(self) -> bool {
+        matches!(self, ThreadState::Delayed | ThreadState::Scheduled)
+    }
+
+    /// Validates an *asynchronous* request against the paper's transition
+    /// semantics ("state changes are recorded only if they do not violate
+    /// the state transition semantics").
+    pub fn can_request(self, request: &StateRequest) -> bool {
+        match self {
+            // Determined and stolen threads accept no further requests.
+            ThreadState::Determined | ThreadState::Stolen => false,
+            ThreadState::Delayed | ThreadState::Scheduled => match request {
+                // A thread with no TCB can be terminated or scheduled, but
+                // "evaluating threads cannot be subsequently scheduled" and
+                // blocking needs a TCB to park.
+                StateRequest::Terminate(_) | StateRequest::Raise(_) => true,
+                StateRequest::Block | StateRequest::Suspend(_) => false,
+                StateRequest::Resume => matches!(self, ThreadState::Delayed),
+            },
+            ThreadState::Evaluating => !matches!(request, StateRequest::Resume),
+            ThreadState::Blocked | ThreadState::Suspended => true,
+        }
+    }
+}
+
+/// An asynchronous state-change request made by another thread, honoured at
+/// the target's next thread-controller entry.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StateRequest {
+    /// Terminate with the given result value (`thread-terminate`).
+    Terminate(Value),
+    /// Raise an exception in the target (`thread-raise!`): the target
+    /// unwinds (running its cleanups) and determines with `Err(value)`
+    /// unless a handler on its stack catches the exception.
+    Raise(Value),
+    /// Block indefinitely (`thread-block`).
+    Block,
+    /// Suspend; `Some(d)` resumes automatically after roughly `d`
+    /// (`thread-suspend` with a quantum argument).
+    Suspend(Option<std::time::Duration>),
+    /// Resume a blocked/suspended/delayed thread (`thread-run`).
+    Resume,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_u8() {
+        for s in [
+            ThreadState::Delayed,
+            ThreadState::Scheduled,
+            ThreadState::Evaluating,
+            ThreadState::Blocked,
+            ThreadState::Suspended,
+            ThreadState::Stolen,
+            ThreadState::Determined,
+        ] {
+            assert_eq!(ThreadState::from_u8(s as u8), s);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid thread state byte")]
+    fn rejects_bad_byte() {
+        let _ = ThreadState::from_u8(99);
+    }
+
+    #[test]
+    fn predicates() {
+        assert!(ThreadState::Determined.is_determined());
+        assert!(!ThreadState::Evaluating.is_determined());
+        assert!(ThreadState::Blocked.has_tcb());
+        assert!(!ThreadState::Scheduled.has_tcb());
+        assert!(ThreadState::Delayed.is_claimable());
+        assert!(ThreadState::Scheduled.is_claimable());
+        assert!(!ThreadState::Evaluating.is_claimable());
+    }
+
+    #[test]
+    fn request_legality_matches_paper() {
+        // "terminated threads cannot become subsequently blocked"
+        assert!(!ThreadState::Determined.can_request(&StateRequest::Block));
+        // "evaluating threads cannot be subsequently scheduled"
+        assert!(!ThreadState::Evaluating.can_request(&StateRequest::Resume));
+        // Evaluating threads can be asked to block, suspend, terminate.
+        assert!(ThreadState::Evaluating.can_request(&StateRequest::Block));
+        assert!(ThreadState::Evaluating.can_request(&StateRequest::Suspend(None)));
+        assert!(ThreadState::Evaluating.can_request(&StateRequest::Terminate(Value::Unit)));
+        // Delayed threads can be demanded (resume == thread-run).
+        assert!(ThreadState::Delayed.can_request(&StateRequest::Resume));
+        // Scheduled threads are already on a queue.
+        assert!(!ThreadState::Scheduled.can_request(&StateRequest::Resume));
+        // Blocked threads can be resumed or killed.
+        assert!(ThreadState::Blocked.can_request(&StateRequest::Resume));
+        assert!(ThreadState::Blocked.can_request(&StateRequest::Terminate(Value::Unit)));
+        // Threads without a TCB cannot park.
+        assert!(!ThreadState::Delayed.can_request(&StateRequest::Block));
+    }
+}

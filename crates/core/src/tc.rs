@@ -1,0 +1,696 @@
+//! The thread controller: synchronous state transitions on the current
+//! thread.
+//!
+//! These are the paper's TC operations (Section 3.1):
+//!
+//! | paper                      | here                                    |
+//! |----------------------------|-----------------------------------------|
+//! | `(fork-thread expr vp)`    | [`Cx::fork_on`] / [`Vm::fork_on`]       |
+//! | `(create-thread expr)`     | [`Cx::delayed`] / [`Vm::delayed`]       |
+//! | `(thread-run thread vp)`   | [`thread_run`]                          |
+//! | `(thread-wait thread)`     | [`wait`]                                |
+//! | `(thread-value thread)`    | [`touch`] (with stealing) / [`wait`]    |
+//! | `(thread-block thread)`    | [`thread_block`]                        |
+//! | `(thread-suspend thread)`  | [`thread_suspend`]                      |
+//! | `(thread-terminate t v)`   | [`thread_terminate`]                    |
+//! | `(yield-processor)`        | [`yield_now`]                           |
+//! | `(current-thread)`         | [`current_thread`]                      |
+//! | `(current-vp)`             | [`current_vp`]                          |
+//!
+//! Operations on *other* threads only record requests (see
+//! [`Thread::request`]); operations on the current thread take effect
+//! immediately.  A thread also enters the controller on preemption — in
+//! this implementation, whenever it calls [`checkpoint`], which the Scheme
+//! virtual machine does automatically every few instructions.
+//!
+//! [`Vm::fork_on`]: crate::vm::Vm::fork_on
+//! [`Vm::delayed`]: crate::vm::Vm::delayed
+
+use crate::counters::Counters;
+use crate::error::CoreError;
+use crate::state::{StateRequest, ThreadState};
+use crate::tcb::{Disposition, ThreadSuspender, Wakeup};
+use crate::thread::{Thread, ThreadResult, Thunk, TryThunk, WaitNode};
+use crate::tls;
+use crate::vm::Vm;
+use crate::vp::Vp;
+use sting_value::Value;
+use std::marker::PhantomData;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Panic payload carrying a `thread-terminate` request through the stack of
+/// the terminating thread; converted to the thread's result at its entry
+/// frame.
+pub(crate) struct TerminatePayload(pub Value);
+
+/// Panic payload for a raised (Scheme-level) exception; converted to an
+/// `Err` result at the thread entry frame if no handler catches it.
+pub(crate) struct ExceptionPayload(pub Value);
+
+/// Capability token proving the caller is running on a STING thread.
+///
+/// Thunks receive `&Cx`; its methods are infallible versions of the free
+/// functions in this module.  `Cx` is `!Send`, so it cannot leak to OS
+/// threads that are not running a STING thread.
+pub struct Cx {
+    _not_send: PhantomData<*mut ()>,
+}
+
+impl std::fmt::Debug for Cx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Cx")
+    }
+}
+
+impl Cx {
+    pub(crate) fn new() -> Cx {
+        Cx {
+            _not_send: PhantomData,
+        }
+    }
+
+    /// Obtains the capability token if the caller is running on a STING
+    /// thread (language runtimes use this to reach the controller from
+    /// primitive implementations).
+    pub fn current() -> Option<Cx> {
+        tls::on_thread().then(Cx::new)
+    }
+
+    /// The thread whose code is currently executing (the stolen thread
+    /// during a steal).
+    pub fn current_thread(&self) -> Arc<Thread> {
+        current_thread().expect("Cx exists off-thread")
+    }
+
+    /// The virtual processor this thread is running on.
+    pub fn current_vp(&self) -> Arc<Vp> {
+        current_vp().expect("Cx exists off-thread")
+    }
+
+    /// The virtual machine.
+    pub fn vm(&self) -> Arc<Vm> {
+        self.current_vp().vm()
+    }
+
+    /// Relinquishes the VP; the thread goes back to its policy manager's
+    /// ready queue (`yield-processor`).
+    pub fn yield_now(&self) {
+        yield_now().expect("Cx exists off-thread");
+    }
+
+    /// Polls for preemption and asynchronous state-change requests; called
+    /// automatically by the Scheme VM, manually from long-running native
+    /// code.
+    pub fn checkpoint(&self) {
+        checkpoint();
+    }
+
+    /// Forks `f` as a new thread scheduled on the VP chosen by the current
+    /// VP's policy manager (`pm-allocate-vp`).
+    pub fn fork<F, V>(&self, f: F) -> Arc<Thread>
+    where
+        F: FnOnce(&Cx) -> V + Send + 'static,
+        V: Into<Value>,
+    {
+        let vm = self.vm();
+        let vp = {
+            let cur = self.current_vp();
+            let choice = cur.pm.lock().choose_vp(&cur);
+            choice % vm.vp_count()
+        };
+        vm.spawn_with(erase(f), ThreadState::Scheduled, Some(vp), None)
+    }
+
+    /// Like [`Cx::fork`] for bodies that produce a `Result`: an `Err`
+    /// becomes the thread's exception outcome without unwinding.
+    pub fn fork_try<F, V>(&self, f: F) -> Arc<Thread>
+    where
+        F: FnOnce(&Cx) -> Result<V, Value> + Send + 'static,
+        V: Into<Value>,
+    {
+        let vm = self.vm();
+        let vp = {
+            let cur = self.current_vp();
+            let choice = cur.pm.lock().choose_vp(&cur);
+            choice % vm.vp_count()
+        };
+        vm.spawn_with(erase_try(f), ThreadState::Scheduled, Some(vp), None)
+    }
+
+    /// Like [`Cx::fork_on`] for `Result`-producing bodies.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::VpOutOfRange`] if `vp` is not a valid index.
+    pub fn fork_on_try<F, V>(&self, vp: usize, f: F) -> Result<Arc<Thread>, CoreError>
+    where
+        F: FnOnce(&Cx) -> Result<V, Value> + Send + 'static,
+        V: Into<Value>,
+    {
+        let vm = self.vm();
+        if vp >= vm.vp_count() {
+            return Err(CoreError::VpOutOfRange {
+                index: vp,
+                len: vm.vp_count(),
+            });
+        }
+        Ok(vm.spawn_with(erase_try(f), ThreadState::Scheduled, Some(vp), None))
+    }
+
+    /// Like [`Cx::delayed`] for `Result`-producing bodies.
+    pub fn delayed_try<F, V>(&self, f: F) -> Arc<Thread>
+    where
+        F: FnOnce(&Cx) -> Result<V, Value> + Send + 'static,
+        V: Into<Value>,
+    {
+        self.vm()
+            .spawn_with(erase_try(f), ThreadState::Delayed, None, None)
+    }
+
+    /// Forks `f` on virtual processor `vp` (`fork-thread expr vp`).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::VpOutOfRange`] if `vp` is not a valid index.
+    pub fn fork_on<F, V>(&self, vp: usize, f: F) -> Result<Arc<Thread>, CoreError>
+    where
+        F: FnOnce(&Cx) -> V + Send + 'static,
+        V: Into<Value>,
+    {
+        let vm = self.vm();
+        vm.fork_on(vp, f)
+    }
+
+    /// Creates a delayed thread: it runs only if demanded with [`touch`] /
+    /// [`thread_run`] (`create-thread`).
+    pub fn delayed<F, V>(&self, f: F) -> Arc<Thread>
+    where
+        F: FnOnce(&Cx) -> V + Send + 'static,
+        V: Into<Value>,
+    {
+        self.vm().delayed(f)
+    }
+
+    /// Blocks until `thread` determines and returns its result
+    /// (`thread-wait` + `thread-value`, without stealing).
+    pub fn wait(&self, thread: &Arc<Thread>) -> ThreadResult {
+        wait(thread)
+    }
+
+    /// Demands `thread`'s value, absorbing its thunk into this thread's TCB
+    /// when legal (`touch` with the stealing optimization of §4.1.1).
+    pub fn touch(&self, thread: &Arc<Thread>) -> ThreadResult {
+        touch(thread)
+    }
+
+    /// Blocks the current thread; some other thread must hold an
+    /// `Arc<Thread>` to it and resume it later.  `blocker` describes what
+    /// we are blocked on (visible via [`Thread::blocker`]).
+    ///
+    /// Wake-ups can be spurious: callers must re-check their condition.
+    pub fn block(&self, blocker: Option<Value>) {
+        block_current(blocker).expect("Cx exists off-thread");
+    }
+
+    /// Suspends the current thread; with `Some(d)` it resumes automatically
+    /// after roughly `d` (`thread-suspend`).
+    pub fn suspend(&self, duration: Option<Duration>) {
+        suspend_current(duration).expect("Cx exists off-thread");
+    }
+
+    /// Sleeps for roughly `d` without occupying the VP.
+    pub fn sleep(&self, d: Duration) {
+        self.suspend(Some(d));
+    }
+
+    /// Raises an exception on the current thread.  If nothing catches it,
+    /// the thread determines with `Err(value)` and waiters observe the
+    /// exception (exception handling crosses thread boundaries).
+    pub fn raise(&self, value: Value) -> ! {
+        panic::panic_any(ExceptionPayload(value))
+    }
+
+    /// Terminates the current thread with `value` as its result.
+    pub fn terminate(&self, value: Value) -> ! {
+        panic::panic_any(TerminatePayload(value))
+    }
+
+    /// Runs `f` with preemption disabled (`without-preemption`); nests.
+    /// A preemption arriving meanwhile is honoured right after `f`.
+    pub fn without_preemption<R>(&self, f: impl FnOnce() -> R) -> R {
+        let cur = tls::current().expect("Cx exists off-thread");
+        cur.shared.preempt_disabled.fetch_add(1, Ordering::Relaxed);
+        let r = f();
+        cur.shared.preempt_disabled.fetch_sub(1, Ordering::Relaxed);
+        checkpoint();
+        r
+    }
+
+    /// Sets the current thread's priority and informs the policy manager
+    /// (`pm-priority`).
+    pub fn set_priority(&self, priority: i32) {
+        let cur = tls::current().expect("Cx exists off-thread");
+        cur.shared.thread.set_priority(priority);
+        cur.vp.pm.lock().set_priority(&cur.vp, priority);
+    }
+
+    /// Sets the current thread's quantum in ticks and informs the policy
+    /// manager (`pm-quantum`).
+    pub fn set_quantum(&self, ticks: u32) {
+        let cur = tls::current().expect("Cx exists off-thread");
+        cur.shared.thread.set_quantum(ticks);
+        cur.vp.pm.lock().set_quantum(&cur.vp, ticks);
+    }
+}
+
+pub(crate) fn erase<F, V>(f: F) -> TryThunk
+where
+    F: FnOnce(&Cx) -> V + Send + 'static,
+    V: Into<Value>,
+{
+    Box::new(move |cx| Ok(f(cx).into()))
+}
+
+pub(crate) fn erase_try<F, V>(f: F) -> TryThunk
+where
+    F: FnOnce(&Cx) -> Result<V, Value> + Send + 'static,
+    V: Into<Value>,
+{
+    Box::new(move |cx| f(cx).map(Into::into))
+}
+
+/// Boxes a plain [`Thunk`] as a [`TryThunk`].
+pub(crate) fn lift(thunk: Thunk) -> TryThunk {
+    Box::new(move |cx| Ok(thunk(cx)))
+}
+
+/// The body run by every thread fiber: applies early requests, runs the
+/// thunk, and maps unwinds to results.
+pub(crate) fn thread_main(thunk: TryThunk) -> ThreadResult {
+    let cx = Cx::new();
+    apply_requests();
+    map_unwind(panic::catch_unwind(AssertUnwindSafe(move || thunk(&cx))))
+}
+
+/// Converts a caught unwind into a thread result, re-raising forced
+/// unwinds (fiber cancellation) which must propagate.
+pub(crate) fn map_unwind(
+    r: Result<ThreadResult, Box<dyn std::any::Any + Send>>,
+) -> ThreadResult {
+    match r {
+        Ok(v) => v,
+        Err(p) => {
+            if p.is::<sting_context::ForcedUnwind>() {
+                panic::resume_unwind(p);
+            } else if let Some(t) = p.downcast_ref::<TerminatePayload>() {
+                Ok(t.0.clone())
+            } else if let Some(e) = p.downcast_ref::<ExceptionPayload>() {
+                Err(e.0.clone())
+            } else if let Some(s) = p.downcast_ref::<&str>() {
+                Err(Value::from(format!("panic: {s}")))
+            } else if let Some(s) = p.downcast_ref::<String>() {
+                Err(Value::from(format!("panic: {s}")))
+            } else {
+                Err(Value::from("panic: (opaque payload)"))
+            }
+        }
+    }
+}
+
+/// Whether the calling OS thread is currently executing a STING thread.
+pub fn on_thread() -> bool {
+    tls::on_thread()
+}
+
+/// Installs (once per process) a panic hook that stays silent for the
+/// substrate's internal control-flow payloads — thread termination,
+/// raised Scheme exceptions, fiber cancellation — which are panics only as
+/// an unwinding mechanism, never bugs.  Real panics still print.
+pub(crate) fn install_quiet_panic_hook() {
+    use std::sync::Once;
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            let p = info.payload();
+            if p.is::<TerminatePayload>()
+                || p.is::<ExceptionPayload>()
+                || p.is::<sting_context::ForcedUnwind>()
+            {
+                return;
+            }
+            prev(info);
+        }));
+    });
+}
+
+/// The currently executing thread (`current-thread`), if on one.
+pub fn current_thread() -> Option<Arc<Thread>> {
+    tls::current().map(|c| c.shared.current_identity())
+}
+
+/// The thread owning the current TCB.  During a steal this is the
+/// *stealer*, not the stolen thread ([`current_thread`]) — blocking parks
+/// the TCB owner, so synchronization structures must register **this**
+/// thread as their waiter and later [`unblock`] it.
+pub fn current_owner() -> Option<Arc<Thread>> {
+    tls::current().map(|c| c.shared.thread.clone())
+}
+
+/// The current virtual processor (`current-vp`), if on a thread.
+pub fn current_vp() -> Option<Arc<Vp>> {
+    tls::current().map(|c| c.vp)
+}
+
+/// Switches back to the scheduler with `disposition`; returns on resume.
+pub(crate) fn switch_out(disposition: Disposition) -> Wakeup {
+    let cur = tls::current().expect("switch_out called off-thread");
+    let sus = cur.shared.suspender.load(Ordering::Acquire) as *mut ThreadSuspender;
+    debug_assert!(!sus.is_null(), "suspender not registered");
+    drop(cur);
+    // SAFETY: the suspender lives on this fiber's stack for the fiber's
+    // whole lifetime, and only the fiber's own code (us) dereferences it.
+    let wake = unsafe { (*sus).suspend(disposition) };
+    apply_requests();
+    wake
+}
+
+/// Applies asynchronous state-change requests queued against the TCB's
+/// owning thread (the paper's "requested state transitions ... take place
+/// only when the target thread next makes a TC call").
+pub(crate) fn apply_requests() {
+    let Some(cur) = tls::current() else { return };
+    let thread = cur.shared.thread.clone();
+    drop(cur);
+    for req in thread.take_requests() {
+        match req {
+            StateRequest::Terminate(v) => panic::panic_any(TerminatePayload(v)),
+            StateRequest::Raise(v) => panic::panic_any(ExceptionPayload(v)),
+            StateRequest::Block => {
+                switch_out(Disposition::Blocked);
+            }
+            StateRequest::Suspend(d) => {
+                if let (Some(d), Some(vm)) = (d, thread.vm()) {
+                    vm.timers().add(std::time::Instant::now() + d, thread.clone());
+                }
+                switch_out(Disposition::Suspended);
+            }
+            StateRequest::Resume => {}
+        }
+    }
+}
+
+/// Preemption/request poll point.  No-op off-thread.  Long-running native
+/// code should call this periodically; the Scheme VM does it per bytecode
+/// window.
+pub fn checkpoint() {
+    let Some(cur) = tls::current() else { return };
+    if let Some(vm) = cur.vp.vm_weak().upgrade() {
+        if vm.is_stopped() {
+            panic::panic_any(ExceptionPayload(Value::sym("vm-shutdown")));
+        }
+    }
+    apply_requests();
+    let disabled = cur.shared.preempt_disabled.load(Ordering::Relaxed) > 0;
+    if cur.vp.preempt_flag.load(Ordering::Relaxed) {
+        if disabled {
+            // Remember it; honoured when preemption is re-enabled.
+            cur.shared.deferred_preempt.store(true, Ordering::Relaxed);
+            return;
+        }
+        cur.vp.preempt_flag.store(false, Ordering::Relaxed);
+        let ticks = cur.shared.ticks_left.load(Ordering::Relaxed);
+        if ticks <= 1 {
+            drop(cur);
+            switch_out(Disposition::Yielded { preempted: true });
+        } else {
+            cur.shared.ticks_left.store(ticks - 1, Ordering::Relaxed);
+        }
+    } else if !disabled && cur.shared.deferred_preempt.swap(false, Ordering::Relaxed) {
+        drop(cur);
+        switch_out(Disposition::Yielded { preempted: true });
+    }
+}
+
+/// Yields the VP to the next ready thread (`yield-processor`).
+///
+/// # Errors
+///
+/// [`CoreError::NotOnThread`] when called from a non-STING OS thread.
+pub fn yield_now() -> Result<(), CoreError> {
+    if !tls::on_thread() {
+        return Err(CoreError::NotOnThread);
+    }
+    switch_out(Disposition::Yielded { preempted: false });
+    Ok(())
+}
+
+/// Blocks the current thread until something unblocks it; see
+/// [`Cx::block`].
+///
+/// # Errors
+///
+/// [`CoreError::NotOnThread`] when called from a non-STING OS thread.
+pub fn block_current(blocker: Option<Value>) -> Result<(), CoreError> {
+    let cur = tls::current().ok_or(CoreError::NotOnThread)?;
+    let thread = cur.shared.thread.clone();
+    drop(cur);
+    thread.core.lock().blocker = blocker;
+    switch_out(Disposition::Blocked);
+    Ok(())
+}
+
+/// Suspends the current thread, optionally auto-resuming after `duration`;
+/// see [`Cx::suspend`].
+///
+/// # Errors
+///
+/// [`CoreError::NotOnThread`] when called from a non-STING OS thread.
+pub fn suspend_current(duration: Option<Duration>) -> Result<(), CoreError> {
+    let cur = tls::current().ok_or(CoreError::NotOnThread)?;
+    let thread = cur.shared.thread.clone();
+    drop(cur);
+    if let (Some(d), Some(vm)) = (duration, thread.vm()) {
+        vm.timers().add(std::time::Instant::now() + d, thread.clone());
+    }
+    switch_out(Disposition::Suspended);
+    Ok(())
+}
+
+/// Blocks until `thread` determines, returning its result.  On a STING
+/// thread this parks only the green thread; on a plain OS thread it falls
+/// back to [`Thread::join_blocking`].
+pub fn wait(thread: &Arc<Thread>) -> ThreadResult {
+    if !tls::on_thread() {
+        return thread.join_blocking();
+    }
+    loop {
+        if let Some(r) = thread.result() {
+            return r;
+        }
+        let cur = tls::current().expect("on thread");
+        let waiter = cur.shared.thread.clone();
+        drop(cur);
+        let node = WaitNode::new(waiter, 1);
+        if thread.add_wait_node(&node) {
+            let _ = block_current(Some(thread.to_value()));
+            // Loop: wake-ups may be spurious.
+        }
+    }
+}
+
+/// How deep steals may nest on one TCB before `touch` falls back to
+/// scheduling + blocking.  Each nested steal consumes machine stack on the
+/// stealer's TCB; unbounded chains (e.g. a long dependency chain of
+/// delayed futures) would overflow it.
+pub const MAX_STEAL_DEPTH: u32 = 32;
+
+/// Demands `thread`'s value with the stealing optimization: a delayed or
+/// scheduled stealable thread is run directly on the caller's TCB as a
+/// procedure call, avoiding a context switch and a TCB allocation
+/// (§4.1.1).  Otherwise equivalent to [`wait`].  Steals nest at most
+/// [`MAX_STEAL_DEPTH`] deep; beyond that the target is scheduled and
+/// waited on instead (semantically equivalent, bounded stack).
+pub fn touch(thread: &Arc<Thread>) -> ThreadResult {
+    loop {
+        match thread.state() {
+            ThreadState::Determined => {
+                return thread.result().expect("determined");
+            }
+            s if s.is_claimable() && thread.is_stealable() && tls::on_thread() => {
+                let cur = tls::current().expect("on thread");
+                if cur.shared.steal_depth.load(Ordering::Relaxed) >= MAX_STEAL_DEPTH {
+                    drop(cur);
+                    // Too deep: hand the thread to the scheduler and park.
+                    if s == ThreadState::Delayed {
+                        let vp = current_vp().map(|v| v.index()).unwrap_or(0);
+                        let _ = thread_run(thread, vp);
+                    }
+                    return wait(thread);
+                }
+                drop(cur);
+                if let Some(thunk) = thread.claim(ThreadState::Stolen) {
+                    return run_stolen(thread, thunk);
+                }
+                // Lost the race; re-inspect the new state.
+            }
+            s => {
+                // Touch *is* the demand: a delayed thread that cannot be
+                // stolen must still be scheduled, or the wait would never
+                // end ("a delayed thread will never be run unless the value
+                // of the thread is explicitly demanded").
+                if s == ThreadState::Delayed {
+                    let vp = current_vp().map(|v| v.index()).unwrap_or(0);
+                    let _ = thread_run(thread, vp);
+                }
+                return wait(thread);
+            }
+        }
+    }
+}
+
+/// Runs a stolen thunk on the current TCB under the stolen thread's
+/// identity, determining the stolen thread with the outcome.
+fn run_stolen(thread: &Arc<Thread>, thunk: TryThunk) -> ThreadResult {
+    let cur = tls::current().expect("stealing requires a thread");
+    if let Some(vm) = thread.vm() {
+        Counters::bump(&vm.counters().steals);
+    }
+    cur.shared.steal_depth.fetch_add(1, Ordering::Relaxed);
+    cur.shared.identity.lock().push(thread.clone());
+    let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
+        let cx = Cx::new();
+        thunk(&cx)
+    }));
+    cur.shared.identity.lock().pop();
+    cur.shared.steal_depth.fetch_sub(1, Ordering::Relaxed);
+    match outcome {
+        Ok(r) => {
+            thread.complete(r.clone());
+            r
+        }
+        Err(p) => {
+            if let Some(e) = p.downcast_ref::<ExceptionPayload>() {
+                // The stolen computation raised: the stolen thread sees the
+                // exception, and it propagates into the toucher as a result.
+                thread.complete(Err(e.0.clone()));
+                Err(e.0.clone())
+            } else {
+                // Termination/cancellation of the *stealer* sweeps away the
+                // stolen thread too (it runs on the stealer's TCB).
+                thread.complete(Err(Value::sym("stealer-unwound")));
+                panic::resume_unwind(p);
+            }
+        }
+    }
+}
+
+/// Wakes `thread` if it is blocked or suspended; otherwise records a
+/// pending wake-up so a park that is racing with this call is skipped.
+/// Idempotent; the woken thread must re-check its condition (wake-ups can
+/// be spurious).  This is the hook synchronization structures use to build
+/// their own blocking protocols ("the application completely controls the
+/// condition under which blocked threads may be resumed").
+pub fn unblock(thread: &Arc<Thread>) {
+    thread.unblock();
+}
+
+/// Inserts a delayed thread into `vp`'s ready queue, or resumes a blocked
+/// or suspended one (`thread-run thread vp`).
+///
+/// # Errors
+///
+/// [`CoreError::InvalidTransition`] if `thread` is scheduled, evaluating or
+/// determined; [`CoreError::VpOutOfRange`] for a bad VP index.
+pub fn thread_run(thread: &Arc<Thread>, vp: usize) -> Result<(), CoreError> {
+    let vm = thread.vm().ok_or(CoreError::Shutdown)?;
+    if vp >= vm.vp_count() {
+        return Err(CoreError::VpOutOfRange {
+            index: vp,
+            len: vm.vp_count(),
+        });
+    }
+    match thread.state() {
+        ThreadState::Delayed => vm.schedule_fresh(thread, vp),
+        ThreadState::Blocked | ThreadState::Suspended => {
+            thread.home_vp.store(vp, Ordering::Relaxed);
+            thread.unblock();
+            Ok(())
+        }
+        _ => Err(CoreError::InvalidTransition {
+            detail: "thread-run requires a delayed, blocked or suspended thread",
+        }),
+    }
+}
+
+/// Requests `thread` to block (`thread-block`).  Evaluating targets honour
+/// it at their next controller entry.
+///
+/// # Errors
+///
+/// [`CoreError::InvalidTransition`] if the target state forbids blocking.
+pub fn thread_block(thread: &Arc<Thread>) -> Result<(), CoreError> {
+    if let Some(cur) = tls::current() {
+        if Arc::ptr_eq(&cur.shared.thread, thread) {
+            drop(cur);
+            return block_current(None);
+        }
+    }
+    thread.request(StateRequest::Block)
+}
+
+/// Requests `thread` to suspend, optionally auto-resuming after `quantum`
+/// (`thread-suspend`).
+///
+/// # Errors
+///
+/// [`CoreError::InvalidTransition`] if the target state forbids suspension.
+pub fn thread_suspend(
+    thread: &Arc<Thread>,
+    quantum: Option<Duration>,
+) -> Result<(), CoreError> {
+    if let Some(cur) = tls::current() {
+        if Arc::ptr_eq(&cur.shared.thread, thread) {
+            drop(cur);
+            return suspend_current(quantum);
+        }
+    }
+    thread.request(StateRequest::Suspend(quantum))
+}
+
+/// Raises an exception in `thread` (`thread-raise!`): the target unwinds
+/// at its next controller entry and determines with `Err(value)` —
+/// exception handling across thread boundaries (§2, program model).
+///
+/// # Errors
+///
+/// [`CoreError::InvalidTransition`] if the target has already determined
+/// or was stolen.
+pub fn thread_raise(thread: &Arc<Thread>, value: Value) -> Result<(), CoreError> {
+    if let Some(cur) = tls::current() {
+        if Arc::ptr_eq(&cur.shared.thread, thread) {
+            panic::panic_any(ExceptionPayload(value));
+        }
+    }
+    thread.request(StateRequest::Raise(value))
+}
+
+/// Requests `thread` to terminate with `value` as its result
+/// (`thread-terminate`).  Passive targets determine immediately; evaluating
+/// targets unwind (running destructors) at their next controller entry.
+///
+/// # Errors
+///
+/// [`CoreError::InvalidTransition`] if the target has already determined or
+/// was stolen.
+pub fn thread_terminate(thread: &Arc<Thread>, value: Value) -> Result<(), CoreError> {
+    if let Some(cur) = tls::current() {
+        if Arc::ptr_eq(&cur.shared.thread, thread) {
+            panic::panic_any(TerminatePayload(value));
+        }
+    }
+    thread.request(StateRequest::Terminate(value))
+}

@@ -1,0 +1,130 @@
+//! Thread control blocks: the dynamic context of an evaluating thread.
+//!
+//! A [`Tcb`] pairs a stackful fiber (the thread's machine stack and saved
+//! registers) with the shared dynamic-state record (`TcbShared`) that the
+//! paper keeps in the TCB: the current VP, the quantum, preemption bits and
+//! the identity stack used by thread stealing.  TCBs move by value between
+//! the VP run loop, policy-manager ready queues and the `parked` slot of a
+//! blocked thread; `TcbShared` is the part that stays reachable from TLS
+//! while the thread runs.
+
+use crate::thread::{Thread, ThreadResult};
+use parking_lot::Mutex;
+use sting_context::fiber::{Fiber, Suspender};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Message delivered to a thread when its fiber is resumed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Wakeup {
+    /// Normal scheduling; the thread should continue (and re-check any
+    /// condition it blocked on).
+    Run,
+}
+
+/// Why a thread re-entered the thread controller (fiber yield payload).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Disposition {
+    /// Re-enqueue me (yield-processor or preemption).
+    Yielded {
+        /// Whether the yield was forced by preemption.
+        preempted: bool,
+    },
+    /// Park me; somebody holds my `Arc<Thread>` and will unblock me.
+    Blocked,
+    /// Park me as suspended (timer or explicit `thread-run` resumes me).
+    Suspended,
+}
+
+pub(crate) type ThreadFiber = Fiber<Wakeup, Disposition, ThreadResult>;
+pub(crate) type ThreadSuspender = Suspender<Wakeup, Disposition, ThreadResult>;
+
+/// The dynamic thread state shared between the running thread (via TLS) and
+/// the scheduler that owns the fiber.
+pub(crate) struct TcbShared {
+    /// The thread this TCB currently executes.
+    pub(crate) thread: Arc<Thread>,
+    /// Raw pointer to the fiber's `Suspender`, valid while the fiber is
+    /// alive; written once at fiber entry.
+    pub(crate) suspender: AtomicUsize,
+    /// Index of the VP currently (or last) running this TCB.
+    pub(crate) vp_index: AtomicUsize,
+    /// Nesting depth of `without-preemption` sections.
+    pub(crate) preempt_disabled: AtomicU32,
+    /// Set when a preemption arrived while disabled; honoured at re-enable
+    /// (the paper's "subsequent preemption should not be ignored" bit).
+    pub(crate) deferred_preempt: AtomicBool,
+    /// Ticks remaining in the current scheduling slice.
+    pub(crate) ticks_left: AtomicU32,
+    /// Nesting depth of in-progress steals on this TCB; bounded so chains
+    /// of stolen thunks cannot overflow the machine stack.
+    pub(crate) steal_depth: AtomicU32,
+    /// Identity stack: `current-thread` is the top.  Stealing pushes the
+    /// stolen thread's identity while its thunk runs on this TCB.
+    pub(crate) identity: Mutex<Vec<Arc<Thread>>>,
+}
+
+impl TcbShared {
+    pub(crate) fn new(thread: Arc<Thread>, vp_index: usize) -> Arc<TcbShared> {
+        let quantum = thread.quantum();
+        Arc::new(TcbShared {
+            identity: Mutex::new(vec![thread.clone()]),
+            thread,
+            suspender: AtomicUsize::new(0),
+            vp_index: AtomicUsize::new(vp_index),
+            preempt_disabled: AtomicU32::new(0),
+            deferred_preempt: AtomicBool::new(false),
+            ticks_left: AtomicU32::new(quantum),
+            steal_depth: AtomicU32::new(0),
+        })
+    }
+
+    /// The thread whose code is currently executing on this TCB (the stolen
+    /// thread during a steal, otherwise the TCB's owner).
+    pub(crate) fn current_identity(&self) -> Arc<Thread> {
+        self.identity
+            .lock()
+            .last()
+            .cloned()
+            .unwrap_or_else(|| self.thread.clone())
+    }
+
+    pub(crate) fn reset_ticks(&self) {
+        self.ticks_left
+            .store(self.thread.quantum().max(1), Ordering::Relaxed);
+    }
+}
+
+impl std::fmt::Debug for TcbShared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcbShared")
+            .field("thread", &self.thread.id())
+            .field("vp_index", &self.vp_index.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+/// A thread control block: the fiber plus its shared dynamic state.
+///
+/// Opaque to policy managers (they move TCBs through ready queues without
+/// inspecting them); the scheduler resumes the fiber.
+pub struct Tcb {
+    pub(crate) fiber: ThreadFiber,
+    pub(crate) shared: Arc<TcbShared>,
+}
+
+impl Tcb {
+    /// The thread that owns this TCB.
+    pub fn thread(&self) -> &Arc<Thread> {
+        &self.shared.thread
+    }
+}
+
+impl std::fmt::Debug for Tcb {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tcb")
+            .field("thread", &self.shared.thread.id())
+            .field("done", &self.fiber.is_done())
+            .finish()
+    }
+}

@@ -1,0 +1,460 @@
+//! First-class threads.
+//!
+//! A [`Thread`] is the paper's passive thread object: a thunk, a state word,
+//! waiters, genealogy and scheduling hints.  It is deliberately small — the
+//! expensive dynamic context (stack, machine state) lives in a
+//! `Tcb` (see [`crate::tcb`]) that exists only while the thread is evaluating
+//! and is recycled when it determines.
+//!
+//! Threads are manipulated through `Arc<Thread>` and may be stored in data
+//! structures, returned from procedures and outlive their creators — they
+//! are bona fide data objects (they also convert to
+//! [`sting_value::Value`] via [`Thread::to_value`]).
+
+use crate::counters::Counters;
+use crate::error::CoreError;
+use crate::group::ThreadGroup;
+use crate::state::{StateRequest, ThreadState};
+use crate::tc::Cx;
+use crate::tcb::Tcb;
+use crate::vm::Vm;
+use parking_lot::{Condvar, Mutex};
+use sting_value::Value;
+use std::sync::atomic::{AtomicBool, AtomicI32, AtomicU32, AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Arc, Weak};
+use std::time::Duration;
+
+/// The code a thread runs: a nullary procedure over the thread context.
+pub type Thunk = Box<dyn FnOnce(&Cx) -> Value + Send + 'static>;
+
+/// A thread body that produces a [`ThreadResult`] directly: `Err` is an
+/// exception value, delivered to waiters without unwinding.  Language
+/// runtimes use this so raised exceptions cross threads without panics.
+pub type TryThunk = Box<dyn FnOnce(&Cx) -> ThreadResult + Send + 'static>;
+
+/// A thread's final outcome: `Ok` is the value of its thunk (or the value
+/// supplied to `thread-terminate`); `Err` is an uncaught exception value.
+pub type ThreadResult = Result<Value, Value>;
+
+/// Unique thread identifier within a process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ThreadId(pub u64);
+
+impl std::fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// A node linking a waiting thread to one of the threads it waits on.
+///
+/// This is the paper's *thread barrier* (TB) record from Figure 5: the
+/// waiter's wait-count is decremented whenever a watched thread determines;
+/// at zero the waiter is rescheduled.  `wait-for-one` uses a count of 1
+/// over n nodes, `wait-for-all` a count of n.
+#[derive(Debug)]
+pub struct WaitNode {
+    waiter: Arc<Thread>,
+    remaining: AtomicUsize,
+}
+
+impl WaitNode {
+    /// Creates a node that will wake `waiter` after `count` completions.
+    pub fn new(waiter: Arc<Thread>, count: usize) -> Arc<WaitNode> {
+        Arc::new(WaitNode {
+            waiter,
+            remaining: AtomicUsize::new(count),
+        })
+    }
+
+    /// Records one completion; wakes the waiter when the count hits zero.
+    /// Completions beyond the count are ignored (a group may contain more
+    /// threads than the count requires).
+    pub fn complete_one(&self) {
+        let mut cur = self.remaining.load(Ordering::Acquire);
+        loop {
+            if cur == 0 {
+                return;
+            }
+            match self.remaining.compare_exchange_weak(
+                cur,
+                cur - 1,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => break,
+                Err(c) => cur = c,
+            }
+        }
+        if cur == 1 {
+            self.waiter.unblock();
+        }
+    }
+
+    /// Remaining completions before the waiter wakes.
+    pub fn remaining(&self) -> usize {
+        self.remaining.load(Ordering::Acquire)
+    }
+}
+
+pub(crate) struct ThreadCore {
+    pub(crate) thunk: Option<TryThunk>,
+    pub(crate) result: Option<ThreadResult>,
+    pub(crate) parked: Option<Tcb>,
+    pub(crate) wake_pending: bool,
+    pub(crate) requests: Vec<StateRequest>,
+    pub(crate) waiters: Vec<Arc<WaitNode>>,
+    /// The condition this thread is blocked on (paper's `blocker`); purely
+    /// informational, for debugging and group listings.
+    pub(crate) blocker: Option<Value>,
+}
+
+/// A first-class lightweight thread.
+///
+/// Create threads with [`crate::vm::Vm::fork`], [`crate::vm::Vm::delayed`],
+/// the [`ThreadBuilder`](crate::builder::ThreadBuilder), or from inside a
+/// running thread with [`crate::tc`] operations.
+pub struct Thread {
+    id: ThreadId,
+    name: Option<String>,
+    state: AtomicU8,
+    stealable: AtomicBool,
+    priority: AtomicI32,
+    quantum: AtomicU32,
+    pub(crate) core: Mutex<ThreadCore>,
+    pub(crate) determined_cv: Condvar,
+    group: Arc<ThreadGroup>,
+    parent: Weak<Thread>,
+    children: Mutex<Vec<Weak<Thread>>>,
+    pub(crate) vm: Weak<Vm>,
+    /// VP the thread last ran on (or was scheduled on); wake-ups go here.
+    pub(crate) home_vp: AtomicUsize,
+}
+
+impl std::fmt::Debug for Thread {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Thread")
+            .field("id", &self.id)
+            .field("name", &self.name)
+            .field("state", &self.state())
+            .finish()
+    }
+}
+
+impl Thread {
+    // Internal constructor: the spawn paths collect these from SpawnOpts;
+    // a params struct here would only mirror that type.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        vm: &Arc<Vm>,
+        thunk: TryThunk,
+        state: ThreadState,
+        group: Arc<ThreadGroup>,
+        parent: Weak<Thread>,
+        name: Option<String>,
+        stealable: bool,
+        priority: i32,
+        quantum: u32,
+    ) -> Arc<Thread> {
+        debug_assert!(matches!(state, ThreadState::Delayed | ThreadState::Scheduled));
+        let t = Arc::new(Thread {
+            id: ThreadId(vm.next_thread_id()),
+            name,
+            state: AtomicU8::new(state as u8),
+            stealable: AtomicBool::new(stealable),
+            priority: AtomicI32::new(priority),
+            quantum: AtomicU32::new(quantum),
+            core: Mutex::new(ThreadCore {
+                thunk: Some(thunk),
+                result: None,
+                parked: None,
+                wake_pending: false,
+                requests: Vec::new(),
+                waiters: Vec::new(),
+                blocker: None,
+            }),
+            determined_cv: Condvar::new(),
+            group: group.clone(),
+            parent: parent.clone(),
+            children: Mutex::new(Vec::new()),
+            vm: Arc::downgrade(vm),
+            home_vp: AtomicUsize::new(0),
+        });
+        group.add(&t);
+        if let Some(p) = parent.upgrade() {
+            p.children.lock().push(Arc::downgrade(&t));
+        }
+        Counters::bump(&vm.counters().threads_created);
+        t
+    }
+
+    /// The thread's process-unique id.
+    pub fn id(&self) -> ThreadId {
+        self.id
+    }
+
+    /// Optional debug name.
+    pub fn name(&self) -> Option<&str> {
+        self.name.as_deref()
+    }
+
+    /// Current observable state (a racy snapshot, as in the paper).
+    pub fn state(&self) -> ThreadState {
+        ThreadState::from_u8(self.state.load(Ordering::Acquire))
+    }
+
+    pub(crate) fn set_state(&self, s: ThreadState) {
+        self.state.store(s as u8, Ordering::Release);
+    }
+
+    /// Atomically claims a delayed/scheduled thread for execution or
+    /// stealing, moving it to `next`.  Returns the thunk on success.
+    pub(crate) fn claim(&self, next: ThreadState) -> Option<TryThunk> {
+        let mut core = self.core.lock();
+        if self.state().is_claimable() {
+            self.set_state(next);
+            core.thunk.take()
+        } else {
+            None
+        }
+    }
+
+    /// Whether this thread has determined (its result is available).
+    pub fn is_determined(&self) -> bool {
+        self.state().is_determined()
+    }
+
+    /// The thread's result, if determined.
+    pub fn result(&self) -> Option<ThreadResult> {
+        if !self.is_determined() {
+            return None;
+        }
+        self.core.lock().result.clone()
+    }
+
+    /// Whether a toucher may absorb this thread's thunk (see
+    /// [`crate::tc::touch`]).
+    pub fn is_stealable(&self) -> bool {
+        self.stealable.load(Ordering::Acquire)
+    }
+
+    /// Allows or forbids stealing of this thread ("users can parametrize
+    /// thread state to inform the TC if a thread can steal or not").
+    pub fn set_stealable(&self, stealable: bool) {
+        self.stealable.store(stealable, Ordering::Release);
+    }
+
+    /// Scheduling priority hint, interpreted by the policy manager.
+    pub fn priority(&self) -> i32 {
+        self.priority.load(Ordering::Acquire)
+    }
+
+    /// Sets the scheduling priority hint.
+    pub fn set_priority(&self, priority: i32) {
+        self.priority.store(priority, Ordering::Release);
+    }
+
+    /// Quantum, in preemption ticks, granted per scheduling slice.
+    pub fn quantum(&self) -> u32 {
+        self.quantum.load(Ordering::Acquire)
+    }
+
+    /// Sets the per-slice quantum in preemption ticks (minimum 1).
+    pub fn set_quantum(&self, ticks: u32) {
+        self.quantum.store(ticks.max(1), Ordering::Release);
+    }
+
+    /// The thread group this thread belongs to.
+    pub fn group(&self) -> &Arc<ThreadGroup> {
+        &self.group
+    }
+
+    /// The thread's parent, if still alive (genealogy).
+    pub fn parent(&self) -> Option<Arc<Thread>> {
+        self.parent.upgrade()
+    }
+
+    /// The thread's live children (genealogy).
+    pub fn children(&self) -> Vec<Arc<Thread>> {
+        self.children.lock().iter().filter_map(Weak::upgrade).collect()
+    }
+
+    /// The condition value this thread is blocked on, if any.
+    pub fn blocker(&self) -> Option<Value> {
+        self.core.lock().blocker.clone()
+    }
+
+    /// Wraps this thread as a substrate [`Value`] (threads are data).
+    pub fn to_value(self: &Arc<Thread>) -> Value {
+        Value::native("thread", self.clone())
+    }
+
+    /// Registers `node` to be completed when this thread determines.
+    ///
+    /// Returns `false` (without registering) if the thread has already
+    /// determined; the caller should then count the completion itself.
+    pub fn add_wait_node(&self, node: &Arc<WaitNode>) -> bool {
+        let mut core = self.core.lock();
+        if self.is_determined() {
+            false
+        } else {
+            core.waiters.push(node.clone());
+            true
+        }
+    }
+
+    /// Blocks the **calling OS thread** until this thread determines.
+    ///
+    /// This is how code outside the virtual machine (e.g. `main`) joins a
+    /// thread; STING threads must use [`crate::tc::wait`] instead, which
+    /// blocks only the green thread.
+    pub fn join_blocking(&self) -> ThreadResult {
+        let mut core = self.core.lock();
+        while !self.is_determined() {
+            self.determined_cv.wait(&mut core);
+        }
+        core.result.clone().expect("determined thread has a result")
+    }
+
+    /// Like [`Thread::join_blocking`] with a timeout; `None` on timeout.
+    pub fn join_blocking_timeout(&self, timeout: Duration) -> Option<ThreadResult> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut core = self.core.lock();
+        while !self.is_determined() {
+            if self.determined_cv.wait_until(&mut core, deadline).timed_out() {
+                return None;
+            }
+        }
+        Some(core.result.clone().expect("determined thread has a result"))
+    }
+
+    /// Records an asynchronous state-change request (the paper's
+    /// `thread-block` / `thread-suspend` / `thread-terminate` applied to
+    /// *another* thread).  Evaluating targets honour it at their next
+    /// thread-controller entry; passive targets are transitioned directly.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidTransition`] if the target's current state does
+    /// not admit the request.
+    pub fn request(self: &Arc<Thread>, request: StateRequest) -> Result<(), CoreError> {
+        let mut core = self.core.lock();
+        let state = self.state();
+        if !state.can_request(&request) {
+            return Err(CoreError::InvalidTransition {
+                detail: "request not permitted in the target's current state",
+            });
+        }
+        match (&request, state) {
+            // A passive thread can be terminated right here: it has no TCB
+            // whose owner must cooperate.
+            (StateRequest::Terminate(v), ThreadState::Delayed | ThreadState::Scheduled) => {
+                core.thunk = None;
+                drop(core);
+                self.complete(Ok(v.clone()));
+                Ok(())
+            }
+            (StateRequest::Raise(v), ThreadState::Delayed | ThreadState::Scheduled) => {
+                core.thunk = None;
+                drop(core);
+                self.complete(Err(v.clone()));
+                Ok(())
+            }
+            (StateRequest::Resume, ThreadState::Delayed) => {
+                drop(core);
+                let vm = self.vm().ok_or(CoreError::Shutdown)?;
+                let vp = self.home_vp.load(Ordering::Relaxed) % vm.vp_count();
+                vm.schedule_fresh(self, vp)
+            }
+            (StateRequest::Resume, ThreadState::Blocked | ThreadState::Suspended) => {
+                drop(core);
+                self.unblock();
+                Ok(())
+            }
+            // Requests against an evaluating (or parked) thread are queued
+            // and applied by the thread itself; parked targets are woken so
+            // they notice promptly.
+            _ => {
+                core.requests.push(request);
+                let parked = state.has_tcb() && state != ThreadState::Evaluating;
+                drop(core);
+                if parked {
+                    self.unblock();
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Makes a blocked/suspended thread runnable again (or records a
+    /// pending wake-up if it has not finished parking yet).  Idempotent;
+    /// spurious wake-ups are allowed and synchronization structures must
+    /// re-check their condition.
+    pub(crate) fn unblock(self: &Arc<Thread>) {
+        let tcb = {
+            let mut core = self.core.lock();
+            match self.state() {
+                ThreadState::Blocked | ThreadState::Suspended => match core.parked.take() {
+                    Some(tcb) => {
+                        core.blocker = None;
+                        self.set_state(ThreadState::Evaluating);
+                        Some(tcb)
+                    }
+                    None => {
+                        // Raced with the parking VP: it will see the flag.
+                        core.wake_pending = true;
+                        None
+                    }
+                },
+                ThreadState::Evaluating => {
+                    // Woken before it even parked.
+                    core.wake_pending = true;
+                    None
+                }
+                _ => None,
+            }
+        };
+        if let Some(tcb) = tcb {
+            if let Some(vm) = self.vm() {
+                Counters::bump(&vm.counters().wakeups);
+                let vp = self.home_vp.load(Ordering::Relaxed) % vm.vp_count();
+                vm.enqueue_parked(tcb, vp, crate::pm::EnqueueState::Unblocked);
+            }
+        }
+    }
+
+    /// Finalizes the thread with `result`: sets `Determined`, publishes the
+    /// value, and wakes every waiter (the paper's `wakeup-waiters`).
+    pub(crate) fn complete(self: &Arc<Thread>, result: ThreadResult) {
+        let waiters = {
+            let mut core = self.core.lock();
+            if self.is_determined() {
+                return;
+            }
+            let failed = result.is_err();
+            core.result = Some(result);
+            self.set_state(ThreadState::Determined);
+            if let Some(vm) = self.vm() {
+                Counters::bump(&vm.counters().determinations);
+                if failed {
+                    Counters::bump(&vm.counters().exceptions);
+                }
+            }
+            self.determined_cv.notify_all();
+            std::mem::take(&mut core.waiters)
+        };
+        for w in waiters {
+            w.complete_one();
+        }
+    }
+
+    pub(crate) fn vm(&self) -> Option<Arc<Vm>> {
+        self.vm.upgrade()
+    }
+
+    /// Drains pending asynchronous requests (called by the owning thread at
+    /// thread-controller entries).
+    pub(crate) fn take_requests(&self) -> Vec<StateRequest> {
+        std::mem::take(&mut self.core.lock().requests)
+    }
+}

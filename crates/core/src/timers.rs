@@ -1,0 +1,92 @@
+//! The virtual machine's timer wheel: wake-ups for `thread-suspend` with a
+//! quantum argument and for [`Cx::sleep`](crate::tc::Cx::sleep).
+//!
+//! Precision is bounded by the machine's preemption tick — the timekeeper
+//! and the processor workers both drain due timers.
+
+use crate::thread::Thread;
+use parking_lot::Mutex;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+use std::time::Instant;
+
+struct Entry {
+    when: Instant,
+    seq: u64,
+    thread: Arc<Thread>,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Entry) -> bool {
+        self.when == other.when && self.seq == other.seq
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Entry) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Entry) -> std::cmp::Ordering {
+        (self.when, self.seq).cmp(&(other.when, other.seq))
+    }
+}
+
+/// A min-heap of pending thread wake-ups.
+#[derive(Default)]
+pub struct Timers {
+    heap: Mutex<BinaryHeap<Reverse<Entry>>>,
+    seq: std::sync::atomic::AtomicU64,
+}
+
+impl std::fmt::Debug for Timers {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Timers({} pending)", self.heap.lock().len())
+    }
+}
+
+impl Timers {
+    /// Creates an empty timer wheel.
+    pub fn new() -> Timers {
+        Timers::default()
+    }
+
+    /// Schedules `thread` to be woken at `when`.
+    pub fn add(&self, when: Instant, thread: Arc<Thread>) {
+        let seq = self
+            .seq
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.heap.lock().push(Reverse(Entry { when, seq, thread }));
+    }
+
+    /// Removes and returns all threads whose deadline is at or before
+    /// `now`.
+    pub fn take_due(&self, now: Instant) -> Vec<Arc<Thread>> {
+        let mut heap = self.heap.lock();
+        let mut due = Vec::new();
+        while let Some(Reverse(head)) = heap.peek() {
+            if head.when > now {
+                break;
+            }
+            due.push(heap.pop().expect("peeked").0.thread);
+        }
+        due
+    }
+
+    /// The earliest pending deadline, if any.
+    pub fn next_deadline(&self) -> Option<Instant> {
+        self.heap.lock().peek().map(|Reverse(e)| e.when)
+    }
+
+    /// Number of pending wake-ups.
+    pub fn len(&self) -> usize {
+        self.heap.lock().len()
+    }
+
+    /// Whether no wake-ups are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}

@@ -1,0 +1,40 @@
+//! Thread-local plumbing: which VP and TCB the current OS thread is driving.
+//!
+//! The VP run loop installs the current VP + TCB before resuming a fiber and
+//! clears them when the fiber yields back; thread-controller operations in
+//! [`crate::tc`] consult this to find "the current thread".
+
+use crate::tcb::TcbShared;
+use crate::vp::Vp;
+use std::cell::RefCell;
+use std::sync::Arc;
+
+#[derive(Clone)]
+pub(crate) struct Current {
+    pub(crate) vp: Arc<Vp>,
+    pub(crate) shared: Arc<TcbShared>,
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<Current>> = const { RefCell::new(None) };
+}
+
+/// Installs the current VP/TCB for this OS thread (scheduler side).
+pub(crate) fn set_current(vp: Arc<Vp>, shared: Arc<TcbShared>) {
+    CURRENT.with(|c| *c.borrow_mut() = Some(Current { vp, shared }));
+}
+
+/// Clears the current VP/TCB (scheduler side, after the fiber yields).
+pub(crate) fn clear_current() {
+    CURRENT.with(|c| *c.borrow_mut() = None);
+}
+
+/// Snapshot of the current VP/TCB, if the caller runs on a STING thread.
+pub(crate) fn current() -> Option<Current> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+/// Whether the calling OS thread is currently executing a STING thread.
+pub(crate) fn on_thread() -> bool {
+    CURRENT.with(|c| c.borrow().is_some())
+}

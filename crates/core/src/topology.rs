@@ -1,0 +1,235 @@
+//! Virtual-processor topologies and self-relative addressing.
+//!
+//! Because VPs are first-class and enumerable, "systolic style programs can
+//! be expressed by using self-relative addressing off the current VP (e.g.,
+//! left-VP, right-VP, up-VP, etc.). The system provides a number of default
+//! addressing modes for many common topologies (e.g., hypercubes, meshes,
+//! systolic arrays...)".  A [`Topology`] maps VP indices to neighbours.
+//!
+//! ```
+//! use sting_core::topology::Topology;
+//!
+//! let mesh = Topology::mesh(3, 4);
+//! assert_eq!(mesh.len(), 12);
+//! assert_eq!(mesh.right(0), Some(1));
+//! assert_eq!(mesh.down(0), Some(4));
+//! assert_eq!(mesh.up(0), None);
+//!
+//! let ring = Topology::ring(4);
+//! assert_eq!(ring.right(3), Some(0));
+//! ```
+
+/// A logical arrangement of a machine's virtual processors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Topology {
+    /// A bidirectional ring of `n` VPs (wrap-around left/right).
+    Ring {
+        /// Number of VPs.
+        n: usize,
+    },
+    /// A `rows × cols` mesh without wrap-around.
+    Mesh {
+        /// Number of rows.
+        rows: usize,
+        /// Number of columns.
+        cols: usize,
+    },
+    /// A `rows × cols` torus (mesh with wrap-around).
+    Torus {
+        /// Number of rows.
+        rows: usize,
+        /// Number of columns.
+        cols: usize,
+    },
+    /// A hypercube of dimension `dim` (`2^dim` VPs).
+    Hypercube {
+        /// Dimension.
+        dim: u32,
+    },
+}
+
+impl Topology {
+    /// A ring of `n` VPs.
+    pub fn ring(n: usize) -> Topology {
+        Topology::Ring { n }
+    }
+
+    /// A mesh (no wrap-around).
+    pub fn mesh(rows: usize, cols: usize) -> Topology {
+        Topology::Mesh { rows, cols }
+    }
+
+    /// A torus (wrap-around mesh).
+    pub fn torus(rows: usize, cols: usize) -> Topology {
+        Topology::Torus { rows, cols }
+    }
+
+    /// A hypercube with `2^dim` corners.
+    pub fn hypercube(dim: u32) -> Topology {
+        Topology::Hypercube { dim }
+    }
+
+    /// Number of VPs the topology addresses.
+    pub fn len(&self) -> usize {
+        match *self {
+            Topology::Ring { n } => n,
+            Topology::Mesh { rows, cols } | Topology::Torus { rows, cols } => rows * cols,
+            Topology::Hypercube { dim } => 1usize << dim,
+        }
+    }
+
+    /// Whether the topology is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The VP to the "left" of `vp` (row-major previous), if any.
+    pub fn left(&self, vp: usize) -> Option<usize> {
+        match *self {
+            Topology::Ring { n } => (n > 0).then(|| (vp + n - 1) % n),
+            Topology::Mesh { cols, .. } => (!vp.is_multiple_of(cols)).then(|| vp - 1),
+            Topology::Torus { cols, .. } => {
+                let row = vp / cols;
+                Some(row * cols + (vp % cols + cols - 1) % cols)
+            }
+            Topology::Hypercube { .. } => self.neighbor_across(vp, 0),
+        }
+    }
+
+    /// The VP to the "right" of `vp` (row-major next), if any.
+    pub fn right(&self, vp: usize) -> Option<usize> {
+        match *self {
+            Topology::Ring { n } => (n > 0).then(|| (vp + 1) % n),
+            Topology::Mesh { rows, cols } => {
+                (vp % cols + 1 < cols && vp < rows * cols).then(|| vp + 1)
+            }
+            Topology::Torus { cols, .. } => {
+                let row = vp / cols;
+                Some(row * cols + (vp % cols + 1) % cols)
+            }
+            Topology::Hypercube { .. } => self.neighbor_across(vp, 0),
+        }
+    }
+
+    /// The VP "above" `vp`, if any (meshes/tori only).
+    pub fn up(&self, vp: usize) -> Option<usize> {
+        match *self {
+            Topology::Mesh { cols, .. } => (vp >= cols).then(|| vp - cols),
+            Topology::Torus { rows, cols } => {
+                let col = vp % cols;
+                let row = vp / cols;
+                Some(((row + rows - 1) % rows) * cols + col)
+            }
+            _ => None,
+        }
+    }
+
+    /// The VP "below" `vp`, if any (meshes/tori only).
+    pub fn down(&self, vp: usize) -> Option<usize> {
+        match *self {
+            Topology::Mesh { rows, cols } => (vp + cols < rows * cols).then(|| vp + cols),
+            Topology::Torus { rows, cols } => {
+                let col = vp % cols;
+                let row = vp / cols;
+                Some(((row + 1) % rows) * cols + col)
+            }
+            _ => None,
+        }
+    }
+
+    /// The hypercube neighbour across dimension `d`, if addressable.
+    pub fn neighbor_across(&self, vp: usize, d: u32) -> Option<usize> {
+        match *self {
+            Topology::Hypercube { dim } if d < dim && vp < (1 << dim) => Some(vp ^ (1 << d)),
+            _ => None,
+        }
+    }
+
+    /// All neighbours of `vp` in the topology.
+    pub fn neighbors(&self, vp: usize) -> Vec<usize> {
+        match *self {
+            Topology::Ring { .. } => {
+                let mut v: Vec<usize> = [self.left(vp), self.right(vp)].into_iter().flatten().collect();
+                v.dedup();
+                v
+            }
+            Topology::Mesh { .. } | Topology::Torus { .. } => {
+                let mut v: Vec<usize> = [self.up(vp), self.down(vp), self.left(vp), self.right(vp)]
+                    .into_iter()
+                    .flatten()
+                    .collect();
+                v.sort_unstable();
+                v.dedup();
+                v
+            }
+            Topology::Hypercube { dim } => {
+                (0..dim).filter_map(|d| self.neighbor_across(vp, d)).collect()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_wraps() {
+        let r = Topology::ring(4);
+        assert_eq!(r.left(0), Some(3));
+        assert_eq!(r.right(3), Some(0));
+        assert_eq!(r.neighbors(1), vec![0, 2]);
+    }
+
+    #[test]
+    fn ring_of_one() {
+        let r = Topology::ring(1);
+        assert_eq!(r.left(0), Some(0));
+        assert_eq!(r.neighbors(0), vec![0]);
+    }
+
+    #[test]
+    fn mesh_edges() {
+        let m = Topology::mesh(2, 3);
+        assert_eq!(m.len(), 6);
+        assert_eq!(m.left(0), None);
+        assert_eq!(m.right(2), None);
+        assert_eq!(m.up(1), None);
+        assert_eq!(m.down(4), None);
+        assert_eq!(m.neighbors(4), vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn torus_wraps_both_ways() {
+        let t = Topology::torus(2, 3);
+        assert_eq!(t.left(0), Some(2));
+        assert_eq!(t.up(0), Some(3));
+        assert_eq!(t.down(3), Some(0));
+        assert_eq!(t.right(5), Some(3));
+    }
+
+    #[test]
+    fn hypercube_neighbors() {
+        let h = Topology::hypercube(3);
+        assert_eq!(h.len(), 8);
+        assert_eq!(h.neighbors(0), vec![1, 2, 4]);
+        assert_eq!(h.neighbor_across(5, 1), Some(7));
+        assert_eq!(h.neighbor_across(5, 3), None);
+    }
+
+    #[test]
+    fn all_neighbors_are_in_range() {
+        for topo in [
+            Topology::ring(5),
+            Topology::mesh(3, 4),
+            Topology::torus(3, 4),
+            Topology::hypercube(4),
+        ] {
+            for vp in 0..topo.len() {
+                for n in topo.neighbors(vp) {
+                    assert!(n < topo.len(), "{topo:?} vp {vp} neighbour {n}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,429 @@
+//! Virtual machines: a set of virtual processors closed over shared state.
+//!
+//! A [`Vm`] owns its VPs, a timer wheel, event counters and a root thread
+//! group.  Multiple VMs can execute on one
+//! [`crate::machine::PhysicalMachine`] — the machine holds
+//! the VMs weakly and multiplexes their VPs over its worker OS threads.
+
+use crate::builder::SpawnOpts;
+use crate::counters::Counters;
+use crate::error::CoreError;
+use crate::group::ThreadGroup;
+use crate::machine::PhysicalMachine;
+use crate::pm::{EnqueueState, RunItem};
+use crate::state::ThreadState;
+use crate::tc::{self, Cx};
+use crate::thread::{Thread, ThreadResult, Thunk, TryThunk};
+use crate::timers::Timers;
+use crate::tls;
+use crate::vp::Vp;
+use parking_lot::Mutex;
+use sting_value::Value;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Weak};
+
+/// A virtual machine: virtual processors plus the state they share.
+///
+/// Build one with [`Vm::builder`](crate::builder::VmBuilder).
+pub struct Vm {
+    name: String,
+    vps: Vec<Arc<Vp>>,
+    counters: Counters,
+    timers: Timers,
+    root_group: Arc<ThreadGroup>,
+    all_threads: Mutex<(Vec<Weak<Thread>>, usize)>,
+    stop: AtomicBool,
+    next_tid: AtomicU64,
+    next_fork_vp: AtomicUsize,
+    /// Number of VP slices currently executing on machine workers; used to
+    /// quiesce before draining at shutdown.
+    pub(crate) active_slices: AtomicUsize,
+    pub(crate) machine: Mutex<Option<Arc<PhysicalMachine>>>,
+}
+
+impl std::fmt::Debug for Vm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Vm")
+            .field("name", &self.name)
+            .field("vps", &self.vps.len())
+            .field("stopped", &self.is_stopped())
+            .finish()
+    }
+}
+
+impl Vm {
+    /// Starts building a virtual machine.
+    pub fn builder() -> crate::builder::VmBuilder {
+        crate::builder::VmBuilder::new()
+    }
+
+    pub(crate) fn create(
+        name: String,
+        policies: Vec<Box<dyn crate::pm::PolicyManager>>,
+        stack_size: usize,
+        pool_capacity: usize,
+    ) -> Arc<Vm> {
+        Arc::new_cyclic(|weak: &Weak<Vm>| {
+            let vps = policies
+                .into_iter()
+                .enumerate()
+                .map(|(i, pm)| {
+                    Arc::new(Vp::new(i, weak.clone(), pm, stack_size, pool_capacity))
+                })
+                .collect();
+            Vm {
+                name,
+                vps,
+                counters: Counters::default(),
+                timers: Timers::new(),
+                root_group: ThreadGroup::root(Some("root".to_string())),
+                all_threads: Mutex::new((Vec::new(), 0)),
+                stop: AtomicBool::new(false),
+                next_tid: AtomicU64::new(1),
+                next_fork_vp: AtomicUsize::new(0),
+                active_slices: AtomicUsize::new(0),
+                machine: Mutex::new(None),
+            }
+        })
+    }
+
+    /// The machine's name (diagnostics).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of virtual processors.
+    pub fn vp_count(&self) -> usize {
+        self.vps.len()
+    }
+
+    /// The virtual processors (enumerable, as in the paper).
+    pub fn vps(&self) -> &[Arc<Vp>] {
+        &self.vps
+    }
+
+    /// The `index`-th virtual processor.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::VpOutOfRange`] if `index >= vp_count()`.
+    pub fn vp(&self, index: usize) -> Result<&Arc<Vp>, CoreError> {
+        self.vps.get(index).ok_or(CoreError::VpOutOfRange {
+            index,
+            len: self.vps.len(),
+        })
+    }
+
+    /// Substrate event counters.
+    pub fn counters(&self) -> &Counters {
+        &self.counters
+    }
+
+    /// The timer wheel (suspensions with a quantum, sleeps).
+    pub fn timers(&self) -> &Timers {
+        &self.timers
+    }
+
+    /// The root thread group; threads forked from outside the VM land here.
+    pub fn root_group(&self) -> &Arc<ThreadGroup> {
+        &self.root_group
+    }
+
+    /// All live threads created on this VM.
+    pub fn threads(&self) -> Vec<Arc<Thread>> {
+        let mut all = self.all_threads.lock();
+        all.0.retain(|w| w.strong_count() > 0);
+        all.1 = all.0.len() * 2;
+        all.0.iter().filter_map(Weak::upgrade).collect()
+    }
+
+    /// Whether [`Vm::shutdown`] has been initiated.
+    pub fn is_stopped(&self) -> bool {
+        self.stop.load(Ordering::Acquire)
+    }
+
+    pub(crate) fn next_thread_id(&self) -> u64 {
+        self.next_tid.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Forks `f` as a scheduled thread on a VP chosen round-robin.
+    pub fn fork<F, V>(self: &Arc<Vm>, f: F) -> Arc<Thread>
+    where
+        F: FnOnce(&Cx) -> V + Send + 'static,
+        V: Into<Value>,
+    {
+        let vp = self.next_fork_vp.fetch_add(1, Ordering::Relaxed) % self.vp_count();
+        self.spawn_with(tc::erase(f), ThreadState::Scheduled, Some(vp), None)
+    }
+
+    /// Forks `f` on virtual processor `vp` (`fork-thread expr vp`).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::VpOutOfRange`] for a bad index.
+    pub fn fork_on<F, V>(self: &Arc<Vm>, vp: usize, f: F) -> Result<Arc<Thread>, CoreError>
+    where
+        F: FnOnce(&Cx) -> V + Send + 'static,
+        V: Into<Value>,
+    {
+        if vp >= self.vp_count() {
+            return Err(CoreError::VpOutOfRange {
+                index: vp,
+                len: self.vp_count(),
+            });
+        }
+        Ok(self.spawn_with(tc::erase(f), ThreadState::Scheduled, Some(vp), None))
+    }
+
+    /// Forks a pre-boxed thunk (for libraries that traffic in [`Thunk`]s,
+    /// e.g. tuple-space `spawn`); equivalent to [`Vm::fork`].
+    pub fn fork_thunk(self: &Arc<Vm>, thunk: Thunk) -> Arc<Thread> {
+        let vp = self.next_fork_vp.fetch_add(1, Ordering::Relaxed) % self.vp_count();
+        self.spawn_with(tc::lift(thunk), ThreadState::Scheduled, Some(vp), None)
+    }
+
+    /// Forks a `Result`-producing body: `Err` becomes the thread's
+    /// exception outcome without unwinding.
+    pub fn fork_try<F, V>(self: &Arc<Vm>, f: F) -> Arc<Thread>
+    where
+        F: FnOnce(&Cx) -> Result<V, Value> + Send + 'static,
+        V: Into<Value>,
+    {
+        let vp = self.next_fork_vp.fetch_add(1, Ordering::Relaxed) % self.vp_count();
+        self.spawn_with(tc::erase_try(f), ThreadState::Scheduled, Some(vp), None)
+    }
+
+    /// Creates a delayed `Result`-producing thread.
+    pub fn delayed_try<F, V>(self: &Arc<Vm>, f: F) -> Arc<Thread>
+    where
+        F: FnOnce(&Cx) -> Result<V, Value> + Send + 'static,
+        V: Into<Value>,
+    {
+        self.spawn_with(tc::erase_try(f), ThreadState::Delayed, None, None)
+    }
+
+    /// Creates a delayed thread (`create-thread`): it runs only when
+    /// demanded by [`tc::touch`], [`tc::wait`]ed on after a
+    /// [`tc::thread_run`], or stolen.
+    pub fn delayed<F, V>(self: &Arc<Vm>, f: F) -> Arc<Thread>
+    where
+        F: FnOnce(&Cx) -> V + Send + 'static,
+        V: Into<Value>,
+    {
+        self.spawn_with(tc::erase(f), ThreadState::Delayed, None, None)
+    }
+
+    /// Forks `f` and blocks the calling OS thread until it determines.
+    /// The usual entry point from `main`.
+    pub fn run<F, V>(self: &Arc<Vm>, f: F) -> ThreadResult
+    where
+        F: FnOnce(&Cx) -> V + Send + 'static,
+        V: Into<Value>,
+    {
+        let t = self.fork(f);
+        t.join_blocking()
+    }
+
+    pub(crate) fn spawn_with(
+        self: &Arc<Vm>,
+        thunk: TryThunk,
+        state: ThreadState,
+        vp: Option<usize>,
+        opts: Option<SpawnOpts>,
+    ) -> Arc<Thread> {
+        let opts = opts.unwrap_or_default();
+        let parent = tc::current_thread()
+            .filter(|t| t.vm.ptr_eq(&Arc::downgrade(self)))
+            .map(|t| Arc::downgrade(&t))
+            .unwrap_or_default();
+        let group = opts.group.unwrap_or_else(|| {
+            parent
+                .upgrade()
+                .map(|p| p.group().clone())
+                .unwrap_or_else(|| self.root_group.clone())
+        });
+        // Always created delayed; schedule_fresh flips to Scheduled below so
+        // the state change and the enqueue stay consistent.
+        let t = Thread::new(
+            self,
+            thunk,
+            ThreadState::Delayed,
+            group,
+            parent,
+            opts.name,
+            opts.stealable,
+            opts.priority,
+            opts.quantum,
+        );
+        {
+            // Amortized-O(1) dead-entry pruning: sweep only when the list
+            // doubles past the previous sweep's survivor count.
+            let mut all = self.all_threads.lock();
+            if all.0.len() >= all.1.max(256) {
+                all.0.retain(|w| w.strong_count() > 0);
+                all.1 = all.0.len() * 2;
+            }
+            all.0.push(Arc::downgrade(&t));
+        }
+        if state == ThreadState::Scheduled {
+            let vp = vp.unwrap_or(0) % self.vp_count();
+            self.schedule_fresh(&t, vp).expect("fresh thread schedules");
+        }
+        t
+    }
+
+    /// Moves a delayed thread to `Scheduled` and enqueues it on `vp`.
+    pub(crate) fn schedule_fresh(
+        self: &Arc<Vm>,
+        thread: &Arc<Thread>,
+        vp: usize,
+    ) -> Result<(), CoreError> {
+        if self.is_stopped() {
+            return Err(CoreError::Shutdown);
+        }
+        let vp_arc = self.vp(vp)?.clone();
+        {
+            let core = thread.core.lock();
+            if thread.state() != ThreadState::Delayed {
+                return Err(CoreError::InvalidTransition {
+                    detail: "only a delayed thread can be scheduled",
+                });
+            }
+            thread.set_state(ThreadState::Scheduled);
+            thread.home_vp.store(vp, Ordering::Relaxed);
+            drop(core);
+        }
+        vp_arc.enqueue(RunItem::Fresh(thread.clone()), EnqueueState::New);
+        Ok(())
+    }
+
+    /// Enqueues a woken TCB on `vp`.
+    pub(crate) fn enqueue_parked(
+        self: &Arc<Vm>,
+        tcb: crate::tcb::Tcb,
+        vp: usize,
+        state: EnqueueState,
+    ) {
+        let vp = vp % self.vp_count();
+        self.vps[vp].enqueue(RunItem::Parked(tcb), state);
+    }
+
+    /// Wakes parked machine workers (new work is available).
+    pub(crate) fn signal_work(&self) {
+        if let Some(m) = self.machine.lock().clone() {
+            m.signal_work();
+        }
+    }
+
+    /// Drains due timers, waking suspended threads.  Called by machine
+    /// workers and the timekeeper.
+    pub(crate) fn process_timers(self: &Arc<Vm>) {
+        let due = self.timers.take_due(std::time::Instant::now());
+        for t in due {
+            t.unblock();
+        }
+    }
+
+    /// Renders a human-readable snapshot of the machine: every live
+    /// thread with its state, name and blocker, plus per-VP queue depths
+    /// and the counters — the monitoring view of a "robust programming
+    /// environment" (paper §1).
+    pub fn dump(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        let _ = writeln!(s, "vm {:?} ({} vps, stopped={})", self.name, self.vp_count(), self.is_stopped());
+        for vp in &self.vps {
+            let _ = writeln!(
+                s,
+                "  vp {}: policy={} queued={}",
+                vp.index(),
+                vp.policy_name(),
+                vp.queue_len()
+            );
+        }
+        let mut threads = self.threads();
+        threads.sort_by_key(|t| t.id());
+        for t in threads {
+            let blocker = t
+                .blocker()
+                .map(|b| format!(" on {b}"))
+                .unwrap_or_default();
+            let _ = writeln!(
+                s,
+                "  {} [{:?}]{} name={} group={}",
+                t.id(),
+                t.state(),
+                blocker,
+                t.name().unwrap_or("-"),
+                t.group().id()
+            );
+        }
+        let c = self.counters.snapshot();
+        let _ = writeln!(
+            s,
+            "  counters: threads={} tcbs={} steals={} switches={} blocks={} preemptions={}",
+            c.threads_created, c.tcbs_allocated, c.steals, c.context_switches, c.blocks, c.preemptions
+        );
+        s
+    }
+
+    /// Stops the machine: no further threads run.  Undetermined threads are
+    /// completed with the exception value `vm-shutdown` so joiners observe
+    /// termination rather than hanging.
+    ///
+    /// Call from outside the VM (e.g. `main`).  If called from one of the
+    /// VM's own threads, the drain is deferred to [`Vm`]'s drop.
+    pub fn shutdown(self: &Arc<Vm>) {
+        if self.stop.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        self.signal_work();
+        if tls::on_thread() {
+            // Deferred: we are running on one of our own fibers.
+            return;
+        }
+        // Quiesce: wait for in-flight VP slices to finish.
+        while self.active_slices.load(Ordering::Acquire) != 0 {
+            std::thread::yield_now();
+        }
+        self.drain();
+    }
+
+    /// Completes every undetermined thread with a `vm-shutdown` exception,
+    /// unwinding parked fibers so destructors run.
+    pub(crate) fn drain(self: &Arc<Vm>) {
+        let shutdown_err: ThreadResult = Err(Value::sym("vm-shutdown"));
+        // Empty the ready queues first.
+        for vp in &self.vps {
+            loop {
+                let item = { vp.pm.lock().get_next_thread(vp) };
+                match item {
+                    None => break,
+                    Some(RunItem::Fresh(t)) => t.complete(shutdown_err.clone()),
+                    Some(RunItem::Parked(tcb)) => {
+                        let t = tcb.thread().clone();
+                        drop(tcb); // force-unwinds the fiber
+                        t.complete(shutdown_err.clone());
+                    }
+                }
+            }
+        }
+        // Sweep threads parked outside any queue (blocked/suspended) and
+        // passive threads nobody will ever demand.
+        for t in self.threads() {
+            if t.is_determined() {
+                continue;
+            }
+            let parked = t.core.lock().parked.take();
+            drop(parked);
+            t.complete(shutdown_err.clone());
+        }
+    }
+}
+
+impl Drop for Vm {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        // Remaining parked TCBs unwind as their threads drop.
+    }
+}

@@ -1,0 +1,238 @@
+//! Virtual processors.
+//!
+//! A [`Vp`] is the paper's first-class virtual processor: it is closed over
+//! a thread controller (the `run_slice` state machine,
+//! identical for all VPs) and a [`PolicyManager`] (replaceable per VP).
+//! VPs also own the TCB/stack recycling pool, so thread dynamic state is
+//! "cached on VPs and recycled for immediate reuse".
+//!
+//! VPs are multiplexed on physical processors
+//! ([`crate::machine::PhysicalMachine`] worker OS threads) the same way
+//! threads are multiplexed on VPs.
+
+use crate::counters::Counters;
+use crate::pm::{EnqueueState, PolicyManager, RunItem};
+use crate::tc;
+use crate::tcb::{Disposition, Tcb, TcbShared, ThreadFiber, Wakeup};
+use crate::thread::{Thread, TryThunk};
+use crate::tls;
+use crate::vm::Vm;
+use parking_lot::Mutex;
+use sting_context::fiber::FiberResult;
+use sting_context::{Fiber, StackPool};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Weak};
+
+/// A first-class virtual processor.
+pub struct Vp {
+    index: usize,
+    vm: Weak<Vm>,
+    pub(crate) pm: Mutex<Box<dyn PolicyManager>>,
+    /// Set by the machine's timekeeper each preemption tick; polled by the
+    /// running thread at checkpoints.
+    pub(crate) preempt_flag: AtomicBool,
+    stack_pool: Mutex<StackPool>,
+}
+
+impl std::fmt::Debug for Vp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Vp")
+            .field("index", &self.index)
+            .field("policy", &self.policy_name())
+            .finish()
+    }
+}
+
+impl Vp {
+    pub(crate) fn new(
+        index: usize,
+        vm: Weak<Vm>,
+        pm: Box<dyn PolicyManager>,
+        stack_size: usize,
+        pool_capacity: usize,
+    ) -> Vp {
+        Vp {
+            index,
+            vm,
+            pm: Mutex::new(pm),
+            preempt_flag: AtomicBool::new(false),
+            stack_pool: Mutex::new(StackPool::new(stack_size, pool_capacity)),
+        }
+    }
+
+    /// This VP's index within its virtual machine (VPs are enumerable, so
+    /// programs can map work onto specific processors).
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// The owning virtual machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine has been dropped.
+    pub fn vm(&self) -> Arc<Vm> {
+        self.vm.upgrade().expect("virtual machine dropped")
+    }
+
+    pub(crate) fn vm_weak(&self) -> &Weak<Vm> {
+        &self.vm
+    }
+
+    /// Name of the installed scheduling policy.
+    pub fn policy_name(&self) -> &'static str {
+        self.pm.lock().name()
+    }
+
+    /// Number of items in this VP's ready set.
+    pub fn queue_len(&self) -> usize {
+        self.pm.lock().len()
+    }
+
+    /// Victim side of thread migration: asks this VP's policy to surrender
+    /// an item.  Uses `try_lock`, so concurrent idle VPs never deadlock on
+    /// each other's policy locks; returns `None` on contention.
+    pub fn try_offer_migration(self: &Arc<Vp>, thief: &Vp) -> Option<RunItem> {
+        let mut pm = self.pm.try_lock()?;
+        let item = pm.offer_migration(self)?;
+        let _ = thief;
+        if let Some(vm) = self.vm.upgrade() {
+            Counters::bump(&vm.counters().migrations);
+        }
+        Some(item)
+    }
+
+    /// Enqueues `item` on this VP's policy manager and signals the machine.
+    pub(crate) fn enqueue(self: &Arc<Vp>, item: RunItem, state: EnqueueState) {
+        {
+            let mut pm = self.pm.lock();
+            pm.enqueue_thread(self, item, state);
+        }
+        if let Some(vm) = self.vm.upgrade() {
+            vm.signal_work();
+        }
+    }
+
+    /// Runs up to `budget` scheduling decisions on this VP.  Returns `true`
+    /// if any thread was run.  Called by physical-processor workers.
+    pub(crate) fn run_slice(self: &Arc<Vp>, budget: usize) -> bool {
+        let Some(vm) = self.vm.upgrade() else {
+            return false;
+        };
+        let mut ran = false;
+        for _ in 0..budget {
+            if vm.is_stopped() {
+                break;
+            }
+            let item = {
+                let mut pm = self.pm.lock();
+                pm.get_next_thread(self).or_else(|| pm.vp_idle(self))
+            };
+            let Some(item) = item else { break };
+            match item {
+                RunItem::Fresh(thread) => {
+                    // Revalidate: the thread may have been stolen or
+                    // terminated while sitting in the ready queue.
+                    if let Some(thunk) = thread.claim(crate::state::ThreadState::Evaluating) {
+                        let tcb = self.make_tcb(&vm, thread, thunk);
+                        self.run_tcb(&vm, tcb);
+                        ran = true;
+                    }
+                }
+                RunItem::Parked(tcb) => {
+                    self.run_tcb(&vm, tcb);
+                    ran = true;
+                }
+            }
+        }
+        ran
+    }
+
+    /// Allocates a TCB (stack from the recycling pool + fiber) for a
+    /// freshly claimed thread.
+    fn make_tcb(self: &Arc<Vp>, vm: &Arc<Vm>, thread: Arc<Thread>, thunk: TryThunk) -> Tcb {
+        let stack = {
+            let mut pool = self.stack_pool.lock();
+            let reused = pool.cached() > 0;
+            if reused {
+                Counters::bump(&vm.counters().stacks_recycled);
+            }
+            pool.take()
+        };
+        Counters::bump(&vm.counters().tcbs_allocated);
+        let shared = TcbShared::new(thread, self.index);
+        let shared_in = shared.clone();
+        let fiber: ThreadFiber = Fiber::new(stack, move |sus, first: Wakeup| {
+            debug_assert_eq!(first, Wakeup::Run);
+            shared_in
+                .suspender
+                .store(sus as *mut _ as usize, Ordering::Release);
+            tc::thread_main(thunk)
+        });
+        Tcb { fiber, shared }
+    }
+
+    /// Context-switches into `tcb` and handles its next disposition.
+    fn run_tcb(self: &Arc<Vp>, vm: &Arc<Vm>, mut tcb: Tcb) {
+        let shared = tcb.shared.clone();
+        shared.vp_index.store(self.index, Ordering::Relaxed);
+        shared
+            .thread
+            .home_vp
+            .store(self.index, Ordering::Relaxed);
+        shared.reset_ticks();
+        self.preempt_flag.store(false, Ordering::Relaxed);
+        tls::set_current(self.clone(), shared.clone());
+        Counters::bump(&vm.counters().context_switches);
+        let outcome = tcb.fiber.resume(Wakeup::Run);
+        tls::clear_current();
+        let thread = shared.thread.clone();
+        match outcome {
+            FiberResult::Yield(Disposition::Yielded { preempted }) => {
+                if preempted {
+                    Counters::bump(&vm.counters().preemptions);
+                } else {
+                    Counters::bump(&vm.counters().yields);
+                }
+                let state = if preempted {
+                    EnqueueState::Preempted
+                } else {
+                    EnqueueState::Yielded
+                };
+                self.enqueue(RunItem::Parked(tcb), state);
+            }
+            FiberResult::Yield(d @ (Disposition::Blocked | Disposition::Suspended)) => {
+                let suspended = d == Disposition::Suspended;
+                let requeue: Option<Tcb> = {
+                    let mut core = thread.core.lock();
+                    if core.wake_pending {
+                        // A wake-up raced ahead of the park: skip parking.
+                        core.wake_pending = false;
+                        Some(tcb)
+                    } else {
+                        thread.set_state(if suspended {
+                            crate::state::ThreadState::Suspended
+                        } else {
+                            crate::state::ThreadState::Blocked
+                        });
+                        core.parked = Some(tcb);
+                        Counters::bump(if suspended {
+                            &vm.counters().suspends
+                        } else {
+                            &vm.counters().blocks
+                        });
+                        None
+                    }
+                };
+                if let Some(tcb) = requeue {
+                    self.enqueue(RunItem::Parked(tcb), EnqueueState::Unblocked);
+                }
+            }
+            FiberResult::Return(result) => {
+                let stack = tcb.fiber.into_stack();
+                self.stack_pool.lock().put(stack);
+                thread.complete(result);
+            }
+        }
+    }
+}

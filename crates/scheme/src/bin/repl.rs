@@ -1,0 +1,126 @@
+//! An interactive STING Scheme REPL.
+//!
+//! Usage: `cargo run --release -p sting-scheme --bin repl [--vps N] [file.scm ...]`
+//!
+//! Files are loaded in order, then an interactive prompt starts.  REPL
+//! commands: `,threads` dumps the machine state, `,counters` prints
+//! substrate counters, `,quit` exits.
+
+use sting_core::VmBuilder;
+use sting_scheme::Interp;
+use std::io::{BufRead, Write};
+
+fn balanced(src: &str) -> bool {
+    let mut depth = 0i64;
+    let mut in_str = false;
+    let mut escape = false;
+    let mut in_comment = false;
+    for c in src.chars() {
+        if in_comment {
+            if c == '\n' {
+                in_comment = false;
+            }
+            continue;
+        }
+        if in_str {
+            if escape {
+                escape = false;
+            } else if c == '\\' {
+                escape = true;
+            } else if c == '"' {
+                in_str = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => in_str = true,
+            ';' => in_comment = true,
+            '(' | '[' => depth += 1,
+            ')' | ']' => depth -= 1,
+            _ => {}
+        }
+    }
+    depth <= 0 && !in_str
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1).peekable();
+    let mut vps = 2usize;
+    let mut files = Vec::new();
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--vps" => {
+                vps = args.next().and_then(|s| s.parse().ok()).unwrap_or(2);
+            }
+            f => files.push(f.to_string()),
+        }
+    }
+
+    let vm = VmBuilder::new().vps(vps).name("repl").build();
+    let interp = Interp::new(vm.clone());
+
+    for f in &files {
+        match std::fs::read_to_string(f) {
+            Ok(src) => match interp.eval(&src) {
+                Ok(v) => println!("; loaded {f} => {v}"),
+                Err(e) => {
+                    eprintln!("; error loading {f}: {e}");
+                    std::process::exit(1);
+                }
+            },
+            Err(e) => {
+                eprintln!("; cannot read {f}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    println!(
+        "STING Scheme — PLDI 1992 reproduction ({vps} VPs).  ,threads ,counters ,quit"
+    );
+    let stdin = std::io::stdin();
+    let mut pending = String::new();
+    loop {
+        if pending.is_empty() {
+            print!("sting> ");
+        } else {
+            print!("  ...> ");
+        }
+        let _ = std::io::stdout().flush();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("; read error: {e}");
+                break;
+            }
+        }
+        let trimmed = line.trim();
+        if pending.is_empty() {
+            match trimmed {
+                "" => continue,
+                ",quit" | ",q" => break,
+                ",threads" => {
+                    print!("{}", vm.dump());
+                    continue;
+                }
+                ",counters" => {
+                    println!("{:#?}", vm.counters().snapshot());
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        pending.push_str(&line);
+        if !balanced(&pending) {
+            continue; // keep reading a multi-line form
+        }
+        let src = std::mem::take(&mut pending);
+        match interp.eval(&src) {
+            Ok(v) => println!("{v}"),
+            Err(e) => println!("; {e}"),
+        }
+    }
+    vm.shutdown();
+}

@@ -1,0 +1,128 @@
+//! Compiled code representation.
+//!
+//! A [`Program`] is an append-only pool of [`CodeObject`]s, constants and
+//! global slots.  Each top-level evaluation extends a copy of the program
+//! and produces a new immutable `Arc<Program>` snapshot; threads hold the
+//! snapshot they were created against, so compilation never interferes
+//! with running code.
+
+use sting_value::{Symbol, Value};
+
+/// One bytecode instruction.  Jump offsets are relative to the *next*
+/// instruction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Op {
+    /// Push constant `k` (index into [`Program::constants`]).
+    Const(u32),
+    /// Push a small integer without a constant-table entry.
+    Int(i32),
+    /// Push `#t` / `#f` / `()` / unspecified.
+    True,
+    /// Push `#f`.
+    False,
+    /// Push the empty list.
+    Nil,
+    /// Push the unspecified value.
+    Unit,
+    /// Push local variable: `depth` frames up, slot `idx`.
+    Local(u16, u16),
+    /// Pop into local variable; pushes the unspecified value.
+    SetLocal(u16, u16),
+    /// Push global slot.
+    Global(u32),
+    /// Pop into global slot; pushes the unspecified value.
+    SetGlobal(u32),
+    /// Push a closure over code object `c`, capturing the current frame.
+    Closure(u32),
+    /// Call with `n` arguments (stack: `… f a1 … an`).
+    Call(u8),
+    /// Tail call with `n` arguments (current frame is replaced).
+    TailCall(u8),
+    /// Return the top of stack from the current frame.
+    Return,
+    /// Unconditional relative jump.
+    Jump(i32),
+    /// Pop; jump if the popped value is `#f`.
+    JumpIfFalse(i32),
+    /// Pop and discard.
+    Pop,
+}
+
+/// A compiled procedure body.
+#[derive(Debug, Clone)]
+pub struct CodeObject {
+    /// Instructions.
+    pub ops: Vec<Op>,
+    /// Number of fixed parameters.
+    pub arity: u8,
+    /// Whether extra arguments are collected into a rest list.
+    pub rest: bool,
+    /// Diagnostic name.
+    pub name: Option<Symbol>,
+}
+
+/// An immutable snapshot of compiled code, constants and global names.
+#[derive(Debug, Clone, Default)]
+pub struct Program {
+    /// Code objects; closures reference them by index.
+    pub codes: Vec<CodeObject>,
+    /// Literal constants (substrate values; converted into each thread's
+    /// heap on demand).
+    pub constants: Vec<Value>,
+    /// Global slot names, in slot order.
+    pub global_names: Vec<Symbol>,
+}
+
+impl Program {
+    /// Index of (or new slot for) global `name`.
+    pub fn global_slot(&mut self, name: Symbol) -> u32 {
+        match self.global_names.iter().position(|s| *s == name) {
+            Some(i) => i as u32,
+            None => {
+                self.global_names.push(name);
+                (self.global_names.len() - 1) as u32
+            }
+        }
+    }
+
+    /// Adds a constant, deduplicating exact matches.
+    pub fn add_constant(&mut self, v: Value) -> u32 {
+        match self.constants.iter().position(|c| *c == v) {
+            Some(i) => i as u32,
+            None => {
+                self.constants.push(v);
+                (self.constants.len() - 1) as u32
+            }
+        }
+    }
+
+    /// Adds a code object, returning its index.
+    pub fn add_code(&mut self, code: CodeObject) -> u32 {
+        self.codes.push(code);
+        (self.codes.len() - 1) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_slots_are_stable() {
+        let mut p = Program::default();
+        let a = p.global_slot(Symbol::intern("a"));
+        let b = p.global_slot(Symbol::intern("b"));
+        assert_ne!(a, b);
+        assert_eq!(p.global_slot(Symbol::intern("a")), a);
+    }
+
+    #[test]
+    fn constants_dedup() {
+        let mut p = Program::default();
+        let k1 = p.add_constant(Value::from(5));
+        let k2 = p.add_constant(Value::from(5));
+        let k3 = p.add_constant(Value::from("x"));
+        assert_eq!(k1, k2);
+        assert_ne!(k1, k3);
+    }
+}

@@ -1,0 +1,54 @@
+//! Scheme error types.
+
+use sting_value::Value;
+use std::error::Error;
+use std::fmt;
+
+/// Errors from reading, expanding, compiling or running Scheme code.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SchemeError {
+    /// Reader (parse) error.
+    Read(String),
+    /// Syntax (expansion) error.
+    Syntax(String),
+    /// Compile-time error (unbound variable, bad arity in a form).
+    Compile(String),
+    /// A raised, uncaught Scheme exception (carries the raised value).
+    Raised(Value),
+    /// The virtual machine rejected the operation.
+    Vm(String),
+}
+
+impl SchemeError {
+    /// A runtime error raised with a descriptive message, as a raised
+    /// value of the shape `(error "message")`.
+    pub fn runtime(msg: impl Into<String>) -> SchemeError {
+        SchemeError::Raised(Value::list([Value::sym("error"), Value::from(msg.into())]))
+    }
+}
+
+impl fmt::Display for SchemeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchemeError::Read(m) => write!(f, "read error: {m}"),
+            SchemeError::Syntax(m) => write!(f, "syntax error: {m}"),
+            SchemeError::Compile(m) => write!(f, "compile error: {m}"),
+            SchemeError::Raised(v) => write!(f, "uncaught exception: {v}"),
+            SchemeError::Vm(m) => write!(f, "vm error: {m}"),
+        }
+    }
+}
+
+impl Error for SchemeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert!(SchemeError::Read("x".into()).to_string().contains("read"));
+        assert!(SchemeError::runtime("boom").to_string().contains("boom"));
+    }
+}

@@ -1,0 +1,808 @@
+//! The expander: surface s-expressions → core forms.
+//!
+//! Core forms: `quote`, variable reference, `if`, `set!`, `lambda`,
+//! `begin`, application, and top-level `define`.  Everything else —
+//! `let`, `let*`, `letrec`, named `let`, `cond`, `case`, `and`, `or`,
+//! `when`, `unless`, `do`, `while`, `quasiquote`, internal `define` — is
+//! rewritten here.
+
+use crate::error::SchemeError;
+use crate::sexp::Sexp;
+use sting_value::Symbol;
+
+/// A core expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Core {
+    /// Literal datum.
+    Quote(Sexp),
+    /// Variable reference.
+    Var(Symbol),
+    /// Conditional.
+    If(Box<Core>, Box<Core>, Box<Core>),
+    /// Assignment.
+    Set(Symbol, Box<Core>),
+    /// Abstraction.
+    Lambda {
+        /// Fixed parameters.
+        params: Vec<Symbol>,
+        /// Rest parameter (dotted tail), if any.
+        rest: Option<Symbol>,
+        /// Body (an implicit `begin`).
+        body: Vec<Core>,
+        /// Name, for diagnostics (from `define` when available).
+        name: Option<Symbol>,
+    },
+    /// Sequencing.
+    Begin(Vec<Core>),
+    /// Application.
+    Call(Box<Core>, Vec<Core>),
+    /// Exception handler: evaluate the first expression; on a raise, bind
+    /// the raised value and evaluate the handler body.
+    Try {
+        /// Protected expression.
+        body: Box<Core>,
+        /// Variable bound to the raised value.
+        var: Symbol,
+        /// Handler body.
+        handler: Vec<Core>,
+    },
+    /// Top-level definition (only valid at top level).
+    Define(Symbol, Box<Core>),
+}
+
+fn sym(s: &str) -> Symbol {
+    Symbol::intern(s)
+}
+
+fn err(msg: impl Into<String>) -> SchemeError {
+    SchemeError::Syntax(msg.into())
+}
+
+/// Expands one top-level form.
+///
+/// # Errors
+///
+/// [`SchemeError::Syntax`] on malformed special forms.
+pub fn expand_top(s: &Sexp) -> Result<Core, SchemeError> {
+    match s {
+        Sexp::List(items, None) if !items.is_empty() => {
+            if let Some(head) = items[0].as_sym() {
+                if head == sym("define") {
+                    return expand_define(&items[1..]);
+                }
+            }
+            expand(s)
+        }
+        _ => expand(s),
+    }
+}
+
+fn expand_define(rest: &[Sexp]) -> Result<Core, SchemeError> {
+    match rest {
+        // (define (f a b . r) body...)
+        [Sexp::List(sig, tail), body @ ..] if !sig.is_empty() => {
+            let name = sig[0]
+                .as_sym()
+                .ok_or_else(|| err("define: procedure name must be a symbol"))?;
+            let params = sig[1..]
+                .iter()
+                .map(|p| p.as_sym().ok_or_else(|| err("define: bad parameter")))
+                .collect::<Result<Vec<_>, _>>()?;
+            let rest_param = match tail {
+                Some(t) => Some(t.as_sym().ok_or_else(|| err("define: bad rest parameter"))?),
+                None => None,
+            };
+            let body = expand_body(body)?;
+            Ok(Core::Define(
+                name,
+                Box::new(Core::Lambda {
+                    params,
+                    rest: rest_param,
+                    body,
+                    name: Some(name),
+                }),
+            ))
+        }
+        // (define x e)
+        [Sexp::Sym(name), value] => Ok(Core::Define(*name, Box::new(expand(value)?))),
+        // (define x) — unspecified initial value
+        [Sexp::Sym(name)] => Ok(Core::Define(
+            *name,
+            Box::new(Core::Quote(Sexp::Bool(false))),
+        )),
+        _ => Err(err("define: malformed")),
+    }
+}
+
+/// Expands a non-definition expression.
+///
+/// # Errors
+///
+/// [`SchemeError::Syntax`] on malformed special forms.
+pub fn expand(s: &Sexp) -> Result<Core, SchemeError> {
+    match s {
+        Sexp::Int(_) | Sexp::Float(_) | Sexp::Bool(_) | Sexp::Char(_) | Sexp::Str(_)
+        | Sexp::Vector(_) => Ok(Core::Quote(s.clone())),
+        Sexp::Sym(v) => Ok(Core::Var(*v)),
+        Sexp::List(items, None) if items.is_empty() => {
+            Err(err("empty application ()"))
+        }
+        Sexp::List(_, Some(_)) => Err(err(format!("dotted expression {s}"))),
+        Sexp::List(items, None) => {
+            let head = items[0].as_sym();
+            let rest = &items[1..];
+            match head.map(|h| h.as_str().to_string()).as_deref() {
+                Some("quote") => match rest {
+                    [d] => Ok(Core::Quote(d.clone())),
+                    _ => Err(err("quote: expected one datum")),
+                },
+                Some("if") => match rest {
+                    [c, t] => Ok(Core::If(
+                        Box::new(expand(c)?),
+                        Box::new(expand(t)?),
+                        Box::new(Core::Quote(Sexp::Bool(false))),
+                    )),
+                    [c, t, e] => Ok(Core::If(
+                        Box::new(expand(c)?),
+                        Box::new(expand(t)?),
+                        Box::new(expand(e)?),
+                    )),
+                    _ => Err(err("if: expected 2 or 3 forms")),
+                },
+                Some("set!") => match rest {
+                    [Sexp::Sym(v), e] => Ok(Core::Set(*v, Box::new(expand(e)?))),
+                    _ => Err(err("set!: expected symbol and expression")),
+                },
+                Some("lambda") => expand_lambda(rest, None),
+                Some("begin") => {
+                    if rest.is_empty() {
+                        Ok(Core::Quote(Sexp::Bool(false)))
+                    } else {
+                        Ok(Core::Begin(expand_body(rest)?))
+                    }
+                }
+                Some("define") => Err(err("define only allowed at top level or body start")),
+                Some("let") => expand_let(rest),
+                Some("let*") => expand_let_star(rest),
+                Some("letrec") | Some("letrec*") => expand_letrec(rest),
+                Some("cond") => expand_cond(rest),
+                Some("case") => expand_case(rest),
+                Some("and") => Ok(expand_and(rest)?),
+                Some("or") => Ok(expand_or(rest)?),
+                Some("when") => match rest {
+                    [c, body @ ..] if !body.is_empty() => Ok(Core::If(
+                        Box::new(expand(c)?),
+                        Box::new(Core::Begin(expand_body(body)?)),
+                        Box::new(Core::Quote(Sexp::Bool(false))),
+                    )),
+                    _ => Err(err("when: expected condition and body")),
+                },
+                Some("unless") => match rest {
+                    [c, body @ ..] if !body.is_empty() => Ok(Core::If(
+                        Box::new(expand(c)?),
+                        Box::new(Core::Quote(Sexp::Bool(false))),
+                        Box::new(Core::Begin(expand_body(body)?)),
+                    )),
+                    _ => Err(err("unless: expected condition and body")),
+                },
+                Some("while") => expand_while(rest),
+                Some("do") => expand_do(rest),
+                Some("quasiquote") => match rest {
+                    [t] => expand(&qq(t, 1)?),
+                    _ => Err(err("quasiquote: expected one template")),
+                },
+                Some("unquote") | Some("unquote-splicing") => {
+                    Err(err("unquote outside quasiquote"))
+                }
+                Some("try") => expand_try(rest),
+                Some("delay") => match rest {
+                    // (delay e) => (create-thread (lambda () e))
+                    [e] => Ok(Core::Call(
+                        Box::new(Core::Var(sym("create-thread"))),
+                        vec![Core::Lambda {
+                            params: vec![],
+                            rest: None,
+                            body: vec![expand(e)?],
+                            name: None,
+                        }],
+                    )),
+                    _ => Err(err("delay: expected one expression")),
+                },
+                Some("future") => match rest {
+                    // (future e) => (fork-thread (lambda () e))
+                    [e] => Ok(Core::Call(
+                        Box::new(Core::Var(sym("fork-thread"))),
+                        vec![Core::Lambda {
+                            params: vec![],
+                            rest: None,
+                            body: vec![expand(e)?],
+                            name: None,
+                        }],
+                    )),
+                    _ => Err(err("future: expected one expression")),
+                },
+                _ => {
+                    let f = expand(&items[0])?;
+                    let args = rest.iter().map(expand).collect::<Result<Vec<_>, _>>()?;
+                    Ok(Core::Call(Box::new(f), args))
+                }
+            }
+        }
+    }
+}
+
+fn expand_lambda(rest: &[Sexp], name: Option<Symbol>) -> Result<Core, SchemeError> {
+    match rest {
+        [formals, body @ ..] if !body.is_empty() => {
+            let (params, rest_param) = match formals {
+                // (lambda args body) — all-rest
+                Sexp::Sym(r) => (Vec::new(), Some(*r)),
+                Sexp::List(ps, tail) => {
+                    let params = ps
+                        .iter()
+                        .map(|p| p.as_sym().ok_or_else(|| err("lambda: bad parameter")))
+                        .collect::<Result<Vec<_>, _>>()?;
+                    let rest_param = match tail {
+                        Some(t) => {
+                            Some(t.as_sym().ok_or_else(|| err("lambda: bad rest parameter"))?)
+                        }
+                        None => None,
+                    };
+                    (params, rest_param)
+                }
+                _ => return Err(err("lambda: bad formals")),
+            };
+            Ok(Core::Lambda {
+                params,
+                rest: rest_param,
+                body: expand_body(body)?,
+                name,
+            })
+        }
+        _ => Err(err("lambda: expected formals and body")),
+    }
+}
+
+/// Expands a body, converting leading internal defines to a `letrec*`.
+fn expand_body(body: &[Sexp]) -> Result<Vec<Core>, SchemeError> {
+    let mut defines = Vec::new();
+    let mut i = 0;
+    while i < body.len() && body[i].is_form("define") {
+        let Sexp::List(items, None) = &body[i] else {
+            unreachable!()
+        };
+        match expand_define(&items[1..])? {
+            Core::Define(name, value) => defines.push((name, *value)),
+            _ => unreachable!("expand_define yields Define"),
+        }
+        i += 1;
+    }
+    let rest = &body[i..];
+    if rest.is_empty() {
+        return Err(err("body has no expressions"));
+    }
+    let exprs = rest.iter().map(expand).collect::<Result<Vec<_>, _>>()?;
+    if defines.is_empty() {
+        return Ok(exprs);
+    }
+    // letrec*: bind all names to #f, then set! each in order.
+    let params: Vec<Symbol> = defines.iter().map(|(n, _)| *n).collect();
+    let mut inner: Vec<Core> = defines
+        .into_iter()
+        .map(|(n, v)| Core::Set(n, Box::new(v)))
+        .collect();
+    inner.extend(exprs);
+    let lam = Core::Lambda {
+        params,
+        rest: None,
+        body: inner,
+        name: None,
+    };
+    let args = vec![Core::Quote(Sexp::Bool(false)); lam_params_len(&lam)];
+    Ok(vec![Core::Call(Box::new(lam), args)])
+}
+
+fn lam_params_len(l: &Core) -> usize {
+    match l {
+        Core::Lambda { params, .. } => params.len(),
+        _ => 0,
+    }
+}
+
+fn expand_let(rest: &[Sexp]) -> Result<Core, SchemeError> {
+    match rest {
+        // Named let: (let loop ((v e)...) body...)
+        [Sexp::Sym(name), Sexp::List(bindings, None), body @ ..] if !body.is_empty() => {
+            let (vars, inits) = split_bindings(bindings)?;
+            // ((letrec ((name (lambda (vars) body))) name) inits...)
+            let lam = Sexp::list(
+                [
+                    vec![Sexp::sym("lambda"), Sexp::list(vars.clone())],
+                    body.to_vec(),
+                ]
+                .concat(),
+            );
+            let letrec = Sexp::list(vec![
+                Sexp::sym("letrec"),
+                Sexp::list(vec![Sexp::list(vec![Sexp::Sym(*name), lam])]),
+                Sexp::Sym(*name),
+            ]);
+            let call = Sexp::list([vec![letrec], inits].concat());
+            expand(&call)
+        }
+        [Sexp::List(bindings, None), body @ ..] if !body.is_empty() => {
+            let (vars, inits) = split_bindings(bindings)?;
+            let lam = Sexp::list(
+                [
+                    vec![Sexp::sym("lambda"), Sexp::list(vars)],
+                    body.to_vec(),
+                ]
+                .concat(),
+            );
+            expand(&Sexp::list([vec![lam], inits].concat()))
+        }
+        _ => Err(err("let: malformed")),
+    }
+}
+
+fn expand_let_star(rest: &[Sexp]) -> Result<Core, SchemeError> {
+    match rest {
+        [Sexp::List(bindings, None), body @ ..] if !body.is_empty() => {
+            if bindings.is_empty() {
+                return expand(&Sexp::list(
+                    [vec![Sexp::sym("let"), Sexp::list(vec![])], body.to_vec()].concat(),
+                ));
+            }
+            let first = bindings[0].clone();
+            let rest_b = Sexp::list(
+                [
+                    vec![Sexp::sym("let*"), Sexp::list(bindings[1..].to_vec())],
+                    body.to_vec(),
+                ]
+                .concat(),
+            );
+            expand(&Sexp::list(vec![
+                Sexp::sym("let"),
+                Sexp::list(vec![first]),
+                rest_b,
+            ]))
+        }
+        _ => Err(err("let*: malformed")),
+    }
+}
+
+fn expand_letrec(rest: &[Sexp]) -> Result<Core, SchemeError> {
+    match rest {
+        [Sexp::List(bindings, None), body @ ..] if !body.is_empty() => {
+            let (vars, inits) = split_bindings(bindings)?;
+            // (let ((v #f)...) (set! v init)... body...)
+            let false_bindings: Vec<Sexp> = vars
+                .iter()
+                .map(|v| Sexp::list(vec![v.clone(), Sexp::Bool(false)]))
+                .collect();
+            let sets: Vec<Sexp> = vars
+                .iter()
+                .zip(&inits)
+                .map(|(v, i)| Sexp::list(vec![Sexp::sym("set!"), v.clone(), i.clone()]))
+                .collect();
+            expand(&Sexp::list(
+                [
+                    vec![Sexp::sym("let"), Sexp::list(false_bindings)],
+                    sets,
+                    body.to_vec(),
+                ]
+                .concat(),
+            ))
+        }
+        _ => Err(err("letrec: malformed")),
+    }
+}
+
+fn split_bindings(bindings: &[Sexp]) -> Result<(Vec<Sexp>, Vec<Sexp>), SchemeError> {
+    let mut vars = Vec::new();
+    let mut inits = Vec::new();
+    for b in bindings {
+        match b {
+            Sexp::List(pair, None) if pair.len() == 2 && pair[0].as_sym().is_some() => {
+                vars.push(pair[0].clone());
+                inits.push(pair[1].clone());
+            }
+            _ => return Err(err(format!("bad binding {b}"))),
+        }
+    }
+    Ok((vars, inits))
+}
+
+fn expand_cond(clauses: &[Sexp]) -> Result<Core, SchemeError> {
+    match clauses {
+        [] => Ok(Core::Quote(Sexp::Bool(false))),
+        [clause, more @ ..] => match clause {
+            Sexp::List(c, None) if !c.is_empty() => {
+                let is_else = c[0].as_sym() == Some(Symbol::intern("else"));
+                if is_else {
+                    if !more.is_empty() {
+                        return Err(err("cond: else must be last"));
+                    }
+                    return Ok(Core::Begin(expand_body(&c[1..])?));
+                }
+                let test = expand(&c[0])?;
+                let rest_core = expand_cond(more)?;
+                if c.len() == 1 {
+                    // (cond (test) more...) — value of test if truthy.
+                    // ((lambda (t) (if t t rest)) test)
+                    let t = Symbol::intern("%cond-tmp");
+                    return Ok(Core::Call(
+                        Box::new(Core::Lambda {
+                            params: vec![t],
+                            rest: None,
+                            body: vec![Core::If(
+                                Box::new(Core::Var(t)),
+                                Box::new(Core::Var(t)),
+                                Box::new(rest_core),
+                            )],
+                            name: None,
+                        }),
+                        vec![test],
+                    ));
+                }
+                Ok(Core::If(
+                    Box::new(test),
+                    Box::new(Core::Begin(expand_body(&c[1..])?)),
+                    Box::new(rest_core),
+                ))
+            }
+            _ => Err(err(format!("cond: bad clause {clause}"))),
+        },
+    }
+}
+
+fn expand_case(rest: &[Sexp]) -> Result<Core, SchemeError> {
+    // (case key ((d1 d2) body...) ... (else body...))
+    match rest {
+        [key, clauses @ ..] => {
+            let k = Symbol::intern("%case-key");
+            let mut cond_clauses: Vec<Sexp> = Vec::new();
+            for c in clauses {
+                match c {
+                    Sexp::List(items, None) if !items.is_empty() => {
+                        if items[0].as_sym() == Some(Symbol::intern("else")) {
+                            cond_clauses.push(c.clone());
+                        } else {
+                            let test = Sexp::list(vec![
+                                Sexp::sym("memv"),
+                                Sexp::Sym(k),
+                                Sexp::list(vec![Sexp::sym("quote"), items[0].clone()]),
+                            ]);
+                            cond_clauses.push(Sexp::list(
+                                [vec![test], items[1..].to_vec()].concat(),
+                            ));
+                        }
+                    }
+                    _ => return Err(err("case: bad clause")),
+                }
+            }
+            let cond = Sexp::list([vec![Sexp::sym("cond")], cond_clauses].concat());
+            expand(&Sexp::list(vec![
+                Sexp::sym("let"),
+                Sexp::list(vec![Sexp::list(vec![Sexp::Sym(k), key.clone()])]),
+                cond,
+            ]))
+        }
+        _ => Err(err("case: malformed")),
+    }
+}
+
+fn expand_and(rest: &[Sexp]) -> Result<Core, SchemeError> {
+    match rest {
+        [] => Ok(Core::Quote(Sexp::Bool(true))),
+        [e] => expand(e),
+        [e, more @ ..] => Ok(Core::If(
+            Box::new(expand(e)?),
+            Box::new(expand_and(more)?),
+            Box::new(Core::Quote(Sexp::Bool(false))),
+        )),
+    }
+}
+
+fn expand_or(rest: &[Sexp]) -> Result<Core, SchemeError> {
+    match rest {
+        [] => Ok(Core::Quote(Sexp::Bool(false))),
+        [e] => expand(e),
+        [e, more @ ..] => {
+            let t = Symbol::intern("%or-tmp");
+            Ok(Core::Call(
+                Box::new(Core::Lambda {
+                    params: vec![t],
+                    rest: None,
+                    body: vec![Core::If(
+                        Box::new(Core::Var(t)),
+                        Box::new(Core::Var(t)),
+                        Box::new(expand_or(more)?),
+                    )],
+                    name: None,
+                }),
+                vec![expand(e)?],
+            ))
+        }
+    }
+}
+
+fn expand_while(rest: &[Sexp]) -> Result<Core, SchemeError> {
+    match rest {
+        [test, body @ ..] if !body.is_empty() => {
+            // (let loop () (when test body... (loop)))
+            let loop_sym = Sexp::sym("%while-loop");
+            let when = Sexp::list(
+                [
+                    vec![Sexp::sym("when"), test.clone()],
+                    body.to_vec(),
+                    vec![Sexp::list(vec![loop_sym.clone()])],
+                ]
+                .concat(),
+            );
+            expand(&Sexp::list(vec![
+                Sexp::sym("let"),
+                loop_sym,
+                Sexp::list(vec![]),
+                when,
+            ]))
+        }
+        _ => Err(err("while: expected test and body")),
+    }
+}
+
+fn expand_do(rest: &[Sexp]) -> Result<Core, SchemeError> {
+    // (do ((var init step)...) (test result...) body...)
+    match rest {
+        [Sexp::List(specs, None), Sexp::List(exit, None), body @ ..] if !exit.is_empty() => {
+            let mut vars = Vec::new();
+            let mut inits = Vec::new();
+            let mut steps = Vec::new();
+            for s in specs {
+                match s {
+                    Sexp::List(parts, None) => match parts.as_slice() {
+                        [v, i] => {
+                            vars.push(v.clone());
+                            inits.push(i.clone());
+                            steps.push(v.clone());
+                        }
+                        [v, i, st] => {
+                            vars.push(v.clone());
+                            inits.push(i.clone());
+                            steps.push(st.clone());
+                        }
+                        _ => return Err(err("do: bad variable spec")),
+                    },
+                    _ => return Err(err("do: bad variable spec")),
+                }
+            }
+            let loop_sym = Sexp::sym("%do-loop");
+            let recur = Sexp::list([vec![loop_sym.clone()], steps].concat());
+            let result = if exit.len() > 1 {
+                Sexp::list([vec![Sexp::sym("begin")], exit[1..].to_vec()].concat())
+            } else {
+                Sexp::Bool(false)
+            };
+            let if_form = Sexp::list(vec![
+                Sexp::sym("if"),
+                exit[0].clone(),
+                result,
+                Sexp::list(
+                    [vec![Sexp::sym("begin")], body.to_vec(), vec![recur]].concat(),
+                ),
+            ]);
+            let bindings: Vec<Sexp> = vars
+                .iter()
+                .zip(&inits)
+                .map(|(v, i)| Sexp::list(vec![v.clone(), i.clone()]))
+                .collect();
+            expand(&Sexp::list(vec![
+                Sexp::sym("let"),
+                loop_sym,
+                Sexp::list(bindings),
+                if_form,
+            ]))
+        }
+        _ => Err(err("do: malformed")),
+    }
+}
+
+fn expand_try(rest: &[Sexp]) -> Result<Core, SchemeError> {
+    // (try E (catch (x) H...))
+    match rest {
+        [body, catch] if catch.is_form("catch") => {
+            let Sexp::List(c, None) = catch else {
+                unreachable!()
+            };
+            match &c[1..] {
+                [Sexp::List(binder, None), handler @ ..]
+                    if binder.len() == 1 && !handler.is_empty() =>
+                {
+                    let var = binder[0]
+                        .as_sym()
+                        .ok_or_else(|| err("try: catch variable must be a symbol"))?;
+                    Ok(Core::Try {
+                        body: Box::new(expand(body)?),
+                        var,
+                        handler: expand_body(handler)?,
+                    })
+                }
+                _ => Err(err("try: malformed catch clause")),
+            }
+        }
+        _ => Err(err("try: expected (try expr (catch (var) handler...))")),
+    }
+}
+
+/// Quasiquote expansion: produces a surface expression building the
+/// template.
+fn qq(t: &Sexp, depth: u32) -> Result<Sexp, SchemeError> {
+    match t {
+        Sexp::List(items, None) if t.is_form("unquote") => {
+            if depth == 1 {
+                Ok(items[1].clone())
+            } else {
+                Ok(Sexp::list(vec![
+                    Sexp::sym("list"),
+                    Sexp::list(vec![Sexp::sym("quote"), Sexp::sym("unquote")]),
+                    qq(&items[1], depth - 1)?,
+                ]))
+            }
+        }
+        Sexp::List(items, None) if t.is_form("quasiquote") => Ok(Sexp::list(vec![
+            Sexp::sym("list"),
+            Sexp::list(vec![Sexp::sym("quote"), Sexp::sym("quasiquote")]),
+            qq(&items[1], depth + 1)?,
+        ])),
+        Sexp::List(items, tail) => {
+            // Build with append/cons to honour unquote-splicing.
+            let mut parts: Vec<Sexp> = Vec::new();
+            for item in items {
+                if item.is_form("unquote-splicing") {
+                    let Sexp::List(us, None) = item else {
+                        unreachable!()
+                    };
+                    if depth == 1 {
+                        parts.push(us[1].clone());
+                    } else {
+                        parts.push(Sexp::list(vec![
+                            Sexp::sym("list"),
+                            qq(item, depth - 1)?,
+                        ]));
+                    }
+                } else {
+                    parts.push(Sexp::list(vec![Sexp::sym("list"), qq(item, depth)?]));
+                }
+            }
+            let tail_expr = match tail {
+                Some(t2) => qq(t2, depth)?,
+                None => Sexp::list(vec![Sexp::sym("quote"), Sexp::list(vec![])]),
+            };
+            parts.push(tail_expr);
+            Ok(Sexp::list(
+                [vec![Sexp::sym("append")], parts].concat(),
+            ))
+        }
+        atom => Ok(Sexp::list(vec![Sexp::sym("quote"), atom.clone()])),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reader::read_one;
+
+    fn x(src: &str) -> Core {
+        expand_top(&read_one(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn literals_and_vars() {
+        assert_eq!(x("42"), Core::Quote(Sexp::Int(42)));
+        assert_eq!(x("foo"), Core::Var(Symbol::intern("foo")));
+        assert_eq!(x("'(1 2)"), Core::Quote(Sexp::list(vec![Sexp::Int(1), Sexp::Int(2)])));
+    }
+
+    #[test]
+    fn if_defaults_else() {
+        match x("(if 1 2)") {
+            Core::If(_, _, e) => assert_eq!(*e, Core::Quote(Sexp::Bool(false))),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn define_procedure_sugar() {
+        match x("(define (f a b) a)") {
+            Core::Define(name, value) => {
+                assert_eq!(name, Symbol::intern("f"));
+                match *value {
+                    Core::Lambda { params, name, .. } => {
+                        assert_eq!(params.len(), 2);
+                        assert_eq!(name, Some(Symbol::intern("f")));
+                    }
+                    other => panic!("{other:?}"),
+                }
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn let_becomes_application() {
+        match x("(let ((a 1) (b 2)) b)") {
+            Core::Call(f, args) => {
+                assert!(matches!(*f, Core::Lambda { .. }));
+                assert_eq!(args.len(), 2);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn variadic_lambda() {
+        match x("(lambda args args)") {
+            Core::Lambda { params, rest, .. } => {
+                assert!(params.is_empty());
+                assert_eq!(rest, Some(Symbol::intern("args")));
+            }
+            other => panic!("{other:?}"),
+        }
+        match x("(lambda (a . r) r)") {
+            Core::Lambda { params, rest, .. } => {
+                assert_eq!(params.len(), 1);
+                assert!(rest.is_some());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn and_or_expand() {
+        assert_eq!(x("(and)"), Core::Quote(Sexp::Bool(true)));
+        assert_eq!(x("(or)"), Core::Quote(Sexp::Bool(false)));
+        assert!(matches!(x("(and 1 2)"), Core::If(..)));
+        assert!(matches!(x("(or 1 2)"), Core::Call(..)));
+    }
+
+    #[test]
+    fn syntax_errors() {
+        for bad in [
+            "(if)",
+            "(set! 3 4)",
+            "(lambda)",
+            "(let (x) x)",
+            "()",
+            "(quote)",
+            "(try 1 2)",
+            "(define)",
+        ] {
+            assert!(
+                expand_top(&read_one(bad).unwrap()).is_err(),
+                "{bad} should fail"
+            );
+        }
+    }
+
+    #[test]
+    fn internal_defines_become_letrec() {
+        match x("(lambda () (define a 1) (define b 2) (+ a b))") {
+            Core::Lambda { body, .. } => {
+                assert_eq!(body.len(), 1);
+                assert!(matches!(&body[0], Core::Call(..)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn try_form() {
+        match x("(try (f) (catch (e) e))") {
+            Core::Try { var, handler, .. } => {
+                assert_eq!(var, Symbol::intern("e"));
+                assert_eq!(handler.len(), 1);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! The shared global environment.
+//!
+//! Global bindings hold substrate [`Value`]s, so every thread of a virtual
+//! machine sees the same top level (the paper's shared root environment)
+//! while thread heaps stay private: a global read converts the value into
+//! the reading thread's heap, a write converts out.
+
+use parking_lot::RwLock;
+use sting_value::{Symbol, Value};
+use std::collections::HashMap;
+
+/// Shared, thread-safe global bindings.
+#[derive(Debug, Default)]
+pub struct Globals {
+    map: RwLock<HashMap<Symbol, Value>>,
+}
+
+impl Globals {
+    /// An empty global environment.
+    pub fn new() -> Globals {
+        Globals::default()
+    }
+
+    /// Reads a binding.
+    pub fn get(&self, name: Symbol) -> Option<Value> {
+        self.map.read().get(&name).cloned()
+    }
+
+    /// Writes a binding (creating it if needed).
+    pub fn set(&self, name: Symbol, v: Value) {
+        self.map.write().insert(name, v);
+    }
+
+    /// Whether `name` is bound.
+    pub fn contains(&self, name: Symbol) -> bool {
+        self.map.read().contains_key(&name)
+    }
+
+    /// Number of bindings.
+    pub fn len(&self) -> usize {
+        self.map.read().len()
+    }
+
+    /// Whether no bindings exist.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_set_round_trip() {
+        let g = Globals::new();
+        let x = Symbol::intern("x-global");
+        assert!(g.get(x).is_none());
+        g.set(x, Value::Int(5));
+        assert_eq!(g.get(x), Some(Value::Int(5)));
+        g.set(x, Value::Int(6));
+        assert_eq!(g.get(x), Some(Value::Int(6)));
+        assert!(g.contains(x));
+    }
+}

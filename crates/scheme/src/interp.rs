@@ -1,0 +1,132 @@
+//! The interpreter facade: source text in, values out, threads underneath.
+//!
+//! An [`Interp`] pairs a STING virtual machine with a growing compiled
+//! [`Program`] and a shared global environment.  Each [`Interp::eval`]
+//! reads, expands and compiles its input against a fresh immutable program
+//! snapshot, then runs the resulting top-level code **on a STING thread**
+//! of the machine (so top-level code can fork, block and be preempted like
+//! any other thread).
+
+use crate::bytecode::Program;
+use crate::compile;
+use crate::error::SchemeError;
+use crate::expand;
+use crate::global::Globals;
+use crate::machine::Machine;
+use crate::prims;
+use crate::reader;
+use parking_lot::Mutex;
+use sting_areas::HeapConfig;
+use sting_core::vm::Vm;
+use sting_value::Value;
+use std::sync::Arc;
+
+/// A Scheme interpreter bound to a STING virtual machine.
+pub struct Interp {
+    vm: Arc<Vm>,
+    program: Mutex<Arc<Program>>,
+    globals: Arc<Globals>,
+    heap_config: HeapConfig,
+}
+
+impl std::fmt::Debug for Interp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Interp")
+            .field("globals", &self.globals.len())
+            .finish()
+    }
+}
+
+impl Interp {
+    /// Creates an interpreter over `vm` with all primitives installed and
+    /// the prelude (library procedures written in Scheme) loaded.
+    pub fn new(vm: Arc<Vm>) -> Interp {
+        let i = Interp::bare(vm);
+        i.eval(include_str!("prelude.scm"))
+            .expect("prelude evaluates");
+        i
+    }
+
+    /// Creates an interpreter with primitives but without the prelude.
+    pub fn bare(vm: Arc<Vm>) -> Interp {
+        let globals = Arc::new(Globals::new());
+        prims::install(&globals);
+        Interp {
+            vm,
+            program: Mutex::new(Arc::new(Program::default())),
+            globals,
+            heap_config: HeapConfig::default(),
+        }
+    }
+
+    /// Sets the heap configuration used by top-level evaluation machines
+    /// (thread machines created by `fork-thread` use the default).
+    pub fn set_heap_config(&mut self, config: HeapConfig) {
+        self.heap_config = config;
+    }
+
+    /// The underlying virtual machine.
+    pub fn vm(&self) -> &Arc<Vm> {
+        &self.vm
+    }
+
+    /// The shared global environment.
+    pub fn globals(&self) -> &Arc<Globals> {
+        &self.globals
+    }
+
+    /// Evaluates every form in `src`, returning the value of the last one.
+    ///
+    /// # Errors
+    ///
+    /// Read/expand/compile errors, or the raised value if the program
+    /// raises an uncaught exception.
+    pub fn eval(&self, src: &str) -> Result<Value, SchemeError> {
+        let forms = reader::read_all(src)?;
+        if forms.is_empty() {
+            return Ok(Value::Unit);
+        }
+        let mut last = Value::Unit;
+        for form in &forms {
+            last = self.eval_form(form)?;
+        }
+        Ok(last)
+    }
+
+    fn eval_form(&self, form: &crate::sexp::Sexp) -> Result<Value, SchemeError> {
+        // Compile against a snapshot extension.
+        let (snapshot, code) = {
+            let mut guard = self.program.lock();
+            let mut next: Program = (**guard).clone();
+            let core = expand::expand_top(form)?;
+            let code = compile::compile_top(&core, &mut next)?;
+            let arc = Arc::new(next);
+            *guard = arc.clone();
+            (arc, code)
+        };
+        // Run on a STING thread so the top level is a real thread.
+        let globals = self.globals.clone();
+        let config = self.heap_config;
+        let t = self.vm.fork_try(move |_cx| -> Result<Value, Value> {
+            let mut m = Machine::with_heap_config(snapshot, globals, config);
+            match m.run_toplevel(code).and_then(|v| m.to_value(v)) {
+                Ok(sv) => Ok(sv),
+                Err(SchemeError::Raised(e)) => Err(e),
+                Err(other) => Err(Value::from(other.to_string())),
+            }
+        });
+        match t.join_blocking() {
+            Ok(v) => Ok(v),
+            Err(e) => Err(SchemeError::Raised(e)),
+        }
+    }
+
+    /// Evaluates and formats the result (REPL-style).
+    ///
+    /// # Errors
+    ///
+    /// As [`Interp::eval`].
+    pub fn eval_to_string(&self, src: &str) -> Result<String, SchemeError> {
+        Ok(self.eval(src)?.to_string())
+    }
+}

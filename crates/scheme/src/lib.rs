@@ -1,0 +1,49 @@
+//! # sting-scheme — the STING computation language
+//!
+//! A Scheme dialect compiled to bytecode and executed on STING threads,
+//! reproducing the paper's computation sublanguage (Orbit-compiled Scheme
+//! in the original).  The pipeline is
+//! [`reader`] → [`expand`] → [`compile`] → [`machine`]:
+//!
+//! * every thread runs its own [`Machine`](machine::Machine) with a
+//!   private generational heap (`sting-areas`) — threads collect garbage
+//!   independently, with no global synchronization;
+//! * the machine polls the thread controller every few hundred
+//!   instructions, so Scheme threads are preemptible;
+//! * all substrate operations — `fork-thread`, `create-thread`,
+//!   `thread-value` (with stealing), `yield-processor`, mutexes, streams,
+//!   tuple spaces, `wait-for-one`/`wait-for-all` — are primitives
+//!   ([`concurrency`]);
+//! * values cross threads by conversion to immutable substrate values
+//!   (copy-on-share; see DESIGN.md).
+//!
+//! ```
+//! use sting_core::VmBuilder;
+//! use sting_scheme::Interp;
+//!
+//! let vm = VmBuilder::new().vps(1).build();
+//! let interp = Interp::new(vm.clone());
+//! let v = interp.eval("(define (fib n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2))))) (fib 10)").unwrap();
+//! assert_eq!(v.as_int(), Some(55));
+//! vm.shutdown();
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod bytecode;
+pub mod compile;
+pub mod concurrency;
+pub mod convert;
+pub mod error;
+pub mod expand;
+pub mod global;
+pub mod interp;
+pub mod machine;
+pub mod prims;
+pub mod print;
+pub mod reader;
+pub mod sexp;
+
+pub use error::SchemeError;
+pub use interp::Interp;
+pub use sexp::Sexp;

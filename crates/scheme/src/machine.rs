@@ -1,0 +1,608 @@
+//! The bytecode machine: one per STING thread.
+//!
+//! A [`Machine`] owns a per-thread [`Heap`] (the paper's storage model —
+//! independent collection, no global synchronization), a value stack and a
+//! frame stack.  It polls the thread controller every
+//! [`CHECKPOINT_WINDOW`] instructions, which is how Scheme threads are
+//! preempted: the whole machine lives on the green thread's stack, so a
+//! context switch (or a block inside a primitive) needs no special
+//! machinery.
+//!
+//! Environments are heap vectors `[parent, v0, v1, …]`; closures are heap
+//! objects `[code-id, env]`.  Calls allocate one frame vector — cheap, and
+//! it exercises the generational collector exactly the way fine-grained
+//! Scheme programs did in the paper.
+
+use crate::bytecode::{Op, Program};
+use crate::convert::{self, SharedFrame};
+use crate::error::SchemeError;
+use crate::global::Globals;
+use crate::prims;
+use sting_areas::{Gc, Heap, HeapConfig, ObjKind, RootSet, Val, Word};
+use sting_core::tc::{self, Cx};
+use sting_value::Value;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Instructions executed between thread-controller polls.
+pub const CHECKPOINT_WINDOW: u32 = 256;
+
+enum EnvRef {
+    Heap(Gc),
+    Shared(Arc<SharedFrame>),
+}
+
+/// A call frame.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Frame {
+    pub(crate) code: u32,
+    pub(crate) ip: usize,
+    /// The environment: `Val::Obj` of a frame vector, or `Val::Nil` at top
+    /// level.
+    pub(crate) env: Val,
+}
+
+/// The per-thread Scheme machine.
+pub struct Machine {
+    /// The thread's private heap.
+    pub heap: Heap,
+    pub(crate) stack: Vec<Val>,
+    pub(crate) frames: Vec<Frame>,
+    /// The compiled-program snapshot this machine executes.
+    pub program: Arc<Program>,
+    /// Shared global bindings (substrate values).
+    pub globals: Arc<Globals>,
+    /// Per-thread fluid (dynamic) bindings, inherited across forks.
+    pub fluids: HashMap<u64, Value>,
+    fuel: u32,
+    /// Re-entrant `apply` depth (primitives calling closures); bounded so
+    /// deeply nested `map`/`%try` chains cannot overflow the green stack.
+    apply_depth: u32,
+}
+
+impl std::fmt::Debug for Machine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Machine")
+            .field("stack", &self.stack.len())
+            .field("frames", &self.frames.len())
+            .finish()
+    }
+}
+
+struct MachineRoots<'a> {
+    stack: &'a mut Vec<Val>,
+    frames: &'a mut Vec<Frame>,
+    extra: &'a mut [Val],
+}
+
+fn trace_val(v: &mut Val, visit: &mut dyn FnMut(&mut Word)) {
+    if let Val::Obj(gc) = v {
+        let mut w = gc.word();
+        visit(&mut w);
+        *v = Val::Obj(Gc::from_word(w).expect("tracer preserves reference-ness"));
+    }
+}
+
+impl RootSet for MachineRoots<'_> {
+    fn trace(&mut self, visit: &mut dyn FnMut(&mut Word)) {
+        for v in self.stack.iter_mut() {
+            trace_val(v, visit);
+        }
+        for f in self.frames.iter_mut() {
+            trace_val(&mut f.env, visit);
+        }
+        for v in self.extra.iter_mut() {
+            trace_val(v, visit);
+        }
+    }
+}
+
+/// Runs `f` with the machine's heap and a root set covering the machine.
+/// Usage: `with_heap!(machine, heap, roots, { heap.cons(a, b, roots) })`.
+macro_rules! with_heap {
+    ($m:expr, $extra:expr, |$heap:ident, $roots:ident| $body:expr) => {{
+        let m: &mut Machine = $m;
+        let mut roots_owner = MachineRoots {
+            stack: &mut m.stack,
+            frames: &mut m.frames,
+            extra: $extra,
+        };
+        let $heap = &mut m.heap;
+        let $roots = &mut roots_owner;
+        $body
+    }};
+}
+
+impl Machine {
+    /// Creates a machine over a program snapshot and shared globals.
+    pub fn new(program: Arc<Program>, globals: Arc<Globals>) -> Machine {
+        Machine::with_heap_config(program, globals, HeapConfig::default())
+    }
+
+    /// Creates a machine with an explicit heap configuration (small
+    /// nurseries exercise the collector; see the GC integration tests).
+    pub fn with_heap_config(
+        program: Arc<Program>,
+        globals: Arc<Globals>,
+        config: HeapConfig,
+    ) -> Machine {
+        Machine {
+            heap: Heap::new(config),
+            stack: Vec::with_capacity(256),
+            frames: Vec::with_capacity(64),
+            program,
+            globals,
+            fluids: HashMap::new(),
+            fuel: CHECKPOINT_WINDOW,
+            apply_depth: 0,
+        }
+    }
+
+    pub(crate) fn push(&mut self, v: Val) {
+        self.stack.push(v);
+    }
+
+    pub(crate) fn pop(&mut self) -> Val {
+        self.stack.pop().expect("value stack underflow")
+    }
+
+    pub(crate) fn popn(&mut self, n: usize) {
+        let len = self.stack.len();
+        self.stack.truncate(len - n);
+    }
+
+    /// Argument `i` of the current primitive call (0-based); the args are
+    /// the top `argc` stack slots.
+    pub(crate) fn arg(&self, argc: usize, i: usize) -> Val {
+        self.stack[self.stack.len() - argc + i]
+    }
+
+    /// Allocates a cons cell with machine roots.
+    pub(crate) fn cons(&mut self, car: Val, cdr: Val) -> Val {
+        let mut extra = [car, cdr];
+        let gc = with_heap!(self, &mut extra, |heap, roots| {
+            // car/cdr are traced through `extra`; re-read after any GC.
+            heap.cons(roots.extra[0], roots.extra[1], roots)
+        });
+        Val::Obj(gc)
+    }
+
+    /// Pops the top `n` stack values and builds a proper list of them (the
+    /// first-pushed value becomes the first element).  Items on the stack
+    /// are GC roots, so this is safe under collection.
+    pub(crate) fn list_from_stack(&mut self, n: usize) -> Val {
+        let mut acc = Val::Nil;
+        for _ in 0..n {
+            let car = self.pop();
+            acc = self.cons(car, acc);
+        }
+        acc
+    }
+
+    /// Allocates a string object.
+    pub(crate) fn string(&mut self, s: &str) -> Val {
+        let gc = with_heap!(self, &mut [], |heap, roots| heap.make_string(s, roots));
+        Val::Obj(gc)
+    }
+
+    /// Allocates a vector from values (the heap roots `items` internally).
+    pub(crate) fn vector(&mut self, items: &[Val]) -> Val {
+        let mut items: Vec<Val> = items.to_vec();
+        let gc = with_heap!(self, &mut [], |heap, roots| {
+            heap.make_vector_from(&mut items, roots)
+        });
+        Val::Obj(gc)
+    }
+
+    /// Allocates a closure over `code` capturing `env`.
+    pub(crate) fn closure(&mut self, code: u32, env: Val) -> Val {
+        let mut captures = [env];
+        let gc = with_heap!(self, &mut [], |heap, roots| {
+            heap.make_closure(code, &mut captures, roots)
+        });
+        Val::Obj(gc)
+    }
+
+    /// Writes field `i` of heap object `gc` (with machine roots).
+    pub(crate) fn set_field_rooted(&mut self, gc: sting_areas::Gc, i: usize, v: Val) {
+        with_heap!(self, &mut [], |heap, roots| heap.set_field(gc, i, v, roots));
+    }
+
+    /// Allocates a vector of `n` copies of `fill`.
+    pub(crate) fn make_vector_fill(&mut self, n: usize, fill: Val) -> Val {
+        let gc = with_heap!(self, &mut [], |heap, roots| heap.make_vector(n, fill, roots));
+        Val::Obj(gc)
+    }
+
+    /// Interns a substrate value into the native table.
+    pub(crate) fn native(&mut self, v: Value) -> Val {
+        self.heap.intern_native(v)
+    }
+
+    /// Converts a heap value to a substrate value (for crossing threads).
+    ///
+    /// # Errors
+    ///
+    /// [`SchemeError::Raised`] on cyclic data.
+    pub fn to_value(&mut self, v: Val) -> Result<Value, SchemeError> {
+        convert::heap_to_value(self, v)
+    }
+
+    /// Converts a substrate value into this machine's heap.
+    pub fn from_value(&mut self, v: &Value) -> Val {
+        convert::value_to_heap(self, v)
+    }
+
+    /// Applies a closure (or primitive) to arguments, running the machine
+    /// until it returns.  Re-entrant: primitives use this for `map`,
+    /// `apply`, `%try` and tuple-space spawns.
+    ///
+    /// # Errors
+    ///
+    /// Propagates raised exceptions and runtime errors.
+    pub fn apply(&mut self, f: Val, args: &[Val]) -> Result<Val, SchemeError> {
+        if self.apply_depth >= 200 {
+            return Err(SchemeError::runtime(
+                "too much recursion through primitives (map/apply/try nesting)",
+            ));
+        }
+        self.apply_depth += 1;
+        let r = self.apply_inner(f, args);
+        self.apply_depth -= 1;
+        r
+    }
+
+    fn apply_inner(&mut self, f: Val, args: &[Val]) -> Result<Val, SchemeError> {
+        let stack_base = self.stack.len();
+        let frame_base = self.frames.len();
+        let result = (|| {
+            self.push(f);
+            for &a in args {
+                self.push(a);
+            }
+            let argc = args.len();
+            if self.begin_call(argc, false)? {
+                let floor = self.frames.len();
+                self.execute(floor)
+            } else {
+                // Primitive: result already pushed.
+                Ok(self.pop())
+            }
+        })();
+        if result.is_err() {
+            // Unwind anything the failed call left behind so the caller's
+            // stack discipline (and GC rooting) stays intact.
+            self.frames.truncate(frame_base);
+            self.stack.truncate(stack_base);
+        }
+        result
+    }
+
+    /// Runs top-level code object `code` to completion.
+    ///
+    /// # Errors
+    ///
+    /// Propagates raised exceptions and runtime errors.
+    pub fn run_toplevel(&mut self, code: u32) -> Result<Val, SchemeError> {
+        self.frames.push(Frame {
+            code,
+            ip: 0,
+            env: Val::Nil,
+        });
+        let floor = self.frames.len();
+        let result = self.execute(floor);
+        if result.is_err() {
+            self.frames.truncate(floor - 1);
+            self.stack.clear();
+        }
+        result
+    }
+
+    /// Starts a call: stack holds `… f a1 … an`.  Returns `true` if a
+    /// frame was pushed (closure call); `false` if a primitive ran and its
+    /// result is on the stack.
+    fn begin_call(&mut self, argc: usize, tail: bool) -> Result<bool, SchemeError> {
+        let f = self.stack[self.stack.len() - argc - 1];
+        match f {
+            Val::Obj(gc) if self.heap.kind(gc) == ObjKind::Closure => {
+                let code_id = self.heap.closure_code(gc);
+                let captured_env = self.heap.closure_capture(gc, 0);
+                let code = &self.program.codes[code_id as usize];
+                let arity = code.arity as usize;
+                let rest = code.rest;
+                let name = code.name;
+                if argc < arity || (!rest && argc > arity) {
+                    return Err(SchemeError::runtime(format!(
+                        "arity mismatch calling {}: expected {}{}, got {argc}",
+                        name.map(|s| s.to_string()).unwrap_or_else(|| "#<lambda>".into()),
+                        arity,
+                        if rest { "+" } else { "" },
+                    )));
+                }
+                // Collect rest args into a list.
+                let restlist = if rest {
+                    Some(self.list_from_stack(argc - arity))
+                } else {
+                    None
+                };
+                // Build the frame vector: [parent, a0 …, rest?].
+                let mut slots: Vec<Val> = Vec::with_capacity(arity + 2);
+                slots.push(captured_env);
+                let top = self.stack.len();
+                for i in 0..arity {
+                    slots.push(self.stack[top - arity + i]);
+                }
+                if let Some(r) = restlist {
+                    slots.push(r);
+                }
+                let frame_gc = {
+                    let mut slots = slots;
+                    with_heap!(self, &mut [], |heap, roots| {
+                        heap.make_frame_from(&mut slots, roots)
+                    })
+                };
+                // Pop args + fn.
+                self.popn(arity + 1);
+                if tail {
+                    let frame = self.frames.last_mut().expect("tail call inside a frame");
+                    frame.code = code_id;
+                    frame.ip = 0;
+                    frame.env = Val::Obj(frame_gc);
+                } else {
+                    self.frames.push(Frame {
+                        code: code_id,
+                        ip: 0,
+                        env: Val::Obj(frame_gc),
+                    });
+                }
+                Ok(true)
+            }
+            Val::Native(slot) => {
+                let nv = self.heap.native(slot).clone();
+                let Some(p) = nv.native_as::<prims::Prim>() else {
+                    return Err(SchemeError::runtime(format!(
+                        "not a procedure: {nv}"
+                    )));
+                };
+                let result = prims::dispatch(self, &p, argc)?;
+                // Pop args + fn, push result.
+                self.popn(argc + 1);
+                self.push(result);
+                Ok(false)
+            }
+            other => Err(SchemeError::runtime(format!(
+                "not a procedure: {}",
+                crate::print::display_val(self, other)
+            ))),
+        }
+    }
+
+    /// Core dispatch loop: runs until the frame stack drops below `floor`.
+    fn execute(&mut self, floor: usize) -> Result<Val, SchemeError> {
+        loop {
+            self.fuel -= 1;
+            if self.fuel == 0 {
+                self.fuel = CHECKPOINT_WINDOW;
+                tc::checkpoint();
+            }
+            let frame = *self.frames.last().expect("frame stack underflow");
+            let op = self.program.codes[frame.code as usize].ops[frame.ip];
+            self.frames.last_mut().expect("frame").ip += 1;
+            match op {
+                Op::Const(k) => {
+                    let v = self.program.constants[k as usize].clone();
+                    let hv = self.from_value(&v);
+                    self.push(hv);
+                }
+                Op::Int(i) => self.push(Val::Int(i64::from(i))),
+                Op::True => self.push(Val::Bool(true)),
+                Op::False => self.push(Val::Bool(false)),
+                Op::Nil => self.push(Val::Nil),
+                Op::Unit => self.push(Val::Unit),
+                Op::Local(depth, idx) => {
+                    let v = self.local_ref(frame.env, depth, idx)?;
+                    self.push(v);
+                }
+                Op::SetLocal(depth, idx) => {
+                    let v = self.pop();
+                    self.local_set(frame.env, depth, idx, v)?;
+                    self.push(Val::Unit);
+                }
+                Op::Global(slot) => {
+                    let name = self.program.global_names[slot as usize];
+                    let v = self.globals.get(name).ok_or_else(|| {
+                        SchemeError::runtime(format!("unbound variable: {name}"))
+                    })?;
+                    let hv = self.from_value(&v);
+                    self.push(hv);
+                }
+                Op::SetGlobal(slot) => {
+                    let name = self.program.global_names[slot as usize];
+                    let v = self.pop();
+                    let sv = self.to_value(v)?;
+                    self.globals.set(name, sv);
+                    self.push(Val::Unit);
+                }
+                Op::Closure(code_id) => {
+                    let v = self.closure(code_id, frame.env);
+                    self.push(v);
+                }
+                Op::Call(n) => {
+                    self.begin_call(n as usize, false)?;
+                }
+                Op::TailCall(n) => {
+                    let pushed = self.begin_call(n as usize, true)?;
+                    if !pushed {
+                        // Primitive in tail position: its result is the
+                        // frame's return value.
+                        let v = self.pop();
+                        self.frames.pop();
+                        if self.frames.len() < floor {
+                            return Ok(v);
+                        }
+                        self.push(v);
+                    }
+                }
+                Op::Return => {
+                    let v = self.pop();
+                    self.frames.pop();
+                    if self.frames.len() < floor {
+                        return Ok(v);
+                    }
+                    self.push(v);
+                }
+                Op::Jump(d) => {
+                    let f = self.frames.last_mut().expect("frame");
+                    f.ip = (f.ip as i64 + i64::from(d)) as usize;
+                }
+                Op::JumpIfFalse(d) => {
+                    let v = self.pop();
+                    if v.is_false() {
+                        let f = self.frames.last_mut().expect("frame");
+                        f.ip = (f.ip as i64 + i64::from(d)) as usize;
+                    }
+                }
+                Op::Pop => {
+                    self.pop();
+                }
+            }
+        }
+    }
+
+    /// Resolves the frame `depth` levels up the environment chain.  A
+    /// frame is either a heap object ([`sting_areas::ObjKind::Frame`]) or a
+    /// shared substrate frame ([`SharedFrame`]) for closures converted
+    /// across thread/top-level boundaries.
+    fn env_at(&self, env: Val, depth: u16) -> Result<EnvRef, SchemeError> {
+        let short = || SchemeError::Vm("environment chain too short".into());
+        let mut cur = match env {
+            Val::Obj(gc) => EnvRef::Heap(gc),
+            Val::Native(slot) => EnvRef::Shared(
+                self.heap
+                    .native(slot)
+                    .native_as::<SharedFrame>()
+                    .ok_or_else(short)?,
+            ),
+            _ => return Err(short()),
+        };
+        for _ in 0..depth {
+            cur = match cur {
+                EnvRef::Heap(gc) => match self.heap.field(gc, 0) {
+                    Val::Obj(g) => EnvRef::Heap(g),
+                    Val::Native(slot) => EnvRef::Shared(
+                        self.heap
+                            .native(slot)
+                            .native_as::<SharedFrame>()
+                            .ok_or_else(short)?,
+                    ),
+                    _ => return Err(short()),
+                },
+                EnvRef::Shared(sf) => {
+                    let parent = sf.parent.clone();
+                    EnvRef::Shared(parent.native_as::<SharedFrame>().ok_or_else(short)?)
+                }
+            };
+        }
+        Ok(cur)
+    }
+
+    fn local_ref(&mut self, env: Val, depth: u16, idx: u16) -> Result<Val, SchemeError> {
+        match self.env_at(env, depth)? {
+            EnvRef::Heap(frame) => Ok(self.heap.field(frame, idx as usize + 1)),
+            EnvRef::Shared(sf) => {
+                let v = sf
+                    .slots
+                    .read()
+                    .get(idx as usize)
+                    .cloned()
+                    .ok_or_else(|| SchemeError::Vm("frame slot out of range".into()))?;
+                Ok(self.from_value(&v))
+            }
+        }
+    }
+
+    fn local_set(
+        &mut self,
+        env: Val,
+        depth: u16,
+        idx: u16,
+        v: Val,
+    ) -> Result<(), SchemeError> {
+        match self.env_at(env, depth)? {
+            EnvRef::Heap(frame) => {
+                let mut extra = [v, Val::Obj(frame)];
+                with_heap!(self, &mut extra, |heap, roots| {
+                    let value = roots.extra[0];
+                    let Val::Obj(frame) = roots.extra[1] else {
+                        unreachable!()
+                    };
+                    heap.set_field(frame, idx as usize + 1, value, roots);
+                });
+                Ok(())
+            }
+            EnvRef::Shared(sf) => {
+                let sv = self.to_value(v)?;
+                let mut slots = sf.slots.write();
+                let slot = slots
+                    .get_mut(idx as usize)
+                    .ok_or_else(|| SchemeError::Vm("frame slot out of range".into()))?;
+                *slot = sv;
+                Ok(())
+            }
+        }
+    }
+
+    /// Runs a thread body: applies `thunk_value` (a converted closure) and
+    /// converts the result back to a substrate value.  This is what
+    /// `fork-thread` schedules.
+    ///
+    /// # Errors
+    ///
+    /// Propagates raised exceptions.
+    pub fn run_thunk_value(&mut self, thunk: &Value) -> Result<Value, SchemeError> {
+        let f = self.from_value(thunk);
+        let result = self.apply(f, &[])?;
+        self.to_value(result)
+    }
+}
+
+/// Forks a Scheme thunk (already converted to a substrate value) as a new
+/// STING thread with its own machine; used by `fork-thread` and friends.
+pub fn fork_thunk_value(
+    cx: &Cx,
+    program: Arc<Program>,
+    globals: Arc<Globals>,
+    fluids: HashMap<u64, Value>,
+    thunk: Value,
+) -> std::sync::Arc<sting_core::Thread> {
+    cx.fork_try(move |cx2| run_thunk_in_fresh_machine(cx2, program, globals, fluids, &thunk))
+}
+
+/// Creates a delayed Scheme thread from a converted thunk.
+pub fn delay_thunk_value(
+    cx: &Cx,
+    program: Arc<Program>,
+    globals: Arc<Globals>,
+    fluids: HashMap<u64, Value>,
+    thunk: Value,
+) -> std::sync::Arc<sting_core::Thread> {
+    cx.delayed_try(move |cx2| run_thunk_in_fresh_machine(cx2, program, globals, fluids, &thunk))
+}
+
+/// Body shared by forked/delayed Scheme threads; an uncaught raise
+/// becomes the thread's exception outcome.
+pub fn run_thunk_in_fresh_machine(
+    _cx: &Cx,
+    program: Arc<Program>,
+    globals: Arc<Globals>,
+    fluids: HashMap<u64, Value>,
+    thunk: &Value,
+) -> Result<Value, Value> {
+    let mut m = Machine::new(program, globals);
+    m.fluids = fluids;
+    match m.run_thunk_value(thunk) {
+        Ok(v) => Ok(v),
+        Err(SchemeError::Raised(v)) => Err(v),
+        Err(other) => Err(Value::from(other.to_string())),
+    }
+}

@@ -1,0 +1,105 @@
+;; The STING Scheme prelude: library procedures written in the language
+;; itself, evaluated once when an interpreter is created.  Concurrency
+;; conveniences at the bottom build on the substrate primitives.
+
+(define (list? x)
+  (or (null? x) (and (pair? x) (list? (cdr x)))))
+
+(define (iota n)
+  (let loop ((i (- n 1)) (acc '()))
+    (if (< i 0) acc (loop (- i 1) (cons i acc)))))
+
+(define (fold f init lst)
+  (if (null? lst) init (fold f (f init (car lst)) (cdr lst))))
+
+(define (fold-right f init lst)
+  (if (null? lst) init (f (car lst) (fold-right f init (cdr lst)))))
+
+(define (last lst)
+  (if (null? (cdr lst)) (car lst) (last (cdr lst))))
+
+(define (any pred lst)
+  (cond ((null? lst) #f)
+        ((pred (car lst)) #t)
+        (else (any pred (cdr lst)))))
+
+(define (every pred lst)
+  (cond ((null? lst) #t)
+        ((pred (car lst)) (every pred (cdr lst)))
+        (else #f)))
+
+(define (take lst n)
+  (if (or (zero? n) (null? lst))
+      '()
+      (cons (car lst) (take (cdr lst) (- n 1)))))
+
+(define (drop lst n)
+  (if (or (zero? n) (null? lst)) lst (drop (cdr lst) (- n 1))))
+
+(define (assoc-ref alist key)
+  (let ((hit (assoc key alist)))
+    (if hit (cdr hit) #f)))
+
+(define (string-join strs sep)
+  (cond ((null? strs) "")
+        ((null? (cdr strs)) (car strs))
+        (else (string-append (car strs) sep (string-join (cdr strs) sep)))))
+
+(define (sum lst) (fold + 0 lst))
+
+;; ---------------------------------------------------------------------
+;; Concurrency conveniences (the paper's idioms, packaged)
+;; ---------------------------------------------------------------------
+
+;; Apply f to every element in its own thread; barrier on the results
+;; (wait-for-all keeps order).
+(define (parallel-map f lst)
+  (wait-for-all (map (lambda (x) (fork-thread (lambda () (f x)))) lst)))
+
+;; Evaluate thunks speculatively; first result wins, losers terminated.
+(define (race . thunks)
+  (cadr (wait-for-one! (map fork-thread thunks))))
+
+;; Fork n copies of a worker thunk; returns the thread list.
+(define (spawn-workers n thunk)
+  (map (lambda (k) (fork-thread thunk)) (iota n)))
+
+;; A future protected by memoized touch is just a delayed thread.
+(define (make-promise thunk) (create-thread thunk))
+(define (force-promise p) (touch p))
+
+(define (merge less? a b)
+  (cond ((null? a) b)
+        ((null? b) a)
+        ((less? (car b) (car a)) (cons (car b) (merge less? a (cdr b))))
+        (else (cons (car a) (merge less? (cdr a) b)))))
+
+;; Bottom-up merge sort (stable).
+(define (list-sort less? lst)
+  (define (pairwise runs)
+    (cond ((null? runs) '())
+          ((null? (cdr runs)) runs)
+          (else (cons (merge less? (car runs) (cadr runs))
+                      (pairwise (cddr runs))))))
+  (let loop ((runs (map list lst)))
+    (cond ((null? runs) '())
+          ((null? (cdr runs)) (car runs))
+          (else (loop (pairwise runs))))))
+
+(define (remove pred lst)
+  (filter (lambda (x) (not (pred x))) lst))
+
+(define (delete x lst)
+  (remove (lambda (y) (equal? x y)) lst))
+
+(define (list-index pred lst)
+  (let loop ((i 0) (l lst))
+    (cond ((null? l) #f)
+          ((pred (car l)) i)
+          (else (loop (+ i 1) (cdr l))))))
+
+(define (append-map f lst)
+  (fold append '() (map f lst)))
+
+(define (count pred lst)
+  (fold (lambda (acc x) (if (pred x) (+ acc 1) acc)) 0 lst))

@@ -1,0 +1,101 @@
+//! Surface syntax: s-expressions.
+
+use sting_value::Symbol;
+use std::fmt;
+
+/// A read s-expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Sexp {
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Boolean literal (`#t` / `#f`).
+    Bool(bool),
+    /// Character literal (`#\a`).
+    Char(char),
+    /// String literal.
+    Str(String),
+    /// Symbol.
+    Sym(Symbol),
+    /// Proper list `(a b c)`; `tail` is the dotted tail of an improper
+    /// list, if any.
+    List(Vec<Sexp>, Option<Box<Sexp>>),
+    /// Vector literal `#(a b c)`.
+    Vector(Vec<Sexp>),
+}
+
+impl Sexp {
+    /// A symbol s-expression from text.
+    pub fn sym(name: &str) -> Sexp {
+        Sexp::Sym(Symbol::intern(name))
+    }
+
+    /// A proper list.
+    pub fn list(items: Vec<Sexp>) -> Sexp {
+        Sexp::List(items, None)
+    }
+
+    /// Whether this is the empty list `()`.
+    pub fn is_nil(&self) -> bool {
+        matches!(self, Sexp::List(items, None) if items.is_empty())
+    }
+
+    /// The symbol, if this is one.
+    pub fn as_sym(&self) -> Option<Symbol> {
+        match self {
+            Sexp::Sym(s) => Some(*s),
+            _ => None,
+        }
+    }
+
+    /// Whether this is a proper list headed by the symbol `name`.
+    pub fn is_form(&self, name: &str) -> bool {
+        match self {
+            Sexp::List(items, None) => items
+                .first()
+                .and_then(Sexp::as_sym)
+                .is_some_and(|s| s == Symbol::intern(name)),
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for Sexp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Sexp::Int(i) => write!(f, "{i}"),
+            Sexp::Float(x) => write!(f, "{x}"),
+            Sexp::Bool(true) => write!(f, "#t"),
+            Sexp::Bool(false) => write!(f, "#f"),
+            Sexp::Char(' ') => write!(f, "#\\space"),
+            Sexp::Char('\n') => write!(f, "#\\newline"),
+            Sexp::Char(c) => write!(f, "#\\{c}"),
+            Sexp::Str(s) => write!(f, "{s:?}"),
+            Sexp::Sym(s) => write!(f, "{s}"),
+            Sexp::List(items, tail) => {
+                write!(f, "(")?;
+                for (i, x) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ")?;
+                    }
+                    write!(f, "{x}")?;
+                }
+                if let Some(t) = tail {
+                    write!(f, " . {t}")?;
+                }
+                write!(f, ")")
+            }
+            Sexp::Vector(items) => {
+                write!(f, "#(")?;
+                for (i, x) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ")?;
+                    }
+                    write!(f, "{x}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}

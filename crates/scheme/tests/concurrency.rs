@@ -1,0 +1,560 @@
+//! Scheme-level concurrency: the paper's own programming idioms running on
+//! the substrate — futures, stealing, streams (the Figure 2 sieve), tuple
+//! spaces, speculative and barrier synchronization, preemption.
+
+use sting_core::VmBuilder;
+use sting_scheme::{Interp, SchemeError};
+use sting_value::Value;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn interp(vps: usize) -> (Arc<sting_core::Vm>, Interp) {
+    let vm = VmBuilder::new()
+        .vps(vps)
+        .tick(Duration::from_micros(300))
+        .build();
+    let i = Interp::new(vm.clone());
+    (vm, i)
+}
+
+fn ev(i: &Interp, src: &str) -> Value {
+    match i.eval(src) {
+        Ok(v) => v,
+        Err(e) => panic!("eval {src:?} failed: {e}"),
+    }
+}
+
+#[test]
+fn fork_and_wait() {
+    let (vm, i) = interp(1);
+    assert_eq!(
+        ev(&i, "(thread-wait (fork-thread (lambda () (* 6 7))))").as_int(),
+        Some(42)
+    );
+    vm.shutdown();
+}
+
+#[test]
+fn future_touch_sugar() {
+    let (vm, i) = interp(1);
+    assert_eq!(ev(&i, "(touch (future (+ 1 2)))").as_int(), Some(3));
+    // delay = create-thread: runs only when demanded, usually stolen.
+    assert_eq!(ev(&i, "(touch (delay (* 10 10)))").as_int(), Some(100));
+    vm.shutdown();
+}
+
+#[test]
+fn delayed_threads_are_stolen_on_touch() {
+    let (vm, i) = interp(1);
+    let v = ev(
+        &i,
+        "(let ((before (substrate-counter 'steals))
+               (l (delay 99)))
+           (touch l)
+           (- (substrate-counter 'steals) before))",
+    );
+    assert_eq!(v.as_int(), Some(1), "touch of a delayed thread steals it");
+    vm.shutdown();
+}
+
+#[test]
+fn thread_state_transitions_visible() {
+    let (vm, i) = interp(1);
+    assert_eq!(
+        ev(&i, "(thread-state (delay 1))"),
+        Value::sym("delayed")
+    );
+    assert_eq!(
+        ev(
+            &i,
+            "(let ((t (fork-thread (lambda () 5)))) (thread-wait t) (thread-state t))"
+        ),
+        Value::sym("determined")
+    );
+    vm.shutdown();
+}
+
+#[test]
+fn exceptions_cross_thread_boundaries() {
+    let (vm, i) = interp(1);
+    // The forked thread raises; the waiter observes it as an exception.
+    match i.eval("(thread-wait (fork-thread (lambda () (raise 'child-boom))))") {
+        Err(SchemeError::Raised(v)) => assert_eq!(v, Value::sym("child-boom")),
+        other => panic!("{other:?}"),
+    }
+    // ... and can catch it.
+    assert_eq!(
+        ev(
+            &i,
+            "(try (thread-wait (fork-thread (lambda () (raise 'oops))))
+                  (catch (e) (list 'caught e)))"
+        )
+        .to_string(),
+        "(caught oops)"
+    );
+    vm.shutdown();
+}
+
+#[test]
+fn closures_capture_across_fork() {
+    let (vm, i) = interp(1);
+    assert_eq!(
+        ev(
+            &i,
+            "(let ((n 20)) (thread-wait (fork-thread (lambda () (+ n 22)))))"
+        )
+        .as_int(),
+        Some(42)
+    );
+    vm.shutdown();
+}
+
+#[test]
+fn fork_isolates_captured_state_from_parent() {
+    // Copy-on-share: the child gets its own copy of the captured
+    // environment at fork time (like Erlang process isolation); the
+    // parent's frame is untouched.  Threads share state through the
+    // substrate's synchronizing objects instead (tuple spaces, streams).
+    let (vm, i) = interp(1);
+    assert_eq!(
+        ev(
+            &i,
+            "(let ((cell 1))
+               (let ((child (fork-thread (lambda () (set! cell 41) cell))))
+                 (list (thread-wait child) cell)))"
+        )
+        .to_string(),
+        "(41 1)"
+    );
+    vm.shutdown();
+}
+
+#[test]
+fn toplevel_closures_share_state_across_calls() {
+    // But closures converted *once* (e.g. bound at top level) share their
+    // environment between every caller — the shared-frame mechanism.
+    let (vm, i) = interp(1);
+    ev(&i, "(define counter (let ((n 0)) (lambda () (set! n (+ n 1)) n)))");
+    assert_eq!(ev(&i, "(counter)").as_int(), Some(1));
+    assert_eq!(
+        ev(&i, "(thread-wait (fork-thread (lambda () (counter))))").as_int(),
+        Some(2),
+        "a forked thread increments the same shared frame"
+    );
+    assert_eq!(ev(&i, "(counter)").as_int(), Some(3));
+    vm.shutdown();
+}
+
+#[test]
+fn sieve_of_eratosthenes_with_streams() {
+    // Figure 2's sieve: filters connected by synchronizing streams.  Each
+    // filter is an eager thread (the paper's third variant).
+    let (vm, i) = interp(1);
+    ev(
+        &i,
+        r#"
+(define (make-filter n input output)
+  ;; Remove multiples of n from input; forward the rest.
+  (fork-thread
+    (lambda ()
+      (let loop ((c (stream-cursor input)))
+        (let ((x (cursor-next! c)))
+          (cond ((eof-object? x) (stream-close! output))
+                ((zero? (modulo x n)) (loop c))
+                (else (stream-attach! output x) (loop c))))))))
+
+(define (sieve limit)
+  (let ((numbers (make-stream)))
+    ;; Producer.
+    (fork-thread
+      (lambda ()
+        (let loop ((i 2))
+          (if (> i limit)
+              (stream-close! numbers)
+              (begin (stream-attach! numbers i) (loop (+ i 1)))))))
+    ;; Chain of filters, built as primes are discovered.
+    (let loop ((in numbers) (primes '()))
+      (let ((x (cursor-next! (stream-cursor in))))
+        (if (eof-object? x)
+            (reverse primes)
+            (let ((out (make-stream)))
+              (make-filter x in out)
+              ;; Skip x itself on the filtered stream.
+              (loop out (cons x primes))))))))
+"#,
+    );
+    let primes = ev(&i, "(sieve 30)");
+    assert_eq!(primes.to_string(), "(2 3 5 7 11 13 17 19 23 29)");
+    vm.shutdown();
+}
+
+#[test]
+fn primes_with_futures_figure_3() {
+    // Figure 3: result-parallel primality with futures; touching walks the
+    // dependency chain, stealing delayed work.
+    let (vm, i) = interp(1);
+    ev(
+        &i,
+        r#"
+(define (filter-prime n primes)
+  (let loop ((j 3))
+    (cond ((> (* j j) n) (cons n (touch primes)))
+          ((zero? (modulo n j)) (touch primes))
+          (else (loop (+ j 2))))))
+
+(define (primes limit)
+  (let loop ((i 3) (primes (future (list 2))))
+    (if (> i limit)
+        (touch primes)
+        (loop (+ i 2) (delay (filter-prime i primes))))))
+"#,
+    );
+    let v = ev(&i, "(reverse (primes 50))");
+    assert_eq!(v.to_string(), "(2 3 5 7 11 13 17 19 23 29 31 37 41 43 47)");
+    vm.shutdown();
+}
+
+#[test]
+fn tuple_space_master_slave() {
+    let (vm, i) = interp(2);
+    ev(
+        &i,
+        r#"
+(define ts (make-ts))
+(define (slave)
+  (fork-thread
+    (lambda ()
+      (let loop ()
+        (let ((job (ts-get ts (list 'job '?))))
+          (let ((n (car job)))
+            (if (< n 0)
+                'done
+                (begin
+                  (ts-put ts (list 'ack n (* n n)))
+                  (loop)))))))))
+"#,
+    );
+    let v = ev(
+        &i,
+        r#"
+(let ((workers (list (slave) (slave))))
+  ;; Put 10 jobs, collect 10 acks, then poison the workers.
+  (let put-loop ((n 0))
+    (when (< n 10) (ts-put ts (list 'job n)) (put-loop (+ n 1))))
+  (let collect ((n 0) (total 0))
+    (if (= n 10)
+        (begin
+          (ts-put ts (list 'job -1))
+          (ts-put ts (list 'job -1))
+          (wait-for-all workers)
+          total)
+        (let ((ack (ts-get ts (list 'ack n '?))))
+          (collect (+ n 1) (+ total (car ack)))))))
+"#,
+    );
+    assert_eq!(v.as_int(), Some((0..10i64).map(|n| n * n).sum()));
+    vm.shutdown();
+}
+
+#[test]
+fn tuple_space_spawn_active_tuples() {
+    let (vm, i) = interp(1);
+    let v = ev(
+        &i,
+        r#"
+(let ((ts (make-ts)))
+  (ts-spawn ts (list (lambda () (* 3 3)) (lambda () (* 4 4))))
+  ;; Matching demands the threads' values.
+  (let ((b (ts-get ts (list '? '?))))
+    (+ (car b) (cadr b))))
+"#,
+    );
+    assert_eq!(v.as_int(), Some(25));
+    vm.shutdown();
+}
+
+#[test]
+fn counter_idiom_get_put() {
+    // The paper's (get TS [?x] (put TS [(+ x 1)])) increment.
+    let (vm, i) = interp(2);
+    let v = ev(
+        &i,
+        r#"
+(let ((ts (make-ts)))
+  (ts-put ts (list 0))
+  (let ((workers
+         (let loop ((k 0) (acc '()))
+           (if (= k 4)
+               acc
+               (loop (+ k 1)
+                     (cons (fork-thread
+                            (lambda ()
+                              (let loop ((n 0))
+                                (when (< n 25)
+                                  (let ((x (ts-get ts (list '?))))
+                                    (ts-put ts (list (+ (car x) 1))))
+                                  (loop (+ n 1))))))
+                           acc))))))
+    (wait-for-all workers)
+    (car (ts-get ts (list '?)))))
+"#,
+    );
+    assert_eq!(v.as_int(), Some(100));
+    vm.shutdown();
+}
+
+#[test]
+fn wait_for_one_speculative() {
+    let (vm, i) = interp(1);
+    let v = ev(
+        &i,
+        r#"
+(let* ((slow (fork-thread (lambda () (sleep-ms 500) 'slow)))
+       (fast (fork-thread (lambda () 'fast)))
+       (winner (wait-for-one! (list slow fast))))
+  (cadr winner))
+"#,
+    );
+    assert_eq!(v, Value::sym("fast"));
+    vm.shutdown();
+}
+
+#[test]
+fn wait_for_all_barrier() {
+    let (vm, i) = interp(1);
+    let v = ev(
+        &i,
+        r#"
+(let ((threads (map (lambda (n) (fork-thread (lambda () (* n 10))))
+                    '(1 2 3 4))))
+  (apply + (wait-for-all threads)))
+"#,
+    );
+    assert_eq!(v.as_int(), Some(100));
+    vm.shutdown();
+}
+
+#[test]
+fn mutexes_protect_shared_state() {
+    let (vm, i) = interp(2);
+    let v = ev(
+        &i,
+        r#"
+(let ((m (make-mutex 16 2))
+      (ts (make-ts 'shared-var)))
+  (ts-put ts (list 0))
+  (let ((workers
+         (map (lambda (k)
+                (fork-thread
+                 (lambda ()
+                   (let loop ((n 0))
+                     (when (< n 50)
+                       (with-mutex m
+                         (lambda ()
+                           (let ((x (ts-get ts (list '?))))
+                             (ts-put ts (list (+ (car x) 1))))))
+                       (loop (+ n 1)))))))
+              '(1 2))))
+    (wait-for-all workers)
+    (car (ts-rd ts (list '?)))))
+"#,
+    );
+    assert_eq!(v.as_int(), Some(100));
+    vm.shutdown();
+}
+
+#[test]
+fn barriers_align_phases() {
+    let (vm, i) = interp(1);
+    let v = ev(
+        &i,
+        r#"
+(let ((b (make-barrier 3))
+      (ts (make-ts 'queue)))
+  (let ((workers
+         (map (lambda (k)
+                (fork-thread
+                 (lambda ()
+                   (ts-put ts (list 'phase1 k))
+                   (barrier-arrive b)
+                   (ts-put ts (list 'phase2 k)))))
+              '(0 1 2))))
+    (wait-for-all workers)
+    ;; All phase1 tuples must precede all phase2 tuples in queue order.
+    (let loop ((seen1 0) (ok #t))
+      (let ((x (ts-try-get ts (list '? '?))))
+        (if x
+            (if (eq? (car x) 'phase1)
+                (loop (+ seen1 1) (and ok (< seen1 3)))
+                (loop seen1 (and ok (= seen1 3))))
+            (if ok 'ordered 'interleaved))))))
+"#,
+    );
+    assert_eq!(v, Value::sym("ordered"));
+    vm.shutdown();
+}
+
+#[test]
+fn preemption_interleaves_scheme_threads() {
+    let (vm, i) = interp(1);
+    // Two non-yielding spinners on one VP; the checkpoint window plus the
+    // timekeeper preempt them.
+    let v = ev(
+        &i,
+        r#"
+(let ((ts (make-ts 'shared-var)))
+  (ts-put ts (list 'go))
+  (let ((t1 (fork-thread (lambda () (let loop ((n 0)) (if (= n 60000) 'a (loop (+ n 1)))))))
+        (t2 (fork-thread (lambda () (let loop ((n 0)) (if (= n 60000) 'b (loop (+ n 1))))))))
+    (wait-for-all (list t1 t2))
+    (substrate-counter 'preemptions)))
+"#,
+    );
+    assert!(
+        v.as_int().unwrap() > 0,
+        "expected preemptions, got {v}"
+    );
+    vm.shutdown();
+}
+
+#[test]
+fn fluids_are_inherited_per_thread() {
+    let (vm, i) = interp(1);
+    let v = ev(
+        &i,
+        r#"
+(let ((f (make-fluid 'parent)))
+  (fluid-set! f 'before-fork)
+  (let ((child (fork-thread (lambda ()
+                              (let ((inherited (fluid-ref f)))
+                                (fluid-set! f 'child-own)
+                                inherited)))))
+    (let ((got (thread-wait child)))
+      ;; The child's mutation is not visible here (dynamic env is
+      ;; per-thread, inherited at fork).
+      (list got (fluid-ref f)))))
+"#,
+    );
+    assert_eq!(v.to_string(), "(before-fork before-fork)");
+    vm.shutdown();
+}
+
+#[test]
+fn terminate_and_kill_group() {
+    let (vm, i) = interp(1);
+    let v = ev(
+        &i,
+        r#"
+(let ((spinner (fork-thread (lambda () (let loop () (yield-processor) (loop))))))
+  (thread-terminate spinner 'killed)
+  (thread-wait spinner))
+"#,
+    );
+    assert_eq!(v, Value::sym("killed"));
+    vm.shutdown();
+}
+
+#[test]
+fn explicit_vp_placement() {
+    // Pinning is only meaningful under a non-migrating policy: the default
+    // migrating policy may (correctly) move the thread to an idle VP.
+    let vm = VmBuilder::new()
+        .vps(3)
+        .policy(|_| sting_core::policies::local_fifo().boxed())
+        .build();
+    let i = Interp::new(vm.clone());
+    let v = ev(
+        &i,
+        r#"
+(let ((t (fork-thread (lambda () (current-vp)) 2)))
+  (list (vp-count) (thread-wait t)))
+"#,
+    );
+    assert_eq!(v.to_string(), "(3 2)");
+    vm.shutdown();
+}
+
+#[test]
+fn without_preemption_runs_body() {
+    let (vm, i) = interp(1);
+    let v = ev(&i, "(without-preemption (lambda () (+ 20 22)))");
+    assert_eq!(v.as_int(), Some(42));
+    vm.shutdown();
+}
+
+#[test]
+fn yield_processor_from_scheme() {
+    let (vm, i) = interp(1);
+    let v = ev(
+        &i,
+        "(let ((t (fork-thread (lambda () 1)))) (yield-processor) (thread-wait t))",
+    );
+    assert_eq!(v.as_int(), Some(1));
+    vm.shutdown();
+}
+
+#[test]
+fn thread_raise_bang_from_scheme() {
+    let (vm, i) = interp(1);
+    let v = ev(
+        &i,
+        r#"
+(let ((victim (fork-thread (lambda () (let loop () (yield-processor) (loop))))))
+  (thread-raise! victim 'poked)
+  (try (thread-wait victim) (catch (e) (list 'caught e))))
+"#,
+    );
+    assert_eq!(v.to_string(), "(caught poked)");
+    vm.shutdown();
+}
+
+#[test]
+fn prelude_helpers_available() {
+    let (vm, i) = interp(2);
+    assert_eq!(ev(&i, "(sum (iota 10))").as_int(), Some(45));
+    assert_eq!(
+        ev(&i, "(parallel-map (lambda (x) (* 2 x)) '(1 2 3))").to_string(),
+        "(2 4 6)"
+    );
+    assert_eq!(ev(&i, "(every odd? '(1 3 5))"), Value::Bool(true));
+    assert_eq!(ev(&i, "(any even? '(1 3 5))"), Value::Bool(false));
+    assert_eq!(ev(&i, "(take '(1 2 3 4) 2)").to_string(), "(1 2)");
+    assert_eq!(ev(&i, "(drop '(1 2 3 4) 2)").to_string(), "(3 4)");
+    assert_eq!(
+        ev(&i, "(force-promise (make-promise (lambda () 11)))").as_int(),
+        Some(11)
+    );
+    vm.shutdown();
+}
+
+#[test]
+fn prelude_sort_and_list_utilities() {
+    let (vm, i) = interp(1);
+    assert_eq!(
+        ev(&i, "(list-sort < '(5 2 8 1 9 3 3 0))").to_string(),
+        "(0 1 2 3 3 5 8 9)"
+    );
+    assert_eq!(ev(&i, "(list-sort < '())").to_string(), "()");
+    assert_eq!(ev(&i, "(list-sort > '(1 2 3))").to_string(), "(3 2 1)");
+    assert_eq!(ev(&i, "(remove odd? '(1 2 3 4))").to_string(), "(2 4)");
+    assert_eq!(ev(&i, "(delete 2 '(1 2 3 2))").to_string(), "(1 3)");
+    assert_eq!(ev(&i, "(list-index even? '(1 3 4 5))").as_int(), Some(2));
+    assert_eq!(ev(&i, "(list-index even? '(1 3 5))"), Value::Bool(false));
+    assert_eq!(
+        ev(&i, "(append-map (lambda (x) (list x x)) '(1 2))").to_string(),
+        "(1 1 2 2)"
+    );
+    assert_eq!(ev(&i, "(count odd? '(1 2 3 4 5))").as_int(), Some(3));
+    // Sorting in parallel chunks, then merging — everything composes.
+    assert_eq!(
+        ev(
+            &i,
+            "(let ((halves (parallel-map (lambda (l) (list-sort < l))
+                                         '((9 1 5) (8 2 0)))))
+               (merge < (car halves) (cadr halves)))"
+        )
+        .to_string(),
+        "(0 1 2 5 8 9)"
+    );
+    vm.shutdown();
+}

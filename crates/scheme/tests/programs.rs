@@ -1,0 +1,33 @@
+//! The standalone Scheme programs under `examples/scheme/` load and
+//! produce their documented answers.
+
+use sting_core::VmBuilder;
+use sting_scheme::Interp;
+
+fn run_file(path: &str) -> sting_value::Value {
+    let vm = VmBuilder::new().vps(2).build();
+    let interp = Interp::new(vm.clone());
+    let src = std::fs::read_to_string(
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../../examples/scheme")
+            .join(path),
+    )
+    .expect("program file exists");
+    let v = interp.eval(&src).expect("program evaluates");
+    vm.shutdown();
+    v
+}
+
+#[test]
+fn sieve_program() {
+    // The file's last form returns the count of primes ≤ 200.
+    assert_eq!(run_file("sieve.scm").as_int(), Some(46));
+}
+
+#[test]
+fn farm_program() {
+    assert_eq!(
+        run_file("farm.scm").as_int(),
+        Some((0..20i64).map(|n| n * n).sum())
+    );
+}

@@ -1,0 +1,55 @@
+//! # STING — a customizable substrate for concurrent languages
+//!
+//! A Rust reproduction of Jagannathan & Philbin, *A Customizable Substrate
+//! for Concurrent Languages* (PLDI 1992).  This facade crate re-exports
+//! the whole system; see the individual crates for details:
+//!
+//! * [`core`] (`sting-core`) — first-class threads, virtual processors,
+//!   customizable policy managers, thread stealing.
+//! * [`sync`] (`sting-sync`) — futures, streams, mutexes, speculative and
+//!   barrier synchronization.
+//! * [`mod@tuple`] (`sting-tuple`) — first-class tuple spaces.
+//! * [`scheme`] (`sting-scheme`) — the Scheme computation language.
+//! * [`areas`] (`sting-areas`) — per-thread generational heaps.
+//! * [`context`] (`sting-context`) — stackful contexts and stacks.
+//! * [`value`] (`sting-value`) — substrate values.
+//!
+//! ```
+//! use sting::prelude::*;
+//!
+//! let vm = VmBuilder::new().vps(2).build();
+//! let r = vm.run(|cx| {
+//!     let f = Future::spawn(cx, |_| 6i64);
+//!     f.touch().unwrap().as_int().unwrap() * 7
+//! });
+//! assert_eq!(r.unwrap().as_int(), Some(42));
+//! vm.shutdown();
+//! ```
+
+#![deny(missing_docs)]
+
+pub use sting_areas as areas;
+pub use sting_context as context;
+pub use sting_core as core;
+pub use sting_scheme as scheme;
+pub use sting_sync as sync;
+#[allow(rustdoc::bare_urls)]
+pub use sting_tuple as tuple;
+pub use sting_value as value;
+
+/// The most commonly used items, in one import.
+pub mod prelude {
+    pub use sting_core::policies;
+    pub use sting_core::tc;
+    pub use sting_core::{
+        Cx, PhysicalMachine, PolicyManager, Thread, ThreadBuilder, ThreadGroup, ThreadState,
+        Topology, Vm, VmBuilder,
+    };
+    pub use sting_scheme::Interp;
+    pub use sting_sync::{
+        block_on_group, race, wait_for_all, wait_for_one, Barrier, Channel, Future, IVar, Mutex,
+        Semaphore, Stream,
+    };
+    pub use sting_tuple::{formal, lit, SpaceKind, Template, TupleSpace};
+    pub use sting_value::{Symbol, Value};
+}

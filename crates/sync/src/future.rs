@@ -1,0 +1,191 @@
+//! Futures: result parallelism over STING threads (§4.1).
+//!
+//! "Threads are a natural representation for futures": a [`Future`] wraps a
+//! thread whose value is demanded with [`Future::touch`].  Touching a
+//! delayed or scheduled future runs it directly on the toucher's TCB — the
+//! thread-stealing optimization that throttles process creation and
+//! improves locality (like load-based inlining and lazy task creation, but
+//! with better locality, per §4.1.1).
+//!
+//! ```
+//! use sting_core::VmBuilder;
+//! use sting_sync::Future;
+//!
+//! let vm = VmBuilder::new().vps(1).build();
+//! let r = vm.run(|cx| {
+//!     let f = Future::spawn(cx, |_cx| 6i64 * 7);
+//!     f.touch().unwrap().as_int().unwrap()
+//! });
+//! assert_eq!(r.unwrap().as_int(), Some(42));
+//! vm.shutdown();
+//! ```
+
+use sting_core::tc::{self, Cx};
+use sting_core::thread::{Thread, ThreadResult};
+use sting_core::vm::Vm;
+use sting_value::Value;
+use std::sync::Arc;
+
+/// A value being computed concurrently; demand it with [`Future::touch`].
+#[derive(Debug, Clone)]
+pub struct Future {
+    thread: Arc<Thread>,
+}
+
+impl Future {
+    /// Eager future: forks a thread immediately (MultiLisp's `(future E)`).
+    pub fn spawn<F, V>(cx: &Cx, f: F) -> Future
+    where
+        F: FnOnce(&Cx) -> V + Send + 'static,
+        V: Into<Value>,
+    {
+        Future {
+            thread: cx.fork(f),
+        }
+    }
+
+    /// Eager future forked from outside the machine.
+    pub fn spawn_on_vm<F, V>(vm: &Arc<Vm>, f: F) -> Future
+    where
+        F: FnOnce(&Cx) -> V + Send + 'static,
+        V: Into<Value>,
+    {
+        Future { thread: vm.fork(f) }
+    }
+
+    /// Lazy future: a delayed thread, run only when touched (and then
+    /// usually *stolen* straight onto the toucher's TCB).
+    pub fn delay<F, V>(vm: &Arc<Vm>, f: F) -> Future
+    where
+        F: FnOnce(&Cx) -> V + Send + 'static,
+        V: Into<Value>,
+    {
+        Future {
+            thread: vm.delayed(f),
+        }
+    }
+
+    /// The underlying first-class thread.
+    pub fn thread(&self) -> &Arc<Thread> {
+        &self.thread
+    }
+
+    /// Whether the future has determined.
+    pub fn is_determined(&self) -> bool {
+        self.thread.is_determined()
+    }
+
+    /// Demands the value: returns immediately if determined, steals a
+    /// claimable thread onto this TCB, or blocks until the computation
+    /// finishes.  `Err` carries an exception raised by the computation.
+    pub fn touch(&self) -> ThreadResult {
+        tc::touch(&self.thread)
+    }
+
+    /// Like [`Future::touch`], but re-raises an exceptional result in the
+    /// toucher (MultiLisp `touch` semantics under error propagation).
+    ///
+    /// # Panics
+    ///
+    /// Raises (via the thread controller) when called on a STING thread and
+    /// the computation failed; panics when called off-thread on failure.
+    pub fn force(&self, cx: &Cx) -> Value {
+        match self.touch() {
+            Ok(v) => v,
+            Err(e) => cx.raise(e),
+        }
+    }
+
+    /// Wraps the future as a substrate value (futures are data).
+    pub fn to_value(&self) -> Value {
+        self.thread.to_value()
+    }
+
+    /// Recovers a future from a thread value.
+    pub fn from_value(v: &Value) -> Option<Future> {
+        v.native_as::<Thread>().map(|thread| Future { thread })
+    }
+}
+
+impl From<Arc<Thread>> for Future {
+    fn from(thread: Arc<Thread>) -> Future {
+        Future { thread }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sting_core::VmBuilder;
+
+    #[test]
+    fn eager_future() {
+        let vm = VmBuilder::new().vps(1).build();
+        let r = vm.run(|cx| {
+            let f = Future::spawn(cx, |_| 10i64);
+            let g = Future::spawn(cx, |_| 20i64);
+            f.touch().unwrap().as_int().unwrap() + g.touch().unwrap().as_int().unwrap()
+        });
+        assert_eq!(r.unwrap().as_int(), Some(30));
+        vm.shutdown();
+    }
+
+    #[test]
+    fn lazy_future_is_stolen() {
+        let vm = VmBuilder::new().vps(1).build();
+        let before = vm.counters().snapshot();
+        let r = vm.run(|cx| {
+            let f = Future::delay(&cx.vm(), |_| 5i64);
+            assert!(!f.is_determined());
+            f.touch().unwrap().as_int().unwrap()
+        });
+        assert_eq!(r.unwrap().as_int(), Some(5));
+        assert_eq!(vm.counters().snapshot().since(&before).steals, 1);
+        vm.shutdown();
+    }
+
+    #[test]
+    fn touch_from_os_thread() {
+        let vm = VmBuilder::new().vps(1).build();
+        let f = Future::spawn_on_vm(&vm, |_| 3i64);
+        assert_eq!(f.touch().unwrap().as_int(), Some(3));
+        vm.shutdown();
+    }
+
+    #[test]
+    fn failed_future_propagates_exception() {
+        let vm = VmBuilder::new().vps(1).build();
+        let r = vm.run(|cx| {
+            let f = Future::spawn(cx, |cx| -> i64 { cx.raise(Value::sym("bad")) });
+            match f.touch() {
+                Err(e) => e,
+                Ok(_) => Value::sym("unexpected"),
+            }
+        });
+        assert_eq!(r.unwrap(), Value::sym("bad"));
+        vm.shutdown();
+    }
+
+    #[test]
+    fn force_reraises_in_toucher() {
+        let vm = VmBuilder::new().vps(1).build();
+        let t = vm.fork(|cx| -> i64 {
+            let f = Future::delay(&cx.vm(), |cx| -> i64 { cx.raise(Value::sym("inner")) });
+            let _ = f.force(cx); // re-raises
+            0
+        });
+        assert_eq!(t.join_blocking(), Err(Value::sym("inner")));
+        vm.shutdown();
+    }
+
+    #[test]
+    fn round_trips_as_value() {
+        let vm = VmBuilder::new().vps(1).build();
+        let f = Future::spawn_on_vm(&vm, |_| 9i64);
+        let v = f.to_value();
+        let g = Future::from_value(&v).unwrap();
+        assert_eq!(g.touch().unwrap().as_int(), Some(9));
+        assert!(Future::from_value(&Value::Int(1)).is_none());
+        vm.shutdown();
+    }
+}

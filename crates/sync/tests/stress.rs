@@ -1,0 +1,168 @@
+//! Randomized stress tests for the synchronization structures: many
+//! threads, mixed primitives, values conserved end to end.
+
+use proptest::prelude::*;
+use sting_core::VmBuilder;
+use sting_sync::{wait_for_all, Barrier, Channel, IVar, Mutex, Semaphore, Stream};
+use sting_value::Value;
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+
+#[test]
+fn pipeline_stream_channel_ivar() {
+    // stream -> channel -> ivar pipeline with independent threads.
+    let vm = VmBuilder::new().vps(2).build();
+    let stream = Stream::new();
+    let ch = Channel::bounded(8);
+    let done = IVar::new();
+
+    let (s2, c2) = (stream.clone(), ch.clone());
+    vm.fork(move |_| {
+        let mut cur = s2.cursor();
+        while let Some(v) = cur.next() {
+            c2.send(v).unwrap();
+        }
+        c2.close();
+        0i64
+    });
+    let (c3, d2) = (ch.clone(), done.clone());
+    vm.fork(move |_| {
+        let mut sum = 0i64;
+        while let Some(v) = c3.recv() {
+            sum += v.as_int().unwrap();
+        }
+        d2.put(Value::Int(sum)).unwrap();
+        0i64
+    });
+    for i in 1..=100i64 {
+        stream.attach(Value::Int(i));
+    }
+    stream.close();
+    assert_eq!(done.get().as_int(), Some(5050));
+    vm.shutdown();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn mutex_guarded_counter_is_exact(
+        workers in 1usize..6,
+        rounds in 1usize..40,
+        active in 0u32..64,
+    ) {
+        let vm = VmBuilder::new().vps(2).build();
+        let m = Mutex::new(active, 2);
+        let counter = Arc::new(AtomicI64::new(0));
+        let ts: Vec<_> = (0..workers)
+            .map(|_| {
+                let m = m.clone();
+                let c = counter.clone();
+                vm.fork(move |cx| {
+                    for _ in 0..rounds {
+                        m.with(|| {
+                            let v = c.load(Ordering::SeqCst);
+                            cx.checkpoint();
+                            c.store(v + 1, Ordering::SeqCst);
+                        });
+                    }
+                    0i64
+                })
+            })
+            .collect();
+        wait_for_all(&ts);
+        prop_assert_eq!(counter.load(Ordering::SeqCst) as usize, workers * rounds);
+        vm.shutdown();
+    }
+
+    #[test]
+    fn semaphore_never_oversubscribes(
+        permits in 1usize..4,
+        workers in 1usize..8,
+    ) {
+        let vm = VmBuilder::new().vps(2).build();
+        let sem = Semaphore::new(permits);
+        let inside = Arc::new(AtomicI64::new(0));
+        let peak = Arc::new(AtomicI64::new(0));
+        let ts: Vec<_> = (0..workers)
+            .map(|_| {
+                let sem = sem.clone();
+                let inside = inside.clone();
+                let peak = peak.clone();
+                vm.fork(move |cx| {
+                    for _ in 0..20 {
+                        sem.with(|| {
+                            let now = inside.fetch_add(1, Ordering::SeqCst) + 1;
+                            peak.fetch_max(now, Ordering::SeqCst);
+                            cx.yield_now();
+                            inside.fetch_sub(1, Ordering::SeqCst);
+                        });
+                    }
+                    0i64
+                })
+            })
+            .collect();
+        wait_for_all(&ts);
+        prop_assert!(peak.load(Ordering::SeqCst) as usize <= permits);
+        prop_assert_eq!(sem.permits(), permits);
+        vm.shutdown();
+    }
+
+    #[test]
+    fn channel_conserves_messages(
+        producers in 1usize..4,
+        per in 1usize..40,
+        bound in prop::option::of(1usize..6),
+    ) {
+        let vm = VmBuilder::new().vps(2).build();
+        let ch = match bound {
+            Some(b) => Channel::bounded(b),
+            None => Channel::unbounded(),
+        };
+        let ps: Vec<_> = (0..producers)
+            .map(|p| {
+                let ch = ch.clone();
+                vm.fork(move |_| {
+                    for i in 0..per {
+                        ch.send(Value::Int((p * 1000 + i) as i64)).unwrap();
+                    }
+                    0i64
+                })
+            })
+            .collect();
+        let ch2 = ch.clone();
+        let total = producers * per;
+        let consumer = vm.fork(move |_| {
+            let mut got = 0i64;
+            for _ in 0..total {
+                ch2.recv().unwrap();
+                got += 1;
+            }
+            got
+        });
+        wait_for_all(&ps);
+        prop_assert_eq!(consumer.join_blocking().unwrap().as_int(), Some(total as i64));
+        prop_assert!(ch.is_empty());
+        vm.shutdown();
+    }
+
+    #[test]
+    fn barrier_generations_count_rounds(parties in 2usize..5, rounds in 1u64..20) {
+        let vm = VmBuilder::new().vps(2).build();
+        let b = Barrier::new(parties);
+        let ts: Vec<_> = (0..parties)
+            .map(|_| {
+                let b = b.clone();
+                vm.fork(move |_| {
+                    for _ in 0..rounds {
+                        b.arrive();
+                    }
+                    0i64
+                })
+            })
+            .collect();
+        wait_for_all(&ts);
+        prop_assert_eq!(b.generation(), rounds);
+        vm.shutdown();
+    }
+}

@@ -1,0 +1,199 @@
+//! Representation specialization: choosing a [`SpaceKind`] from a usage
+//! pattern.
+//!
+//! The paper builds "a customized type inference procedure to specialize
+//! the representation of tuple-spaces whenever possible" (Jagannathan,
+//! *Optimizing Analysis for First-Class Tuple-Spaces*).  There the
+//! analysis runs over Scheme source; here the same decision procedure runs
+//! over [`OpSketch`]es — the shapes of the `put`/`get`/`rd` operations a
+//! compiler (or a programmer) observed against the space.
+//!
+//! The rules, applied in order (first match wins):
+//!
+//! 1. every operation has arity 0 → [`SpaceKind::Semaphore`];
+//! 2. arity is uniformly 2, every `put` writes an integer first field and
+//!    every read pins the first field to an integer literal and binds the
+//!    second → [`SpaceKind::Vector`];
+//! 3. every read binds all fields (no associative matching) and removals
+//!    occur → [`SpaceKind::Queue`] (FIFO preserves producer order);
+//! 4. every read binds all fields and there are **no** removals →
+//!    [`SpaceKind::SharedVar`] (reads of the latest deposit);
+//! 5. otherwise → the general [`SpaceKind::Hashed`] representation.
+
+use crate::space::SpaceKind;
+
+/// The shape of one tuple-space operation, as seen by analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpSketch {
+    /// A deposit of the given arity; `int_first` when the first field is
+    /// statically an integer.
+    Put {
+        /// Tuple arity.
+        arity: usize,
+        /// First field statically an integer?
+        int_first: bool,
+    },
+    /// A removal with the given template shape.
+    Get {
+        /// Template arity.
+        arity: usize,
+        /// All fields formal?
+        all_formal: bool,
+        /// First field a literal integer?
+        int_first_lit: bool,
+    },
+    /// A read with the given template shape.
+    Rd {
+        /// Template arity.
+        arity: usize,
+        /// All fields formal?
+        all_formal: bool,
+        /// First field a literal integer?
+        int_first_lit: bool,
+    },
+}
+
+impl OpSketch {
+    fn arity(self) -> usize {
+        match self {
+            OpSketch::Put { arity, .. }
+            | OpSketch::Get { arity, .. }
+            | OpSketch::Rd { arity, .. } => arity,
+        }
+    }
+}
+
+/// Chooses a representation for a space used as described by `ops`.
+///
+/// An empty `ops` (nothing known) yields the general representation.
+pub fn infer(ops: &[OpSketch]) -> SpaceKind {
+    if ops.is_empty() {
+        return SpaceKind::default();
+    }
+    // Rule 1: semaphore.
+    if ops.iter().all(|o| o.arity() == 0) {
+        return SpaceKind::Semaphore;
+    }
+    // Rule 2: synchronized vector.
+    let vector_ok = ops.iter().all(|o| match *o {
+        OpSketch::Put { arity, int_first } => arity == 2 && int_first,
+        OpSketch::Get {
+            arity,
+            all_formal,
+            int_first_lit,
+        }
+        | OpSketch::Rd {
+            arity,
+            all_formal,
+            int_first_lit,
+        } => arity == 2 && !all_formal && int_first_lit,
+    });
+    if vector_ok {
+        return SpaceKind::Vector;
+    }
+    // Rules 3 and 4: no associative matching at all.
+    let reads_all_formal = ops.iter().all(|o| match *o {
+        OpSketch::Put { .. } => true,
+        OpSketch::Get { all_formal, .. } | OpSketch::Rd { all_formal, .. } => all_formal,
+    });
+    if reads_all_formal {
+        let has_get = ops.iter().any(|o| matches!(o, OpSketch::Get { .. }));
+        return if has_get {
+            SpaceKind::Queue
+        } else {
+            SpaceKind::SharedVar
+        };
+    }
+    // Rule 5: general case.
+    SpaceKind::default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_empty_tuples_is_semaphore() {
+        let ops = [
+            OpSketch::Put {
+                arity: 0,
+                int_first: false,
+            },
+            OpSketch::Get {
+                arity: 0,
+                all_formal: true,
+                int_first_lit: false,
+            },
+        ];
+        assert_eq!(infer(&ops), SpaceKind::Semaphore);
+    }
+
+    #[test]
+    fn indexed_pairs_are_a_vector() {
+        let ops = [
+            OpSketch::Put {
+                arity: 2,
+                int_first: true,
+            },
+            OpSketch::Rd {
+                arity: 2,
+                all_formal: false,
+                int_first_lit: true,
+            },
+        ];
+        assert_eq!(infer(&ops), SpaceKind::Vector);
+    }
+
+    #[test]
+    fn formal_only_reads_with_removal_are_a_queue() {
+        let ops = [
+            OpSketch::Put {
+                arity: 3,
+                int_first: false,
+            },
+            OpSketch::Get {
+                arity: 3,
+                all_formal: true,
+                int_first_lit: false,
+            },
+        ];
+        assert_eq!(infer(&ops), SpaceKind::Queue);
+    }
+
+    #[test]
+    fn formal_only_reads_without_removal_are_a_shared_var() {
+        let ops = [
+            OpSketch::Put {
+                arity: 1,
+                int_first: false,
+            },
+            OpSketch::Rd {
+                arity: 1,
+                all_formal: true,
+                int_first_lit: false,
+            },
+        ];
+        assert_eq!(infer(&ops), SpaceKind::SharedVar);
+    }
+
+    #[test]
+    fn associative_usage_stays_hashed() {
+        let ops = [
+            OpSketch::Put {
+                arity: 2,
+                int_first: false,
+            },
+            OpSketch::Get {
+                arity: 2,
+                all_formal: false,
+                int_first_lit: false,
+            },
+        ];
+        assert_eq!(infer(&ops), SpaceKind::default());
+    }
+
+    #[test]
+    fn unknown_usage_stays_hashed() {
+        assert_eq!(infer(&[]), SpaceKind::default());
+    }
+}

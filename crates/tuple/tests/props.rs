@@ -1,0 +1,115 @@
+//! Property tests: matching semantics and tuple conservation.
+
+use proptest::prelude::*;
+use sting_tuple::{formal, lit, SpaceKind, Template, TemplateField, TupleSpace};
+use sting_value::Value;
+
+fn arb_field() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        (-50i64..50).prop_map(Value::from),
+        any::<bool>().prop_map(Value::from),
+        "[a-c]".prop_map(|s| Value::sym(&s)),
+    ]
+}
+
+fn arb_tuple() -> impl Strategy<Value = Vec<Value>> {
+    prop::collection::vec(arb_field(), 0..4)
+}
+
+proptest! {
+    /// A template built from a tuple (each field randomly literal or
+    /// formal) always matches that tuple, and the bindings are exactly
+    /// the formal positions' values.
+    #[test]
+    fn derived_template_matches(tuple in arb_tuple(), mask in prop::collection::vec(any::<bool>(), 0..4)) {
+        let fields: Vec<TemplateField> = tuple
+            .iter()
+            .enumerate()
+            .map(|(i, v)| {
+                if mask.get(i).copied().unwrap_or(false) {
+                    formal()
+                } else {
+                    lit(v.clone())
+                }
+            })
+            .collect();
+        let t = Template::new(fields);
+        let bound = t.match_tuple(&tuple).expect("derived template matches");
+        let expect: Vec<Value> = tuple
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask.get(*i).copied().unwrap_or(false))
+            .map(|(_, v)| v.clone())
+            .collect();
+        prop_assert_eq!(bound, expect);
+        prop_assert!(t.may_match(&tuple));
+    }
+
+    /// Arity mismatches never match.
+    #[test]
+    fn arity_mismatch_never_matches(tuple in arb_tuple()) {
+        let t = Template::any(tuple.len() + 1);
+        prop_assert!(t.match_tuple(&tuple).is_none());
+        prop_assert!(!t.may_match(&tuple));
+    }
+
+    /// Conservation: tuples removed = tuples deposited, across kinds.
+    #[test]
+    fn tuples_are_conserved(
+        tuples in prop::collection::vec(arb_tuple(), 1..30),
+        kind_pick in 0usize..4,
+    ) {
+        let kind = match kind_pick {
+            0 => SpaceKind::Hashed { buckets: 8 },
+            1 => SpaceKind::Queue,
+            2 => SpaceKind::Stack,
+            _ => SpaceKind::Bag,
+        };
+        let ts = TupleSpace::with_kind(kind);
+        for t in &tuples {
+            ts.put(t.clone());
+        }
+        prop_assert_eq!(ts.len(), tuples.len());
+        // Remove everything by arity class.
+        let mut removed = 0;
+        for arity in 0..4 {
+            while ts.try_get(&Template::any(arity)).is_some() {
+                removed += 1;
+            }
+        }
+        prop_assert_eq!(removed, tuples.len());
+        prop_assert!(ts.is_empty());
+    }
+
+    /// try_rd never changes the space.
+    #[test]
+    fn rd_is_pure(tuples in prop::collection::vec(arb_tuple(), 1..20)) {
+        let ts = TupleSpace::new();
+        for t in &tuples {
+            ts.put(t.clone());
+        }
+        let before = ts.len();
+        for arity in 0..4 {
+            let _ = ts.try_rd(&Template::any(arity));
+        }
+        prop_assert_eq!(ts.len(), before);
+    }
+
+    /// Whatever try_get returns was actually deposited (soundness of
+    /// associative matching).
+    #[test]
+    fn bindings_come_from_deposits(tuples in prop::collection::vec(arb_tuple(), 1..20)) {
+        let ts = TupleSpace::new();
+        for t in &tuples {
+            ts.put(t.clone());
+        }
+        for arity in 0..4usize {
+            while let Some(b) = ts.try_get(&Template::any(arity)) {
+                prop_assert!(
+                    tuples.iter().any(|t| t.len() == arity && t[..] == b[..]),
+                    "got bindings {b:?} never deposited"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! Dynamic values exchanged through the STING substrate.
+//!
+//! STING's coordination layer traffics in Scheme objects: thread results,
+//! tuple fields, stream elements.  This crate is the Rust shape of those
+//! objects — an immutable, cheaply-clonable dynamic [`Value`] with interned
+//! [`Symbol`]s and opaque [`NativeHandle`]s for runtime objects (threads,
+//! tuple-spaces, mutexes) that cross the boundary as first-class data.
+//!
+//! Structured values are immutable at this level; mutation lives either in
+//! the computation language's own heap (`sting-areas`/`sting-scheme`) or in
+//! the synchronizing data structures the paper uses for communication
+//! (tuple-spaces, streams).  This is what lets values flow between threads
+//! without locks.
+//!
+//! ```
+//! use sting_value::{Symbol, Value};
+//!
+//! let v = Value::list([Value::from(1), Value::from("two"), Value::sym("three")]);
+//! assert_eq!(v.to_string(), "(1 \"two\" three)");
+//! assert_eq!(v.list_iter().count(), 3);
+//! assert_eq!(Symbol::intern("three"), Symbol::intern("three"));
+//! ```
+
+#![deny(missing_docs)]
+
+mod symbol;
+mod value;
+
+pub use symbol::Symbol;
+pub use value::{ListIter, NativeHandle, Value, ValueKind};

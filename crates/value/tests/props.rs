@@ -1,0 +1,72 @@
+//! Property tests for the substrate value model.
+
+use proptest::prelude::*;
+use sting_value::{Symbol, Value};
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        Just(Value::Unit),
+        Just(Value::Nil),
+        any::<bool>().prop_map(Value::from),
+        any::<i64>().prop_map(Value::from),
+        any::<f64>().prop_map(Value::from),
+        any::<char>().prop_map(Value::from),
+        "[a-z][a-z0-9-]{0,8}".prop_map(|s| Value::sym(&s)),
+        ".{0,12}".prop_map(Value::from),
+    ];
+    leaf.prop_recursive(4, 32, 6, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Value::cons(a, b)),
+            prop::collection::vec(inner.clone(), 0..6).prop_map(Value::list),
+            prop::collection::vec(inner, 0..6).prop_map(Value::vector),
+        ]
+    })
+}
+
+proptest! {
+    #[test]
+    fn clone_is_equal(v in arb_value()) {
+        prop_assert_eq!(v.clone(), v);
+    }
+
+    #[test]
+    fn equal_values_hash_equal(v in arb_value()) {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let hash = |x: &Value| {
+            let mut h = DefaultHasher::new();
+            x.hash(&mut h);
+            h.finish()
+        };
+        prop_assert_eq!(hash(&v), hash(&v.clone()));
+    }
+
+    #[test]
+    fn display_is_never_empty(v in arb_value()) {
+        prop_assert!(!v.to_string().is_empty());
+    }
+
+    #[test]
+    fn list_roundtrip(items in prop::collection::vec(arb_value(), 0..10)) {
+        let l = Value::list(items.clone());
+        let back: Vec<Value> = l.list_iter().cloned().collect();
+        prop_assert_eq!(back, items.clone());
+        prop_assert_eq!(l.list_len(), Some(items.len()));
+    }
+
+    #[test]
+    fn cons_car_cdr(a in arb_value(), b in arb_value()) {
+        let p = Value::cons(a.clone(), b.clone());
+        prop_assert_eq!(p.car(), Some(&a));
+        prop_assert_eq!(p.cdr(), Some(&b));
+    }
+
+    #[test]
+    fn symbol_intern_stable(name in "[a-zA-Z][a-zA-Z0-9?!*-]{0,16}") {
+        let a = Symbol::intern(&name);
+        let b = Symbol::intern(&name);
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(&*a.as_str(), name.as_str());
+        prop_assert_eq!(Symbol::from_index(a.index()), a);
+    }
+}

@@ -1,0 +1,59 @@
+//! Quickstart: the architecture of Figure 1, walked end to end.
+//!
+//! Builds a virtual machine (VPs + policy managers on a physical machine),
+//! forks first-class threads, demands values with stealing, and prints the
+//! substrate counters that the rest of the examples drill into.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use sting::prelude::*;
+
+fn main() {
+    // A virtual machine: 4 virtual processors multiplexed over the
+    // available physical processors, each VP closed over a migrating FIFO
+    // policy manager (the default fair scheduler).
+    let vm = VmBuilder::new().vps(4).name("quickstart").build();
+    println!("machine: {} VPs", vm.vp_count());
+    for vp in vm.vps() {
+        println!("  vp {} policy = {}", vp.index(), vp.policy_name());
+    }
+
+    // Threads are first-class objects.
+    let r = vm.run(|cx| {
+        // Eager fork (the paper's fork-thread).
+        let eager = cx.fork(|_cx| (1..=10i64).product::<i64>());
+
+        // Delayed thread (create-thread): runs only when demanded — and
+        // since we demand it ourselves, it is *stolen* onto our TCB, with
+        // no context switch and no new TCB.
+        let lazy = cx.delayed(|_cx| (1..=10i64).sum::<i64>());
+
+        // Threads are data: inspect them.
+        println!("eager thread {:?}", eager.id());
+        println!("lazy  thread {:?} state={:?}", lazy.id(), lazy.state());
+
+        let product = cx.wait(&eager).unwrap().as_int().unwrap();
+        let sum = cx.touch(&lazy).unwrap().as_int().unwrap(); // steal!
+        println!("10! = {product}, Σ1..10 = {sum}");
+
+        // Futures are just threads.
+        let f = Future::spawn(cx, |cx| {
+            let inner = Future::delay(&cx.vm(), |_| 21i64);
+            inner.touch().unwrap().as_int().unwrap() * 2
+        });
+        f.touch().unwrap().as_int().unwrap()
+    });
+    println!("future result = {}", r.unwrap());
+
+    // The genealogy of everything we ran, and the substrate counters.
+    let snap = vm.counters().snapshot();
+    println!(
+        "counters: threads={} tcbs={} steals={} context-switches={} stacks-recycled={}",
+        snap.threads_created,
+        snap.tcbs_allocated,
+        snap.steals,
+        snap.context_switches,
+        snap.stacks_recycled
+    );
+    vm.shutdown();
+}

@@ -1,0 +1,35 @@
+;; A master/slave farm over a first-class tuple space (§4.2) — load into
+;; the REPL:
+;;
+;;   cargo run --release -p sting-scheme --bin repl -- examples/scheme/farm.scm
+
+(define ts (make-ts))
+
+(define (worker)
+  (fork-thread
+    (lambda ()
+      (let loop ((done 0))
+        (let ((job (ts-get ts (list 'job '?))))
+          (if (< (car job) 0)
+              done
+              (begin
+                (ts-put ts (list 'result (car job) (* (car job) (car job))))
+                (loop (+ done 1)))))))))
+
+(define (run-farm jobs nworkers)
+  (let ((workers (map (lambda (k) (worker)) (iota nworkers))))
+    (for-each (lambda (n) (ts-put ts (list 'job n))) (iota jobs))
+    (let ((total
+           (fold + 0
+                 (map (lambda (n)
+                        (car (ts-get ts (list 'result n '?))))
+                      (iota jobs)))))
+      (for-each (lambda (w) (ts-put ts (list 'job -1))) workers)
+      (wait-for-all workers)
+      total)))
+
+(display "sum of squares 0..19 = ")
+(define answer (run-farm 20 3))
+(display answer)
+(newline)
+answer

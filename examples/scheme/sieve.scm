@@ -1,0 +1,34 @@
+;; Figure 2's Sieve of Eratosthenes over synchronizing streams — a
+;; standalone STING Scheme program.  Load into the REPL:
+;;
+;;   cargo run --release -p sting-scheme --bin repl -- examples/scheme/sieve.scm
+
+(define (make-filter n input output)
+  (fork-thread
+    (lambda ()
+      (let loop ((c (stream-cursor input)))
+        (let ((x (cursor-next! c)))
+          (cond ((eof-object? x) (stream-close! output))
+                ((zero? (modulo x n)) (loop c))
+                (else (stream-attach! output x) (loop c))))))))
+
+(define (sieve limit)
+  (let ((numbers (make-stream)))
+    (fork-thread
+      (lambda ()
+        (let loop ((i 2))
+          (if (> i limit)
+              (stream-close! numbers)
+              (begin (stream-attach! numbers i) (loop (+ i 1)))))))
+    (let loop ((in numbers) (primes '()))
+      (let ((x (cursor-next! (stream-cursor in))))
+        (if (eof-object? x)
+            (reverse primes)
+            (let ((out (make-stream)))
+              (make-filter x in out)
+              (loop out (cons x primes))))))))
+
+(display "primes up to 100: ")
+(display (sieve 100))
+(newline)
+(length (sieve 200))

@@ -1,0 +1,126 @@
+//! The computation language in action: the paper's concurrency idioms as
+//! actual Scheme programs, evaluated on STING threads with per-thread
+//! generational heaps.
+//!
+//! Run with: `cargo run --release --example scheme_concurrency`
+
+use sting::prelude::*;
+
+fn main() {
+    let vm = VmBuilder::new().vps(2).name("scheme").build();
+    let interp = Interp::new(vm.clone());
+
+    // --- Futures and stealing -----------------------------------------
+    let v = interp
+        .eval(
+            r#"
+(define (fib n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))
+;; Split across two futures.
+(let ((a (future (fib 18)))
+      (b (future (fib 17))))
+  (+ (touch a) (touch b)))
+"#,
+        )
+        .unwrap();
+    println!("(fib 19) via futures = {v}");
+
+    // --- The Figure 2 sieve -------------------------------------------
+    let primes = interp
+        .eval(
+            r#"
+(define (make-filter n input output)
+  (fork-thread
+    (lambda ()
+      (let loop ((c (stream-cursor input)))
+        (let ((x (cursor-next! c)))
+          (cond ((eof-object? x) (stream-close! output))
+                ((zero? (modulo x n)) (loop c))
+                (else (stream-attach! output x) (loop c))))))))
+
+(define (sieve limit)
+  (let ((numbers (make-stream)))
+    (fork-thread
+      (lambda ()
+        (let loop ((i 2))
+          (if (> i limit)
+              (stream-close! numbers)
+              (begin (stream-attach! numbers i) (loop (+ i 1)))))))
+    (let loop ((in numbers) (primes '()))
+      (let ((x (cursor-next! (stream-cursor in))))
+        (if (eof-object? x)
+            (reverse primes)
+            (let ((out (make-stream)))
+              (make-filter x in out)
+              (loop out (cons x primes))))))))
+
+(sieve 100)
+"#,
+        )
+        .unwrap();
+    println!("sieve(100) = {primes}");
+
+    // --- Master/slave over a tuple space -------------------------------
+    let total = interp
+        .eval(
+            r#"
+(define ts (make-ts))
+(define workers
+  (map (lambda (k)
+         (fork-thread
+           (lambda ()
+             (let loop ((done 0))
+               (let ((job (ts-get ts (list 'job '?))))
+                 (if (< (car job) 0)
+                     done
+                     (begin
+                       (ts-put ts (list 'ack (car job) (* (car job) (car job))))
+                       (loop (+ done 1)))))))))
+       '(1 2 3)))
+
+(let put ((n 0))
+  (when (< n 30) (ts-put ts (list 'job n)) (put (+ n 1))))
+(let collect ((n 0) (total 0))
+  (if (= n 30)
+      (begin
+        (for-each (lambda (w) (ts-put ts (list 'job -1))) workers)
+        (wait-for-all workers)
+        total)
+      (collect (+ n 1)
+               (+ total (car (ts-get ts (list 'ack n '?)))))))
+"#,
+        )
+        .unwrap();
+    println!("Σ n² for n<30 via tuple-space farm = {total}");
+
+    // --- Speculation -----------------------------------------------------
+    let winner = interp
+        .eval(
+            r#"
+(let* ((slow (fork-thread (lambda () (sleep-ms 2000) 'tortoise)))
+       (fast (fork-thread (lambda () 'hare))))
+  (cadr (wait-for-one! (list slow fast))))
+"#,
+        )
+        .unwrap();
+    println!("speculative race won by: {winner}");
+
+    // --- Per-thread GC ----------------------------------------------------
+    let stats = interp
+        .eval(
+            r#"
+(begin
+  (define (churn n acc) (if (= n 0) acc (churn (- n 1) (cons n acc))))
+  (length (churn 200000 '()))
+  (gc-stats))  ;; (minor major allocated copied promotions)
+"#,
+        )
+        .unwrap();
+    println!("per-thread gc-stats (minor major allocated copied promotions) = {stats}");
+
+    let snap = vm.counters().snapshot();
+    println!(
+        "\nsubstrate counters: threads={} steals={} blocks={} preemptions={}",
+        snap.threads_created, snap.steals, snap.blocks, snap.preemptions
+    );
+    vm.shutdown();
+}

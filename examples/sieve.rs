@@ -1,0 +1,101 @@
+//! The Sieve of Eratosthenes of Figure 2: a chain of filter threads
+//! connected by synchronizing streams, with the three concurrency
+//! disciplines the paper derives from one abstraction — eager, lazy
+//! (demand-driven via delayed threads), and throttled.
+//!
+//! Run with: `cargo run --release --example sieve [limit]`
+
+use sting::prelude::*;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One sieve filter: remove multiples of `n` from `input`, forward the
+/// rest to `output` (the paper's `filter` procedure).
+fn filter_thread(cx: &Cx, n: i64, input: Stream, output: Stream) -> Arc<sting::core::Thread> {
+    cx.fork(move |_cx| {
+        let mut cur = input.cursor();
+        while let Some(v) = cur.next() {
+            let x = v.as_int().unwrap();
+            if x % n != 0 {
+                output.attach(v);
+            }
+        }
+        output.close();
+        0i64
+    })
+}
+
+/// The sieve skeleton of Figure 2, parameterized (like the paper's `op`
+/// argument) by how new filters come into being.
+fn sieve(cx: &Cx, limit: i64, eager: bool) -> Vec<i64> {
+    let numbers = Stream::new();
+    {
+        let numbers = numbers.clone();
+        cx.fork(move |_cx| {
+            for i in 2..=limit {
+                numbers.attach(Value::Int(i));
+            }
+            numbers.close();
+            0i64
+        });
+    }
+    let mut primes = Vec::new();
+    let mut input = numbers;
+    loop {
+        let Some(v) = input.cursor().next() else { break };
+        let p = v.as_int().unwrap();
+        primes.push(p);
+        let output = Stream::new();
+        if eager {
+            filter_thread(cx, p, input.clone(), output.clone());
+        } else {
+            // Lazy variant: the filter is a delayed thread; demand from the
+            // downstream reader (us, next iteration) schedules it.
+            let (inp, out) = (input.clone(), output.clone());
+            let t = cx.delayed(move |cx2| {
+                let _t = filter_thread(cx2, p, inp, out);
+                0i64
+            });
+            sting::core::tc::thread_run(&t, cx.current_vp().index()).unwrap();
+        }
+        input = output;
+    }
+    primes
+}
+
+fn main() {
+    let limit: i64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(500);
+    let vm = VmBuilder::new().vps(2).name("sieve").build();
+
+    for eager in [true, false] {
+        let label = if eager { "eager" } else { "lazy " };
+        let before = vm.counters().snapshot();
+        let start = Instant::now();
+        let primes = vm
+            .run(move |cx| {
+                let ps = sieve(cx, limit, eager);
+                Value::list(ps.into_iter().map(Value::Int))
+            })
+            .unwrap();
+        let elapsed = start.elapsed();
+        let d = vm.counters().snapshot().since(&before);
+        let count = primes.list_iter().count();
+        println!(
+            "{label} sieve to {limit}: {count} primes in {elapsed:?} \
+             (threads={} context-switches={} blocks={})",
+            d.threads_created, d.context_switches, d.blocks
+        );
+    }
+
+    let tail = vm
+        .run(move |cx| {
+            let ps = sieve(cx, limit, true);
+            Value::list(ps.into_iter().rev().take(5).map(Value::Int))
+        })
+        .unwrap();
+    println!("largest primes ≤ {limit}: {tail}");
+    vm.shutdown();
+}

@@ -1,0 +1,86 @@
+//! Speculative (OR-parallel) computation (§4.3): race several search
+//! strategies under a priority scheduler, take the first answer, and
+//! terminate the losers so their work is reclaimed.
+//!
+//! Run with: `cargo run --release --example speculative`
+
+use sting::prelude::*;
+use std::sync::Arc;
+
+/// Search for a number in [lo, hi) whose "hash" has `zeros` trailing zero
+/// bits, scanning with the given stride — different strategies explore the
+/// space in different orders.
+fn search(cx: &Cx, lo: i64, hi: i64, stride: i64, zeros: u32) -> Option<i64> {
+    let mut x = lo;
+    while x < hi {
+        let h = (x.wrapping_mul(0x9E3779B97F4A7C15u64 as i64)) as u64;
+        if h.trailing_zeros() >= zeros {
+            return Some(x);
+        }
+        x += stride;
+        if x % 1024 == 0 {
+            cx.checkpoint(); // stay preemptible (and terminable)
+        }
+    }
+    None
+}
+
+fn main() {
+    let vm = VmBuilder::new()
+        .vps(2)
+        .policy(|_| policies::priority_high().boxed())
+        .name("speculative")
+        .build();
+
+    let r = vm.run(|cx| {
+        let zeros = 17;
+        // Three speculative strategies; the middle one is "promising", so
+        // give it a higher priority (programmable priorities, §4.3).
+        let strategies = [(1i64, 1i64), (7, 3), (13, 5)];
+        let tasks: Vec<Arc<sting::core::Thread>> = strategies
+            .iter()
+            .map(|&(start, stride)| {
+                cx.fork(move |cx| match search(cx, start, 50_000_000, stride, zeros) {
+                    Some(x) => Value::Int(x),
+                    None => Value::Bool(false),
+                })
+            })
+            .collect();
+        tasks[1].set_priority(10);
+
+        // wait-for-one + terminate the losers (the paper's definition).
+        let (winner, result) = race(&tasks);
+        let value = result.unwrap();
+        println!("strategy {winner} won with {value}");
+
+        // The losers determine with the loss marker; their state is
+        // reclaimed (stacks recycled into the VP pools).
+        for (i, t) in tasks.iter().enumerate() {
+            let outcome = sting::core::tc::wait(t);
+            println!("  task {i}: {outcome:?}");
+        }
+        value
+    });
+
+    let snap = vm.counters().snapshot();
+    println!(
+        "result = {} (threads={} preemptions={} stacks-recycled={})",
+        r.unwrap(),
+        snap.threads_created,
+        snap.preemptions,
+        snap.stacks_recycled
+    );
+
+    // AND-parallel counterpart: barrier synchronization via wait_for_all.
+    let sum = vm.run(|cx| {
+        let parts: Vec<_> = (0..4i64)
+            .map(|k| cx.fork(move |_| (k * 1000..(k + 1) * 1000).sum::<i64>()))
+            .collect();
+        wait_for_all(&parts)
+            .into_iter()
+            .map(|r| r.unwrap().as_int().unwrap())
+            .sum::<i64>()
+    });
+    println!("wait-for-all sum 0..4000 = {}", sum.unwrap());
+    vm.shutdown();
+}
