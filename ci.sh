@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Local CI gate — the same steps .github/workflows/ci.yml runs.
+#
+#   ./ci.sh          # format check, lints, tier-1 build + tests
+#   ./ci.sh fmt      # just the format check
+#   ./ci.sh clippy   # just the lints
+#   ./ci.sh test     # just tier-1 (release build + full test suite)
+set -euo pipefail
+cd "$(dirname "$0")"
+
+step() { printf '\n== %s ==\n' "$*"; }
+
+run_fmt() {
+    step "cargo fmt --check"
+    cargo fmt --all -- --check
+}
+
+run_clippy() {
+    step "cargo clippy -D warnings"
+    cargo clippy --workspace --all-targets -- -D warnings
+}
+
+run_test() {
+    step "tier-1: cargo build --release"
+    cargo build --release
+    step "tier-1: cargo test"
+    cargo test -q
+}
+
+case "${1:-all}" in
+    fmt) run_fmt ;;
+    clippy) run_clippy ;;
+    test) run_test ;;
+    all)
+        run_fmt
+        run_clippy
+        run_test
+        ;;
+    *)
+        echo "usage: $0 [fmt|clippy|test|all]" >&2
+        exit 2
+        ;;
+esac
+
+printf '\nCI OK\n'

@@ -224,12 +224,7 @@ impl Heap {
     /// Allocates an object whose payload is `payload`.  The payload words
     /// are traced as roots if this allocation triggers a collection, so
     /// references inside them stay valid.
-    fn alloc_raw(
-        &mut self,
-        kind: ObjKind,
-        payload: &mut [Word],
-        roots: &mut dyn RootSet,
-    ) -> Gc {
+    fn alloc_raw(&mut self, kind: ObjKind, payload: &mut [Word], roots: &mut dyn RootSet) -> Gc {
         let need = payload.len() + 1;
         if self.young.len() + need > self.config.young_words {
             {

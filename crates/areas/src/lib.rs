@@ -27,7 +27,5 @@
 mod heap;
 mod word;
 
-pub use heap::{
-    EntryId, Heap, HeapConfig, HeapStats, NoRoots, ObjKind, RootSet, PROMOTE_AGE,
-};
+pub use heap::{EntryId, Heap, HeapConfig, HeapStats, NoRoots, ObjKind, RootSet, PROMOTE_AGE};
 pub use word::{Gc, Space, Val, Word, FIXNUM_MAX, FIXNUM_MIN};

@@ -231,7 +231,9 @@ fn natives_pin_and_prune() {
     // Drop the pair; major collection prunes the native slot.
     roots.clear();
     let unreferenced = heap.intern_native(Value::from("garbage"));
-    let Val::Native(gidx) = unreferenced else { panic!() };
+    let Val::Native(gidx) = unreferenced else {
+        panic!()
+    };
     heap.collect_major(&mut roots);
     let _ = gidx;
     // Slot is recycled for the next intern.

@@ -1,9 +1,9 @@
 //! E2: global vs local queues on farm and tree workloads.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
 use sting::core::policies::{self, GlobalQueue, QueueOrder};
 use sting::prelude::*;
-use std::sync::Arc;
 
 fn tree(vm: &Arc<Vm>, depth: u32) {
     fn go(cx: &Cx, depth: u32) -> i64 {

@@ -1,8 +1,8 @@
 //! E1: the Figure 3 primes workload under LIFO vs FIFO (stealing rates).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use sting::prelude::*;
 use std::sync::Arc;
+use sting::prelude::*;
 
 fn primes(vm: &Arc<Vm>, limit: i64) {
     vm.run(move |cx| {

@@ -9,27 +9,31 @@ fn bench_locking(c: &mut Criterion) {
     let mut g = c.benchmark_group("tuple_locking");
     g.sample_size(10);
     for (name, buckets) in [("bins64", 64usize), ("bins1", 1)] {
-        g.bench_with_input(BenchmarkId::new("buckets", name), &buckets, |b, &buckets| {
-            let vm = VmBuilder::new().vps(1).build();
-            let ts = TupleSpace::with_kind(SpaceKind::Hashed { buckets });
-            // Keep 256 distinct keys resident so bin length matters.
-            for k in 0..256i64 {
-                ts.put(vec![Value::Int(k), Value::Int(0)]);
-            }
-            b.iter_custom(|iters| {
-                let vm = vm.clone();
-                let ts = ts.clone();
-                on_thread(&vm, move |_cx| {
-                    let start = std::time::Instant::now();
-                    for i in 0..iters {
-                        let k = (i % 256) as i64;
-                        let b = ts.get(&Template::new(vec![lit(k), formal()]));
-                        ts.put(vec![Value::Int(k), b[0].clone()]);
-                    }
-                    start.elapsed()
-                })
-            });
-        });
+        g.bench_with_input(
+            BenchmarkId::new("buckets", name),
+            &buckets,
+            |b, &buckets| {
+                let vm = VmBuilder::new().vps(1).build();
+                let ts = TupleSpace::with_kind(SpaceKind::Hashed { buckets });
+                // Keep 256 distinct keys resident so bin length matters.
+                for k in 0..256i64 {
+                    ts.put(vec![Value::Int(k), Value::Int(0)]);
+                }
+                b.iter_custom(|iters| {
+                    let vm = vm.clone();
+                    let ts = ts.clone();
+                    on_thread(&vm, move |_cx| {
+                        let start = std::time::Instant::now();
+                        for i in 0..iters {
+                            let k = (i % 256) as i64;
+                            let b = ts.get(&Template::new(vec![lit(k), formal()]));
+                            ts.put(vec![Value::Int(k), b[0].clone()]);
+                        }
+                        start.elapsed()
+                    })
+                });
+            },
+        );
     }
     g.finish();
 }

@@ -5,11 +5,11 @@
 //!
 //! Run with: `cargo run --release -p sting-bench --bin shape_policies`
 
+use std::sync::Arc;
+use std::time::Instant;
 use sting::core::policies::{self, GlobalQueue, QueueOrder};
 use sting::core::PolicyManager;
 use sting::prelude::*;
-use std::sync::Arc;
-use std::time::Instant;
 
 fn farm_workload(vm: &Arc<Vm>, jobs: usize) {
     // Long-lived equal workers pulling from a shared channel of jobs.
@@ -51,11 +51,7 @@ fn tree_workload(vm: &Arc<Vm>, depth: u32) {
         }
     }
     let expect = 1i64 << depth;
-    let got = vm
-        .run(move |cx| tree(cx, depth))
-        .unwrap()
-        .as_int()
-        .unwrap();
+    let got = vm.run(move |cx| tree(cx, depth)).unwrap().as_int().unwrap();
     assert_eq!(got, expect);
 }
 
@@ -69,12 +65,19 @@ fn run(name: &str, mk: impl Fn() -> Arc<Vm>, workload: impl Fn(&Arc<Vm>)) {
         "{:<28} {:>10.2?}  threads={:<6} steals={:<6} blocks={:<6} migrations={}",
         name, t, s.threads_created, s.steals, s.blocks, s.migrations
     );
+    if let Err(e) = sting_bench::export_trace(&vm, "shape_policies", name) {
+        eprintln!("trace export failed for {name}: {e}");
+    }
     vm.shutdown();
 }
 
 fn global() -> Arc<Vm> {
     let q = GlobalQueue::shared(QueueOrder::Fifo);
-    VmBuilder::new().vps(4).policy(move |_| q.policy()).build()
+    VmBuilder::new()
+        .vps(4)
+        .policy(move |_| q.policy())
+        .trace(true)
+        .build()
 }
 
 fn local(migrate: bool) -> impl Fn() -> Arc<Vm> {
@@ -82,6 +85,7 @@ fn local(migrate: bool) -> impl Fn() -> Arc<Vm> {
         VmBuilder::new()
             .vps(4)
             .policy(move |_| make_local(migrate))
+            .trace(true)
             .build()
     }
 }
@@ -94,12 +98,18 @@ fn main() {
     println!("E2 — policy/program-structure matching (§3.3)\n");
     println!("master/slave farm (8 long-lived workers, 2000 jobs):");
     run("  global-fifo", global, |vm| farm_workload(vm, 2000));
-    run("  local-lifo (no migration)", local(false), |vm| farm_workload(vm, 2000));
-    run("  migrating-lifo", local(true), |vm| farm_workload(vm, 2000));
+    run("  local-lifo (no migration)", local(false), |vm| {
+        farm_workload(vm, 2000)
+    });
+    run("  migrating-lifo", local(true), |vm| {
+        farm_workload(vm, 2000)
+    });
 
     println!("\nresult-parallel tree (depth 10, 2047 threads):");
     run("  global-fifo", global, |vm| tree_workload(vm, 10));
-    run("  local-lifo (no migration)", local(false), |vm| tree_workload(vm, 10));
+    run("  local-lifo (no migration)", local(false), |vm| {
+        tree_workload(vm, 10)
+    });
     run("  migrating-lifo", local(true), |vm| tree_workload(vm, 10));
 
     println!(

@@ -11,9 +11,9 @@
 //!
 //! Run with: `cargo run --release -p sting-bench --bin shape_preemption`
 
-use sting::prelude::*;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+use sting::prelude::*;
 
 fn run(vm: &Arc<Vm>, workers: usize, rounds: usize, shield: bool) -> Duration {
     let m = Mutex::new(64, 2);
@@ -59,11 +59,15 @@ fn main() {
     println!(
         "E4 — preemption inside critical sections ({workers} workers × {rounds} rounds, 200µs tick)\n"
     );
-    for (name, shield) in [("preemption enabled ", false), ("without-preemption  ", true)] {
+    for (name, shield) in [
+        ("preemption enabled ", false),
+        ("without-preemption  ", true),
+    ] {
         let vm = VmBuilder::new()
             .vps(1)
             .processors(1)
             .tick(Duration::from_micros(200))
+            .trace(true)
             .build();
         let t = run(&vm, workers, rounds, shield);
         let s = vm.counters().snapshot();
@@ -71,6 +75,9 @@ fn main() {
             "{name} {t:>10.2?}   preemptions={:<6} blocks={:<6} yields={:<6} switches={}",
             s.preemptions, s.blocks, s.yields, s.context_switches
         );
+        if let Err(e) = sting_bench::export_trace(&vm, "shape_preemption", name) {
+            eprintln!("trace export failed for {name}: {e}");
+        }
         vm.shutdown();
     }
     println!(

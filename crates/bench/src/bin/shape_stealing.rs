@@ -4,8 +4,8 @@
 //!
 //! Run with: `cargo run --release -p sting-bench --bin shape_stealing [limit]`
 
-use sting::prelude::*;
 use std::sync::Arc;
+use sting::prelude::*;
 
 fn primes_futures(vm: &Arc<Vm>, limit: i64, lazy: bool, stealable: bool) {
     vm.run(move |cx| {
@@ -50,23 +50,29 @@ fn main() {
         "configuration", "threads", "TCBs", "steals", "blocks", "switches", "time"
     );
     println!("{}", "-".repeat(82));
-    for (name, lifo, lazy, stealable) in [
-        ("lifo + eager futures", true, false, true),
-        ("fifo + eager futures", false, false, true),
-        ("lifo + lazy futures", true, true, true),
-        ("fifo + lazy futures", false, true, true),
-        ("lazy, stealing OFF", true, true, false),
+    let mut traces = Vec::new();
+    for (name, lifo, lazy, stealable, vps) in [
+        ("lifo + eager futures", true, false, true, 1),
+        ("fifo + eager futures", false, false, true, 1),
+        ("lifo + lazy futures", true, true, true, 1),
+        ("fifo + lazy futures", false, true, true, 1),
+        ("lazy, stealing OFF", true, true, false, 1),
+        // Multi-VP row: migration offers from idle VPs plus stealing, so
+        // the exported trace shows steal/preempt/migrate events together.
+        ("4vp migrating lifo", true, true, true, 4),
     ] {
+        let migrating = vps > 1;
         let vm = VmBuilder::new()
-            .vps(1)
-            .processors(1)
+            .vps(vps)
+            .processors(vps)
             .policy(move |_| {
                 if lifo {
-                    policies::local_lifo().boxed()
+                    policies::local_lifo().migrating(migrating).boxed()
                 } else {
-                    policies::local_fifo().boxed()
+                    policies::local_fifo().migrating(migrating).boxed()
                 }
             })
+            .trace(true)
             .build();
         let start = std::time::Instant::now();
         primes_futures(&vm, limit, lazy, stealable);
@@ -76,7 +82,15 @@ fn main() {
             "{:<22} {:>9} {:>8} {:>8} {:>8} {:>10} {:>10.2?}",
             name, s.threads_created, s.tcbs_allocated, s.steals, s.blocks, s.context_switches, t
         );
+        match sting_bench::export_trace(&vm, "shape_stealing", name) {
+            Ok(path) => traces.push(path),
+            Err(e) => eprintln!("trace export failed for {name}: {e}"),
+        }
         vm.shutdown();
+    }
+    println!("\ntrace artifacts (open in chrome://tracing or ui.perfetto.dev):");
+    for p in &traces {
+        println!("  {}", p.display());
     }
     println!(
         "\nPaper's claim: under LIFO \"stealing will occur much more frequently\"\n\

@@ -8,9 +8,9 @@
 //!
 //! Run with: `cargo run --release -p sting-bench --bin shape_tuple_locks`
 
-use sting::prelude::*;
 use std::sync::Arc;
 use std::time::Instant;
+use sting::prelude::*;
 
 fn workload(vm: &Arc<Vm>, ts: &TupleSpace, keys: i64, rounds: i64) {
     // Preload one tuple per key, then have workers repeatedly remove and
@@ -46,13 +46,19 @@ fn main() {
     let keys = 256i64;
     let rounds = 20i64;
     println!("E3 — tuple-space locking granularity ({keys} keys × {rounds} rounds × 4 workers)\n");
-    for (name, buckets) in [("per-bucket (64 bins)", 64usize), ("global lock (1 bin)", 1)] {
-        let vm = VmBuilder::new().vps(2).processors(2).build();
+    for (name, buckets) in [
+        ("per-bucket (64 bins)", 64usize),
+        ("global lock (1 bin)", 1),
+    ] {
+        let vm = VmBuilder::new().vps(2).processors(2).trace(true).build();
         let ts = TupleSpace::with_kind(SpaceKind::Hashed { buckets });
         let start = Instant::now();
         workload(&vm, &ts, keys, rounds);
         let t = start.elapsed();
         println!("{:<24} {:>10.2?}   ({} ops)", name, t, keys * rounds);
+        if let Err(e) = sting_bench::export_trace(&vm, "shape_tuple_locks", name) {
+            eprintln!("trace export failed for {name}: {e}");
+        }
         vm.shutdown();
     }
     println!(

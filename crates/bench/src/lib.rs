@@ -7,9 +7,9 @@
 //! — what must reproduce is the *shape*: the ordering of operation costs
 //! and their rough ratios (see EXPERIMENTS.md).
 
-use sting::prelude::*;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+use sting::prelude::*;
 
 /// The paper's Figure 6, verbatim (microseconds on the 1992 testbed).
 pub const PAPER_FIGURE6: &[(&str, f64)] = &[
@@ -34,6 +34,42 @@ pub fn figure6_vm() -> Arc<Vm> {
         .policy(|_| policies::local_lifo().boxed())
         .name("figure6")
         .build()
+}
+
+/// Directory where shape experiments drop their flight-recorder
+/// artifacts: `$STING_TRACE_DIR` when set, else `target/traces`.
+pub fn trace_dir() -> std::path::PathBuf {
+    std::env::var_os("STING_TRACE_DIR")
+        .map(Into::into)
+        .unwrap_or_else(|| std::path::PathBuf::from("target/traces"))
+}
+
+/// Writes `vm`'s flight-recorder contents as chrome://tracing JSON under
+/// [`trace_dir`], named `<experiment>-<config>.json`.  Call after the
+/// workload and before `vm.shutdown()`; load the file via chrome://tracing
+/// or <https://ui.perfetto.dev>.
+///
+/// # Errors
+///
+/// Propagates filesystem errors from creating the directory or writing.
+pub fn export_trace(
+    vm: &Arc<Vm>,
+    experiment: &str,
+    config: &str,
+) -> std::io::Result<std::path::PathBuf> {
+    let dir = trace_dir();
+    std::fs::create_dir_all(&dir)?;
+    let mut slug = String::new();
+    for c in config.trim().chars() {
+        if c.is_ascii_alphanumeric() {
+            slug.push(c.to_ascii_lowercase());
+        } else if !slug.ends_with('-') {
+            slug.push('-');
+        }
+    }
+    let path = dir.join(format!("{experiment}-{}.json", slug.trim_matches('-')));
+    std::fs::write(&path, vm.trace_export())?;
+    Ok(path)
 }
 
 /// Runs `f` on a STING thread of `vm` and returns its result.

@@ -106,6 +106,28 @@ impl<I, Y, R> Suspender<I, Y, R> {
     }
 }
 
+/// Installs (once per process) a panic-hook filter that silences
+/// [`ForcedUnwind`] panics.
+///
+/// Cancellation is control flow, not an error: the hook's work — message
+/// formatting and, with `RUST_BACKTRACE`, backtrace capture — is not worth
+/// reporting for it, and more importantly can need tens of kilobytes of
+/// stack.  The `ForcedUnwind` panic is raised inside the fiber's pending
+/// `suspend` call, i.e. *on the fiber stack*, which may be only a few
+/// kilobytes with no guard page; letting the default hook run there
+/// overflows the stack and corrupts adjacent heap memory.
+fn silence_forced_unwind_in_hook() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<ForcedUnwind>().is_none() {
+                prev(info);
+            }
+        }));
+    });
+}
+
 /// The boxed fiber body.
 type Body<I, Y, R> = Box<dyn FnOnce(&mut Suspender<I, Y, R>, I) -> R + Send>;
 
@@ -173,6 +195,9 @@ impl<I, Y, R> Fiber<I, Y, R> {
     where
         F: FnOnce(&mut Suspender<I, Y, R>, I) -> R + Send + 'static,
     {
+        // Must happen before any fiber can be cancelled; doing it here, on
+        // the host stack, keeps the cancellation path itself lean.
+        silence_forced_unwind_in_hook();
         let mut exch = Box::new(Exchange {
             host_sp: core::ptr::null_mut(),
             fiber_sp: core::ptr::null_mut(),

@@ -9,9 +9,9 @@ use crate::state::ThreadState;
 use crate::tc::{self, Cx};
 use crate::thread::Thread;
 use crate::vm::Vm;
-use sting_value::Value;
 use std::sync::Arc;
 use std::time::Duration;
+use sting_value::Value;
 
 /// Configures and creates a [`Vm`].
 ///
@@ -35,6 +35,8 @@ pub struct VmBuilder {
     processors: Option<usize>,
     tick: Duration,
     machine: Option<Arc<PhysicalMachine>>,
+    trace: bool,
+    trace_capacity: usize,
 }
 
 impl std::fmt::Debug for VmBuilder {
@@ -68,6 +70,8 @@ impl VmBuilder {
             processors: None,
             tick: Duration::from_micros(500),
             machine: None,
+            trace: false,
+            trace_capacity: crate::trace::DEFAULT_CAPACITY,
         }
     }
 
@@ -125,10 +129,33 @@ impl VmBuilder {
         self
     }
 
+    /// Starts the VM with the scheduler flight recorder already running
+    /// (see [`Vm::tracer`](crate::Vm::tracer)); recording can also be
+    /// toggled later with [`Tracer::set_enabled`](crate::Tracer::set_enabled).
+    pub fn trace(mut self, on: bool) -> VmBuilder {
+        self.trace = on;
+        self
+    }
+
+    /// Per-VP capacity of the flight-recorder rings, in events (default
+    /// [`trace::DEFAULT_CAPACITY`](crate::trace::DEFAULT_CAPACITY)).  When
+    /// a ring fills, the oldest events are overwritten.
+    pub fn trace_capacity(mut self, events: usize) -> VmBuilder {
+        self.trace_capacity = events;
+        self
+    }
+
     /// Builds the VM, attaches it to its machine, and returns it running.
     pub fn build(mut self) -> Arc<Vm> {
         let policies: Vec<_> = (0..self.vps).map(|i| (self.policy)(i)).collect();
-        let vm = Vm::create(self.name, policies, self.stack_size, self.pool_capacity);
+        let vm = Vm::create(
+            self.name,
+            policies,
+            self.stack_size,
+            self.pool_capacity,
+            self.trace,
+            self.trace_capacity,
+        );
         let machine = self.machine.take().unwrap_or_else(|| {
             let cpus = std::thread::available_parallelism()
                 .map(std::num::NonZeroUsize::get)

@@ -31,7 +31,10 @@ impl fmt::Display for CoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CoreError::VpOutOfRange { index, len } => {
-                write!(f, "virtual processor {index} out of range (machine has {len})")
+                write!(
+                    f,
+                    "virtual processor {index} out of range (machine has {len})"
+                )
             }
             CoreError::NotOnThread => write!(f, "not executing on a STING thread"),
             CoreError::Shutdown => write!(f, "virtual machine is shut down"),
@@ -51,7 +54,10 @@ mod tests {
     #[test]
     fn display_is_informative() {
         let e = CoreError::VpOutOfRange { index: 9, len: 4 };
-        assert_eq!(e.to_string(), "virtual processor 9 out of range (machine has 4)");
+        assert_eq!(
+            e.to_string(),
+            "virtual processor 9 out of range (machine has 4)"
+        );
         assert!(CoreError::NotOnThread.to_string().contains("STING thread"));
     }
 }

@@ -13,11 +13,11 @@ use crate::error::CoreError;
 use crate::state::{StateRequest, ThreadState};
 use crate::thread::Thread;
 use parking_lot::Mutex;
-use sting_value::Value;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
 use std::time::Duration;
+use sting_value::Value;
 
 static NEXT_GROUP_ID: AtomicU64 = AtomicU64::new(1);
 

@@ -56,6 +56,7 @@ pub mod thread;
 pub mod timers;
 mod tls;
 pub mod topology;
+pub mod trace;
 pub mod vm;
 pub mod vp;
 
@@ -69,5 +70,6 @@ pub use state::{StateRequest, ThreadState};
 pub use tc::Cx;
 pub use thread::{Thread, ThreadId, ThreadResult, Thunk, TryThunk, WaitNode};
 pub use topology::Topology;
+pub use trace::{EventKind, TraceEvent, Tracer};
 pub use vm::Vm;
 pub use vp::Vp;

@@ -173,6 +173,12 @@ fn timekeeper_loop(shared: &MachineShared) {
         for vm in attached_vms(shared) {
             for vp in vm.vps() {
                 vp.preempt_flag.store(true, Ordering::Relaxed);
+                crate::trace_event!(
+                    vm.tracer(),
+                    Some(vp.index()),
+                    crate::trace::EventKind::Preempt,
+                    0
+                );
             }
             if vm
                 .timers()

@@ -34,12 +34,12 @@ use crate::thread::{Thread, ThreadResult, Thunk, TryThunk, WaitNode};
 use crate::tls;
 use crate::vm::Vm;
 use crate::vp::Vp;
-use sting_value::Value;
 use std::marker::PhantomData;
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Duration;
+use sting_value::Value;
 
 /// Panic payload carrying a `thread-terminate` request through the stack of
 /// the terminating thread; converted to the thread's result at its entry
@@ -297,9 +297,7 @@ pub(crate) fn thread_main(thunk: TryThunk) -> ThreadResult {
 
 /// Converts a caught unwind into a thread result, re-raising forced
 /// unwinds (fiber cancellation) which must propagate.
-pub(crate) fn map_unwind(
-    r: Result<ThreadResult, Box<dyn std::any::Any + Send>>,
-) -> ThreadResult {
+pub(crate) fn map_unwind(r: Result<ThreadResult, Box<dyn std::any::Any + Send>>) -> ThreadResult {
     match r {
         Ok(v) => v,
         Err(p) => {
@@ -386,6 +384,22 @@ pub(crate) fn apply_requests() {
     let thread = cur.shared.thread.clone();
     drop(cur);
     for req in thread.take_requests() {
+        if let Some(vm) = thread.vm() {
+            let code = match &req {
+                StateRequest::Terminate(_) => 0,
+                StateRequest::Raise(_) => 1,
+                StateRequest::Block => 2,
+                StateRequest::Suspend(_) => 3,
+                StateRequest::Resume => 4,
+            };
+            crate::trace_event!(
+                vm.tracer(),
+                current_vp().map(|v| v.index()),
+                crate::trace::EventKind::StateRequest,
+                thread.id().0,
+                code
+            );
+        }
         match req {
             StateRequest::Terminate(v) => panic::panic_any(TerminatePayload(v)),
             StateRequest::Raise(v) => panic::panic_any(ExceptionPayload(v)),
@@ -394,7 +408,8 @@ pub(crate) fn apply_requests() {
             }
             StateRequest::Suspend(d) => {
                 if let (Some(d), Some(vm)) = (d, thread.vm()) {
-                    vm.timers().add(std::time::Instant::now() + d, thread.clone());
+                    vm.timers()
+                        .add(std::time::Instant::now() + d, thread.clone());
                 }
                 switch_out(Disposition::Suspended);
             }
@@ -474,7 +489,8 @@ pub fn suspend_current(duration: Option<Duration>) -> Result<(), CoreError> {
     let thread = cur.shared.thread.clone();
     drop(cur);
     if let (Some(d), Some(vm)) = (duration, thread.vm()) {
-        vm.timers().add(std::time::Instant::now() + d, thread.clone());
+        vm.timers()
+            .add(std::time::Instant::now() + d, thread.clone());
     }
     switch_out(Disposition::Suspended);
     Ok(())
@@ -487,18 +503,28 @@ pub fn wait(thread: &Arc<Thread>) -> ThreadResult {
     if !tls::on_thread() {
         return thread.join_blocking();
     }
+    let waiter = tls::current().expect("on thread").shared.thread.clone();
+    // One wait node for the whole wait, registered at most once: a spurious
+    // wake-up must re-block on the *same* registration, not append a fresh
+    // node to the target's waiter list each time around the loop (that
+    // leaked nodes — and duplicate wake-ups — for as long as the wait
+    // lasted).
+    let node = WaitNode::new(waiter, 1);
+    let mut registered = false;
     loop {
         if let Some(r) = thread.result() {
             return r;
         }
-        let cur = tls::current().expect("on thread");
-        let waiter = cur.shared.thread.clone();
-        drop(cur);
-        let node = WaitNode::new(waiter, 1);
-        if thread.add_wait_node(&node) {
-            let _ = block_current(Some(thread.to_value()));
-            // Loop: wake-ups may be spurious.
+        if !registered {
+            registered = thread.add_wait_node(&node);
+            if !registered {
+                // The target determined between the result check and the
+                // registration; the next iteration returns its result.
+                continue;
+            }
         }
+        let _ = block_current(Some(thread.to_value()));
+        // Loop: wake-ups may be spurious.
     }
 }
 
@@ -525,9 +551,8 @@ pub fn touch(thread: &Arc<Thread>) -> ThreadResult {
                 if cur.shared.steal_depth.load(Ordering::Relaxed) >= MAX_STEAL_DEPTH {
                     drop(cur);
                     // Too deep: hand the thread to the scheduler and park.
-                    if s == ThreadState::Delayed {
-                        let vp = current_vp().map(|v| v.index()).unwrap_or(0);
-                        let _ = thread_run(thread, vp);
+                    if s == ThreadState::Delayed && !demand_via_scheduler(thread) {
+                        continue;
                     }
                     return wait(thread);
                 }
@@ -542,13 +567,32 @@ pub fn touch(thread: &Arc<Thread>) -> ThreadResult {
                 // stolen must still be scheduled, or the wait would never
                 // end ("a delayed thread will never be run unless the value
                 // of the thread is explicitly demanded").
-                if s == ThreadState::Delayed {
-                    let vp = current_vp().map(|v| v.index()).unwrap_or(0);
-                    let _ = thread_run(thread, vp);
+                if s == ThreadState::Delayed && !demand_via_scheduler(thread) {
+                    continue;
                 }
                 return wait(thread);
             }
         }
+    }
+}
+
+/// Hands a delayed thread to the scheduler on the toucher's VP so a
+/// subsequent [`wait`] terminates.  Returns `true` when it is safe to wait:
+/// either the schedule succeeded or nothing ever will run the thread (VM
+/// shutdown), in which case the thread is determined here so the waiter
+/// observes termination.  Returns `false` when the thread changed state
+/// under us (someone else ran, stole or terminated it) — the touch loop
+/// must re-inspect rather than park on a discarded demand, which could
+/// otherwise leave the toucher blocked forever.
+fn demand_via_scheduler(thread: &Arc<Thread>) -> bool {
+    let vp = current_vp().map(|v| v.index()).unwrap_or(0);
+    match thread_run(thread, vp) {
+        Ok(()) => true,
+        Err(CoreError::Shutdown) => {
+            thread.complete(Err(Value::sym("vm-shutdown")));
+            true
+        }
+        Err(_) => false,
     }
 }
 
@@ -558,6 +602,13 @@ fn run_stolen(thread: &Arc<Thread>, thunk: TryThunk) -> ThreadResult {
     let cur = tls::current().expect("stealing requires a thread");
     if let Some(vm) = thread.vm() {
         Counters::bump(&vm.counters().steals);
+        crate::trace_event!(
+            vm.tracer(),
+            Some(cur.vp.index()),
+            crate::trace::EventKind::Steal,
+            thread.id().0,
+            cur.shared.steal_depth.load(Ordering::Relaxed)
+        );
     }
     cur.shared.steal_depth.fetch_add(1, Ordering::Relaxed);
     cur.shared.identity.lock().push(thread.clone());
@@ -648,10 +699,7 @@ pub fn thread_block(thread: &Arc<Thread>) -> Result<(), CoreError> {
 /// # Errors
 ///
 /// [`CoreError::InvalidTransition`] if the target state forbids suspension.
-pub fn thread_suspend(
-    thread: &Arc<Thread>,
-    quantum: Option<Duration>,
-) -> Result<(), CoreError> {
+pub fn thread_suspend(thread: &Arc<Thread>, quantum: Option<Duration>) -> Result<(), CoreError> {
     if let Some(cur) = tls::current() {
         if Arc::ptr_eq(&cur.shared.thread, thread) {
             drop(cur);

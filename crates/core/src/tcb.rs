@@ -10,9 +10,9 @@
 
 use crate::thread::{Thread, ThreadResult};
 use parking_lot::Mutex;
-use sting_context::fiber::{Fiber, Suspender};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
 use std::sync::Arc;
+use sting_context::fiber::{Fiber, Suspender};
 
 /// Message delivered to a thread when its fiber is resumed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

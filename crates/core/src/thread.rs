@@ -19,10 +19,10 @@ use crate::tc::Cx;
 use crate::tcb::Tcb;
 use crate::vm::Vm;
 use parking_lot::{Condvar, Mutex};
-use sting_value::Value;
 use std::sync::atomic::{AtomicBool, AtomicI32, AtomicU32, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Arc, Weak};
 use std::time::Duration;
+use sting_value::Value;
 
 /// The code a thread runs: a nullary procedure over the thread context.
 pub type Thunk = Box<dyn FnOnce(&Cx) -> Value + Send + 'static>;
@@ -104,6 +104,9 @@ pub(crate) struct ThreadCore {
     pub(crate) wake_pending: bool,
     pub(crate) requests: Vec<StateRequest>,
     pub(crate) waiters: Vec<Arc<WaitNode>>,
+    /// Next `waiters` length at which satisfied nodes are swept (amortized
+    /// pruning, see [`Thread::add_wait_node`]).
+    waiters_sweep_at: usize,
     /// The condition this thread is blocked on (paper's `blocker`); purely
     /// informational, for debugging and group listings.
     pub(crate) blocker: Option<Value>,
@@ -156,7 +159,10 @@ impl Thread {
         priority: i32,
         quantum: u32,
     ) -> Arc<Thread> {
-        debug_assert!(matches!(state, ThreadState::Delayed | ThreadState::Scheduled));
+        debug_assert!(matches!(
+            state,
+            ThreadState::Delayed | ThreadState::Scheduled
+        ));
         let t = Arc::new(Thread {
             id: ThreadId(vm.next_thread_id()),
             name,
@@ -171,6 +177,7 @@ impl Thread {
                 wake_pending: false,
                 requests: Vec::new(),
                 waiters: Vec::new(),
+                waiters_sweep_at: 32,
                 blocker: None,
             }),
             determined_cv: Condvar::new(),
@@ -185,6 +192,12 @@ impl Thread {
             p.children.lock().push(Arc::downgrade(&t));
         }
         Counters::bump(&vm.counters().threads_created);
+        crate::trace_event!(
+            vm.tracer(),
+            crate::tls::current().map(|c| c.vp.index()),
+            crate::trace::EventKind::Fork,
+            t.id.0
+        );
         t
     }
 
@@ -276,7 +289,11 @@ impl Thread {
 
     /// The thread's live children (genealogy).
     pub fn children(&self) -> Vec<Arc<Thread>> {
-        self.children.lock().iter().filter_map(Weak::upgrade).collect()
+        self.children
+            .lock()
+            .iter()
+            .filter_map(Weak::upgrade)
+            .collect()
     }
 
     /// The condition value this thread is blocked on, if any.
@@ -298,6 +315,16 @@ impl Thread {
         if self.is_determined() {
             false
         } else {
+            // Amortized sweep of satisfied nodes: a waiter woken through
+            // *another* watched thread (wait-for-one) leaves its node here
+            // with `remaining == 0`; on a long-lived thread those would
+            // otherwise accumulate until it determines.  Sweeping only when
+            // the list doubles past the previous sweep's survivors keeps
+            // registration O(1) amortized.
+            if core.waiters.len() >= core.waiters_sweep_at {
+                core.waiters.retain(|w| w.remaining() > 0);
+                core.waiters_sweep_at = (core.waiters.len() * 2).max(32);
+            }
             core.waiters.push(node.clone());
             true
         }
@@ -321,7 +348,11 @@ impl Thread {
         let deadline = std::time::Instant::now() + timeout;
         let mut core = self.core.lock();
         while !self.is_determined() {
-            if self.determined_cv.wait_until(&mut core, deadline).timed_out() {
+            if self
+                .determined_cv
+                .wait_until(&mut core, deadline)
+                .timed_out()
+            {
                 return None;
             }
         }
@@ -418,6 +449,13 @@ impl Thread {
             if let Some(vm) = self.vm() {
                 Counters::bump(&vm.counters().wakeups);
                 let vp = self.home_vp.load(Ordering::Relaxed) % vm.vp_count();
+                crate::trace_event!(
+                    vm.tracer(),
+                    crate::tls::current().map(|c| c.vp.index()),
+                    crate::trace::EventKind::Unblock,
+                    self.id.0,
+                    vp as u32
+                );
                 vm.enqueue_parked(tcb, vp, crate::pm::EnqueueState::Unblocked);
             }
         }
@@ -439,6 +477,13 @@ impl Thread {
                 if failed {
                     Counters::bump(&vm.counters().exceptions);
                 }
+                crate::trace_event!(
+                    vm.tracer(),
+                    crate::tls::current().map(|c| c.vp.index()),
+                    crate::trace::EventKind::Determine,
+                    self.id.0,
+                    u32::from(failed)
+                );
             }
             self.determined_cv.notify_all();
             std::mem::take(&mut core.waiters)

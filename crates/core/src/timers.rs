@@ -55,9 +55,7 @@ impl Timers {
 
     /// Schedules `thread` to be woken at `when`.
     pub fn add(&self, when: Instant, thread: Arc<Thread>) {
-        let seq = self
-            .seq
-            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let seq = self.seq.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         self.heap.lock().push(Reverse(Entry { when, seq, thread }));
     }
 

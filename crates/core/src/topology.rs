@@ -149,7 +149,10 @@ impl Topology {
     pub fn neighbors(&self, vp: usize) -> Vec<usize> {
         match *self {
             Topology::Ring { .. } => {
-                let mut v: Vec<usize> = [self.left(vp), self.right(vp)].into_iter().flatten().collect();
+                let mut v: Vec<usize> = [self.left(vp), self.right(vp)]
+                    .into_iter()
+                    .flatten()
+                    .collect();
                 v.dedup();
                 v
             }
@@ -162,9 +165,9 @@ impl Topology {
                 v.dedup();
                 v
             }
-            Topology::Hypercube { dim } => {
-                (0..dim).filter_map(|d| self.neighbor_across(vp, d)).collect()
-            }
+            Topology::Hypercube { dim } => (0..dim)
+                .filter_map(|d| self.neighbor_across(vp, d))
+                .collect(),
         }
     }
 }

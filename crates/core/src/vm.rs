@@ -16,11 +16,12 @@ use crate::tc::{self, Cx};
 use crate::thread::{Thread, ThreadResult, Thunk, TryThunk};
 use crate::timers::Timers;
 use crate::tls;
+use crate::trace::{self, Tracer};
 use crate::vp::Vp;
 use parking_lot::Mutex;
-use sting_value::Value;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Weak};
+use sting_value::Value;
 
 /// A virtual machine: virtual processors plus the state they share.
 ///
@@ -30,6 +31,7 @@ pub struct Vm {
     vps: Vec<Arc<Vp>>,
     counters: Counters,
     timers: Timers,
+    tracer: Tracer,
     root_group: Arc<ThreadGroup>,
     all_threads: Mutex<(Vec<Weak<Thread>>, usize)>,
     stop: AtomicBool,
@@ -62,20 +64,22 @@ impl Vm {
         policies: Vec<Box<dyn crate::pm::PolicyManager>>,
         stack_size: usize,
         pool_capacity: usize,
+        trace_enabled: bool,
+        trace_capacity: usize,
     ) -> Arc<Vm> {
+        let vp_count = policies.len();
         Arc::new_cyclic(|weak: &Weak<Vm>| {
             let vps = policies
                 .into_iter()
                 .enumerate()
-                .map(|(i, pm)| {
-                    Arc::new(Vp::new(i, weak.clone(), pm, stack_size, pool_capacity))
-                })
+                .map(|(i, pm)| Arc::new(Vp::new(i, weak.clone(), pm, stack_size, pool_capacity)))
                 .collect();
             Vm {
                 name,
                 vps,
                 counters: Counters::default(),
                 timers: Timers::new(),
+                tracer: Tracer::new(vp_count, trace_capacity, trace_enabled),
                 root_group: ThreadGroup::root(Some("root".to_string())),
                 all_threads: Mutex::new((Vec::new(), 0)),
                 stop: AtomicBool::new(false),
@@ -122,6 +126,27 @@ impl Vm {
     /// The timer wheel (suspensions with a quantum, sleeps).
     pub fn timers(&self) -> &Timers {
         &self.timers
+    }
+
+    /// The scheduler flight recorder.  Use
+    /// [`Tracer::set_enabled`] to start/stop recording at runtime, or the
+    /// [`VmBuilder`](crate::builder::VmBuilder) trace knobs to record from
+    /// the first instruction.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Exports the recorded scheduler events as `chrome://tracing` JSON
+    /// (load the string via a `.json` file in `chrome://tracing` or
+    /// Perfetto).  Safe to call while the VM is running; the snapshot is
+    /// then best-effort.
+    pub fn trace_export(&self) -> String {
+        trace::chrome_json(&self.name, &self.tracer.snapshot())
+    }
+
+    /// Renders the recorded scheduler events as a human-readable log.
+    pub fn trace_dump(&self) -> String {
+        trace::text_dump(&self.tracer.snapshot())
     }
 
     /// The root thread group; threads forked from outside the VM land here.
@@ -331,7 +356,13 @@ impl Vm {
     pub fn dump(&self) -> String {
         use std::fmt::Write;
         let mut s = String::new();
-        let _ = writeln!(s, "vm {:?} ({} vps, stopped={})", self.name, self.vp_count(), self.is_stopped());
+        let _ = writeln!(
+            s,
+            "vm {:?} ({} vps, stopped={})",
+            self.name,
+            self.vp_count(),
+            self.is_stopped()
+        );
         for vp in &self.vps {
             let _ = writeln!(
                 s,
@@ -344,10 +375,7 @@ impl Vm {
         let mut threads = self.threads();
         threads.sort_by_key(|t| t.id());
         for t in threads {
-            let blocker = t
-                .blocker()
-                .map(|b| format!(" on {b}"))
-                .unwrap_or_default();
+            let blocker = t.blocker().map(|b| format!(" on {b}")).unwrap_or_default();
             let _ = writeln!(
                 s,
                 "  {} [{:?}]{} name={} group={}",
@@ -362,7 +390,12 @@ impl Vm {
         let _ = writeln!(
             s,
             "  counters: threads={} tcbs={} steals={} switches={} blocks={} preemptions={}",
-            c.threads_created, c.tcbs_allocated, c.steals, c.context_switches, c.blocks, c.preemptions
+            c.threads_created,
+            c.tcbs_allocated,
+            c.steals,
+            c.context_switches,
+            c.blocks,
+            c.preemptions
         );
         s
     }

@@ -18,10 +18,10 @@ use crate::thread::{Thread, TryThunk};
 use crate::tls;
 use crate::vm::Vm;
 use parking_lot::Mutex;
-use sting_context::fiber::FiberResult;
-use sting_context::{Fiber, StackPool};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Weak};
+use sting_context::fiber::FiberResult;
+use sting_context::{Fiber, StackPool};
 
 /// A first-class virtual processor.
 pub struct Vp {
@@ -90,25 +90,61 @@ impl Vp {
     }
 
     /// Victim side of thread migration: asks this VP's policy to surrender
-    /// an item.  Uses `try_lock`, so concurrent idle VPs never deadlock on
-    /// each other's policy locks; returns `None` on contention.
+    /// an item to `thief`.  Uses `try_lock`, so concurrent idle VPs never
+    /// deadlock on each other's policy locks; returns `None` on contention,
+    /// when the policy declines, or when asked to migrate to itself.
+    ///
+    /// On success the surrendered thread's home VP is re-pointed at the
+    /// thief — it has irrevocably left this VP's queue, and any wake-up
+    /// racing with the hand-off should target where it is about to run.
+    /// The migrations counter is bumped only at that commit point, never
+    /// for declined or self-directed offers.
     pub fn try_offer_migration(self: &Arc<Vp>, thief: &Vp) -> Option<RunItem> {
-        let mut pm = self.pm.try_lock()?;
-        let item = pm.offer_migration(self)?;
-        let _ = thief;
+        if self.index == thief.index() {
+            return None;
+        }
+        let item = {
+            let mut pm = self.pm.try_lock()?;
+            pm.offer_migration(self)?
+        };
+        let thread = match &item {
+            RunItem::Fresh(t) => t.clone(),
+            RunItem::Parked(tcb) => tcb.thread().clone(),
+        };
+        thread.home_vp.store(thief.index(), Ordering::Relaxed);
         if let Some(vm) = self.vm.upgrade() {
             Counters::bump(&vm.counters().migrations);
+            crate::trace_event!(
+                vm.tracer(),
+                Some(thief.index()),
+                crate::trace::EventKind::Migrate,
+                thread.id().0,
+                self.index,
+                thief.index()
+            );
         }
         Some(item)
     }
 
     /// Enqueues `item` on this VP's policy manager and signals the machine.
     pub(crate) fn enqueue(self: &Arc<Vp>, item: RunItem, state: EnqueueState) {
+        let thread_id = match &item {
+            RunItem::Fresh(t) => t.id().0,
+            RunItem::Parked(tcb) => tcb.thread().id().0,
+        };
         {
             let mut pm = self.pm.lock();
             pm.enqueue_thread(self, item, state);
         }
         if let Some(vm) = self.vm.upgrade() {
+            crate::trace_event!(
+                vm.tracer(),
+                tls::current().map(|c| c.vp.index()),
+                crate::trace::EventKind::Enqueue,
+                thread_id,
+                state as u32,
+                self.index
+            );
             vm.signal_work();
         }
     }
@@ -134,12 +170,26 @@ impl Vp {
                     // Revalidate: the thread may have been stolen or
                     // terminated while sitting in the ready queue.
                     if let Some(thunk) = thread.claim(crate::state::ThreadState::Evaluating) {
+                        crate::trace_event!(
+                            vm.tracer(),
+                            Some(self.index),
+                            crate::trace::EventKind::Dispatch,
+                            thread.id().0,
+                            0
+                        );
                         let tcb = self.make_tcb(&vm, thread, thunk);
                         self.run_tcb(&vm, tcb);
                         ran = true;
                     }
                 }
                 RunItem::Parked(tcb) => {
+                    crate::trace_event!(
+                        vm.tracer(),
+                        Some(self.index),
+                        crate::trace::EventKind::Dispatch,
+                        tcb.thread().id().0,
+                        1
+                    );
                     self.run_tcb(&vm, tcb);
                     ran = true;
                 }
@@ -176,10 +226,7 @@ impl Vp {
     fn run_tcb(self: &Arc<Vp>, vm: &Arc<Vm>, mut tcb: Tcb) {
         let shared = tcb.shared.clone();
         shared.vp_index.store(self.index, Ordering::Relaxed);
-        shared
-            .thread
-            .home_vp
-            .store(self.index, Ordering::Relaxed);
+        shared.thread.home_vp.store(self.index, Ordering::Relaxed);
         shared.reset_ticks();
         self.preempt_flag.store(false, Ordering::Relaxed);
         tls::set_current(self.clone(), shared.clone());
@@ -187,6 +234,20 @@ impl Vp {
         let outcome = tcb.fiber.resume(Wakeup::Run);
         tls::clear_current();
         let thread = shared.thread.clone();
+        let disposition_code = match &outcome {
+            FiberResult::Yield(Disposition::Yielded { preempted: false }) => 0,
+            FiberResult::Yield(Disposition::Yielded { preempted: true }) => 1,
+            FiberResult::Yield(Disposition::Blocked) => 2,
+            FiberResult::Yield(Disposition::Suspended) => 3,
+            FiberResult::Return(_) => 4,
+        };
+        crate::trace_event!(
+            vm.tracer(),
+            Some(self.index),
+            crate::trace::EventKind::Switch,
+            thread.id().0,
+            disposition_code
+        );
         match outcome {
             FiberResult::Yield(Disposition::Yielded { preempted }) => {
                 if preempted {

@@ -3,11 +3,11 @@
 //! Whatever the interleaving, the machine must stay consistent: every
 //! thread eventually determines exactly once, and the VM shuts down clean.
 
-use sting_core::{tc, StateRequest, ThreadState, Vm, VmBuilder};
-use sting_value::Value;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
+use sting_core::{tc, StateRequest, ThreadState, Vm, VmBuilder};
+use sting_value::Value;
 
 fn xorshift(state: &mut u64) -> u64 {
     *state ^= *state << 13;
@@ -26,7 +26,7 @@ fn run_storm(vm: &Arc<Vm>, seed: u64, victims: usize, requests: usize) {
                 while !stop.load(Ordering::SeqCst) {
                     n = n.wrapping_add(i as u64);
                     cx.checkpoint();
-                    if n % 7 == 0 {
+                    if n.is_multiple_of(7) {
                         cx.yield_now();
                     }
                 }
@@ -53,7 +53,7 @@ fn run_storm(vm: &Arc<Vm>, seed: u64, victims: usize, requests: usize) {
                 Ok(())
             }
         };
-        if xorshift(&mut rng) % 13 == 0 {
+        if xorshift(&mut rng).is_multiple_of(13) {
             std::thread::sleep(Duration::from_micros(200));
         }
     }

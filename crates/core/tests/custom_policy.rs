@@ -3,13 +3,13 @@
 //! modification to the thread controller itself".
 
 use parking_lot::Mutex;
-use sting_core::pm::{EnqueueState, PolicyManager, RunItem};
-use sting_core::{tc, ThreadBuilder, Vm, VmBuilder, Vp};
-use sting_value::Value;
 use std::collections::HashMap;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use sting_core::pm::{EnqueueState, PolicyManager, RunItem};
+use sting_core::{tc, ThreadBuilder, Vm, VmBuilder, Vp};
+use sting_value::Value;
 
 /// An instrumented two-class policy: "interactive" threads (negative
 /// priority values) always run before "batch" threads, FIFO within a
@@ -81,7 +81,12 @@ fn interactive_class_preempts_batch_order() {
     });
     std::thread::sleep(std::time::Duration::from_millis(10));
     let mut all = Vec::new();
-    for (prio, tag) in [(5, "batch-1"), (-1, "live-1"), (7, "batch-2"), (-2, "live-2")] {
+    for (prio, tag) in [
+        (5, "batch-1"),
+        (-1, "live-1"),
+        (7, "batch-2"),
+        (-2, "live-2"),
+    ] {
         let o = order.clone();
         all.push(
             ThreadBuilder::new(&vm)
@@ -121,9 +126,18 @@ fn enqueue_states_reach_the_policy() {
     });
     assert_eq!(r, Ok(Value::Int(1)));
     let t = tallies.lock().clone();
-    assert!(t.get(&EnqueueState::New).copied().unwrap_or(0) >= 2, "{t:?}");
-    assert!(t.get(&EnqueueState::Yielded).copied().unwrap_or(0) >= 1, "{t:?}");
-    assert!(t.get(&EnqueueState::Unblocked).copied().unwrap_or(0) >= 1, "{t:?}");
+    assert!(
+        t.get(&EnqueueState::New).copied().unwrap_or(0) >= 2,
+        "{t:?}"
+    );
+    assert!(
+        t.get(&EnqueueState::Yielded).copied().unwrap_or(0) >= 1,
+        "{t:?}"
+    );
+    assert!(
+        t.get(&EnqueueState::Unblocked).copied().unwrap_or(0) >= 1,
+        "{t:?}"
+    );
     vm.shutdown();
 }
 
@@ -131,7 +145,7 @@ fn enqueue_states_reach_the_policy() {
 fn whole_paradigm_suite_runs_on_a_user_policy() {
     // The same machinery the built-in policies get: stealing, blocking,
     // timers, termination — all through user code.
-    let (vm, _)= vm_with_two_class();
+    let (vm, _) = vm_with_two_class();
     let r = vm.run(|cx| {
         let lazy = cx.delayed(|_| 20i64);
         let eager = cx.fork(|_| 22i64);

@@ -1,15 +1,15 @@
 //! Behavioural tests for the STING substrate: thread lifecycle, stealing,
 //! preemption, policies, groups, genealogy, timers and migration.
 
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
 use sting_core::policies::{self, GlobalQueue, QueueOrder};
 use sting_core::{
     tc, CoreError, PhysicalMachine, StateRequest, ThreadBuilder, ThreadState, Topology, Vm,
     VmBuilder,
 };
 use sting_value::Value;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
-use std::time::Duration;
 
 fn vm1() -> Arc<Vm> {
     VmBuilder::new().vps(1).build()
@@ -232,7 +232,10 @@ fn terminate_evaluating_thread_runs_destructors() {
     std::thread::sleep(Duration::from_millis(20));
     tc::thread_terminate(&spinner, Value::Int(99)).unwrap();
     assert_eq!(spinner.join_blocking(), Ok(Value::Int(99)));
-    assert!(dropped.load(Ordering::SeqCst), "destructor ran on terminate");
+    assert!(
+        dropped.load(Ordering::SeqCst),
+        "destructor ran on terminate"
+    );
     vm.shutdown();
 }
 
@@ -323,10 +326,17 @@ fn block_request_applied_at_next_controller_entry() {
     assert_eq!(t.state(), ThreadState::Blocked);
     let at_block = progressed.load(Ordering::SeqCst);
     std::thread::sleep(Duration::from_millis(30));
-    assert_eq!(progressed.load(Ordering::SeqCst), at_block, "no progress while blocked");
+    assert_eq!(
+        progressed.load(Ordering::SeqCst),
+        at_block,
+        "no progress while blocked"
+    );
     tc::thread_run(&t, 0).unwrap();
     std::thread::sleep(Duration::from_millis(30));
-    assert!(progressed.load(Ordering::SeqCst) > at_block, "progress after resume");
+    assert!(
+        progressed.load(Ordering::SeqCst) > at_block,
+        "progress after resume"
+    );
     tc::thread_terminate(&t, Value::Int(0)).unwrap();
     t.join_blocking().unwrap();
     vm.shutdown();
@@ -364,7 +374,10 @@ fn preemption_interleaves_non_yielding_threads() {
     t1.join_blocking().unwrap();
     t2.join_blocking().unwrap();
     assert!(a.load(Ordering::SeqCst) > 0, "thread 1 ran");
-    assert!(b.load(Ordering::SeqCst) > 0, "thread 2 ran (preemption works)");
+    assert!(
+        b.load(Ordering::SeqCst) > 0,
+        "thread 2 ran (preemption works)"
+    );
     assert!(vm.counters().snapshot().preemptions > 0);
     vm.shutdown();
 }
@@ -507,7 +520,12 @@ fn migration_moves_work_to_idle_vps() {
     let vm = VmBuilder::new()
         .vps(2)
         .processors(2)
-        .policy(|_| policies::local_fifo().migrating(true).place_round_robin(false).boxed())
+        .policy(|_| {
+            policies::local_fifo()
+                .migrating(true)
+                .place_round_robin(false)
+                .boxed()
+        })
         .build();
     // Pile everything on VP 0; VP 1 must pull via migration.
     let ts: Vec<_> = (0..40i64)
@@ -660,7 +678,9 @@ fn topology_addressing_with_vps() {
     let r = vm.run(move |cx| {
         let here = cx.current_vp().index();
         let right = topo.right(here).unwrap();
-        let t = cx.fork_on(right, |cx| cx.current_vp().index() as i64).unwrap();
+        let t = cx
+            .fork_on(right, |cx| cx.current_vp().index() as i64)
+            .unwrap();
         cx.wait(&t).unwrap().as_int().unwrap()
     });
     let got = r.unwrap().as_int().unwrap();
@@ -736,11 +756,18 @@ fn tcb_migration_when_enabled() {
                 .boxed()
         })
         .build();
-    // Pile yieldy threads onto VP 0 only.
+    // Pile yieldy threads onto VP 0 only.  They spin-yield until released,
+    // so VP 0's queue stays populated and VP 1's idle probes are guaranteed
+    // to find something to pull.  (A fixed yield count is not enough: the
+    // worker drains each fork as fast as this thread creates it, so the
+    // victim queue can be empty at every probe and the migrations counter —
+    // which counts only *committed* hand-offs — would legitimately stay 0.)
+    let gate = Arc::new(AtomicBool::new(false));
     let ts: Vec<_> = (0..20)
         .map(|i| {
+            let gate = gate.clone();
             vm.fork_on(0, move |cx| {
-                for _ in 0..10 {
+                while !gate.load(Ordering::Acquire) {
                     cx.yield_now();
                 }
                 i as i64
@@ -748,13 +775,18 @@ fn tcb_migration_when_enabled() {
             .unwrap()
         })
         .collect();
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while vm.counters().snapshot().migrations == 0 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "idle VP 1 should have pulled TCBs from VP 0"
+        );
+        std::thread::yield_now();
+    }
+    gate.store(true, Ordering::Release);
     for t in ts {
         t.join_blocking().unwrap();
     }
-    assert!(
-        vm.counters().snapshot().migrations > 0,
-        "idle VP 1 should have pulled TCBs from VP 0"
-    );
     vm.shutdown();
 }
 

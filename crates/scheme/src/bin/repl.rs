@@ -6,9 +6,9 @@
 //! commands: `,threads` dumps the machine state, `,counters` prints
 //! substrate counters, `,quit` exits.
 
+use std::io::{BufRead, Write};
 use sting_core::VmBuilder;
 use sting_scheme::Interp;
-use std::io::{BufRead, Write};
 
 fn balanced(src: &str) -> bool {
     let mut depth = 0i64;
@@ -75,9 +75,7 @@ fn main() {
         }
     }
 
-    println!(
-        "STING Scheme — PLDI 1992 reproduction ({vps} VPs).  ,threads ,counters ,quit"
-    );
+    println!("STING Scheme — PLDI 1992 reproduction ({vps} VPs).  ,threads ,counters ,quit");
     let stdin = std::io::stdin();
     let mut pending = String::new();
     loop {

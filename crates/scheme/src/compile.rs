@@ -139,7 +139,8 @@ impl Compiler<'_> {
                 }
                 let n = u8::try_from(args.len())
                     .map_err(|_| Self::err("too many arguments (max 255)"))?;
-                self.ops.push(if tail { Op::TailCall(n) } else { Op::Call(n) });
+                self.ops
+                    .push(if tail { Op::TailCall(n) } else { Op::Call(n) });
                 Ok(())
             }
             Core::Try { body, var, handler } => {
@@ -171,8 +172,8 @@ impl Compiler<'_> {
         if let Some(r) = rest {
             frame.push(r);
         }
-        let arity = u8::try_from(params.len())
-            .map_err(|_| Self::err("too many parameters (max 255)"))?;
+        let arity =
+            u8::try_from(params.len()).map_err(|_| Self::err("too many parameters (max 255)"))?;
         self.env.push(frame);
         let saved_ops = std::mem::take(&mut self.ops);
         let result = (|| -> Result<(), SchemeError> {
@@ -277,7 +278,9 @@ mod tests {
         // Top-level: Closure + Return; the body is its own code object.
         let top = &p.codes[id as usize];
         assert!(matches!(top.ops[0], Op::Closure(_)));
-        let Op::Closure(body) = top.ops[0] else { panic!() };
+        let Op::Closure(body) = top.ops[0] else {
+            panic!()
+        };
         let body = &p.codes[body as usize];
         assert_eq!(body.arity, 1);
         assert!(!body.rest);
@@ -334,18 +337,12 @@ mod tests {
     fn let_locals_addressed() {
         let (p, _) = compile("(let ((a 1) (b 2)) b)");
         // The lambda body should reference Local(0,1) = b.
-        assert!(p
-            .codes
-            .iter()
-            .any(|c| c.ops.contains(&Op::Local(0, 1))));
+        assert!(p.codes.iter().any(|c| c.ops.contains(&Op::Local(0, 1))));
     }
 
     #[test]
     fn nested_lambda_addresses_outer_frame() {
         let (p, _) = compile("(lambda (x) (lambda (y) x))");
-        assert!(p
-            .codes
-            .iter()
-            .any(|c| c.ops.contains(&Op::Local(1, 0))));
+        assert!(p.codes.iter().any(|c| c.ops.contains(&Op::Local(1, 0))));
     }
 }

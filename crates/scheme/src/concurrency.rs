@@ -7,8 +7,10 @@
 
 use crate::error::SchemeError;
 use crate::machine::{self, Machine};
-use crate::prims::{rerr, want_int, want_list, want_sym, Def};
+use crate::prims::{rerr, want_int, want_list, want_string, want_sym, Def};
 use parking_lot::Mutex as PlMutex;
+use std::sync::Arc;
+use std::time::Duration;
 use sting_areas::Val;
 use sting_core::tc::{self, Cx};
 use sting_core::thread::{Thread, ThreadResult};
@@ -16,8 +18,6 @@ use sting_core::ThreadState;
 use sting_sync::{Barrier, Mutex, Semaphore, Stream, StreamCursor};
 use sting_tuple::{formal, lit, SpaceKind, Template, TemplateField, TupleSpace};
 use sting_value::{Symbol, Value};
-use std::sync::Arc;
-use std::time::Duration;
 
 fn cx() -> Result<Cx, SchemeError> {
     Cx::current().ok_or_else(|| rerr("operation requires a STING thread"))
@@ -51,7 +51,12 @@ fn want_native<T: std::any::Any + Send + Sync>(
 }
 
 /// Converts the closure argument `i` into a portable thunk value.
-fn want_thunk_value(m: &mut Machine, argc: usize, i: usize, who: &str) -> Result<Value, SchemeError> {
+fn want_thunk_value(
+    m: &mut Machine,
+    argc: usize,
+    i: usize,
+    who: &str,
+) -> Result<Value, SchemeError> {
     let v = m.arg(argc, i);
     let sv = m.to_value(v)?;
     let ok = sv
@@ -76,7 +81,11 @@ fn thread_val(m: &mut Machine, t: &Arc<Thread>) -> Val {
 }
 
 fn fork(m: &mut Machine, argc: usize, delayed: bool) -> Result<Val, SchemeError> {
-    let who = if delayed { "create-thread" } else { "fork-thread" };
+    let who = if delayed {
+        "create-thread"
+    } else {
+        "fork-thread"
+    };
     let thunk = want_thunk_value(m, argc, 0, who)?;
     let cx = cx()?;
     let t = if delayed {
@@ -111,7 +120,12 @@ fn fork(m: &mut Machine, argc: usize, delayed: bool) -> Result<Val, SchemeError>
 
 /// Decodes a Scheme template list: the symbol `?` is a formal, anything
 /// else is a literal.
-fn want_template(m: &mut Machine, argc: usize, i: usize, who: &str) -> Result<Template, SchemeError> {
+fn want_template(
+    m: &mut Machine,
+    argc: usize,
+    i: usize,
+    who: &str,
+) -> Result<Template, SchemeError> {
     let items = want_list(m, argc, i, who)?;
     let q = Symbol::intern("?");
     let mut fields: Vec<TemplateField> = Vec::with_capacity(items.len());
@@ -197,7 +211,9 @@ pub(crate) fn add_defs(v: &mut Vec<Def>) {
     def!("thread-suspend", 1, Some(2), |m, a| {
         let t = want_thread(m, a, 0, "thread-suspend")?;
         let q = if a > 1 {
-            Some(Duration::from_millis(want_int(m, a, 1, "thread-suspend")? as u64))
+            Some(Duration::from_millis(
+                want_int(m, a, 1, "thread-suspend")? as u64
+            ))
         } else {
             None
         };
@@ -251,6 +267,34 @@ pub(crate) fn add_defs(v: &mut Vec<Def>) {
     def!("vp-count", 0, Some(0), |_m, _a| {
         let cx = cx()?;
         Ok(Val::Int(cx.vm().vp_count() as i64))
+    });
+    // Flight recorder (scheduler event tracing).  `trace-start` /
+    // `trace-stop` toggle recording on the running VM; `trace-dump`
+    // returns the human-readable event log as a string; `trace-export`
+    // writes chrome://tracing JSON to the given path and returns the
+    // number of events exported.
+    def!("trace-start", 0, Some(0), |_m, _a| {
+        cx()?.vm().tracer().set_enabled(true);
+        Ok(Val::Unit)
+    });
+    def!("trace-stop", 0, Some(0), |_m, _a| {
+        cx()?.vm().tracer().set_enabled(false);
+        Ok(Val::Unit)
+    });
+    def!("trace-count", 0, Some(0), |_m, _a| {
+        Ok(Val::Int(cx()?.vm().tracer().recorded() as i64))
+    });
+    def!("trace-dump", 0, Some(0), |m, _a| {
+        let dump = cx()?.vm().trace_dump();
+        Ok(m.string(&dump))
+    });
+    def!("trace-export", 1, Some(1), |m, a| {
+        let path = want_string(m, a, 0, "trace-export")?;
+        let vm = cx()?.vm();
+        let events = vm.tracer().snapshot();
+        let json = sting_core::trace::chrome_json(vm.name(), &events);
+        std::fs::write(&path, json).map_err(|e| rerr(format!("trace-export: {path}: {e}")))?;
+        Ok(Val::Int(events.len() as i64))
     });
     def!("sleep-ms", 1, Some(1), |m, a| {
         let ms = want_int(m, a, 0, "sleep-ms")?;
@@ -333,8 +377,16 @@ pub(crate) fn add_defs(v: &mut Vec<Def>) {
 
     // --- mutexes --------------------------------------------------------
     def!("make-mutex", 0, Some(2), |m, a| {
-        let active = if a > 0 { want_int(m, a, 0, "make-mutex")? as u32 } else { 64 };
-        let passive = if a > 1 { want_int(m, a, 1, "make-mutex")? as u32 } else { 4 };
+        let active = if a > 0 {
+            want_int(m, a, 0, "make-mutex")? as u32
+        } else {
+            64
+        };
+        let passive = if a > 1 {
+            want_int(m, a, 1, "make-mutex")? as u32
+        } else {
+            4
+        };
         Ok(m.native(Mutex::new(active, passive).to_value()))
     });
     def!("mutex-acquire", 1, Some(1), |m, a| {
@@ -578,7 +630,12 @@ pub(crate) fn add_defs(v: &mut Vec<Def>) {
     });
 }
 
-fn thread_list(m: &mut Machine, argc: usize, i: usize, who: &str) -> Result<Vec<Arc<Thread>>, SchemeError> {
+fn thread_list(
+    m: &mut Machine,
+    argc: usize,
+    i: usize,
+    who: &str,
+) -> Result<Vec<Arc<Thread>>, SchemeError> {
     let items = want_list(m, argc, i, who)?;
     items
         .iter()

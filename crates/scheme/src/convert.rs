@@ -10,10 +10,10 @@
 use crate::error::SchemeError;
 use crate::machine::Machine;
 use parking_lot::RwLock;
-use sting_areas::{ObjKind, Val};
-use sting_value::{Symbol, Value};
 use std::collections::HashMap;
 use std::sync::Arc;
+use sting_areas::{ObjKind, Val};
+use sting_value::{Symbol, Value};
 
 /// A closure lifted out of a heap: code id + converted environment.
 #[derive(Debug)]
@@ -96,7 +96,8 @@ fn go_out(
                     let tail = loop {
                         match cur {
                             Val::Obj(g) if m.heap.kind(g) == ObjKind::Pair => {
-                                if spine.contains(&g.word().0) || path.contains(&g.word().0) && g != gc
+                                if spine.contains(&g.word().0)
+                                    || path.contains(&g.word().0) && g != gc
                                 {
                                     return Err(cyclic());
                                 }

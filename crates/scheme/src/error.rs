@@ -1,8 +1,8 @@
 //! Scheme error types.
 
-use sting_value::Value;
 use std::error::Error;
 use std::fmt;
+use sting_value::Value;
 
 /// Errors from reading, expanding, compiling or running Scheme code.
 #[derive(Debug, Clone, PartialEq)]

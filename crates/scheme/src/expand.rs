@@ -89,7 +89,10 @@ fn expand_define(rest: &[Sexp]) -> Result<Core, SchemeError> {
                 .map(|p| p.as_sym().ok_or_else(|| err("define: bad parameter")))
                 .collect::<Result<Vec<_>, _>>()?;
             let rest_param = match tail {
-                Some(t) => Some(t.as_sym().ok_or_else(|| err("define: bad rest parameter"))?),
+                Some(t) => Some(
+                    t.as_sym()
+                        .ok_or_else(|| err("define: bad rest parameter"))?,
+                ),
                 None => None,
             };
             let body = expand_body(body)?;
@@ -121,12 +124,14 @@ fn expand_define(rest: &[Sexp]) -> Result<Core, SchemeError> {
 /// [`SchemeError::Syntax`] on malformed special forms.
 pub fn expand(s: &Sexp) -> Result<Core, SchemeError> {
     match s {
-        Sexp::Int(_) | Sexp::Float(_) | Sexp::Bool(_) | Sexp::Char(_) | Sexp::Str(_)
+        Sexp::Int(_)
+        | Sexp::Float(_)
+        | Sexp::Bool(_)
+        | Sexp::Char(_)
+        | Sexp::Str(_)
         | Sexp::Vector(_) => Ok(Core::Quote(s.clone())),
         Sexp::Sym(v) => Ok(Core::Var(*v)),
-        Sexp::List(items, None) if items.is_empty() => {
-            Err(err("empty application ()"))
-        }
+        Sexp::List(items, None) if items.is_empty() => Err(err("empty application ()")),
         Sexp::List(_, Some(_)) => Err(err(format!("dotted expression {s}"))),
         Sexp::List(items, None) => {
             let head = items[0].as_sym();
@@ -243,9 +248,10 @@ fn expand_lambda(rest: &[Sexp], name: Option<Symbol>) -> Result<Core, SchemeErro
                         .map(|p| p.as_sym().ok_or_else(|| err("lambda: bad parameter")))
                         .collect::<Result<Vec<_>, _>>()?;
                     let rest_param = match tail {
-                        Some(t) => {
-                            Some(t.as_sym().ok_or_else(|| err("lambda: bad rest parameter"))?)
-                        }
+                        Some(t) => Some(
+                            t.as_sym()
+                                .ok_or_else(|| err("lambda: bad rest parameter"))?,
+                        ),
                         None => None,
                     };
                     (params, rest_param)
@@ -332,13 +338,8 @@ fn expand_let(rest: &[Sexp]) -> Result<Core, SchemeError> {
         }
         [Sexp::List(bindings, None), body @ ..] if !body.is_empty() => {
             let (vars, inits) = split_bindings(bindings)?;
-            let lam = Sexp::list(
-                [
-                    vec![Sexp::sym("lambda"), Sexp::list(vars)],
-                    body.to_vec(),
-                ]
-                .concat(),
-            );
+            let lam =
+                Sexp::list([vec![Sexp::sym("lambda"), Sexp::list(vars)], body.to_vec()].concat());
             expand(&Sexp::list([vec![lam], inits].concat()))
         }
         _ => Err(err("let: malformed")),
@@ -473,9 +474,8 @@ fn expand_case(rest: &[Sexp]) -> Result<Core, SchemeError> {
                                 Sexp::Sym(k),
                                 Sexp::list(vec![Sexp::sym("quote"), items[0].clone()]),
                             ]);
-                            cond_clauses.push(Sexp::list(
-                                [vec![test], items[1..].to_vec()].concat(),
-                            ));
+                            cond_clauses
+                                .push(Sexp::list([vec![test], items[1..].to_vec()].concat()));
                         }
                     }
                     _ => return Err(err("case: bad clause")),
@@ -587,9 +587,7 @@ fn expand_do(rest: &[Sexp]) -> Result<Core, SchemeError> {
                 Sexp::sym("if"),
                 exit[0].clone(),
                 result,
-                Sexp::list(
-                    [vec![Sexp::sym("begin")], body.to_vec(), vec![recur]].concat(),
-                ),
+                Sexp::list([vec![Sexp::sym("begin")], body.to_vec(), vec![recur]].concat()),
             ]);
             let bindings: Vec<Sexp> = vars
                 .iter()
@@ -665,10 +663,7 @@ fn qq(t: &Sexp, depth: u32) -> Result<Sexp, SchemeError> {
                     if depth == 1 {
                         parts.push(us[1].clone());
                     } else {
-                        parts.push(Sexp::list(vec![
-                            Sexp::sym("list"),
-                            qq(item, depth - 1)?,
-                        ]));
+                        parts.push(Sexp::list(vec![Sexp::sym("list"), qq(item, depth - 1)?]));
                     }
                 } else {
                     parts.push(Sexp::list(vec![Sexp::sym("list"), qq(item, depth)?]));
@@ -679,9 +674,7 @@ fn qq(t: &Sexp, depth: u32) -> Result<Sexp, SchemeError> {
                 None => Sexp::list(vec![Sexp::sym("quote"), Sexp::list(vec![])]),
             };
             parts.push(tail_expr);
-            Ok(Sexp::list(
-                [vec![Sexp::sym("append")], parts].concat(),
-            ))
+            Ok(Sexp::list([vec![Sexp::sym("append")], parts].concat()))
         }
         atom => Ok(Sexp::list(vec![Sexp::sym("quote"), atom.clone()])),
     }
@@ -700,7 +693,10 @@ mod tests {
     fn literals_and_vars() {
         assert_eq!(x("42"), Core::Quote(Sexp::Int(42)));
         assert_eq!(x("foo"), Core::Var(Symbol::intern("foo")));
-        assert_eq!(x("'(1 2)"), Core::Quote(Sexp::list(vec![Sexp::Int(1), Sexp::Int(2)])));
+        assert_eq!(
+            x("'(1 2)"),
+            Core::Quote(Sexp::list(vec![Sexp::Int(1), Sexp::Int(2)]))
+        );
     }
 
     #[test]

@@ -6,8 +6,8 @@
 //! the reading thread's heap, a write converts out.
 
 use parking_lot::RwLock;
-use sting_value::{Symbol, Value};
 use std::collections::HashMap;
+use sting_value::{Symbol, Value};
 
 /// Shared, thread-safe global bindings.
 #[derive(Debug, Default)]

@@ -16,10 +16,10 @@ use crate::machine::Machine;
 use crate::prims;
 use crate::reader;
 use parking_lot::Mutex;
+use std::sync::Arc;
 use sting_areas::HeapConfig;
 use sting_core::vm::Vm;
 use sting_value::Value;
-use std::sync::Arc;
 
 /// A Scheme interpreter bound to a STING virtual machine.
 pub struct Interp {

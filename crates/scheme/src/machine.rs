@@ -18,11 +18,11 @@ use crate::convert::{self, SharedFrame};
 use crate::error::SchemeError;
 use crate::global::Globals;
 use crate::prims;
+use std::collections::HashMap;
+use std::sync::Arc;
 use sting_areas::{Gc, Heap, HeapConfig, ObjKind, RootSet, Val, Word};
 use sting_core::tc::{self, Cx};
 use sting_value::Value;
-use std::collections::HashMap;
-use std::sync::Arc;
 
 /// Instructions executed between thread-controller polls.
 pub const CHECKPOINT_WINDOW: u32 = 256;
@@ -210,7 +210,8 @@ impl Machine {
 
     /// Allocates a vector of `n` copies of `fill`.
     pub(crate) fn make_vector_fill(&mut self, n: usize, fill: Val) -> Val {
-        let gc = with_heap!(self, &mut [], |heap, roots| heap.make_vector(n, fill, roots));
+        let gc = with_heap!(self, &mut [], |heap, roots| heap
+            .make_vector(n, fill, roots));
         Val::Obj(gc)
     }
 
@@ -314,7 +315,8 @@ impl Machine {
                 if argc < arity || (!rest && argc > arity) {
                     return Err(SchemeError::runtime(format!(
                         "arity mismatch calling {}: expected {}{}, got {argc}",
-                        name.map(|s| s.to_string()).unwrap_or_else(|| "#<lambda>".into()),
+                        name.map(|s| s.to_string())
+                            .unwrap_or_else(|| "#<lambda>".into()),
                         arity,
                         if rest { "+" } else { "" },
                     )));
@@ -360,9 +362,7 @@ impl Machine {
             Val::Native(slot) => {
                 let nv = self.heap.native(slot).clone();
                 let Some(p) = nv.native_as::<prims::Prim>() else {
-                    return Err(SchemeError::runtime(format!(
-                        "not a procedure: {nv}"
-                    )));
+                    return Err(SchemeError::runtime(format!("not a procedure: {nv}")));
                 };
                 let result = prims::dispatch(self, &p, argc)?;
                 // Pop args + fn, push result.
@@ -410,9 +410,10 @@ impl Machine {
                 }
                 Op::Global(slot) => {
                     let name = self.program.global_names[slot as usize];
-                    let v = self.globals.get(name).ok_or_else(|| {
-                        SchemeError::runtime(format!("unbound variable: {name}"))
-                    })?;
+                    let v = self
+                        .globals
+                        .get(name)
+                        .ok_or_else(|| SchemeError::runtime(format!("unbound variable: {name}")))?;
                     let hv = self.from_value(&v);
                     self.push(hv);
                 }
@@ -521,13 +522,7 @@ impl Machine {
         }
     }
 
-    fn local_set(
-        &mut self,
-        env: Val,
-        depth: u16,
-        idx: u16,
-        v: Val,
-    ) -> Result<(), SchemeError> {
+    fn local_set(&mut self, env: Val, depth: u16, idx: u16, v: Val) -> Result<(), SchemeError> {
         match self.env_at(env, depth)? {
             EnvRef::Heap(frame) => {
                 let mut extra = [v, Val::Obj(frame)];

@@ -9,9 +9,9 @@ use crate::concurrency;
 use crate::error::SchemeError;
 use crate::machine::Machine;
 use crate::print;
+use std::sync::Arc;
 use sting_areas::{ObjKind, Val};
 use sting_value::{Symbol, Value};
-use std::sync::Arc;
 
 /// A primitive reference (the payload of a `"prim"` native handle).
 #[derive(Debug)]
@@ -41,26 +41,50 @@ pub(crate) fn rerr(msg: impl Into<String>) -> SchemeError {
 pub(crate) fn want_int(m: &Machine, argc: usize, i: usize, who: &str) -> Result<i64, SchemeError> {
     match m.arg(argc, i) {
         Val::Int(n) => Ok(n),
-        v => Err(rerr(format!("{who}: expected integer, got {}", print::display_val(m, v)))),
+        v => Err(rerr(format!(
+            "{who}: expected integer, got {}",
+            print::display_val(m, v)
+        ))),
     }
 }
 
-pub(crate) fn want_sym(m: &Machine, argc: usize, i: usize, who: &str) -> Result<Symbol, SchemeError> {
+pub(crate) fn want_sym(
+    m: &Machine,
+    argc: usize,
+    i: usize,
+    who: &str,
+) -> Result<Symbol, SchemeError> {
     match m.arg(argc, i) {
         Val::Sym(s) => Ok(Symbol::from_index(s)),
-        v => Err(rerr(format!("{who}: expected symbol, got {}", print::display_val(m, v)))),
+        v => Err(rerr(format!(
+            "{who}: expected symbol, got {}",
+            print::display_val(m, v)
+        ))),
     }
 }
 
-pub(crate) fn want_string(m: &Machine, argc: usize, i: usize, who: &str) -> Result<String, SchemeError> {
+pub(crate) fn want_string(
+    m: &Machine,
+    argc: usize,
+    i: usize,
+    who: &str,
+) -> Result<String, SchemeError> {
     match m.arg(argc, i) {
         Val::Obj(gc) if m.heap.kind(gc) == ObjKind::Str => Ok(m.heap.string_value(gc)),
-        v => Err(rerr(format!("{who}: expected string, got {}", print::display_val(m, v)))),
+        v => Err(rerr(format!(
+            "{who}: expected string, got {}",
+            print::display_val(m, v)
+        ))),
     }
 }
 
 /// Reads a proper list argument into a `Vec<Val>`.
-pub(crate) fn want_list(m: &Machine, argc: usize, i: usize, who: &str) -> Result<Vec<Val>, SchemeError> {
+pub(crate) fn want_list(
+    m: &Machine,
+    argc: usize,
+    i: usize,
+    who: &str,
+) -> Result<Vec<Val>, SchemeError> {
     let mut out = Vec::new();
     let mut cur = m.arg(argc, i);
     loop {
@@ -85,7 +109,10 @@ pub(crate) fn want_num(m: &Machine, argc: usize, i: usize, who: &str) -> Result<
     match m.arg(argc, i) {
         Val::Int(n) => Ok(Num::I(n)),
         Val::Float(f) => Ok(Num::F(f)),
-        v => Err(rerr(format!("{who}: expected number, got {}", print::display_val(m, v)))),
+        v => Err(rerr(format!(
+            "{who}: expected number, got {}",
+            print::display_val(m, v)
+        ))),
     }
 }
 
@@ -142,9 +169,8 @@ fn equal_d(m: &Machine, a: Val, b: Val, depth: usize) -> bool {
                 }
                 ObjKind::Vector => {
                     m.heap.len(x) == m.heap.len(y)
-                        && (0..m.heap.len(x)).all(|i| {
-                            equal_d(m, m.heap.field(x, i), m.heap.field(y, i), depth + 1)
-                        })
+                        && (0..m.heap.len(x))
+                            .all(|i| equal_d(m, m.heap.field(x, i), m.heap.field(y, i), depth + 1))
                 }
                 ObjKind::Str => m.heap.string_value(x) == m.heap.string_value(y),
                 _ => false,
@@ -166,9 +192,9 @@ macro_rules! arith_fold {
         for i in 1..argc {
             let b = want_num(m, argc, i, $name)?;
             acc = match (acc, b) {
-                (Num::I(x), Num::I(y)) =>
-
-                    $int_op(x, y).map(Num::I).ok_or_else(|| rerr(concat!($name, ": overflow")))?,
+                (Num::I(x), Num::I(y)) => $int_op(x, y)
+                    .map(Num::I)
+                    .ok_or_else(|| rerr(concat!($name, ": overflow")))?,
                 (x, y) => Num::F($f_op(x.as_f64(), y.as_f64())),
             };
         }
@@ -180,7 +206,14 @@ fn prim_add(m: &mut Machine, argc: usize) -> Result<Val, SchemeError> {
     if argc == 0 {
         return Ok(Val::Int(0));
     }
-    arith_fold!("+", m, argc, 0, |x: i64, y: i64| x.checked_add(y), |x, y| x + y)
+    arith_fold!(
+        "+",
+        m,
+        argc,
+        0,
+        |x: i64, y: i64| x.checked_add(y),
+        |x, y| x + y
+    )
 }
 
 fn prim_sub(m: &mut Machine, argc: usize) -> Result<Val, SchemeError> {
@@ -190,14 +223,28 @@ fn prim_sub(m: &mut Machine, argc: usize) -> Result<Val, SchemeError> {
             Num::F(f) => Val::Float(-f),
         });
     }
-    arith_fold!("-", m, argc, 0, |x: i64, y: i64| x.checked_sub(y), |x, y| x - y)
+    arith_fold!(
+        "-",
+        m,
+        argc,
+        0,
+        |x: i64, y: i64| x.checked_sub(y),
+        |x, y| x - y
+    )
 }
 
 fn prim_mul(m: &mut Machine, argc: usize) -> Result<Val, SchemeError> {
     if argc == 0 {
         return Ok(Val::Int(1));
     }
-    arith_fold!("*", m, argc, 0, |x: i64, y: i64| x.checked_mul(y), |x, y| x * y)
+    arith_fold!(
+        "*",
+        m,
+        argc,
+        0,
+        |x: i64, y: i64| x.checked_mul(y),
+        |x, y| x * y
+    )
 }
 
 fn prim_div(m: &mut Machine, argc: usize) -> Result<Val, SchemeError> {
@@ -417,14 +464,24 @@ pub(crate) fn defs() -> Vec<Def> {
     def!("zero?", 1, Some(1), |m, a| Ok(Val::Bool(
         want_num(m, a, 0, "zero?")?.as_f64() == 0.0
     )));
-    def!("positive?", 1, Some(1), |m, a| Ok(Val::Bool(want_num(m, a, 0, "positive?")?.as_f64() > 0.0)));
-    def!("negative?", 1, Some(1), |m, a| Ok(Val::Bool(want_num(m, a, 0, "negative?")?.as_f64() < 0.0)));
-    def!("even?", 1, Some(1), |m, a| Ok(Val::Bool(want_int(m, a, 0, "even?")? % 2 == 0)));
-    def!("odd?", 1, Some(1), |m, a| Ok(Val::Bool(want_int(m, a, 0, "odd?")? % 2 != 0)));
-    def!("abs", 1, Some(1), |m, a| Ok(match want_num(m, a, 0, "abs")? {
-        Num::I(i) => Val::Int(i.abs()),
-        Num::F(f) => Val::Float(f.abs()),
-    }));
+    def!("positive?", 1, Some(1), |m, a| Ok(Val::Bool(
+        want_num(m, a, 0, "positive?")?.as_f64() > 0.0
+    )));
+    def!("negative?", 1, Some(1), |m, a| Ok(Val::Bool(
+        want_num(m, a, 0, "negative?")?.as_f64() < 0.0
+    )));
+    def!("even?", 1, Some(1), |m, a| Ok(Val::Bool(
+        want_int(m, a, 0, "even?")? % 2 == 0
+    )));
+    def!("odd?", 1, Some(1), |m, a| Ok(Val::Bool(
+        want_int(m, a, 0, "odd?")? % 2 != 0
+    )));
+    def!("abs", 1, Some(1), |m, a| Ok(
+        match want_num(m, a, 0, "abs")? {
+            Num::I(i) => Val::Int(i.abs()),
+            Num::F(f) => Val::Float(f.abs()),
+        }
+    ));
     def!("min", 1, None, |m, a| {
         let mut best = want_num(m, a, 0, "min")?;
         for i in 1..a {
@@ -446,29 +503,41 @@ pub(crate) fn defs() -> Vec<Def> {
         Ok(best.to_val())
     });
     def!("1+", 1, Some(1), |m, a| Ok(Val::Int(
-        want_int(m, a, 0, "1+")?.checked_add(1).ok_or_else(|| rerr("1+: overflow"))?
+        want_int(m, a, 0, "1+")?
+            .checked_add(1)
+            .ok_or_else(|| rerr("1+: overflow"))?
     )));
     def!("1-", 1, Some(1), |m, a| Ok(Val::Int(
-        want_int(m, a, 0, "1-")?.checked_sub(1).ok_or_else(|| rerr("1-: overflow"))?
+        want_int(m, a, 0, "1-")?
+            .checked_sub(1)
+            .ok_or_else(|| rerr("1-: overflow"))?
     )));
-    def!("sqrt", 1, Some(1), |m, a| Ok(Val::Float(want_num(m, a, 0, "sqrt")?.as_f64().sqrt())));
+    def!("sqrt", 1, Some(1), |m, a| Ok(Val::Float(
+        want_num(m, a, 0, "sqrt")?.as_f64().sqrt()
+    )));
     def!("expt", 2, Some(2), |m, a| {
         match (want_num(m, a, 0, "expt")?, want_num(m, a, 1, "expt")?) {
             (Num::I(b), Num::I(e)) if (0..=62).contains(&e) => Ok(Val::Int(
-                b.checked_pow(e as u32).ok_or_else(|| rerr("expt: overflow"))?,
+                b.checked_pow(e as u32)
+                    .ok_or_else(|| rerr("expt: overflow"))?,
             )),
             (b, e) => Ok(Val::Float(b.as_f64().powf(e.as_f64()))),
         }
     });
-    def!("floor", 1, Some(1), |m, a| Ok(match want_num(m, a, 0, "floor")? {
-        Num::I(i) => Val::Int(i),
-        Num::F(f) => Val::Int(f.floor() as i64),
-    }));
+    def!("floor", 1, Some(1), |m, a| Ok(
+        match want_num(m, a, 0, "floor")? {
+            Num::I(i) => Val::Int(i),
+            Num::F(f) => Val::Int(f.floor() as i64),
+        }
+    ));
     def!("number?", 1, Some(1), |m, a| Ok(Val::Bool(matches!(
         m.arg(a, 0),
         Val::Int(_) | Val::Float(_)
     ))));
-    def!("integer?", 1, Some(1), |m, a| Ok(Val::Bool(matches!(m.arg(a, 0), Val::Int(_)))));
+    def!("integer?", 1, Some(1), |m, a| Ok(Val::Bool(matches!(
+        m.arg(a, 0),
+        Val::Int(_)
+    ))));
     def!("number->string", 1, Some(1), |m, a| {
         let s = print::display_val(m, m.arg(a, 0));
         Ok(m.string(&s))
@@ -499,14 +568,40 @@ pub(crate) fn defs() -> Vec<Def> {
     });
 
     // Predicates / equality.
-    def!("not", 1, Some(1), |m, a| Ok(Val::Bool(m.arg(a, 0).is_false())));
-    def!("eq?", 2, Some(2), |m, a| Ok(Val::Bool(eqv(m, m.arg(a, 0), m.arg(a, 1)))));
-    def!("eqv?", 2, Some(2), |m, a| Ok(Val::Bool(eqv(m, m.arg(a, 0), m.arg(a, 1)))));
-    def!("equal?", 2, Some(2), |m, a| Ok(Val::Bool(equal(m, m.arg(a, 0), m.arg(a, 1)))));
-    def!("boolean?", 1, Some(1), |m, a| Ok(Val::Bool(matches!(m.arg(a, 0), Val::Bool(_)))));
-    def!("symbol?", 1, Some(1), |m, a| Ok(Val::Bool(matches!(m.arg(a, 0), Val::Sym(_)))));
-    def!("char?", 1, Some(1), |m, a| Ok(Val::Bool(matches!(m.arg(a, 0), Val::Char(_)))));
-    def!("null?", 1, Some(1), |m, a| Ok(Val::Bool(matches!(m.arg(a, 0), Val::Nil))));
+    def!("not", 1, Some(1), |m, a| Ok(Val::Bool(
+        m.arg(a, 0).is_false()
+    )));
+    def!("eq?", 2, Some(2), |m, a| Ok(Val::Bool(eqv(
+        m,
+        m.arg(a, 0),
+        m.arg(a, 1)
+    ))));
+    def!("eqv?", 2, Some(2), |m, a| Ok(Val::Bool(eqv(
+        m,
+        m.arg(a, 0),
+        m.arg(a, 1)
+    ))));
+    def!("equal?", 2, Some(2), |m, a| Ok(Val::Bool(equal(
+        m,
+        m.arg(a, 0),
+        m.arg(a, 1)
+    ))));
+    def!("boolean?", 1, Some(1), |m, a| Ok(Val::Bool(matches!(
+        m.arg(a, 0),
+        Val::Bool(_)
+    ))));
+    def!("symbol?", 1, Some(1), |m, a| Ok(Val::Bool(matches!(
+        m.arg(a, 0),
+        Val::Sym(_)
+    ))));
+    def!("char?", 1, Some(1), |m, a| Ok(Val::Bool(matches!(
+        m.arg(a, 0),
+        Val::Char(_)
+    ))));
+    def!("null?", 1, Some(1), |m, a| Ok(Val::Bool(matches!(
+        m.arg(a, 0),
+        Val::Nil
+    ))));
     def!("pair?", 1, Some(1), |m, a| Ok(Val::Bool(matches!(
         m.arg(a, 0), Val::Obj(gc) if m.heap.kind(gc) == ObjKind::Pair
     ))));
@@ -516,21 +611,31 @@ pub(crate) fn defs() -> Vec<Def> {
     def!("vector?", 1, Some(1), |m, a| Ok(Val::Bool(matches!(
         m.arg(a, 0), Val::Obj(gc) if m.heap.kind(gc) == ObjKind::Vector
     ))));
-    def!("procedure?", 1, Some(1), |m, a| Ok(Val::Bool(match m.arg(a, 0) {
-        Val::Obj(gc) => m.heap.kind(gc) == ObjKind::Closure,
-        Val::Native(slot) => m.heap.native(slot).native_as::<Prim>().is_some(),
-        _ => false,
-    })));
+    def!("procedure?", 1, Some(1), |m, a| Ok(Val::Bool(
+        match m.arg(a, 0) {
+            Val::Obj(gc) => m.heap.kind(gc) == ObjKind::Closure,
+            Val::Native(slot) => m.heap.native(slot).native_as::<Prim>().is_some(),
+            _ => false,
+        }
+    )));
 
     // Pairs and lists.
-    def!("cons", 2, Some(2), |m, a| Ok(m.cons(m.arg(a, 0), m.arg(a, 1))));
+    def!("cons", 2, Some(2), |m, a| Ok(
+        m.cons(m.arg(a, 0), m.arg(a, 1))
+    ));
     def!("car", 1, Some(1), |m, a| match m.arg(a, 0) {
         Val::Obj(gc) if m.heap.kind(gc) == ObjKind::Pair => Ok(m.heap.car(gc)),
-        v => Err(rerr(format!("car: expected pair, got {}", print::display_val(m, v)))),
+        v => Err(rerr(format!(
+            "car: expected pair, got {}",
+            print::display_val(m, v)
+        ))),
     });
     def!("cdr", 1, Some(1), |m, a| match m.arg(a, 0) {
         Val::Obj(gc) if m.heap.kind(gc) == ObjKind::Pair => Ok(m.heap.cdr(gc)),
-        v => Err(rerr(format!("cdr: expected pair, got {}", print::display_val(m, v)))),
+        v => Err(rerr(format!(
+            "cdr: expected pair, got {}",
+            print::display_val(m, v)
+        ))),
     });
     def!("set-car!", 2, Some(2), |m, a| match m.arg(a, 0) {
         Val::Obj(gc) if m.heap.kind(gc) == ObjKind::Pair => {
@@ -591,7 +696,10 @@ pub(crate) fn defs() -> Vec<Def> {
     def!("list-ref", 2, Some(2), |m, a| {
         let items = want_list(m, a, 0, "list-ref")?;
         let i = want_int(m, a, 1, "list-ref")? as usize;
-        items.get(i).copied().ok_or_else(|| rerr("list-ref: index out of range"))
+        items
+            .get(i)
+            .copied()
+            .ok_or_else(|| rerr("list-ref: index out of range"))
     });
     def!("list-tail", 2, Some(2), |m, a| {
         let mut cur = m.arg(a, 0);
@@ -697,7 +805,9 @@ pub(crate) fn defs() -> Vec<Def> {
 
     // Strings and chars.
     def!("string-length", 1, Some(1), |m, a| {
-        Ok(Val::Int(want_string(m, a, 0, "string-length")?.chars().count() as i64))
+        Ok(Val::Int(
+            want_string(m, a, 0, "string-length")?.chars().count() as i64,
+        ))
     });
     def!("string-append", 0, None, |m, a| {
         let mut s = String::new();
@@ -726,7 +836,10 @@ pub(crate) fn defs() -> Vec<Def> {
     def!("string-ref", 2, Some(2), |m, a| {
         let s = want_string(m, a, 0, "string-ref")?;
         let i = want_int(m, a, 1, "string-ref")? as usize;
-        s.chars().nth(i).map(Val::Char).ok_or_else(|| rerr("string-ref: out of range"))
+        s.chars()
+            .nth(i)
+            .map(Val::Char)
+            .ok_or_else(|| rerr("string-ref: out of range"))
     });
     def!("string->symbol", 1, Some(1), |m, a| {
         let s = want_string(m, a, 0, "string->symbol")?;
@@ -792,7 +905,11 @@ fn mem_like(m: &mut Machine, argc: usize, structural: bool) -> Result<Val, Schem
             Val::Nil => return Ok(Val::Bool(false)),
             Val::Obj(gc) if m.heap.kind(gc) == ObjKind::Pair => {
                 let c = m.heap.car(gc);
-                let hit = if structural { equal(m, x, c) } else { eqv(m, x, c) };
+                let hit = if structural {
+                    equal(m, x, c)
+                } else {
+                    eqv(m, x, c)
+                };
                 if hit {
                     return Ok(cur);
                 }
@@ -814,7 +931,11 @@ fn assoc_like(m: &mut Machine, argc: usize, structural: bool) -> Result<Val, Sch
                 if let Val::Obj(e) = entry {
                     if m.heap.kind(e) == ObjKind::Pair {
                         let k = m.heap.car(e);
-                        let hit = if structural { equal(m, x, k) } else { eqv(m, x, k) };
+                        let hit = if structural {
+                            equal(m, x, k)
+                        } else {
+                            eqv(m, x, k)
+                        };
                         if hit {
                             return Ok(entry);
                         }

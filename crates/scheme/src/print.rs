@@ -100,7 +100,10 @@ fn render(m: &Machine, v: Val, quote: bool, depth: usize) -> String {
                     .unwrap_or_else(|| "lambda".to_string());
                 format!("#<procedure {name}>")
             }
-            ObjKind::Cell => format!("#<cell {}>", render(m, m.heap.field(gc, 0), quote, depth + 1)),
+            ObjKind::Cell => format!(
+                "#<cell {}>",
+                render(m, m.heap.field(gc, 0), quote, depth + 1)
+            ),
             ObjKind::FloatBox => render(m, m.heap.field(gc, 0), quote, depth),
             ObjKind::Frame => "#<environment>".to_string(),
         },

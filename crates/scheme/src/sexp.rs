@@ -1,7 +1,7 @@
 //! Surface syntax: s-expressions.
 
-use sting_value::Symbol;
 use std::fmt;
+use sting_value::Symbol;
 
 /// A read s-expression.
 #[derive(Debug, Clone, PartialEq)]

@@ -2,11 +2,11 @@
 //! the substrate — futures, stealing, streams (the Figure 2 sieve), tuple
 //! spaces, speculative and barrier synchronization, preemption.
 
+use std::sync::Arc;
+use std::time::Duration;
 use sting_core::VmBuilder;
 use sting_scheme::{Interp, SchemeError};
 use sting_value::Value;
-use std::sync::Arc;
-use std::time::Duration;
 
 fn interp(vps: usize) -> (Arc<sting_core::Vm>, Interp) {
     let vm = VmBuilder::new()
@@ -60,10 +60,7 @@ fn delayed_threads_are_stolen_on_touch() {
 #[test]
 fn thread_state_transitions_visible() {
     let (vm, i) = interp(1);
-    assert_eq!(
-        ev(&i, "(thread-state (delay 1))"),
-        Value::sym("delayed")
-    );
+    assert_eq!(ev(&i, "(thread-state (delay 1))"), Value::sym("delayed"));
     assert_eq!(
         ev(
             &i,
@@ -134,7 +131,10 @@ fn toplevel_closures_share_state_across_calls() {
     // But closures converted *once* (e.g. bound at top level) share their
     // environment between every caller — the shared-frame mechanism.
     let (vm, i) = interp(1);
-    ev(&i, "(define counter (let ((n 0)) (lambda () (set! n (+ n 1)) n)))");
+    ev(
+        &i,
+        "(define counter (let ((n 0)) (lambda () (set! n (+ n 1)) n)))",
+    );
     assert_eq!(ev(&i, "(counter)").as_int(), Some(1));
     assert_eq!(
         ev(&i, "(thread-wait (fork-thread (lambda () (counter))))").as_int(),
@@ -410,10 +410,7 @@ fn preemption_interleaves_scheme_threads() {
     (substrate-counter 'preemptions)))
 "#,
     );
-    assert!(
-        v.as_int().unwrap() > 0,
-        "expected preemptions, got {v}"
-    );
+    assert!(v.as_int().unwrap() > 0, "expected preemptions, got {v}");
     vm.shutdown();
 }
 
@@ -556,5 +553,34 @@ fn prelude_sort_and_list_utilities() {
         .to_string(),
         "(0 1 2 5 8 9)"
     );
+    vm.shutdown();
+}
+
+#[test]
+fn trace_prims_record_dump_and_export() {
+    let (vm, i) = interp(1);
+    ev(&i, "(trace-start)");
+    assert_eq!(ev(&i, "(touch (delay (* 6 7)))").as_int(), Some(42));
+    let n = ev(&i, "(trace-count)").as_int().unwrap();
+    assert!(n > 0, "recording enabled: events should accumulate");
+    let dump = ev(&i, "(trace-dump)");
+    let text = dump.as_str().expect("trace-dump returns a string");
+    assert!(text.contains("steal"), "delayed touch shows up as a steal");
+    assert!(text.contains("fork"), "thread creation is recorded");
+    // Export valid chrome JSON to a temp file and look inside.
+    let path = std::env::temp_dir().join(format!("sting-trace-{}.json", std::process::id()));
+    let exported = ev(&i, &format!("(trace-export \"{}\")", path.display()))
+        .as_int()
+        .unwrap();
+    assert!(exported >= n, "export covers everything recorded so far");
+    let json = std::fs::read_to_string(&path).unwrap();
+    let _ = std::fs::remove_file(&path);
+    assert!(json.starts_with('[') && json.trim_end().ends_with(']'));
+    assert!(json.contains("\"steal"));
+    // trace-stop freezes the recording.
+    ev(&i, "(trace-stop)");
+    let frozen = ev(&i, "(trace-count)").as_int().unwrap();
+    ev(&i, "(touch (delay 1))");
+    assert_eq!(ev(&i, "(trace-count)").as_int().unwrap(), frozen);
     vm.shutdown();
 }

@@ -1,10 +1,10 @@
 //! End-to-end language tests: evaluation, closures, recursion, tail calls,
 //! GC pressure, exceptions, and data structures.
 
+use std::sync::Arc;
 use sting_core::VmBuilder;
 use sting_scheme::{Interp, SchemeError};
 use sting_value::Value;
-use std::sync::Arc;
 
 fn interp() -> (Arc<sting_core::Vm>, Interp) {
     let vm = VmBuilder::new().vps(1).build();
@@ -69,7 +69,10 @@ fn define_lambda_closures() {
     ev(&i, "(define add10 (make-adder 10))");
     assert_eq!(ev(&i, "(add10 5)").as_int(), Some(15));
     // Closures share mutable state through their environment.
-    ev(&i, "(define (make-counter) (let ((n 0)) (lambda () (set! n (+ n 1)) n)))");
+    ev(
+        &i,
+        "(define (make-counter) (let ((n 0)) (lambda () (set! n (+ n 1)) n)))",
+    );
     ev(&i, "(define c (make-counter))");
     assert_eq!(ev(&i, "(c)").as_int(), Some(1));
     assert_eq!(ev(&i, "(c)").as_int(), Some(2));
@@ -82,11 +85,18 @@ fn recursion_and_tail_calls() {
     ev(&i, "(define (fact n) (if (= n 0) 1 (* n (fact (- n 1)))))");
     assert_eq!(ev(&i, "(fact 10)").as_int(), Some(3_628_800));
     // Deep tail recursion must not overflow anything.
-    ev(&i, "(define (count n acc) (if (= n 0) acc (count (- n 1) (+ acc 1))))");
+    ev(
+        &i,
+        "(define (count n acc) (if (= n 0) acc (count (- n 1) (+ acc 1))))",
+    );
     assert_eq!(ev(&i, "(count 1000000 0)").as_int(), Some(1_000_000));
     // Named let.
     assert_eq!(
-        ev(&i, "(let loop ((n 5) (acc 1)) (if (= n 0) acc (loop (- n 1) (* acc n))))").as_int(),
+        ev(
+            &i,
+            "(let loop ((n 5) (acc 1)) (if (= n 0) acc (loop (- n 1) (* acc n))))"
+        )
+        .as_int(),
         Some(120)
     );
     vm.shutdown();
@@ -112,8 +122,17 @@ fn conditionals() {
     assert_eq!(ev(&i, "(cond (#f 1) (#t 2) (else 3))").as_int(), Some(2));
     assert_eq!(ev(&i, "(cond (#f 1) (else 3))").as_int(), Some(3));
     assert_eq!(ev(&i, "(cond (42))").as_int(), Some(42));
-    assert_eq!(ev(&i, "(case 2 ((1) 'one) ((2 3) 'two-or-three) (else 'other))"), Value::sym("two-or-three"));
-    assert_eq!(ev(&i, "(case 9 ((1) 'one) (else 'other))"), Value::sym("other"));
+    assert_eq!(
+        ev(
+            &i,
+            "(case 2 ((1) 'one) ((2 3) 'two-or-three) (else 'other))"
+        ),
+        Value::sym("two-or-three")
+    );
+    assert_eq!(
+        ev(&i, "(case 9 ((1) 'one) (else 'other))"),
+        Value::sym("other")
+    );
     assert_eq!(ev(&i, "(and 1 2 3)").as_int(), Some(3));
     assert_eq!(ev(&i, "(and 1 #f 3)"), Value::Bool(false));
     assert_eq!(ev(&i, "(or #f 2)").as_int(), Some(2));
@@ -129,12 +148,18 @@ fn lists_and_pairs() {
     assert_eq!(ev(&i, "(car '(1 2 3))").as_int(), Some(1));
     assert_eq!(ev(&i, "(cadr '(1 2 3))").as_int(), Some(2));
     assert_eq!(ev(&i, "(length '(a b c))").as_int(), Some(3));
-    assert_eq!(ev(&i, "(append '(1 2) '(3) '(4 5))").to_string(), "(1 2 3 4 5)");
+    assert_eq!(
+        ev(&i, "(append '(1 2) '(3) '(4 5))").to_string(),
+        "(1 2 3 4 5)"
+    );
     assert_eq!(ev(&i, "(reverse '(1 2 3))").to_string(), "(3 2 1)");
     assert_eq!(ev(&i, "(list-ref '(a b c) 1)"), Value::sym("b"));
     assert_eq!(ev(&i, "(member 2 '(1 2 3))").to_string(), "(2 3)");
     assert_eq!(ev(&i, "(assq 'b '((a 1) (b 2)))").to_string(), "(b 2)");
-    assert_eq!(ev(&i, "(map (lambda (x) (* x x)) '(1 2 3))").to_string(), "(1 4 9)");
+    assert_eq!(
+        ev(&i, "(map (lambda (x) (* x x)) '(1 2 3))").to_string(),
+        "(1 4 9)"
+    );
     assert_eq!(
         ev(&i, "(map + '(1 2 3) '(10 20 30))").to_string(),
         "(11 22 33)"
@@ -153,14 +178,24 @@ fn lists_and_pairs() {
 #[test]
 fn vectors_and_strings() {
     let (vm, i) = interp();
-    assert_eq!(ev(&i, "(vector-length (make-vector 5 0))").as_int(), Some(5));
     assert_eq!(
-        ev(&i, "(let ((v (vector 1 2 3))) (vector-set! v 1 99) (vector-ref v 1))").as_int(),
+        ev(&i, "(vector-length (make-vector 5 0))").as_int(),
+        Some(5)
+    );
+    assert_eq!(
+        ev(
+            &i,
+            "(let ((v (vector 1 2 3))) (vector-set! v 1 99) (vector-ref v 1))"
+        )
+        .as_int(),
         Some(99)
     );
     assert_eq!(ev(&i, "(vector->list #(1 2))").to_string(), "(1 2)");
     assert_eq!(ev(&i, "(string-length \"hello\")").as_int(), Some(5));
-    assert_eq!(ev(&i, "(string-append \"foo\" \"bar\")").as_str(), Some("foobar"));
+    assert_eq!(
+        ev(&i, "(string-append \"foo\" \"bar\")").as_str(),
+        Some("foobar")
+    );
     assert_eq!(ev(&i, "(substring \"hello\" 1 3)").as_str(), Some("el"));
     assert_eq!(ev(&i, "(string=? \"a\" \"a\")"), Value::Bool(true));
     assert_eq!(ev(&i, "(string->symbol \"wee\")"), Value::sym("wee"));
@@ -254,7 +289,11 @@ fn variadic_procedures() {
 fn internal_defines() {
     let (vm, i) = interp();
     assert_eq!(
-        ev(&i, "(define (h x) (define y 10) (define (inner) (* x y)) (inner)) (h 4)").as_int(),
+        ev(
+            &i,
+            "(define (h x) (define y 10) (define (inner) (* x y)) (inner)) (h 4)"
+        )
+        .as_int(),
         Some(40)
     );
     vm.shutdown();
@@ -296,7 +335,10 @@ fn higher_order_and_y_combinator_style() {
     ev(&i, "(define (compose f g) (lambda (x) (f (g x))))");
     ev(&i, "(define inc (lambda (x) (+ x 1)))");
     assert_eq!(ev(&i, "((compose inc inc) 5)").as_int(), Some(7));
-    ev(&i, "(define (fold f init lst) (if (null? lst) init (fold f (f init (car lst)) (cdr lst))))");
+    ev(
+        &i,
+        "(define (fold f init lst) (if (null? lst) init (fold f (f init (car lst)) (cdr lst))))",
+    );
     assert_eq!(ev(&i, "(fold + 0 '(1 2 3 4))").as_int(), Some(10));
     vm.shutdown();
 }
@@ -316,7 +358,10 @@ fn multiple_toplevel_forms_share_globals() {
 #[test]
 fn fibonacci_exercises_the_machine() {
     let (vm, i) = interp();
-    ev(&i, "(define (fib n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))");
+    ev(
+        &i,
+        "(define (fib n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))",
+    );
     assert_eq!(ev(&i, "(fib 15)").as_int(), Some(610));
     vm.shutdown();
 }

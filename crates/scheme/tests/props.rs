@@ -11,8 +11,7 @@ fn arb_sexp() -> impl Strategy<Value = Sexp> {
         any::<bool>().prop_map(Sexp::Bool),
         "[a-z][a-z0-9?!*-]{0,8}".prop_map(|s| Sexp::sym(&s)),
         "[ -~&&[^\"\\\\]]{0,10}".prop_map(Sexp::Str),
-        prop_oneof![Just('a'), Just('Z'), Just('0'), Just(' '), Just('\n')]
-            .prop_map(Sexp::Char),
+        prop_oneof![Just('a'), Just('Z'), Just('0'), Just(' '), Just('\n')].prop_map(Sexp::Char),
     ];
     leaf.prop_recursive(4, 24, 5, |inner| {
         prop_oneof![

@@ -1,0 +1,203 @@
+//! Offline in-tree shim for the `criterion` crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the small criterion surface its benches use:
+//! `criterion_group!`/`criterion_main!`, benchmark groups with
+//! `sample_size`/`measurement_time`, `bench_function`/`bench_with_input`,
+//! and `Bencher::{iter, iter_custom}`.  Measurements are simple means over
+//! the configured samples — no warm-up modelling, outlier analysis or
+//! plotting.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        println!("group: {name}");
+        BenchmarkGroup {
+            samples: 10,
+            measurement_time: Duration::from_millis(500),
+        }
+    }
+
+    /// Benchmarks `f` outside any group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(id, 10, Duration::from_millis(500), f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing sampling configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    samples: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut BenchmarkGroup {
+        self.samples = n.max(2);
+        self
+    }
+
+    /// Sets the target measurement time per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut BenchmarkGroup {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Accepted for API compatibility; this harness does not warm up.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut BenchmarkGroup {
+        self
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut BenchmarkGroup
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.into().label, self.samples, self.measurement_time, f);
+        self
+    }
+
+    /// Benchmarks `f` under `id`, passing `input` through.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut BenchmarkGroup
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&id.into().label, self.samples, self.measurement_time, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A two-part id: function name plus parameter.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            label: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// An id carrying only a parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId {
+            label: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Hands timing control to the benchmark body.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Option<Duration>,
+}
+
+impl Bencher {
+    /// Times `iters` calls of `f`.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = Some(start.elapsed());
+    }
+
+    /// Lets the body time `iters` iterations itself and report the total.
+    pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut f: F) {
+        self.elapsed = Some(f(self.iters));
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, samples: usize, measurement: Duration, mut f: F) {
+    // Calibrate: find an iteration count whose sample takes a measurable
+    // slice of the budget.
+    let mut iters: u64 = 1;
+    let per_sample = measurement / u32::try_from(samples.max(1)).unwrap_or(1);
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: None,
+        };
+        f(&mut b);
+        let took = b.elapsed.unwrap_or_default();
+        if took >= per_sample.min(Duration::from_millis(20)) || iters >= 1 << 20 {
+            break;
+        }
+        iters = iters.saturating_mul(4);
+    }
+    let mut total = Duration::ZERO;
+    let mut total_iters = 0u64;
+    for _ in 0..samples {
+        let mut b = Bencher {
+            iters,
+            elapsed: None,
+        };
+        f(&mut b);
+        total += b.elapsed.expect("bench body must call iter or iter_custom");
+        total_iters += iters;
+    }
+    let mean = total.as_secs_f64() / total_iters.max(1) as f64;
+    println!("  {label}: {:.3} µs/iter ({total_iters} iters)", mean * 1e6);
+}
+
+/// Declares a group function running the listed benchmarks.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed group functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

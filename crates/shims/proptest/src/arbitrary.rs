@@ -1,0 +1,83 @@
+//! `any::<T>()` — default strategies per type.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+
+/// Types with a default generation recipe.
+pub trait ArbitraryValue: Sized {
+    /// Generates one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The strategy returned by [`any`].
+#[derive(Debug, Clone)]
+pub struct Any<T>(PhantomData<fn() -> T>);
+
+impl<T: ArbitraryValue> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The default strategy for `T` (mirrors `proptest::prelude::any`).
+pub fn any<T: ArbitraryValue>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl ArbitraryValue for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.random_bool()
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),+) => {$(
+        impl ArbitraryValue for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                // Bias toward boundary values the way proptest does, so
+                // edge cases show up within small case budgets.
+                match rng.below(10) {
+                    0 => 0,
+                    1 => <$t>::MAX,
+                    2 => <$t>::MIN,
+                    3 => 1 as $t,
+                    _ => rng.next_u64() as $t,
+                }
+            }
+        }
+    )+};
+}
+
+arbitrary_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl ArbitraryValue for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Finite values only: substrate values compare by `==`, and the
+        // workspace properties (clone/hash round trips) assume reflexivity.
+        match rng.below(10) {
+            0 => 0.0,
+            1 => -1.5,
+            2 => f64::MAX,
+            _ => rng.random_f64(),
+        }
+    }
+}
+
+impl ArbitraryValue for f32 {
+    fn arbitrary(rng: &mut TestRng) -> f32 {
+        f64::arbitrary(rng) as f32
+    }
+}
+
+impl ArbitraryValue for char {
+    fn arbitrary(rng: &mut TestRng) -> char {
+        match rng.below(4) {
+            // Mostly printable ASCII, sometimes wider unicode.
+            0 | 1 => char::from_u32(rng.in_range_i128(0x20, 0x7f) as u32).unwrap_or('a'),
+            2 => char::from_u32(rng.in_range_i128(0xa1, 0x2000) as u32).unwrap_or('¡'),
+            _ => char::from_u32(rng.in_range_i128(0x1f300, 0x1f600) as u32).unwrap_or('🌀'),
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Offline in-tree shim for the `proptest` crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the subset of the proptest API its tests use:
+//! deterministic pseudo-random generation driven by [`strategy::Strategy`]
+//! implementations, the `proptest!` / `prop_oneof!` / `prop_assert*!`
+//! macros, `prop::collection::vec`, `prop::option::of`, and regex-subset
+//! string strategies.  There is no shrinking: a failing case panics with
+//! the generated inputs left to the assertion message.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod option;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// Prelude mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Mirrors `proptest::prelude::prop` (`prop::collection`, `prop::option`).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::option;
+    }
+}
+
+/// Runs each property over `config.cases` generated inputs.
+///
+/// Supported grammar (the subset the workspace uses):
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(16))]
+///     #[test]
+///     fn my_prop(x in 0..10i64, v in prop::collection::vec(any::<bool>(), 3)) {
+///         prop_assert!(x >= 0);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($cfg) $($rest)*);
+    };
+    (@cfg ($cfg:expr) $($(#[$meta:meta])* fn $name:ident ($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut rng = $crate::test_runner::TestRng::deterministic(stringify!($name));
+                for _case in 0..config.cases {
+                    $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Property-level assertion (no shrinking in the shim: plain `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Property-level equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Property-level inequality assertion.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![$($crate::strategy::Strategy::boxed($s)),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn ranges_stay_in_bounds(x in 3..9i64, y in 0u8..4, z in 1usize..2) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!(y < 4);
+            prop_assert_eq!(z, 1);
+        }
+
+        #[test]
+        fn vec_lengths(v in prop::collection::vec(any::<bool>(), 0..5), w in prop::collection::vec(0..3i32, 7)) {
+            prop_assert!(v.len() < 5);
+            prop_assert_eq!(w.len(), 7);
+        }
+
+        #[test]
+        fn oneof_and_map(v in prop_oneof![Just(1i64), (10..20i64).prop_map(|x| x * 2)]) {
+            prop_assert!(v == 1 || (20..40).contains(&v));
+        }
+
+        #[test]
+        fn regex_subset(s in "[a-c]{2,4}", t in "[ -~&&[^\"\\\\]]{0,10}") {
+            prop_assert!((2..=4).contains(&s.len()));
+            prop_assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+            prop_assert!(t.len() <= 10);
+            prop_assert!(t.chars().all(|c| (' '..='~').contains(&c) && c != '"' && c != '\\'));
+        }
+
+        #[test]
+        fn recursion_terminates(n in crate::tests::arb_nested()) {
+            prop_assert!(depth(&n) <= 5);
+        }
+    }
+
+    #[derive(Debug, Clone)]
+    enum Nested {
+        Leaf(i64),
+        Node(Vec<Nested>),
+    }
+
+    fn depth(n: &Nested) -> usize {
+        match n {
+            Nested::Leaf(_) => 1,
+            Nested::Node(v) => 1 + v.iter().map(depth).max().unwrap_or(0),
+        }
+    }
+
+    pub(crate) fn arb_nested() -> impl Strategy<Value = Nested> {
+        let leaf = (0..100i64).prop_map(Nested::Leaf);
+        leaf.prop_recursive(4, 16, 4, |inner| {
+            crate::collection::vec(inner, 0..3).prop_map(Nested::Node)
+        })
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = crate::test_runner::TestRng::deterministic("seed");
+        let mut b = crate::test_runner::TestRng::deterministic("seed");
+        let s = 0..1000i64;
+        for _ in 0..100 {
+            assert_eq!(
+                Strategy::generate(&s, &mut a),
+                Strategy::generate(&s, &mut b)
+            );
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! Regex-subset string strategies: `"[a-z][a-z0-9-]{0,8}"` as a
+//! `Strategy<Value = String>`, as in real proptest.
+//!
+//! Supported syntax: literal characters, `.` (printable ASCII), escapes
+//! (`\\`, `\.`, …), character classes with ranges, negation and the
+//! `&&[^…]` intersection/subtraction form, and the quantifiers `{n}`,
+//! `{m,n}`, `?`, `*`, `+` (the unbounded ones capped at 8 repetitions).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+#[derive(Debug, Clone)]
+struct Term {
+    chars: Vec<char>, // alternatives for one position
+    min: usize,
+    max: usize, // inclusive
+}
+
+fn printable_ascii() -> Vec<char> {
+    (0x20u8..=0x7e).map(char::from).collect()
+}
+
+/// Parses one `[...]` class body starting *after* the `[`; consumes the
+/// closing `]`. Returns the set of admitted characters.
+fn parse_class(it: &mut std::iter::Peekable<std::str::Chars<'_>>, pattern: &str) -> Vec<char> {
+    let negated = it.peek() == Some(&'^') && {
+        it.next();
+        true
+    };
+    let mut base: Vec<char> = Vec::new();
+    let mut subtract: Vec<char> = Vec::new();
+    let mut intersect: Option<Vec<char>> = None;
+    loop {
+        let c = it
+            .next()
+            .unwrap_or_else(|| panic!("unterminated class in regex strategy {pattern:?}"));
+        match c {
+            ']' => break,
+            '&' if it.peek() == Some(&'&') => {
+                it.next();
+                assert_eq!(
+                    it.next(),
+                    Some('['),
+                    "expected class after && in regex strategy {pattern:?}"
+                );
+                let nested_negated = it.peek() == Some(&'^') && {
+                    it.next();
+                    true
+                };
+                let mut nested: Vec<char> = Vec::new();
+                loop {
+                    let c = it
+                        .next()
+                        .unwrap_or_else(|| panic!("unterminated class in {pattern:?}"));
+                    match c {
+                        ']' => break,
+                        '\\' => nested.push(it.next().expect("escape in class")),
+                        c => {
+                            if it.peek() == Some(&'-') {
+                                let mut probe = it.clone();
+                                probe.next();
+                                if probe.peek().is_some_and(|&n| n != ']') {
+                                    it.next();
+                                    let hi = it.next().expect("range end");
+                                    nested.extend((c..=hi).collect::<Vec<_>>());
+                                    continue;
+                                }
+                            }
+                            nested.push(c);
+                        }
+                    }
+                }
+                if nested_negated {
+                    subtract.extend(nested);
+                } else {
+                    intersect = Some(nested);
+                }
+                // `&&[...]` must be the final element; expect the closing ].
+                assert_eq!(
+                    it.next(),
+                    Some(']'),
+                    "expected ] after && class in regex strategy {pattern:?}"
+                );
+                break;
+            }
+            '\\' => base.push(it.next().expect("escape in class")),
+            c => {
+                if it.peek() == Some(&'-') {
+                    let mut probe = it.clone();
+                    probe.next();
+                    if probe.peek().is_some_and(|&n| n != ']') {
+                        it.next(); // the '-'
+                        let hi = it.next().expect("range end");
+                        base.extend((c..=hi).collect::<Vec<_>>());
+                        continue;
+                    }
+                }
+                base.push(c);
+            }
+        }
+    }
+    if negated {
+        base = printable_ascii()
+            .into_iter()
+            .filter(|c| !base.contains(c))
+            .collect();
+    }
+    if let Some(keep) = intersect {
+        base.retain(|c| keep.contains(c));
+    }
+    base.retain(|c| !subtract.contains(c));
+    assert!(
+        !base.is_empty(),
+        "regex strategy {pattern:?} admits no characters"
+    );
+    base
+}
+
+fn parse_quantifier(it: &mut std::iter::Peekable<std::str::Chars<'_>>) -> (usize, usize) {
+    match it.peek() {
+        Some('{') => {
+            it.next();
+            let mut digits = String::new();
+            let mut min = None;
+            for c in it.by_ref() {
+                match c {
+                    '}' => break,
+                    ',' => {
+                        min = Some(digits.parse::<usize>().expect("quantifier bound"));
+                        digits.clear();
+                    }
+                    d => digits.push(d),
+                }
+            }
+            let last = if digits.is_empty() {
+                None
+            } else {
+                Some(digits.parse::<usize>().expect("quantifier bound"))
+            };
+            match (min, last) {
+                (None, Some(n)) => (n, n),     // {n}
+                (Some(m), Some(n)) => (m, n),  // {m,n}
+                (Some(m), None) => (m, m + 8), // {m,}
+                (None, None) => (1, 1),
+            }
+        }
+        Some('?') => {
+            it.next();
+            (0, 1)
+        }
+        Some('*') => {
+            it.next();
+            (0, 8)
+        }
+        Some('+') => {
+            it.next();
+            (1, 8)
+        }
+        _ => (1, 1),
+    }
+}
+
+fn parse(pattern: &str) -> Vec<Term> {
+    let mut terms = Vec::new();
+    let mut it = pattern.chars().peekable();
+    while let Some(c) = it.next() {
+        let chars = match c {
+            '[' => parse_class(&mut it, pattern),
+            '.' => printable_ascii(),
+            '\\' => vec![it.next().expect("trailing escape in regex strategy")],
+            c => vec![c],
+        };
+        let (min, max) = parse_quantifier(&mut it);
+        terms.push(Term { chars, min, max });
+    }
+    terms
+}
+
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for term in parse(self) {
+            let n = if term.min == term.max {
+                term.min
+            } else {
+                term.min + rng.below(term.max - term.min + 1)
+            };
+            for _ in 0..n {
+                out.push(term.chars[rng.below(term.chars.len())]);
+            }
+        }
+        out
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        self.as_str().generate(rng)
+    }
+}

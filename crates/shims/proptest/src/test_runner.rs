@@ -1,0 +1,79 @@
+//! The test runner: configuration and the deterministic RNG.
+
+/// Per-`proptest!` block configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` inputs per property.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A small, fast, deterministic RNG (splitmix64 stream seeded by name), so
+/// failures reproduce across runs without persisted seeds.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds the RNG from an arbitrary label (e.g. the property name).
+    pub fn deterministic(label: &str) -> TestRng {
+        // FNV-1a over the label.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in label.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng {
+            state: h | 1, // never the all-zero state
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        // splitmix64
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)`; `n` must be nonzero.
+    pub fn below(&mut self, n: usize) -> usize {
+        debug_assert!(n > 0);
+        (self.next_u64() % n as u64) as usize
+    }
+
+    /// Uniform `i128` in `[lo, hi)`; requires `lo < hi`.
+    pub fn in_range_i128(&mut self, lo: i128, hi: i128) -> i128 {
+        debug_assert!(lo < hi);
+        let span = (hi - lo) as u128;
+        let r = (u128::from(self.next_u64()) << 64) | u128::from(self.next_u64());
+        lo + (r % span) as i128
+    }
+
+    /// A random bool.
+    pub fn random_bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// A finite random `f64`, roughly log-uniform over magnitudes.
+    pub fn random_f64(&mut self) -> f64 {
+        let mantissa = self.in_range_i128(-1_000_000, 1_000_001) as f64;
+        let exp = self.in_range_i128(-6, 7) as i32;
+        mantissa * 10f64.powi(exp)
+    }
+}

@@ -3,8 +3,8 @@
 
 use crate::wait::{block_until, WaitList, Waiter};
 use parking_lot::Mutex;
-use sting_value::Value;
 use std::sync::Arc;
+use sting_value::Value;
 
 struct Inner {
     parties: usize,
@@ -90,8 +90,8 @@ impl Barrier {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sting_core::VmBuilder;
     use std::sync::atomic::{AtomicUsize, Ordering};
+    use sting_core::VmBuilder;
 
     #[test]
     fn phases_stay_aligned() {

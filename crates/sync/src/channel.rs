@@ -4,9 +4,9 @@
 
 use crate::wait::{block_until, WaitList, Waiter};
 use parking_lot::Mutex;
-use sting_value::Value;
 use std::collections::VecDeque;
 use std::sync::Arc;
+use sting_value::Value;
 
 struct Inner {
     queue: VecDeque<Value>,

@@ -20,11 +20,11 @@
 //! vm.shutdown();
 //! ```
 
+use std::sync::Arc;
 use sting_core::tc::{self, Cx};
 use sting_core::thread::{Thread, ThreadResult};
 use sting_core::vm::Vm;
 use sting_value::Value;
-use std::sync::Arc;
 
 /// A value being computed concurrently; demand it with [`Future::touch`].
 #[derive(Debug, Clone)]
@@ -39,9 +39,7 @@ impl Future {
         F: FnOnce(&Cx) -> V + Send + 'static,
         V: Into<Value>,
     {
-        Future {
-            thread: cx.fork(f),
-        }
+        Future { thread: cx.fork(f) }
     }
 
     /// Eager future forked from outside the machine.

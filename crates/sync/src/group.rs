@@ -7,10 +7,10 @@
 //! watched thread.  `wait-for-one` is `count = 1` (OR-parallelism);
 //! `wait-for-all` is `count = n` (AND-parallelism / barrier).
 
+use std::sync::Arc;
 use sting_core::tc;
 use sting_core::thread::{Thread, ThreadResult, WaitNode};
 use sting_value::Value;
-use std::sync::Arc;
 
 /// Blocks the calling thread until at least `count` of `threads` have
 /// determined (Figure 5's `block-on-group`).
@@ -99,8 +99,8 @@ pub fn wait_for_all(threads: &[Arc<Thread>]) -> Vec<ThreadResult> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sting_core::{ThreadState, VmBuilder};
     use std::time::Duration;
+    use sting_core::{ThreadState, VmBuilder};
 
     #[test]
     fn wait_for_all_is_a_barrier() {

@@ -3,8 +3,8 @@
 
 use crate::wait::{block_until, WaitList, Waiter};
 use parking_lot::Mutex;
-use sting_value::Value;
 use std::sync::Arc;
+use sting_value::Value;
 
 struct Inner {
     value: Option<Value>,

@@ -29,7 +29,6 @@ mod stream;
 pub mod wait;
 
 pub use barrier::Barrier;
-pub use wait::{block_until, WaitList, Waiter};
 pub use channel::{Channel, SendChannelError};
 pub use future::Future;
 pub use group::{block_on_group, race, wait_for_all, wait_for_one};
@@ -37,3 +36,4 @@ pub use ivar::{IVar, WriteIVarError};
 pub use mutex::{Mutex, MutexGuard};
 pub use semaphore::Semaphore;
 pub use stream::{Stream, StreamCursor};
+pub use wait::{block_until, WaitList, Waiter};

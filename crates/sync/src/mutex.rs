@@ -11,10 +11,10 @@
 //! if the body raises, via an RAII [`MutexGuard`].
 
 use crate::wait::{block_until, WaitList, Waiter};
-use sting_core::tc;
-use sting_value::Value;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use sting_core::tc;
+use sting_value::Value;
 
 struct Inner {
     locked: AtomicBool,
@@ -65,7 +65,9 @@ impl Mutex {
 
     /// Attempts to acquire without waiting.
     pub fn try_acquire(&self) -> Option<MutexGuard> {
-        self.try_lock_raw().then(|| MutexGuard { mutex: self.clone() })
+        self.try_lock_raw().then(|| MutexGuard {
+            mutex: self.clone(),
+        })
     }
 
     /// Acquires the mutex (`mutex-acquire`): active spin, then passive
@@ -74,14 +76,18 @@ impl Mutex {
         // Phase 1: active spinning — keep the VP.
         for _ in 0..self.active_spins {
             if self.try_lock_raw() {
-                return MutexGuard { mutex: self.clone() };
+                return MutexGuard {
+                    mutex: self.clone(),
+                };
             }
             std::hint::spin_loop();
         }
         // Phase 2: passive spinning — yield the VP between attempts.
         for _ in 0..self.passive_spins {
             if self.try_lock_raw() {
-                return MutexGuard { mutex: self.clone() };
+                return MutexGuard {
+                    mutex: self.clone(),
+                };
             }
             if tc::yield_now().is_err() {
                 // Off-thread caller: no VP to yield.
@@ -91,13 +97,17 @@ impl Mutex {
         // Phase 3: block on the mutex.
         block_until(Value::sym("mutex"), |w: &Waiter| {
             if self.try_lock_raw() {
-                return Some(MutexGuard { mutex: self.clone() });
+                return Some(MutexGuard {
+                    mutex: self.clone(),
+                });
             }
             let mut waiters = self.inner.waiters.lock();
             // Re-check under the waiter lock so a release that raced with
             // us cannot strand us (it wakes everyone registered).
             if self.try_lock_raw() {
-                return Some(MutexGuard { mutex: self.clone() });
+                return Some(MutexGuard {
+                    mutex: self.clone(),
+                });
             }
             waiters.push(w.clone());
             None
@@ -172,8 +182,8 @@ impl Drop for MutexGuard {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sting_core::VmBuilder;
     use std::sync::atomic::AtomicUsize;
+    use sting_core::VmBuilder;
 
     #[test]
     fn uncontended_acquire_release() {
@@ -223,9 +233,7 @@ mod tests {
         let vm = VmBuilder::new().vps(1).build();
         let m = Mutex::default();
         let m2 = m.clone();
-        let t = vm.fork(move |cx| -> i64 {
-            m2.with(|| cx.raise(Value::sym("oops")))
-        });
+        let t = vm.fork(move |cx| -> i64 { m2.with(|| cx.raise(Value::sym("oops"))) });
         assert_eq!(t.join_blocking(), Err(Value::sym("oops")));
         assert!(!m.is_locked(), "with-mutex released on exception");
         vm.shutdown();

@@ -38,8 +38,8 @@
 
 use crate::wait::{block_until, WaitList};
 use parking_lot::Mutex;
-use sting_value::Value;
 use std::sync::Arc;
+use sting_value::Value;
 
 struct Inner {
     items: Vec<Value>,
@@ -247,11 +247,15 @@ mod tests {
         s.close();
         let a: Vec<i64> = {
             let mut c = s.cursor();
-            std::iter::from_fn(|| c.next()).map(|v| v.as_int().unwrap()).collect()
+            std::iter::from_fn(|| c.next())
+                .map(|v| v.as_int().unwrap())
+                .collect()
         };
         let b: Vec<i64> = {
             let mut c = s.cursor();
-            std::iter::from_fn(|| c.next()).map(|v| v.as_int().unwrap()).collect()
+            std::iter::from_fn(|| c.next())
+                .map(|v| v.as_int().unwrap())
+                .collect()
         };
         assert_eq!(a, b);
         assert_eq!(a, vec![0, 1, 2, 3, 4]);

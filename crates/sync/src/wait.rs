@@ -11,10 +11,10 @@
 //! synchronization structures remain usable from `main` and from tests.
 
 use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
 use sting_core::tc;
 use sting_core::thread::Thread;
 use sting_value::Value;
-use std::sync::Arc;
 
 /// One parked (or about-to-park) waiter.
 #[derive(Clone)]
@@ -115,10 +115,7 @@ impl WaitList {
 /// condition, and — if it fails — register the supplied waiter and release
 /// the lock (by returning `None` after pushing).  The loop re-checks after
 /// every wake-up, so spurious wake-ups are harmless.
-pub fn block_until<T>(
-    blocker: Value,
-    mut lock_and_check: impl FnMut(&Waiter) -> Option<T>,
-) -> T {
+pub fn block_until<T>(blocker: Value, mut lock_and_check: impl FnMut(&Waiter) -> Option<T>) -> T {
     loop {
         let w = Waiter::current();
         if let Some(v) = lock_and_check(&w) {

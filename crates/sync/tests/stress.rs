@@ -2,11 +2,11 @@
 //! threads, mixed primitives, values conserved end to end.
 
 use proptest::prelude::*;
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
 use sting_core::VmBuilder;
 use sting_sync::{wait_for_all, Barrier, Channel, IVar, Mutex, Semaphore, Stream};
 use sting_value::Value;
-use std::sync::atomic::{AtomicI64, Ordering};
-use std::sync::Arc;
 
 #[test]
 fn pipeline_stream_channel_ivar() {

@@ -13,11 +13,11 @@
 use crate::rep::{SpaceRep, StoredTuple};
 use crate::template::Template;
 use parking_lot::Mutex;
-use sting_sync::Waiter;
-use sting_value::Value;
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
+use sting_sync::Waiter;
+use sting_value::Value;
 
 struct Blocked {
     template: Template,
@@ -61,9 +61,9 @@ impl HashedRep {
     fn bucket_of_tuple(&self, tuple: &[Value]) -> usize {
         // A live-thread first field could evaluate to anything, so such
         // tuples are findable only via the scan path; hash them by arity.
-        let f0 = tuple.first().filter(|v| {
-            v.as_native().is_none_or(|h| h.tag() != "thread")
-        });
+        let f0 = tuple
+            .first()
+            .filter(|v| v.as_native().is_none_or(|h| h.tag() != "thread"));
         (hash_key(tuple.len(), f0) % self.buckets.len() as u64) as usize
     }
 
@@ -137,12 +137,7 @@ impl SpaceRep for HashedRep {
                 let mut out = Vec::new();
                 for i in idxs {
                     let b = self.buckets[i].lock();
-                    out.extend(
-                        b.tuples
-                            .iter()
-                            .filter(|t| template.may_match(t))
-                            .cloned(),
-                    );
+                    out.extend(b.tuples.iter().filter(|t| template.may_match(t)).cloned());
                 }
                 out
             }
@@ -151,12 +146,7 @@ impl SpaceRep for HashedRep {
                 let mut out = Vec::new();
                 for b in &self.buckets {
                     let g = b.lock();
-                    out.extend(
-                        g.tuples
-                            .iter()
-                            .filter(|t| template.may_match(t))
-                            .cloned(),
-                    );
+                    out.extend(g.tuples.iter().filter(|t| template.may_match(t)).cloned());
                 }
                 out
             }

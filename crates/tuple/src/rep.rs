@@ -23,9 +23,9 @@
 
 use crate::template::Template;
 use parking_lot::Mutex;
+use std::sync::Arc;
 use sting_sync::{WaitList, Waiter};
 use sting_value::Value;
-use std::sync::Arc;
 
 /// A stored tuple; identity (`Arc` pointer) is what removal races on.
 pub type StoredTuple = Arc<Vec<Value>>;
@@ -119,12 +119,11 @@ impl SpaceRep for ListRep {
 
     fn snapshot(&self, template: &Template) -> Vec<StoredTuple> {
         let g = self.state.lock();
-        let mut v: Vec<StoredTuple> = g
-            .0
-            .iter()
-            .filter(|t| template.may_match(t))
-            .cloned()
-            .collect();
+        let mut v: Vec<StoredTuple> =
+            g.0.iter()
+                .filter(|t| template.may_match(t))
+                .cloned()
+                .collect();
         if self.order == ListOrder::Lifo {
             v.reverse();
         }
@@ -344,7 +343,10 @@ impl SpaceRep for VectorRep {
     fn remove_exact(&self, tuple: &StoredTuple) -> bool {
         let i = VectorRep::index_of(tuple);
         let mut g = self.state.lock();
-        if g.0.get(i).is_some_and(|s| s.as_ref().is_some_and(|t| Arc::ptr_eq(t, tuple))) {
+        if g.0
+            .get(i)
+            .is_some_and(|s| s.as_ref().is_some_and(|t| Arc::ptr_eq(t, tuple)))
+        {
             g.0[i] = None;
             true
         } else {

@@ -17,11 +17,11 @@
 use crate::hashed::HashedRep;
 use crate::rep::{CellRep, CountRep, ListOrder, ListRep, SpaceRep, VectorRep};
 use crate::template::Template;
+use std::sync::Arc;
 use sting_core::tc::Cx;
 use sting_core::vm::Vm;
 use sting_sync::Waiter;
 use sting_value::Value;
-use std::sync::Arc;
 
 /// Representation choice for a tuple space (see [`crate::specialize`] for
 /// choosing one from a usage pattern).
@@ -147,9 +147,7 @@ impl TupleSpace {
     pub fn spawn(&self, cx: &Cx, thunks: Vec<sting_core::Thunk>) {
         let fields: Vec<Value> = thunks
             .into_iter()
-            .map(|thunk| {
-                cx.vm().fork_thunk(thunk).to_value()
-            })
+            .map(|thunk| cx.vm().fork_thunk(thunk).to_value())
             .collect();
         self.put(fields);
     }
@@ -158,9 +156,7 @@ impl TupleSpace {
     pub fn spawn_on_vm(&self, vm: &Arc<Vm>, thunks: Vec<sting_core::Thunk>) {
         let fields: Vec<Value> = thunks
             .into_iter()
-            .map(|thunk| {
-                vm.fork_thunk(thunk).to_value()
-            })
+            .map(|thunk| vm.fork_thunk(thunk).to_value())
             .collect();
         self.put(fields);
     }

@@ -135,11 +135,11 @@ mod tests {
     #[test]
     fn literal_and_formal_matching() {
         let t = Template::new(vec![lit("job"), formal()]);
-        let bound = t
-            .match_tuple(&[Value::from("job"), Value::Int(3)])
-            .unwrap();
+        let bound = t.match_tuple(&[Value::from("job"), Value::Int(3)]).unwrap();
         assert_eq!(bound, vec![Value::Int(3)]);
-        assert!(t.match_tuple(&[Value::from("ack"), Value::Int(3)]).is_none());
+        assert!(t
+            .match_tuple(&[Value::from("ack"), Value::Int(3)])
+            .is_none());
         assert!(t.match_tuple(&[Value::from("job")]).is_none(), "arity");
     }
 

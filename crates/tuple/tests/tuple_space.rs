@@ -1,10 +1,10 @@
 //! Behavioural tests for first-class tuple spaces.
 
+use std::sync::Arc;
+use std::time::Duration;
 use sting_core::{tc, VmBuilder};
 use sting_tuple::{formal, lit, SpaceKind, Template, TupleSpace};
 use sting_value::Value;
-use std::sync::Arc;
-use std::time::Duration;
 
 fn job(n: i64) -> Vec<Value> {
     vec![Value::sym("job"), Value::Int(n)]
@@ -212,9 +212,7 @@ fn vector_specialization_indexes() {
     let ts = TupleSpace::with_kind(SpaceKind::Vector);
     ts.put(vec![Value::Int(3), Value::sym("three")]);
     ts.put(vec![Value::Int(0), Value::sym("zero")]);
-    let b = ts
-        .try_rd(&Template::new(vec![lit(3), formal()]))
-        .unwrap();
+    let b = ts.try_rd(&Template::new(vec![lit(3), formal()])).unwrap();
     assert_eq!(b, vec![Value::sym("three")]);
     // Reading an unset slot blocks until written.
     let ts2 = ts.clone();
@@ -430,19 +428,35 @@ fn specialized_constructor_uses_inference() {
     use sting_tuple::OpSketch;
     // All-formal gets + puts → queue.
     let ts = TupleSpace::specialized(&[
-        OpSketch::Put { arity: 1, int_first: true },
-        OpSketch::Get { arity: 1, all_formal: true, int_first_lit: false },
+        OpSketch::Put {
+            arity: 1,
+            int_first: true,
+        },
+        OpSketch::Get {
+            arity: 1,
+            all_formal: true,
+            int_first_lit: false,
+        },
     ]);
     assert_eq!(ts.rep_name(), "queue");
     // Indexed pairs → vector.
     let ts = TupleSpace::specialized(&[
-        OpSketch::Put { arity: 2, int_first: true },
-        OpSketch::Rd { arity: 2, all_formal: false, int_first_lit: true },
+        OpSketch::Put {
+            arity: 2,
+            int_first: true,
+        },
+        OpSketch::Rd {
+            arity: 2,
+            all_formal: false,
+            int_first_lit: true,
+        },
     ]);
     assert_eq!(ts.rep_name(), "vector");
     // Associative usage → hashed.
-    let ts = TupleSpace::specialized(&[
-        OpSketch::Get { arity: 2, all_formal: false, int_first_lit: false },
-    ]);
+    let ts = TupleSpace::specialized(&[OpSketch::Get {
+        arity: 2,
+        all_formal: false,
+        int_first_lit: false,
+    }]);
     assert!(ts.rep_name().starts_with("hashed"));
 }

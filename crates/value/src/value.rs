@@ -478,10 +478,7 @@ mod tests {
             Value::list([1.into(), 2.into(), 3.into()]).to_string(),
             "(1 2 3)"
         );
-        assert_eq!(
-            Value::cons(1.into(), 2.into()).to_string(),
-            "(1 . 2)"
-        );
+        assert_eq!(Value::cons(1.into(), 2.into()).to_string(), "(1 . 2)");
         assert_eq!(
             Value::vector([Value::sym("a"), 2.into()]).to_string(),
             "#(a 2)"

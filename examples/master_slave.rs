@@ -13,7 +13,9 @@ use sting::prelude::*;
 fn crunch(seed: i64) -> i64 {
     let mut x = seed;
     for _ in 0..(seed % 7 + 1) * 1000 {
-        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
     }
     x & 0xFFFF
 }
@@ -54,7 +56,11 @@ fn main() {
                         break; // poison pill
                     }
                     let payload = b[1].as_int().unwrap();
-                    ts.put(vec![ack.clone(), Value::Int(id), Value::Int(crunch(payload))]);
+                    ts.put(vec![
+                        ack.clone(),
+                        Value::Int(id),
+                        Value::Int(crunch(payload)),
+                    ]);
                     cx.checkpoint();
                     done += 1;
                 }
@@ -89,7 +95,9 @@ fn main() {
         "\n{jobs} jobs / {workers} workers on policy {} in {elapsed:?}",
         vm.vp(0).unwrap().policy_name()
     );
-    println!("checksum {checksum:#x}; {processed} jobs processed; blocks={} wakeups={}",
-        snap.blocks, snap.wakeups);
+    println!(
+        "checksum {checksum:#x}; {processed} jobs processed; blocks={} wakeups={}",
+        snap.blocks, snap.wakeups
+    );
     vm.shutdown();
 }

@@ -5,8 +5,8 @@
 //!
 //! Run with: `cargo run --release --example primes_futures [limit]`
 
-use sting::prelude::*;
 use std::sync::Arc;
+use sting::prelude::*;
 
 /// `(filter i primes)` from Figure 3: `n` joins the prime list if no known
 /// prime up to √n divides it.  `primes` is a future of the prime list so

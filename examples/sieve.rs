@@ -5,9 +5,9 @@
 //!
 //! Run with: `cargo run --release --example sieve [limit]`
 
-use sting::prelude::*;
 use std::sync::Arc;
 use std::time::Instant;
+use sting::prelude::*;
 
 /// One sieve filter: remove multiples of `n` from `input`, forward the
 /// rest to `output` (the paper's `filter` procedure).
@@ -42,7 +42,9 @@ fn sieve(cx: &Cx, limit: i64, eager: bool) -> Vec<i64> {
     let mut primes = Vec::new();
     let mut input = numbers;
     loop {
-        let Some(v) = input.cursor().next() else { break };
+        let Some(v) = input.cursor().next() else {
+            break;
+        };
         let p = v.as_int().unwrap();
         primes.push(p);
         let output = Stream::new();

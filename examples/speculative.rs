@@ -4,8 +4,8 @@
 //!
 //! Run with: `cargo run --release --example speculative`
 
-use sting::prelude::*;
 use std::sync::Arc;
+use sting::prelude::*;
 
 /// Search for a number in [lo, hi) whose "hash" has `zeros` trailing zero
 /// bits, scanning with the given stride — different strategies explore the
@@ -40,10 +40,12 @@ fn main() {
         let tasks: Vec<Arc<sting::core::Thread>> = strategies
             .iter()
             .map(|&(start, stride)| {
-                cx.fork(move |cx| match search(cx, start, 50_000_000, stride, zeros) {
-                    Some(x) => Value::Int(x),
-                    None => Value::Bool(false),
-                })
+                cx.fork(
+                    move |cx| match search(cx, start, 50_000_000, stride, zeros) {
+                        Some(x) => Value::Int(x),
+                        None => Value::Bool(false),
+                    },
+                )
             })
             .collect();
         tasks[1].set_priority(10);

@@ -1,10 +1,10 @@
 //! Cross-crate integration: the whole stack (substrate + sync + tuple +
 //! scheme) cooperating in single scenarios.
 
-use sting::core::policies::{self, GlobalQueue, QueueOrder};
-use sting::prelude::*;
 use std::sync::Arc;
 use std::time::Duration;
+use sting::core::policies::{self, GlobalQueue, QueueOrder};
+use sting::prelude::*;
 
 #[test]
 fn rust_and_scheme_threads_share_one_machine() {
@@ -14,16 +14,14 @@ fn rust_and_scheme_threads_share_one_machine() {
 
     // A native Rust worker answering jobs...
     let ts2 = ts.clone();
-    let worker = vm.fork(move |cx| {
-        loop {
-            let b = ts2.get(&Template::new(vec![lit(Value::sym("square")), formal()]));
-            let n = b[0].as_int().unwrap();
-            if n < 0 {
-                return 0i64;
-            }
-            ts2.put(vec![Value::sym("answer"), Value::Int(n), Value::Int(n * n)]);
-            cx.checkpoint();
+    let worker = vm.fork(move |cx| loop {
+        let b = ts2.get(&Template::new(vec![lit(Value::sym("square")), formal()]));
+        let n = b[0].as_int().unwrap();
+        if n < 0 {
+            return 0i64;
         }
+        ts2.put(vec![Value::sym("answer"), Value::Int(n), Value::Int(n * n)]);
+        cx.checkpoint();
     });
 
     // ...serving a Scheme client through the same first-class tuple space.
@@ -138,9 +136,7 @@ fn speculative_scheme_against_native() {
         .globals()
         .set(Symbol::intern("rival"), native.to_value());
     let v = interp
-        .eval(
-            "(cadr (wait-for-one! (list rival (fork-thread (lambda () 'scheme)))))",
-        )
+        .eval("(cadr (wait-for-one! (list rival (fork-thread (lambda () 'scheme)))))")
         .unwrap();
     assert_eq!(v, Value::sym("scheme"));
     vm.shutdown();

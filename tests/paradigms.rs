@@ -3,9 +3,9 @@
 //! parallelism (stealing), master/slave (blocking + preemption),
 //! speculative and barrier synchronization.
 
+use std::sync::Arc;
 use sting::core::policies;
 use sting::prelude::*;
-use std::sync::Arc;
 
 /// Figure 3's prime finder, used by several tests.
 fn primes_futures(vm: &Arc<Vm>, limit: i64) -> Vec<i64> {
@@ -36,12 +36,18 @@ fn primes_futures(vm: &Arc<Vm>, limit: i64) -> Vec<i64> {
 
 #[test]
 fn result_parallelism_is_correct_under_lifo_and_fifo() {
-    let expect: Vec<i64> = vec![97, 89, 83, 79, 73, 71, 67, 61, 59, 53, 47, 43, 41, 37, 31, 29, 23, 19, 17, 13, 11, 7, 5, 3, 2];
+    let expect: Vec<i64> = vec![
+        97, 89, 83, 79, 73, 71, 67, 61, 59, 53, 47, 43, 41, 37, 31, 29, 23, 19, 17, 13, 11, 7, 5,
+        3, 2,
+    ];
     for factory in [
         policies::local_lifo as fn() -> policies::LocalQueue,
         policies::local_fifo as fn() -> policies::LocalQueue,
     ] {
-        let vm = VmBuilder::new().vps(1).policy(move |_| factory().boxed()).build();
+        let vm = VmBuilder::new()
+            .vps(1)
+            .policy(move |_| factory().boxed())
+            .build();
         assert_eq!(primes_futures(&vm, 100), expect);
         vm.shutdown();
     }
@@ -53,7 +59,10 @@ fn lifo_steals_more_than_fifo() {
     // large primes to be run first. Stealing will occur much more
     // frequently here."
     let count_steals = |factory: fn() -> policies::LocalQueue| {
-        let vm = VmBuilder::new().vps(1).policy(move |_| factory().boxed()).build();
+        let vm = VmBuilder::new()
+            .vps(1)
+            .policy(move |_| factory().boxed())
+            .build();
         primes_futures(&vm, 400);
         let s = vm.counters().snapshot();
         vm.shutdown();
@@ -195,9 +204,7 @@ fn dataflow_with_ivars() {
         0i64
     });
     let (b2, c2) = (b.clone(), c.clone());
-    let sink = vm.fork(move |_| {
-        b2.get().as_int().unwrap() + c2.get().as_int().unwrap()
-    });
+    let sink = vm.fork(move |_| b2.get().as_int().unwrap() + c2.get().as_int().unwrap());
     a.put(Value::Int(10)).unwrap();
     assert_eq!(sink.join_blocking().unwrap().as_int(), Some(35));
     vm.shutdown();
