@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
 # Local CI gate — the same steps .github/workflows/ci.yml runs.
 #
-#   ./ci.sh          # format check, lints, tier-1 build + tests
+#   ./ci.sh          # format check, lints, tier-1 build + tests, rustdoc
 #   ./ci.sh fmt      # just the format check
 #   ./ci.sh clippy   # just the lints
 #   ./ci.sh test     # just tier-1 (release build + full test suite)
+#   ./ci.sh doc      # just the rustdoc build (warnings are errors)
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -27,17 +28,24 @@ run_test() {
     cargo test -q
 }
 
+run_doc() {
+    step "cargo doc (RUSTDOCFLAGS=-D warnings)"
+    RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
+}
+
 case "${1:-all}" in
     fmt) run_fmt ;;
     clippy) run_clippy ;;
     test) run_test ;;
+    doc) run_doc ;;
     all)
         run_fmt
         run_clippy
         run_test
+        run_doc
         ;;
     *)
-        echo "usage: $0 [fmt|clippy|test|all]" >&2
+        echo "usage: $0 [fmt|clippy|test|doc|all]" >&2
         exit 2
         ;;
 esac

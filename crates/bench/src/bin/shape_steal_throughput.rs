@@ -1,0 +1,119 @@
+//! Shape experiment E2 addendum (§3.3): locked vs lock-free dispatch.
+//!
+//! The paper argues that keeping a VP's evaluating-thread queue local and
+//! lock-free beats serializing every scheduler operation on a lock.  This
+//! bench measures exactly that boundary in our two-tier scheduler: the
+//! same migrating-FIFO policy is run once on the Chase–Lev deque tier
+//! (the default) and once pinned to the locked policy tier via
+//! `LocalQueue::locked(true)`, over 1, 2 and 4 VPs.
+//!
+//! The workload piles short yielding threads onto VP 0, so every other VP
+//! is a thief: each yield is one enqueue + one dequeue, and each steal is
+//! the victim-side hand-off the two tiers implement differently (a
+//! lock-free `Deque::steal` CAS vs `try_lock` + queue scan).
+//!
+//! Run with: `cargo run --release -p sting-bench --bin shape_steal_throughput`
+//!
+//! Flight-recorder artifacts land in `$STING_TRACE_DIR` (default
+//! `target/traces`) as `shape_steal_throughput-<config>.json`.
+
+use std::sync::Arc;
+use std::time::Instant;
+use sting::core::policies;
+use sting::prelude::*;
+
+const THREADS: i64 = 256;
+const YIELDS: i64 = 64;
+
+fn build(vps: usize, locked: bool) -> Arc<Vm> {
+    VmBuilder::new()
+        .vps(vps)
+        // One OS worker per VP: without it a single worker drives every VP
+        // and the queues are never contended.
+        .processors(vps)
+        .policy(move |_| {
+            policies::local_fifo()
+                .migrating(true)
+                .locked(locked)
+                .boxed()
+        })
+        .trace(true)
+        .build()
+}
+
+/// Forks `THREADS` yielding threads onto VP 0 and joins them all; returns
+/// the checksum so the work cannot be optimized away.
+fn hammer(vm: &Arc<Vm>) -> i64 {
+    let threads: Vec<_> = (0..THREADS)
+        .map(|i| {
+            vm.fork_on(0, move |cx| {
+                for _ in 0..YIELDS {
+                    cx.yield_now();
+                }
+                i
+            })
+            .expect("VP 0 exists")
+        })
+        .collect();
+    threads
+        .iter()
+        .map(|t| t.join_blocking().unwrap().as_int().unwrap())
+        .sum()
+}
+
+fn run(vps: usize, locked: bool) -> f64 {
+    let tier = if locked { "locked" } else { "lock-free" };
+    let vm = build(vps, locked);
+    assert_eq!(
+        vm.vp(0).unwrap().lock_free_queue(),
+        !locked,
+        "tier selection must match the configuration"
+    );
+    hammer(&vm); // warm-up: stacks pooled, workers awake
+    let start = Instant::now();
+    let sum = hammer(&vm);
+    let t = start.elapsed();
+    assert_eq!(sum, (0..THREADS).sum::<i64>());
+    // One dispatch per yield plus the initial one, per thread.
+    let dispatches = (THREADS * (YIELDS + 1)) as f64;
+    let per_op_ns = t.as_nanos() as f64 / dispatches;
+    let s = vm.counters().snapshot();
+    let config = format!("{vps}vp-{tier}");
+    println!(
+        "{:<16} {:>10.2?}  {:>8.0} ns/dispatch  switches={:<7} migrations={}",
+        config, t, per_op_ns, s.context_switches, s.migrations
+    );
+    if let Err(e) = sting_bench::export_trace(&vm, "shape_steal_throughput", &config) {
+        eprintln!("trace export failed for {config}: {e}");
+    }
+    vm.shutdown();
+    per_op_ns
+}
+
+fn main() {
+    println!(
+        "E2 addendum — locked vs lock-free dispatch ({THREADS} threads x {YIELDS} yields, all forked on VP 0)\n"
+    );
+    let mut rows = Vec::new();
+    for vps in [1usize, 2, 4] {
+        let locked = run(vps, true);
+        let lock_free = run(vps, false);
+        rows.push((vps, locked, lock_free));
+    }
+    println!("\nsummary (ns/dispatch, lower is better):");
+    println!(
+        "{:>4} {:>12} {:>12} {:>10}",
+        "vps", "locked", "lock-free", "speedup"
+    );
+    for (vps, locked, lock_free) in rows {
+        println!(
+            "{vps:>4} {locked:>12.0} {lock_free:>12.0} {:>9.2}x",
+            locked / lock_free
+        );
+    }
+    println!(
+        "\nPaper's claim (§3.3): a lock-free local evaluating-thread queue\n\
+         removes scheduler serialization; the gap should widen with VPs as\n\
+         thieves contend on the victim's queue."
+    );
+}

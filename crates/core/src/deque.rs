@@ -1,0 +1,539 @@
+//! Lock-free scheduler queues: a Chase–Lev work-stealing deque and an
+//! MPSC submission stack.
+//!
+//! This module is the *mechanism* half of the two-tier scheduler described
+//! in DESIGN.md ("Scheduler fast path").  The paper's §3.3 observes that a
+//! policy manager may keep "the queue of evaluating threads locally" so
+//! that accessing it "requires no locking", while policy decisions —
+//! where a fork goes, which victim an idle VP raids — stay in the
+//! replaceable [`PolicyManager`](crate::pm::PolicyManager).  The
+//! [`Deque`] here is that lock-free local queue: the VP that owns it
+//! pushes and pops without a compare-and-swap on the common path, and
+//! idle sibling VPs [`steal`](Deque::steal) from the opposite end with
+//! one CAS per item.
+//!
+//! Two structures cooperate per VP:
+//!
+//! * [`Deque`] — the Chase–Lev deque \[Chase & Lev, SPAA 2005\], with the
+//!   memory orderings of Lê et al., *Correct and Efficient Work-Stealing
+//!   for Weak Memory Models* (PPoPP 2013).  Only the VP's driving worker
+//!   (the *owner*) may call [`push`](Deque::push) and [`pop`](Deque::pop);
+//!   any thread may [`steal`](Deque::steal).
+//! * [`Injector`] — a Treiber-stack MPSC queue for *remote* submissions
+//!   (forks from host threads, cross-VP wake-ups, the timekeeper).  Any
+//!   thread may [`push`](Injector::push); the owner periodically
+//!   [`drain`](Injector::drain)s it into the deque, which restores arrival
+//!   order and makes the items stealable.
+//!
+//! Items are boxed: a slot holds one pointer, so a torn read of a slot is
+//! impossible and the ABA question reduces to the monotonically increasing
+//! `top` counter, which a 64-bit process cannot wrap.  Buffers retired by
+//! [`Deque::push`] growth are kept alive until the deque drops, so a thief
+//! holding a stale buffer pointer reads stale *data* (discarded when its
+//! CAS fails), never freed memory.
+//!
+//! Boxing buys one more thing: the low bit of each slot pointer carries a
+//! caller-chosen **tag** ([`Deque::push_tagged`]), readable by a thief
+//! *without claiming the item* ([`Deque::steal_tagged`]).  The scheduler
+//! tags fresh (never-run) threads so a policy that forbids TCB migration
+//! can decline a parked item with two loads instead of a
+//! steal-inspect-put-back round trip.
+
+use parking_lot::Mutex;
+use std::ptr;
+use std::sync::atomic::{fence, AtomicIsize, AtomicPtr, AtomicUsize, Ordering};
+
+/// Outcome of one [`Deque::steal`] attempt.
+#[derive(Debug)]
+pub enum Steal<T> {
+    /// The deque was observed empty.
+    Empty,
+    /// Another thief (or the owner, taking the last item) won the race;
+    /// the caller may retry.
+    Retry,
+    /// One item was removed from the top (oldest end) of the deque.
+    Success(T),
+}
+
+/// Strips the tag bit, recovering the `Box` pointer.
+fn untag<T>(p: *mut T) -> *mut T {
+    (p as usize & !1) as *mut T
+}
+
+/// Whether the tag bit is set on a slot pointer.
+fn is_tagged<T>(p: *mut T) -> bool {
+    p as usize & 1 == 1
+}
+
+/// A growable ring of item pointers.  Slots are atomic so stale reads by
+/// thieves racing a wrap-around are defined behaviour (the value is used
+/// only after winning the `top` CAS, which a lapped thief loses).
+struct Buffer<T> {
+    mask: usize,
+    slots: Box<[AtomicPtr<T>]>,
+}
+
+impl<T> Buffer<T> {
+    fn alloc(capacity: usize) -> *mut Buffer<T> {
+        debug_assert!(capacity.is_power_of_two());
+        Box::into_raw(Box::new(Buffer {
+            mask: capacity - 1,
+            slots: (0..capacity)
+                .map(|_| AtomicPtr::new(ptr::null_mut()))
+                .collect(),
+        }))
+    }
+
+    fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    fn get(&self, index: isize) -> *mut T {
+        self.slots[index as usize & self.mask].load(Ordering::Relaxed)
+    }
+
+    fn put(&self, index: isize, item: *mut T) {
+        self.slots[index as usize & self.mask].store(item, Ordering::Relaxed);
+    }
+}
+
+/// A Chase–Lev work-stealing deque.
+///
+/// The *owner* — by contract, one thread at a time (the VP's driving
+/// worker; [`crate::vp::Vp`] enforces this with a per-slice guard) — pushes
+/// and pops at the **bottom**; *thieves* on any thread steal at the **top**
+/// (the oldest item).  Owner operations are wait-free except when the
+/// single remaining item must be raced against thieves; steals are
+/// lock-free (one CAS per item).
+///
+/// Calling `push`/`pop` from two threads concurrently is memory-safe (all
+/// slot traffic is atomic) but can *lose or duplicate dispatch of items*;
+/// it is a logic error, not UB.
+#[derive(Debug)]
+pub struct Deque<T> {
+    /// Steal end; monotonically increasing, never decremented.
+    top: AtomicIsize,
+    /// Owner end; `bottom - top` is the queue length.
+    bottom: AtomicIsize,
+    buffer: AtomicPtr<Buffer<T>>,
+    /// Buffers replaced by growth, kept until drop so racing thieves never
+    /// read freed memory.  Touched only on growth (owner) and drop.
+    retired: Mutex<Vec<*mut Buffer<T>>>,
+}
+
+// SAFETY: items are owned uniquely by whichever side removes them; all
+// shared state is atomic.
+unsafe impl<T: Send> Send for Deque<T> {}
+unsafe impl<T: Send> Sync for Deque<T> {}
+
+/// Initial buffer capacity (items); grows by doubling when full.
+const INITIAL_CAPACITY: usize = 64;
+
+impl<T> Default for Deque<T> {
+    fn default() -> Deque<T> {
+        Deque::new()
+    }
+}
+
+impl<T> Deque<T> {
+    /// Creates an empty deque with the default initial capacity.
+    pub fn new() -> Deque<T> {
+        Deque::with_capacity(INITIAL_CAPACITY)
+    }
+
+    /// Creates an empty deque whose first buffer holds `capacity` items
+    /// (rounded up to a power of two).  Small capacities are useful in
+    /// tests to force growth and ring wrap-around.
+    pub fn with_capacity(capacity: usize) -> Deque<T> {
+        let capacity = capacity.next_power_of_two().max(2);
+        Deque {
+            top: AtomicIsize::new(0),
+            bottom: AtomicIsize::new(0),
+            buffer: AtomicPtr::new(Buffer::alloc(capacity)),
+            retired: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Number of items currently queued (a relaxed snapshot).
+    pub fn len(&self) -> usize {
+        let b = self.bottom.load(Ordering::Relaxed);
+        let t = self.top.load(Ordering::Relaxed);
+        b.saturating_sub(t).max(0) as usize
+    }
+
+    /// Whether the deque is observed empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Appends `item` at the bottom.  **Owner only.**  Wait-free (amortized:
+    /// a full buffer is doubled, retiring the old one).
+    pub fn push(&self, item: T) {
+        self.push_tagged(item, false);
+    }
+
+    /// [`Deque::push`] with a one-bit label, carried in the low bit of the
+    /// slot pointer (boxes are at least word-aligned, so the bit is free).
+    /// Thieves can read the label without claiming the item; see
+    /// [`Deque::steal_tagged`].
+    pub fn push_tagged(&self, item: T, tag: bool) {
+        let item = (Box::into_raw(Box::new(item)) as usize | usize::from(tag)) as *mut T;
+        let b = self.bottom.load(Ordering::Relaxed);
+        let t = self.top.load(Ordering::Acquire);
+        // SAFETY: the buffer pointer is always valid; old buffers are
+        // retired, not freed.
+        let mut buffer = unsafe { &*self.buffer.load(Ordering::Relaxed) };
+        if b - t >= buffer.capacity() as isize {
+            self.grow(t, b);
+            buffer = unsafe { &*self.buffer.load(Ordering::Relaxed) };
+        }
+        buffer.put(b, item);
+        // Publish the slot before the new bottom: a thief that Acquires
+        // `bottom` must see the item.
+        self.bottom.store(b + 1, Ordering::Release);
+    }
+
+    /// Removes the item at the bottom — the *newest*, LIFO order.  **Owner
+    /// only.**  Wait-free except when one item remains, which is raced
+    /// against thieves with a single CAS on `top`.
+    pub fn pop(&self) -> Option<T> {
+        let b = self.bottom.load(Ordering::Relaxed) - 1;
+        let buffer = self.buffer.load(Ordering::Relaxed);
+        self.bottom.store(b, Ordering::Relaxed);
+        // The SeqCst fence orders our `bottom` store against our `top`
+        // load: either a concurrent thief sees the decremented bottom and
+        // keeps its hands off the last item, or we see its incremented top
+        // and go through the CAS.  (This is the owner/thief race the
+        // DESIGN.md fast-path section walks through.)
+        fence(Ordering::SeqCst);
+        let t = self.top.load(Ordering::Relaxed);
+        if t > b {
+            // Already empty; restore the canonical empty state.
+            self.bottom.store(b + 1, Ordering::Relaxed);
+            return None;
+        }
+        // SAFETY: buffer valid (see push); the slot at `b` was written by
+        // a previous push on this same (owner) thread.
+        let item = unsafe { (*buffer).get(b) };
+        if t == b {
+            // Last item: win it against thieves or concede it.
+            let won = self
+                .top
+                .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                .is_ok();
+            self.bottom.store(b + 1, Ordering::Relaxed);
+            if !won {
+                return None;
+            }
+        }
+        // SAFETY: we hold the unique claim to slot `b` (either b > t, so
+        // no thief can reach it, or the CAS above succeeded).
+        Some(unsafe { *Box::from_raw(untag(item)) })
+    }
+
+    /// Attempts to remove the item at the top — the *oldest*, FIFO order.
+    /// Safe from any thread; lock-free.  A [`Steal::Retry`] means the CAS
+    /// was lost to a concurrent remover, not that the deque is empty.
+    pub fn steal(&self) -> Steal<T> {
+        self.steal_inner(false)
+    }
+
+    /// [`Deque::steal`] that declines — returning [`Steal::Empty`] without
+    /// disturbing the queue — when the top item's tag bit (see
+    /// [`Deque::push_tagged`]) is clear.
+    pub fn steal_tagged(&self) -> Steal<T> {
+        self.steal_inner(true)
+    }
+
+    fn steal_inner(&self, tagged_only: bool) -> Steal<T> {
+        let t = self.top.load(Ordering::Acquire);
+        // Order the `top` load before the `bottom` load, pairing with the
+        // fence in `pop` (see DESIGN.md for the full argument).
+        fence(Ordering::SeqCst);
+        let b = self.bottom.load(Ordering::Acquire);
+        if t >= b {
+            return Steal::Empty;
+        }
+        // Read the slot BEFORE claiming it: after the CAS the owner may
+        // recycle the slot for a new push.  SAFETY: buffer valid (see
+        // push); a stale buffer from a concurrent growth is still
+        // allocated (retired list) and the CAS below fails if the item
+        // moved on.
+        let buffer = unsafe { &*self.buffer.load(Ordering::Acquire) };
+        let item = buffer.get(t);
+        if tagged_only && !is_tagged(item) {
+            // The label is only trustworthy if the slot still holds the
+            // item we measured; a stale read is caught by the same check a
+            // successful steal relies on.
+            if self.top.load(Ordering::SeqCst) == t {
+                return Steal::Empty;
+            }
+            return Steal::Retry;
+        }
+        if self
+            .top
+            .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+            .is_err()
+        {
+            return Steal::Retry;
+        }
+        // SAFETY: the CAS on `top` grants unique ownership of slot `t`.
+        Steal::Success(unsafe { *Box::from_raw(untag(item)) })
+    }
+
+    /// [`Deque::steal`], retried until it yields an item or observes the
+    /// deque empty.
+    pub fn steal_retrying(&self) -> Option<T> {
+        loop {
+            match self.steal() {
+                Steal::Success(item) => return Some(item),
+                Steal::Empty => return None,
+                Steal::Retry => std::hint::spin_loop(),
+            }
+        }
+    }
+
+    /// Doubles the buffer, copying the live window `t..b`.  Owner only
+    /// (called from [`Deque::push`]).
+    fn grow(&self, t: isize, b: isize) {
+        let old_ptr = self.buffer.load(Ordering::Relaxed);
+        // SAFETY: buffer valid (see push).
+        let old = unsafe { &*old_ptr };
+        let new_ptr = Buffer::alloc(old.capacity() * 2);
+        let new = unsafe { &*new_ptr };
+        for i in t..b {
+            new.put(i, old.get(i));
+        }
+        // Release: a thief Acquiring the new pointer sees the copied slots.
+        self.buffer.store(new_ptr, Ordering::Release);
+        self.retired.lock().push(old_ptr);
+    }
+}
+
+impl<T> Drop for Deque<T> {
+    fn drop(&mut self) {
+        // &mut self: no concurrent owner or thieves remain.
+        let t = *self.top.get_mut();
+        let b = *self.bottom.get_mut();
+        let buffer_ptr = *self.buffer.get_mut();
+        // SAFETY: exclusive access; every live item pointer in t..b was
+        // Boxed by push and not yet reclaimed.
+        unsafe {
+            let buffer = &*buffer_ptr;
+            for i in t..b {
+                drop(Box::from_raw(untag(buffer.get(i))));
+            }
+            drop(Box::from_raw(buffer_ptr));
+            for retired in self.retired.get_mut().drain(..) {
+                drop(Box::from_raw(retired));
+            }
+        }
+    }
+}
+
+/// A lock-free multi-producer submission queue (Treiber stack, reversed on
+/// drain so items come out oldest-first).
+///
+/// Any thread may [`push`](Injector::push); [`drain`](Injector::drain)
+/// atomically takes the whole backlog, so concurrent drains never yield the
+/// same item twice.
+#[derive(Debug)]
+pub struct Injector<T> {
+    head: AtomicPtr<Node<T>>,
+    len: AtomicUsize,
+}
+
+struct Node<T> {
+    item: T,
+    next: *mut Node<T>,
+}
+
+// SAFETY: nodes are owned by the stack between push and drain; all shared
+// state is atomic.
+unsafe impl<T: Send> Send for Injector<T> {}
+unsafe impl<T: Send> Sync for Injector<T> {}
+
+impl<T> Default for Injector<T> {
+    fn default() -> Injector<T> {
+        Injector::new()
+    }
+}
+
+impl<T> Injector<T> {
+    /// Creates an empty injector.
+    pub fn new() -> Injector<T> {
+        Injector {
+            head: AtomicPtr::new(ptr::null_mut()),
+            len: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of items currently queued (a relaxed snapshot).
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Relaxed)
+    }
+
+    /// Whether the injector is observed empty.
+    pub fn is_empty(&self) -> bool {
+        self.head.load(Ordering::Relaxed).is_null()
+    }
+
+    /// Appends `item`.  Lock-free; callable from any thread.
+    pub fn push(&self, item: T) {
+        let node = Box::into_raw(Box::new(Node {
+            item,
+            next: ptr::null_mut(),
+        }));
+        let mut head = self.head.load(Ordering::Relaxed);
+        loop {
+            // SAFETY: `node` is ours until the CAS publishes it.
+            unsafe { (*node).next = head };
+            match self
+                .head
+                .compare_exchange_weak(head, node, Ordering::Release, Ordering::Relaxed)
+            {
+                Ok(_) => break,
+                Err(current) => head = current,
+            }
+        }
+        self.len.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Atomically takes the whole backlog, oldest first.  Returns an empty
+    /// vector (no allocation) when nothing is queued.
+    pub fn drain(&self) -> Vec<T> {
+        if self.head.load(Ordering::Relaxed).is_null() {
+            return Vec::new();
+        }
+        let mut head = self.head.swap(ptr::null_mut(), Ordering::Acquire);
+        let mut out = Vec::new();
+        while !head.is_null() {
+            // SAFETY: the swap above made this chain exclusively ours.
+            let node = unsafe { Box::from_raw(head) };
+            head = node.next;
+            out.push(node.item);
+        }
+        self.len.fetch_sub(out.len(), Ordering::Relaxed);
+        out.reverse(); // stack order -> arrival order
+        out
+    }
+}
+
+impl<T> Drop for Injector<T> {
+    fn drop(&mut self) {
+        drop(self.drain());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owner_push_pop_is_lifo() {
+        let d = Deque::new();
+        d.push(1);
+        d.push(2);
+        d.push(3);
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.pop(), Some(3));
+        assert_eq!(d.pop(), Some(2));
+        assert_eq!(d.pop(), Some(1));
+        assert_eq!(d.pop(), None);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn steal_takes_oldest() {
+        let d = Deque::new();
+        d.push(1);
+        d.push(2);
+        assert!(matches!(d.steal(), Steal::Success(1)));
+        assert_eq!(d.pop(), Some(2));
+        assert!(matches!(d.steal(), Steal::Empty));
+    }
+
+    #[test]
+    fn growth_preserves_items() {
+        let d = Deque::with_capacity(2);
+        for i in 0..100 {
+            d.push(i);
+        }
+        let mut stolen = Vec::new();
+        while let Some(v) = d.steal_retrying() {
+            stolen.push(v);
+        }
+        assert_eq!(stolen, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn ring_reuse_after_wraparound() {
+        // bottom/top advance far past the capacity; the masked ring must
+        // keep items straight through thousands of reuse cycles.
+        let d = Deque::with_capacity(4);
+        let mut next = 0u64;
+        for _ in 0..10_000 {
+            for _ in 0..3 {
+                d.push(next);
+                next += 1;
+            }
+            assert!(matches!(d.steal(), Steal::Success(_)));
+            assert!(d.pop().is_some());
+            assert!(d.pop().is_some());
+        }
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn steal_tagged_declines_untagged_top() {
+        let d = Deque::new();
+        d.push_tagged(1, false);
+        d.push_tagged(2, true);
+        // Top (oldest) is untagged: a tag-only thief must leave it alone.
+        assert!(matches!(d.steal_tagged(), Steal::Empty));
+        assert_eq!(d.len(), 2);
+        // An unrestricted thief takes it, tag or not …
+        assert!(matches!(d.steal(), Steal::Success(1)));
+        // … exposing the tagged item to the tag-only thief.
+        assert!(matches!(d.steal_tagged(), Steal::Success(2)));
+        assert!(matches!(d.steal_tagged(), Steal::Empty));
+        // Tags are invisible to the owner's pop.
+        d.push_tagged(3, true);
+        d.push_tagged(4, false);
+        assert_eq!(d.pop(), Some(4));
+        assert_eq!(d.pop(), Some(3));
+    }
+
+    #[test]
+    fn pop_empty_restores_state() {
+        let d: Deque<u32> = Deque::new();
+        assert_eq!(d.pop(), None);
+        assert_eq!(d.pop(), None);
+        d.push(7);
+        assert_eq!(d.pop(), Some(7));
+    }
+
+    #[test]
+    fn dropping_nonempty_deque_drops_items() {
+        let counted = std::sync::Arc::new(());
+        let d = Deque::new();
+        for _ in 0..10 {
+            d.push(counted.clone());
+        }
+        assert_eq!(std::sync::Arc::strong_count(&counted), 11);
+        drop(d);
+        assert_eq!(std::sync::Arc::strong_count(&counted), 1);
+    }
+
+    #[test]
+    fn injector_drains_in_arrival_order() {
+        let q = Injector::new();
+        for i in 0..10 {
+            q.push(i);
+        }
+        assert_eq!(q.len(), 10);
+        assert_eq!(q.drain(), (0..10).collect::<Vec<_>>());
+        assert!(q.is_empty());
+        assert_eq!(q.drain(), Vec::<i32>::new());
+    }
+}

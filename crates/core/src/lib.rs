@@ -15,7 +15,10 @@
 //!   recycled when it determines.
 //! * [`vp::Vp`] — a virtual processor: the thread-controller loop plus
 //!   a [`pm::PolicyManager`].  Different VPs of one machine
-//!   can run different policies.
+//!   can run different policies.  FIFO/LIFO policies get a lock-free
+//!   [`deque`]-based ready queue (the scheduler fast path); everything
+//!   else runs through the locked policy tier (see
+//!   [`pm::PolicyManager::queue_kind`]).
 //! * [`Vm`] — a set of VPs sharing counters, timers and a root
 //!   [`ThreadGroup`].
 //! * [`machine::PhysicalMachine`] — OS worker threads
@@ -43,6 +46,7 @@
 
 pub mod builder;
 pub mod counters;
+pub mod deque;
 pub mod error;
 pub mod group;
 pub mod io;
@@ -65,7 +69,7 @@ pub use counters::{CounterSnapshot, Counters};
 pub use error::CoreError;
 pub use group::ThreadGroup;
 pub use machine::PhysicalMachine;
-pub use pm::{EnqueueState, PolicyManager, RunItem};
+pub use pm::{DequeCaps, EnqueueState, PolicyManager, QueueKind, RunItem};
 pub use state::{StateRequest, ThreadState};
 pub use tc::Cx;
 pub use thread::{Thread, ThreadId, ThreadResult, Thunk, TryThunk, WaitNode};

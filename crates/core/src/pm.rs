@@ -57,6 +57,38 @@ impl RunItem {
     }
 }
 
+/// What a deque-tier VP may do with its [`Deque`](crate::deque::Deque),
+/// as declared by [`PolicyManager::queue_kind`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DequeCaps {
+    /// Owner dequeues oldest-first (FIFO, via a top-end CAS) instead of
+    /// newest-first (LIFO, the wait-free bottom-end pop).
+    pub fifo: bool,
+    /// Sibling VPs may steal from this queue when idle.
+    pub steal: bool,
+    /// Thieves may take parked TCBs, not just fresh threads.
+    pub steal_tcbs: bool,
+}
+
+/// Which tier of the two-tier scheduler serves a VP's ready queue (see
+/// DESIGN.md, "Scheduler fast path").
+///
+/// Policies whose order is FIFO or LIFO and whose migration choices can be
+/// expressed as [`DequeCaps`] opt into the lock-free
+/// [`Deque`](crate::deque::Deque) tier; everything else — priority orders,
+/// global queues, custom policies — keeps the fully general locked
+/// [`PolicyManager`] path.  The choice is made once, when the
+/// [`crate::vp::Vp`] is constructed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueueKind {
+    /// Every enqueue/dequeue goes through the policy manager under the
+    /// VP's policy lock (the fully general path; the default).
+    Policy,
+    /// Enqueues/dequeues use the per-VP Chase–Lev deque; the policy
+    /// manager is consulted only for placement (`choose_vp`) and hints.
+    Deque(DequeCaps),
+}
+
 /// The state in which a thread is handed to
 /// [`PolicyManager::enqueue_thread`] (the paper's `state` argument to
 /// `pm-enqueue-thread`).
@@ -116,6 +148,18 @@ pub trait PolicyManager: Send {
     /// lose, if any.  Policies that forbid migration keep the default.
     fn offer_migration(&mut self, _vp: &Vp) -> Option<RunItem> {
         None
+    }
+
+    /// Declares which scheduler tier should serve this policy's ready
+    /// queue.  Consulted once, when the VP is built; the default keeps the
+    /// fully general locked path, so existing policies are unaffected.
+    ///
+    /// A policy that returns [`QueueKind::Deque`] gives up per-item
+    /// control: `get_next_thread`, `enqueue_thread` and `offer_migration`
+    /// are no longer called for routine traffic (only `choose_vp`,
+    /// `vp_idle` fallbacks and the hint methods still are).
+    fn queue_kind(&self) -> QueueKind {
+        QueueKind::Policy
     }
 
     /// Number of items currently queued (for introspection and tests).

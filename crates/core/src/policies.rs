@@ -19,11 +19,18 @@
 //! [`QueueOrder::PriorityLow`] and priorities set to deadlines, the queue
 //! is earliest-deadline-first.
 //!
+//! The *serialization* dimension is decided by
+//! [`PolicyManager::queue_kind`]: a [`LocalQueue`] in FIFO or LIFO order
+//! is served by the lock-free [`crate::deque`] tier (opt out with
+//! [`LocalQueue::locked`]); priority orders, [`GlobalQueue`] and custom
+//! policies run under the VP's policy lock.  See DESIGN.md, "Scheduler
+//! fast path".
+//!
 //! All of these are ordinary implementations of
 //! [`crate::pm::PolicyManager`] — applications are free to
 //! write their own (see `tests/custom_policy.rs` in the repository).
 
-use crate::pm::{EnqueueState, PolicyManager, RunItem};
+use crate::pm::{DequeCaps, EnqueueState, PolicyManager, QueueKind, RunItem};
 use crate::vp::Vp;
 use parking_lot::Mutex;
 use std::collections::{BinaryHeap, VecDeque};
@@ -147,6 +154,7 @@ pub struct LocalQueue {
     migrate_tcbs: bool,
     place_round_robin: bool,
     next_place: usize,
+    locked: bool,
 }
 
 impl std::fmt::Debug for LocalQueue {
@@ -170,6 +178,7 @@ impl LocalQueue {
             migrate_tcbs: false,
             place_round_robin: false,
             next_place: 0,
+            locked: false,
         }
     }
 
@@ -192,6 +201,15 @@ impl LocalQueue {
     /// than on the forking VP.
     pub fn place_round_robin(mut self, yes: bool) -> LocalQueue {
         self.place_round_robin = yes;
+        self
+    }
+
+    /// Forces this queue onto the locked policy tier even when its order
+    /// is deque-able (see [`PolicyManager::queue_kind`]).  Useful for A/B
+    /// comparison (the steal-throughput shape bench) and for debugging the
+    /// fast path against the reference implementation.
+    pub fn locked(mut self, yes: bool) -> LocalQueue {
+        self.locked = yes;
         self
     }
 
@@ -242,6 +260,19 @@ impl PolicyManager for LocalQueue {
             return None;
         }
         self.store.steal(self.order, self.migrate_tcbs)
+    }
+
+    fn queue_kind(&self) -> QueueKind {
+        match self.order {
+            QueueOrder::Fifo | QueueOrder::Lifo if !self.locked => QueueKind::Deque(DequeCaps {
+                fifo: self.order == QueueOrder::Fifo,
+                steal: self.migrating,
+                steal_tcbs: self.migrate_tcbs,
+            }),
+            // Priority orders need the heap; `.locked(true)` is the
+            // explicit opt-out for A/B comparison.
+            _ => QueueKind::Policy,
+        }
     }
 
     fn len(&self) -> usize {

@@ -23,6 +23,15 @@
 //! this implementation, whenever it calls [`checkpoint`], which the Scheme
 //! virtual machine does automatically every few instructions.
 //!
+//! Scheduling is split in two: operations here ask the target VP's
+//! [`PolicyManager`](crate::pm::PolicyManager) *where* work should go
+//! ([`PolicyManager::choose_vp`](crate::pm::PolicyManager::choose_vp) on
+//! fork), then hand the item to that VP's ready queue — the lock-free
+//! [`deque`](crate::deque) tier for FIFO/LIFO policies, the locked policy
+//! tier otherwise (see
+//! [`PolicyManager::queue_kind`](crate::pm::PolicyManager::queue_kind) and
+//! DESIGN.md, "Scheduler fast path").
+//!
 //! [`Vm::fork_on`]: crate::vm::Vm::fork_on
 //! [`Vm::delayed`]: crate::vm::Vm::delayed
 

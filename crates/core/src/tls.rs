@@ -34,6 +34,17 @@ pub(crate) fn current() -> Option<Current> {
     CURRENT.with(|c| c.borrow().clone())
 }
 
+/// Whether the calling OS thread is currently driving `vp` (by `Arc`
+/// identity — VP indices collide across VMs).  Cheaper than [`current`]:
+/// no `Arc` clones on this hot scheduler path.
+pub(crate) fn is_current_vp(vp: &std::sync::Arc<Vp>) -> bool {
+    CURRENT.with(|c| {
+        c.borrow()
+            .as_ref()
+            .is_some_and(|cur| Arc::ptr_eq(&cur.vp, vp))
+    })
+}
+
 /// Whether the calling OS thread is currently executing a STING thread.
 pub(crate) fn on_thread() -> bool {
     CURRENT.with(|c| c.borrow().is_some())

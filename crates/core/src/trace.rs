@@ -2,7 +2,7 @@
 //!
 //! Every virtual processor owns a fixed-capacity ring of timestamped
 //! [`TraceEvent`]s; the hot scheduler paths record into it through the
-//! [`trace_event!`] macro, which compiles down to one relaxed atomic load
+//! [`trace_event!`](crate::trace_event) macro, which compiles down to one relaxed atomic load
 //! when tracing is disabled.  A final ring collects events recorded off any
 //! VP (e.g. forks from the host thread).
 //!
@@ -273,7 +273,7 @@ impl Tracer {
 
     /// Records an event on `vp`'s lane (or the external lane when `None`).
     ///
-    /// Callers normally go through [`trace_event!`], which checks
+    /// Callers normally go through [`trace_event!`](crate::trace_event), which checks
     /// [`Tracer::is_enabled`] first; `record` itself rechecks so direct
     /// calls stay correct.
     pub fn record(&self, vp: Option<usize>, kind: EventKind, thread: u64, a: u32, b: u32) {

@@ -426,17 +426,23 @@ impl Vm {
     /// unwinding parked fibers so destructors run.
     pub(crate) fn drain(self: &Arc<Vm>) {
         let shutdown_err: ThreadResult = Err(Value::sym("vm-shutdown"));
-        // Empty the ready queues first.
+        // Empty the ready queues first (both tiers).  Completing an item
+        // can wake joiners whose re-enqueues land back on a queue we just
+        // emptied, so loop until a full pass finds nothing.
         for vp in &self.vps {
             loop {
-                let item = { vp.pm.lock().get_next_thread(vp) };
-                match item {
-                    None => break,
-                    Some(RunItem::Fresh(t)) => t.complete(shutdown_err.clone()),
-                    Some(RunItem::Parked(tcb)) => {
-                        let t = tcb.thread().clone();
-                        drop(tcb); // force-unwinds the fiber
-                        t.complete(shutdown_err.clone());
+                let items = vp.drain_ready();
+                if items.is_empty() {
+                    break;
+                }
+                for item in items {
+                    match item {
+                        RunItem::Fresh(t) => t.complete(shutdown_err.clone()),
+                        RunItem::Parked(tcb) => {
+                            let t = tcb.thread().clone();
+                            drop(tcb); // force-unwinds the fiber
+                            t.complete(shutdown_err.clone());
+                        }
                     }
                 }
             }

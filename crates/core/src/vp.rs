@@ -9,9 +9,30 @@
 //! VPs are multiplexed on physical processors
 //! ([`crate::machine::PhysicalMachine`] worker OS threads) the same way
 //! threads are multiplexed on VPs.
+//!
+//! ## The two-tier ready queue
+//!
+//! The VP's ready queue is served by one of two tiers, chosen at
+//! construction from [`PolicyManager::queue_kind`]:
+//!
+//! * **Deque tier** (FIFO/LIFO policies): a lock-free
+//!   [`Deque`] the owning worker pushes and pops
+//!   without locks, plus an [`Injector`] for
+//!   submissions from other threads.  Idle sibling VPs steal from the
+//!   deque's cold end with one CAS — the paper's §3.3 "lock-free queue of
+//!   evaluating threads".  The policy manager is still consulted for
+//!   placement (`choose_vp`) and the idle hook (`vp_idle`); it just no
+//!   longer sees per-item traffic.
+//! * **Policy tier** (priority orders, global queues, custom policies):
+//!   every operation goes through the policy manager under the VP's policy
+//!   lock — the fully general path, and the pre-deque behaviour.
+//!
+//! See DESIGN.md, "Scheduler fast path", for the memory-ordering argument
+//! and the paper-operation-to-tier mapping.
 
 use crate::counters::Counters;
-use crate::pm::{EnqueueState, PolicyManager, RunItem};
+use crate::deque::{Deque, Injector, Steal};
+use crate::pm::{DequeCaps, EnqueueState, PolicyManager, QueueKind, RunItem};
 use crate::tc;
 use crate::tcb::{Disposition, Tcb, TcbShared, ThreadFiber, Wakeup};
 use crate::thread::{Thread, TryThunk};
@@ -23,11 +44,86 @@ use std::sync::{Arc, Weak};
 use sting_context::fiber::FiberResult;
 use sting_context::{Fiber, StackPool};
 
+/// The lock-free tier of a VP's ready queue (see DESIGN.md, "Scheduler
+/// fast path").  Present iff the VP's policy opted in via
+/// [`PolicyManager::queue_kind`].
+///
+/// The [`Deque`] is owner-operated: only the worker driving this VP (the
+/// holder of `owner`) pushes and pops it.  Every other thread — host
+/// forks, cross-VP wake-ups, the timekeeper — submits through the
+/// [`Injector`]; the owner folds the injector into the deque at each
+/// dequeue, which restores arrival order and makes the items stealable.
+struct FastQueue {
+    caps: DequeCaps,
+    deque: Deque<RunItem>,
+    injector: Injector<RunItem>,
+    /// Slice-scoped owner role.  The machine drives each VP from exactly
+    /// one worker (index modulo processor count), but `PhysicalMachine::attach`
+    /// is public, so two machines *can* be pointed at one VM; the guard
+    /// downgrades that misconfiguration from a correctness hazard to a
+    /// skipped slice.
+    owner: AtomicBool,
+}
+
+impl FastQueue {
+    fn new(caps: DequeCaps) -> FastQueue {
+        FastQueue {
+            caps,
+            deque: Deque::new(),
+            injector: Injector::new(),
+            owner: AtomicBool::new(false),
+        }
+    }
+
+    /// Owner-side push.  Fresh threads are tagged so thieves of a
+    /// no-TCB-migration policy can decline parked items without claiming
+    /// them (see [`Deque::steal_tagged`]).
+    fn push(&self, item: RunItem) {
+        let fresh = item.is_fresh();
+        self.deque.push_tagged(item, fresh);
+    }
+
+    /// Owner-side dequeue: fold in remote submissions, then take from the
+    /// end the policy's discipline dictates.
+    fn pop(&self) -> Option<RunItem> {
+        for item in self.injector.drain() {
+            self.push(item);
+        }
+        if self.caps.fifo {
+            // Oldest first: the owner takes the steal end (one CAS).
+            self.deque.steal_retrying()
+        } else {
+            // Newest first: the wait-free bottom-end pop.
+            self.deque.pop()
+        }
+    }
+}
+
+/// Holds the owner role of a [`FastQueue`] for the duration of one slice.
+struct OwnerGuard<'a>(&'a FastQueue);
+
+impl<'a> OwnerGuard<'a> {
+    fn acquire(fq: &'a FastQueue) -> Option<OwnerGuard<'a>> {
+        fq.owner
+            .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .ok()?;
+        Some(OwnerGuard(fq))
+    }
+}
+
+impl Drop for OwnerGuard<'_> {
+    fn drop(&mut self) {
+        self.0.owner.store(false, Ordering::Release);
+    }
+}
+
 /// A first-class virtual processor.
 pub struct Vp {
     index: usize,
     vm: Weak<Vm>,
     pub(crate) pm: Mutex<Box<dyn PolicyManager>>,
+    /// Lock-free ready queue; `None` for policies on the locked tier.
+    fast: Option<FastQueue>,
     /// Set by the machine's timekeeper each preemption tick; polled by the
     /// running thread at checkpoints.
     pub(crate) preempt_flag: AtomicBool,
@@ -51,10 +147,15 @@ impl Vp {
         stack_size: usize,
         pool_capacity: usize,
     ) -> Vp {
+        let fast = match pm.queue_kind() {
+            QueueKind::Deque(caps) => Some(FastQueue::new(caps)),
+            QueueKind::Policy => None,
+        };
         Vp {
             index,
             vm,
             pm: Mutex::new(pm),
+            fast,
             preempt_flag: AtomicBool::new(false),
             stack_pool: Mutex::new(StackPool::new(stack_size, pool_capacity)),
         }
@@ -86,13 +187,30 @@ impl Vp {
 
     /// Number of items in this VP's ready set.
     pub fn queue_len(&self) -> usize {
-        self.pm.lock().len()
+        match &self.fast {
+            Some(fq) => fq.deque.len() + fq.injector.len(),
+            None => self.pm.lock().len(),
+        }
     }
 
-    /// Victim side of thread migration: asks this VP's policy to surrender
-    /// an item to `thief`.  Uses `try_lock`, so concurrent idle VPs never
-    /// deadlock on each other's policy locks; returns `None` on contention,
-    /// when the policy declines, or when asked to migrate to itself.
+    /// Whether this VP's ready queue is served by the lock-free deque tier
+    /// (see [`PolicyManager::queue_kind`]) rather than the locked policy
+    /// path.
+    pub fn lock_free_queue(&self) -> bool {
+        self.fast.is_some()
+    }
+
+    /// Victim side of thread migration: surrenders an item to `thief`, or
+    /// declines.  Returns `None` on contention, when the policy declines,
+    /// or when asked to migrate to itself.
+    ///
+    /// On the deque tier this is one lock-free [`Deque::steal`] from the
+    /// cold (oldest) end — no lock is taken on the victim at all; a lost
+    /// CAS race counts as contention.  A stolen parked TCB is handed back
+    /// through the victim's injector when its capabilities forbid TCB
+    /// migration.  On the locked tier the policy's
+    /// [`PolicyManager::offer_migration`] is asked under `try_lock`, so
+    /// concurrent idle VPs never deadlock on each other's policy locks.
     ///
     /// On success the surrendered thread's home VP is re-pointed at the
     /// thief — it has irrevocably left this VP's queue, and any wake-up
@@ -103,7 +221,55 @@ impl Vp {
         if self.index == thief.index() {
             return None;
         }
-        let item = {
+        let item = if let Some(fq) = &self.fast {
+            if !fq.caps.steal {
+                return None;
+            }
+            // When TCBs must stay home, only a fresh-tagged top item may
+            // be taken; the tag check needs no claim, so declining a
+            // parked item leaves the victim's queue untouched.
+            let attempt = if fq.caps.steal_tcbs {
+                fq.deque.steal()
+            } else {
+                fq.deque.steal_tagged()
+            };
+            match attempt {
+                Steal::Success(item) => item,
+                Steal::Empty | Steal::Retry => {
+                    // The deque gave nothing — but remote submissions may
+                    // be backed up in the injector, and the owner could be
+                    // stuck in a long quantum, never folding them in.  The
+                    // locked tier could always surrender such work, so
+                    // rescue it here: take the oldest eligible item,
+                    // re-inject the rest in order.
+                    let backlog = fq.injector.drain();
+                    if backlog.is_empty() {
+                        return None;
+                    }
+                    let mut chosen = None;
+                    let mut rest = Vec::with_capacity(backlog.len());
+                    for it in backlog {
+                        if chosen.is_none() && (fq.caps.steal_tcbs || it.is_fresh()) {
+                            chosen = Some(it);
+                        } else {
+                            rest.push(it);
+                        }
+                    }
+                    let returned = !rest.is_empty();
+                    for it in rest {
+                        fq.injector.push(it);
+                    }
+                    if returned {
+                        // The original submission signals were consumed;
+                        // re-arm so the returned work is not stranded.
+                        if let Some(vm) = self.vm.upgrade() {
+                            vm.signal_work();
+                        }
+                    }
+                    chosen?
+                }
+            }
+        } else {
             let mut pm = self.pm.try_lock()?;
             pm.offer_migration(self)?
         };
@@ -126,16 +292,39 @@ impl Vp {
         Some(item)
     }
 
-    /// Enqueues `item` on this VP's policy manager and signals the machine.
+    /// Enqueues `item` on this VP's ready queue and signals the machine.
+    ///
+    /// Deque tier: if the calling OS thread is this VP's driving worker
+    /// (detected via the scheduler TLS — `Arc` identity, since VP indices
+    /// collide across VMs), the item goes straight onto the deque; any
+    /// other thread submits through the injector.  Locked tier: the
+    /// policy's [`PolicyManager::enqueue_thread`] under the policy lock.
     pub(crate) fn enqueue(self: &Arc<Vp>, item: RunItem, state: EnqueueState) {
+        let owner = self.fast.is_some() && tls::is_current_vp(self);
+        self.enqueue_from(item, state, owner);
+    }
+
+    /// [`Vp::enqueue`] with the owner role already decided.  `owner` may
+    /// only be `true` on the worker currently holding this VP's
+    /// [`OwnerGuard`] (the TC run loop passes it for re-enqueues that
+    /// happen after the TLS slot is cleared).
+    fn enqueue_from(self: &Arc<Vp>, item: RunItem, state: EnqueueState, owner: bool) {
         let thread_id = match &item {
             RunItem::Fresh(t) => t.id().0,
             RunItem::Parked(tcb) => tcb.thread().id().0,
         };
-        {
+        let owner_push = if let Some(fq) = &self.fast {
+            if owner {
+                fq.push(item);
+            } else {
+                fq.injector.push(item);
+            }
+            owner
+        } else {
             let mut pm = self.pm.lock();
             pm.enqueue_thread(self, item, state);
-        }
+            false
+        };
         if let Some(vm) = self.vm.upgrade() {
             crate::trace_event!(
                 vm.tracer(),
@@ -145,7 +334,30 @@ impl Vp {
                 state as u32,
                 self.index
             );
-            vm.signal_work();
+            // An owner push needs no wake-up: the pusher *is* the consumer
+            // and is mid-slice.  Sibling thieves discover the backlog at
+            // their idle-timeout tick.  Everything else may target a
+            // sleeping worker and must signal.
+            if !owner_push {
+                vm.signal_work();
+            }
+        }
+    }
+
+    /// Returns the next item to run, consulting the fast tier first and
+    /// falling back to the policy's idle hook (work migration).
+    fn next_item(self: &Arc<Vp>) -> Option<RunItem> {
+        if let Some(fq) = &self.fast {
+            if let Some(item) = fq.pop() {
+                return Some(item);
+            }
+            // Empty: the *policy* still decides whether and where to go
+            // raiding (`pm-vp-idle`); the lock is uncontended here because
+            // routine traffic no longer takes it.
+            self.pm.lock().vp_idle(self)
+        } else {
+            let mut pm = self.pm.lock();
+            pm.get_next_thread(self).or_else(|| pm.vp_idle(self))
         }
     }
 
@@ -155,16 +367,21 @@ impl Vp {
         let Some(vm) = self.vm.upgrade() else {
             return false;
         };
+        // Claim the deque-owner role for the whole slice; if another
+        // worker somehow drives this VP right now, skip the slice.
+        let _owner = match &self.fast {
+            Some(fq) => match OwnerGuard::acquire(fq) {
+                Some(g) => Some(g),
+                None => return false,
+            },
+            None => None,
+        };
         let mut ran = false;
         for _ in 0..budget {
             if vm.is_stopped() {
                 break;
             }
-            let item = {
-                let mut pm = self.pm.lock();
-                pm.get_next_thread(self).or_else(|| pm.vp_idle(self))
-            };
-            let Some(item) = item else { break };
+            let Some(item) = self.next_item() else { break };
             match item {
                 RunItem::Fresh(thread) => {
                     // Revalidate: the thread may have been stolen or
@@ -196,6 +413,25 @@ impl Vp {
             }
         }
         ran
+    }
+
+    /// Empties both queue tiers, returning everything that was ready.
+    /// Used by [`Vm::drain`](crate::vm::Vm) at shutdown, after the machine
+    /// has quiesced — so no owner or thieves race us (and the deque is
+    /// emptied thief-side, which is safe from any thread regardless).
+    pub(crate) fn drain_ready(&self) -> Vec<RunItem> {
+        let mut out = Vec::new();
+        if let Some(fq) = &self.fast {
+            out.extend(fq.injector.drain());
+            while let Some(item) = fq.deque.steal_retrying() {
+                out.push(item);
+            }
+        }
+        let mut pm = self.pm.lock();
+        while let Some(item) = pm.get_next_thread(self) {
+            out.push(item);
+        }
+        out
     }
 
     /// Allocates a TCB (stack from the recycling pool + fiber) for a
@@ -260,7 +496,10 @@ impl Vp {
                 } else {
                     EnqueueState::Yielded
                 };
-                self.enqueue(RunItem::Parked(tcb), state);
+                // Owner push: run_tcb only runs under this VP's slice (and
+                // its OwnerGuard); the TLS slot is already cleared, so the
+                // role is passed explicitly.
+                self.enqueue_from(RunItem::Parked(tcb), state, true);
             }
             FiberResult::Yield(d @ (Disposition::Blocked | Disposition::Suspended)) => {
                 let suspended = d == Disposition::Suspended;
@@ -286,7 +525,7 @@ impl Vp {
                     }
                 };
                 if let Some(tcb) = requeue {
-                    self.enqueue(RunItem::Parked(tcb), EnqueueState::Unblocked);
+                    self.enqueue_from(RunItem::Parked(tcb), EnqueueState::Unblocked, true);
                 }
             }
             FiberResult::Return(result) => {

@@ -70,13 +70,17 @@ fn interactive_class_preempts_batch_order() {
     let (vm, _tallies) = vm_with_two_class();
     assert_eq!(vm.vp(0).unwrap().policy_name(), "two-class");
     let order = Arc::new(Mutex::new(Vec::new()));
-    // Hold the VP while we enqueue a mix of classes.
+    // Hold the VP while we enqueue a mix of classes: the blocker must not
+    // yield (a yield lets the VP dispatch whatever is enqueued so far,
+    // racing the host's spawns below — flaky under system load).
     let gate = Arc::new(AtomicBool::new(false));
     let g = gate.clone();
     let blocker = vm.fork(move |cx| {
-        while !g.load(Ordering::SeqCst) {
-            cx.yield_now();
-        }
+        cx.without_preemption(|| {
+            while !g.load(Ordering::SeqCst) {
+                std::hint::spin_loop();
+            }
+        });
         0i64
     });
     std::thread::sleep(std::time::Duration::from_millis(10));

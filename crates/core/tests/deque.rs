@@ -1,0 +1,331 @@
+//! Stress and integration tests for the lock-free scheduler fast path:
+//! the Chase–Lev deque and MPSC injector in `sting_core::deque`, and the
+//! two-tier wiring that puts FIFO/LIFO policies on them (see DESIGN.md,
+//! "Scheduler fast path").
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use sting_core::deque::{Deque, Injector, Steal};
+use sting_core::trace::EventKind;
+use sting_core::{policies, VmBuilder};
+
+/// One owner pushes (and occasionally pops) 100k distinct items while
+/// several thieves hammer `steal`; afterwards every item must have been
+/// claimed by exactly one side — nothing lost, nothing duplicated.
+#[test]
+fn stress_multi_thief_no_lost_or_duplicated_items() {
+    const ITEMS: u64 = 100_000;
+    const THIEVES: usize = 3;
+    let deque: Arc<Deque<u64>> = Arc::new(Deque::with_capacity(8)); // force growth under fire
+    let done = Arc::new(AtomicBool::new(false));
+
+    let thieves: Vec<_> = (0..THIEVES)
+        .map(|_| {
+            let deque = deque.clone();
+            let done = done.clone();
+            std::thread::spawn(move || {
+                let mut got = Vec::new();
+                loop {
+                    match deque.steal() {
+                        Steal::Success(v) => got.push(v),
+                        Steal::Retry => std::hint::spin_loop(),
+                        Steal::Empty => {
+                            if done.load(Ordering::Acquire) && deque.is_empty() {
+                                break;
+                            }
+                            std::thread::yield_now();
+                        }
+                    }
+                }
+                got
+            })
+        })
+        .collect();
+
+    let mut owner_got = Vec::new();
+    for i in 0..ITEMS {
+        deque.push(i);
+        // Interleave owner pops so the bottom-end races the steals,
+        // including the contended single-item CAS.
+        if i % 3 == 0 {
+            if let Some(v) = deque.pop() {
+                owner_got.push(v);
+            }
+        }
+    }
+    done.store(true, Ordering::Release);
+
+    let mut seen = vec![false; ITEMS as usize];
+    let mut claim = |v: u64| {
+        assert!(!seen[v as usize], "item {v} claimed twice");
+        seen[v as usize] = true;
+    };
+    for v in owner_got {
+        claim(v);
+    }
+    for t in thieves {
+        for v in t.join().unwrap() {
+            claim(v);
+        }
+    }
+    let missing = seen.iter().filter(|s| !**s).count();
+    assert_eq!(missing, 0, "{missing} items lost");
+}
+
+/// The single-item race: owner and thieves fight over a deque that never
+/// holds more than one item.  Exactly one side must win each round.
+#[test]
+fn stress_last_item_owner_vs_thief_race() {
+    const ROUNDS: u64 = 50_000;
+    let deque: Arc<Deque<u64>> = Arc::new(Deque::new());
+    let done = Arc::new(AtomicBool::new(false));
+    let stolen = Arc::new(AtomicUsize::new(0));
+
+    let thieves: Vec<_> = (0..2)
+        .map(|_| {
+            let deque = deque.clone();
+            let done = done.clone();
+            let stolen = stolen.clone();
+            std::thread::spawn(move || {
+                while !done.load(Ordering::Acquire) {
+                    if matches!(deque.steal(), Steal::Success(_)) {
+                        stolen.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            })
+        })
+        .collect();
+
+    let mut popped = 0usize;
+    for i in 0..ROUNDS {
+        deque.push(i);
+        if deque.pop().is_some() {
+            popped += 1;
+        }
+    }
+    // Anything neither popped nor yet stolen is still queued; drain it.
+    let mut residue = 0usize;
+    while deque.steal_retrying().is_some() {
+        residue += 1;
+    }
+    done.store(true, Ordering::Release);
+    for t in thieves {
+        t.join().unwrap();
+    }
+    let total = popped + residue + stolen.load(Ordering::Relaxed);
+    assert_eq!(
+        total as u64, ROUNDS,
+        "every round's item claimed exactly once"
+    );
+}
+
+/// Wrap the tiny ring thousands of times while thieves race: the masked
+/// indices must never alias a live slot (the ABA hazard is resolved by the
+/// monotonically increasing `top` CAS).
+#[test]
+fn stress_wraparound_with_concurrent_thieves() {
+    const BATCHES: u64 = 20_000;
+    let deque: Arc<Deque<u64>> = Arc::new(Deque::with_capacity(4));
+    let done = Arc::new(AtomicBool::new(false));
+    let thief = {
+        let deque = deque.clone();
+        let done = done.clone();
+        std::thread::spawn(move || {
+            let mut got = Vec::new();
+            while !(done.load(Ordering::Acquire) && deque.is_empty()) {
+                if let Steal::Success(v) = deque.steal() {
+                    got.push(v);
+                }
+            }
+            got
+        })
+    };
+    let mut owner_got = Vec::new();
+    let mut next = 0u64;
+    for _ in 0..BATCHES {
+        for _ in 0..3 {
+            deque.push(next);
+            next += 1;
+        }
+        for _ in 0..3 {
+            if let Some(v) = deque.pop() {
+                owner_got.push(v);
+            }
+        }
+    }
+    done.store(true, Ordering::Release);
+    let mut all = owner_got;
+    all.extend(thief.join().unwrap());
+    all.sort_unstable();
+    let expected: Vec<u64> = (0..next).collect();
+    assert_eq!(all, expected, "wraparound lost or duplicated items");
+}
+
+/// Concurrent producers on the injector: every pushed item is drained
+/// exactly once, and each producer's items come out in its push order.
+#[test]
+fn stress_injector_multi_producer() {
+    const PRODUCERS: u64 = 4;
+    const PER: u64 = 25_000;
+    let q: Arc<Injector<u64>> = Arc::new(Injector::new());
+    let producers: Vec<_> = (0..PRODUCERS)
+        .map(|p| {
+            let q = q.clone();
+            std::thread::spawn(move || {
+                for i in 0..PER {
+                    q.push(p * PER + i);
+                }
+            })
+        })
+        .collect();
+    let mut got = Vec::new();
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while got.len() < (PRODUCERS * PER) as usize {
+        got.extend(q.drain());
+        assert!(Instant::now() < deadline, "injector drain stalled");
+    }
+    for p in producers {
+        p.join().unwrap();
+    }
+    assert!(q.is_empty());
+    // Exactly-once delivery…
+    let mut sorted = got.clone();
+    sorted.sort_unstable();
+    assert_eq!(sorted, (0..PRODUCERS * PER).collect::<Vec<_>>());
+    // …and per-producer FIFO within the drained stream.
+    let mut last = vec![None::<u64>; PRODUCERS as usize];
+    for v in got {
+        let p = (v / PER) as usize;
+        assert!(
+            last[p].is_none_or(|prev| prev < v),
+            "producer {p} reordered"
+        );
+        last[p] = Some(v);
+    }
+}
+
+/// A migrating FIFO policy on 4 VPs rides the deque tier, and the
+/// migrations that spread its work are the lock-free `Deque::steal` path —
+/// witnessed by the flight recorder's `Migrate` events.
+///
+/// VP 0's owner is wedged in a non-yielding spinner, so the fresh threads
+/// piled onto VP 0 can *only* complete by being stolen by VPs 1–3: their
+/// determination proves the lock-free migration path end to end.
+#[test]
+fn four_vp_migration_rides_the_lock_free_tier() {
+    const WORKERS: i64 = 32;
+    let vm = VmBuilder::new()
+        .vps(4)
+        .processors(4)
+        .policy(|_| policies::local_fifo().migrating(true).boxed())
+        .trace(true)
+        .build();
+    for vp in vm.vps() {
+        assert!(
+            vp.lock_free_queue(),
+            "migrating FIFO must opt into the deque tier"
+        );
+    }
+    let gate = Arc::new(AtomicBool::new(false));
+    // The spinner may itself be stolen before it first runs, so let it
+    // report which VP it actually wedged and pile the workers there.
+    let wedged = Arc::new(AtomicUsize::new(usize::MAX));
+    let g = gate.clone();
+    let w = wedged.clone();
+    let spinner = vm.fork(move |cx| {
+        w.store(cx.current_vp().index(), Ordering::Release);
+        // Never yields: this VP dispatches nothing until the gate opens.
+        while !g.load(Ordering::Acquire) {
+            std::hint::spin_loop();
+        }
+        0i64
+    });
+    let spin_deadline = Instant::now() + Duration::from_secs(30);
+    while wedged.load(Ordering::Acquire) == usize::MAX {
+        assert!(Instant::now() < spin_deadline, "spinner never dispatched");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let victim = wedged.load(Ordering::Acquire);
+    let workers: Vec<_> = (0..WORKERS)
+        .map(|i| vm.fork_on(victim, move |_| i).unwrap())
+        .collect();
+    let deadline = Instant::now() + Duration::from_secs(30);
+    for t in &workers {
+        while !t.is_determined() {
+            assert!(
+                Instant::now() < deadline,
+                "worker stuck: idle VPs failed to steal from the wedged VP 0"
+            );
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+    gate.store(true, Ordering::Release);
+    spinner.join_blocking().unwrap();
+    let sum: i64 = workers
+        .iter()
+        .map(|t| t.join_blocking().unwrap().as_int().unwrap())
+        .sum();
+    assert_eq!(sum, (0..WORKERS).sum::<i64>());
+    let migrations = vm.counters().snapshot().migrations;
+    assert!(
+        migrations >= WORKERS as u64,
+        "every worker must have migrated off wedged VP {victim} (migrations={migrations})"
+    );
+    let events = vm.tracer().snapshot();
+    assert!(
+        events.iter().any(|e| e.kind == EventKind::Migrate),
+        "migrations must be trace-recorded from the lock-free path"
+    );
+    assert!(
+        events.iter().any(|e| e.kind == EventKind::Enqueue)
+            && events.iter().any(|e| e.kind == EventKind::Dispatch),
+        "enqueue/dispatch events must still flow from the fast path"
+    );
+    vm.shutdown();
+}
+
+/// `.locked(true)` pins an otherwise deque-able policy to the reference
+/// locked tier — the A/B escape hatch the steal-throughput bench uses.
+#[test]
+fn locked_escape_hatch_stays_on_policy_tier() {
+    let vm = VmBuilder::new()
+        .vps(2)
+        .processors(2)
+        .policy(|_| policies::local_fifo().migrating(true).locked(true).boxed())
+        .build();
+    for vp in vm.vps() {
+        assert!(
+            !vp.lock_free_queue(),
+            ".locked(true) must force the locked tier"
+        );
+    }
+    let total = vm
+        .run(|cx| {
+            let ts: Vec<_> = (0..32i64).map(|i| cx.fork(move |_| i)).collect();
+            ts.iter()
+                .map(|t| cx.wait(t).unwrap().as_int().unwrap())
+                .sum::<i64>()
+        })
+        .unwrap();
+    assert_eq!(total.as_int(), Some((0..32).sum::<i64>()));
+    vm.shutdown();
+}
+
+/// Priority policies need their heap and stay on the locked tier; the
+/// fallback must remain fully functional.
+#[test]
+fn priority_policies_stay_on_policy_tier() {
+    let vm = VmBuilder::new()
+        .vps(1)
+        .processors(1)
+        .policy(|_| policies::priority_high().boxed())
+        .build();
+    assert!(!vm.vp(0).unwrap().lock_free_queue());
+    let v = vm.run(|cx| {
+        let t = cx.fork(|_| 21i64);
+        cx.wait(&t).unwrap().as_int().unwrap() * 2
+    });
+    assert_eq!(v.unwrap().as_int(), Some(42));
+    vm.shutdown();
+}
