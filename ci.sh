@@ -6,6 +6,10 @@
 #   ./ci.sh clippy   # just the lints
 #   ./ci.sh test     # just tier-1 (release build + full test suite)
 #   ./ci.sh doc      # just the rustdoc build (warnings are errors)
+#   ./ci.sh check    # model checker: sting-check self-tests + the deque/
+#                    # trace interleaving models over the production source
+#   ./ci.sh miri     # deque/trace unit tests under Miri (skips with a
+#                    # notice if no nightly Miri toolchain is installed)
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -33,19 +37,45 @@ run_doc() {
     RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
 }
 
+run_check() {
+    step "model checker: sting-check self-tests (litmus suite)"
+    cargo test -q -p sting-check
+    step "model checker: production deque/trace models (--cfg sting_check)"
+    # A separate target dir so the cfg-switched build never clobbers the
+    # normal incremental cache.
+    RUSTFLAGS="--cfg sting_check" CARGO_TARGET_DIR=target/check \
+        cargo test -q -p sting-core --test model
+}
+
+run_miri() {
+    step "miri: deque/trace unit tests"
+    if rustup run nightly cargo miri --version >/dev/null 2>&1; then
+        # Unit tests only: the interesting unsafe code (deque slots, trace
+        # rings) lives in the lib, and Miri cannot run the fiber layer's
+        # inline-asm stack switching anyway.
+        rustup run nightly cargo miri test -p sting-core --lib deque:: trace::
+    else
+        step "miri: SKIPPED (no nightly Miri toolchain installed)"
+        echo "install with: rustup toolchain install nightly --component miri"
+    fi
+}
+
 case "${1:-all}" in
     fmt) run_fmt ;;
     clippy) run_clippy ;;
     test) run_test ;;
     doc) run_doc ;;
+    check) run_check ;;
+    miri) run_miri ;;
     all)
         run_fmt
         run_clippy
         run_test
         run_doc
+        run_check
         ;;
     *)
-        echo "usage: $0 [fmt|clippy|test|doc|all]" >&2
+        echo "usage: $0 [fmt|clippy|test|doc|check|miri|all]" >&2
         exit 2
         ;;
 esac

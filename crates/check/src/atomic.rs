@@ -1,0 +1,393 @@
+//! Drop-in atomic types that route through the model when one is active.
+//!
+//! Outside a [`model`](crate::model) run every operation delegates straight
+//! to the real `std::sync::atomic` type, so code compiled against these
+//! shims (`--cfg sting_check`) still behaves normally in ordinary unit
+//! tests.  Inside a run, each operation is a scheduling point followed by an
+//! operation on the operational memory model; the real atomic is kept as a
+//! *mirror* of the newest store so `get_mut`/`Drop` paths and re-registration
+//! observe coherent values.
+//!
+//! Modeling notes: `compare_exchange_weak` never fails spuriously here (a
+//! spurious failure is observationally a retry that the schedule explorer
+//! already covers via CAS races), and only `SeqCst` fences are modeled.
+
+use crate::exec;
+use std::fmt;
+use std::sync::atomic::AtomicU64 as LocCell;
+pub use std::sync::atomic::Ordering;
+
+macro_rules! int_atomic {
+    ($(#[$meta:meta])* $name:ident, $prim:ty, $std:ty) => {
+        $(#[$meta])*
+        pub struct $name {
+            std: $std,
+            loc: LocCell,
+        }
+
+        // The casts are identities for the u64-sized instantiation.
+        #[allow(clippy::unnecessary_cast)]
+        impl $name {
+            /// Creates a new atomic with the given initial value.
+            pub const fn new(v: $prim) -> $name {
+                $name {
+                    std: <$std>::new(v),
+                    loc: LocCell::new(0),
+                }
+            }
+
+            fn loc(&self) -> usize {
+                exec::resolve_loc(&self.loc, self.std.load(Ordering::Relaxed) as u64)
+            }
+
+            /// Atomic load.
+            pub fn load(&self, ord: Ordering) -> $prim {
+                if exec::active() {
+                    exec::schedule_point();
+                    exec::load(self.loc(), ord) as $prim
+                } else {
+                    self.std.load(ord)
+                }
+            }
+
+            /// Atomic store.
+            pub fn store(&self, v: $prim, ord: Ordering) {
+                if exec::active() {
+                    exec::schedule_point();
+                    exec::store(self.loc(), v as u64, ord);
+                    self.std.store(v, Ordering::Relaxed);
+                } else {
+                    self.std.store(v, ord);
+                }
+            }
+
+            /// Atomic swap.
+            pub fn swap(&self, v: $prim, ord: Ordering) -> $prim {
+                if exec::active() {
+                    exec::schedule_point();
+                    let old = exec::rmw(self.loc(), |_| Some(v as u64), ord, Ordering::Relaxed)
+                        .expect("unconditional rmw");
+                    self.std.store(v, Ordering::Relaxed);
+                    old as $prim
+                } else {
+                    self.std.swap(v, ord)
+                }
+            }
+
+            /// Atomic compare-and-exchange.
+            pub fn compare_exchange(
+                &self,
+                current: $prim,
+                new: $prim,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$prim, $prim> {
+                if exec::active() {
+                    exec::schedule_point();
+                    let res = exec::rmw(
+                        self.loc(),
+                        |cur| (cur == current as u64).then_some(new as u64),
+                        success,
+                        failure,
+                    );
+                    if res.is_ok() {
+                        self.std.store(new, Ordering::Relaxed);
+                    }
+                    res.map(|v| v as $prim).map_err(|v| v as $prim)
+                } else {
+                    self.std.compare_exchange(current, new, success, failure)
+                }
+            }
+
+            /// Atomic compare-and-exchange; in the model this is as strong
+            /// as [`compare_exchange`](Self::compare_exchange) (see module
+            /// docs).
+            pub fn compare_exchange_weak(
+                &self,
+                current: $prim,
+                new: $prim,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$prim, $prim> {
+                if exec::active() {
+                    self.compare_exchange(current, new, success, failure)
+                } else {
+                    self.std.compare_exchange_weak(current, new, success, failure)
+                }
+            }
+
+            /// Atomic wrapping add, returning the previous value.
+            pub fn fetch_add(&self, d: $prim, ord: Ordering) -> $prim {
+                self.fetch_update_model(ord, |cur| cur.wrapping_add(d as u64), || {
+                    self.std.fetch_add(d, ord)
+                })
+            }
+
+            /// Atomic wrapping subtract, returning the previous value.
+            pub fn fetch_sub(&self, d: $prim, ord: Ordering) -> $prim {
+                self.fetch_update_model(ord, |cur| cur.wrapping_sub(d as u64), || {
+                    self.std.fetch_sub(d, ord)
+                })
+            }
+
+            fn fetch_update_model(
+                &self,
+                ord: Ordering,
+                f: impl Fn(u64) -> u64,
+                real: impl FnOnce() -> $prim,
+            ) -> $prim {
+                if exec::active() {
+                    exec::schedule_point();
+                    let old = exec::rmw(self.loc(), |cur| Some(f(cur)), ord, Ordering::Relaxed)
+                        .expect("unconditional rmw");
+                    self.std.store(f(old) as $prim, Ordering::Relaxed);
+                    old as $prim
+                } else {
+                    real()
+                }
+            }
+
+            /// Exclusive access to the value (always served by the mirror,
+            /// which holds the newest store during a model run).
+            pub fn get_mut(&mut self) -> &mut $prim {
+                self.std.get_mut()
+            }
+
+            /// Consumes the atomic, returning its value.
+            pub fn into_inner(self) -> $prim {
+                self.std.into_inner()
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.debug_tuple(stringify!($name))
+                    .field(&self.std.load(Ordering::Relaxed))
+                    .finish()
+            }
+        }
+
+        impl Default for $name {
+            fn default() -> $name {
+                $name::new(<$prim>::default())
+            }
+        }
+    };
+}
+
+int_atomic!(
+    /// Model-checked stand-in for [`std::sync::atomic::AtomicUsize`].
+    AtomicUsize,
+    usize,
+    std::sync::atomic::AtomicUsize
+);
+int_atomic!(
+    /// Model-checked stand-in for [`std::sync::atomic::AtomicIsize`].
+    AtomicIsize,
+    isize,
+    std::sync::atomic::AtomicIsize
+);
+int_atomic!(
+    /// Model-checked stand-in for [`std::sync::atomic::AtomicU64`].
+    AtomicU64,
+    u64,
+    std::sync::atomic::AtomicU64
+);
+
+/// Model-checked stand-in for [`std::sync::atomic::AtomicBool`].
+pub struct AtomicBool {
+    std: std::sync::atomic::AtomicBool,
+    loc: LocCell,
+}
+
+impl AtomicBool {
+    /// Creates a new atomic with the given initial value.
+    pub const fn new(v: bool) -> AtomicBool {
+        AtomicBool {
+            std: std::sync::atomic::AtomicBool::new(v),
+            loc: LocCell::new(0),
+        }
+    }
+
+    fn loc(&self) -> usize {
+        exec::resolve_loc(&self.loc, self.std.load(Ordering::Relaxed) as u64)
+    }
+
+    /// Atomic load.
+    pub fn load(&self, ord: Ordering) -> bool {
+        if exec::active() {
+            exec::schedule_point();
+            exec::load(self.loc(), ord) != 0
+        } else {
+            self.std.load(ord)
+        }
+    }
+
+    /// Atomic store.
+    pub fn store(&self, v: bool, ord: Ordering) {
+        if exec::active() {
+            exec::schedule_point();
+            exec::store(self.loc(), v as u64, ord);
+            self.std.store(v, Ordering::Relaxed);
+        } else {
+            self.std.store(v, ord);
+        }
+    }
+
+    /// Atomic swap.
+    pub fn swap(&self, v: bool, ord: Ordering) -> bool {
+        if exec::active() {
+            exec::schedule_point();
+            let old = exec::rmw(self.loc(), |_| Some(v as u64), ord, Ordering::Relaxed)
+                .expect("unconditional rmw");
+            self.std.store(v, Ordering::Relaxed);
+            old != 0
+        } else {
+            self.std.swap(v, ord)
+        }
+    }
+
+    /// Exclusive access to the value.
+    pub fn get_mut(&mut self) -> &mut bool {
+        self.std.get_mut()
+    }
+}
+
+impl fmt::Debug for AtomicBool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("AtomicBool")
+            .field(&self.std.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl Default for AtomicBool {
+    fn default() -> AtomicBool {
+        AtomicBool::new(false)
+    }
+}
+
+/// Model-checked stand-in for [`std::sync::atomic::AtomicPtr`].
+pub struct AtomicPtr<T> {
+    std: std::sync::atomic::AtomicPtr<T>,
+    loc: LocCell,
+}
+
+impl<T> AtomicPtr<T> {
+    /// Creates a new atomic with the given initial pointer.
+    pub const fn new(p: *mut T) -> AtomicPtr<T> {
+        AtomicPtr {
+            std: std::sync::atomic::AtomicPtr::new(p),
+            loc: LocCell::new(0),
+        }
+    }
+
+    fn loc(&self) -> usize {
+        exec::resolve_loc(&self.loc, self.std.load(Ordering::Relaxed) as u64)
+    }
+
+    /// Atomic load.
+    pub fn load(&self, ord: Ordering) -> *mut T {
+        if exec::active() {
+            exec::schedule_point();
+            exec::load(self.loc(), ord) as *mut T
+        } else {
+            self.std.load(ord)
+        }
+    }
+
+    /// Atomic store.
+    pub fn store(&self, p: *mut T, ord: Ordering) {
+        if exec::active() {
+            exec::schedule_point();
+            exec::store(self.loc(), p as u64, ord);
+            self.std.store(p, Ordering::Relaxed);
+        } else {
+            self.std.store(p, ord);
+        }
+    }
+
+    /// Atomic swap.
+    pub fn swap(&self, p: *mut T, ord: Ordering) -> *mut T {
+        if exec::active() {
+            exec::schedule_point();
+            let old = exec::rmw(self.loc(), |_| Some(p as u64), ord, Ordering::Relaxed)
+                .expect("unconditional rmw");
+            self.std.store(p, Ordering::Relaxed);
+            old as *mut T
+        } else {
+            self.std.swap(p, ord)
+        }
+    }
+
+    /// Atomic compare-and-exchange.
+    pub fn compare_exchange(
+        &self,
+        current: *mut T,
+        new: *mut T,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<*mut T, *mut T> {
+        if exec::active() {
+            exec::schedule_point();
+            let res = exec::rmw(
+                self.loc(),
+                |cur| (cur == current as u64).then_some(new as u64),
+                success,
+                failure,
+            );
+            if res.is_ok() {
+                self.std.store(new, Ordering::Relaxed);
+            }
+            res.map(|v| v as *mut T).map_err(|v| v as *mut T)
+        } else {
+            self.std.compare_exchange(current, new, success, failure)
+        }
+    }
+
+    /// Atomic compare-and-exchange; as strong as
+    /// [`compare_exchange`](Self::compare_exchange) in the model.
+    pub fn compare_exchange_weak(
+        &self,
+        current: *mut T,
+        new: *mut T,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<*mut T, *mut T> {
+        if exec::active() {
+            self.compare_exchange(current, new, success, failure)
+        } else {
+            self.std
+                .compare_exchange_weak(current, new, success, failure)
+        }
+    }
+
+    /// Exclusive access to the pointer.
+    pub fn get_mut(&mut self) -> &mut *mut T {
+        self.std.get_mut()
+    }
+}
+
+impl<T> fmt::Debug for AtomicPtr<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("AtomicPtr")
+            .field(&self.std.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl<T> Default for AtomicPtr<T> {
+    fn default() -> AtomicPtr<T> {
+        AtomicPtr::new(std::ptr::null_mut())
+    }
+}
+
+/// Model-checked stand-in for [`std::sync::atomic::fence`].
+pub fn fence(ord: Ordering) {
+    if exec::active() {
+        exec::schedule_point();
+        exec::fence(ord);
+    } else {
+        std::sync::atomic::fence(ord);
+    }
+}

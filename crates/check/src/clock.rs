@@ -1,0 +1,115 @@
+//! Vector clocks and thread views for the operational memory model.
+
+/// A plain vector clock over model-thread ids.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub(crate) struct VClock {
+    slots: Vec<u32>,
+}
+
+impl VClock {
+    pub(crate) fn get(&self, thread: usize) -> u32 {
+        self.slots.get(thread).copied().unwrap_or(0)
+    }
+
+    pub(crate) fn set(&mut self, thread: usize, time: u32) {
+        if self.slots.len() <= thread {
+            self.slots.resize(thread + 1, 0);
+        }
+        self.slots[thread] = time;
+    }
+
+    pub(crate) fn join(&mut self, other: &VClock) {
+        if self.slots.len() < other.slots.len() {
+            self.slots.resize(other.slots.len(), 0);
+        }
+        for (mine, theirs) in self.slots.iter_mut().zip(other.slots.iter()) {
+            *mine = (*mine).max(*theirs);
+        }
+    }
+}
+
+/// Everything a thread "knows": which store events happen-before it (the
+/// vector clock) and, per location, the oldest store it is still allowed to
+/// read (the coherence floor, maintaining read-read coherence across both
+/// program order and synchronizes-with edges).
+///
+/// Release messages carry a full `View` snapshot so that acquiring a store
+/// transfers not only the writer's event knowledge but also its read
+/// obligations — C11 coherence (CoRR) applies across happens-before, not just
+/// within one thread.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct View {
+    pub(crate) clock: VClock,
+    floors: Vec<usize>,
+}
+
+impl View {
+    /// Index of the oldest store of `loc` this view may still read.
+    pub(crate) fn floor(&self, loc: usize) -> usize {
+        self.floors.get(loc).copied().unwrap_or(0)
+    }
+
+    /// Raises the coherence floor for `loc` to at least `store_index`.
+    pub(crate) fn raise_floor(&mut self, loc: usize, store_index: usize) {
+        if self.floors.len() <= loc {
+            self.floors.resize(loc + 1, 0);
+        }
+        self.floors[loc] = self.floors[loc].max(store_index);
+    }
+
+    /// Whether the store event `(writer, time)` happens-before this view.
+    /// The initial store of every location (no writer) is always known.
+    pub(crate) fn knows(&self, writer: usize, time: u32) -> bool {
+        writer == usize::MAX || self.clock.get(writer) >= time
+    }
+
+    pub(crate) fn join(&mut self, other: &View) {
+        self.clock.join(&other.clock);
+        if self.floors.len() < other.floors.len() {
+            self.floors.resize(other.floors.len(), 0);
+        }
+        for (mine, theirs) in self.floors.iter_mut().zip(other.floors.iter()) {
+            *mine = (*mine).max(*theirs);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_join_is_pointwise_max() {
+        let mut a = VClock::default();
+        a.set(0, 3);
+        a.set(2, 1);
+        let mut b = VClock::default();
+        b.set(0, 1);
+        b.set(1, 7);
+        a.join(&b);
+        assert_eq!(a.get(0), 3);
+        assert_eq!(a.get(1), 7);
+        assert_eq!(a.get(2), 1);
+        assert_eq!(a.get(9), 0);
+    }
+
+    #[test]
+    fn view_floors_join_and_raise() {
+        let mut v = View::default();
+        assert_eq!(v.floor(4), 0);
+        v.raise_floor(4, 2);
+        v.raise_floor(4, 1);
+        assert_eq!(v.floor(4), 2);
+        let mut w = View::default();
+        w.raise_floor(4, 5);
+        v.join(&w);
+        assert_eq!(v.floor(4), 5);
+    }
+
+    #[test]
+    fn init_store_is_always_known() {
+        let v = View::default();
+        assert!(v.knows(usize::MAX, 0));
+        assert!(!v.knows(0, 1));
+    }
+}

@@ -1,0 +1,636 @@
+//! Per-OS-thread model-execution state: fibers for model threads, the
+//! operational weak-memory model, and the host-side scheduling hooks.
+//!
+//! ## The memory model, operationally
+//!
+//! Every shimmed atomic location keeps its full *store history* (modification
+//! order).  Each model thread carries a [`View`]: a vector clock of store
+//! events it has synchronized with plus per-location coherence floors.  A
+//! load may read any store `i` of the history such that
+//!
+//! 1. no *newer* store `j > i` is known to the thread's view (write-read
+//!    coherence / happens-before visibility), and
+//! 2. `i` is at or above the thread's coherence floor for the location
+//!    (read-read coherence, transferred across synchronizes-with edges
+//!    because release messages carry full views).
+//!
+//! Release-ish stores attach a snapshot of the writer's view as a *message*;
+//! acquire-ish loads join it.  RMWs always read the newest store (atomicity)
+//! and continue the release sequence of the store they replace.  `SeqCst`
+//! operations and fences additionally join a global `sc_view` in both
+//! directions, which realizes "SC operations are totally ordered by execution
+//! order" — slightly stronger than C11's mixed-ordering corner cases, i.e.
+//! the checker may miss exotic SC-vs-relaxed bugs but never reports a
+//! spurious one.
+//!
+//! The nondeterminism — which thread steps next, which candidate store a
+//! load returns — is resolved by the [`Trail`](crate::trail::Trail), so the
+//! whole space is explored by iterative DFS.
+
+use crate::clock::View;
+use crate::trail::Trail;
+use std::any::Any;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU32, Ordering};
+use sting_context::{Fiber, Stack, Suspender};
+
+/// A model fiber: no inputs, no yield payloads, no result.
+pub(crate) type ModelFiber = Fiber<(), (), ()>;
+type ModelSuspender = Suspender<(), (), ()>;
+
+/// Tuning knobs copied out of the [`Builder`](crate::Builder).
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Opts {
+    pub(crate) preemption_bound: Option<u32>,
+    pub(crate) max_ops: u64,
+    pub(crate) stack_size: usize,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Status {
+    Runnable,
+    Blocked(usize),
+    Finished,
+}
+
+pub(crate) struct ModelThread {
+    fiber: Option<ModelFiber>,
+    suspender: usize,
+    pub(crate) status: Status,
+    view: View,
+    time: u32,
+    result: Option<Box<dyn Any + Send>>,
+}
+
+/// One store in a location's modification order.
+struct Store {
+    val: u64,
+    /// Writing thread, or `usize::MAX` for the initial value.
+    writer: usize,
+    /// The writer's event time for this store (0 for the initial value).
+    time: u32,
+    /// Release message: the writer's view at the store, if release-ish
+    /// (possibly inherited through a release sequence of RMWs).
+    msg: Option<Box<View>>,
+}
+
+struct Location {
+    stores: Vec<Store>,
+}
+
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum OpKind {
+    Load,
+    Store,
+    RmwOk,
+    RmwFail,
+    Fence,
+    Spawn,
+    Finish,
+    Pick,
+}
+
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct OpRecord {
+    pub(crate) thread: usize,
+    pub(crate) kind: OpKind,
+    pub(crate) loc: usize,
+    pub(crate) a: u64,
+    pub(crate) b: u64,
+    pub(crate) ord: Ordering,
+}
+
+/// All state of one model execution (plus the cross-execution trail).
+pub(crate) struct ModelState {
+    gen: u32,
+    opts: Opts,
+    pub(crate) trail: Trail,
+    threads: Vec<ModelThread>,
+    locations: Vec<Location>,
+    sc_view: View,
+    current: usize,
+    ops: u64,
+    preemptions: u32,
+    cleanup: bool,
+    pub(crate) log: Vec<OpRecord>,
+}
+
+thread_local! {
+    static MODEL: RefCell<Option<ModelState>> = const { RefCell::new(None) };
+}
+
+/// Execution generations, so a shim object surviving across executions (or
+/// across `model()` calls) never resolves to a stale location id.
+static GENERATION: AtomicU32 = AtomicU32::new(1);
+
+impl ModelState {
+    pub(crate) fn new(opts: Opts, trail: Trail) -> ModelState {
+        ModelState {
+            gen: GENERATION.fetch_add(1, Ordering::Relaxed),
+            opts,
+            trail,
+            threads: Vec::new(),
+            locations: Vec::new(),
+            sc_view: View::default(),
+            current: 0,
+            ops: 0,
+            preemptions: 0,
+            cleanup: false,
+            log: Vec::new(),
+        }
+    }
+}
+
+pub(crate) fn install(state: ModelState) {
+    MODEL.with(|m| {
+        let mut slot = m.borrow_mut();
+        assert!(slot.is_none(), "a model is already running on this thread");
+        *slot = Some(state);
+    });
+}
+
+pub(crate) fn uninstall() -> ModelState {
+    MODEL.with(|m| m.borrow_mut().take().expect("no model installed"))
+}
+
+/// Whether shim operations should route through the model.
+pub(crate) fn active() -> bool {
+    MODEL.with(|m| m.borrow().as_ref().is_some_and(|st| !st.cleanup))
+}
+
+fn with<R>(f: impl FnOnce(&mut ModelState) -> R) -> R {
+    MODEL.with(|m| f(m.borrow_mut().as_mut().expect("no model active")))
+}
+
+/// Suspends the current model thread, handing control to the host scheduler.
+/// Called before every shimmed operation; a no-op outside a model run or
+/// during cleanup.
+pub(crate) fn schedule_point() {
+    let sus = MODEL.with(|m| match m.borrow().as_ref() {
+        Some(st) if !st.cleanup => st.threads[st.current].suspender,
+        _ => 0,
+    });
+    if sus != 0 {
+        // SAFETY: the pointer was registered by the current fiber at entry
+        // and stays valid until the fiber completes; only the running fiber
+        // (us) dereferences it, and the host never touches it concurrently
+        // because host and fibers share one OS thread.
+        unsafe { (*(sus as *mut ModelSuspender)).suspend(()) }
+    }
+}
+
+fn count_op(st: &mut ModelState) {
+    st.ops += 1;
+    assert!(
+        st.ops <= st.opts.max_ops,
+        "model execution exceeded {} operations — livelock, or raise \
+         Builder::max_ops",
+        st.opts.max_ops
+    );
+}
+
+fn push_log(st: &mut ModelState, rec: OpRecord) {
+    st.log.push(rec);
+}
+
+/// Resolves a shim object's location id, registering the location (seeded
+/// with the object's current real value) on first use in this execution.
+pub(crate) fn resolve_loc(cell: &std::sync::atomic::AtomicU64, current_real: u64) -> usize {
+    with(|st| {
+        let raw = cell.load(Ordering::Relaxed);
+        let (gen, id) = ((raw >> 32) as u32, (raw & 0xffff_ffff) as u32);
+        if gen == st.gen && id != 0 {
+            return (id - 1) as usize;
+        }
+        let id = st.locations.len();
+        st.locations.push(Location {
+            stores: vec![Store {
+                val: current_real,
+                writer: usize::MAX,
+                time: 0,
+                msg: None,
+            }],
+        });
+        cell.store(((st.gen as u64) << 32) | (id as u64 + 1), Ordering::Relaxed);
+        id
+    })
+}
+
+fn is_acquire(ord: Ordering) -> bool {
+    matches!(ord, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+fn is_release(ord: Ordering) -> bool {
+    matches!(ord, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+/// An atomic load of `loc`; the returned value is chosen by the trail among
+/// all stores the memory model permits.
+pub(crate) fn load(loc: usize, ord: Ordering) -> u64 {
+    with(|st| {
+        count_op(st);
+        let t = st.current;
+        if ord == Ordering::SeqCst {
+            let sc = st.sc_view.clone();
+            st.threads[t].view.join(&sc);
+        }
+        let stores = &st.locations[loc].stores;
+        let n = stores.len();
+        let view = &st.threads[t].view;
+        let mut min = view.floor(loc).min(n - 1);
+        for (i, s) in stores.iter().enumerate().rev() {
+            if view.knows(s.writer, s.time) {
+                min = min.max(i);
+                break;
+            }
+        }
+        let k = (n - min) as u32;
+        let pick = n - 1 - st.trail.choose(k) as usize;
+        let (val, msg) = {
+            let s = &st.locations[loc].stores[pick];
+            (s.val, s.msg.clone())
+        };
+        let th = &mut st.threads[t];
+        th.view.raise_floor(loc, pick);
+        if is_acquire(ord) {
+            if let Some(m) = msg {
+                th.view.join(&m);
+            }
+        }
+        push_log(
+            st,
+            OpRecord {
+                thread: t,
+                kind: OpKind::Load,
+                loc,
+                a: val,
+                b: pick as u64,
+                ord,
+            },
+        );
+        val
+    })
+}
+
+/// An atomic store to `loc`.
+pub(crate) fn store(loc: usize, val: u64, ord: Ordering) {
+    with(|st| {
+        count_op(st);
+        let t = st.current;
+        if ord == Ordering::SeqCst {
+            let sc = st.sc_view.clone();
+            st.threads[t].view.join(&sc);
+        }
+        let idx = st.locations[loc].stores.len();
+        let th = &mut st.threads[t];
+        th.time += 1;
+        let time = th.time;
+        th.view.clock.set(t, time);
+        th.view.raise_floor(loc, idx);
+        let msg = is_release(ord).then(|| Box::new(th.view.clone()));
+        if ord == Ordering::SeqCst {
+            let v = th.view.clone();
+            st.sc_view.join(&v);
+        }
+        st.locations[loc].stores.push(Store {
+            val,
+            writer: t,
+            time,
+            msg,
+        });
+        push_log(
+            st,
+            OpRecord {
+                thread: t,
+                kind: OpKind::Store,
+                loc,
+                a: val,
+                b: 0,
+                ord,
+            },
+        );
+    })
+}
+
+/// An atomic read-modify-write on `loc`.  `f` sees the *newest* store
+/// (atomicity) and returns `Some(new)` to commit or `None` to fail (CAS
+/// mismatch).  Returns the observed value like the std `compare_exchange`
+/// family.
+pub(crate) fn rmw(
+    loc: usize,
+    f: impl FnOnce(u64) -> Option<u64>,
+    success: Ordering,
+    failure: Ordering,
+) -> Result<u64, u64> {
+    with(|st| {
+        count_op(st);
+        let t = st.current;
+        if success == Ordering::SeqCst || failure == Ordering::SeqCst {
+            let sc = st.sc_view.clone();
+            st.threads[t].view.join(&sc);
+        }
+        let n = st.locations[loc].stores.len();
+        let (cur, prev_msg) = {
+            let s = &st.locations[loc].stores[n - 1];
+            (s.val, s.msg.clone())
+        };
+        match f(cur) {
+            None => {
+                let th = &mut st.threads[t];
+                th.view.raise_floor(loc, n - 1);
+                if is_acquire(failure) {
+                    if let Some(m) = prev_msg {
+                        th.view.join(&m);
+                    }
+                }
+                push_log(
+                    st,
+                    OpRecord {
+                        thread: t,
+                        kind: OpKind::RmwFail,
+                        loc,
+                        a: cur,
+                        b: 0,
+                        ord: failure,
+                    },
+                );
+                Err(cur)
+            }
+            Some(new) => {
+                let th = &mut st.threads[t];
+                if is_acquire(success) {
+                    if let Some(m) = &prev_msg {
+                        th.view.join(m);
+                    }
+                }
+                th.time += 1;
+                let time = th.time;
+                th.view.clock.set(t, time);
+                th.view.raise_floor(loc, n);
+                // An RMW continues the release sequence of the store it
+                // replaces: acquiring readers of the new store synchronize
+                // with the head of the sequence even if this RMW is relaxed.
+                let msg = if is_release(success) {
+                    Some(match prev_msg {
+                        Some(mut m) => {
+                            m.join(&th.view);
+                            m
+                        }
+                        None => Box::new(th.view.clone()),
+                    })
+                } else {
+                    prev_msg
+                };
+                if success == Ordering::SeqCst {
+                    let v = th.view.clone();
+                    st.sc_view.join(&v);
+                }
+                st.locations[loc].stores.push(Store {
+                    val: new,
+                    writer: t,
+                    time,
+                    msg,
+                });
+                push_log(
+                    st,
+                    OpRecord {
+                        thread: t,
+                        kind: OpKind::RmwOk,
+                        loc,
+                        a: cur,
+                        b: new,
+                        ord: success,
+                    },
+                );
+                Ok(cur)
+            }
+        }
+    })
+}
+
+/// An atomic fence.  Only `SeqCst` fences are modeled (the substrate uses no
+/// weaker ones); anything else aborts the execution loudly rather than being
+/// silently mis-modeled.
+pub(crate) fn fence(ord: Ordering) {
+    with(|st| {
+        count_op(st);
+        let t = st.current;
+        assert!(
+            ord == Ordering::SeqCst,
+            "sting-check models only SeqCst fences (got {ord:?})"
+        );
+        let sc = st.sc_view.clone();
+        st.threads[t].view.join(&sc);
+        let v = st.threads[t].view.clone();
+        st.sc_view.join(&v);
+        push_log(
+            st,
+            OpRecord {
+                thread: t,
+                kind: OpKind::Fence,
+                loc: usize::MAX,
+                a: 0,
+                b: 0,
+                ord,
+            },
+        );
+    })
+}
+
+/// Creates a model thread running `body`, inheriting the spawner's view
+/// (spawn is a happens-before edge).  Thread 0 is the scenario root.
+pub(crate) fn spawn_thread(body: Box<dyn FnOnce() + Send>) -> usize {
+    let (id, stack_size) = with(|st| {
+        let id = st.threads.len();
+        let view = if st.threads.is_empty() {
+            View::default()
+        } else {
+            st.threads[st.current].view.clone()
+        };
+        st.threads.push(ModelThread {
+            fiber: None,
+            suspender: 0,
+            status: Status::Runnable,
+            view,
+            time: 0,
+            result: None,
+        });
+        let t = st.current;
+        push_log(
+            st,
+            OpRecord {
+                thread: t,
+                kind: OpKind::Spawn,
+                loc: usize::MAX,
+                a: id as u64,
+                b: 0,
+                ord: Ordering::Relaxed,
+            },
+        );
+        (id, st.opts.stack_size)
+    });
+    let fiber = Fiber::new(
+        Stack::new(stack_size),
+        move |sus: &mut ModelSuspender, ()| {
+            let ptr = sus as *mut ModelSuspender as usize;
+            with(|st| st.threads[id].suspender = ptr);
+            body();
+        },
+    );
+    with(|st| st.threads[id].fiber = Some(fiber));
+    id
+}
+
+/// Records the finished thread's return value for `join`.
+pub(crate) fn store_result(id: usize, result: Box<dyn Any + Send>) {
+    with(|st| st.threads[id].result = Some(result));
+}
+
+/// Id of the running model thread.
+pub(crate) fn current_id() -> usize {
+    with(|st| st.current)
+}
+
+/// Join attempt: on `Some`, the target finished and its final view has been
+/// joined into the caller (join is a happens-before edge).  On `None`, the
+/// caller has been marked blocked and must suspend.
+pub(crate) fn try_join(target: usize) -> Option<Box<dyn Any + Send>> {
+    with(|st| {
+        if st.threads[target].status == Status::Finished {
+            let tv = st.threads[target].view.clone();
+            let cur = st.current;
+            st.threads[cur].view.join(&tv);
+            Some(
+                st.threads[target]
+                    .result
+                    .take()
+                    .expect("model thread result already taken"),
+            )
+        } else {
+            let cur = st.current;
+            st.threads[cur].status = Status::Blocked(target);
+            None
+        }
+    })
+}
+
+/// What the host scheduler should do next.
+pub(crate) enum HostAction {
+    /// Resume this thread (its fiber is handed out; return it via
+    /// [`host_yielded`] or report completion via [`host_finished`]).
+    Run(usize, ModelFiber),
+    /// All threads finished.
+    Done,
+    /// Runnable set is empty but threads remain: deadlock.
+    Deadlock(String),
+}
+
+/// Picks the next thread to run, consuming one trail choice.  Candidate 0 is
+/// always "continue the current thread" when possible, so the greedy first
+/// execution is a plain sequential run and alternatives count as
+/// preemptions against the optional bound.
+pub(crate) fn host_pick() -> HostAction {
+    with(|st| {
+        let runnable: Vec<usize> = st
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.status == Status::Runnable)
+            .map(|(i, _)| i)
+            .collect();
+        if runnable.is_empty() {
+            if st.threads.iter().all(|t| t.status == Status::Finished) {
+                return HostAction::Done;
+            }
+            let blocked: Vec<String> = st
+                .threads
+                .iter()
+                .enumerate()
+                .filter_map(|(i, t)| match t.status {
+                    Status::Blocked(on) => Some(format!("thread {i} waits on thread {on}")),
+                    _ => None,
+                })
+                .collect();
+            return HostAction::Deadlock(format!(
+                "model deadlock: no runnable threads ({})",
+                blocked.join(", ")
+            ));
+        }
+        let cur = st.current;
+        let cur_runnable = runnable.contains(&cur);
+        let budget_left = st.opts.preemption_bound.is_none_or(|b| st.preemptions < b);
+        let pick = if cur_runnable && !budget_left {
+            cur
+        } else {
+            let cands: Vec<usize> = if cur_runnable {
+                std::iter::once(cur)
+                    .chain(runnable.iter().copied().filter(|&i| i != cur))
+                    .collect()
+            } else {
+                runnable
+            };
+            cands[st.trail.choose(cands.len() as u32) as usize]
+        };
+        if cur_runnable && pick != cur {
+            st.preemptions += 1;
+        }
+        st.current = pick;
+        push_log(
+            st,
+            OpRecord {
+                thread: pick,
+                kind: OpKind::Pick,
+                loc: usize::MAX,
+                a: pick as u64,
+                b: 0,
+                ord: Ordering::Relaxed,
+            },
+        );
+        let fiber = st.threads[pick]
+            .fiber
+            .take()
+            .expect("runnable model thread has no fiber");
+        HostAction::Run(pick, fiber)
+    })
+}
+
+/// Returns a yielded thread's fiber to its slot.
+pub(crate) fn host_yielded(id: usize, fiber: ModelFiber) {
+    with(|st| st.threads[id].fiber = Some(fiber));
+}
+
+/// Marks a thread finished and wakes any joiners.
+pub(crate) fn host_finished(id: usize) {
+    with(|st| {
+        st.threads[id].status = Status::Finished;
+        for th in st.threads.iter_mut() {
+            if th.status == Status::Blocked(id) {
+                th.status = Status::Runnable;
+            }
+        }
+        push_log(
+            st,
+            OpRecord {
+                thread: id,
+                kind: OpKind::Finish,
+                loc: usize::MAX,
+                a: 0,
+                b: 0,
+                ord: Ordering::Relaxed,
+            },
+        );
+    })
+}
+
+/// Enters cleanup mode (shim ops bypass the model from here on) and hands
+/// back every remaining fiber so the caller can drop them — force-unwinding
+/// suspended scenario threads — outside the state borrow.
+pub(crate) fn begin_cleanup() -> Vec<ModelFiber> {
+    with(|st| {
+        st.cleanup = true;
+        st.threads
+            .iter_mut()
+            .filter_map(|t| t.fiber.take())
+            .collect()
+    })
+}

@@ -1,0 +1,242 @@
+//! The exploration driver: runs a scenario closure under every interleaving
+//! the trail enumerates, reporting the first failing execution in detail.
+
+use crate::exec::{self, HostAction, ModelState, OpKind, OpRecord, Opts};
+use crate::trail::Trail;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Arc;
+use sting_context::FiberResult;
+
+/// Configuration for a model-checking run.
+#[derive(Clone, Copy, Debug)]
+pub struct Builder {
+    /// Maximum number of involuntary context switches per execution
+    /// (`None` = unbounded, i.e. fully exhaustive exploration).  Bounding
+    /// preemptions keeps three-thread scenarios tractable; the classic
+    /// CHESS result is that almost all concurrency bugs manifest within
+    /// two or three preemptions.
+    pub preemption_bound: Option<u32>,
+    /// Abort (as a failure) any single execution longer than this many
+    /// shimmed operations — a livelock detector.
+    pub max_ops: u64,
+    /// Abort the whole run after this many executions; a state-space
+    /// explosion guard, not a correctness bound.
+    pub max_executions: u64,
+    /// Stack size for model-thread fibers.
+    pub stack_size: usize,
+}
+
+impl Default for Builder {
+    fn default() -> Builder {
+        Builder {
+            preemption_bound: None,
+            max_ops: 20_000,
+            max_executions: 5_000_000,
+            stack_size: 128 * 1024,
+        }
+    }
+}
+
+/// Statistics from a completed (fully explored) model run.
+#[derive(Clone, Copy, Debug)]
+pub struct Explored {
+    /// Number of distinct executions (interleaving × load-value choices).
+    pub executions: u64,
+}
+
+impl Builder {
+    /// Explores every execution of `scenario`.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a detailed report if any execution panics (assertion
+    /// failure in the scenario, livelock, or deadlock).
+    pub fn check<F>(&self, scenario: F) -> Explored
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let scenario: Arc<dyn Fn() + Send + Sync> = Arc::new(scenario);
+        let opts = Opts {
+            preemption_bound: self.preemption_bound,
+            max_ops: self.max_ops,
+            stack_size: self.stack_size,
+        };
+        let mut trail = Trail::default();
+        let mut executions: u64 = 0;
+        loop {
+            executions += 1;
+            assert!(
+                executions <= self.max_executions,
+                "model exceeded {} executions; bound preemptions or shrink \
+                 the scenario",
+                self.max_executions
+            );
+            trail.begin();
+            if let Err(report) = run_one(opts, &scenario, &mut trail, executions) {
+                panic!("{report}");
+            }
+            if !trail.advance() {
+                break;
+            }
+        }
+        Explored { executions }
+    }
+}
+
+/// Explores `scenario` exhaustively with the default [`Builder`].
+pub fn model<F>(scenario: F) -> Explored
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    Builder::default().check(scenario)
+}
+
+/// Explores `scenario` with a preemption bound — use for three-plus-thread
+/// scenarios where exhaustive exploration is intractable.
+pub fn model_bounded<F>(preemptions: u32, scenario: F) -> Explored
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    Builder {
+        preemption_bound: Some(preemptions),
+        ..Builder::default()
+    }
+    .check(scenario)
+}
+
+/// Asserts that the checker *finds* a failing execution of `scenario`, and
+/// returns the failure report.  This is the mutation-testing helper: weaken
+/// an ordering a protocol depends on and prove the checker notices.
+///
+/// # Panics
+///
+/// Panics if every execution of `scenario` passes.
+pub fn model_expect_failure<F>(scenario: F) -> String
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    match panic::catch_unwind(AssertUnwindSafe(|| model(scenario))) {
+        Ok(explored) => panic!(
+            "expected the model checker to find a failure, but all {} \
+             executions passed",
+            explored.executions
+        ),
+        Err(payload) => payload_message(&*payload),
+    }
+}
+
+/// Like [`model_expect_failure`] but with a preemption bound.
+pub fn model_bounded_expect_failure<F>(preemptions: u32, scenario: F) -> String
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    match panic::catch_unwind(AssertUnwindSafe(|| model_bounded(preemptions, scenario))) {
+        Ok(explored) => panic!(
+            "expected the model checker to find a failure, but all {} \
+             executions passed",
+            explored.executions
+        ),
+        Err(payload) => payload_message(&*payload),
+    }
+}
+
+fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+fn run_one(
+    opts: Opts,
+    scenario: &Arc<dyn Fn() + Send + Sync>,
+    trail: &mut Trail,
+    execution: u64,
+) -> Result<(), String> {
+    exec::install(ModelState::new(opts, std::mem::take(trail)));
+    let root = scenario.clone();
+    exec::spawn_thread(Box::new(move || root()));
+
+    let mut failure: Option<String> = None;
+    loop {
+        match exec::host_pick() {
+            HostAction::Done => break,
+            HostAction::Deadlock(msg) => {
+                failure = Some(msg);
+                break;
+            }
+            HostAction::Run(id, mut fiber) => {
+                match panic::catch_unwind(AssertUnwindSafe(|| fiber.resume(()))) {
+                    Ok(FiberResult::Yield(())) => exec::host_yielded(id, fiber),
+                    Ok(FiberResult::Return(())) => exec::host_finished(id),
+                    Err(payload) => {
+                        failure = Some(payload_message(&*payload));
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    // Cleanup mode first: the forced unwinds below run scenario destructors
+    // (which may touch shim atomics) and must bypass the model.
+    let fibers = exec::begin_cleanup();
+    drop(fibers);
+    let state = exec::uninstall();
+    let depth = state.trail.depth();
+    *trail = state.trail;
+
+    match failure {
+        None => Ok(()),
+        Some(msg) => Err(render_failure(&msg, execution, depth, &state.log)),
+    }
+}
+
+fn render_failure(msg: &str, execution: u64, depth: usize, log: &[OpRecord]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "model check failed: {msg}");
+    let _ = writeln!(
+        out,
+        "(execution #{execution}, {depth} recorded choice points)"
+    );
+    let _ = writeln!(
+        out,
+        "--- failing execution (last {} ops) ---",
+        log.len().min(160)
+    );
+    let start = log.len().saturating_sub(160);
+    for rec in &log[start..] {
+        let _ = writeln!(out, "{}", render_op(rec));
+    }
+    out
+}
+
+fn render_op(rec: &OpRecord) -> String {
+    let t = rec.thread;
+    match rec.kind {
+        OpKind::Load => format!(
+            "  [t{t}] load   loc{} -> {:#x} (store #{}, {:?})",
+            rec.loc, rec.a, rec.b, rec.ord
+        ),
+        OpKind::Store => format!(
+            "  [t{t}] store  loc{} <- {:#x} ({:?})",
+            rec.loc, rec.a, rec.ord
+        ),
+        OpKind::RmwOk => format!(
+            "  [t{t}] rmw    loc{} {:#x} -> {:#x} ({:?})",
+            rec.loc, rec.a, rec.b, rec.ord
+        ),
+        OpKind::RmwFail => format!(
+            "  [t{t}] rmw-fail loc{} observed {:#x} ({:?})",
+            rec.loc, rec.a, rec.ord
+        ),
+        OpKind::Fence => format!("  [t{t}] fence  ({:?})", rec.ord),
+        OpKind::Spawn => format!("  [t{t}] spawn  t{}", rec.a),
+        OpKind::Finish => format!("  [t{t}] finish"),
+        OpKind::Pick => format!("  ---- run t{} ----", rec.a),
+    }
+}

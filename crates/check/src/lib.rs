@@ -1,0 +1,54 @@
+//! # sting-check — an in-tree interleaving model checker
+//!
+//! A loom-style stateless model checker for the STING substrate's lock-free
+//! core, vendored in-tree because the build environment has no access to
+//! crates.io.  A scenario is a closure over shimmed atomics
+//! ([`atomic::AtomicUsize`], [`atomic::AtomicPtr`], …) and model threads
+//! ([`thread::spawn`]); [`model`] re-runs it under *every* interleaving and
+//! every weak-memory load result an operational C11-style memory model
+//! permits, so assertion failures, deadlocks and livelocks in any execution
+//! are found deterministically and replayed with a readable trace.
+//!
+//! `sting-core` compiles its `deque` and `trace` modules against these shim
+//! atomics when built with `RUSTFLAGS="--cfg sting_check"`, which means the
+//! *production source* — not a transliteration — is what gets checked (see
+//! `crates/core/tests/model.rs` and `./ci.sh check`).
+//!
+//! ## Exploration strategy
+//!
+//! Iterative depth-first search over a trail of choice points (which thread
+//! steps next; which store a load observes), exactly exhaustive by default.
+//! Scenarios with three or more threads can use [`model_bounded`] to cap
+//! the number of preemptions per execution — the CHESS observation that
+//! almost all concurrency bugs need only two or three preemptions keeps
+//! this both fast and effective.
+//!
+//! ## Example
+//!
+//! ```
+//! use sting_check::atomic::{AtomicUsize, Ordering};
+//! use sting_check::{model, thread};
+//! use std::sync::Arc;
+//!
+//! model(|| {
+//!     let x = Arc::new(AtomicUsize::new(0));
+//!     let x2 = x.clone();
+//!     let t = thread::spawn(move || x2.store(1, Ordering::Release));
+//!     let _ = x.load(Ordering::Acquire);
+//!     t.join();
+//!     assert_eq!(x.load(Ordering::Relaxed), 1);
+//! });
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod atomic;
+mod clock;
+mod exec;
+mod explore;
+pub mod thread;
+mod trail;
+
+pub use explore::{
+    model, model_bounded, model_bounded_expect_failure, model_expect_failure, Builder, Explored,
+};

@@ -1,0 +1,63 @@
+//! Model threads: a `std::thread`-shaped spawn/join API whose threads are
+//! fibers scheduled by the explorer.
+//!
+//! Only usable inside a [`model`](crate::model) run.  `spawn` is a
+//! happens-before edge from spawner to child; `join` is one from child exit
+//! to joiner — both are realized as vector-clock joins, exactly like the
+//! real thread API's synchronization guarantees.
+
+use crate::exec;
+use std::marker::PhantomData;
+
+/// Owned permission to join a model thread (like
+/// [`std::thread::JoinHandle`]).
+pub struct JoinHandle<T> {
+    id: usize,
+    _result: PhantomData<T>,
+}
+
+/// Spawns a model thread running `f`.
+///
+/// # Panics
+///
+/// Panics if called outside a model run.
+pub fn spawn<T, F>(f: F) -> JoinHandle<T>
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
+    assert!(
+        exec::active(),
+        "sting_check::thread::spawn outside a model run"
+    );
+    let id = exec::spawn_thread(Box::new(move || {
+        let out = f();
+        let id = exec::current_id();
+        exec::store_result(id, Box::new(out));
+    }));
+    JoinHandle {
+        id,
+        _result: PhantomData,
+    }
+}
+
+impl<T: 'static> JoinHandle<T> {
+    /// Blocks the calling model thread until the target completes, then
+    /// returns its result.
+    ///
+    /// Unlike `std`, a panicking child aborts the whole execution (the
+    /// explorer reports it as the failure), so `join` does not return
+    /// a `Result`.
+    pub fn join(self) -> T {
+        loop {
+            if let Some(result) = exec::try_join(self.id) {
+                return *result
+                    .downcast::<T>()
+                    .expect("model thread result has the spawned type");
+            }
+            // Marked blocked by try_join; the host will not run us again
+            // until the target finishes.
+            exec::schedule_point();
+        }
+    }
+}

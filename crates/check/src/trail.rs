@@ -1,0 +1,130 @@
+//! The DFS trail: a recorded sequence of nondeterministic choices.
+//!
+//! Every execution replays the trail's prefix and extends it greedily with
+//! choice 0 ("continue the current thread" / "read the newest store").  After
+//! an execution finishes, [`Trail::advance`] increments the deepest choice
+//! point that still has untried alternatives and truncates everything after
+//! it — classic iterative depth-first exploration, the same scheme loom uses.
+
+/// One nondeterministic choice point (scheduling pick or load-value pick).
+#[derive(Clone, Copy, Debug)]
+struct Point {
+    taken: u32,
+    total: u32,
+}
+
+/// The exploration trail shared by all executions of one `model()` call.
+#[derive(Debug, Default)]
+pub(crate) struct Trail {
+    points: Vec<Point>,
+    cursor: usize,
+}
+
+impl Trail {
+    /// Rewinds the replay cursor; called before each execution.
+    pub(crate) fn begin(&mut self) {
+        self.cursor = 0;
+    }
+
+    /// Resolves the next choice point with `total` alternatives, returning
+    /// the branch to take (`0..total`).  Forced choices (`total <= 1`) are
+    /// not recorded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a replayed point has a different `total` than it had when
+    /// first recorded — the scenario is nondeterministic (e.g. consulted a
+    /// real clock or unshimmed shared state), which the checker cannot
+    /// explore soundly.
+    pub(crate) fn choose(&mut self, total: u32) -> u32 {
+        if total <= 1 {
+            return 0;
+        }
+        if self.cursor < self.points.len() {
+            let p = self.points[self.cursor];
+            assert_eq!(
+                p.total, total,
+                "model scenario is nondeterministic: a replayed choice point \
+                 changed arity ({} -> {})",
+                p.total, total
+            );
+            self.cursor += 1;
+            p.taken
+        } else {
+            self.points.push(Point { taken: 0, total });
+            self.cursor += 1;
+            0
+        }
+    }
+
+    /// Moves to the next unexplored branch; `false` when the space is
+    /// exhausted.
+    pub(crate) fn advance(&mut self) -> bool {
+        while let Some(last) = self.points.last_mut() {
+            if last.taken + 1 < last.total {
+                last.taken += 1;
+                return true;
+            }
+            self.points.pop();
+        }
+        false
+    }
+
+    /// Number of recorded choice points in the current execution.
+    pub(crate) fn depth(&self) -> usize {
+        self.points.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enumerates_full_tree() {
+        // Two binary choices then one ternary: expect 2*2*3 = 12 executions.
+        let mut t = Trail::default();
+        let mut seen = Vec::new();
+        loop {
+            t.begin();
+            let a = t.choose(2);
+            let b = t.choose(2);
+            let c = t.choose(3);
+            seen.push((a, b, c));
+            if !t.advance() {
+                break;
+            }
+        }
+        assert_eq!(seen.len(), 12);
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), 12);
+    }
+
+    #[test]
+    fn forced_choices_are_free() {
+        let mut t = Trail::default();
+        t.begin();
+        assert_eq!(t.choose(1), 0);
+        assert_eq!(t.depth(), 0);
+        assert!(!t.advance());
+    }
+
+    #[test]
+    fn variable_depth_subtrees() {
+        // choice 0 opens a subtree with an extra choice; choice 1 does not.
+        let mut t = Trail::default();
+        let mut count = 0;
+        loop {
+            t.begin();
+            if t.choose(2) == 0 {
+                t.choose(2);
+            }
+            count += 1;
+            if !t.advance() {
+                break;
+            }
+        }
+        assert_eq!(count, 3); // (0,0), (0,1), (1)
+    }
+}

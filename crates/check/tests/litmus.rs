@@ -1,0 +1,335 @@
+//! Litmus tests for the model checker itself: classic weak-memory shapes
+//! that must (or must not) be observable, plus mutation tests proving the
+//! checker catches protocols whose required orderings were weakened.
+
+use std::sync::Arc;
+use sting_check::atomic::{fence, AtomicUsize, Ordering};
+use sting_check::{
+    model, model_bounded, model_bounded_expect_failure, model_expect_failure, thread,
+};
+
+/// Store buffering with SeqCst: `r0 == 0 && r1 == 0` must be impossible.
+#[test]
+fn store_buffer_seqcst_forbids_both_zero() {
+    let explored = model(|| {
+        let x = Arc::new(AtomicUsize::new(0));
+        let y = Arc::new(AtomicUsize::new(0));
+        let (x2, y2) = (x.clone(), y.clone());
+        let t = thread::spawn(move || {
+            x2.store(1, Ordering::SeqCst);
+            y2.load(Ordering::SeqCst)
+        });
+        y.store(1, Ordering::SeqCst);
+        let r0 = x.load(Ordering::SeqCst);
+        let r1 = t.join();
+        assert!(
+            r0 == 1 || r1 == 1,
+            "SC store buffering produced r0 == r1 == 0"
+        );
+    });
+    // Sanity: the explorer actually branched.
+    assert!(explored.executions > 1);
+}
+
+/// The same shape with Relaxed everywhere: the checker must find the
+/// both-zero outcome (this is the checker-has-teeth baseline).
+#[test]
+fn store_buffer_relaxed_observes_both_zero() {
+    let report = model_expect_failure(|| {
+        let x = Arc::new(AtomicUsize::new(0));
+        let y = Arc::new(AtomicUsize::new(0));
+        let (x2, y2) = (x.clone(), y.clone());
+        let t = thread::spawn(move || {
+            x2.store(1, Ordering::Relaxed);
+            y2.load(Ordering::Relaxed)
+        });
+        y.store(1, Ordering::Relaxed);
+        let r0 = x.load(Ordering::Relaxed);
+        let r1 = t.join();
+        assert!(r0 == 1 || r1 == 1, "observed r0 == r1 == 0");
+    });
+    assert!(report.contains("observed r0 == r1 == 0"));
+}
+
+/// Store buffering with relaxed accesses but SeqCst fences between store
+/// and load: both-zero is again impossible (validates fence modeling — this
+/// is exactly the `Deque::pop`/`steal` fence pattern).
+#[test]
+fn store_buffer_seqcst_fences_forbid_both_zero() {
+    model(|| {
+        let x = Arc::new(AtomicUsize::new(0));
+        let y = Arc::new(AtomicUsize::new(0));
+        let (x2, y2) = (x.clone(), y.clone());
+        let t = thread::spawn(move || {
+            x2.store(1, Ordering::Relaxed);
+            fence(Ordering::SeqCst);
+            y2.load(Ordering::Relaxed)
+        });
+        y.store(1, Ordering::Relaxed);
+        fence(Ordering::SeqCst);
+        let r0 = x.load(Ordering::Relaxed);
+        let r1 = t.join();
+        assert!(
+            r0 == 1 || r1 == 1,
+            "fenced store buffering produced r0 == r1 == 0"
+        );
+    });
+}
+
+/// Message passing, the release/acquire contract: the payload written
+/// before a Release flag store must be visible after an Acquire flag load.
+#[test]
+fn message_passing_release_acquire() {
+    model(|| {
+        let data = Arc::new(AtomicUsize::new(0));
+        let flag = Arc::new(AtomicUsize::new(0));
+        let (data2, flag2) = (data.clone(), flag.clone());
+        let t = thread::spawn(move || {
+            data2.store(42, Ordering::Relaxed);
+            flag2.store(1, Ordering::Release);
+        });
+        if flag.load(Ordering::Acquire) == 1 {
+            assert_eq!(data.load(Ordering::Relaxed), 42, "stale payload");
+        }
+        t.join();
+    });
+}
+
+/// Message passing with a Relaxed flag: the reader may see the flag but a
+/// stale payload.  The checker must find it.
+#[test]
+fn message_passing_relaxed_flag_fails() {
+    let report = model_expect_failure(|| {
+        let data = Arc::new(AtomicUsize::new(0));
+        let flag = Arc::new(AtomicUsize::new(0));
+        let (data2, flag2) = (data.clone(), flag.clone());
+        let t = thread::spawn(move || {
+            data2.store(42, Ordering::Relaxed);
+            flag2.store(1, Ordering::Relaxed);
+        });
+        if flag.load(Ordering::Acquire) == 1 {
+            assert_eq!(data.load(Ordering::Relaxed), 42, "stale payload");
+        }
+        t.join();
+    });
+    assert!(report.contains("stale payload"));
+}
+
+/// Coherence: a single location is still sequentially consistent per
+/// location — after reading 2 a thread may never read 1 again, even fully
+/// relaxed.
+#[test]
+fn per_location_coherence_holds() {
+    model(|| {
+        let x = Arc::new(AtomicUsize::new(0));
+        let x2 = x.clone();
+        let t = thread::spawn(move || {
+            x2.store(1, Ordering::Relaxed);
+            x2.store(2, Ordering::Relaxed);
+        });
+        let a = x.load(Ordering::Relaxed);
+        let b = x.load(Ordering::Relaxed);
+        assert!(b >= a, "read-read coherence violated: {a} then {b}");
+        t.join();
+    });
+}
+
+/// Read-read coherence must also hold across a release/acquire edge
+/// (CoRR over happens-before): if the writer-side thread read the newer
+/// value before releasing, the acquirer may not read the older one.
+#[test]
+fn coherence_transfers_across_acquire() {
+    model(|| {
+        let x = Arc::new(AtomicUsize::new(0));
+        let flag = Arc::new(AtomicUsize::new(0));
+        let (x2, flag2) = (x.clone(), flag.clone());
+        let t = thread::spawn(move || {
+            x2.store(7, Ordering::Relaxed);
+            flag2.store(1, Ordering::Release);
+        });
+        if flag.load(Ordering::Acquire) == 1 {
+            // x = 7 happens-before the release, so it is forced here...
+            assert_eq!(x.load(Ordering::Relaxed), 7);
+            // ...and stays forced for later reads.
+            assert_eq!(x.load(Ordering::Relaxed), 7);
+        }
+        t.join();
+    });
+}
+
+/// Exactly-once CAS claiming: two threads race a compare-exchange; exactly
+/// one must win regardless of schedule.
+#[test]
+fn cas_claim_is_exactly_once() {
+    model(|| {
+        let slot = Arc::new(AtomicUsize::new(0));
+        let wins = Arc::new(AtomicUsize::new(0));
+        let (slot2, wins2) = (slot.clone(), wins.clone());
+        let t = thread::spawn(move || {
+            if slot2
+                .compare_exchange(0, 1, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                wins2.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        if slot
+            .compare_exchange(0, 2, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+        {
+            wins.fetch_add(1, Ordering::Relaxed);
+        }
+        t.join();
+        assert_eq!(wins.load(Ordering::Relaxed), 1, "CAS won twice or never");
+    });
+}
+
+/// A mini seqlock with the *weakened* (Relaxed payload) protocol the trace
+/// ring used before this PR: the checker must exhibit a torn read that the
+/// seq-word re-check fails to reject.  This is the mutation test backing
+/// the trace.rs Release/Acquire upgrade.
+#[test]
+fn seqlock_relaxed_payload_admits_torn_read() {
+    let report = model_expect_failure(|| seqlock_scenario(Ordering::Relaxed, Ordering::Relaxed));
+    assert!(report.contains("torn read"), "unexpected report:\n{report}");
+}
+
+/// The fixed protocol — payload stores Release, payload loads Acquire —
+/// survives exhaustive exploration of the same scenario.
+#[test]
+fn seqlock_release_acquire_payload_is_sound() {
+    model(|| seqlock_scenario(Ordering::Release, Ordering::Acquire));
+}
+
+/// The Chase–Lev owner/thief core with production orderings (pop's bottom
+/// stores Release, SeqCst fences both sides) survives exhaustive
+/// (preemption-bounded) exploration: every claim returns a published value
+/// and nothing is claimed twice.
+#[test]
+fn mini_deque_production_orderings_sound() {
+    model_bounded(3, || mini_deque_pop_steal(Ordering::Release, true));
+}
+
+/// Weakening pop's `bottom` store to Relaxed — sound under pre-C++20
+/// release sequences (Lê et al., PPoPP 2013), unsound since P0982 — lets a
+/// thief acquire the decremented `bottom` with no synchronization and claim
+/// a slot whose write it never observed.  This is the mutation test backing
+/// the Release upgrade in `sting_core::deque::Deque::pop`.
+#[test]
+fn mini_deque_relaxed_bottom_store_claims_unpublished() {
+    let report = model_bounded_expect_failure(3, || mini_deque_pop_steal(Ordering::Relaxed, true));
+    assert!(
+        report.contains("unpublished"),
+        "unexpected report:\n{report}"
+    );
+}
+
+/// Dropping the owner-side SeqCst fence in pop lets the owner read a stale
+/// `top`, skip the last-item CAS, and claim an item a thief also claims.
+#[test]
+fn mini_deque_missing_pop_fence_is_unsound() {
+    let report = model_bounded_expect_failure(3, || mini_deque_pop_steal(Ordering::Release, false));
+    assert!(
+        report.contains("claimed twice") || report.contains("unpublished"),
+        "unexpected report:\n{report}"
+    );
+}
+
+/// The Chase–Lev protocol in miniature: a two-slot ring, `top`/`bottom`
+/// counters, an owner that pushes 41 and 42 then pops once, and a thief
+/// that attempts two steals.  The thief is spawned before the pushes so all
+/// ordering must come from the protocol, none from spawn happens-before.
+/// Mirrors `sting_core::deque` with `pop_bottom_ord` on pop's bottom
+/// decrement and `owner_fence` controlling pop's SeqCst fence.
+fn mini_deque_pop_steal(pop_bottom_ord: Ordering, owner_fence: bool) {
+    let top = Arc::new(AtomicUsize::new(0));
+    let bottom = Arc::new(AtomicUsize::new(0));
+    let slots = Arc::new([AtomicUsize::new(0), AtomicUsize::new(0)]);
+    let (top2, bottom2, slots2) = (top.clone(), bottom.clone(), slots.clone());
+    let thief = thread::spawn(move || {
+        let mut claims = Vec::new();
+        for _ in 0..2 {
+            let t = top2.load(Ordering::Acquire);
+            fence(Ordering::SeqCst);
+            let b = bottom2.load(Ordering::Acquire);
+            if t >= b {
+                continue;
+            }
+            let v = slots2[t % 2].load(Ordering::Relaxed);
+            if top2
+                .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                .is_ok()
+            {
+                claims.push(v);
+            }
+        }
+        claims
+    });
+    let mut claims = Vec::new();
+    // push 41; push 42: publish the slot, then Release the new bottom.
+    slots[0].store(41, Ordering::Relaxed);
+    bottom.store(1, Ordering::Release);
+    slots[1].store(42, Ordering::Relaxed);
+    bottom.store(2, Ordering::Release);
+    // pop: decrement bottom, fence, read top, claim (CAS iff last item).
+    let b = bottom.load(Ordering::Relaxed) - 1;
+    bottom.store(b, pop_bottom_ord);
+    if owner_fence {
+        fence(Ordering::SeqCst);
+    }
+    let t = top.load(Ordering::Relaxed);
+    if t > b {
+        bottom.store(b + 1, Ordering::Release);
+    } else {
+        let v = slots[b % 2].load(Ordering::Relaxed);
+        let won = t != b
+            || top
+                .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                .is_ok();
+        if t == b {
+            bottom.store(b + 1, Ordering::Release);
+        }
+        if won {
+            claims.push(v);
+        }
+    }
+    claims.extend(thief.join());
+    for &v in &claims {
+        assert!(v == 41 || v == 42, "claimed an unpublished slot ({v})");
+    }
+    let total = claims.len();
+    claims.sort_unstable();
+    claims.dedup();
+    assert_eq!(claims.len(), total, "an item was claimed twice");
+}
+
+/// One writer re-publishing a two-word record guarded by a seq word
+/// (0 = busy, n = generation), one snapshotting reader; the reader accepts
+/// a record only if the seq word is the same non-zero generation before and
+/// after reading the payload.  With `store_ord`/`load_ord` on the payload
+/// words this is exactly the trace ring's slot protocol in miniature.
+fn seqlock_scenario(store_ord: Ordering, load_ord: Ordering) {
+    let seq = Arc::new(AtomicUsize::new(1));
+    let lo = Arc::new(AtomicUsize::new(10));
+    let hi = Arc::new(AtomicUsize::new(10));
+    let (seq2, lo2, hi2) = (seq.clone(), lo.clone(), hi.clone());
+    let writer = thread::spawn(move || {
+        // Generation 2: publish the record (20, 20).
+        seq2.store(0, Ordering::Release);
+        lo2.store(20, store_ord);
+        hi2.store(20, store_ord);
+        seq2.store(2, Ordering::Release);
+    });
+    let s1 = seq.load(Ordering::Acquire);
+    if s1 != 0 {
+        let a = lo.load(load_ord);
+        let b = hi.load(load_ord);
+        let s2 = seq.load(Ordering::Acquire);
+        if s1 == s2 {
+            // Accepted as a consistent record: both words must belong to
+            // the same generation.
+            assert_eq!(a, b, "torn read accepted as valid (seq {s1})");
+        }
+    }
+    writer.join();
+}

@@ -93,6 +93,9 @@ impl<I, Y, R> Suspender<I, Y, R> {
     /// Panics with [`ForcedUnwind`] if the host cancels the fiber instead of
     /// resuming it; do not catch this.
     pub fn suspend(&mut self, value: Y) -> I {
+        // SAFETY: `exch` points into the host-owned `Fiber::exch` box, which
+        // outlives the fiber body; `host_sp` was stored by the `switch` in
+        // `hop` that resumed us, so switching to it lands in that call.
         unsafe {
             (*self.exch).output = Some(Output::Yielded(value));
             let host = (*self.exch).host_sp;
@@ -141,9 +144,13 @@ extern "C" fn fiber_entry<I, Y, R>(task: usize, _arg: usize) -> ! {
     {
         // Scope everything droppable so nothing with a destructor is live at
         // the final switch below.
+        // SAFETY: `task` is the word `Fiber::new` passed to `raw::prepare`,
+        // a leaked `Box<Task>` delivered here exactly once by the trampoline.
         let task = unsafe { Box::from_raw(task as *mut Task<I, Y, R>) };
         exch = task.exch;
         let f = task.f;
+        // SAFETY: `exch` points into the live `Fiber::exch` box, and only one
+        // side of the switch protocol touches it at a time.
         let first = unsafe { (*exch).input.take() };
         let out = match first {
             Some(Input::Value(i)) => {
@@ -157,8 +164,11 @@ extern "C" fn fiber_entry<I, Y, R>(task: usize, _arg: usize) -> ! {
             Some(Input::Cancel) => Output::Cancelled,
             None => unreachable!("fiber started without input"),
         };
+        // SAFETY: as above — the host is suspended in `hop`, not reading.
         unsafe { (*exch).output = Some(out) };
     }
+    // SAFETY: `host_sp` was stored by the `hop` switch that resumed us; this
+    // final switch never returns (the scratch slot is never resumed).
     unsafe {
         let mut scratch: *mut u8 = core::ptr::null_mut();
         raw::switch(&mut scratch, (*exch).host_sp, 0);
@@ -175,6 +185,10 @@ pub struct Fiber<I, Y, R> {
     done: bool,
 }
 
+// SAFETY: a suspended fiber is inert — its stack and exchange cell are only
+// touched through `&mut self` resume calls — so moving it between OS threads
+// is sound whenever the values it carries are themselves `Send`.  The body
+// closure is already required to be `Send` by `Fiber::new`.
 unsafe impl<I: Send, Y: Send, R: Send> Send for Fiber<I, Y, R> {}
 
 impl<I, Y, R> std::fmt::Debug for Fiber<I, Y, R> {
@@ -208,6 +222,9 @@ impl<I, Y, R> Fiber<I, Y, R> {
             f: Box::new(f),
             exch: &mut *exch,
         });
+        // SAFETY: `stack.top()` is one past the end of a live, exclusively
+        // owned allocation of at least MIN_STACK_SIZE writable bytes, kept
+        // alive by the returned Fiber for as long as the context exists.
         let sp = unsafe {
             raw::prepare(
                 stack.top(),
@@ -287,6 +304,9 @@ impl<I, Y, R> Fiber<I, Y, R> {
 
     fn hop(&mut self, input: Input<I>) -> Output<Y, R> {
         self.exch.input = Some(input);
+        // SAFETY: `fiber_sp` came from `raw::prepare` (fresh fiber) or was
+        // stored by the fiber's own suspend switch, and `!self.done` (checked
+        // by both callers) means it has not been resumed since.
         unsafe {
             let to = self.exch.fiber_sp;
             raw::switch(&mut self.exch.host_sp, to, 0);

@@ -164,8 +164,12 @@ mod tests {
     extern "C" fn ping_entry(task: usize, mut arg: usize) -> ! {
         let exch = task as *mut Exchange;
         for _ in 0..3 {
+            // SAFETY: `exch` points at the test's stack-resident Exchange,
+            // alive for the whole test; host_sp was just stored by the host's
+            // switch into us.
             arg = unsafe { switch(&mut (*exch).ctx_sp, (*exch).host_sp, arg + 1) };
         }
+        // SAFETY: as above; the scratch context is never resumed.
         unsafe {
             let mut scratch: *mut u8 = core::ptr::null_mut();
             switch(&mut scratch, (*exch).host_sp, arg + 1);
@@ -176,14 +180,19 @@ mod tests {
     #[test]
     fn raw_round_trips() {
         let mut stack = vec![0u8; 64 * 1024];
+        // SAFETY: one-past-the-end of the live Vec allocation.
         let top = unsafe { stack.as_mut_ptr().add(stack.len()) };
         let mut exch = Exchange {
             host_sp: core::ptr::null_mut(),
             ctx_sp: core::ptr::null_mut(),
         };
+        // SAFETY: `top` bounds a 64 KiB writable region that outlives the
+        // context; `exch` lives on this frame for the whole test.
         exch.ctx_sp = unsafe { prepare(top, ping_entry, &mut exch as *mut Exchange as usize) };
         let mut v = 10usize;
         for _ in 0..4 {
+            // SAFETY: `ctx_sp` came from `prepare`, then from the context's
+            // own suspending switches — each value resumed exactly once.
             v = unsafe { switch(&mut exch.host_sp, exch.ctx_sp, v) };
         }
         assert_eq!(v, 14);
@@ -194,9 +203,12 @@ mod tests {
         extern "C" fn doubler(task: usize, mut arg: usize) -> ! {
             let exch = task as *mut Exchange;
             loop {
+                // SAFETY: `exch` is the test's stack-resident Exchange, alive
+                // for the whole test; host_sp was stored by the host's switch.
                 arg = unsafe { switch(&mut (*exch).ctx_sp, (*exch).host_sp, arg * 2) };
                 if arg == 0 {
                     // Host asked us to finish.
+                    // SAFETY: as above; the scratch context is never resumed.
                     unsafe {
                         let mut scratch: *mut u8 = core::ptr::null_mut();
                         switch(&mut scratch, (*exch).host_sp, usize::MAX);
@@ -206,16 +218,22 @@ mod tests {
             }
         }
         let mut stack = vec![0u8; 64 * 1024];
+        // SAFETY: one-past-the-end of the live Vec allocation.
         let top = unsafe { stack.as_mut_ptr().add(stack.len()) };
         let mut exch = Exchange {
             host_sp: core::ptr::null_mut(),
             ctx_sp: core::ptr::null_mut(),
         };
+        // SAFETY: `top` bounds a 64 KiB writable region that outlives the
+        // context; `exch` lives on this frame for the whole test.
         exch.ctx_sp = unsafe { prepare(top, doubler, &mut exch as *mut Exchange as usize) };
         for i in 1..10usize {
+            // SAFETY: `ctx_sp` alternates between values stored by the
+            // context's suspending switches; each is resumed exactly once.
             let got = unsafe { switch(&mut exch.host_sp, exch.ctx_sp, i) };
             assert_eq!(got, i * 2);
         }
+        // SAFETY: as above — the final resume delivers the stop signal.
         let done = unsafe { switch(&mut exch.host_sp, exch.ctx_sp, 0) };
         assert_eq!(done, usize::MAX);
     }

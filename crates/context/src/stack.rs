@@ -31,7 +31,8 @@ pub struct Stack {
     size: usize,
 }
 
-// The stack is exclusively owned; moving it between OS threads is fine.
+// SAFETY: the stack is exclusively owned heap memory; moving it between OS
+// threads is fine.
 unsafe impl Send for Stack {}
 
 impl Stack {
@@ -44,9 +45,12 @@ impl Stack {
     pub fn new(size: usize) -> Stack {
         let size = size.max(MIN_STACK_SIZE).next_multiple_of(STACK_ALIGN);
         let layout = Layout::from_size_align(size, STACK_ALIGN).expect("stack layout");
+        // SAFETY: `layout` has non-zero size (>= MIN_STACK_SIZE).
         let base = unsafe { alloc(layout) };
         let base = NonNull::new(base).expect("stack allocation failed");
         let stack = Stack { base, size };
+        // SAFETY: `base` is a live allocation of `size >= 8` bytes, aligned
+        // to 16, so the low word is in bounds and u64-aligned.
         unsafe { (stack.base.as_ptr() as *mut u64).write(CANARY) };
         stack
     }
@@ -59,6 +63,8 @@ impl Stack {
     /// One-past-the-end (highest) address of the stack; initial stack
     /// pointers are derived from this.
     pub fn top(&self) -> *mut u8 {
+        // SAFETY: one-past-the-end of the owned allocation is a valid
+        // provenance-carrying pointer to compute.
         unsafe { self.base.as_ptr().add(self.size) }
     }
 
@@ -69,6 +75,7 @@ impl Stack {
 
     /// Returns `true` while the overflow canary at the low end is intact.
     pub fn check_canary(&self) -> bool {
+        // SAFETY: same word `new` initialised — in bounds, aligned, owned.
         unsafe { (self.base.as_ptr() as *const u64).read() == CANARY }
     }
 }
@@ -78,6 +85,7 @@ impl Drop for Stack {
         // Destructors never fail (C-DTOR-FAIL): a clobbered canary is
         // reported by `check_canary` callers (e.g. StackPool::put), not here.
         let layout = Layout::from_size_align(self.size, STACK_ALIGN).expect("stack layout");
+        // SAFETY: `base` was allocated in `new` with this exact layout.
         unsafe { dealloc(self.base.as_ptr(), layout) };
     }
 }
@@ -193,6 +201,7 @@ mod tests {
     fn clobbered_canary_not_recycled() {
         let mut pool = StackPool::new(16 * 1024, 4);
         let s = pool.take();
+        // SAFETY: the canary word is in bounds and owned by `s`.
         unsafe { (s.limit() as *mut u64).write(0xDEAD) };
         pool.put(s);
         assert_eq!(pool.cached(), 0);

@@ -1,0 +1,247 @@
+//! Trace invariant linter: replays a flight-recorder event stream (see
+//! [`crate::trace`]) and flags scheduler protocol violations.
+//!
+//! The scheduler's correctness argument (DESIGN.md, "Scheduler fast path")
+//! reduces to a handful of linear-time-checkable invariants over the event
+//! stream: a TCB runs on at most one VP at a time, determination is final,
+//! work is stolen only after it was published, and published work is
+//! eventually dispatched.  [`audit`] checks all four over a
+//! [`Tracer::snapshot`](crate::trace::Tracer::snapshot); [`Vm::trace_audit`](crate::vm::Vm::trace_audit)
+//! wires it to a live machine, and debug builds run it automatically at
+//! [`Vm::shutdown`](crate::vm::Vm::shutdown).
+//!
+//! The replay keeps a vector clock per thread — its last-observed event
+//! index on every tracer lane — which each [`Finding`] carries so a report
+//! pinpoints *which* cross-lane ordering went wrong, not just which thread.
+//!
+//! ## Soundness under partial traces
+//!
+//! Rings overwrite their oldest events when full, and tracing can be
+//! enabled mid-run, so the stream may be a suffix of history.  Checks that
+//! would misfire on a missing prefix are gated: per-lane rings drop oldest
+//! first and a dispatch and its matching switch share a lane, so
+//! [double dispatch](FindingKind::DoubleDispatch) and
+//! [dispatch-after-determine](FindingKind::DispatchAfterDetermine) stay
+//! sound, while [steal-without-enqueue](FindingKind::StealWithoutEnqueue)
+//! and [lost wakeups](FindingKind::LostWakeup) are reported only for
+//! threads whose `Fork` is in the stream and only when no ring was lapped.
+
+use crate::trace::{EventKind, TraceEvent};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A scheduler invariant violation found by [`audit`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Which invariant broke.
+    pub kind: FindingKind,
+    /// The thread involved.
+    pub thread: u64,
+    /// Timestamp (ns since tracer epoch) of the offending event, or of the
+    /// last relevant event for end-of-stream findings.
+    pub ts_ns: u64,
+    /// The thread's vector clock when flagged: for each tracer lane, how
+    /// many events on that lane preceded the violation.
+    pub clock: Vec<u64>,
+    /// Human-readable specifics.
+    pub detail: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{:?}] thread {} at {}ns: {} (lane clock {:?})",
+            self.kind, self.thread, self.ts_ns, self.detail, self.clock
+        )
+    }
+}
+
+/// The invariant classes [`audit`] checks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FindingKind {
+    /// A thread was dispatched while already dispatched — two `Dispatch`
+    /// events with no intervening `Switch` (yield/preempt/block/suspend/
+    /// return).  One TCB running on two VPs corrupts its stack.
+    DoubleDispatch,
+    /// A thread was dispatched after its `Determine` event.  Determination
+    /// is final (paper §2.2); the TCB was already recycled.
+    DispatchAfterDetermine,
+    /// A `Migrate` (deque steal) of a thread with no prior unconsumed
+    /// `Enqueue`: the thief claimed work that was never published.
+    StealWithoutEnqueue,
+    /// A thread was enqueued but neither dispatched nor determined by the
+    /// end of the stream: the wake-up was lost.  Only meaningful for a
+    /// quiesced machine (e.g. after [`Vm::shutdown`](crate::vm::Vm::shutdown)
+    /// drains, which determines everything still queued).
+    LostWakeup,
+}
+
+/// The outcome of [`audit`]: the findings plus how much evidence they rest
+/// on.
+#[derive(Debug, Clone, Default)]
+pub struct AuditReport {
+    /// Invariant violations, in stream order.
+    pub findings: Vec<Finding>,
+    /// Number of events replayed.
+    pub events: usize,
+    /// Whether a ring had overwritten events (checks needing a complete
+    /// history were skipped; see module docs).
+    pub truncated: bool,
+}
+
+impl AuditReport {
+    /// Whether the replay found no violations.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+impl fmt::Display for AuditReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "trace audit: {} finding(s) over {} event(s){}",
+            self.findings.len(),
+            self.events,
+            if self.truncated {
+                " (truncated history: absence checks skipped)"
+            } else {
+                ""
+            }
+        )?;
+        for finding in &self.findings {
+            writeln!(f, "  {finding}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Per-thread replay state.
+#[derive(Default)]
+struct ThreadAudit {
+    /// `Fork` observed — the stream covers this thread's whole lifetime.
+    forked: bool,
+    /// Timestamp of the `Dispatch` that put it on a VP, while it is there.
+    running_since: Option<u64>,
+    /// Enqueues published but not yet consumed by a dispatch.
+    pending_enqueues: u64,
+    /// Target VP and timestamp of the most recent pending enqueue.
+    last_enqueue: Option<(u32, u64)>,
+    determined_at: Option<u64>,
+    /// Lane vector clock: events seen per lane up to this thread's last
+    /// involvement.
+    clock: Vec<u64>,
+}
+
+/// Replays `events` (which must be timestamp-sorted, as
+/// [`Tracer::snapshot`](crate::trace::Tracer::snapshot) returns them) and
+/// checks every [`FindingKind`] invariant.  `truncated` is whether any ring
+/// was lapped (see [`Tracer::truncated`](crate::trace::Tracer::truncated));
+/// it gates the checks that reason about event *absence*.
+pub fn audit(events: &[TraceEvent], truncated: bool) -> AuditReport {
+    let lanes = events.iter().map(|e| e.vp as usize + 1).max().unwrap_or(1);
+    let mut lane_clock = vec![0u64; lanes];
+    let mut threads: HashMap<u64, ThreadAudit> = HashMap::new();
+    let mut findings = Vec::new();
+
+    for e in events {
+        lane_clock[e.vp as usize] += 1;
+        if e.thread == 0 {
+            continue; // Preempt ticks etc.: no thread involved.
+        }
+        let st = threads.entry(e.thread).or_default();
+        if st.clock.len() < lanes {
+            st.clock.resize(lanes, 0);
+        }
+        st.clock.clone_from_slice(&lane_clock);
+        match e.kind {
+            EventKind::Fork => st.forked = true,
+            EventKind::Enqueue => {
+                st.pending_enqueues += 1;
+                st.last_enqueue = Some((e.b, e.ts_ns));
+            }
+            EventKind::Dispatch => {
+                if let Some(det_ts) = st.determined_at {
+                    findings.push(Finding {
+                        kind: FindingKind::DispatchAfterDetermine,
+                        thread: e.thread,
+                        ts_ns: e.ts_ns,
+                        clock: st.clock.clone(),
+                        detail: format!("dispatched on vp {} but determined at {det_ts}ns", e.vp),
+                    });
+                }
+                if let Some(since) = st.running_since {
+                    findings.push(Finding {
+                        kind: FindingKind::DoubleDispatch,
+                        thread: e.thread,
+                        ts_ns: e.ts_ns,
+                        clock: st.clock.clone(),
+                        detail: format!(
+                            "dispatched on vp {} while still dispatched since {since}ns \
+                             (no intervening switch)",
+                            e.vp
+                        ),
+                    });
+                }
+                st.running_since = Some(e.ts_ns);
+                st.pending_enqueues = st.pending_enqueues.saturating_sub(1);
+            }
+            EventKind::Switch => st.running_since = None,
+            EventKind::Migrate => {
+                // A deque steal moves a published item between VPs; the
+                // pending enqueue travels with it, so the count is not
+                // consumed here.
+                if st.pending_enqueues == 0 && st.forked && !truncated {
+                    findings.push(Finding {
+                        kind: FindingKind::StealWithoutEnqueue,
+                        thread: e.thread,
+                        ts_ns: e.ts_ns,
+                        clock: st.clock.clone(),
+                        detail: format!(
+                            "stolen from vp {} by vp {} with no unconsumed enqueue",
+                            e.a, e.b
+                        ),
+                    });
+                }
+            }
+            EventKind::Determine => st.determined_at = Some(e.ts_ns),
+            EventKind::Steal
+            | EventKind::Block
+            | EventKind::Unblock
+            | EventKind::Suspend
+            | EventKind::Resume
+            | EventKind::Preempt
+            | EventKind::StateRequest => {}
+        }
+    }
+
+    if !truncated {
+        let mut lost: Vec<(u64, &ThreadAudit)> = threads
+            .iter()
+            .filter(|(_, st)| st.pending_enqueues > 0 && st.determined_at.is_none() && st.forked)
+            .map(|(id, st)| (*id, st))
+            .collect();
+        lost.sort_by_key(|(_, st)| st.last_enqueue);
+        for (thread, st) in lost {
+            let (vp, ts) = st.last_enqueue.unwrap_or_default();
+            findings.push(Finding {
+                kind: FindingKind::LostWakeup,
+                thread,
+                ts_ns: ts,
+                clock: st.clock.clone(),
+                detail: format!(
+                    "enqueued onto vp {vp} but never dispatched or determined \
+                     ({} enqueue(s) outstanding)",
+                    st.pending_enqueues
+                ),
+            });
+        }
+    }
+
+    AuditReport {
+        findings,
+        events: events.len(),
+        truncated,
+    }
+}

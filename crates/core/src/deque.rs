@@ -41,7 +41,14 @@
 
 use parking_lot::Mutex;
 use std::ptr;
+
+// Under `--cfg sting_check` the atomics are the model checker's shims, so
+// `ci.sh check` explores this exact production source (see
+// crates/core/tests/model.rs); in normal builds they are std's.
+#[cfg(not(sting_check))]
 use std::sync::atomic::{fence, AtomicIsize, AtomicPtr, AtomicUsize, Ordering};
+#[cfg(sting_check)]
+use sting_check::atomic::{fence, AtomicIsize, AtomicPtr, AtomicUsize, Ordering};
 
 /// Outcome of one [`Deque::steal`] attempt.
 #[derive(Debug)]
@@ -124,6 +131,8 @@ pub struct Deque<T> {
 // SAFETY: items are owned uniquely by whichever side removes them; all
 // shared state is atomic.
 unsafe impl<T: Send> Send for Deque<T> {}
+// SAFETY: as above — the Chase–Lev protocol hands each item to exactly one
+// claimant, and the buffer pointer is only retired, never freed, while shared.
 unsafe impl<T: Send> Sync for Deque<T> {}
 
 /// Initial buffer capacity (items); grows by doubling when full.
@@ -185,6 +194,7 @@ impl<T> Deque<T> {
         let mut buffer = unsafe { &*self.buffer.load(Ordering::Relaxed) };
         if b - t >= buffer.capacity() as isize {
             self.grow(t, b);
+            // SAFETY: buffer valid (see above); grow just stored it.
             buffer = unsafe { &*self.buffer.load(Ordering::Relaxed) };
         }
         buffer.put(b, item);
@@ -199,7 +209,15 @@ impl<T> Deque<T> {
     pub fn pop(&self) -> Option<T> {
         let b = self.bottom.load(Ordering::Relaxed) - 1;
         let buffer = self.buffer.load(Ordering::Relaxed);
-        self.bottom.store(b, Ordering::Relaxed);
+        // Release, not Relaxed: since C++20 weakened release sequences
+        // (P0982), a thief that Acquires *this* store would otherwise get no
+        // synchronization at all — it could observe `bottom > top` through a
+        // stale mix and claim a slot whose contents it never saw published.
+        // Every owner-side `bottom` store therefore carries the slots it
+        // promises.  (Found by the sting-check model, which implements the
+        // post-C++20 rules; Lê et al.'s Relaxed store leans on the pre-C++20
+        // same-thread release-sequence clause.)
+        self.bottom.store(b, Ordering::Release);
         // The SeqCst fence orders our `bottom` store against our `top`
         // load: either a concurrent thief sees the decremented bottom and
         // keeps its hands off the last item, or we see its incremented top
@@ -208,8 +226,9 @@ impl<T> Deque<T> {
         fence(Ordering::SeqCst);
         let t = self.top.load(Ordering::Relaxed);
         if t > b {
-            // Already empty; restore the canonical empty state.
-            self.bottom.store(b + 1, Ordering::Relaxed);
+            // Already empty; restore the canonical empty state (Release for
+            // the same P0982 reason as the decrement above).
+            self.bottom.store(b + 1, Ordering::Release);
             return None;
         }
         // SAFETY: buffer valid (see push); the slot at `b` was written by
@@ -221,14 +240,30 @@ impl<T> Deque<T> {
                 .top
                 .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
                 .is_ok();
-            self.bottom.store(b + 1, Ordering::Relaxed);
+            self.bottom.store(b + 1, Ordering::Release);
             if !won {
                 return None;
             }
         }
         // SAFETY: we hold the unique claim to slot `b` (either b > t, so
         // no thief can reach it, or the CAS above succeeded).
-        Some(unsafe { *Box::from_raw(untag(item)) })
+        let raw = untag(item);
+        debug_assert!(
+            !raw.is_null(),
+            "pop claimed a null slot (double claim or unpublished write)"
+        );
+        #[cfg(debug_assertions)]
+        // Poison the claimed slot: a second claim of the same slot now trips
+        // the null assertions instead of double-freeing the item.  Safe
+        // because no thief can win a CAS for this index anymore (see the
+        // SAFETY argument above), and a re-push overwrites the slot first.
+        // SAFETY: buffer valid (see push).
+        unsafe {
+            (*buffer).put(b, ptr::null_mut());
+        }
+        // SAFETY: restoring `bottom` (or winning the last-item CAS) gave the
+        // owner unique claim to slot `b`; no other path frees this Box.
+        Some(unsafe { *Box::from_raw(raw) })
     }
 
     /// Attempts to remove the item at the top — the *oldest*, FIFO order.
@@ -277,8 +312,14 @@ impl<T> Deque<T> {
         {
             return Steal::Retry;
         }
-        // SAFETY: the CAS on `top` grants unique ownership of slot `t`.
-        Steal::Success(unsafe { *Box::from_raw(untag(item)) })
+        let raw = untag(item);
+        debug_assert!(
+            !raw.is_null(),
+            "steal claimed a null slot (double claim or unpublished write)"
+        );
+        // SAFETY: the CAS on `top` grants unique ownership of slot `t`, so
+        // this is the only place that reconstitutes this Box.
+        Steal::Success(unsafe { *Box::from_raw(raw) })
     }
 
     /// [`Deque::steal`], retried until it yields an item or observes the
@@ -300,6 +341,7 @@ impl<T> Deque<T> {
         // SAFETY: buffer valid (see push).
         let old = unsafe { &*old_ptr };
         let new_ptr = Buffer::alloc(old.capacity() * 2);
+        // SAFETY: freshly allocated above, not yet shared.
         let new = unsafe { &*new_ptr };
         for i in t..b {
             new.put(i, old.get(i));
@@ -351,6 +393,8 @@ struct Node<T> {
 // SAFETY: nodes are owned by the stack between push and drain; all shared
 // state is atomic.
 unsafe impl<T: Send> Send for Injector<T> {}
+// SAFETY: as above — every cross-thread handoff goes through the atomic
+// head, which transfers node ownership wholesale.
 unsafe impl<T: Send> Sync for Injector<T> {}
 
 impl<T> Default for Injector<T> {

@@ -44,6 +44,7 @@
 
 #![deny(missing_docs)]
 
+pub mod audit;
 pub mod builder;
 pub mod counters;
 pub mod deque;
@@ -64,6 +65,7 @@ pub mod trace;
 pub mod vm;
 pub mod vp;
 
+pub use audit::{AuditReport, Finding, FindingKind};
 pub use builder::{ThreadBuilder, VmBuilder};
 pub use counters::{CounterSnapshot, Counters};
 pub use error::CoreError;

@@ -20,8 +20,14 @@
 //! thread dispatch/switch pairs as spans, everything else as instant
 //! events), and [`text_dump`] renders a human-readable log.
 
+// Under `--cfg sting_check` the atomics are the model checker's shims, so
+// the ring's publish protocol is explored against the production source
+// (see crates/core/tests/model.rs).
+#[cfg(not(sting_check))]
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::Instant;
+#[cfg(sting_check)]
+use sting_check::atomic::{AtomicBool, AtomicU64, Ordering};
 
 /// What happened.  The discriminants are stable u8s because events are
 /// packed into atomic words in the ring slots.
@@ -173,12 +179,20 @@ impl Ring {
         // Invalidate the slot first so a concurrent reader can't match the
         // *previous* generation against half-new payload words.
         slot.seq.store(0, Ordering::Release);
-        slot.ts.store(ts_ns, Ordering::Relaxed);
+        // The payload stores are Release and the reader's payload loads are
+        // Acquire: a reader that observes any new-generation payload word is
+        // then guaranteed to also observe the seq=0 invalidation (or the new
+        // ticket) on its re-check, so a mixed-generation record can never
+        // validate.  With Relaxed payload accesses the re-check could read
+        // the *old* seq value even after reading new payload words — a torn
+        // record accepted as valid (exhibited by the sting-check seqlock
+        // litmus test; see crates/check/tests/litmus.rs).
+        slot.ts.store(ts_ns, Ordering::Release);
         slot.meta
-            .store(kind as u64 | ((vp as u64) << 8), Ordering::Relaxed);
-        slot.thread.store(thread, Ordering::Relaxed);
+            .store(kind as u64 | ((vp as u64) << 8), Ordering::Release);
+        slot.thread.store(thread, Ordering::Release);
         slot.aux
-            .store(a as u64 | ((b as u64) << 32), Ordering::Relaxed);
+            .store(a as u64 | ((b as u64) << 32), Ordering::Release);
         slot.seq.store(ticket + 1, Ordering::Release);
     }
 
@@ -193,10 +207,13 @@ impl Ring {
             if slot.seq.load(Ordering::Acquire) != ticket + 1 {
                 continue; // torn or already overwritten
             }
-            let ts = slot.ts.load(Ordering::Relaxed);
-            let meta = slot.meta.load(Ordering::Relaxed);
-            let thread = slot.thread.load(Ordering::Relaxed);
-            let aux = slot.aux.load(Ordering::Relaxed);
+            // Acquire pairs with the Release payload stores in `record`: if
+            // any word here came from a newer generation, the writer's
+            // seq=0 invalidation is forced into view for the re-check below.
+            let ts = slot.ts.load(Ordering::Acquire);
+            let meta = slot.meta.load(Ordering::Acquire);
+            let thread = slot.thread.load(Ordering::Acquire);
+            let aux = slot.aux.load(Ordering::Acquire);
             // Re-check the sequence: if it changed, a writer lapped us and
             // the words above may mix generations.
             if slot.seq.load(Ordering::Acquire) != ticket + 1 {
@@ -218,6 +235,10 @@ impl Ring {
 
     fn recorded(&self) -> u64 {
         self.head.load(Ordering::Relaxed)
+    }
+
+    fn truncated(&self) -> bool {
+        self.head.load(Ordering::Relaxed) > self.slots.len() as u64
     }
 }
 
@@ -246,7 +267,7 @@ impl Tracer {
     /// Creates a tracer with `vps + 1` lanes of `capacity` events each
     /// (the extra lane collects events recorded off any VP).
     pub fn new(vps: usize, capacity: usize, enabled: bool) -> Tracer {
-        let capacity = capacity.max(16);
+        let capacity = capacity.max(2);
         Tracer {
             enabled: AtomicBool::new(enabled),
             epoch: Instant::now(),
@@ -292,6 +313,14 @@ impl Tracer {
     /// since overwritten).
     pub fn recorded(&self) -> u64 {
         self.rings.iter().map(Ring::recorded).sum()
+    }
+
+    /// Whether any lane has wrapped, i.e. a [`Tracer::snapshot`] is missing
+    /// the oldest events.  Trace consumers that reason about event *absence*
+    /// (notably [`audit`](crate::audit)) should soften their conclusions
+    /// when this is true.
+    pub fn truncated(&self) -> bool {
+        self.rings.iter().any(Ring::truncated)
     }
 
     /// Copies out all resident events, merged across lanes and sorted by

@@ -149,6 +149,17 @@ impl Vm {
         trace::text_dump(&self.tracer.snapshot())
     }
 
+    /// Replays the recorded scheduler events through the invariant linter
+    /// (see [`crate::audit`]): double dispatches, dispatches after
+    /// determination, steals of unpublished work, lost wakeups.
+    ///
+    /// The lost-wakeup check reasons about what *never* happened, so call
+    /// this on a quiesced machine (after [`Vm::shutdown`]) for a
+    /// trustworthy report; debug builds do so automatically at shutdown.
+    pub fn trace_audit(&self) -> crate::audit::AuditReport {
+        crate::audit::audit(&self.tracer.snapshot(), self.tracer.truncated())
+    }
+
     /// The root thread group; threads forked from outside the VM land here.
     pub fn root_group(&self) -> &Arc<ThreadGroup> {
         &self.root_group
@@ -420,6 +431,16 @@ impl Vm {
             std::thread::yield_now();
         }
         self.drain();
+        // Debug builds lint the flight recording now that the machine has
+        // quiesced (the drain determines everything still queued, so a
+        // clean run must produce zero findings).
+        #[cfg(debug_assertions)]
+        if self.tracer.is_enabled() {
+            let report = self.trace_audit();
+            if !report.is_clean() {
+                eprintln!("sting-core: scheduler {report}");
+            }
+        }
     }
 
     /// Completes every undetermined thread with a `vm-shutdown` exception,

@@ -313,6 +313,21 @@ impl Vp {
             RunItem::Fresh(t) => t.id().0,
             RunItem::Parked(tcb) => tcb.thread().id().0,
         };
+        let vm = self.vm.upgrade();
+        // Trace the enqueue *before* the item becomes visible: the instant
+        // the push lands, a thief may steal it and record its Migrate, and
+        // the trace audit (see [`crate::audit`]) relies on every steal
+        // being preceded by its enqueue in timestamp order.
+        if let Some(vm) = &vm {
+            crate::trace_event!(
+                vm.tracer(),
+                tls::current().map(|c| c.vp.index()),
+                crate::trace::EventKind::Enqueue,
+                thread_id,
+                state as u32,
+                self.index
+            );
+        }
         let owner_push = if let Some(fq) = &self.fast {
             if owner {
                 fq.push(item);
@@ -325,15 +340,7 @@ impl Vp {
             pm.enqueue_thread(self, item, state);
             false
         };
-        if let Some(vm) = self.vm.upgrade() {
-            crate::trace_event!(
-                vm.tracer(),
-                tls::current().map(|c| c.vp.index()),
-                crate::trace::EventKind::Enqueue,
-                thread_id,
-                state as u32,
-                self.index
-            );
+        if let Some(vm) = vm {
             // An owner push needs no wake-up: the pusher *is* the consumer
             // and is mid-slice.  Sibling thieves discover the backlog at
             // their idle-timeout tick.  Everything else may target a
@@ -400,6 +407,14 @@ impl Vp {
                     }
                 }
                 RunItem::Parked(tcb) => {
+                    // A determined thread's TCB is recycled at its final
+                    // switch and must never reappear in a ready queue; a
+                    // dispatch here would resume a dead fiber.
+                    debug_assert!(
+                        !tcb.thread().is_determined(),
+                        "dispatching a determined thread's TCB (thread {:?})",
+                        tcb.thread().id()
+                    );
                     crate::trace_event!(
                         vm.tracer(),
                         Some(self.index),

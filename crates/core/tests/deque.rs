@@ -329,3 +329,75 @@ fn priority_policies_stay_on_policy_tier() {
     assert_eq!(v.unwrap().as_int(), Some(42));
     vm.shutdown();
 }
+
+/// `len`/`is_empty` under concurrent push/steal: the relaxed snapshots may
+/// lag, but `len` must never exceed the number of pushes issued, and once
+/// the deque quiesces both must be exact.
+#[test]
+fn stress_len_is_empty_under_concurrent_push_steal() {
+    const ITEMS: u64 = 20_000;
+    let deque: Arc<Deque<u64>> = Arc::new(Deque::with_capacity(4));
+    let pushes = Arc::new(AtomicUsize::new(0));
+    let claimed = Arc::new(AtomicUsize::new(0));
+    let done = Arc::new(AtomicBool::new(false));
+
+    // Thieves claim until told to stop (they do NOT drain, so a remainder
+    // is left for the quiescent exactness check).
+    let thieves: Vec<_> = (0..2)
+        .map(|_| {
+            let (d, c, stop) = (deque.clone(), claimed.clone(), done.clone());
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Acquire) {
+                    match d.steal() {
+                        Steal::Success(_) => {
+                            c.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Steal::Retry => std::hint::spin_loop(),
+                        Steal::Empty => std::thread::yield_now(),
+                    }
+                }
+            })
+        })
+        .collect();
+    // A sampler validating the snapshot upper bound while the race runs:
+    // a push is counted before it lands, so any `len` read afterwards can
+    // never exceed the count read after it.
+    let sampler = {
+        let (d, p, stop) = (deque.clone(), pushes.clone(), done.clone());
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Acquire) {
+                let len = d.len();
+                let issued = p.load(Ordering::Relaxed);
+                assert!(len <= issued, "len {len} exceeds {issued} pushes issued");
+                if d.is_empty() {
+                    assert_eq!(d.len(), d.len(), "is_empty is len-consistent");
+                }
+            }
+        })
+    };
+
+    for i in 0..ITEMS {
+        pushes.fetch_add(1, Ordering::Relaxed);
+        deque.push(i);
+        if i % 5 == 0 && deque.pop().is_some() {
+            claimed.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+    done.store(true, Ordering::Release);
+    for t in thieves {
+        t.join().unwrap();
+    }
+    sampler.join().unwrap();
+
+    // Quiesced: the snapshots are exact.
+    let remainder = ITEMS - claimed.load(Ordering::Relaxed) as u64;
+    assert_eq!(deque.len() as u64, remainder);
+    assert_eq!(deque.is_empty(), remainder == 0);
+    let mut drained = 0u64;
+    while deque.steal_retrying().is_some() {
+        drained += 1;
+    }
+    assert_eq!(drained, remainder);
+    assert!(deque.is_empty());
+    assert_eq!(deque.len(), 0);
+}

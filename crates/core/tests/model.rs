@@ -1,0 +1,207 @@
+//! Model-checked scenarios over the *production* `sting_core::deque` and
+//! `sting_core::trace` sources.
+//!
+//! This test crate only compiles under `RUSTFLAGS="--cfg sting_check"`
+//! (`./ci.sh check`), which switches those modules onto the sting-check
+//! shim atomics so every interleaving and weak-memory load result is
+//! explored.  The mutation tests proving each scenario has teeth — the same
+//! protocol with a required ordering weakened, shown failing — live in
+//! `crates/check/tests/litmus.rs` (mini-deque and seqlock litmus tests),
+//! since weakening the production source would require patching it.
+#![cfg(sting_check)]
+
+use std::sync::Arc;
+use sting_check::{model, model_bounded, thread};
+use sting_core::deque::{Deque, Injector, Steal};
+use sting_core::trace::{EventKind, Tracer};
+
+/// The pop/steal last-item race (deque.rs `pop`, `t == b` arm): with one
+/// item and one thief, exactly one side may claim it — every interleaving,
+/// every weak load result.
+#[test]
+fn deque_last_item_claimed_exactly_once() {
+    let explored = model(|| {
+        let d = Arc::new(Deque::with_capacity(2));
+        d.push(1u64);
+        let d2 = d.clone();
+        let thief = thread::spawn(move || match d2.steal() {
+            Steal::Success(v) => Some(v),
+            Steal::Empty | Steal::Retry => None,
+        });
+        let popped = d.pop();
+        let stolen = thief.join();
+        let claims = usize::from(popped.is_some()) + usize::from(stolen.is_some());
+        assert_eq!(claims, 1, "last item claimed {claims} times");
+        assert_eq!(popped.or(stolen), Some(1));
+    });
+    assert!(explored.executions > 1);
+}
+
+/// Two items, a popping owner and a stealing thief: no item is lost and no
+/// item is dispatched twice.  The thief is spawned *before* the pushes so
+/// it shares no happens-before edge with them — every ordering the owner
+/// side relies on must come from the deque protocol itself.  This is the
+/// scenario that exposes the pre-PR `Relaxed` bottom store in `pop`: under
+/// C++20 release sequences a thief acquiring that store got no
+/// synchronization and could claim a slot whose contents it never saw.
+#[test]
+fn deque_pop_steal_no_loss_no_dup() {
+    model_bounded(3, || {
+        let d = Arc::new(Deque::with_capacity(2));
+        let d2 = d.clone();
+        let thief = thread::spawn(move || d2.steal_retrying());
+        d.push(1u64);
+        d.push(2u64);
+        let mut claimed = Vec::new();
+        claimed.extend(d.pop());
+        claimed.extend(d.pop());
+        claimed.extend(thief.join());
+        // Once both sides quiesce, drain the leftovers: between the claims
+        // and the remainder, each item appears exactly once.
+        while let Some(v) = d.pop() {
+            claimed.push(v);
+        }
+        claimed.sort_unstable();
+        assert_eq!(claimed, [1, 2], "lost or duplicated an item: {claimed:?}");
+    });
+}
+
+/// `steal_tagged` staleness re-validation (deque.rs `steal_inner`,
+/// `tagged_only` arm): while the owner replaces an untagged item with a
+/// tagged one, a tag-only thief must never claim the untagged item, and the
+/// tagged item must still be dispatched exactly once.
+#[test]
+fn deque_steal_tagged_never_claims_untagged() {
+    model_bounded(3, || {
+        let d = Arc::new(Deque::with_capacity(2));
+        d.push_tagged(1u64, false);
+        let d2 = d.clone();
+        let thief = thread::spawn(move || loop {
+            match d2.steal_tagged() {
+                Steal::Success(v) => return Some(v),
+                Steal::Empty => return None,
+                Steal::Retry => {}
+            }
+        });
+        // The untagged item is invisible to the tag-only thief: pop always
+        // gets it.
+        assert_eq!(d.pop(), Some(1), "tag-only thief claimed an untagged item");
+        d.push_tagged(2u64, true);
+        let stolen = thief.join();
+        let popped = d.pop();
+        match stolen {
+            Some(v) => {
+                assert_eq!(v, 2, "thief claimed the untagged item");
+                assert_eq!(popped, None, "tagged item dispatched twice");
+            }
+            None => assert_eq!(popped, Some(2), "tagged item lost"),
+        }
+    });
+}
+
+/// Push racing a thief across a buffer growth (capacity 2, third push
+/// doubles the buffer): the thief may hold the retired buffer mid-steal,
+/// yet every item is still dispatched exactly once.
+#[test]
+fn deque_push_vs_steal_across_grow() {
+    model_bounded(2, || {
+        let d = Arc::new(Deque::with_capacity(2));
+        let d2 = d.clone();
+        let thief = thread::spawn(move || d2.steal_retrying());
+        d.push(1u64);
+        d.push(2u64);
+        d.push(3u64); // grows 2 -> 4, retiring the buffer mid-race
+        let mut claimed = Vec::new();
+        claimed.extend(thief.join());
+        while let Some(v) = d.pop() {
+            claimed.push(v);
+        }
+        claimed.sort_unstable();
+        assert_eq!(claimed, [1, 2, 3], "lost or duplicated an item across grow");
+    });
+}
+
+/// Injector MPSC ordering: two producers racing `push` against a concurrent
+/// `drain`.  Nothing is lost or duplicated, and a drain never reorders one
+/// producer's submissions (arrival order is restored per drain).
+#[test]
+fn injector_mpsc_no_loss_no_dup() {
+    model_bounded(2, || {
+        let q = Arc::new(Injector::new());
+        let (qa, qb) = (q.clone(), q.clone());
+        let pa = thread::spawn(move || qa.push(1u64));
+        let pb = thread::spawn(move || qb.push(2u64));
+        // Rescue drain racing the producers (the idle-VP rescue path).
+        let mut claimed = q.drain();
+        pa.join();
+        pb.join();
+        claimed.extend(q.drain());
+        let mut sorted = claimed.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, [1, 2], "injector lost or duplicated an item");
+        assert!(q.is_empty());
+    });
+}
+
+/// A single producer's submissions come back out in arrival order even when
+/// a drain races the pushes: any drain observes a *prefix* of the pushes,
+/// never a later item without an earlier one.
+#[test]
+fn injector_drain_preserves_arrival_order() {
+    model_bounded(3, || {
+        let q = Arc::new(Injector::new());
+        let q2 = q.clone();
+        let producer = thread::spawn(move || {
+            q2.push(1u64);
+            q2.push(2u64);
+        });
+        let first = q.drain();
+        assert!(
+            first.is_empty() || first == [1] || first == [1, 2],
+            "drain saw a non-prefix: {first:?}"
+        );
+        producer.join();
+        let mut all = first;
+        all.extend(q.drain());
+        assert_eq!(all, [1, 2], "arrival order lost");
+    });
+}
+
+/// The trace ring's ticket/seq publish protocol: a reader snapshotting
+/// while a writer laps a capacity-2 ring must never surface a torn record
+/// as valid.  Records are self-checking — every word carries the same tag.
+#[test]
+fn trace_ring_reader_never_surfaces_torn_record() {
+    model_bounded(3, || {
+        // 0 VPs = a single (external) lane; capacity 2 so the third record
+        // wraps and overwrites mid-snapshot.
+        let tracer = Arc::new(Tracer::new(0, 2, true));
+        let t2 = tracer.clone();
+        let writer = thread::spawn(move || {
+            for i in 1..=3u64 {
+                t2.record(None, EventKind::Fork, i, i as u32, i as u32);
+            }
+        });
+        for e in tracer.snapshot() {
+            assert_eq!(e.kind, EventKind::Fork);
+            assert!(
+                e.thread == e.a as u64 && e.a == e.b && (1..=3).contains(&e.a),
+                "torn record surfaced as valid: {e:?}"
+            );
+        }
+        writer.join();
+        // After the writer finishes the newest records are all resident.
+        let final_threads: Vec<u64> = tracer.snapshot().iter().map(|e| e.thread).collect();
+        assert!(tracer.truncated(), "a lapped ring must report truncation");
+        for e in tracer.snapshot() {
+            assert!(
+                e.thread == e.a as u64 && e.a == e.b && (1..=3).contains(&e.a),
+                "torn record surfaced as valid: {e:?}"
+            );
+        }
+        assert!(
+            final_threads.contains(&3),
+            "newest record missing from quiescent snapshot: {final_threads:?}"
+        );
+    });
+}

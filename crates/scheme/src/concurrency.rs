@@ -288,6 +288,13 @@ pub(crate) fn add_defs(v: &mut Vec<Def>) {
         let dump = cx()?.vm().trace_dump();
         Ok(m.string(&dump))
     });
+    // `trace-audit` replays the recording through the scheduler invariant
+    // linter (sting_core::audit) and returns the report rendered as a
+    // string — "trace audit: 0 finding(s) ..." on a clean run.
+    def!("trace-audit", 0, Some(0), |m, _a| {
+        let report = cx()?.vm().trace_audit();
+        Ok(m.string(&report.to_string()))
+    });
     def!("trace-export", 1, Some(1), |m, a| {
         let path = want_string(m, a, 0, "trace-export")?;
         let vm = cx()?.vm();

@@ -577,6 +577,10 @@ fn trace_prims_record_dump_and_export() {
     let _ = std::fs::remove_file(&path);
     assert!(json.starts_with('[') && json.trim_end().ends_with(']'));
     assert!(json.contains("\"steal"));
+    // The invariant linter is reachable from Scheme and this run is clean.
+    let audit = ev(&i, "(trace-audit)");
+    let report = audit.as_str().expect("trace-audit returns a string");
+    assert!(report.starts_with("trace audit: 0 finding(s)"), "{report}");
     // trace-stop freezes the recording.
     ev(&i, "(trace-stop)");
     let frozen = ev(&i, "(trace-count)").as_int().unwrap();
