@@ -45,6 +45,9 @@ run_check() {
     # normal incremental cache.
     RUSTFLAGS="--cfg sting_check" CARGO_TARGET_DIR=target/check \
         cargo test -q -p sting-core --test model
+    step "model checker: production blocking-protocol models (--cfg sting_check)"
+    RUSTFLAGS="--cfg sting_check" CARGO_TARGET_DIR=target/check \
+        cargo test -q -p sting-core --test model_wait
 }
 
 run_miri() {

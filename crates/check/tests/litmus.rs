@@ -333,3 +333,101 @@ fn seqlock_scenario(store_ord: Ordering, load_ord: Ordering) {
     }
     writer.join();
 }
+
+// --- claim-token mutations (wait.rs ClaimState) -------------------------
+//
+// Mini-transliterations of the blocking protocol's claim token: one packed
+// word holding `gen << 3 | phase` (ARMED = 1, CLAIMED = 2), consumed by a
+// compare-exchange from ARMED to CLAIMED.  The production protocol is
+// model-checked directly in `crates/core/tests/model_wait.rs`; these
+// mutations prove those scenarios have teeth by weakening the claim and
+// showing the checker catch the resulting double wake-up / lost payload.
+
+const CLAIM_ARMED: usize = 1;
+const CLAIM_CLAIMED: usize = 2;
+
+fn claim_pack(gen: usize, phase: usize) -> usize {
+    (gen << 3) | phase
+}
+
+/// The production shape: claim is a single AcqRel CAS, so two racing
+/// wakers consume one armed episode exactly once.
+#[test]
+fn claim_token_cas_is_exactly_once() {
+    let explored = model(|| {
+        let state = Arc::new(AtomicUsize::new(claim_pack(1, CLAIM_ARMED)));
+        let s2 = state.clone();
+        let cas = |s: &AtomicUsize| {
+            s.compare_exchange(
+                claim_pack(1, CLAIM_ARMED),
+                claim_pack(1, CLAIM_CLAIMED),
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            )
+            .is_ok()
+        };
+        let t = thread::spawn(move || cas(&s2));
+        let mine = cas(&state);
+        let theirs = t.join();
+        assert!(mine ^ theirs, "claim CAS must succeed exactly once");
+    });
+    assert!(explored.executions > 1);
+}
+
+/// MUTATION: the claim weakened to a load-check-then-store.  Two wakers
+/// can both observe ARMED before either stores CLAIMED, so both believe
+/// they own the wake-up — the double-wake the CAS exists to prevent.
+#[test]
+fn claim_token_load_store_double_claims() {
+    let report = model_bounded_expect_failure(4, || {
+        let state = Arc::new(AtomicUsize::new(claim_pack(1, CLAIM_ARMED)));
+        let s2 = state.clone();
+        let broken_claim = |s: &AtomicUsize| {
+            if s.load(Ordering::Acquire) == claim_pack(1, CLAIM_ARMED) {
+                s.store(claim_pack(1, CLAIM_CLAIMED), Ordering::Release);
+                true
+            } else {
+                false
+            }
+        };
+        let t = thread::spawn(move || broken_claim(&s2));
+        let mine = broken_claim(&state);
+        let theirs = t.join();
+        assert!(mine ^ theirs, "claim must succeed exactly once");
+    });
+    assert!(
+        report.contains("exactly once"),
+        "load+store claim must double-claim; got:\n{report}"
+    );
+}
+
+/// MUTATION: the claim CAS's Release half dropped (Acquire success
+/// ordering).  The condition written before the claim is no longer
+/// published to the owner whose `finish` observes CLAIMED, so a wake-up
+/// can arrive without its payload.
+#[test]
+fn claim_token_relaxed_claim_loses_payload() {
+    let report = model_expect_failure(|| {
+        let state = Arc::new(AtomicUsize::new(claim_pack(1, CLAIM_ARMED)));
+        let data = Arc::new(AtomicUsize::new(0));
+        let (s2, d2) = (state.clone(), data.clone());
+        let t = thread::spawn(move || {
+            d2.store(42, Ordering::Relaxed);
+            let _ = s2.compare_exchange(
+                claim_pack(1, CLAIM_ARMED),
+                claim_pack(1, CLAIM_CLAIMED),
+                Ordering::Acquire, // MUTATION: production uses AcqRel.
+                Ordering::Relaxed,
+            );
+        });
+        // The owner's finish: an Acquire read observing CLAIMED.
+        if state.load(Ordering::Acquire) == claim_pack(1, CLAIM_CLAIMED) {
+            assert_eq!(data.load(Ordering::Relaxed), 42, "payload lost");
+        }
+        t.join();
+    });
+    assert!(
+        report.contains("payload lost"),
+        "dropping the claim's Release half must lose the payload; got:\n{report}"
+    );
+}

@@ -75,6 +75,18 @@ pub enum FindingKind {
     /// quiesced machine (e.g. after [`Vm::shutdown`](crate::vm::Vm::shutdown)
     /// drains, which determines everything still queued).
     LostWakeup,
+    /// A claimed wake-up (`Unblock` carrying an episode generation) was
+    /// delivered for a wait episode that had already been cancelled or
+    /// timed out: the claim CAS was bypassed, so a structure woke a
+    /// deregistered waiter.  Presence-based (a cancel followed by a
+    /// claimed wake on the same generation), so it needs no truncation
+    /// gating.
+    WakeAfterCancel,
+    /// A wait episode was still armed when its thread determined
+    /// (`WaiterCancelled` with origin "leaked at determine"): some park
+    /// path failed to deregister, so a structure may still count — or try
+    /// to wake — a recycled thread.
+    WaiterLeak,
 }
 
 /// The outcome of [`audit`]: the findings plus how much evidence they rest
@@ -129,6 +141,9 @@ struct ThreadAudit {
     /// Target VP and timestamp of the most recent pending enqueue.
     last_enqueue: Option<(u32, u64)>,
     determined_at: Option<u64>,
+    /// Wait-episode generations (low 32 bits) seen cancelled or timed
+    /// out; a later claimed wake-up on one of them is a violation.
+    dead_episodes: std::collections::HashSet<u32>,
     /// Lane vector clock: events seen per lane up to this thread's last
     /// involvement.
     clock: Vec<u64>,
@@ -206,9 +221,46 @@ pub fn audit(events: &[TraceEvent], truncated: bool) -> AuditReport {
                 }
             }
             EventKind::Determine => st.determined_at = Some(e.ts_ns),
+            EventKind::Unblock => {
+                // `b != 0` marks a *claimed* wake-up (generations start at
+                // 1): a waker won the claim CAS on episode `b`.  The CAS
+                // is mutually exclusive with cancellation/timeout on the
+                // same generation, so seeing both is a protocol breach.
+                if e.b != 0 && st.dead_episodes.contains(&e.b) {
+                    findings.push(Finding {
+                        kind: FindingKind::WakeAfterCancel,
+                        thread: e.thread,
+                        ts_ns: e.ts_ns,
+                        clock: st.clock.clone(),
+                        detail: format!(
+                            "claimed wake-up for wait episode gen {} after it was \
+                             cancelled or timed out",
+                            e.b
+                        ),
+                    });
+                }
+            }
+            EventKind::BlockTimeout => {
+                st.dead_episodes.insert(e.b);
+            }
+            EventKind::WaiterCancelled => {
+                st.dead_episodes.insert(e.b);
+                if e.a == 2 {
+                    findings.push(Finding {
+                        kind: FindingKind::WaiterLeak,
+                        thread: e.thread,
+                        ts_ns: e.ts_ns,
+                        clock: st.clock.clone(),
+                        detail: format!(
+                            "wait episode gen {} was still registered when the \
+                             thread determined",
+                            e.b
+                        ),
+                    });
+                }
+            }
             EventKind::Steal
             | EventKind::Block
-            | EventKind::Unblock
             | EventKind::Suspend
             | EventKind::Resume
             | EventKind::Preempt

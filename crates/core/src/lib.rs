@@ -64,6 +64,7 @@ pub mod topology;
 pub mod trace;
 pub mod vm;
 pub mod vp;
+pub mod wait;
 
 pub use audit::{AuditReport, Finding, FindingKind};
 pub use builder::{ThreadBuilder, VmBuilder};
@@ -74,8 +75,10 @@ pub use machine::PhysicalMachine;
 pub use pm::{DequeCaps, EnqueueState, PolicyManager, QueueKind, RunItem};
 pub use state::{StateRequest, ThreadState};
 pub use tc::Cx;
-pub use thread::{Thread, ThreadId, ThreadResult, Thunk, TryThunk, WaitNode};
+pub use thread::{JoinNode, Thread, ThreadId, ThreadResult, Thunk, TryThunk};
+pub use timers::TimerId;
 pub use topology::Topology;
 pub use trace::{EventKind, TraceEvent, Tracer};
 pub use vm::Vm;
 pub use vp::Vp;
+pub use wait::{TimedOut, WaitList, Waiter, WakeReason};

@@ -39,15 +39,16 @@ use crate::counters::Counters;
 use crate::error::CoreError;
 use crate::state::{StateRequest, ThreadState};
 use crate::tcb::{Disposition, ThreadSuspender, Wakeup};
-use crate::thread::{Thread, ThreadResult, Thunk, TryThunk, WaitNode};
+use crate::thread::{JoinNode, Thread, ThreadResult, Thunk, TryThunk};
 use crate::tls;
 use crate::vm::Vm;
 use crate::vp::Vp;
+use crate::wait::{Waiter, WakeReason};
 use std::marker::PhantomData;
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use sting_value::Value;
 
 /// Panic payload carrying a `thread-terminate` request through the stack of
@@ -209,6 +210,12 @@ impl Cx {
         wait(thread)
     }
 
+    /// Like [`Cx::wait`] with a timeout; `None` if `thread` has not
+    /// determined within `timeout`.
+    pub fn wait_timeout(&self, thread: &Arc<Thread>, timeout: Duration) -> Option<ThreadResult> {
+        wait_timeout(thread, timeout)
+    }
+
     /// Demands `thread`'s value, absorbing its thunk into this thread's TCB
     /// when legal (`touch` with the stealing optimization of §4.1.1).
     pub fn touch(&self, thread: &Arc<Thread>) -> ThreadResult {
@@ -220,8 +227,11 @@ impl Cx {
     /// we are blocked on (visible via [`Thread::blocker`]).
     ///
     /// Wake-ups can be spurious: callers must re-check their condition.
-    pub fn block(&self, blocker: Option<Value>) {
-        block_current(blocker).expect("Cx exists off-thread");
+    /// The returned [`WakeReason`] reports why the thread resumed (a
+    /// timed park's deadline, a cancellation that did not unwind, or a
+    /// plain wake-up).
+    pub fn block(&self, blocker: Option<Value>) -> WakeReason {
+        block_current(blocker).expect("Cx exists off-thread")
     }
 
     /// Suspends the current thread; with `Some(d)` it resumes automatically
@@ -416,10 +426,7 @@ pub(crate) fn apply_requests() {
                 switch_out(Disposition::Blocked);
             }
             StateRequest::Suspend(d) => {
-                if let (Some(d), Some(vm)) = (d, thread.vm()) {
-                    vm.timers()
-                        .add(std::time::Instant::now() + d, thread.clone());
-                }
+                let _timer = resume_timer(d, &thread);
                 switch_out(Disposition::Suspended);
             }
             StateRequest::Resume => {}
@@ -475,16 +482,43 @@ pub fn yield_now() -> Result<(), CoreError> {
 /// Blocks the current thread until something unblocks it; see
 /// [`Cx::block`].
 ///
+/// The returned [`WakeReason`] is a non-consuming snapshot of the
+/// thread's current wait episode (if any); timed parks
+/// ([`Waiter::park_until`]) consume the episode themselves and remain the
+/// authoritative source.  Plain wake-ups report `Woken` and may be
+/// spurious: callers must re-check their condition.
+///
 /// # Errors
 ///
 /// [`CoreError::NotOnThread`] when called from a non-STING OS thread.
-pub fn block_current(blocker: Option<Value>) -> Result<(), CoreError> {
+pub fn block_current(blocker: Option<Value>) -> Result<WakeReason, CoreError> {
     let cur = tls::current().ok_or(CoreError::NotOnThread)?;
     let thread = cur.shared.thread.clone();
     drop(cur);
     thread.core.lock().blocker = blocker;
     switch_out(Disposition::Blocked);
-    Ok(())
+    Ok(thread.wait_node().state().snapshot_reason())
+}
+
+/// Arms the wheel to resume the current thread after `duration`, returning
+/// a guard that cancels the entry when the sleep ends — normally *or* by
+/// unwinding — so a thread woken early leaves no tombstone to fire a
+/// spurious wake-up later.
+fn resume_timer(duration: Option<Duration>, thread: &Arc<Thread>) -> Option<ResumeTimerGuard> {
+    let (d, vm) = (duration?, thread.vm()?);
+    let id = vm.timers().add(Instant::now() + d, thread.clone());
+    Some(ResumeTimerGuard { vm, id })
+}
+
+struct ResumeTimerGuard {
+    vm: Arc<Vm>,
+    id: crate::timers::TimerId,
+}
+
+impl Drop for ResumeTimerGuard {
+    fn drop(&mut self) {
+        self.vm.timers().cancel(self.id);
+    }
 }
 
 /// Suspends the current thread, optionally auto-resuming after `duration`;
@@ -497,10 +531,7 @@ pub fn suspend_current(duration: Option<Duration>) -> Result<(), CoreError> {
     let cur = tls::current().ok_or(CoreError::NotOnThread)?;
     let thread = cur.shared.thread.clone();
     drop(cur);
-    if let (Some(d), Some(vm)) = (duration, thread.vm()) {
-        vm.timers()
-            .add(std::time::Instant::now() + d, thread.clone());
-    }
+    let _timer = resume_timer(duration, &thread);
     switch_out(Disposition::Suspended);
     Ok(())
 }
@@ -509,20 +540,48 @@ pub fn suspend_current(duration: Option<Duration>) -> Result<(), CoreError> {
 /// thread this parks only the green thread; on a plain OS thread it falls
 /// back to [`Thread::join_blocking`].
 pub fn wait(thread: &Arc<Thread>) -> ThreadResult {
+    loop {
+        // `None` without a deadline is unreachable in practice (a
+        // cancellation unwinds instead); re-enter if it ever happens.
+        if let Some(r) = wait_deadline(thread, None) {
+            return r;
+        }
+    }
+}
+
+/// [`wait`] with a timeout: `None` if `thread` has not determined within
+/// `timeout`.  The watched thread never counts the abandoned waiter — the
+/// join node is deactivated on every exit path.
+pub fn wait_timeout(thread: &Arc<Thread>, timeout: Duration) -> Option<ThreadResult> {
+    wait_deadline(thread, Some(Instant::now() + timeout))
+}
+
+/// [`wait`] with an optional absolute deadline; `None` on timeout.
+pub fn wait_deadline(thread: &Arc<Thread>, deadline: Option<Instant>) -> Option<ThreadResult> {
     if !tls::on_thread() {
-        return thread.join_blocking();
+        return match deadline {
+            None => Some(thread.join_blocking()),
+            Some(d) => thread.join_blocking_timeout(d.saturating_duration_since(Instant::now())),
+        };
     }
     let waiter = tls::current().expect("on thread").shared.thread.clone();
-    // One wait node for the whole wait, registered at most once: a spurious
+    // One join node for the whole wait, registered at most once: a spurious
     // wake-up must re-block on the *same* registration, not append a fresh
     // node to the target's waiter list each time around the loop (that
     // leaked nodes — and duplicate wake-ups — for as long as the wait
-    // lasted).
-    let node = WaitNode::new(waiter, 1);
+    // lasted).  The guard deactivates it on *every* exit (timeout,
+    // cancellation, unwind), so the target never wakes a dead waiter.
+    let node = JoinNode::new(waiter, 1);
+    let guard = JoinGuard { node: &node };
     let mut registered = false;
     loop {
         if let Some(r) = thread.result() {
-            return r;
+            std::mem::forget(guard);
+            // Keep counting completions toward the (satisfied) node is
+            // pointless: deactivate so the target's amortized sweep can
+            // drop it early.
+            node.cancel();
+            return Some(r);
         }
         if !registered {
             registered = thread.add_wait_node(&node);
@@ -532,8 +591,35 @@ pub fn wait(thread: &Arc<Thread>) -> ThreadResult {
                 continue;
             }
         }
-        let _ = block_current(Some(thread.to_value()));
-        // Loop: wake-ups may be spurious.
+        // Park one wait episode.  Determination wakes us through the join
+        // node (a plain unblock — spurious from the episode's view), the
+        // deadline through the timer wheel.
+        let w = Waiter::current();
+        if thread.is_determined() {
+            // Determined between the check above and arming: the unblock
+            // may already have been spent before we parked.
+            let _ = w.retire();
+            continue;
+        }
+        match w.park_until(&thread.to_value(), deadline) {
+            WakeReason::Woken => continue,
+            WakeReason::TimedOut | WakeReason::Cancelled => {
+                std::mem::forget(guard);
+                node.cancel();
+                return None;
+            }
+        }
+    }
+}
+
+/// Deactivates a join node if the wait unwinds (thread termination).
+struct JoinGuard<'a> {
+    node: &'a Arc<JoinNode>,
+}
+
+impl Drop for JoinGuard<'_> {
+    fn drop(&mut self) {
+        self.node.cancel();
     }
 }
 
@@ -696,7 +782,7 @@ pub fn thread_block(thread: &Arc<Thread>) -> Result<(), CoreError> {
     if let Some(cur) = tls::current() {
         if Arc::ptr_eq(&cur.shared.thread, thread) {
             drop(cur);
-            return block_current(None);
+            return block_current(None).map(|_| ());
         }
     }
     thread.request(StateRequest::Block)

@@ -52,16 +52,19 @@ impl std::fmt::Display for ThreadId {
 /// waiter's wait-count is decremented whenever a watched thread determines;
 /// at zero the waiter is rescheduled.  `wait-for-one` uses a count of 1
 /// over n nodes, `wait-for-all` a count of n.
+///
+/// (Not to be confused with [`crate::wait::WaitNode`], the blocking
+/// protocol's parking spot — a `JoinNode` only counts determinations.)
 #[derive(Debug)]
-pub struct WaitNode {
+pub struct JoinNode {
     waiter: Arc<Thread>,
     remaining: AtomicUsize,
 }
 
-impl WaitNode {
+impl JoinNode {
     /// Creates a node that will wake `waiter` after `count` completions.
-    pub fn new(waiter: Arc<Thread>, count: usize) -> Arc<WaitNode> {
-        Arc::new(WaitNode {
+    pub fn new(waiter: Arc<Thread>, count: usize) -> Arc<JoinNode> {
+        Arc::new(JoinNode {
             waiter,
             remaining: AtomicUsize::new(count),
         })
@@ -95,6 +98,13 @@ impl WaitNode {
     pub fn remaining(&self) -> usize {
         self.remaining.load(Ordering::Acquire)
     }
+
+    /// Deactivates the node: later completions are ignored and never wake
+    /// the (abandoning or dying) waiter.  Used by the timed/cancellable
+    /// join paths so watched threads never count a dead waiter.
+    pub fn cancel(&self) {
+        self.remaining.swap(0, Ordering::AcqRel);
+    }
 }
 
 pub(crate) struct ThreadCore {
@@ -103,7 +113,7 @@ pub(crate) struct ThreadCore {
     pub(crate) parked: Option<Tcb>,
     pub(crate) wake_pending: bool,
     pub(crate) requests: Vec<StateRequest>,
-    pub(crate) waiters: Vec<Arc<WaitNode>>,
+    pub(crate) waiters: Vec<Arc<JoinNode>>,
     /// Next `waiters` length at which satisfied nodes are swept (amortized
     /// pruning, see [`Thread::add_wait_node`]).
     waiters_sweep_at: usize,
@@ -132,6 +142,10 @@ pub struct Thread {
     pub(crate) vm: Weak<Vm>,
     /// VP the thread last ran on (or was scheduled on); wake-ups go here.
     pub(crate) home_vp: AtomicUsize,
+    /// The thread's parking spot for the blocking protocol: one node for
+    /// the thread's whole lifetime, episodes distinguished by generation
+    /// (see [`crate::wait`]).
+    wait_node: Arc<crate::wait::WaitNode>,
 }
 
 impl std::fmt::Debug for Thread {
@@ -163,7 +177,7 @@ impl Thread {
             state,
             ThreadState::Delayed | ThreadState::Scheduled
         ));
-        let t = Arc::new(Thread {
+        let t = Arc::new_cyclic(|weak: &Weak<Thread>| Thread {
             id: ThreadId(vm.next_thread_id()),
             name,
             state: AtomicU8::new(state as u8),
@@ -186,6 +200,7 @@ impl Thread {
             children: Mutex::new(Vec::new()),
             vm: Arc::downgrade(vm),
             home_vp: AtomicUsize::new(0),
+            wait_node: Arc::new(crate::wait::WaitNode::green(weak.clone())),
         });
         group.add(&t);
         if let Some(p) = parent.upgrade() {
@@ -306,11 +321,16 @@ impl Thread {
         Value::native("thread", self.clone())
     }
 
+    /// The thread's blocking-protocol parking node (see [`crate::wait`]).
+    pub(crate) fn wait_node(&self) -> &Arc<crate::wait::WaitNode> {
+        &self.wait_node
+    }
+
     /// Registers `node` to be completed when this thread determines.
     ///
     /// Returns `false` (without registering) if the thread has already
     /// determined; the caller should then count the completion itself.
-    pub fn add_wait_node(&self, node: &Arc<WaitNode>) -> bool {
+    pub fn add_wait_node(&self, node: &Arc<JoinNode>) -> bool {
         let mut core = self.core.lock();
         if self.is_determined() {
             false
@@ -357,6 +377,15 @@ impl Thread {
             }
         }
         Some(core.result.clone().expect("determined thread has a result"))
+    }
+
+    /// Waits for this thread to determine, for at most `timeout`; `None`
+    /// on timeout.  On a STING thread this parks only the green thread
+    /// (with the deadline routed through the timer wheel, see
+    /// [`crate::tc::wait_timeout`]); on a plain OS thread it falls back to
+    /// [`Thread::join_blocking_timeout`].
+    pub fn wait_timeout(self: &Arc<Thread>, timeout: Duration) -> Option<ThreadResult> {
+        crate::tc::wait_timeout(self, timeout)
     }
 
     /// Records an asynchronous state-change request (the paper's
@@ -406,9 +435,27 @@ impl Thread {
             // and applied by the thread itself; parked targets are woken so
             // they notice promptly.
             _ => {
+                let lethal = matches!(request, StateRequest::Terminate(_) | StateRequest::Raise(_));
                 core.requests.push(request);
                 let parked = state.has_tcb() && state != ThreadState::Evaluating;
                 drop(core);
+                if lethal {
+                    // The target will unwind at its next controller entry:
+                    // cancel its wait episode *now* so no structure spends
+                    // a wake-up on (or counts) the dying waiter.
+                    if let Some(gen) = self.wait_node.state().cancel_current() {
+                        if let Some(vm) = self.vm() {
+                            crate::trace_event!(
+                                vm.tracer(),
+                                crate::tls::current().map(|c| c.vp.index()),
+                                crate::trace::EventKind::WaiterCancelled,
+                                self.id.0,
+                                0, // origin: state request
+                                gen as u32
+                            );
+                        }
+                    }
+                }
                 if parked {
                     self.unblock();
                 }
@@ -422,6 +469,19 @@ impl Thread {
     /// spurious wake-ups are allowed and synchronization structures must
     /// re-check their condition.
     pub(crate) fn unblock(self: &Arc<Thread>) {
+        self.unblock_inner(0);
+    }
+
+    /// [`Thread::unblock`] for a wake-up that consumed wait episode `gen`
+    /// via the claim token ([`crate::wait::Waiter::wake`]).  The trace
+    /// event carries the generation (its low 32 bits; generations start at
+    /// 1, so `b != 0` distinguishes claimed wake-ups from plain ones) for
+    /// the audit's wake-after-cancel check.
+    pub(crate) fn unblock_claimed(self: &Arc<Thread>, gen: u64) {
+        self.unblock_inner(gen as u32);
+    }
+
+    fn unblock_inner(self: &Arc<Thread>, claimed_gen: u32) {
         let tcb = {
             let mut core = self.core.lock();
             match self.state() {
@@ -454,7 +514,8 @@ impl Thread {
                     crate::tls::current().map(|c| c.vp.index()),
                     crate::trace::EventKind::Unblock,
                     self.id.0,
-                    vp as u32
+                    vp as u32,
+                    claimed_gen
                 );
                 vm.enqueue_parked(tcb, vp, crate::pm::EnqueueState::Unblocked);
             }
@@ -464,6 +525,23 @@ impl Thread {
     /// Finalizes the thread with `result`: sets `Determined`, publishes the
     /// value, and wakes every waiter (the paper's `wakeup-waiters`).
     pub(crate) fn complete(self: &Arc<Thread>, result: ThreadResult) {
+        // A wait episode still armed at determination is a protocol leak:
+        // every park path (normal return, unwind guard, request
+        // cancellation) must have closed it.  Kill it so no structure can
+        // wake a recycled thread, and trace it for the audit's
+        // waiter-leak invariant.
+        if let Some(gen) = self.wait_node.state().cancel_current() {
+            if let Some(vm) = self.vm() {
+                crate::trace_event!(
+                    vm.tracer(),
+                    crate::tls::current().map(|c| c.vp.index()),
+                    crate::trace::EventKind::WaiterCancelled,
+                    self.id.0,
+                    2, // origin: leaked at determine
+                    gen as u32
+                );
+            }
+        }
         let waiters = {
             let mut core = self.core.lock();
             if self.is_determined() {

@@ -1,20 +1,62 @@
 //! The virtual machine's timer wheel: wake-ups for `thread-suspend` with a
-//! quantum argument and for [`Cx::sleep`](crate::tc::Cx::sleep).
+//! quantum argument, [`Cx::sleep`](crate::tc::Cx::sleep), and the deadlines
+//! of timed blocking operations ([`Waiter::park_until`]).
 //!
 //! Precision is bounded by the machine's preemption tick — the timekeeper
 //! and the processor workers both drain due timers.
+//!
+//! Every entry is **cancellable**: [`Timers::add`] and
+//! `Timers::add_wait_deadline` (crate-internal) return a [`TimerId`]
+//! which the sleeper
+//! cancels when it is woken early (terminate/unblock before the deadline),
+//! so tombstones neither fire spurious wake-ups nor pin their
+//! `Arc<Thread>` until the deadline.  Cancelled entries are dropped lazily
+//! at the heap head and compacted in bulk once they outnumber half the
+//! heap, keeping the heap within a constant factor of the live count.
+//!
+//! [`Waiter::park_until`]: crate::wait::Waiter::park_until
 
 use crate::thread::Thread;
+use crate::wait::WaitNode;
 use parking_lot::Mutex;
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashSet};
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Handle for cancelling a pending timer entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimerId(u64);
+
+/// What a due timer entry asks the machine to do.
+pub(crate) enum Due {
+    /// Resume a suspended/sleeping thread (spurious if it already woke —
+    /// the thread re-checks, but early wake-ups cancel the entry so this
+    /// stays rare).
+    Resume(Arc<Thread>),
+    /// A timed park's deadline: mark the wait episode timed out (the CAS
+    /// fails harmlessly if a waker or cancellation got there first) and
+    /// wake the thread so it observes the outcome.
+    WaitDeadline {
+        thread: Arc<Thread>,
+        node: Arc<WaitNode>,
+        gen: u64,
+    },
+}
+
+enum EntryKind {
+    Resume(Arc<Thread>),
+    WaitDeadline {
+        thread: Arc<Thread>,
+        node: Arc<WaitNode>,
+        gen: u64,
+    },
+}
 
 struct Entry {
     when: Instant,
     seq: u64,
-    thread: Arc<Thread>,
+    kind: EntryKind,
 }
 
 impl PartialEq for Entry {
@@ -34,16 +76,49 @@ impl Ord for Entry {
     }
 }
 
-/// A min-heap of pending thread wake-ups.
+#[derive(Default)]
+struct Inner {
+    heap: BinaryHeap<Reverse<Entry>>,
+    /// Seqs of entries still in the heap and not cancelled.
+    live: HashSet<u64>,
+    /// Seqs cancelled but still physically in the heap (tombstones).
+    cancelled: HashSet<u64>,
+    next_seq: u64,
+}
+
+impl Inner {
+    fn add(&mut self, when: Instant, kind: EntryKind) -> TimerId {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.live.insert(seq);
+        self.heap.push(Reverse(Entry { when, seq, kind }));
+        TimerId(seq)
+    }
+
+    /// Rebuild the heap without tombstones once they dominate: keeps the
+    /// physical heap within ~2× the live count under churn (threshold 16
+    /// so small bursts never pay for a rebuild).
+    fn maybe_compact(&mut self) {
+        if self.cancelled.len() >= 16 && self.cancelled.len() * 2 >= self.heap.len() {
+            let drained = std::mem::take(&mut self.heap);
+            self.heap = drained
+                .into_iter()
+                .filter(|Reverse(e)| !self.cancelled.contains(&e.seq))
+                .collect();
+            self.cancelled.clear();
+        }
+    }
+}
+
+/// A min-heap of pending, cancellable thread wake-ups.
 #[derive(Default)]
 pub struct Timers {
-    heap: Mutex<BinaryHeap<Reverse<Entry>>>,
-    seq: std::sync::atomic::AtomicU64,
+    inner: Mutex<Inner>,
 }
 
 impl std::fmt::Debug for Timers {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "Timers({} pending)", self.heap.lock().len())
+        write!(f, "Timers({} pending)", self.len())
     }
 }
 
@@ -53,38 +128,153 @@ impl Timers {
         Timers::default()
     }
 
-    /// Schedules `thread` to be woken at `when`.
-    pub fn add(&self, when: Instant, thread: Arc<Thread>) {
-        let seq = self.seq.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        self.heap.lock().push(Reverse(Entry { when, seq, thread }));
+    /// Schedules `thread` to be woken at `when`.  Cancel with the returned
+    /// id if the thread is woken early.
+    pub fn add(&self, when: Instant, thread: Arc<Thread>) -> TimerId {
+        self.inner.lock().add(when, EntryKind::Resume(thread))
     }
 
-    /// Removes and returns all threads whose deadline is at or before
-    /// `now`.
-    pub fn take_due(&self, now: Instant) -> Vec<Arc<Thread>> {
-        let mut heap = self.heap.lock();
+    /// Schedules the deadline of a timed park: at `when`, episode `gen` of
+    /// `node` is marked timed out and `thread` is woken.  The parking code
+    /// cancels the entry when it wakes before the deadline.
+    pub(crate) fn add_wait_deadline(
+        &self,
+        when: Instant,
+        thread: Arc<Thread>,
+        node: Arc<WaitNode>,
+        gen: u64,
+    ) -> TimerId {
+        self.inner
+            .lock()
+            .add(when, EntryKind::WaitDeadline { thread, node, gen })
+    }
+
+    /// Cancels a pending entry.  Returns `false` if it already fired (or
+    /// was already cancelled); sequence numbers are never reused, so a
+    /// stale id can never cancel someone else's entry.
+    pub fn cancel(&self, id: TimerId) -> bool {
+        let mut inner = self.inner.lock();
+        if !inner.live.remove(&id.0) {
+            return false;
+        }
+        inner.cancelled.insert(id.0);
+        inner.maybe_compact();
+        true
+    }
+
+    /// Removes and returns the actions for all live entries whose deadline
+    /// is at or before `now`.  Tombstones encountered on the way are
+    /// discarded silently.
+    pub(crate) fn take_due(&self, now: Instant) -> Vec<Due> {
+        let mut inner = self.inner.lock();
         let mut due = Vec::new();
-        while let Some(Reverse(head)) = heap.peek() {
+        while let Some(Reverse(head)) = inner.heap.peek() {
             if head.when > now {
                 break;
             }
-            due.push(heap.pop().expect("peeked").0.thread);
+            let entry = inner.heap.pop().expect("peeked").0;
+            if inner.cancelled.remove(&entry.seq) {
+                continue;
+            }
+            inner.live.remove(&entry.seq);
+            due.push(match entry.kind {
+                EntryKind::Resume(t) => Due::Resume(t),
+                EntryKind::WaitDeadline { thread, node, gen } => {
+                    Due::WaitDeadline { thread, node, gen }
+                }
+            });
         }
         due
     }
 
-    /// The earliest pending deadline, if any.
+    /// The earliest pending live deadline, if any.
     pub fn next_deadline(&self) -> Option<Instant> {
-        self.heap.lock().peek().map(|Reverse(e)| e.when)
+        let mut inner = self.inner.lock();
+        while let Some(Reverse(head)) = inner.heap.peek() {
+            if !inner.cancelled.contains(&head.seq) {
+                return Some(head.when);
+            }
+            let seq = head.seq;
+            inner.heap.pop();
+            inner.cancelled.remove(&seq);
+        }
+        None
     }
 
-    /// Number of pending wake-ups.
+    /// Number of pending live wake-ups (cancelled tombstones excluded).
     pub fn len(&self) -> usize {
-        self.heap.lock().len()
+        self.inner.lock().live.len()
     }
 
-    /// Whether no wake-ups are pending.
+    /// Whether no live wake-ups are pending.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// The *physical* heap size, tombstones included — observability for
+    /// the compaction bound (and its regression test).
+    pub fn heap_len(&self) -> usize {
+        self.inner.lock().heap.len()
+    }
+}
+
+#[cfg(all(test, not(sting_check)))]
+mod tests {
+    use super::*;
+    use crate::VmBuilder;
+    use std::time::Duration;
+
+    #[test]
+    fn cancel_removes_from_live_and_due() {
+        let vm = VmBuilder::new().vps(1).build();
+        let t = vm.delayed(|_| 0i64);
+        let timers = Timers::new();
+        let far = Instant::now() + Duration::from_secs(3600);
+        let id = timers.add(far, t.clone());
+        assert_eq!(timers.len(), 1);
+        assert!(timers.cancel(id));
+        assert!(!timers.cancel(id), "double cancel reports already-gone");
+        assert_eq!(timers.len(), 0);
+        assert!(timers.next_deadline().is_none());
+        assert!(timers.take_due(far + Duration::from_secs(1)).is_empty());
+        let _ = sting_value::Value::Nil; // keep vm alive until here
+        vm.shutdown();
+    }
+
+    #[test]
+    fn heap_stays_bounded_under_early_wake_churn() {
+        // A churn of sleepers that are all "woken early" (cancelled before
+        // their deadline) must not grow the physical heap without bound:
+        // compaction keeps it within a small constant of the live count.
+        let vm = VmBuilder::new().vps(1).build();
+        let t = vm.delayed(|_| 0i64);
+        let timers = Timers::new();
+        let far = Instant::now() + Duration::from_secs(3600);
+        let mut max_heap = 0;
+        for _ in 0..10_000 {
+            let id = timers.add(far, t.clone());
+            assert!(timers.cancel(id));
+            max_heap = max_heap.max(timers.heap_len());
+        }
+        assert_eq!(timers.len(), 0);
+        assert!(
+            max_heap <= 64,
+            "tombstones must be compacted, heap peaked at {max_heap}"
+        );
+        vm.shutdown();
+    }
+
+    #[test]
+    fn next_deadline_skips_tombstones() {
+        let vm = VmBuilder::new().vps(1).build();
+        let t = vm.delayed(|_| 0i64);
+        let timers = Timers::new();
+        let soon = Instant::now() + Duration::from_secs(10);
+        let later = soon + Duration::from_secs(10);
+        let id = timers.add(soon, t.clone());
+        let _keep = timers.add(later, t.clone());
+        timers.cancel(id);
+        assert_eq!(timers.next_deadline(), Some(later));
+        vm.shutdown();
     }
 }

@@ -68,6 +68,15 @@ pub enum EventKind {
     /// An asynchronous state request was honoured; payload `a` is the
     /// request discriminant.
     StateRequest = 12,
+    /// A timed park's deadline fired before a wake-up: the wait episode
+    /// was consumed as a timeout.  Payload `b` is the episode generation
+    /// (low 32 bits).
+    BlockTimeout = 13,
+    /// A blocked thread's wait episode was cancelled; payload `a` is the
+    /// origin (0 terminate/raise request, 1 park unwind, 2 leaked at
+    /// determine — a protocol violation the audit flags), `b` the episode
+    /// generation (low 32 bits).
+    WaiterCancelled = 14,
 }
 
 impl EventKind {
@@ -87,6 +96,8 @@ impl EventKind {
             10 => Migrate,
             11 => Determine,
             12 => StateRequest,
+            13 => BlockTimeout,
+            14 => WaiterCancelled,
             _ => return None,
         })
     }
@@ -108,6 +119,8 @@ impl EventKind {
             Migrate => "migrate",
             Determine => "determine",
             StateRequest => "state-request",
+            BlockTimeout => "block-timeout",
+            WaiterCancelled => "waiter-cancelled",
         }
     }
 }
@@ -409,6 +422,9 @@ pub fn text_dump(events: &[TraceEvent]) -> String {
             EventKind::Migrate => format!(" (vp{} -> vp{})", e.a, e.b),
             EventKind::Steal => format!(" (depth {})", e.a),
             EventKind::Enqueue => format!(" (state {}, vp {})", e.a, e.b),
+            EventKind::BlockTimeout => format!(" (gen {})", e.b),
+            EventKind::WaiterCancelled => format!(" ({}, gen {})", cancel_origin(e.a), e.b),
+            EventKind::Unblock if e.b != 0 => format!(" (vp {}, claimed gen {})", e.a, e.b),
             _ if e.a != 0 || e.b != 0 => format!(" (a={}, b={})", e.a, e.b),
             _ => String::new(),
         };
@@ -422,6 +438,15 @@ pub fn text_dump(events: &[TraceEvent]) -> String {
         ));
     }
     out
+}
+
+fn cancel_origin(a: u32) -> &'static str {
+    match a {
+        0 => "state request",
+        1 => "park unwind",
+        2 => "leaked at determine",
+        _ => "unknown",
+    }
 }
 
 fn switch_disposition(a: u32) -> &'static str {

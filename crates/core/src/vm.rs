@@ -351,12 +351,29 @@ impl Vm {
         }
     }
 
-    /// Drains due timers, waking suspended threads.  Called by machine
-    /// workers and the timekeeper.
+    /// Drains due timers, waking suspended threads and expiring timed
+    /// parks.  Called by machine workers and the timekeeper.
     pub(crate) fn process_timers(self: &Arc<Vm>) {
         let due = self.timers.take_due(std::time::Instant::now());
-        for t in due {
-            t.unblock();
+        for entry in due {
+            match entry {
+                crate::timers::Due::Resume(t) => t.unblock(),
+                crate::timers::Due::WaitDeadline { thread, node, gen } => {
+                    // The CAS loses (and the wake-up is skipped) if a waker
+                    // or a cancellation consumed the episode first.
+                    if node.state().timeout(gen) {
+                        crate::trace_event!(
+                            self.tracer(),
+                            tls::current().map(|c| c.vp.index()),
+                            crate::trace::EventKind::BlockTimeout,
+                            thread.id().0,
+                            0,
+                            gen as u32
+                        );
+                        thread.unblock();
+                    }
+                }
+            }
         }
     }
 
@@ -433,12 +450,24 @@ impl Vm {
         self.drain();
         // Debug builds lint the flight recording now that the machine has
         // quiesced (the drain determines everything still queued, so a
-        // clean run must produce zero findings).
+        // clean run must produce zero findings).  Blocking-protocol
+        // violations are hard failures: a wake-up delivered to a cancelled
+        // episode or an episode leaked past determination means the claim
+        // token was bypassed.
         #[cfg(debug_assertions)]
         if self.tracer.is_enabled() {
             let report = self.trace_audit();
             if !report.is_clean() {
                 eprintln!("sting-core: scheduler {report}");
+                if report.findings.iter().any(|f| {
+                    matches!(
+                        f.kind,
+                        crate::audit::FindingKind::WakeAfterCancel
+                            | crate::audit::FindingKind::WaiterLeak
+                    )
+                }) {
+                    panic!("sting-core: blocking-protocol audit failed at shutdown: {report}");
+                }
             }
         }
     }

@@ -180,3 +180,81 @@ fn clean_four_vp_steal_heavy_run_audits_clean() {
         "audit of a clean run (migrations={migrated}):\n{report}"
     );
 }
+
+/// A claimed wake-up (`Unblock` with a nonzero episode generation) after
+/// that generation was cancelled must be flagged: the claim CAS and the
+/// cancel CAS are mutually exclusive, so both appearing is a protocol
+/// breach.  Presence-based, so it fires even on a truncated stream.
+#[test]
+fn wake_after_cancel_is_flagged() {
+    let events = [
+        ev(1, 0, EventKind::Fork, 7, 0, 0),
+        ev(2, 0, EventKind::Enqueue, 7, 0, 0),
+        ev(3, 0, EventKind::Dispatch, 7, 0, 0),
+        ev(4, 0, EventKind::Block, 7, 0, 0),
+        ev(5, 0, EventKind::Switch, 7, 2, 0),
+        // Episode gen 3 cancelled by a state request...
+        ev(6, 1, EventKind::WaiterCancelled, 7, 0, 3),
+        // ...yet a structure still delivers a claimed wake for gen 3.
+        ev(7, 1, EventKind::Unblock, 7, 0, 3),
+    ];
+    let report = audit(&events, true);
+    assert_eq!(report.findings.len(), 1, "unexpected report: {report}");
+    assert_eq!(report.findings[0].kind, FindingKind::WakeAfterCancel);
+    assert_eq!(report.findings[0].thread, 7);
+}
+
+/// The same claimed wake-up after the episode *timed out* is the same
+/// violation (the timeout CAS consumed the episode first).
+#[test]
+fn wake_after_timeout_is_flagged() {
+    let events = [
+        ev(1, 0, EventKind::BlockTimeout, 7, 0, 5),
+        ev(2, 0, EventKind::Unblock, 7, 0, 5),
+    ];
+    let report = audit(&events, true);
+    assert_eq!(report.findings.len(), 1, "unexpected report: {report}");
+    assert_eq!(report.findings[0].kind, FindingKind::WakeAfterCancel);
+}
+
+/// Unclaimed wake-ups (`Unblock` with generation 0: resumes, join
+/// completions) and claimed wakes on *other* generations are not flagged.
+#[test]
+fn unrelated_wakes_are_not_flagged() {
+    let events = [
+        ev(1, 0, EventKind::WaiterCancelled, 7, 1, 3),
+        ev(2, 0, EventKind::Unblock, 7, 0, 0), // unclaimed: fine
+        ev(3, 0, EventKind::Unblock, 7, 0, 4), // a later episode: fine
+    ];
+    let report = audit(&events, true);
+    assert!(report.is_clean(), "unexpected findings: {report}");
+}
+
+/// An episode still registered when its thread determines (the
+/// `WaiterCancelled` leak-check origin emitted by `Thread::complete`)
+/// must be flagged as a waiter leak.
+#[test]
+fn waiter_leak_at_determine_is_flagged() {
+    let events = [
+        ev(1, 0, EventKind::Fork, 7, 0, 0),
+        ev(2, 0, EventKind::Determine, 7, 0, 0),
+        // Origin 2 = "leaked at determine".
+        ev(3, 0, EventKind::WaiterCancelled, 7, 2, 6),
+    ];
+    let report = audit(&events, true);
+    assert_eq!(report.findings.len(), 1, "unexpected report: {report}");
+    assert_eq!(report.findings[0].kind, FindingKind::WaiterLeak);
+    assert_eq!(report.findings[0].thread, 7);
+}
+
+/// Cancellations with the benign origins (state request, park unwind) are
+/// clean on their own — only origin 2 is a leak.
+#[test]
+fn benign_cancel_origins_are_not_leaks() {
+    let events = [
+        ev(1, 0, EventKind::WaiterCancelled, 7, 0, 1),
+        ev(2, 0, EventKind::WaiterCancelled, 7, 1, 2),
+    ];
+    let report = audit(&events, true);
+    assert!(report.is_clean(), "unexpected findings: {report}");
+}

@@ -141,6 +141,12 @@ fn want_template(
     Ok(Template::new(fields))
 }
 
+/// Decodes an optional trailing milliseconds argument into a [`Duration`].
+fn want_ms(m: &Machine, argc: usize, i: usize, who: &str) -> Result<Duration, SchemeError> {
+    let ms = want_int(m, argc, i, who)?;
+    Ok(Duration::from_millis(ms.max(0) as u64))
+}
+
 fn bindings_to_val(m: &mut Machine, bindings: Vec<Value>) -> Val {
     for b in &bindings {
         let hv = m.from_value(b);
@@ -187,10 +193,19 @@ pub(crate) fn add_defs(v: &mut Vec<Def>) {
         tc::thread_run(&t, vp).map_err(|e| rerr(format!("thread-run: {e}")))?;
         Ok(Val::Unit)
     });
-    def!("thread-wait", 1, Some(1), |m, a| {
+    def!("thread-wait", 1, Some(2), |m, a| {
+        // (thread-wait t [ms]): #f if the thread did not determine in time.
         let t = want_thread(m, a, 0, "thread-wait")?;
-        let r = tc::wait(&t);
-        unwrap_result(m, r)
+        if a > 1 {
+            let ms = want_ms(m, a, 1, "thread-wait")?;
+            match tc::wait_timeout(&t, ms) {
+                Some(r) => unwrap_result(m, r),
+                None => Ok(Val::Bool(false)),
+            }
+        } else {
+            let r = tc::wait(&t);
+            unwrap_result(m, r)
+        }
     });
     def!("thread-value", 1, Some(1), |m, a| {
         // touch: steals claimable threads onto this TCB.
@@ -396,10 +411,23 @@ pub(crate) fn add_defs(v: &mut Vec<Def>) {
         };
         Ok(m.native(Mutex::new(active, passive).to_value()))
     });
-    def!("mutex-acquire", 1, Some(1), |m, a| {
+    def!("mutex-acquire", 1, Some(2), |m, a| {
+        // (mutex-acquire m [ms]): with a timeout, #t on acquisition and
+        // #f if the lock was not obtained in time.
         let mx = want_native::<Mutex>(m, a, 0, "mutex-acquire")?;
-        mx.acquire_manual();
-        Ok(Val::Unit)
+        if a > 1 {
+            let ms = want_ms(m, a, 1, "mutex-acquire")?;
+            match mx.acquire_timeout(ms) {
+                Ok(guard) => {
+                    std::mem::forget(guard);
+                    Ok(Val::Bool(true))
+                }
+                Err(_) => Ok(Val::Bool(false)),
+            }
+        } else {
+            mx.acquire_manual();
+            Ok(Val::Unit)
+        }
     });
     def!("mutex-release", 1, Some(1), |m, a| {
         let mx = want_native::<Mutex>(m, a, 0, "mutex-release")?;
@@ -420,9 +448,17 @@ pub(crate) fn add_defs(v: &mut Vec<Def>) {
         let n = want_int(m, a, 0, "make-semaphore")? as usize;
         Ok(m.native(Semaphore::new(n).to_value()))
     });
-    def!("semaphore-acquire", 1, Some(1), |m, a| {
-        want_native::<Semaphore>(m, a, 0, "semaphore-acquire")?.acquire();
-        Ok(Val::Unit)
+    def!("semaphore-acquire", 1, Some(2), |m, a| {
+        // (semaphore-acquire s [ms]): with a timeout, #t on acquisition
+        // and #f if no permit arrived in time.
+        let sem = want_native::<Semaphore>(m, a, 0, "semaphore-acquire")?;
+        if a > 1 {
+            let ms = want_ms(m, a, 1, "semaphore-acquire")?;
+            Ok(Val::Bool(sem.acquire_timeout(ms).is_ok()))
+        } else {
+            sem.acquire();
+            Ok(Val::Unit)
+        }
     });
     def!("semaphore-release", 1, Some(1), |m, a| {
         want_native::<Semaphore>(m, a, 0, "semaphore-release")?.release();
@@ -432,10 +468,20 @@ pub(crate) fn add_defs(v: &mut Vec<Def>) {
         let n = want_int(m, a, 0, "make-barrier")? as usize;
         Ok(m.native(Barrier::new(n).to_value()))
     });
-    def!("barrier-arrive", 1, Some(1), |m, a| {
-        Ok(Val::Bool(
-            want_native::<Barrier>(m, a, 0, "barrier-arrive")?.arrive(),
-        ))
+    def!("barrier-arrive", 1, Some(2), |m, a| {
+        // (barrier-arrive b [ms]): leader flag, or the symbol `timeout`
+        // if the cycle did not complete in time (the arrival is
+        // withdrawn).
+        let b = want_native::<Barrier>(m, a, 0, "barrier-arrive")?;
+        if a > 1 {
+            let ms = want_ms(m, a, 1, "barrier-arrive")?;
+            match b.arrive_timeout(ms) {
+                Ok(leader) => Ok(Val::Bool(leader)),
+                Err(_) => Ok(Val::Sym(Symbol::intern("timeout").index())),
+            }
+        } else {
+            Ok(Val::Bool(b.arrive()))
+        }
     });
 
     // --- streams ---------------------------------------------------------
@@ -476,13 +522,27 @@ pub(crate) fn add_defs(v: &mut Vec<Def>) {
             Arc::new(CursorHandle(PlMutex::new(next))),
         )))
     });
-    def!("cursor-next!", 1, Some(1), |m, a| {
+    def!("cursor-next!", 1, Some(2), |m, a| {
+        // (cursor-next! c [ms]): with a timeout, the symbol `timeout` is
+        // returned (and the cursor does not advance) if no element
+        // appeared in time; eof still means the stream closed.
         let c = want_native::<CursorHandle>(m, a, 0, "cursor-next!")?;
+        let deadline = if a > 1 {
+            Some(want_ms(m, a, 1, "cursor-next!")?)
+        } else {
+            None
+        };
         let v = {
             // Clone out so we never hold the lock across a block.
             let snapshot = c.0.lock().clone();
             let mut cur = snapshot;
-            let v = cur.next();
+            let v = match deadline {
+                Some(ms) => match cur.next_timeout(ms) {
+                    Ok(v) => v,
+                    Err(_) => return Ok(Val::Sym(Symbol::intern("timeout").index())),
+                },
+                None => cur.next(),
+            };
             *c.0.lock() = cur;
             v
         };
@@ -524,17 +584,35 @@ pub(crate) fn add_defs(v: &mut Vec<Def>) {
         ts.put(fields);
         Ok(Val::Unit)
     });
-    def!("ts-get", 2, Some(2), |m, a| {
+    def!("ts-get", 2, Some(3), |m, a| {
+        // (ts-get ts tmpl [ms]): #f if nothing matched within `ms`.
         let ts = want_native::<TupleSpace>(m, a, 0, "ts-get")?;
         let t = want_template(m, a, 1, "ts-get")?;
-        let b = ts.get(&t);
-        Ok(bindings_to_val(m, b))
+        if a > 2 {
+            let ms = want_ms(m, a, 2, "ts-get")?;
+            match ts.get_timeout(&t, ms) {
+                Some(b) => Ok(bindings_to_val(m, b)),
+                None => Ok(Val::Bool(false)),
+            }
+        } else {
+            let b = ts.get(&t);
+            Ok(bindings_to_val(m, b))
+        }
     });
-    def!("ts-rd", 2, Some(2), |m, a| {
+    def!("ts-rd", 2, Some(3), |m, a| {
+        // (ts-rd ts tmpl [ms]): #f if nothing matched within `ms`.
         let ts = want_native::<TupleSpace>(m, a, 0, "ts-rd")?;
         let t = want_template(m, a, 1, "ts-rd")?;
-        let b = ts.rd(&t);
-        Ok(bindings_to_val(m, b))
+        if a > 2 {
+            let ms = want_ms(m, a, 2, "ts-rd")?;
+            match ts.rd_timeout(&t, ms) {
+                Some(b) => Ok(bindings_to_val(m, b)),
+                None => Ok(Val::Bool(false)),
+            }
+        } else {
+            let b = ts.rd(&t);
+            Ok(bindings_to_val(m, b))
+        }
     });
     def!("ts-try-get", 2, Some(2), |m, a| {
         let ts = want_native::<TupleSpace>(m, a, 0, "ts-try-get")?;

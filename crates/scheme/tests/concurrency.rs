@@ -588,3 +588,51 @@ fn trace_prims_record_dump_and_export() {
     assert_eq!(ev(&i, "(trace-count)").as_int().unwrap(), frozen);
     vm.shutdown();
 }
+
+#[test]
+fn timed_blocking_forms_return_false_or_timeout() {
+    let (vm, i) = interp(1);
+    // thread-wait with a deadline: #f while running, the value once done.
+    ev(
+        &i,
+        "(define slow (fork-thread (lambda () (sleep-ms 100) 'done)))",
+    );
+    assert_eq!(ev(&i, "(thread-wait slow 5)"), Value::Bool(false));
+    assert_eq!(ev(&i, "(thread-wait slow)"), Value::sym("done"));
+    // mutex-acquire: #f against a held lock, #t (still held!) when free.
+    ev(&i, "(define m (make-mutex))");
+    ev(&i, "(mutex-acquire m)");
+    assert_eq!(ev(&i, "(mutex-acquire m 5)"), Value::Bool(false));
+    ev(&i, "(mutex-release m)");
+    assert_eq!(ev(&i, "(mutex-acquire m 5)"), Value::Bool(true));
+    ev(&i, "(mutex-release m)");
+    // semaphore-acquire: #f with no permits, #t after a release.
+    ev(&i, "(define s (make-semaphore 0))");
+    assert_eq!(ev(&i, "(semaphore-acquire s 5)"), Value::Bool(false));
+    ev(&i, "(semaphore-release s)");
+    assert_eq!(ev(&i, "(semaphore-acquire s 5)"), Value::Bool(true));
+    // barrier-arrive: the arrival is withdrawn on timeout, so a later
+    // full cycle still completes (which side is leader is a race).
+    ev(&i, "(define b (make-barrier 2))");
+    assert_eq!(ev(&i, "(barrier-arrive b 5)"), Value::sym("timeout"));
+    ev(
+        &i,
+        "(define party (fork-thread (lambda () (barrier-arrive b))))",
+    );
+    assert_ne!(ev(&i, "(barrier-arrive b 1000)"), Value::sym("timeout"));
+    ev(&i, "(thread-wait party)");
+    // cursor-next!: `timeout` without advancing; the element is still
+    // there for the retry.
+    ev(&i, "(define st (make-stream))");
+    ev(&i, "(define c (stream-cursor st))");
+    assert_eq!(ev(&i, "(cursor-next! c 5)"), Value::sym("timeout"));
+    ev(&i, "(stream-attach! st 'x)");
+    assert_eq!(ev(&i, "(cursor-next! c 1000)"), Value::sym("x"));
+    // ts-get / ts-rd: #f on timeout, bindings once a tuple arrives.
+    ev(&i, "(define ts (make-ts))");
+    assert_eq!(ev(&i, "(ts-get ts (list '?) 5)"), Value::Bool(false));
+    assert_eq!(ev(&i, "(ts-rd ts (list '?) 5)"), Value::Bool(false));
+    ev(&i, "(ts-put ts (list 42))");
+    assert_eq!(ev(&i, "(car (ts-get ts (list '?) 1000))"), Value::Int(42));
+    vm.shutdown();
+}

@@ -1,9 +1,10 @@
 //! A reusable rendezvous barrier for phased master/slave computations
 //! (§4.2.2's barrier-synchronization discussion).
 
-use crate::wait::{block_until, WaitList, Waiter};
+use crate::wait::{block_until_deadline, TimedOut, WaitList, Waiter};
 use parking_lot::Mutex;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 use sting_value::Value;
 
 struct Inner {
@@ -43,18 +44,59 @@ impl Barrier {
     /// Arrives at the barrier; blocks until all parties arrive.  Returns
     /// `true` for exactly one arrival per cycle (the "leader").
     pub fn arrive(&self) -> bool {
-        let (gen, leader) = {
+        self.arrive_deadline(None)
+            .expect("arrive without a deadline cannot time out")
+    }
+
+    /// [`Barrier::arrive`] with a timeout.  On timeout the arrival is
+    /// withdrawn, so the cycle is not left waiting on a departed party —
+    /// unless the cycle completed while the waiter was abandoning, which
+    /// counts as a (non-leader) success.
+    ///
+    /// # Errors
+    ///
+    /// [`TimedOut`] if the cycle did not complete within `timeout`.
+    pub fn arrive_timeout(&self, timeout: Duration) -> Result<bool, TimedOut> {
+        self.arrive_deadline(Some(Instant::now() + timeout))
+            .ok_or(TimedOut)
+    }
+
+    fn arrive_deadline(&self, deadline: Option<Instant>) -> Option<bool> {
+        let gen = {
             let mut g = self.inner.lock();
             g.arrived += 1;
             if g.arrived == g.parties {
                 g.arrived = 0;
                 g.generation += 1;
                 g.waiters.wake_all();
-                return true;
+                return Some(true);
             }
-            (g.generation, false)
+            g.generation
         };
-        block_until(Value::sym("barrier"), |w: &Waiter| {
+        // Withdraw the arrival if this party departs without completing
+        // the cycle — by timeout below, or by unwinding (termination or a
+        // raised exception while blocked).
+        struct Arrival<'a> {
+            barrier: &'a Barrier,
+            gen: u64,
+            armed: bool,
+        }
+        impl Drop for Arrival<'_> {
+            fn drop(&mut self) {
+                if self.armed {
+                    let mut g = self.barrier.inner.lock();
+                    if g.generation == self.gen {
+                        g.arrived -= 1;
+                    }
+                }
+            }
+        }
+        let mut arrival = Arrival {
+            barrier: self,
+            gen,
+            armed: true,
+        };
+        let done = block_until_deadline(&Value::sym("barrier"), deadline, |w: &Waiter| {
             let mut g = self.inner.lock();
             if g.generation != gen {
                 Some(())
@@ -63,7 +105,30 @@ impl Barrier {
                 None
             }
         });
-        leader
+        arrival.armed = false;
+        match done {
+            Some(()) => Some(false),
+            None => {
+                let mut g = self.inner.lock();
+                if g.generation != gen {
+                    // The cycle fired while we were abandoning.
+                    Some(false)
+                } else {
+                    g.arrived -= 1;
+                    None
+                }
+            }
+        }
+    }
+
+    /// Parties arrived in the current (incomplete) cycle.
+    pub fn arrived(&self) -> usize {
+        self.inner.lock().arrived
+    }
+
+    /// Number of (live) threads blocked in [`Barrier::arrive`].
+    pub fn blocked(&self) -> usize {
+        self.inner.lock().waiters.len()
     }
 
     /// Number of parties the barrier waits for.

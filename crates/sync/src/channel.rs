@@ -2,7 +2,7 @@
 //! `sync` as one of the synchronization semantics expressible on the
 //! substrate).
 
-use crate::wait::{block_until, WaitList, Waiter};
+use crate::wait::{block_until, block_until_deadline, TimedOut, WaitList, Waiter};
 use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -74,37 +74,86 @@ impl Channel {
     /// [`SendChannelError`] if the channel is closed.
     pub fn send(&self, v: Value) -> Result<(), SendChannelError> {
         let mut item = Some(v);
-        block_until(Value::sym("channel-send"), |w: &Waiter| {
-            let mut g = self.inner.lock();
-            if g.closed {
-                return Some(Err(SendChannelError));
-            }
-            if g.capacity.is_none_or(|c| g.queue.len() < c) {
-                g.queue.push_back(item.take().expect("send value"));
-                g.recv_waiters.wake_one();
-                Some(Ok(()))
-            } else {
-                g.send_waiters.push(w.clone());
-                None
-            }
+        block_until(&Value::sym("channel-send"), |w: &Waiter| {
+            self.send_check(&mut item, w)
         })
+    }
+
+    /// [`Channel::send`] with a timeout.
+    ///
+    /// # Errors
+    ///
+    /// `Err(Ok(TimedOut))` if the value was not queued within `timeout`
+    /// (the value is simply dropped); `Err(Err(SendChannelError))` if the
+    /// channel is closed.
+    pub fn send_timeout(
+        &self,
+        v: Value,
+        timeout: std::time::Duration,
+    ) -> Result<(), Result<TimedOut, SendChannelError>> {
+        let mut item = Some(v);
+        match block_until_deadline(
+            &Value::sym("channel-send"),
+            Some(std::time::Instant::now() + timeout),
+            |w: &Waiter| self.send_check(&mut item, w),
+        ) {
+            Some(Ok(())) => Ok(()),
+            Some(Err(e)) => Err(Err(e)),
+            None => Err(Ok(TimedOut)),
+        }
+    }
+
+    fn send_check(
+        &self,
+        item: &mut Option<Value>,
+        w: &Waiter,
+    ) -> Option<Result<(), SendChannelError>> {
+        let mut g = self.inner.lock();
+        if g.closed {
+            return Some(Err(SendChannelError));
+        }
+        if g.capacity.is_none_or(|c| g.queue.len() < c) {
+            g.queue.push_back(item.take().expect("send value"));
+            g.recv_waiters.wake_one();
+            Some(Ok(()))
+        } else {
+            g.send_waiters.push(w.clone());
+            None
+        }
     }
 
     /// Receives the next value, blocking while empty; `None` when the
     /// channel is closed and drained.
     pub fn recv(&self) -> Option<Value> {
-        block_until(Value::sym("channel-recv"), |w: &Waiter| {
-            let mut g = self.inner.lock();
-            if let Some(v) = g.queue.pop_front() {
-                g.send_waiters.wake_one();
-                Some(Some(v))
-            } else if g.closed {
-                Some(None)
-            } else {
-                g.recv_waiters.push(w.clone());
-                None
-            }
-        })
+        block_until(&Value::sym("channel-recv"), |w: &Waiter| self.recv_check(w))
+    }
+
+    /// [`Channel::recv`] with a timeout.
+    ///
+    /// # Errors
+    ///
+    /// [`TimedOut`] if nothing arrived within `timeout`; `Ok(None)` still
+    /// means closed-and-drained.
+    pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<Option<Value>, TimedOut> {
+        block_until_deadline(
+            &Value::sym("channel-recv"),
+            Some(std::time::Instant::now() + timeout),
+            |w: &Waiter| self.recv_check(w),
+        )
+        .ok_or(TimedOut)
+    }
+
+    fn recv_check(&self, w: &Waiter) -> Option<Option<Value>> {
+        let mut g = self.inner.lock();
+        if let Some(v) = g.queue.pop_front() {
+            g.send_waiters.wake_one();
+            Some(Some(v))
+        } else if g.closed {
+            Some(None)
+        } else {
+            g.recv_waiters.push(w.clone());
+            None
+        }
     }
 
     /// Receives without blocking.
@@ -123,6 +172,16 @@ impl Channel {
         g.closed = true;
         g.recv_waiters.wake_all();
         g.send_waiters.wake_all();
+    }
+
+    /// Number of (live) threads blocked in [`Channel::recv`].
+    pub fn blocked_receivers(&self) -> usize {
+        self.inner.lock().recv_waiters.len()
+    }
+
+    /// Number of (live) threads blocked in [`Channel::send`].
+    pub fn blocked_senders(&self) -> usize {
+        self.inner.lock().send_waiters.len()
     }
 
     /// Items currently queued.

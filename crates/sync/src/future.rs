@@ -80,6 +80,22 @@ impl Future {
         tc::touch(&self.thread)
     }
 
+    /// [`Future::touch`] with a timeout.  A determined future returns
+    /// immediately; otherwise the toucher waits (it does *not* steal — a
+    /// stolen computation runs on this TCB and could not be abandoned at
+    /// the deadline).
+    ///
+    /// # Errors
+    ///
+    /// [`crate::TimedOut`] if the computation did not determine within
+    /// `timeout`.
+    pub fn touch_timeout(
+        &self,
+        timeout: std::time::Duration,
+    ) -> Result<ThreadResult, crate::TimedOut> {
+        self.thread.wait_timeout(timeout).ok_or(crate::TimedOut)
+    }
+
     /// Like [`Future::touch`], but re-raises an exceptional result in the
     /// toucher (MultiLisp `touch` semantics under error propagation).
     ///

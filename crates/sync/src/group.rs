@@ -3,13 +3,15 @@
 //!
 //! [`block_on_group`] is the paper's common mechanism: the caller blocks
 //! until `count` of the given threads have determined, using one
-//! [`WaitNode`] (the paper's *thread barrier* record) chained from each
+//! [`JoinNode`] (the paper's *thread barrier* record) chained from each
 //! watched thread.  `wait-for-one` is `count = 1` (OR-parallelism);
 //! `wait-for-all` is `count = n` (AND-parallelism / barrier).
 
+use crate::wait::{TimedOut, Waiter, WakeReason};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 use sting_core::tc;
-use sting_core::thread::{Thread, ThreadResult, WaitNode};
+use sting_core::thread::{JoinNode, Thread, ThreadResult};
 use sting_value::Value;
 
 /// Blocks the calling thread until at least `count` of `threads` have
@@ -22,39 +24,98 @@ use sting_value::Value;
 ///
 /// Panics if `count > threads.len()` (the wait could never finish).
 pub fn block_on_group(count: usize, threads: &[Arc<Thread>]) {
+    let done = block_on_group_deadline(count, threads, None);
+    debug_assert!(done, "a deadline-free group wait cannot time out");
+}
+
+/// [`block_on_group`] with a timeout.
+///
+/// # Errors
+///
+/// [`TimedOut`] if fewer than `count` threads determined within `timeout`.
+///
+/// # Panics
+///
+/// Panics if `count > threads.len()` (the wait could never finish).
+pub fn block_on_group_timeout(
+    count: usize,
+    threads: &[Arc<Thread>],
+    timeout: Duration,
+) -> Result<(), TimedOut> {
+    if block_on_group_deadline(count, threads, Some(Instant::now() + timeout)) {
+        Ok(())
+    } else {
+        Err(TimedOut)
+    }
+}
+
+fn block_on_group_deadline(
+    count: usize,
+    threads: &[Arc<Thread>],
+    deadline: Option<Instant>,
+) -> bool {
     assert!(
         count <= threads.len(),
         "block_on_group: count {count} exceeds group size {}",
         threads.len()
     );
     if count == 0 {
-        return;
+        return true;
     }
-    if let Some(me) = tc::current_owner() {
-        let node = WaitNode::new(me, count);
+    if tc::current_owner().is_some() {
+        let me = tc::current_owner().expect("checked");
+        let node = JoinNode::new(me, count);
+        // Deregister the barrier record however this frame is left —
+        // normal return, timeout, or unwinding on termination — so no
+        // watched thread later counts into (or wakes) a recycled TCB.
+        struct NodeGuard(Arc<JoinNode>);
+        impl Drop for NodeGuard {
+            fn drop(&mut self) {
+                self.0.cancel();
+            }
+        }
+        let _guard = NodeGuard(node.clone());
         for t in threads {
             if !t.add_wait_node(&node) {
                 // Already determined: count it ourselves.
                 node.complete_one();
             }
         }
-        while node.remaining() > 0 {
-            let _ = tc::block_current(Some(Value::sym("block-on-group")));
+        loop {
+            if node.remaining() == 0 {
+                return true;
+            }
+            let w = Waiter::current();
+            if node.remaining() == 0 {
+                let _ = w.retire();
+                return true;
+            }
+            match w.park_until(&Value::sym("block-on-group"), deadline) {
+                WakeReason::Woken => {}
+                WakeReason::TimedOut | WakeReason::Cancelled => {
+                    return node.remaining() == 0;
+                }
+            }
         }
     } else {
         // OS-thread fallback: join threads until enough have determined.
         loop {
             let done = threads.iter().filter(|t| t.is_determined()).count();
             if done >= count {
-                return;
+                return true;
+            }
+            if let Some(d) = deadline {
+                if Instant::now() >= d {
+                    return false;
+                }
             }
             // Join the first undetermined thread; cheap and correct, if not
             // optimal for count < n.
             if let Some(t) = threads.iter().find(|t| !t.is_determined()) {
-                if count == threads.len() {
+                if count == threads.len() && deadline.is_none() {
                     let _ = t.join_blocking();
                 } else {
-                    let _ = t.join_blocking_timeout(std::time::Duration::from_millis(1));
+                    let _ = t.join_blocking_timeout(Duration::from_millis(1));
                 }
             }
         }

@@ -1,7 +1,7 @@
 //! Single-assignment cells (I-structures, the paper's dataflow
 //! synchronization class — reference [3], Arvind et al.).
 
-use crate::wait::{block_until, WaitList, Waiter};
+use crate::wait::{block_until, block_until_deadline, TimedOut, WaitList, Waiter};
 use parking_lot::Mutex;
 use std::sync::Arc;
 use sting_value::Value;
@@ -73,16 +73,37 @@ impl IVar {
 
     /// Reads the value, blocking until [`IVar::put`].
     pub fn get(&self) -> Value {
-        block_until(Value::sym("ivar"), |w: &Waiter| {
-            let mut g = self.inner.lock();
-            match &g.value {
-                Some(v) => Some(v.clone()),
-                None => {
-                    g.waiters.push(w.clone());
-                    None
-                }
+        block_until(&Value::sym("ivar"), |w: &Waiter| self.check(w))
+    }
+
+    /// [`IVar::get`] with a timeout.
+    ///
+    /// # Errors
+    ///
+    /// [`TimedOut`] if the cell was not written within `timeout`.
+    pub fn get_timeout(&self, timeout: std::time::Duration) -> Result<Value, TimedOut> {
+        block_until_deadline(
+            &Value::sym("ivar"),
+            Some(std::time::Instant::now() + timeout),
+            |w: &Waiter| self.check(w),
+        )
+        .ok_or(TimedOut)
+    }
+
+    fn check(&self, w: &Waiter) -> Option<Value> {
+        let mut g = self.inner.lock();
+        match &g.value {
+            Some(v) => Some(v.clone()),
+            None => {
+                g.waiters.push(w.clone());
+                None
             }
-        })
+        }
+    }
+
+    /// Number of (live) threads blocked reading the cell.
+    pub fn blocked(&self) -> usize {
+        self.inner.lock().waiters.len()
     }
 
     /// Reads without blocking.

@@ -31,9 +31,9 @@ pub mod wait;
 pub use barrier::Barrier;
 pub use channel::{Channel, SendChannelError};
 pub use future::Future;
-pub use group::{block_on_group, race, wait_for_all, wait_for_one};
+pub use group::{block_on_group, block_on_group_timeout, race, wait_for_all, wait_for_one};
 pub use ivar::{IVar, WriteIVarError};
 pub use mutex::{Mutex, MutexGuard};
 pub use semaphore::Semaphore;
 pub use stream::{Stream, StreamCursor};
-pub use wait::{block_until, WaitList, Waiter};
+pub use wait::{block_until, block_until_deadline, TimedOut, WaitList, Waiter, WakeReason};

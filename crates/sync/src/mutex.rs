@@ -10,9 +10,10 @@
 //! [`Mutex::with`] is the paper's `with-mutex`: the lock is released even
 //! if the body raises, via an RAII [`MutexGuard`].
 
-use crate::wait::{block_until, WaitList, Waiter};
+use crate::wait::{block_until_deadline, TimedOut, WaitList, Waiter};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 use sting_core::tc;
 use sting_value::Value;
 
@@ -73,21 +74,36 @@ impl Mutex {
     /// Acquires the mutex (`mutex-acquire`): active spin, then passive
     /// spin, then block.
     pub fn acquire(&self) -> MutexGuard {
+        self.acquire_deadline(None)
+            .expect("acquire without a deadline cannot time out")
+    }
+
+    /// [`Mutex::acquire`] with a timeout (`(mutex-acquire m ms)`).
+    ///
+    /// # Errors
+    ///
+    /// [`TimedOut`] if the lock was not acquired within `timeout`.
+    pub fn acquire_timeout(&self, timeout: Duration) -> Result<MutexGuard, TimedOut> {
+        self.acquire_deadline(Some(Instant::now() + timeout))
+            .ok_or(TimedOut)
+    }
+
+    fn acquire_deadline(&self, deadline: Option<Instant>) -> Option<MutexGuard> {
         // Phase 1: active spinning — keep the VP.
         for _ in 0..self.active_spins {
             if self.try_lock_raw() {
-                return MutexGuard {
+                return Some(MutexGuard {
                     mutex: self.clone(),
-                };
+                });
             }
             std::hint::spin_loop();
         }
         // Phase 2: passive spinning — yield the VP between attempts.
         for _ in 0..self.passive_spins {
             if self.try_lock_raw() {
-                return MutexGuard {
+                return Some(MutexGuard {
                     mutex: self.clone(),
-                };
+                });
             }
             if tc::yield_now().is_err() {
                 // Off-thread caller: no VP to yield.
@@ -95,7 +111,7 @@ impl Mutex {
             }
         }
         // Phase 3: block on the mutex.
-        block_until(Value::sym("mutex"), |w: &Waiter| {
+        block_until_deadline(&Value::sym("mutex"), deadline, |w: &Waiter| {
             if self.try_lock_raw() {
                 return Some(MutexGuard {
                     mutex: self.clone(),

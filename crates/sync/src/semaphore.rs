@@ -1,9 +1,10 @@
 //! Counting semaphores (one of the paper's tuple-space specializations,
 //! exposed directly).
 
-use crate::wait::{block_until, WaitList, Waiter};
+use crate::wait::{block_until, block_until_deadline, TimedOut, WaitList, Waiter};
 use parking_lot::Mutex;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 use sting_value::Value;
 
 struct Inner {
@@ -41,16 +42,37 @@ impl Semaphore {
 
     /// Takes one permit, blocking while none are available.
     pub fn acquire(&self) {
-        block_until(Value::sym("semaphore"), |w: &Waiter| {
-            let mut g = self.inner.lock();
-            if g.permits > 0 {
-                g.permits -= 1;
-                Some(())
-            } else {
-                g.waiters.push(w.clone());
-                None
-            }
-        });
+        block_until(&Value::sym("semaphore"), |w: &Waiter| self.check(w));
+    }
+
+    /// [`Semaphore::acquire`] with a timeout.
+    ///
+    /// # Errors
+    ///
+    /// [`TimedOut`] if no permit was taken within `timeout`.
+    pub fn acquire_timeout(&self, timeout: Duration) -> Result<(), TimedOut> {
+        block_until_deadline(
+            &Value::sym("semaphore"),
+            Some(Instant::now() + timeout),
+            |w: &Waiter| self.check(w),
+        )
+        .ok_or(TimedOut)
+    }
+
+    fn check(&self, w: &Waiter) -> Option<()> {
+        let mut g = self.inner.lock();
+        if g.permits > 0 {
+            g.permits -= 1;
+            Some(())
+        } else {
+            g.waiters.push(w.clone());
+            None
+        }
+    }
+
+    /// Number of (live) threads blocked on the semaphore.
+    pub fn blocked(&self) -> usize {
+        self.inner.lock().waiters.len()
     }
 
     /// Takes a permit without blocking; `false` if none were available.

@@ -36,7 +36,7 @@
 //! vm.shutdown();
 //! ```
 
-use crate::wait::{block_until, WaitList};
+use crate::wait::{block_until, block_until_deadline, TimedOut, WaitList, Waiter};
 use parking_lot::Mutex;
 use std::sync::Arc;
 use sting_value::Value;
@@ -116,6 +116,11 @@ impl Stream {
         self.len() == 0
     }
 
+    /// Number of (live) threads blocked in [`StreamCursor::hd`].
+    pub fn blocked(&self) -> usize {
+        self.inner.lock().waiters.len()
+    }
+
     /// A cursor positioned at the head of the stream.
     pub fn cursor(&self) -> StreamCursor {
         StreamCursor {
@@ -161,17 +166,38 @@ impl StreamCursor {
         if let Some(v) = self.stream.get(self.pos) {
             return v;
         }
-        block_until(Value::sym("stream-hd"), |w| {
-            let mut g = self.stream.inner.lock();
-            if self.pos < g.items.len() {
-                Some(Some(g.items[self.pos].clone()))
-            } else if g.closed {
-                Some(None)
-            } else {
-                g.waiters.push(w.clone());
-                None
-            }
-        })
+        block_until(&Value::sym("stream-hd"), |w| self.check(w))
+    }
+
+    /// [`StreamCursor::hd`] with a timeout.  `Ok(None)` still means the
+    /// stream closed before this position.
+    ///
+    /// # Errors
+    ///
+    /// [`TimedOut`] if no element appeared at this position within
+    /// `timeout`.
+    pub fn hd_timeout(&self, timeout: std::time::Duration) -> Result<Option<Value>, TimedOut> {
+        if let Some(v) = self.stream.get(self.pos) {
+            return Ok(v);
+        }
+        block_until_deadline(
+            &Value::sym("stream-hd"),
+            Some(std::time::Instant::now() + timeout),
+            |w| self.check(w),
+        )
+        .ok_or(TimedOut)
+    }
+
+    fn check(&self, w: &Waiter) -> Option<Option<Value>> {
+        let mut g = self.stream.inner.lock();
+        if self.pos < g.items.len() {
+            Some(Some(g.items[self.pos].clone()))
+        } else if g.closed {
+            Some(None)
+        } else {
+            g.waiters.push(w.clone());
+            None
+        }
     }
 
     /// The cursor one past this element (`rest`); does not block.
@@ -190,6 +216,25 @@ impl StreamCursor {
         let v = self.hd()?;
         self.pos += 1;
         Some(v)
+    }
+
+    /// [`StreamCursor::next`] with a timeout: the position only advances
+    /// when an element is returned.
+    ///
+    /// # Errors
+    ///
+    /// [`TimedOut`] if no element appeared within `timeout`.
+    pub fn next_timeout(
+        &mut self,
+        timeout: std::time::Duration,
+    ) -> Result<Option<Value>, TimedOut> {
+        match self.hd_timeout(timeout)? {
+            Some(v) => {
+                self.pos += 1;
+                Ok(Some(v))
+            }
+            None => Ok(None),
+        }
     }
 
     /// Current position.

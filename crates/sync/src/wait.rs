@@ -1,171 +1,17 @@
-//! The blocking protocol shared by every synchronization structure.
+//! The blocking protocol shared by every synchronization structure —
+//! re-exported from the substrate core.
 //!
-//! STING "imposes no a priori synchronization protocol on thread access —
-//! application programs are expected to build abstractions that regulate
-//! the coordination of threads".  This module is the one abstraction they
-//! all share: a list of parked waiters plus a loop that re-checks a
-//! condition around a park (wake-ups may be spurious).
+//! Historically this crate carried its own waiter list; the protocol now
+//! lives in [`sting_core::wait`] (generation-tagged wait episodes with a
+//! claim token), so blocking is a substrate service shared with
+//! tuple-spaces and thread joins: wake-ups are consumed exactly once, a
+//! terminated or timed-out waiter is deregistered promptly, and every
+//! park can carry a deadline.  See DESIGN.md, "Blocking protocol".
 //!
 //! Waiters are usually STING threads (parked via the thread controller),
 //! but plain OS threads are supported too — they park on a condvar — so
 //! synchronization structures remain usable from `main` and from tests.
 
-use parking_lot::{Condvar, Mutex};
-use std::sync::Arc;
-use sting_core::tc;
-use sting_core::thread::Thread;
-use sting_value::Value;
-
-/// One parked (or about-to-park) waiter.
-#[derive(Clone)]
-pub enum Waiter {
-    /// A STING thread; waking goes through the thread controller.
-    Green(Arc<Thread>),
-    /// A plain OS thread parked on a condvar.
-    Os(Arc<(Mutex<bool>, Condvar)>),
-}
-
-impl Waiter {
-    /// Captures the calling context as a waiter.
-    pub fn current() -> Waiter {
-        match tc::current_owner() {
-            Some(t) => Waiter::Green(t),
-            None => Waiter::Os(Arc::new((Mutex::new(false), Condvar::new()))),
-        }
-    }
-
-    /// Parks until [`WaitList::wake_one`]/[`wake_all`](WaitList::wake_all)
-    /// releases us (possibly spuriously for green threads).
-    pub fn park(&self, blocker: &Value) {
-        match self {
-            Waiter::Green(_) => {
-                let _ = tc::block_current(Some(blocker.clone()));
-            }
-            Waiter::Os(cv) => {
-                let mut flag = cv.0.lock();
-                while !*flag {
-                    cv.1.wait(&mut flag);
-                }
-                *flag = false;
-            }
-        }
-    }
-
-    /// Wakes this waiter (idempotent; green threads may observe it as a
-    /// spurious wake-up and must re-check their condition).
-    pub fn wake(&self) {
-        match self {
-            Waiter::Green(t) => tc::unblock(t),
-            Waiter::Os(cv) => {
-                let mut flag = cv.0.lock();
-                *flag = true;
-                cv.1.notify_all();
-            }
-        }
-    }
-}
-
-/// An intrusive list of waiters, embedded in a structure's locked state.
-#[derive(Default)]
-pub struct WaitList {
-    waiters: Vec<Waiter>,
-}
-
-impl WaitList {
-    /// Creates an empty wait list.
-    pub fn new() -> WaitList {
-        WaitList::default()
-    }
-
-    /// Registers `w`; call with the owning structure's lock held, *before*
-    /// releasing it and parking.
-    pub fn push(&mut self, w: Waiter) {
-        self.waiters.push(w);
-    }
-
-    /// Wakes every waiter (the paper's mutex-release behaviour: "all
-    /// threads blocked on this mutex are restored onto some ready queue").
-    pub fn wake_all(&mut self) {
-        for w in self.waiters.drain(..) {
-            w.wake();
-        }
-    }
-
-    /// Wakes the longest-waiting waiter, if any.
-    pub fn wake_one(&mut self) {
-        if !self.waiters.is_empty() {
-            self.waiters.remove(0).wake();
-        }
-    }
-
-    /// Number of registered waiters.
-    pub fn len(&self) -> usize {
-        self.waiters.len()
-    }
-
-    /// Whether no waiters are registered.
-    pub fn is_empty(&self) -> bool {
-        self.waiters.is_empty()
-    }
-}
-
-/// Blocks until `condition` yields `Some(T)`.
-///
-/// `lock_and_check` must: take the structure's lock, evaluate the
-/// condition, and — if it fails — register the supplied waiter and release
-/// the lock (by returning `None` after pushing).  The loop re-checks after
-/// every wake-up, so spurious wake-ups are harmless.
-pub fn block_until<T>(blocker: Value, mut lock_and_check: impl FnMut(&Waiter) -> Option<T>) -> T {
-    loop {
-        let w = Waiter::current();
-        if let Some(v) = lock_and_check(&w) {
-            return v;
-        }
-        w.park(&blocker);
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn os_waiter_park_wake_round_trip() {
-        // Off any STING thread, a waiter parks on a condvar.
-        let w = Waiter::current();
-        assert!(matches!(w, Waiter::Os(_)));
-        let w2 = w.clone();
-        let h = std::thread::spawn(move || {
-            w2.park(&Value::sym("test"));
-            42
-        });
-        std::thread::sleep(std::time::Duration::from_millis(20));
-        w.wake();
-        assert_eq!(h.join().unwrap(), 42);
-    }
-
-    #[test]
-    fn wake_all_drains_the_list() {
-        let mut l = WaitList::new();
-        assert!(l.is_empty());
-        let (a, b) = (Waiter::current(), Waiter::current());
-        l.push(a);
-        l.push(b);
-        assert_eq!(l.len(), 2);
-        l.wake_all();
-        assert!(l.is_empty());
-    }
-
-    #[test]
-    fn wake_one_is_fifo() {
-        let mut l = WaitList::new();
-        let a = Waiter::current();
-        l.push(a);
-        l.push(Waiter::current());
-        l.wake_one();
-        assert_eq!(l.len(), 1);
-        l.wake_one();
-        l.wake_one(); // extra wakes are harmless
-        assert!(l.is_empty());
-    }
-}
+pub use sting_core::wait::{
+    block_until, block_until_deadline, TimedOut, WaitList, Waiter, WakeReason,
+};

@@ -1,0 +1,348 @@
+//! Terminate-while-blocked and lost-wake-up regressions for every
+//! blocking structure in the crate.
+//!
+//! The protocol promise under test (DESIGN.md, "Blocking protocol"): an
+//! asynchronous terminate of a blocked thread cancels its wait episode,
+//! so the structure's live-waiter count drops to zero, peers blocked on
+//! the same structure are unaffected, and a subsequent wake-up is never
+//! delivered to the dead registration.  Every test runs with tracing on
+//! and asserts a clean audit (no `WakeAfterCancel`, no `WaiterLeak`);
+//! debug builds re-check at `shutdown`.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use sting_core::tc;
+use sting_core::vm::Vm;
+use sting_core::VmBuilder;
+use sting_sync::{block_on_group, Barrier, Channel, IVar, Mutex, Semaphore, Stream};
+use sting_value::Value;
+
+fn vm() -> Arc<Vm> {
+    VmBuilder::new()
+        .vps(1)
+        .trace(true)
+        .trace_capacity(1 << 14)
+        .build()
+}
+
+fn wait_until(what: &str, cond: impl Fn() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while !cond() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+fn finish(vm: &Arc<Vm>) {
+    let report = vm.trace_audit();
+    assert!(report.is_clean(), "audit found violations:\n{report}");
+    vm.shutdown();
+}
+
+#[test]
+fn terminate_blocked_mutex_acquirer() {
+    let vm = vm();
+    let m = Mutex::new(0, 0);
+    let held = m.acquire();
+    let fork_blocked = |m: &Mutex| {
+        let m = m.clone();
+        vm.fork(move |_cx| {
+            let _g = m.acquire();
+            1i64
+        })
+    };
+    let victim = fork_blocked(&m);
+    let peer = fork_blocked(&m);
+    wait_until("both acquirers to block", || m.blocked() == 2);
+    tc::thread_terminate(&victim, Value::sym("killed")).unwrap();
+    wait_until("victim deregistration", || m.blocked() == 1);
+    assert_eq!(victim.join_blocking(), Ok(Value::sym("killed")));
+    drop(held);
+    assert_eq!(peer.join_blocking(), Ok(Value::Int(1)), "peer unaffected");
+    assert_eq!(m.blocked(), 0);
+    finish(&vm);
+}
+
+#[test]
+fn terminate_blocked_semaphore_acquirer_and_wake_one_skips_it() {
+    let vm = vm();
+    let sem = Semaphore::new(0);
+    let fork_blocked = |sem: &Semaphore| {
+        let sem = sem.clone();
+        vm.fork(move |_cx| {
+            sem.acquire();
+            1i64
+        })
+    };
+    let victim = fork_blocked(&sem);
+    let peer = fork_blocked(&sem);
+    wait_until("both acquirers to block", || sem.blocked() == 2);
+    tc::thread_terminate(&victim, Value::sym("killed")).unwrap();
+    wait_until("victim deregistration", || sem.blocked() == 1);
+    assert_eq!(victim.join_blocking(), Ok(Value::sym("killed")));
+    // Lost-wake-up regression: this single release's `wake_one` must skip
+    // the victim's dead registration (its claim CAS fails) and reach the
+    // peer — pre-protocol, the wake could be absorbed by the corpse.
+    sem.release();
+    assert_eq!(peer.join_blocking(), Ok(Value::Int(1)), "wake-up lost");
+    assert_eq!(sem.blocked(), 0);
+    assert_eq!(sem.permits(), 0, "permit double-spent");
+    finish(&vm);
+}
+
+#[test]
+fn terminate_blocked_channel_receiver_and_sender() {
+    let vm = vm();
+    let ch = Channel::bounded(1);
+    let victim_rx = {
+        let ch = ch.clone();
+        vm.fork(move |_cx| ch.recv().map(|_| 1i64).unwrap_or(0))
+    };
+    let peer_rx = {
+        let ch = ch.clone();
+        vm.fork(move |_cx| ch.recv().map(|_| 1i64).unwrap_or(0))
+    };
+    wait_until("receivers to block", || ch.blocked_receivers() == 2);
+    tc::thread_terminate(&victim_rx, Value::sym("killed")).unwrap();
+    wait_until("receiver deregistration", || ch.blocked_receivers() == 1);
+    ch.send(Value::Int(7)).unwrap();
+    assert_eq!(peer_rx.join_blocking(), Ok(Value::Int(1)), "peer starved");
+    assert_eq!(victim_rx.join_blocking(), Ok(Value::sym("killed")));
+
+    // Sender side: fill the channel, block two senders, kill one.
+    ch.send(Value::Int(0)).unwrap();
+    let fork_sender = |ch: &Channel| {
+        let ch = ch.clone();
+        vm.fork(move |_cx| {
+            ch.send(Value::Int(9)).unwrap();
+            1i64
+        })
+    };
+    let victim_tx = fork_sender(&ch);
+    let peer_tx = fork_sender(&ch);
+    wait_until("senders to block", || ch.blocked_senders() == 2);
+    tc::thread_terminate(&victim_tx, Value::sym("killed")).unwrap();
+    wait_until("sender deregistration", || ch.blocked_senders() == 1);
+    assert_eq!(victim_tx.join_blocking(), Ok(Value::sym("killed")));
+    assert_eq!(ch.recv(), Some(Value::Int(0)));
+    assert_eq!(peer_tx.join_blocking(), Ok(Value::Int(1)), "peer starved");
+    assert_eq!(ch.blocked_senders(), 0);
+    finish(&vm);
+}
+
+#[test]
+fn terminate_blocked_stream_reader() {
+    let vm = vm();
+    let s = Stream::new();
+    let fork_reader = |s: &Stream| {
+        let s = s.clone();
+        vm.fork(move |_cx| s.cursor().hd().unwrap())
+    };
+    let victim = fork_reader(&s);
+    let peer = fork_reader(&s);
+    wait_until("readers to block", || s.blocked() == 2);
+    tc::thread_terminate(&victim, Value::sym("killed")).unwrap();
+    wait_until("reader deregistration", || s.blocked() == 1);
+    s.attach(Value::Int(5));
+    assert_eq!(peer.join_blocking(), Ok(Value::Int(5)), "peer unaffected");
+    assert_eq!(victim.join_blocking(), Ok(Value::sym("killed")));
+    assert_eq!(s.blocked(), 0);
+    finish(&vm);
+}
+
+#[test]
+fn terminate_blocked_ivar_reader() {
+    let vm = vm();
+    let iv = IVar::new();
+    let fork_reader = |iv: &IVar| {
+        let iv = iv.clone();
+        vm.fork(move |_cx| iv.get())
+    };
+    let victim = fork_reader(&iv);
+    let peer = fork_reader(&iv);
+    wait_until("readers to block", || iv.blocked() == 2);
+    tc::thread_terminate(&victim, Value::sym("killed")).unwrap();
+    wait_until("reader deregistration", || iv.blocked() == 1);
+    iv.put(Value::Int(3)).unwrap();
+    assert_eq!(peer.join_blocking(), Ok(Value::Int(3)), "peer unaffected");
+    assert_eq!(victim.join_blocking(), Ok(Value::sym("killed")));
+    finish(&vm);
+}
+
+#[test]
+fn terminate_blocked_barrier_party_withdraws_its_arrival() {
+    let vm = vm();
+    let b = Barrier::new(3);
+    let fork_party = |b: &Barrier| {
+        let b = b.clone();
+        vm.fork(move |_cx| {
+            b.arrive();
+            1i64
+        })
+    };
+    let victim = fork_party(&b);
+    let peer = fork_party(&b);
+    wait_until("parties to block", || b.blocked() == 2);
+    assert_eq!(b.arrived(), 2);
+    tc::thread_terminate(&victim, Value::sym("killed")).unwrap();
+    wait_until("party deregistration", || b.blocked() == 1);
+    assert_eq!(victim.join_blocking(), Ok(Value::sym("killed")));
+    // The dead party's arrival was withdrawn on unwind, leaving only the
+    // peer's.  A timed-out arrival is withdrawn the same way ...
+    wait_until("arrival withdrawal", || b.arrived() == 1);
+    assert!(b.arrive_timeout(Duration::from_millis(10)).is_err());
+    wait_until("timeout withdrawal", || b.arrived() == 1);
+    // ... so the cycle needs two more *live* arrivals to fire.
+    let helper = fork_party(&b);
+    b.arrive();
+    assert_eq!(peer.join_blocking(), Ok(Value::Int(1)), "peer unaffected");
+    assert_eq!(helper.join_blocking(), Ok(Value::Int(1)));
+    assert_eq!(b.blocked(), 0);
+    finish(&vm);
+}
+
+#[test]
+fn terminate_blocked_joiner() {
+    let vm = vm();
+    let slow = vm.fork(|cx| {
+        cx.sleep(Duration::from_millis(80));
+        7i64
+    });
+    let victim = {
+        let slow = slow.clone();
+        vm.fork(move |cx| cx.wait(&slow).map(|_| 1i64).unwrap_or(0))
+    };
+    let peer = {
+        let slow = slow.clone();
+        vm.fork(move |cx| cx.wait(&slow).map(|v| v.as_int().unwrap()).unwrap_or(0))
+    };
+    std::thread::sleep(Duration::from_millis(20));
+    tc::thread_terminate(&victim, Value::sym("killed")).unwrap();
+    assert_eq!(victim.join_blocking(), Ok(Value::sym("killed")));
+    assert_eq!(peer.join_blocking(), Ok(Value::Int(7)), "peer unaffected");
+    finish(&vm);
+}
+
+#[test]
+fn terminate_thread_blocked_on_group() {
+    let vm = vm();
+    let slow: Vec<_> = (0..2)
+        .map(|i| {
+            vm.fork(move |cx| {
+                cx.sleep(Duration::from_millis(60));
+                i as i64
+            })
+        })
+        .collect();
+    let victim = {
+        let slow = slow.clone();
+        vm.fork(move |_cx| {
+            block_on_group(2, &slow);
+            1i64
+        })
+    };
+    let peer = {
+        let slow = slow.clone();
+        vm.fork(move |_cx| {
+            block_on_group(2, &slow);
+            1i64
+        })
+    };
+    std::thread::sleep(Duration::from_millis(15));
+    tc::thread_terminate(&victim, Value::sym("killed")).unwrap();
+    assert_eq!(victim.join_blocking(), Ok(Value::sym("killed")));
+    assert_eq!(peer.join_blocking(), Ok(Value::Int(1)), "peer unaffected");
+    finish(&vm);
+}
+
+/// Lost-wake-up regression for the mutex: `release` wakes everyone, but a
+/// waiter that just timed out must not absorb (and so discard) a wake-up
+/// another acquirer needed.
+#[test]
+fn mutex_timeout_racing_release_strands_no_one() {
+    let vm = VmBuilder::new()
+        .vps(2)
+        .processors(2)
+        .trace(true)
+        .trace_capacity(1 << 16)
+        .build();
+    let m = Mutex::new(0, 0);
+    let mut all = Vec::new();
+    for i in 0..6usize {
+        let m = m.clone();
+        all.push(vm.fork(move |cx| {
+            let mut acquired = 0i64;
+            for _ in 0..40 {
+                // Half the threads use timeouts short enough to lose races.
+                let dur = Duration::from_micros(if i % 2 == 0 { 50 } else { 5000 });
+                if let Ok(g) = m.acquire_timeout(dur) {
+                    acquired += 1;
+                    cx.yield_now();
+                    drop(g);
+                }
+                cx.checkpoint();
+            }
+            acquired
+        }));
+    }
+    let total: i64 = all
+        .into_iter()
+        .map(|t| t.join_blocking().unwrap().as_int().unwrap())
+        .sum();
+    assert!(total > 0, "no acquisition ever succeeded");
+    assert!(!m.is_locked(), "mutex leaked a hold");
+    finish(&vm);
+}
+
+/// Lost-wake-up regression for the semaphore: permits released while
+/// waiters time out and retry must all be either consumed or left on the
+/// counter — the claim token's re-donation path may not drop any.
+#[test]
+fn semaphore_timeouts_racing_releases_conserve_permits() {
+    let vm = VmBuilder::new()
+        .vps(2)
+        .processors(2)
+        .trace(true)
+        .trace_capacity(1 << 16)
+        .build();
+    let sem = Semaphore::new(0);
+    const RELEASES: usize = 120;
+    let producer = {
+        let sem = sem.clone();
+        vm.fork(move |cx| {
+            for _ in 0..RELEASES {
+                sem.release();
+                cx.checkpoint();
+            }
+            0i64
+        })
+    };
+    let consumers: Vec<_> = (0..4)
+        .map(|i| {
+            let sem = sem.clone();
+            vm.fork(move |cx| {
+                let mut got = 0i64;
+                for _ in 0..60 {
+                    let dur = Duration::from_micros(if i % 2 == 0 { 20 } else { 2000 });
+                    if sem.acquire_timeout(dur).is_ok() {
+                        got += 1;
+                    }
+                    cx.checkpoint();
+                }
+                got
+            })
+        })
+        .collect();
+    producer.join_blocking().unwrap();
+    let consumed: i64 = consumers
+        .into_iter()
+        .map(|t| t.join_blocking().unwrap().as_int().unwrap())
+        .sum();
+    assert_eq!(
+        consumed + sem.permits() as i64,
+        RELEASES as i64,
+        "permits lost or double-spent across timeout races"
+    );
+    assert_eq!(sem.blocked(), 0);
+    finish(&vm);
+}

@@ -182,4 +182,52 @@ impl SpaceRep for HashedRep {
             None => self.wild.lock().push(blocked),
         }
     }
+
+    fn rewake_one(&self) {
+        // Scan for one claimable reader; dead entries (cancelled, timed
+        // out, or the duplicate registration of an already-woken reader)
+        // are pruned along the way.
+        for b in &self.buckets {
+            let mut g = b.lock();
+            let mut woken = false;
+            g.blocked.retain(|bl| {
+                if woken {
+                    return true;
+                }
+                woken = bl.waiter.wake();
+                false
+            });
+            if woken {
+                return;
+            }
+        }
+        let mut w = self.wild.lock();
+        let mut woken = false;
+        w.retain(|bl| {
+            if woken {
+                return true;
+            }
+            woken = bl.waiter.wake();
+            false
+        });
+    }
+
+    fn waiting(&self) -> usize {
+        self.buckets
+            .iter()
+            .map(|b| {
+                b.lock()
+                    .blocked
+                    .iter()
+                    .filter(|bl| bl.waiter.is_live())
+                    .count()
+            })
+            .sum::<usize>()
+            + self
+                .wild
+                .lock()
+                .iter()
+                .filter(|bl| bl.waiter.is_live())
+                .count()
+    }
 }

@@ -62,6 +62,17 @@ pub trait SpaceRep: Send + Sync {
 
     /// Registers a blocked reader to be woken by matching deposits.
     fn register(&self, template: &Template, waiter: Waiter);
+
+    /// Wakes one live blocked reader, if any: used by the space to
+    /// re-donate a wake-up it claimed but did not need (it found a tuple
+    /// by scanning before parking), so representations that spend exactly
+    /// one wake-up per deposit (the semaphore) lose nothing.
+    fn rewake_one(&self);
+
+    /// Number of live blocked readers (cancelled and woken episodes do
+    /// not count; representations that register a reader in more than one
+    /// bin may count it more than once).
+    fn waiting(&self) -> usize;
 }
 
 /// Element order of a [`ListRep`].
@@ -144,6 +155,14 @@ impl SpaceRep for ListRep {
     fn register(&self, _template: &Template, waiter: Waiter) {
         self.state.lock().1.push(waiter);
     }
+
+    fn rewake_one(&self) {
+        self.state.lock().1.wake_one();
+    }
+
+    fn waiting(&self) -> usize {
+        self.state.lock().1.len()
+    }
 }
 
 /// A shared variable: holds at most one tuple; deposits replace it.
@@ -201,6 +220,14 @@ impl SpaceRep for CellRep {
 
     fn register(&self, _template: &Template, waiter: Waiter) {
         self.state.lock().1.push(waiter);
+    }
+
+    fn rewake_one(&self) {
+        self.state.lock().1.wake_one();
+    }
+
+    fn waiting(&self) -> usize {
+        self.state.lock().1.len()
     }
 }
 
@@ -264,6 +291,14 @@ impl SpaceRep for CountRep {
 
     fn register(&self, _template: &Template, waiter: Waiter) {
         self.state.lock().1.push(waiter);
+    }
+
+    fn rewake_one(&self) {
+        self.state.lock().1.wake_one();
+    }
+
+    fn waiting(&self) -> usize {
+        self.state.lock().1.len()
     }
 }
 
@@ -356,6 +391,14 @@ impl SpaceRep for VectorRep {
 
     fn register(&self, _template: &Template, waiter: Waiter) {
         self.state.lock().1.push(waiter);
+    }
+
+    fn rewake_one(&self) {
+        self.state.lock().1.wake_one();
+    }
+
+    fn waiting(&self) -> usize {
+        self.state.lock().1.len()
     }
 }
 

@@ -18,9 +18,10 @@ use crate::hashed::HashedRep;
 use crate::rep::{CellRep, CountRep, ListOrder, ListRep, SpaceRep, VectorRep};
 use crate::template::Template;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 use sting_core::tc::Cx;
 use sting_core::vm::Vm;
-use sting_sync::Waiter;
+use sting_sync::{Waiter, WakeReason};
 use sting_value::Value;
 
 /// Representation choice for a tuple space (see [`crate::specialize`] for
@@ -181,6 +182,25 @@ impl TupleSpace {
         self.blocking_op(template, false)
     }
 
+    /// [`TupleSpace::get`] with a timeout: `None` if no matching tuple
+    /// was deposited within `timeout`.
+    pub fn get_timeout(&self, template: &Template, timeout: Duration) -> Option<Vec<Value>> {
+        self.blocking_op_deadline(template, true, Some(Instant::now() + timeout))
+    }
+
+    /// [`TupleSpace::rd`] with a timeout: `None` if no matching tuple was
+    /// deposited within `timeout`.
+    pub fn rd_timeout(&self, template: &Template, timeout: Duration) -> Option<Vec<Value>> {
+        self.blocking_op_deadline(template, false, Some(Instant::now() + timeout))
+    }
+
+    /// Number of live readers blocked on the local space (parents not
+    /// counted; the hashed representation may count a reader once per bin
+    /// it registered in).
+    pub fn blocked(&self) -> usize {
+        self.inner.rep.waiting()
+    }
+
     /// Atomically removes a matching tuple, applies `f` to its bindings,
     /// and deposits `f`'s result — the paper's
     /// `(get TS [?x] (put TS [(+ x 1)]))` idiom packaged as a helper.
@@ -215,19 +235,57 @@ impl TupleSpace {
 
     fn blocking_op(&self, template: &Template, remove: bool) -> Vec<Value> {
         loop {
-            if let Some(b) = self.try_op(template, remove) {
+            // `None` without a deadline means the wait episode was
+            // cancelled without unwinding this frame; re-arm and retry.
+            if let Some(b) = self.blocking_op_deadline(template, remove, None) {
                 return b;
             }
-            // Register in every space of the chain, then re-check once to
-            // close the deposit race, then park.
+        }
+    }
+
+    fn blocking_op_deadline(
+        &self,
+        template: &Template,
+        remove: bool,
+        deadline: Option<Instant>,
+    ) -> Option<Vec<Value>> {
+        loop {
+            if let Some(b) = self.try_op(template, remove) {
+                return Some(b);
+            }
+            // Register one wait episode in every space of the chain, then
+            // re-check once to close the deposit race, then park.
             let w = Waiter::current();
             for space in self.chain() {
                 space.inner.rep.register(template, w.clone());
             }
             if let Some(b) = self.try_op(template, remove) {
-                return b;
+                if w.retire() {
+                    // A deposit spent its wake-up on this episode but we
+                    // served ourselves by scanning; pass the wake-up on so
+                    // one-wake-per-deposit representations lose nothing.
+                    self.rewake_chain();
+                }
+                return Some(b);
             }
-            w.park(&Value::sym("tuple-space"));
+            if let Some(d) = deadline {
+                if Instant::now() >= d {
+                    if w.retire() {
+                        self.rewake_chain();
+                    }
+                    return None;
+                }
+            }
+            match w.park_until(&Value::sym("tuple-space"), deadline) {
+                WakeReason::Woken => {}
+                WakeReason::TimedOut | WakeReason::Cancelled => return None,
+            }
+        }
+    }
+
+    fn rewake_chain(&self) {
+        for space in self.chain() {
+            space.inner.rep.rewake_one();
         }
     }
 

@@ -1,0 +1,140 @@
+//! Terminate-while-blocked and lost-wake-up regressions for blocking
+//! tuple-space operations.
+//!
+//! Same protocol promise as the sting-sync cancel suite: terminating a
+//! thread blocked in `get`/`rd` cancels its wait episode, the space's
+//! live-waiter count drops back to zero, peers blocked on the same space
+//! are unaffected, and a deposit's one wake-up is never absorbed by the
+//! dead registration (the re-donation path in `blocking_op_deadline`).
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use sting_core::tc;
+use sting_core::vm::Vm;
+use sting_core::VmBuilder;
+use sting_tuple::{SpaceKind, Template, TupleSpace};
+use sting_value::Value;
+
+fn vm() -> Arc<Vm> {
+    VmBuilder::new()
+        .vps(1)
+        .trace(true)
+        .trace_capacity(1 << 14)
+        .build()
+}
+
+fn wait_until(what: &str, cond: impl Fn() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while !cond() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+fn finish(vm: &Arc<Vm>) {
+    let report = vm.trace_audit();
+    assert!(report.is_clean(), "audit found violations:\n{report}");
+    vm.shutdown();
+}
+
+#[test]
+fn terminate_blocked_getter_leaves_peer_intact() {
+    let vm = vm();
+    let ts = TupleSpace::new();
+    let fork_getter = |ts: &TupleSpace| {
+        let ts = ts.clone();
+        vm.fork(move |_cx| {
+            let b = ts.get(&Template::any(1));
+            b[0].clone()
+        })
+    };
+    let victim = fork_getter(&ts);
+    let peer = fork_getter(&ts);
+    wait_until("both getters to block", || ts.blocked() == 2);
+    tc::thread_terminate(&victim, Value::sym("killed")).unwrap();
+    wait_until("victim deregistration", || ts.blocked() == 1);
+    assert_eq!(victim.join_blocking(), Ok(Value::sym("killed")));
+    // Lost-wake-up regression: this single deposit's wake must skip the
+    // dead registration and reach the peer.
+    ts.put(vec![Value::Int(7)]);
+    assert_eq!(peer.join_blocking(), Ok(Value::Int(7)), "wake-up lost");
+    assert_eq!(ts.blocked(), 0, "waiter leaked");
+    assert!(ts.is_empty(), "tuple double-delivered or stranded");
+    finish(&vm);
+}
+
+#[test]
+fn terminate_blocked_reader_on_semaphore_space() {
+    // The specialized CountRep keeps one shared wait list rather than
+    // per-template registrations; the cancellation path must behave the
+    // same way.
+    let vm = vm();
+    let ts = TupleSpace::with_kind(SpaceKind::Semaphore);
+    let fork_p = |ts: &TupleSpace| {
+        let ts = ts.clone();
+        vm.fork(move |_cx| {
+            ts.get(&Template::any(0));
+            1i64
+        })
+    };
+    let victim = fork_p(&ts);
+    let peer = fork_p(&ts);
+    wait_until("both P operations to block", || ts.blocked() == 2);
+    tc::thread_terminate(&victim, Value::sym("killed")).unwrap();
+    wait_until("victim deregistration", || ts.blocked() == 1);
+    assert_eq!(victim.join_blocking(), Ok(Value::sym("killed")));
+    ts.put(vec![]); // one V: its wake must reach the live peer
+    assert_eq!(peer.join_blocking(), Ok(Value::Int(1)), "signal lost");
+    assert_eq!(ts.blocked(), 0);
+    assert_eq!(ts.len(), 0, "signal double-spent");
+    finish(&vm);
+}
+
+#[test]
+fn timeouts_racing_deposits_conserve_tuples() {
+    // Timed-out getters racing deposits: every deposited tuple is either
+    // consumed by exactly one getter or still in the space at the end —
+    // a wasted claim (waiter times out after being woken) must re-donate
+    // the wake so a sibling can consume the tuple.
+    let vm = vm();
+    let ts = TupleSpace::with_kind(SpaceKind::Semaphore);
+    const DEPOSITS: usize = 100;
+    let consumers: Vec<_> = (0..6)
+        .map(|i| {
+            let ts = ts.clone();
+            vm.fork(move |cx| {
+                let mut got = 0i64;
+                for round in 0..30usize {
+                    let dur = Duration::from_millis(if (i + round) % 2 == 0 { 1 } else { 40 });
+                    if ts.get_timeout(&Template::any(0), dur).is_some() {
+                        got += 1;
+                    }
+                    cx.checkpoint();
+                }
+                got
+            })
+        })
+        .collect();
+    let producer = {
+        let ts = ts.clone();
+        vm.fork(move |cx| {
+            for _ in 0..DEPOSITS {
+                ts.put(vec![]);
+                cx.yield_now();
+            }
+            0i64
+        })
+    };
+    producer.join_blocking().unwrap();
+    let consumed: i64 = consumers
+        .into_iter()
+        .map(|t| t.join_blocking().unwrap().as_int().unwrap())
+        .sum();
+    assert_eq!(
+        consumed as usize + ts.len(),
+        DEPOSITS,
+        "tuples lost or duplicated under timeout races"
+    );
+    assert_eq!(ts.blocked(), 0, "waiter leaked");
+    finish(&vm);
+}

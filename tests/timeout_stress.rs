@@ -1,0 +1,194 @@
+//! Timeout-stress integration test: timed blocking operations racing
+//! wake-ups, cancellations racing parks, on every synchronization layer
+//! at once (see EXPERIMENTS.md, "Timeout stress").
+//!
+//! Runs with tracing on so the debug-build shutdown audit replays the
+//! whole run against the blocking-protocol invariants: a wake-up
+//! delivered to a cancelled or timed-out episode (`WakeAfterCancel`) or
+//! an episode still registered at determination (`WaiterLeak`) panics the
+//! shutdown.  The explicit `trace_audit` assertion keeps the check active
+//! in release builds too.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use sting_core::{tc, VmBuilder};
+use sting_sync::{Channel, Mutex, Semaphore};
+use sting_tuple::{Template, TupleSpace};
+use sting_value::Value;
+
+const SHORT: Duration = Duration::from_millis(1);
+const LONG: Duration = Duration::from_millis(200);
+
+#[test]
+fn timed_waits_race_wakes_and_cancels_cleanly() {
+    let vm = VmBuilder::new()
+        .vps(2)
+        .processors(2)
+        .trace(true)
+        .trace_capacity(1 << 16)
+        .build();
+
+    let mutex = Mutex::new(0, 0);
+    let sem = Semaphore::new(0);
+    let chan = Channel::bounded(1);
+    let space = TupleSpace::new();
+    let timeouts = Arc::new(AtomicUsize::new(0));
+    let successes = Arc::new(AtomicUsize::new(0));
+
+    // Contending consumers: short timeouts lose races on purpose.
+    let mut workers = Vec::new();
+    for i in 0..8usize {
+        let mutex = mutex.clone();
+        let sem = sem.clone();
+        let chan = chan.clone();
+        let space = space.clone();
+        let timeouts = timeouts.clone();
+        let successes = successes.clone();
+        workers.push(vm.fork(move |cx| {
+            for round in 0..30usize {
+                let fast = (i + round) % 2 == 0;
+                let dur = if fast { SHORT } else { LONG };
+                match round % 4 {
+                    0 => match mutex.acquire_timeout(dur) {
+                        Ok(guard) => {
+                            successes.fetch_add(1, Ordering::Relaxed);
+                            cx.yield_now();
+                            drop(guard);
+                        }
+                        Err(_) => {
+                            timeouts.fetch_add(1, Ordering::Relaxed);
+                        }
+                    },
+                    1 => match sem.acquire_timeout(dur) {
+                        Ok(()) => {
+                            successes.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(_) => {
+                            timeouts.fetch_add(1, Ordering::Relaxed);
+                        }
+                    },
+                    2 => match chan.recv_timeout(dur) {
+                        Ok(_) => {
+                            successes.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(_) => {
+                            timeouts.fetch_add(1, Ordering::Relaxed);
+                        }
+                    },
+                    _ => match space.get_timeout(&Template::any(1), dur) {
+                        Some(_) => {
+                            successes.fetch_add(1, Ordering::Relaxed);
+                        }
+                        None => {
+                            timeouts.fetch_add(1, Ordering::Relaxed);
+                        }
+                    },
+                }
+                cx.checkpoint();
+            }
+            0i64
+        }));
+    }
+
+    // Producers: drip wake-ups so both outcomes stay populated.
+    let producers: Vec<_> = (0..2)
+        .map(|_| {
+            let sem = sem.clone();
+            let chan = chan.clone();
+            let space = space.clone();
+            vm.fork(move |cx| {
+                for i in 0..40i64 {
+                    sem.release();
+                    let _ = chan.send_timeout(Value::Int(i), SHORT);
+                    space.put(vec![Value::Int(i)]);
+                    cx.sleep(Duration::from_millis(2));
+                }
+                0i64
+            })
+        })
+        .collect();
+
+    // Cancellation racing parks: threads blocked forever on the empty
+    // structures, terminated mid-wait.
+    let doomed: Vec<_> = (0..4)
+        .map(|i| {
+            let mutex = mutex.clone();
+            let chan = Channel::unbounded();
+            vm.fork(move |_cx| {
+                if i % 2 == 0 {
+                    let _guard = mutex.acquire();
+                    std::thread::sleep(Duration::from_millis(50));
+                } else {
+                    let _ = chan.recv();
+                }
+                0i64
+            })
+        })
+        .collect();
+    std::thread::sleep(Duration::from_millis(20));
+    for t in &doomed {
+        let _ = tc::thread_terminate(t, Value::sym("stress-kill"));
+    }
+
+    for t in workers.into_iter().chain(producers) {
+        t.join_blocking().unwrap();
+    }
+    for t in doomed {
+        let _ = t.join_blocking();
+    }
+
+    assert!(
+        successes.load(Ordering::Relaxed) > 0,
+        "stress produced no successful timed waits"
+    );
+
+    let report = vm.trace_audit();
+    assert!(
+        report.is_clean(),
+        "blocking-protocol audit found violations:\n{report}"
+    );
+    // Debug builds re-run the audit here and panic on WakeAfterCancel or
+    // WaiterLeak findings.
+    vm.shutdown();
+}
+
+#[test]
+fn every_layer_times_out_against_an_empty_structure() {
+    let vm = VmBuilder::new()
+        .vps(1)
+        .trace(true)
+        .trace_capacity(1 << 14)
+        .build();
+    let t = vm.fork(|cx| {
+        let m = Mutex::new(0, 0);
+        let held = m.acquire();
+        assert!(m.acquire_timeout(SHORT).is_err());
+        drop(held);
+        assert!(Semaphore::new(0).acquire_timeout(SHORT).is_err());
+        assert!(Channel::unbounded().recv_timeout(SHORT).is_err());
+        assert!(sting_sync::IVar::new().get_timeout(SHORT).is_err());
+        assert!(sting_sync::Stream::new()
+            .cursor()
+            .hd_timeout(SHORT)
+            .is_err());
+        assert!(sting_sync::Barrier::new(2).arrive_timeout(SHORT).is_err());
+        assert!(TupleSpace::new()
+            .get_timeout(&Template::any(1), SHORT)
+            .is_none());
+        let slow = cx.fork(|cx| {
+            cx.sleep(LONG);
+            1i64
+        });
+        assert!(
+            cx.wait_timeout(&slow, SHORT).is_none(),
+            "join must time out"
+        );
+        assert_eq!(cx.wait(&slow), Ok(Value::Int(1)));
+        0i64
+    });
+    t.join_blocking().unwrap();
+    let report = vm.trace_audit();
+    assert!(report.is_clean(), "audit found violations:\n{report}");
+    vm.shutdown();
+}
