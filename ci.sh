@@ -8,6 +8,9 @@
 #   ./ci.sh doc      # just the rustdoc build (warnings are errors)
 #   ./ci.sh check    # model checker: sting-check self-tests + the deque/
 #                    # trace interleaving models over the production source
+#   ./ci.sh bench-smoke  # unified benchmark runner, smoke tier (<60s):
+#                    # emits a schema-checked BENCH json and asserts the
+#                    # Figure 6 shape orderings
 #   ./ci.sh miri     # deque/trace unit tests under Miri (skips with a
 #                    # notice if no nightly Miri toolchain is installed)
 set -euo pipefail
@@ -50,6 +53,13 @@ run_check() {
         cargo test -q -p sting-core --test model_wait
 }
 
+run_bench_smoke() {
+    step "bench-smoke: cargo build --release -p sting-bench --bin bench_all"
+    cargo build --release -p sting-bench --bin bench_all
+    step "bench-smoke: bench_all --smoke (schema + Figure 6 shape gates)"
+    ./target/release/bench_all --smoke --out target/BENCH_SMOKE.json
+}
+
 run_miri() {
     step "miri: deque/trace unit tests"
     if rustup run nightly cargo miri --version >/dev/null 2>&1; then
@@ -69,6 +79,7 @@ case "${1:-all}" in
     test) run_test ;;
     doc) run_doc ;;
     check) run_check ;;
+    bench-smoke) run_bench_smoke ;;
     miri) run_miri ;;
     all)
         run_fmt
@@ -76,9 +87,10 @@ case "${1:-all}" in
         run_test
         run_doc
         run_check
+        run_bench_smoke
         ;;
     *)
-        echo "usage: $0 [fmt|clippy|test|doc|check|miri|all]" >&2
+        echo "usage: $0 [fmt|clippy|test|doc|check|bench-smoke|miri|all]" >&2
         exit 2
         ;;
 esac

@@ -135,6 +135,35 @@ pub struct HeapStats {
     pub words_copied: u64,
     /// Objects promoted to the old generation.
     pub promotions: u64,
+    /// Total nanoseconds spent in minor collections.
+    pub minor_pause_ns: u64,
+    /// Total nanoseconds spent in major collections (a major triggered at
+    /// the end of a minor is counted here, not in the minor's pause).
+    pub major_pause_ns: u64,
+    /// Longest single collection pause, in nanoseconds.
+    pub max_pause_ns: u64,
+    /// Duration of the most recent collection pause, in nanoseconds.
+    pub last_pause_ns: u64,
+}
+
+/// Number of log2 pause buckets kept per heap (bucket `i` counts pauses in
+/// `[2^i, 2^(i+1))` ns; bucket 0 covers `[0, 2)`).  Matches the substrate's
+/// `sting_core::metrics` bucketing so embeddings can merge the two without
+/// re-binning — the areas crate stands below the substrate and must not
+/// depend on it.
+pub const PAUSE_BUCKETS: usize = 64;
+
+/// Pending pauses retained for the embedding to drain
+/// ([`Heap::take_pending_pauses`]); beyond this, individual samples are
+/// dropped (the scalar stats and buckets still record them).
+const MAX_PENDING_PAUSES: usize = 128;
+
+fn pause_bucket(ns: u64) -> usize {
+    if ns < 2 {
+        0
+    } else {
+        63 - ns.leading_zeros() as usize
+    }
 }
 
 /// Configuration for a [`Heap`].
@@ -168,6 +197,8 @@ pub struct Heap {
     entry_free: Vec<u32>,
     config: HeapConfig,
     stats: HeapStats,
+    pause_buckets: [u64; PAUSE_BUCKETS],
+    pending_pauses: Vec<u64>,
 }
 
 impl std::fmt::Debug for Heap {
@@ -199,12 +230,46 @@ impl Heap {
             entry_free: Vec::new(),
             config,
             stats: HeapStats::default(),
+            pause_buckets: [0; PAUSE_BUCKETS],
+            pending_pauses: Vec::new(),
         }
     }
 
     /// Current statistics.
     pub fn stats(&self) -> HeapStats {
         self.stats
+    }
+
+    /// Per-bucket pause counts (log2 ns buckets, see [`PAUSE_BUCKETS`]).
+    pub fn pause_buckets(&self) -> &[u64; PAUSE_BUCKETS] {
+        &self.pause_buckets
+    }
+
+    /// Whether [`Heap::take_pending_pauses`] would return samples.
+    pub fn has_pending_pauses(&self) -> bool {
+        !self.pending_pauses.is_empty()
+    }
+
+    /// Drains the individual pause samples recorded since the last drain
+    /// (bounded; overflow samples are dropped from this list but still
+    /// counted in [`Heap::stats`] and [`Heap::pause_buckets`]).  Embeddings
+    /// forward these to VM-level metrics.
+    pub fn take_pending_pauses(&mut self) -> Vec<u64> {
+        std::mem::take(&mut self.pending_pauses)
+    }
+
+    fn record_pause(&mut self, ns: u64, major: bool) {
+        if major {
+            self.stats.major_pause_ns += ns;
+        } else {
+            self.stats.minor_pause_ns += ns;
+        }
+        self.stats.max_pause_ns = self.stats.max_pause_ns.max(ns);
+        self.stats.last_pause_ns = ns;
+        self.pause_buckets[pause_bucket(ns)] += 1;
+        if self.pending_pauses.len() < MAX_PENDING_PAUSES {
+            self.pending_pauses.push(ns);
+        }
     }
 
     /// Words used in the young generation.
@@ -495,6 +560,7 @@ impl Heap {
 
     /// Forces a minor collection (normally triggered by allocation).
     pub fn collect_minor(&mut self, roots: &mut dyn RootSet) {
+        let pause_start = std::time::Instant::now();
         self.stats.minor_collections += 1;
         let mut to: Vec<u64> = Vec::with_capacity(self.config.young_words);
         let old_scan_start = self.old.len();
@@ -533,6 +599,10 @@ impl Heap {
         self.young = to;
         let _ = young;
 
+        // The minor's pause ends here; a triggered major times itself, so
+        // its cost is never double-counted under the minor.
+        self.record_pause(pause_start.elapsed().as_nanos() as u64, false);
+
         if self.old.len() > self.config.old_trigger_words {
             self.collect_major(roots);
         }
@@ -542,6 +612,7 @@ impl Heap {
     /// old area, the young area empties, and unreferenced native slots are
     /// pruned.
     pub fn collect_major(&mut self, roots: &mut dyn RootSet) {
+        let pause_start = std::time::Instant::now();
         self.stats.major_collections += 1;
         let mut young = std::mem::take(&mut self.young);
         let mut from_old = std::mem::take(&mut self.old);
@@ -563,6 +634,7 @@ impl Heap {
         self.old = new_old;
         self.young = Vec::with_capacity(self.config.young_words);
         self.prune_natives(roots);
+        self.record_pause(pause_start.elapsed().as_nanos() as u64, true);
     }
 
     /// Frees native slots not referenced from any live word.  Spaces are

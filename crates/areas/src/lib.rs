@@ -27,5 +27,7 @@
 mod heap;
 mod word;
 
-pub use heap::{EntryId, Heap, HeapConfig, HeapStats, NoRoots, ObjKind, RootSet, PROMOTE_AGE};
+pub use heap::{
+    EntryId, Heap, HeapConfig, HeapStats, NoRoots, ObjKind, RootSet, PAUSE_BUCKETS, PROMOTE_AGE,
+};
 pub use word::{Gc, Space, Val, Word, FIXNUM_MAX, FIXNUM_MIN};

@@ -1,0 +1,438 @@
+//! Unified benchmark runner: Figure 6 + every shape experiment + the
+//! storage-model rows, in one process, with a schema-versioned JSON report
+//! and a regression gate against a committed baseline.
+//!
+//! ```text
+//! cargo run --release -p sting-bench --bin bench_all            # full run
+//! cargo run --release -p sting-bench --bin bench_all -- --smoke # CI tier
+//! cargo run --release -p sting-bench --bin bench_all -- \
+//!     --against BENCH_PR4.json --threshold 0.10                 # regress?
+//! ```
+//!
+//! Exit status: 0 on success, 1 when a Figure 6 gate check fails after
+//! three attempts or `--against` finds a row slowed past the threshold,
+//! 2 on usage or I/O errors.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
+use sting::prelude::*;
+use sting_bench::report::{compare, BenchReport, BenchRow, Check};
+use sting_bench::shapes::{self, Scale};
+use sting_bench::{
+    dist::Dist, figure6_checks, figure6_gates_pass, measure_figure6, render_figure6,
+};
+
+struct Args {
+    smoke: bool,
+    iters: Option<u64>,
+    reps: Option<u64>,
+    out: String,
+    against: Option<String>,
+    threshold: f64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        smoke: false,
+        iters: None,
+        reps: None,
+        out: "BENCH_PR5.json".to_string(),
+        against: None,
+        threshold: 0.10,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| it.next().ok_or(format!("{name} needs a value"));
+        match arg.as_str() {
+            "--smoke" => args.smoke = true,
+            "--iters" => args.iters = Some(value("--iters")?.parse().map_err(|e| format!("{e}"))?),
+            "--reps" => args.reps = Some(value("--reps")?.parse().map_err(|e| format!("{e}"))?),
+            "--out" => args.out = value("--out")?,
+            "--against" => args.against = Some(value("--against")?),
+            "--threshold" => {
+                args.threshold = value("--threshold")?.parse().map_err(|e| format!("{e}"))?;
+            }
+            "--help" | "-h" => {
+                return Err(
+                    "usage: bench_all [--smoke] [--iters N] [--reps N] [--out PATH] \
+                            [--against BASELINE.json] [--threshold FRACTION]"
+                        .to_string(),
+                );
+            }
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+/// Times `reps` runs of `workload`, each on a fresh VM from `mk`; only the
+/// workload is timed (VM construction and shutdown are excluded).
+fn run_reps(reps: u64, mk: impl Fn() -> Arc<Vm>, workload: impl Fn(&Arc<Vm>)) -> Dist {
+    let mut samples = Vec::with_capacity(reps as usize);
+    for _ in 0..reps.max(1) {
+        let vm = mk();
+        let start = Instant::now();
+        workload(&vm);
+        samples.push(start.elapsed().as_nanos() as f64);
+        vm.shutdown();
+    }
+    Dist::from_samples(samples)
+}
+
+/// Steal-throughput ns/dispatch over `reps` timed hammers (after one
+/// warm-up hammer) on a single VM.
+fn steal_throughput(vm: &Arc<Vm>, reps: u64, threads: i64, yields: i64) -> Dist {
+    shapes::steal_hammer(vm, threads, yields); // warm-up: stacks pooled, workers awake
+    let expected: i64 = (0..threads).sum();
+    let mut samples = Vec::with_capacity(reps as usize);
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        let sum = shapes::steal_hammer(vm, threads, yields);
+        let t = start.elapsed();
+        assert_eq!(sum, expected);
+        samples.push(t.as_nanos() as f64 / shapes::steal_dispatches(threads, yields));
+    }
+    Dist::from_samples(samples)
+}
+
+fn print_row(r: &BenchRow) {
+    println!(
+        "  {:<12} {:<28} {:>12.0} {:>12.0} {:>12.0} {:>12.0}  {}",
+        r.suite, r.name, r.min, r.mean, r.p50, r.p99, r.unit
+    );
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut scale = if args.smoke {
+        Scale::smoke()
+    } else {
+        Scale::full()
+    };
+    if let Some(iters) = args.iters {
+        scale.figure6_iters = iters;
+    }
+    if let Some(reps) = args.reps {
+        scale.reps = reps;
+    }
+    let reps = scale.reps;
+    let mode = if args.smoke { "smoke" } else { "full" };
+    println!(
+        "bench_all — mode={mode}, figure6 iters={}, reps={reps}",
+        scale.figure6_iters
+    );
+
+    // Load the baseline before measuring anything: a missing or
+    // schema-incompatible file should fail in milliseconds, not after the
+    // whole suite has run.
+    let baseline = match &args.against {
+        None => None,
+        Some(path) => {
+            match std::fs::read_to_string(path)
+                .map_err(|e| e.to_string())
+                .and_then(|t| BenchReport::from_json(&t))
+            {
+                Ok(b) => Some(b),
+                Err(e) => {
+                    eprintln!("failed to load baseline {path}: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    let mut rows: Vec<BenchRow> = Vec::new();
+    let mut checks: Vec<Check> = Vec::new();
+
+    // --- Figure 6, with up to three attempts to clear the ordering gates
+    // (a background hiccup on a shared machine can invert the closest
+    // pair; a genuine regression fails all three). ---
+    let mut gates_ok = false;
+    for attempt in 1..=3 {
+        eprintln!("figure6 (attempt {attempt}):");
+        let f6 = measure_figure6(scale.figure6_iters);
+        let f6_checks = figure6_checks(&f6);
+        gates_ok = figure6_gates_pass(&f6_checks);
+        if attempt == 3 || gates_ok {
+            println!("{}", render_figure6(&f6));
+            rows.extend(f6.iter().map(|r| {
+                BenchRow::from_dist("figure6", r.name, "ns/iter", &r.dist).with_paper_us(r.paper_us)
+            }));
+            checks.extend(f6_checks);
+            break;
+        }
+        eprintln!("  ordering gate failed; re-measuring");
+    }
+
+    // --- E1: stealing vs scheduling policy ---
+    println!("shape: stealing (primes limit {})", scale.primes_limit);
+    for cfg in shapes::STEALING_CONFIGS {
+        let limit = scale.primes_limit;
+        let d = run_reps(
+            reps,
+            || shapes::stealing_vm(cfg, false),
+            |vm| shapes::primes_futures(vm, limit, cfg.lazy, cfg.stealable),
+        );
+        let row = BenchRow::from_dist("shape", &format!("stealing-{}", cfg.name), "ns/run", &d);
+        print_row(&row);
+        rows.push(row);
+    }
+
+    // --- E2: policy / program-structure matching ---
+    println!(
+        "shape: policies (farm {} jobs, tree depth {})",
+        scale.farm_jobs, scale.tree_depth
+    );
+    type PolicyVm = (&'static str, fn() -> Arc<Vm>);
+    let policy_vms: [PolicyVm; 3] = [
+        ("global-fifo", || shapes::global_queue_vm(false)),
+        ("local-lifo", || shapes::local_queue_vm(false, false)),
+        ("migrating-lifo", || shapes::local_queue_vm(true, false)),
+    ];
+    for (policy, mk) in policy_vms {
+        let jobs = scale.farm_jobs;
+        let d = run_reps(reps, mk, |vm| shapes::farm_workload(vm, jobs));
+        let row = BenchRow::from_dist("shape", &format!("farm-{policy}"), "ns/run", &d);
+        print_row(&row);
+        rows.push(row);
+        let depth = scale.tree_depth;
+        let d = run_reps(reps, mk, |vm| shapes::tree_workload(vm, depth));
+        let row = BenchRow::from_dist("shape", &format!("tree-{policy}"), "ns/run", &d);
+        print_row(&row);
+        rows.push(row);
+    }
+
+    // --- E2 addendum: locked vs lock-free dispatch ---
+    println!(
+        "shape: steal-throughput ({} threads x {} yields)",
+        scale.steal_threads, scale.steal_yields
+    );
+    for vps in [1usize, 2, 4] {
+        for locked in [true, false] {
+            let tier = if locked { "locked" } else { "lockfree" };
+            let vm = shapes::steal_vm(vps, locked, false);
+            let d = steal_throughput(&vm, reps, scale.steal_threads, scale.steal_yields);
+            vm.shutdown();
+            let row = BenchRow::from_dist(
+                "shape",
+                &format!("steal-throughput-{vps}vp-{tier}"),
+                "ns/dispatch",
+                &d,
+            );
+            print_row(&row);
+            rows.push(row);
+        }
+    }
+
+    // --- E4: preemption inside critical sections ---
+    println!(
+        "shape: preemption ({} workers x {} rounds)",
+        scale.preempt_workers, scale.preempt_rounds
+    );
+    for (name, shield) in [("enabled", false), ("shielded", true)] {
+        let (workers, rounds) = (scale.preempt_workers, scale.preempt_rounds);
+        let d = run_reps(
+            reps,
+            || shapes::preemption_vm(false),
+            |vm| shapes::preemption_run(vm, workers, rounds, shield),
+        );
+        let row = BenchRow::from_dist("shape", &format!("preemption-{name}"), "ns/run", &d);
+        print_row(&row);
+        rows.push(row);
+    }
+
+    // --- E3: tuple-space locking granularity ---
+    println!(
+        "shape: tuple-locks ({} keys x {} rounds)",
+        scale.tuple_keys, scale.tuple_rounds
+    );
+    for (name, buckets) in [("per-bucket", 64usize), ("global-lock", 1)] {
+        let (keys, rounds) = (scale.tuple_keys, scale.tuple_rounds);
+        let d = run_reps(
+            reps,
+            || VmBuilder::new().vps(2).processors(2).build(),
+            |vm| {
+                let ts = TupleSpace::with_kind(SpaceKind::Hashed { buckets });
+                shapes::tuple_locks_workload(vm, &ts, keys, rounds);
+            },
+        );
+        let row = BenchRow::from_dist("shape", &format!("tuple-locks-{name}"), "ns/run", &d);
+        print_row(&row);
+        rows.push(row);
+    }
+
+    // --- Storage model: scavenge pauses and allocation churn ---
+    println!(
+        "gc ({} collections, {} conses)",
+        scale.gc_collections, scale.gc_conses
+    );
+    let d = shapes::gc_minor_pauses(scale.gc_collections);
+    let row = BenchRow::from_dist("gc", "minor-pause-64k-nursery", "ns/collection", &d);
+    print_row(&row);
+    rows.push(row);
+    let d = shapes::gc_alloc_churn(scale.gc_conses);
+    let row = BenchRow::from_dist("gc", "alloc-churn-16k-nursery", "ns/cons", &d);
+    print_row(&row);
+    rows.push(row);
+
+    // --- Metrics overhead: the same steal-throughput hammer with the
+    // latency histograms enabled (the default) vs disabled.  The two VMs
+    // are hammered in alternation so clock drift and thermal effects hit
+    // both settings equally, and both get a warm-up hammer first. ---
+    // The 1vp configuration is the right probe: multi-VP runs settle into
+    // per-VM migration modes whose throughput gap dwarfs any plausible
+    // instrumentation cost, while the single-VP run is stable and still
+    // crosses the instrumented enqueue/dispatch path on every yield.
+    println!("overhead: metrics on vs off (1vp lock-free steal-throughput, interleaved)");
+    let mk = |metrics_on: bool| {
+        VmBuilder::new()
+            .vps(1)
+            .processors(1)
+            .policy(|_| policies::local_fifo().migrating(true).boxed())
+            .metrics(metrics_on)
+            .build()
+    };
+    let vm_on = mk(true);
+    let vm_off = mk(false);
+    // Always full-size: the smoke hammer is too short (~1k dispatches) to
+    // resolve a couple of percent above OS jitter, and this pair of rows
+    // is the one the ±2% claim rests on.
+    let (threads, yields) = (256i64, 64i64);
+    shapes::steal_hammer(&vm_on, threads, yields);
+    shapes::steal_hammer(&vm_off, threads, yields);
+    let mut on_samples = Vec::new();
+    let mut off_samples = Vec::new();
+    for _ in 0..reps.max(9) {
+        for (vm, samples) in [(&vm_on, &mut on_samples), (&vm_off, &mut off_samples)] {
+            let start = Instant::now();
+            shapes::steal_hammer(vm, threads, yields);
+            samples.push(
+                start.elapsed().as_nanos() as f64 / shapes::steal_dispatches(threads, yields),
+            );
+        }
+    }
+    vm_on.shutdown();
+    vm_off.shutdown();
+    for (name, samples) in [
+        ("steal-throughput-metrics-on", on_samples),
+        ("steal-throughput-metrics-off", off_samples),
+    ] {
+        let d = Dist::from_samples(samples);
+        let row = BenchRow::from_dist("overhead", name, "ns/dispatch", &d);
+        print_row(&row);
+        rows.push(row);
+    }
+    // The ratio itself comes from a tighter probe: a batched yield loop on
+    // a single VP crosses the same instrumented enqueue->dispatch path on
+    // every iteration, and comparing the minimum per-batch cost between
+    // interleaved metrics-on/metrics-off VMs isolates the instrumentation
+    // from the OS jitter that dominates the whole-hammer timings above.
+    let yield_iters = scale.figure6_iters.max(10_000);
+    let mut per_setting = [f64::INFINITY; 2];
+    for _round in 0..3 {
+        for (i, metrics_on) in [true, false].into_iter().enumerate() {
+            let vm = mk(metrics_on);
+            let d = sting_bench::on_thread(&vm, move |cx| {
+                sting_bench::time_per_iter(yield_iters, || cx.yield_now())
+            });
+            vm.shutdown();
+            per_setting[i] = per_setting[i].min(d.min());
+        }
+    }
+    let ratio = if per_setting[1] > 0.0 {
+        per_setting[0] / per_setting[1]
+    } else {
+        f64::NAN
+    };
+    for (i, name) in [("yield-metrics-on"), ("yield-metrics-off")]
+        .into_iter()
+        .enumerate()
+    {
+        let d = Dist::from_samples(vec![per_setting[i]]);
+        let row = BenchRow::from_dist("overhead", name, "ns/yield", &d);
+        print_row(&row);
+        rows.push(row);
+    }
+    checks.push(Check {
+        name: "info:metrics-overhead<=2%".to_string(),
+        pass: ratio <= 1.02,
+        detail: format!(
+            "best per-yield dispatch {:.1} ns with metrics vs {:.1} ns without ({:+.2}%)",
+            per_setting[0],
+            per_setting[1],
+            (ratio - 1.0) * 100.0
+        ),
+    });
+
+    // --- Report ---
+    let report = BenchReport {
+        config: vec![
+            ("mode".to_string(), mode.to_string()),
+            ("figure6_iters".to_string(), scale.figure6_iters.to_string()),
+            ("reps".to_string(), reps.to_string()),
+        ],
+        rows,
+        checks,
+    };
+    println!("\nchecks:");
+    for c in &report.checks {
+        println!(
+            "  [{}] {} ({})",
+            if c.pass { "pass" } else { "FAIL" },
+            c.name,
+            c.detail
+        );
+    }
+    if let Err(e) = std::fs::write(&args.out, report.to_json()) {
+        eprintln!("failed to write {}: {e}", args.out);
+        return ExitCode::from(2);
+    }
+    println!("report written to {}", args.out);
+
+    let mut failed = false;
+    if !gates_ok {
+        eprintln!("FAIL: figure6 ordering gates did not pass in 3 attempts");
+        failed = true;
+    }
+
+    // --- Baseline comparison ---
+    if let Some(baseline) = &baseline {
+        let path = args.against.as_deref().unwrap_or_default();
+        let regressions = compare(baseline, &report, args.threshold);
+        if regressions.is_empty() {
+            println!(
+                "no regressions vs {path} (threshold {:.0}%)",
+                args.threshold * 100.0
+            );
+        } else {
+            eprintln!(
+                "REGRESSIONS vs {path} (p50 grew more than {:.0}%):",
+                args.threshold * 100.0
+            );
+            for r in &regressions {
+                eprintln!(
+                    "  {}/{}: {:.0} ns -> {:.0} ns ({:+.1}%)",
+                    r.suite,
+                    r.name,
+                    r.base_p50,
+                    r.new_p50,
+                    (r.ratio - 1.0) * 100.0
+                );
+            }
+            failed = true;
+        }
+    }
+
+    if failed {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

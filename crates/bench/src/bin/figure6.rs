@@ -16,9 +16,13 @@ fn main() {
     let rows = sting_bench::measure_figure6(iters);
     println!("\nFigure 6 — baseline timings (paper: 8-CPU MIPS R3000, 1992)\n");
     print!("{}", sting_bench::render_figure6(&rows));
-    println!(
-        "\nShape checks (paper ordering that should hold here too):\n\
-           context switch < stealing < thread creation+scheduling < block/resume\n\
-           fork&value > block/resume;  barrier(2) > speculative(2);  tuple-space is the most expensive"
-    );
+    println!("\nShape checks (info: rows are report-only — see EXPERIMENTS.md):");
+    for c in sting_bench::figure6_checks(&rows) {
+        println!(
+            "  [{}] {} ({})",
+            if c.pass { "pass" } else { "FAIL" },
+            c.name,
+            c.detail
+        );
+    }
 }

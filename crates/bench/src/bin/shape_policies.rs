@@ -3,57 +3,15 @@
 //! perfectly on a global queue; a tree-structured result-parallel program
 //! prefers local queues (with migration for balance).
 //!
+//! The workloads and VM builders live in [`sting_bench::shapes`] so the
+//! unified runner (`bench_all`) measures the same code.
+//!
 //! Run with: `cargo run --release -p sting-bench --bin shape_policies`
 
 use std::sync::Arc;
 use std::time::Instant;
-use sting::core::policies::{self, GlobalQueue, QueueOrder};
-use sting::core::PolicyManager;
 use sting::prelude::*;
-
-fn farm_workload(vm: &Arc<Vm>, jobs: usize) {
-    // Long-lived equal workers pulling from a shared channel of jobs.
-    let ch = Channel::unbounded();
-    for i in 0..jobs {
-        ch.send(Value::Int(i as i64)).unwrap();
-    }
-    ch.close();
-    let workers: Vec<_> = (0..8)
-        .map(|_| {
-            let ch = ch.clone();
-            vm.fork(move |cx| {
-                let mut acc = 0i64;
-                while let Some(v) = ch.recv() {
-                    let mut x = v.as_int().unwrap();
-                    for _ in 0..200 {
-                        x = x.wrapping_mul(1103515245).wrapping_add(12345);
-                    }
-                    acc ^= x;
-                    cx.checkpoint();
-                }
-                acc
-            })
-        })
-        .collect();
-    for w in workers {
-        w.join_blocking().unwrap();
-    }
-}
-
-fn tree_workload(vm: &Arc<Vm>, depth: u32) {
-    fn tree(cx: &Cx, depth: u32) -> i64 {
-        if depth == 0 {
-            1
-        } else {
-            let l = cx.fork(move |cx| tree(cx, depth - 1));
-            let r = cx.fork(move |cx| tree(cx, depth - 1));
-            cx.touch(&l).unwrap().as_int().unwrap() + cx.touch(&r).unwrap().as_int().unwrap()
-        }
-    }
-    let expect = 1i64 << depth;
-    let got = vm.run(move |cx| tree(cx, depth)).unwrap().as_int().unwrap();
-    assert_eq!(got, expect);
-}
+use sting_bench::shapes::{farm_workload, global_queue_vm, local_queue_vm, tree_workload};
 
 fn run(name: &str, mk: impl Fn() -> Arc<Vm>, workload: impl Fn(&Arc<Vm>)) {
     let vm = mk();
@@ -71,46 +29,41 @@ fn run(name: &str, mk: impl Fn() -> Arc<Vm>, workload: impl Fn(&Arc<Vm>)) {
     vm.shutdown();
 }
 
-fn global() -> Arc<Vm> {
-    let q = GlobalQueue::shared(QueueOrder::Fifo);
-    VmBuilder::new()
-        .vps(4)
-        .policy(move |_| q.policy())
-        .trace(true)
-        .build()
-}
-
-fn local(migrate: bool) -> impl Fn() -> Arc<Vm> {
-    move || {
-        VmBuilder::new()
-            .vps(4)
-            .policy(move |_| make_local(migrate))
-            .trace(true)
-            .build()
-    }
-}
-
-fn make_local(migrate: bool) -> Box<dyn PolicyManager> {
-    policies::local_lifo().migrating(migrate).boxed()
-}
-
 fn main() {
     println!("E2 — policy/program-structure matching (§3.3)\n");
     println!("master/slave farm (8 long-lived workers, 2000 jobs):");
-    run("  global-fifo", global, |vm| farm_workload(vm, 2000));
-    run("  local-lifo (no migration)", local(false), |vm| {
-        farm_workload(vm, 2000)
-    });
-    run("  migrating-lifo", local(true), |vm| {
-        farm_workload(vm, 2000)
-    });
+    run(
+        "  global-fifo",
+        || global_queue_vm(true),
+        |vm| farm_workload(vm, 2000),
+    );
+    run(
+        "  local-lifo (no migration)",
+        || local_queue_vm(false, true),
+        |vm| farm_workload(vm, 2000),
+    );
+    run(
+        "  migrating-lifo",
+        || local_queue_vm(true, true),
+        |vm| farm_workload(vm, 2000),
+    );
 
     println!("\nresult-parallel tree (depth 10, 2047 threads):");
-    run("  global-fifo", global, |vm| tree_workload(vm, 10));
-    run("  local-lifo (no migration)", local(false), |vm| {
-        tree_workload(vm, 10)
-    });
-    run("  migrating-lifo", local(true), |vm| tree_workload(vm, 10));
+    run(
+        "  global-fifo",
+        || global_queue_vm(true),
+        |vm| tree_workload(vm, 10),
+    );
+    run(
+        "  local-lifo (no migration)",
+        || local_queue_vm(false, true),
+        |vm| tree_workload(vm, 10),
+    );
+    run(
+        "  migrating-lifo",
+        || local_queue_vm(true, true),
+        |vm| tree_workload(vm, 10),
+    );
 
     println!(
         "\nPaper's claims: farms suit a global queue (workers rarely block, no\n\

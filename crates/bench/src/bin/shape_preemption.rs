@@ -7,51 +7,14 @@
 //! that lands *inside a critical section*: the lock holder loses the VP
 //! while every other worker burns its active-spin budget, yields, blocks
 //! and reschedules.  Wrapping the section in `without-preemption`
-//! eliminates those convoys.
+//! eliminates those convoys.  The workload and VM builder live in
+//! [`sting_bench::shapes`] so the unified runner (`bench_all`) measures
+//! the same code.
 //!
 //! Run with: `cargo run --release -p sting-bench --bin shape_preemption`
 
-use std::sync::Arc;
-use std::time::{Duration, Instant};
-use sting::prelude::*;
-
-fn run(vm: &Arc<Vm>, workers: usize, rounds: usize, shield: bool) -> Duration {
-    let m = Mutex::new(64, 2);
-    let start = Instant::now();
-    let ts: Vec<_> = (0..workers)
-        .map(|_| {
-            let m = m.clone();
-            vm.fork(move |cx| {
-                let mut acc = 0u64;
-                for _ in 0..rounds {
-                    let mut section = || {
-                        m.with(|| {
-                            // A critical section long enough that the 200µs
-                            // tick regularly expires inside it.
-                            for i in 0..40_000u64 {
-                                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
-                                if i % 512 == 0 {
-                                    cx.checkpoint();
-                                }
-                            }
-                        });
-                    };
-                    if shield {
-                        cx.without_preemption(&mut section);
-                    } else {
-                        section();
-                    }
-                    cx.checkpoint();
-                }
-                acc as i64
-            })
-        })
-        .collect();
-    for t in ts {
-        t.join_blocking().unwrap();
-    }
-    start.elapsed()
-}
+use std::time::Instant;
+use sting_bench::shapes::{preemption_run, preemption_vm};
 
 fn main() {
     let workers = 4;
@@ -63,13 +26,10 @@ fn main() {
         ("preemption enabled ", false),
         ("without-preemption  ", true),
     ] {
-        let vm = VmBuilder::new()
-            .vps(1)
-            .processors(1)
-            .tick(Duration::from_micros(200))
-            .trace(true)
-            .build();
-        let t = run(&vm, workers, rounds, shield);
+        let vm = preemption_vm(true);
+        let start = Instant::now();
+        preemption_run(&vm, workers, rounds, shield);
+        let t = start.elapsed();
         let s = vm.counters().snapshot();
         println!(
             "{name} {t:>10.2?}   preemptions={:<6} blocks={:<6} yields={:<6} switches={}",

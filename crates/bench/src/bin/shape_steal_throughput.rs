@@ -10,73 +10,35 @@
 //! The workload piles short yielding threads onto VP 0, so every other VP
 //! is a thief: each yield is one enqueue + one dequeue, and each steal is
 //! the victim-side hand-off the two tiers implement differently (a
-//! lock-free `Deque::steal` CAS vs `try_lock` + queue scan).
+//! lock-free `Deque::steal` CAS vs `try_lock` + queue scan).  The VM
+//! builder and hammer live in [`sting_bench::shapes`] so the unified
+//! runner (`bench_all`) measures the same code.
 //!
 //! Run with: `cargo run --release -p sting-bench --bin shape_steal_throughput`
 //!
 //! Flight-recorder artifacts land in `$STING_TRACE_DIR` (default
 //! `target/traces`) as `shape_steal_throughput-<config>.json`.
 
-use std::sync::Arc;
 use std::time::Instant;
-use sting::core::policies;
-use sting::prelude::*;
+use sting_bench::shapes::{steal_dispatches, steal_hammer, steal_vm};
 
 const THREADS: i64 = 256;
 const YIELDS: i64 = 64;
 
-fn build(vps: usize, locked: bool) -> Arc<Vm> {
-    VmBuilder::new()
-        .vps(vps)
-        // One OS worker per VP: without it a single worker drives every VP
-        // and the queues are never contended.
-        .processors(vps)
-        .policy(move |_| {
-            policies::local_fifo()
-                .migrating(true)
-                .locked(locked)
-                .boxed()
-        })
-        .trace(true)
-        .build()
-}
-
-/// Forks `THREADS` yielding threads onto VP 0 and joins them all; returns
-/// the checksum so the work cannot be optimized away.
-fn hammer(vm: &Arc<Vm>) -> i64 {
-    let threads: Vec<_> = (0..THREADS)
-        .map(|i| {
-            vm.fork_on(0, move |cx| {
-                for _ in 0..YIELDS {
-                    cx.yield_now();
-                }
-                i
-            })
-            .expect("VP 0 exists")
-        })
-        .collect();
-    threads
-        .iter()
-        .map(|t| t.join_blocking().unwrap().as_int().unwrap())
-        .sum()
-}
-
 fn run(vps: usize, locked: bool) -> f64 {
     let tier = if locked { "locked" } else { "lock-free" };
-    let vm = build(vps, locked);
+    let vm = steal_vm(vps, locked, true);
     assert_eq!(
         vm.vp(0).unwrap().lock_free_queue(),
         !locked,
         "tier selection must match the configuration"
     );
-    hammer(&vm); // warm-up: stacks pooled, workers awake
+    steal_hammer(&vm, THREADS, YIELDS); // warm-up: stacks pooled, workers awake
     let start = Instant::now();
-    let sum = hammer(&vm);
+    let sum = steal_hammer(&vm, THREADS, YIELDS);
     let t = start.elapsed();
     assert_eq!(sum, (0..THREADS).sum::<i64>());
-    // One dispatch per yield plus the initial one, per thread.
-    let dispatches = (THREADS * (YIELDS + 1)) as f64;
-    let per_op_ns = t.as_nanos() as f64 / dispatches;
+    let per_op_ns = t.as_nanos() as f64 / steal_dispatches(THREADS, YIELDS);
     let s = vm.counters().snapshot();
     let config = format!("{vps}vp-{tier}");
     println!(

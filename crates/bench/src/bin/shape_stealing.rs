@@ -2,42 +2,13 @@
 //! process creation, and LIFO scheduling steals far more than FIFO on the
 //! Figure 3 primes workload.
 //!
+//! The workload and configuration sweep live in [`sting_bench::shapes`] so
+//! the unified runner (`bench_all`) measures the same code; this binary
+//! adds the counter breakdown and flight-recorder export.
+//!
 //! Run with: `cargo run --release -p sting-bench --bin shape_stealing [limit]`
 
-use std::sync::Arc;
-use sting::prelude::*;
-
-fn primes_futures(vm: &Arc<Vm>, limit: i64, lazy: bool, stealable: bool) {
-    vm.run(move |cx| {
-        let mut primes = Future::spawn(cx, |_| Value::list([Value::Int(2)]));
-        let mut i = 3i64;
-        while i <= limit {
-            let prev = primes.clone();
-            let body = move |cx: &Cx| {
-                let mut j = 3i64;
-                while j * j <= i {
-                    if i % j == 0 {
-                        return prev.force(cx);
-                    }
-                    j += 2;
-                }
-                Value::cons(Value::Int(i), prev.force(cx))
-            };
-            primes = if lazy {
-                Future::delay(&cx.vm(), body)
-            } else {
-                Future::spawn(cx, body)
-            };
-            if !stealable {
-                // Ablation: forbid the §4.1.1 optimization entirely.
-                primes.thread().set_stealable(false);
-            }
-            i += 2;
-        }
-        primes.force(cx)
-    })
-    .unwrap();
-}
+use sting_bench::shapes::{primes_futures, stealing_vm, STEALING_CONFIGS};
 
 fn main() {
     let limit: i64 = std::env::args()
@@ -51,40 +22,25 @@ fn main() {
     );
     println!("{}", "-".repeat(82));
     let mut traces = Vec::new();
-    for (name, lifo, lazy, stealable, vps) in [
-        ("lifo + eager futures", true, false, true, 1),
-        ("fifo + eager futures", false, false, true, 1),
-        ("lifo + lazy futures", true, true, true, 1),
-        ("fifo + lazy futures", false, true, true, 1),
-        ("lazy, stealing OFF", true, true, false, 1),
-        // Multi-VP row: migration offers from idle VPs plus stealing, so
-        // the exported trace shows steal/preempt/migrate events together.
-        ("4vp migrating lifo", true, true, true, 4),
-    ] {
-        let migrating = vps > 1;
-        let vm = VmBuilder::new()
-            .vps(vps)
-            .processors(vps)
-            .policy(move |_| {
-                if lifo {
-                    policies::local_lifo().migrating(migrating).boxed()
-                } else {
-                    policies::local_fifo().migrating(migrating).boxed()
-                }
-            })
-            .trace(true)
-            .build();
+    for cfg in STEALING_CONFIGS {
+        let vm = stealing_vm(cfg, true);
         let start = std::time::Instant::now();
-        primes_futures(&vm, limit, lazy, stealable);
+        primes_futures(&vm, limit, cfg.lazy, cfg.stealable);
         let t = start.elapsed();
         let s = vm.counters().snapshot();
         println!(
             "{:<22} {:>9} {:>8} {:>8} {:>8} {:>10} {:>10.2?}",
-            name, s.threads_created, s.tcbs_allocated, s.steals, s.blocks, s.context_switches, t
+            cfg.name,
+            s.threads_created,
+            s.tcbs_allocated,
+            s.steals,
+            s.blocks,
+            s.context_switches,
+            t
         );
-        match sting_bench::export_trace(&vm, "shape_stealing", name) {
+        match sting_bench::export_trace(&vm, "shape_stealing", cfg.name) {
             Ok(path) => traces.push(path),
-            Err(e) => eprintln!("trace export failed for {name}: {e}"),
+            Err(e) => eprintln!("trace export failed for {}: {e}", cfg.name),
         }
         vm.shutdown();
     }

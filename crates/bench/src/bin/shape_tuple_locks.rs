@@ -4,43 +4,15 @@
 //!
 //! We compare the per-bucket configuration against the one-bucket (global
 //! lock + linear scan) configuration under an associative load with many
-//! distinct keys in flight.
+//! distinct keys in flight.  The workload lives in
+//! [`sting_bench::shapes`] so the unified runner (`bench_all`) measures
+//! the same code.
 //!
 //! Run with: `cargo run --release -p sting-bench --bin shape_tuple_locks`
 
-use std::sync::Arc;
 use std::time::Instant;
 use sting::prelude::*;
-
-fn workload(vm: &Arc<Vm>, ts: &TupleSpace, keys: i64, rounds: i64) {
-    // Preload one tuple per key, then have workers repeatedly remove and
-    // re-deposit their own key (disjoint working sets).
-    for k in 0..keys {
-        ts.put(vec![Value::Int(k), Value::Int(0)]);
-    }
-    let workers: Vec<_> = (0..4)
-        .map(|w| {
-            let ts = ts.clone();
-            vm.fork(move |cx| {
-                // Each worker owns a quarter of the key space.
-                let lo = keys / 4 * w;
-                let hi = keys / 4 * (w + 1);
-                for r in 0..rounds {
-                    for k in lo..hi {
-                        let b = ts.get(&Template::new(vec![lit(k), formal()]));
-                        let v = b[0].as_int().unwrap();
-                        ts.put(vec![Value::Int(k), Value::Int(v + r)]);
-                    }
-                    cx.checkpoint();
-                }
-                0i64
-            })
-        })
-        .collect();
-    for w in workers {
-        w.join_blocking().unwrap();
-    }
-}
+use sting_bench::shapes::tuple_locks_workload;
 
 fn main() {
     let keys = 256i64;
@@ -53,7 +25,7 @@ fn main() {
         let vm = VmBuilder::new().vps(2).processors(2).trace(true).build();
         let ts = TupleSpace::with_kind(SpaceKind::Hashed { buckets });
         let start = Instant::now();
-        workload(&vm, &ts, keys, rounds);
+        tuple_locks_workload(&vm, &ts, keys, rounds);
         let t = start.elapsed();
         println!("{:<24} {:>10.2?}   ({} ops)", name, t, keys * rounds);
         if let Err(e) = sting_bench::export_trace(&vm, "shape_tuple_locks", name) {

@@ -8,8 +8,14 @@
 //! and their rough ratios (see EXPERIMENTS.md).
 
 use std::sync::Arc;
-use std::time::{Duration, Instant};
 use sting::prelude::*;
+
+pub mod dist;
+pub mod json;
+pub mod report;
+pub mod shapes;
+
+pub use dist::{time_per_iter, time_runs, Dist};
 
 /// The paper's Figure 6, verbatim (microseconds on the 1992 testbed).
 pub const PAPER_FIGURE6: &[(&str, f64)] = &[
@@ -89,15 +95,6 @@ where
     g.take().expect("bench thread stored its result")
 }
 
-/// Times `iters` runs of `f` and returns the mean per-iteration duration.
-pub fn time_per_iter(iters: u64, mut f: impl FnMut()) -> Duration {
-    let start = Instant::now();
-    for _ in 0..iters {
-        f();
-    }
-    start.elapsed() / u32::try_from(iters).expect("iteration count fits u32")
-}
-
 /// One measured row of the Figure 6 reproduction.
 #[derive(Debug, Clone)]
 pub struct Row {
@@ -105,14 +102,22 @@ pub struct Row {
     pub name: &'static str,
     /// Paper's timing in microseconds.
     pub paper_us: f64,
-    /// Our measured timing in microseconds.
-    pub measured_us: f64,
+    /// Distribution of per-iteration costs, in nanoseconds.
+    pub dist: Dist,
+}
+
+impl Row {
+    /// Headline measurement in microseconds (the median — robust to the
+    /// scheduling hiccups that skew means on shared machines).
+    pub fn measured_us(&self) -> f64 {
+        self.dist.p50() / 1e3
+    }
 }
 
 /// Measures all nine Figure 6 operations; `iters` scales runtime.
 pub fn measure_figure6(iters: u64) -> Vec<Row> {
     let mut rows = Vec::new();
-    let mut push = |name: &'static str, d: Duration| {
+    let mut push = |name: &'static str, d: Dist| {
         let paper_us = PAPER_FIGURE6
             .iter()
             .find(|(n, _)| *n == name)
@@ -121,7 +126,7 @@ pub fn measure_figure6(iters: u64) -> Vec<Row> {
         rows.push(Row {
             name,
             paper_us,
-            measured_us: d.as_secs_f64() * 1e6,
+            dist: d,
         });
         eprintln!("  measured: {name}");
     };
@@ -235,7 +240,7 @@ pub fn measure_figure6(iters: u64) -> Vec<Row> {
                 cx.block(None);
             });
             let _ = cx.wait(&partner);
-            d / 2
+            d.scale(0.5)
         });
         push("Thread Block and Resume", d);
         vm.shutdown();
@@ -289,8 +294,9 @@ pub fn measure_figure6(iters: u64) -> Vec<Row> {
     rows
 }
 
-/// Renders the Figure 6 comparison table, including shape ratios
-/// normalized to the cheapest common operation (context switch).
+/// Renders the Figure 6 comparison table — median with min/p99 spread,
+/// plus shape ratios normalized to the cheapest common operation (context
+/// switch).
 pub fn render_figure6(rows: &[Row]) -> String {
     use std::fmt::Write;
     let paper_base = rows
@@ -301,25 +307,89 @@ pub fn render_figure6(rows: &[Row]) -> String {
     let ours_base = rows
         .iter()
         .find(|r| r.name == "Synchronous Context Switch")
-        .map(|r| r.measured_us)
+        .map(|r| r.measured_us())
         .unwrap_or(1.0);
     let mut s = String::new();
     let _ = writeln!(
         s,
-        "{:<38} {:>12} {:>14} {:>12} {:>12}",
-        "Case", "paper (µs)", "measured (µs)", "paper ×sw", "ours ×sw"
+        "{:<38} {:>11} {:>10} {:>9} {:>9} {:>10} {:>9}",
+        "Case", "paper (µs)", "p50 (µs)", "min", "p99", "paper ×sw", "ours ×sw"
     );
-    let _ = writeln!(s, "{}", "-".repeat(92));
+    let _ = writeln!(s, "{}", "-".repeat(101));
     for r in rows {
         let _ = writeln!(
             s,
-            "{:<38} {:>12.2} {:>14.3} {:>12.1} {:>12.1}",
+            "{:<38} {:>11.2} {:>10.3} {:>9.3} {:>9.3} {:>10.1} {:>9.1}",
             r.name,
             r.paper_us,
-            r.measured_us,
+            r.measured_us(),
+            r.dist.min() / 1e3,
+            r.dist.p99() / 1e3,
             r.paper_us / paper_base,
-            r.measured_us / ours_base
+            r.measured_us() / ours_base
         );
     }
     s
+}
+
+/// Evaluates the Figure 6 structural checks on a set of measured rows.
+///
+/// Checks whose name begins with `info:` are report-only: they record how
+/// the paper's full cost chain fares on modern hardware but do not gate
+/// (thread creation is far cheaper relative to blocking than it was on a
+/// 25 MHz R3000, so the paper's `creation+scheduling < block/resume` link
+/// does not reproduce — see EXPERIMENTS.md). Everything else must pass on
+/// a healthy build.
+pub fn figure6_checks(rows: &[Row]) -> Vec<report::Check> {
+    let p50 = |name: &str| {
+        rows.iter()
+            .find(|r| r.name == name)
+            .map(|r| r.dist.p50())
+            .unwrap_or(f64::NAN)
+    };
+    let ctx = p50("Synchronous Context Switch");
+    let steal = p50("Stealing");
+    let create = p50("Thread Creation");
+    let sched = p50("Scheduling a Thread");
+    let block = p50("Thread Block and Resume");
+    let fork = p50("Thread Fork and Value");
+    let tuple = p50("Tuple-Space");
+    let mut checks = Vec::new();
+    let mut check = |name: &str, pass: bool, lhs: f64, rhs: f64| {
+        checks.push(report::Check {
+            name: name.to_string(),
+            pass,
+            detail: format!("{:.0} ns vs {:.0} ns", lhs, rhs),
+        });
+    };
+    // Gates: orderings with enough headroom to hold on any sane build.
+    // Context switch and stealing are within tens of nanoseconds of each
+    // other here (both are a touch on a determined/claimable thread), so
+    // that link gets 1.5x slack rather than a strict inequality.
+    check("ctx-switch<=1.5x-stealing", ctx <= 1.5 * steal, ctx, steal);
+    check("ctx-switch<block-resume", ctx < block, ctx, block);
+    check(
+        "stealing<creation+scheduling",
+        steal < create + sched,
+        steal,
+        create + sched,
+    );
+    check("block-resume<fork-value", block < fork, block, fork);
+    check("ctx-switch<tuple-space", ctx < tuple, ctx, tuple);
+    // Report-only: the paper's remaining chain link.
+    check(
+        "info:creation+scheduling<block-resume",
+        create + sched < block,
+        create + sched,
+        block,
+    );
+    checks
+}
+
+/// Whether every gating (non-`info:`) check passed.
+pub fn figure6_gates_pass(checks: &[report::Check]) -> bool {
+    checks
+        .iter()
+        .filter(|c| !c.name.starts_with("info:"))
+        .all(|c| c.pass)
 }

@@ -1,0 +1,435 @@
+//! Shared workloads behind the shape-experiment binaries and `bench_all`.
+//!
+//! Each shape experiment used to live entirely inside its binary; the
+//! workloads now live here so the unified runner (`bench_all`) and the
+//! individual `shape_*` binaries measure exactly the same code, and so the
+//! smoke tier can shrink iteration counts without forking the logic.
+
+use std::sync::Arc;
+use std::time::Duration;
+use sting::areas::{Heap, HeapConfig, Val as AreaVal, Word};
+use sting::core::policies::{self, GlobalQueue, QueueOrder};
+use sting::core::PolicyManager;
+use sting::prelude::*;
+
+use crate::dist::Dist;
+
+/// Iteration scales for one `bench_all` run.
+#[derive(Debug, Clone, Copy)]
+pub struct Scale {
+    /// Figure 6 iteration budget per row (rows still apply their own caps).
+    pub figure6_iters: u64,
+    /// Whole-workload repetitions per shape row.
+    pub reps: u64,
+    /// E1 primes sieve upper bound.
+    pub primes_limit: i64,
+    /// E2 farm job count.
+    pub farm_jobs: usize,
+    /// E2 tree depth.
+    pub tree_depth: u32,
+    /// Steal-throughput threads hammered onto VP 0.
+    pub steal_threads: i64,
+    /// Yields per steal-throughput thread.
+    pub steal_yields: i64,
+    /// E4 preemption workers.
+    pub preempt_workers: usize,
+    /// E4 rounds per worker.
+    pub preempt_rounds: usize,
+    /// E3 tuple-space key count.
+    pub tuple_keys: i64,
+    /// E3 rounds per worker.
+    pub tuple_rounds: i64,
+    /// Minor collections timed for the GC pause row.
+    pub gc_collections: u64,
+    /// Cons cells allocated for the GC churn row.
+    pub gc_conses: u64,
+}
+
+impl Scale {
+    /// The full-run scale (matches the standalone binaries' defaults).
+    pub fn full() -> Scale {
+        Scale {
+            figure6_iters: 20_000,
+            reps: 5,
+            primes_limit: 2_000,
+            farm_jobs: 2_000,
+            tree_depth: 10,
+            steal_threads: 256,
+            steal_yields: 64,
+            preempt_workers: 4,
+            preempt_rounds: 150,
+            tuple_keys: 256,
+            tuple_rounds: 20,
+            gc_collections: 2_000,
+            gc_conses: 2_000_000,
+        }
+    }
+
+    /// The CI smoke scale: every row still runs, in well under a minute.
+    pub fn smoke() -> Scale {
+        Scale {
+            figure6_iters: 2_000,
+            reps: 2,
+            primes_limit: 400,
+            farm_jobs: 200,
+            tree_depth: 6,
+            steal_threads: 64,
+            steal_yields: 16,
+            preempt_workers: 2,
+            preempt_rounds: 10,
+            tuple_keys: 64,
+            tuple_rounds: 3,
+            gc_collections: 200,
+            gc_conses: 100_000,
+        }
+    }
+}
+
+// --- E1: stealing vs scheduling policy (Figure 3 primes) ---
+
+/// Runs the Figure 3 primes-sieve futures workload.
+pub fn primes_futures(vm: &Arc<Vm>, limit: i64, lazy: bool, stealable: bool) {
+    vm.run(move |cx| {
+        let mut primes = Future::spawn(cx, |_| Value::list([Value::Int(2)]));
+        let mut i = 3i64;
+        while i <= limit {
+            let prev = primes.clone();
+            let body = move |cx: &Cx| {
+                let mut j = 3i64;
+                while j * j <= i {
+                    if i % j == 0 {
+                        return prev.force(cx);
+                    }
+                    j += 2;
+                }
+                Value::cons(Value::Int(i), prev.force(cx))
+            };
+            primes = if lazy {
+                Future::delay(&cx.vm(), body)
+            } else {
+                Future::spawn(cx, body)
+            };
+            if !stealable {
+                // Ablation: forbid the §4.1.1 optimization entirely.
+                primes.thread().set_stealable(false);
+            }
+            i += 2;
+        }
+        primes.force(cx)
+    })
+    .unwrap();
+}
+
+/// One E1 configuration row.
+#[derive(Debug, Clone, Copy)]
+pub struct StealingConfig {
+    /// Display/report name.
+    pub name: &'static str,
+    /// LIFO (true) or FIFO local queues.
+    pub lifo: bool,
+    /// Lazy (delayed) or eager futures.
+    pub lazy: bool,
+    /// Whether futures may be stolen via `touch`.
+    pub stealable: bool,
+    /// VP count (1 = the paper's single-queue setting).
+    pub vps: usize,
+}
+
+/// The E1 configuration sweep, in report order.
+pub const STEALING_CONFIGS: &[StealingConfig] = &[
+    StealingConfig {
+        name: "lifo-eager",
+        lifo: true,
+        lazy: false,
+        stealable: true,
+        vps: 1,
+    },
+    StealingConfig {
+        name: "fifo-eager",
+        lifo: false,
+        lazy: false,
+        stealable: true,
+        vps: 1,
+    },
+    StealingConfig {
+        name: "lifo-lazy",
+        lifo: true,
+        lazy: true,
+        stealable: true,
+        vps: 1,
+    },
+    StealingConfig {
+        name: "fifo-lazy",
+        lifo: false,
+        lazy: true,
+        stealable: true,
+        vps: 1,
+    },
+    StealingConfig {
+        name: "lazy-stealing-off",
+        lifo: true,
+        lazy: true,
+        stealable: false,
+        vps: 1,
+    },
+    StealingConfig {
+        name: "4vp-migrating-lifo",
+        lifo: true,
+        lazy: true,
+        stealable: true,
+        vps: 4,
+    },
+];
+
+/// Builds the VM for one E1 configuration.
+pub fn stealing_vm(cfg: &StealingConfig, trace: bool) -> Arc<Vm> {
+    let StealingConfig { lifo, vps, .. } = *cfg;
+    let migrating = vps > 1;
+    VmBuilder::new()
+        .vps(vps)
+        .processors(vps)
+        .policy(move |_| {
+            if lifo {
+                policies::local_lifo().migrating(migrating).boxed()
+            } else {
+                policies::local_fifo().migrating(migrating).boxed()
+            }
+        })
+        .trace(trace)
+        .build()
+}
+
+// --- E2: policy / program-structure matching ---
+
+/// Master/slave farm: 8 long-lived workers pulling from a shared channel.
+pub fn farm_workload(vm: &Arc<Vm>, jobs: usize) {
+    let ch = Channel::unbounded();
+    for i in 0..jobs {
+        ch.send(Value::Int(i as i64)).unwrap();
+    }
+    ch.close();
+    let workers: Vec<_> = (0..8)
+        .map(|_| {
+            let ch = ch.clone();
+            vm.fork(move |cx| {
+                let mut acc = 0i64;
+                while let Some(v) = ch.recv() {
+                    let mut x = v.as_int().unwrap();
+                    for _ in 0..200 {
+                        x = x.wrapping_mul(1103515245).wrapping_add(12345);
+                    }
+                    acc ^= x;
+                    cx.checkpoint();
+                }
+                acc
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join_blocking().unwrap();
+    }
+}
+
+/// Result-parallel binary tree: `2^depth` leaves, one thread per node.
+pub fn tree_workload(vm: &Arc<Vm>, depth: u32) {
+    fn tree(cx: &Cx, depth: u32) -> i64 {
+        if depth == 0 {
+            1
+        } else {
+            let l = cx.fork(move |cx| tree(cx, depth - 1));
+            let r = cx.fork(move |cx| tree(cx, depth - 1));
+            cx.touch(&l).unwrap().as_int().unwrap() + cx.touch(&r).unwrap().as_int().unwrap()
+        }
+    }
+    let expect = 1i64 << depth;
+    let got = vm.run(move |cx| tree(cx, depth)).unwrap().as_int().unwrap();
+    assert_eq!(got, expect);
+}
+
+/// 4-VP VM scheduled from one global FIFO queue.
+pub fn global_queue_vm(trace: bool) -> Arc<Vm> {
+    let q = GlobalQueue::shared(QueueOrder::Fifo);
+    VmBuilder::new()
+        .vps(4)
+        .policy(move |_| q.policy())
+        .trace(trace)
+        .build()
+}
+
+/// 4-VP VM with per-VP LIFO queues, optionally migrating for balance.
+pub fn local_queue_vm(migrate: bool, trace: bool) -> Arc<Vm> {
+    VmBuilder::new()
+        .vps(4)
+        .policy(move |_| make_local(migrate))
+        .trace(trace)
+        .build()
+}
+
+fn make_local(migrate: bool) -> Box<dyn PolicyManager> {
+    policies::local_lifo().migrating(migrate).boxed()
+}
+
+// --- E2 addendum: locked vs lock-free dispatch ---
+
+/// Builds the steal-throughput VM: one OS worker per VP, migrating FIFO,
+/// pinned to the locked or lock-free scheduler tier.
+pub fn steal_vm(vps: usize, locked: bool, trace: bool) -> Arc<Vm> {
+    VmBuilder::new()
+        .vps(vps)
+        // One OS worker per VP: without it a single worker drives every VP
+        // and the queues are never contended.
+        .processors(vps)
+        .policy(move |_| {
+            policies::local_fifo()
+                .migrating(true)
+                .locked(locked)
+                .boxed()
+        })
+        .trace(trace)
+        .build()
+}
+
+/// Forks `threads` yielding threads onto VP 0 and joins them all; returns
+/// the checksum so the work cannot be optimized away.
+pub fn steal_hammer(vm: &Arc<Vm>, threads: i64, yields: i64) -> i64 {
+    let ts: Vec<_> = (0..threads)
+        .map(|i| {
+            vm.fork_on(0, move |cx| {
+                for _ in 0..yields {
+                    cx.yield_now();
+                }
+                i
+            })
+            .expect("VP 0 exists")
+        })
+        .collect();
+    ts.iter()
+        .map(|t| t.join_blocking().unwrap().as_int().unwrap())
+        .sum()
+}
+
+/// Dispatches performed by one [`steal_hammer`] run (one per yield plus
+/// the initial dispatch, per thread) — the divisor for ns/dispatch rows.
+pub fn steal_dispatches(threads: i64, yields: i64) -> f64 {
+    (threads * (yields + 1)) as f64
+}
+
+// --- E4: preemption inside critical sections ---
+
+/// Builds the single-VP, fast-tick VM the preemption experiment uses.
+pub fn preemption_vm(trace: bool) -> Arc<Vm> {
+    VmBuilder::new()
+        .vps(1)
+        .processors(1)
+        .tick(Duration::from_micros(200))
+        .trace(trace)
+        .build()
+}
+
+/// Runs the lock-convoy workload; `shield` wraps the critical section in
+/// `without-preemption`.
+pub fn preemption_run(vm: &Arc<Vm>, workers: usize, rounds: usize, shield: bool) {
+    let m = Mutex::new(64, 2);
+    let ts: Vec<_> = (0..workers)
+        .map(|_| {
+            let m = m.clone();
+            vm.fork(move |cx| {
+                let mut acc = 0u64;
+                for _ in 0..rounds {
+                    let mut section = || {
+                        m.with(|| {
+                            // A critical section long enough that the 200µs
+                            // tick regularly expires inside it.
+                            for i in 0..40_000u64 {
+                                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+                                if i % 512 == 0 {
+                                    cx.checkpoint();
+                                }
+                            }
+                        });
+                    };
+                    if shield {
+                        cx.without_preemption(&mut section);
+                    } else {
+                        section();
+                    }
+                    cx.checkpoint();
+                }
+                acc as i64
+            })
+        })
+        .collect();
+    for t in ts {
+        t.join_blocking().unwrap();
+    }
+}
+
+// --- E3: tuple-space locking granularity ---
+
+/// Preloads `keys` tuples and drives 4 workers over disjoint key ranges.
+pub fn tuple_locks_workload(vm: &Arc<Vm>, ts: &TupleSpace, keys: i64, rounds: i64) {
+    for k in 0..keys {
+        ts.put(vec![Value::Int(k), Value::Int(0)]);
+    }
+    let workers: Vec<_> = (0..4)
+        .map(|w| {
+            let ts = ts.clone();
+            vm.fork(move |cx| {
+                // Each worker owns a quarter of the key space.
+                let lo = keys / 4 * w;
+                let hi = keys / 4 * (w + 1);
+                for r in 0..rounds {
+                    for k in lo..hi {
+                        let b = ts.get(&Template::new(vec![lit(k), formal()]));
+                        let v = b[0].as_int().unwrap();
+                        ts.put(vec![Value::Int(k), Value::Int(v + r)]);
+                    }
+                    cx.checkpoint();
+                }
+                0i64
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join_blocking().unwrap();
+    }
+}
+
+// --- Storage model: scavenge pauses and allocation churn ---
+
+/// Times `collections` minor scavenges of a 64k-word nursery holding a
+/// rooted ~1k-pair survivor set; returns per-collection ns.
+pub fn gc_minor_pauses(collections: u64) -> Dist {
+    let mut heap = Heap::new(HeapConfig {
+        young_words: 64 * 1024,
+        old_trigger_words: usize::MAX / 2,
+    });
+    let mut roots: Vec<Word> = Vec::new();
+    for i in 0..1000 {
+        let gc = heap.cons(AreaVal::Int(i), AreaVal::Nil, &mut roots);
+        roots.push(gc.word());
+    }
+    let mut samples = Vec::with_capacity(collections as usize);
+    for _ in 0..collections.max(1) {
+        let start = std::time::Instant::now();
+        heap.collect_minor(&mut roots);
+        samples.push(start.elapsed().as_nanos() as f64);
+    }
+    Dist::from_samples(samples)
+}
+
+/// Allocates `conses` pairs through a small (16k-word) nursery so the
+/// allocator regularly scavenges; returns amortized ns per cons, sampled
+/// in batches.
+pub fn gc_alloc_churn(conses: u64) -> Dist {
+    let mut heap = Heap::new(HeapConfig {
+        young_words: 16 * 1024,
+        old_trigger_words: usize::MAX / 2,
+    });
+    let mut roots: Vec<Word> = Vec::new();
+    let mut i = 0i64;
+    crate::dist::time_per_iter(conses, || {
+        let _ = heap.cons(AreaVal::Int(i), AreaVal::Nil, &mut roots);
+        i += 1;
+    })
+}

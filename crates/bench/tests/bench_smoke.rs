@@ -1,0 +1,166 @@
+//! Tier-1 smoke test for the unified benchmark runner: runs `bench_all`
+//! for real (tiny iteration counts), validates the emitted JSON against
+//! the schema, asserts the Figure 6 shape orderings, and proves the
+//! `--against` regression gate fires on a doctored baseline.
+
+use std::path::Path;
+use std::process::Command;
+use sting_bench::report::{BenchReport, SCHEMA};
+
+fn run_bench_all(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_bench_all"))
+        .args(args)
+        .current_dir(env!("CARGO_TARGET_TMPDIR"))
+        .output()
+        .expect("bench_all spawns")
+}
+
+fn tmp(name: &str) -> String {
+    Path::new(env!("CARGO_TARGET_TMPDIR"))
+        .join(name)
+        .to_str()
+        .expect("utf-8 tmpdir")
+        .to_string()
+}
+
+#[test]
+fn smoke_run_emits_schema_valid_report_with_sane_shape() {
+    let out = tmp("smoke_report.json");
+    let result = run_bench_all(&["--smoke", "--iters", "1500", "--reps", "1", "--out", &out]);
+    assert!(
+        result.status.success(),
+        "bench_all --smoke failed\nstdout:\n{}\nstderr:\n{}",
+        String::from_utf8_lossy(&result.stdout),
+        String::from_utf8_lossy(&result.stderr)
+    );
+
+    let text = std::fs::read_to_string(&out).expect("report written");
+    assert!(text.contains(SCHEMA), "report carries the schema tag");
+    let report = BenchReport::from_json(&text).expect("report parses against the schema");
+
+    // Every Figure 6 row must be present with a full, ordered statistics
+    // block and the paper's value attached.
+    for (name, _) in sting_bench::PAPER_FIGURE6 {
+        let row = report
+            .row("figure6", name)
+            .unwrap_or_else(|| panic!("missing figure6 row `{name}`"));
+        assert!(row.samples >= 1, "{name}: no samples");
+        assert!(row.min > 0.0, "{name}: zero min");
+        assert!(
+            row.min <= row.p50 && row.p50 <= row.p99,
+            "{name}: min/p50/p99 out of order ({} / {} / {})",
+            row.min,
+            row.p50,
+            row.p99
+        );
+        assert!(row.paper_us.is_some(), "{name}: paper value missing");
+        assert_eq!(row.unit, "ns/iter");
+    }
+
+    // The suites the unified runner promises.
+    for (suite, name) in [
+        ("shape", "stealing-lifo-lazy"),
+        ("shape", "farm-global-fifo"),
+        ("shape", "tree-migrating-lifo"),
+        ("shape", "steal-throughput-2vp-lockfree"),
+        ("shape", "preemption-shielded"),
+        ("shape", "tuple-locks-per-bucket"),
+        ("gc", "minor-pause-64k-nursery"),
+        ("gc", "alloc-churn-16k-nursery"),
+        ("overhead", "steal-throughput-metrics-on"),
+        ("overhead", "steal-throughput-metrics-off"),
+    ] {
+        assert!(
+            report.row(suite, name).is_some(),
+            "missing {suite} row `{name}`"
+        );
+    }
+
+    // Figure 6 shape orderings: every gating check must have passed (the
+    // runner itself re-measures up to three times before giving up, and
+    // exits non-zero — caught above — if they still fail).
+    let gates: Vec<_> = report
+        .checks
+        .iter()
+        .filter(|c| !c.name.starts_with("info:"))
+        .collect();
+    assert!(gates.len() >= 5, "expected the five ordering gates");
+    for c in &gates {
+        assert!(c.pass, "gate `{}` failed: {}", c.name, c.detail);
+    }
+    // The report-only rows still must be recorded, pass or fail.
+    assert!(
+        report.checks.iter().any(|c| c.name.starts_with("info:")),
+        "info checks missing"
+    );
+}
+
+#[test]
+fn against_flags_synthetic_regression_and_clean_baseline_passes() {
+    let out = tmp("against_current.json");
+    let result = run_bench_all(&["--smoke", "--iters", "1500", "--reps", "1", "--out", &out]);
+    assert!(result.status.success(), "baseline smoke run failed");
+    let text = std::fs::read_to_string(&out).expect("report written");
+
+    // Comparing a report against itself: zero regressions, exit 0.  Reuse
+    // the measurement by validating compare() directly — rerunning the
+    // whole suite would double the test's wall-clock for no new signal.
+    let current = BenchReport::from_json(&text).expect("parses");
+    assert!(sting_bench::report::compare(&current, &current, 0.10).is_empty());
+
+    // Doctor a baseline: pretend dispatch used to be 30% faster on one
+    // row, then ask bench_all to compare a fresh run against it.  The run
+    // must exit non-zero and name the slowed row.
+    let mut doctored = current.clone();
+    let target = doctored
+        .rows
+        .iter_mut()
+        .find(|r| r.suite == "gc" && r.name == "alloc-churn-16k-nursery")
+        .expect("gc row present");
+    target.p50 *= 0.1; // current will read as a 10x regression
+    let baseline_path = tmp("against_doctored.json");
+    std::fs::write(&baseline_path, doctored.to_json()).expect("baseline written");
+
+    let rerun = run_bench_all(&[
+        "--smoke",
+        "--iters",
+        "1500",
+        "--reps",
+        "1",
+        "--out",
+        &tmp("against_rerun.json"),
+        "--against",
+        &baseline_path,
+    ]);
+    assert!(
+        !rerun.status.success(),
+        "bench_all must exit non-zero when a row regressed past the threshold"
+    );
+    let stderr = String::from_utf8_lossy(&rerun.stderr);
+    assert!(
+        stderr.contains("REGRESSIONS") && stderr.contains("alloc-churn-16k-nursery"),
+        "stderr must name the regressed row, got:\n{stderr}"
+    );
+}
+
+#[test]
+fn against_rejects_malformed_baseline() {
+    let bogus = tmp("bogus_baseline.json");
+    std::fs::write(&bogus, "{\"schema\": \"other/1\"}").expect("write bogus");
+    let result = run_bench_all(&[
+        "--smoke",
+        "--iters",
+        "1500",
+        "--reps",
+        "1",
+        "--out",
+        &tmp("bogus_out.json"),
+        "--against",
+        &bogus,
+    ]);
+    assert_eq!(
+        result.status.code(),
+        Some(2),
+        "schema mismatch in the baseline must be a usage error, not a regression"
+    );
+}

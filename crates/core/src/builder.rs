@@ -37,6 +37,8 @@ pub struct VmBuilder {
     machine: Option<Arc<PhysicalMachine>>,
     trace: bool,
     trace_capacity: usize,
+    metrics: bool,
+    metrics_sample: u64,
 }
 
 impl std::fmt::Debug for VmBuilder {
@@ -72,6 +74,8 @@ impl VmBuilder {
             machine: None,
             trace: false,
             trace_capacity: crate::trace::DEFAULT_CAPACITY,
+            metrics: true,
+            metrics_sample: crate::metrics::DEFAULT_SAMPLE_PERIOD,
         }
     }
 
@@ -145,6 +149,25 @@ impl VmBuilder {
         self
     }
 
+    /// Whether latency metrics (dispatch/steal/wake/GC-pause histograms,
+    /// see [`crate::metrics`]) stamp events from the start (default on;
+    /// stamping is sampled, see [`VmBuilder::metrics_sample`]).  Can also
+    /// be toggled later with
+    /// [`Metrics::set_enabled`](crate::Metrics::set_enabled).
+    pub fn metrics(mut self, on: bool) -> VmBuilder {
+        self.metrics = on;
+        self
+    }
+
+    /// Latency-metrics sampling period: one in this many eligible events
+    /// takes a timestamp (rounded up to a power of two; default
+    /// [`metrics::DEFAULT_SAMPLE_PERIOD`](crate::metrics::DEFAULT_SAMPLE_PERIOD)).
+    /// `1` stamps every event — highest fidelity, highest overhead.
+    pub fn metrics_sample(mut self, period: u64) -> VmBuilder {
+        self.metrics_sample = period;
+        self
+    }
+
     /// Builds the VM, attaches it to its machine, and returns it running.
     pub fn build(mut self) -> Arc<Vm> {
         let policies: Vec<_> = (0..self.vps).map(|i| (self.policy)(i)).collect();
@@ -155,6 +178,8 @@ impl VmBuilder {
             self.pool_capacity,
             self.trace,
             self.trace_capacity,
+            self.metrics,
+            self.metrics_sample,
         );
         let machine = self.machine.take().unwrap_or_else(|| {
             let cpus = std::thread::available_parallelism()

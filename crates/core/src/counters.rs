@@ -32,7 +32,19 @@ macro_rules! counters {
 
         impl CounterSnapshot {
             /// Per-field difference `self - earlier` (saturating).
+            ///
+            /// Counters are monotonic, so a field that went backwards means
+            /// an attribution bug (an event counted on the wrong side of a
+            /// snapshot, or a miscounted source); debug builds assert on it
+            /// so the shutdown audit catches it, while release builds keep
+            /// the forgiving saturating behaviour (delta 0).
             pub fn since(&self, earlier: &CounterSnapshot) -> CounterSnapshot {
+                $(debug_assert!(
+                    self.$name >= earlier.$name,
+                    concat!("counter `", stringify!($name), "` went backwards: {} -> {}"),
+                    earlier.$name,
+                    self.$name,
+                );)+
                 CounterSnapshot {
                     $($name: self.$name.saturating_sub(earlier.$name),)+
                 }
@@ -93,5 +105,20 @@ mod tests {
         assert_eq!(d.steals, 2);
         assert_eq!(d.blocks, 0);
         assert_eq!(b.steals, 5);
+    }
+
+    #[test]
+    #[cfg_attr(
+        not(debug_assertions),
+        ignore = "debug_assert only fires in debug builds"
+    )]
+    #[should_panic(expected = "went backwards")]
+    fn since_asserts_monotonicity_in_debug() {
+        let c = Counters::default();
+        c.wakeups.fetch_add(4, Ordering::Relaxed);
+        let later = c.snapshot();
+        c.wakeups.fetch_sub(1, Ordering::Relaxed);
+        let earlier_but_higher = later;
+        let _ = c.snapshot().since(&earlier_but_higher);
     }
 }

@@ -52,6 +52,7 @@ pub mod error;
 pub mod group;
 pub mod io;
 pub mod machine;
+pub mod metrics;
 pub mod pm;
 pub mod policies;
 pub mod state;
@@ -72,6 +73,7 @@ pub use counters::{CounterSnapshot, Counters};
 pub use error::CoreError;
 pub use group::ThreadGroup;
 pub use machine::PhysicalMachine;
+pub use metrics::{Histogram, HistogramSnapshot, Metrics, MetricsSnapshot};
 pub use pm::{DequeCaps, EnqueueState, PolicyManager, QueueKind, RunItem};
 pub use state::{StateRequest, ThreadState};
 pub use tc::Cx;

@@ -19,7 +19,9 @@ use crate::tc::Cx;
 use crate::tcb::Tcb;
 use crate::vm::Vm;
 use parking_lot::{Condvar, Mutex};
-use std::sync::atomic::{AtomicBool, AtomicI32, AtomicU32, AtomicU8, AtomicUsize, Ordering};
+use std::sync::atomic::{
+    AtomicBool, AtomicI32, AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Ordering,
+};
 use std::sync::{Arc, Weak};
 use std::time::Duration;
 use sting_value::Value;
@@ -142,6 +144,14 @@ pub struct Thread {
     pub(crate) vm: Weak<Vm>,
     /// VP the thread last ran on (or was scheduled on); wake-ups go here.
     pub(crate) home_vp: AtomicUsize,
+    /// Metrics stamp: [`Metrics::now_ns`](crate::metrics::Metrics) at the
+    /// last *sampled* ready-enqueue, 0 when unstamped.  Written by the
+    /// enqueuer, consumed (reset to 0) by the dispatching VP.
+    pub(crate) enqueued_at_ns: AtomicU64,
+    /// Metrics stamp: time of the last *sampled* park commit, 0 when
+    /// unstamped.  Written under `core` by the parking VP, consumed by the
+    /// waker.
+    pub(crate) blocked_at_ns: AtomicU64,
     /// The thread's parking spot for the blocking protocol: one node for
     /// the thread's whole lifetime, episodes distinguished by generation
     /// (see [`crate::wait`]).
@@ -200,6 +210,8 @@ impl Thread {
             children: Mutex::new(Vec::new()),
             vm: Arc::downgrade(vm),
             home_vp: AtomicUsize::new(0),
+            enqueued_at_ns: AtomicU64::new(0),
+            blocked_at_ns: AtomicU64::new(0),
             wait_node: Arc::new(crate::wait::WaitNode::green(weak.clone())),
         });
         group.add(&t);
@@ -509,6 +521,7 @@ impl Thread {
             if let Some(vm) = self.vm() {
                 Counters::bump(&vm.counters().wakeups);
                 let vp = self.home_vp.load(Ordering::Relaxed) % vm.vp_count();
+                vm.metrics().note_wake(vp, self);
                 crate::trace_event!(
                     vm.tracer(),
                     crate::tls::current().map(|c| c.vp.index()),

@@ -10,6 +10,7 @@ use crate::counters::Counters;
 use crate::error::CoreError;
 use crate::group::ThreadGroup;
 use crate::machine::PhysicalMachine;
+use crate::metrics::Metrics;
 use crate::pm::{EnqueueState, RunItem};
 use crate::state::ThreadState;
 use crate::tc::{self, Cx};
@@ -30,6 +31,7 @@ pub struct Vm {
     name: String,
     vps: Vec<Arc<Vp>>,
     counters: Counters,
+    metrics: Metrics,
     timers: Timers,
     tracer: Tracer,
     root_group: Arc<ThreadGroup>,
@@ -59,6 +61,7 @@ impl Vm {
         crate::builder::VmBuilder::new()
     }
 
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn create(
         name: String,
         policies: Vec<Box<dyn crate::pm::PolicyManager>>,
@@ -66,6 +69,8 @@ impl Vm {
         pool_capacity: usize,
         trace_enabled: bool,
         trace_capacity: usize,
+        metrics_enabled: bool,
+        metrics_sample: u64,
     ) -> Arc<Vm> {
         let vp_count = policies.len();
         Arc::new_cyclic(|weak: &Weak<Vm>| {
@@ -78,6 +83,7 @@ impl Vm {
                 name,
                 vps,
                 counters: Counters::default(),
+                metrics: Metrics::new(vp_count, metrics_enabled, metrics_sample),
                 timers: Timers::new(),
                 tracer: Tracer::new(vp_count, trace_capacity, trace_enabled),
                 root_group: ThreadGroup::root(Some("root".to_string())),
@@ -121,6 +127,15 @@ impl Vm {
     /// Substrate event counters.
     pub fn counters(&self) -> &Counters {
         &self.counters
+    }
+
+    /// Latency metrics: per-VP dispatch/steal/wake histograms plus GC
+    /// pauses (see [`crate::metrics`]).  Snapshot with
+    /// [`Metrics::snapshot`]; toggle stamping with
+    /// [`Metrics::set_enabled`] or the
+    /// [`VmBuilder`](crate::builder::VmBuilder) metrics knobs.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
     }
 
     /// The timer wheel (suspensions with a quantum, sleeps).

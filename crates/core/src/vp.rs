@@ -200,6 +200,13 @@ impl Vp {
         self.fast.is_some()
     }
 
+    /// This VP's stack-pool statistics: `(stacks handed out, hand-outs
+    /// satisfied from the recycling cache)`.  The second component is the
+    /// pool's own ground truth for the VM-level `stacks_recycled` counter.
+    pub fn stack_pool_stats(&self) -> (u64, u64) {
+        self.stack_pool.lock().stats()
+    }
+
     /// Victim side of thread migration: surrenders an item to `thief`, or
     /// declines.  Returns `None` on contention, when the policy declines,
     /// or when asked to migrate to itself.
@@ -221,6 +228,12 @@ impl Vp {
         if self.index == thief.index() {
             return None;
         }
+        let vm = self.vm.upgrade();
+        // Steal latency covers the whole successful offer (queue CAS or
+        // policy consultation + hand-off bookkeeping), timed on the thief.
+        let steal_t0 = vm
+            .as_ref()
+            .and_then(|vm| vm.metrics().steal_begin(thief.index()));
         let item = if let Some(fq) = &self.fast {
             if !fq.caps.steal {
                 return None;
@@ -262,7 +275,7 @@ impl Vp {
                     if returned {
                         // The original submission signals were consumed;
                         // re-arm so the returned work is not stranded.
-                        if let Some(vm) = self.vm.upgrade() {
+                        if let Some(vm) = &vm {
                             vm.signal_work();
                         }
                     }
@@ -278,7 +291,10 @@ impl Vp {
             RunItem::Parked(tcb) => tcb.thread().clone(),
         };
         thread.home_vp.store(thief.index(), Ordering::Relaxed);
-        if let Some(vm) = self.vm.upgrade() {
+        if let Some(vm) = vm {
+            if let Some(t0) = steal_t0 {
+                vm.metrics().note_steal(thief.index(), t0);
+            }
             Counters::bump(&vm.counters().migrations);
             crate::trace_event!(
                 vm.tracer(),
@@ -319,6 +335,11 @@ impl Vp {
         // the trace audit (see [`crate::audit`]) relies on every steal
         // being preceded by its enqueue in timestamp order.
         if let Some(vm) = &vm {
+            let thread = match &item {
+                RunItem::Fresh(t) => t.as_ref(),
+                RunItem::Parked(tcb) => tcb.thread().as_ref(),
+            };
+            vm.metrics().stamp_enqueue(self.index, thread);
             crate::trace_event!(
                 vm.tracer(),
                 tls::current().map(|c| c.vp.index()),
@@ -394,6 +415,7 @@ impl Vp {
                     // Revalidate: the thread may have been stolen or
                     // terminated while sitting in the ready queue.
                     if let Some(thunk) = thread.claim(crate::state::ThreadState::Evaluating) {
+                        vm.metrics().note_dispatch(self.index, &thread);
                         crate::trace_event!(
                             vm.tracer(),
                             Some(self.index),
@@ -415,6 +437,7 @@ impl Vp {
                         "dispatching a determined thread's TCB (thread {:?})",
                         tcb.thread().id()
                     );
+                    vm.metrics().note_dispatch(self.index, tcb.thread());
                     crate::trace_event!(
                         vm.tracer(),
                         Some(self.index),
@@ -454,11 +477,15 @@ impl Vp {
     fn make_tcb(self: &Arc<Vp>, vm: &Arc<Vm>, thread: Arc<Thread>, thunk: TryThunk) -> Tcb {
         let stack = {
             let mut pool = self.stack_pool.lock();
-            let reused = pool.cached() > 0;
-            if reused {
+            // Count *hand-outs the pool satisfied from its cache*, not pool
+            // occupancy before the take: the pool's own hit statistic is
+            // the ground truth (see the reconciliation test).
+            let recycled_before = pool.stats().1;
+            let stack = pool.take();
+            if pool.stats().1 > recycled_before {
                 Counters::bump(&vm.counters().stacks_recycled);
             }
-            pool.take()
+            stack
         };
         Counters::bump(&vm.counters().tcbs_allocated);
         let shared = TcbShared::new(thread, self.index);
@@ -531,6 +558,10 @@ impl Vp {
                             crate::state::ThreadState::Blocked
                         });
                         core.parked = Some(tcb);
+                        // Stamp under `core`: the waker takes the same lock
+                        // before it can consume the parked TCB, so a
+                        // stamped park is always visible to its wake.
+                        vm.metrics().stamp_block(self.index, &thread);
                         Counters::bump(if suspended {
                             &vm.counters().suspends
                         } else {

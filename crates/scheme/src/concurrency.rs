@@ -713,6 +713,30 @@ pub(crate) fn add_defs(v: &mut Vec<Def>) {
         }
         Ok(m.list_from_stack(5))
     });
+    // (vm-metrics) -> ((name count min-ns mean-ns p50-ns p99-ns max-ns) ...)
+    // for dispatch, steal, block-wake and gc-pause latency histograms (see
+    // `sting_core::metrics`; scheduler rows are 1-in-N sampled).
+    def!("vm-metrics", 0, Some(0), |m, _a| {
+        let snap = cx()?.vm().metrics().snapshot();
+        let rows = [
+            ("dispatch", snap.dispatch),
+            ("steal", snap.steal),
+            ("block-wake", snap.wake),
+            ("gc-pause", snap.gc_pause),
+        ];
+        for (name, h) in &rows {
+            m.push(Val::Sym(Symbol::intern(name).index()));
+            m.push(Val::Int(h.count as i64));
+            m.push(Val::Int(h.min as i64));
+            m.push(Val::Float(h.mean()));
+            m.push(Val::Int(h.p50() as i64));
+            m.push(Val::Int(h.p99() as i64));
+            m.push(Val::Int(h.max as i64));
+            let row = m.list_from_stack(7);
+            m.push(row);
+        }
+        Ok(m.list_from_stack(rows.len()))
+    });
 }
 
 fn thread_list(

@@ -102,14 +102,18 @@ impl RootSet for MachineRoots<'_> {
 macro_rules! with_heap {
     ($m:expr, $extra:expr, |$heap:ident, $roots:ident| $body:expr) => {{
         let m: &mut Machine = $m;
-        let mut roots_owner = MachineRoots {
-            stack: &mut m.stack,
-            frames: &mut m.frames,
-            extra: $extra,
+        let out = {
+            let mut roots_owner = MachineRoots {
+                stack: &mut m.stack,
+                frames: &mut m.frames,
+                extra: $extra,
+            };
+            let $heap = &mut m.heap;
+            let $roots = &mut roots_owner;
+            $body
         };
-        let $heap = &mut m.heap;
-        let $roots = &mut roots_owner;
-        $body
+        m.forward_gc_pauses();
+        out
     }};
 }
 
@@ -135,6 +139,23 @@ impl Machine {
             fluids: HashMap::new(),
             fuel: CHECKPOINT_WINDOW,
             apply_depth: 0,
+        }
+    }
+
+    /// Forwards GC pauses recorded by the heap to the owning VM's latency
+    /// metrics ([`sting_core::metrics`]).  Cheap when no collection
+    /// happened (one branch); machines running outside a STING thread keep
+    /// the pauses in their [`Heap`] stats only.
+    fn forward_gc_pauses(&mut self) {
+        if !self.heap.has_pending_pauses() {
+            return;
+        }
+        let pauses = self.heap.take_pending_pauses();
+        if let Some(cx) = sting_core::Cx::current() {
+            let vm = cx.vm();
+            for ns in pauses {
+                vm.metrics().record_gc_pause(ns);
+            }
         }
     }
 
