@@ -57,7 +57,18 @@ run_bench_smoke() {
     step "bench-smoke: cargo build --release -p sting-bench --bin bench_all"
     cargo build --release -p sting-bench --bin bench_all
     step "bench-smoke: bench_all --smoke (schema + Figure 6 shape gates)"
-    ./target/release/bench_all --smoke --out target/BENCH_SMOKE.json
+    # The smoke tier includes the echo-server rows (connections-held,
+    # block-wake, echo-rtt).  When the committed smoke baseline exists,
+    # gate against it at 100%: smoke timings on a loaded box jitter far
+    # more than a full run, so this catches order-of-magnitude latency
+    # regressions (a lost wake-up turns µs p50s into ms), while the
+    # committed full report (BENCH_PR6.json) stays the reference for
+    # fine-grained comparisons.
+    local against=()
+    if [[ -f BENCH_PR6_SMOKE.json ]]; then
+        against=(--against BENCH_PR6_SMOKE.json --threshold 1.0)
+    fi
+    ./target/release/bench_all --smoke --out target/BENCH_SMOKE.json "${against[@]}"
 }
 
 run_miri() {

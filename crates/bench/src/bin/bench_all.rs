@@ -37,7 +37,7 @@ fn parse_args() -> Result<Args, String> {
         smoke: false,
         iters: None,
         reps: None,
-        out: "BENCH_PR5.json".to_string(),
+        out: "BENCH_PR6.json".to_string(),
         against: None,
         threshold: 0.10,
     };
@@ -104,6 +104,18 @@ fn print_row(r: &BenchRow) {
 }
 
 fn main() -> ExitCode {
+    // Hidden mode: the server benchmark re-executes this binary as its
+    // echo client so the held connections live in their own fd table.
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.first().is_some_and(|a| a == "--echo-client") {
+        return match sting_bench::server::echo_client_main(&raw[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("{e}");
+                ExitCode::from(2)
+            }
+        };
+    }
     let args = match parse_args() {
         Ok(a) => a,
         Err(msg) => {
@@ -281,6 +293,31 @@ fn main() -> ExitCode {
     let row = BenchRow::from_dist("gc", "alloc-churn-16k-nursery", "ns/cons", &d);
     print_row(&row);
     rows.push(row);
+
+    // --- Server: connection-per-thread echo under the reactor ---
+    let sscale = if args.smoke {
+        sting_bench::server::ServerScale::smoke()
+    } else {
+        sting_bench::server::ServerScale::full()
+    };
+    println!(
+        "server: echo ({} connections on {} vps, {} echoes)",
+        sscale.conns, sscale.vps, sscale.echoes
+    );
+    match sting_bench::server::run(&sscale) {
+        Ok((srows, schecks)) => {
+            for r in &srows {
+                print_row(r);
+            }
+            rows.extend(srows);
+            checks.extend(schecks);
+        }
+        Err(e) => checks.push(Check {
+            name: "server:echo-bench".to_string(),
+            pass: false,
+            detail: e,
+        }),
+    }
 
     // --- Metrics overhead: the same steal-throughput hammer with the
     // latency histograms enabled (the default) vs disabled.  The two VMs

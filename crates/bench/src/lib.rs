@@ -13,6 +13,7 @@ use sting::prelude::*;
 pub mod dist;
 pub mod json;
 pub mod report;
+pub mod server;
 pub mod shapes;
 
 pub use dist::{time_per_iter, time_runs, Dist};

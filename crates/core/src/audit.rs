@@ -264,7 +264,9 @@ pub fn audit(events: &[TraceEvent], truncated: bool) -> AuditReport {
             | EventKind::Suspend
             | EventKind::Resume
             | EventKind::Preempt
-            | EventKind::StateRequest => {}
+            | EventKind::StateRequest
+            | EventKind::IoWait
+            | EventKind::IoReady => {}
         }
     }
 

@@ -39,6 +39,20 @@ pub struct VmBuilder {
     trace_capacity: usize,
     metrics: bool,
     metrics_sample: u64,
+    io_workers: usize,
+}
+
+/// Everything [`Vm::create`](Vm) needs besides the policy managers,
+/// assembled by [`VmBuilder::build`].
+pub(crate) struct VmConfig {
+    pub(crate) name: String,
+    pub(crate) stack_size: usize,
+    pub(crate) pool_capacity: usize,
+    pub(crate) trace: bool,
+    pub(crate) trace_capacity: usize,
+    pub(crate) metrics: bool,
+    pub(crate) metrics_sample: u64,
+    pub(crate) io_workers: usize,
 }
 
 impl std::fmt::Debug for VmBuilder {
@@ -76,6 +90,7 @@ impl VmBuilder {
             trace_capacity: crate::trace::DEFAULT_CAPACITY,
             metrics: true,
             metrics_sample: crate::metrics::DEFAULT_SAMPLE_PERIOD,
+            io_workers: crate::io::DEFAULT_IO_WORKERS,
         }
     }
 
@@ -168,18 +183,32 @@ impl VmBuilder {
         self
     }
 
+    /// Cap on the VM's blocking-call worker pool (see
+    /// [`io::offload`](crate::io::offload); default
+    /// [`io::DEFAULT_IO_WORKERS`](crate::io::DEFAULT_IO_WORKERS)).  The
+    /// pool starts empty and grows one worker at a time while offloads are
+    /// queued and no worker is idle, so the cap is the ceiling on
+    /// *concurrent* blocking calls, not a standing thread count.
+    pub fn io_workers(mut self, cap: usize) -> VmBuilder {
+        self.io_workers = cap.max(1);
+        self
+    }
+
     /// Builds the VM, attaches it to its machine, and returns it running.
     pub fn build(mut self) -> Arc<Vm> {
         let policies: Vec<_> = (0..self.vps).map(|i| (self.policy)(i)).collect();
         let vm = Vm::create(
-            self.name,
             policies,
-            self.stack_size,
-            self.pool_capacity,
-            self.trace,
-            self.trace_capacity,
-            self.metrics,
-            self.metrics_sample,
+            VmConfig {
+                name: self.name,
+                stack_size: self.stack_size,
+                pool_capacity: self.pool_capacity,
+                trace: self.trace,
+                trace_capacity: self.trace_capacity,
+                metrics: self.metrics,
+                metrics_sample: self.metrics_sample,
+                io_workers: self.io_workers,
+            },
         );
         let machine = self.machine.take().unwrap_or_else(|| {
             let cpus = std::thread::available_parallelism()

@@ -53,9 +53,12 @@ pub mod group;
 pub mod io;
 pub mod machine;
 pub mod metrics;
+pub mod net;
 pub mod pm;
 pub mod policies;
+pub mod reactor;
 pub mod state;
+pub mod sys;
 pub mod tc;
 pub mod tcb;
 pub mod thread;

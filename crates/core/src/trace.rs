@@ -77,6 +77,13 @@ pub enum EventKind {
     /// determine — a protocol violation the audit flags), `b` the episode
     /// generation (low 32 bits).
     WaiterCancelled = 14,
+    /// A thread registered with the I/O reactor and is parking on fd
+    /// readiness; payload `a` is the fd, `b` the interest mask (see
+    /// [`crate::reactor`]).
+    IoWait = 15,
+    /// The reactor driver delivered fd readiness as a claimed wake-up;
+    /// payload `a` is the fd, `b` the readiness mask.
+    IoReady = 16,
 }
 
 impl EventKind {
@@ -98,6 +105,8 @@ impl EventKind {
             12 => StateRequest,
             13 => BlockTimeout,
             14 => WaiterCancelled,
+            15 => IoWait,
+            16 => IoReady,
             _ => return None,
         })
     }
@@ -121,6 +130,8 @@ impl EventKind {
             StateRequest => "state-request",
             BlockTimeout => "block-timeout",
             WaiterCancelled => "waiter-cancelled",
+            IoWait => "io-wait",
+            IoReady => "io-ready",
         }
     }
 }
@@ -424,6 +435,9 @@ pub fn text_dump(events: &[TraceEvent]) -> String {
             EventKind::Enqueue => format!(" (state {}, vp {})", e.a, e.b),
             EventKind::BlockTimeout => format!(" (gen {})", e.b),
             EventKind::WaiterCancelled => format!(" ({}, gen {})", cancel_origin(e.a), e.b),
+            EventKind::IoWait | EventKind::IoReady => {
+                format!(" (fd {}, mask {:#b})", e.a, e.b)
+            }
             EventKind::Unblock if e.b != 0 => format!(" (vp {}, claimed gen {})", e.a, e.b),
             _ if e.a != 0 || e.b != 0 => format!(" (a={}, b={})", e.a, e.b),
             _ => String::new(),

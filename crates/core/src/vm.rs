@@ -5,13 +5,15 @@
 //! [`crate::machine::PhysicalMachine`] — the machine holds
 //! the VMs weakly and multiplexes their VPs over its worker OS threads.
 
-use crate::builder::SpawnOpts;
+use crate::builder::{SpawnOpts, VmConfig};
 use crate::counters::Counters;
 use crate::error::CoreError;
 use crate::group::ThreadGroup;
+use crate::io::IoPool;
 use crate::machine::PhysicalMachine;
 use crate::metrics::Metrics;
 use crate::pm::{EnqueueState, RunItem};
+use crate::reactor::IoDriver;
 use crate::state::ThreadState;
 use crate::tc::{self, Cx};
 use crate::thread::{Thread, ThreadResult, Thunk, TryThunk};
@@ -35,6 +37,8 @@ pub struct Vm {
     timers: Timers,
     tracer: Tracer,
     root_group: Arc<ThreadGroup>,
+    io_pool: IoPool,
+    io_driver: Arc<IoDriver>,
     all_threads: Mutex<(Vec<Weak<Thread>>, usize)>,
     stop: AtomicBool,
     next_tid: AtomicU64,
@@ -61,32 +65,37 @@ impl Vm {
         crate::builder::VmBuilder::new()
     }
 
-    #[allow(clippy::too_many_arguments)]
     pub(crate) fn create(
-        name: String,
         policies: Vec<Box<dyn crate::pm::PolicyManager>>,
-        stack_size: usize,
-        pool_capacity: usize,
-        trace_enabled: bool,
-        trace_capacity: usize,
-        metrics_enabled: bool,
-        metrics_sample: u64,
+        config: VmConfig,
     ) -> Arc<Vm> {
         let vp_count = policies.len();
         Arc::new_cyclic(|weak: &Weak<Vm>| {
             let vps = policies
                 .into_iter()
                 .enumerate()
-                .map(|(i, pm)| Arc::new(Vp::new(i, weak.clone(), pm, stack_size, pool_capacity)))
+                .map(|(i, pm)| {
+                    Arc::new(Vp::new(
+                        i,
+                        weak.clone(),
+                        pm,
+                        config.stack_size,
+                        config.pool_capacity,
+                    ))
+                })
                 .collect();
+            let io_driver = Arc::new(IoDriver::new());
+            io_driver.bind_vm(weak);
             Vm {
-                name,
+                name: config.name,
                 vps,
                 counters: Counters::default(),
-                metrics: Metrics::new(vp_count, metrics_enabled, metrics_sample),
+                metrics: Metrics::new(vp_count, config.metrics, config.metrics_sample),
                 timers: Timers::new(),
-                tracer: Tracer::new(vp_count, trace_capacity, trace_enabled),
+                tracer: Tracer::new(vp_count, config.trace_capacity, config.trace),
                 root_group: ThreadGroup::root(Some("root".to_string())),
+                io_pool: IoPool::new(config.io_workers),
+                io_driver,
                 all_threads: Mutex::new((Vec::new(), 0)),
                 stop: AtomicBool::new(false),
                 next_tid: AtomicU64::new(1),
@@ -141,6 +150,18 @@ impl Vm {
     /// The timer wheel (suspensions with a quantum, sleeps).
     pub fn timers(&self) -> &Timers {
         &self.timers
+    }
+
+    /// The blocking-call worker pool (see [`crate::io::offload`]).
+    pub(crate) fn io_pool(&self) -> &IoPool {
+        &self.io_pool
+    }
+
+    /// The reactor driver parking STING threads on fd readiness (see
+    /// [`crate::reactor`] and [`crate::net`]).  The driver thread starts
+    /// lazily on first use and is joined at [`Vm::shutdown`].
+    pub fn io_driver(&self) -> &Arc<IoDriver> {
+        &self.io_driver
     }
 
     /// The scheduler flight recorder.  Use
@@ -463,6 +484,14 @@ impl Vm {
             std::thread::yield_now();
         }
         self.drain();
+        // Tear down the I/O subsystem after the drain: every thread parked
+        // on a reactor wait or an offload has already been unwound (its
+        // episode cancelled by the park-guard), so late readiness events
+        // and completing pool jobs find dead episodes and their wake-ups
+        // fail the claim CAS harmlessly.  Joining here — before the audit
+        // — also keeps the trace quiet once it is linted.
+        self.io_driver.stop();
+        self.io_pool.stop();
         // Debug builds lint the flight recording now that the machine has
         // quiesced (the drain determines everything still queued, so a
         // clean run must produce zero findings).  Blocking-protocol

@@ -508,6 +508,15 @@ impl Waiter {
     fn same_episode(&self, other: &Waiter) -> bool {
         Arc::ptr_eq(&self.node, &other.node) && self.gen == other.gen
     }
+
+    /// The id of the green thread behind this episode, or 0 for an
+    /// OS-thread waiter — diagnostics and trace payloads only.
+    pub(crate) fn thread_id(&self) -> u64 {
+        match &self.node.parker {
+            Parker::Green(weak) => weak.upgrade().map(|t| t.id().0).unwrap_or(0),
+            Parker::Os(_) => 0,
+        }
+    }
 }
 
 /// Cancels the episode (and its deadline timer) if the park unwinds:

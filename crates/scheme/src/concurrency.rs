@@ -10,8 +10,9 @@ use crate::machine::{self, Machine};
 use crate::prims::{rerr, want_int, want_list, want_string, want_sym, Def};
 use parking_lot::Mutex as PlMutex;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use sting_areas::Val;
+use sting_core::net::{TcpListener, TcpStream, LOCALHOST};
 use sting_core::tc::{self, Cx};
 use sting_core::thread::{Thread, ThreadResult};
 use sting_core::ThreadState;
@@ -736,6 +737,97 @@ pub(crate) fn add_defs(v: &mut Vec<Def>) {
             m.push(row);
         }
         Ok(m.list_from_stack(rows.len()))
+    });
+
+    // --- sockets --------------------------------------------------------
+    // Reactor-backed TCP (sting_core::net): each call blocks only the
+    // calling STING thread; the optional trailing `ms` argument turns the
+    // call into its deadline variant, returning the symbol `timeout`.
+    def!("tcp-listen", 1, Some(1), |m, a| {
+        let port = want_int(m, a, 0, "tcp-listen")?;
+        let l = TcpListener::bind([0, 0, 0, 0], port.clamp(0, 65535) as u16)
+            .map_err(|e| rerr(format!("tcp-listen: {e}")))?;
+        Ok(m.native(Value::native("tcp-listener", Arc::new(l))))
+    });
+    def!("tcp-local-port", 1, Some(1), |m, a| {
+        let l = want_native::<TcpListener>(m, a, 0, "tcp-local-port")?;
+        let port = l
+            .local_port()
+            .map_err(|e| rerr(format!("tcp-local-port: {e}")))?;
+        Ok(Val::Int(i64::from(port)))
+    });
+    def!("tcp-accept", 1, Some(2), |m, a| {
+        let l = want_native::<TcpListener>(m, a, 0, "tcp-accept")?;
+        let r = if a > 1 {
+            let ms = want_ms(m, a, 1, "tcp-accept")?;
+            l.accept_deadline(Instant::now() + ms)
+        } else {
+            l.accept()
+        };
+        match r {
+            Ok(s) => Ok(m.native(Value::native("tcp-stream", Arc::new(s)))),
+            Err(e) if e.is_timeout() => Ok(Val::Sym(Symbol::intern("timeout").index())),
+            Err(e) => Err(rerr(format!("tcp-accept: {e}"))),
+        }
+    });
+    def!("tcp-connect", 1, Some(2), |m, a| {
+        // (tcp-connect port [ms]): loopback only — the substrate is a
+        // concurrency testbed, not a sockets library.
+        let port = want_int(m, a, 0, "tcp-connect")?.clamp(0, 65535) as u16;
+        let r = if a > 1 {
+            let ms = want_ms(m, a, 1, "tcp-connect")?;
+            TcpStream::connect_deadline(LOCALHOST, port, Instant::now() + ms)
+        } else {
+            TcpStream::connect(LOCALHOST, port)
+        };
+        match r {
+            Ok(s) => Ok(m.native(Value::native("tcp-stream", Arc::new(s)))),
+            Err(e) if e.is_timeout() => Ok(Val::Sym(Symbol::intern("timeout").index())),
+            Err(e) => Err(rerr(format!("tcp-connect: {e}"))),
+        }
+    });
+    def!("tcp-read", 2, Some(3), |m, a| {
+        // (tcp-read s n [ms]): up to n bytes as a string (lossy UTF-8),
+        // the eof object at end-of-stream, `timeout` past the deadline.
+        let s = want_native::<TcpStream>(m, a, 0, "tcp-read")?;
+        let n = want_int(m, a, 1, "tcp-read")?.clamp(1, 1 << 20) as usize;
+        let mut buf = vec![0u8; n];
+        let r = if a > 2 {
+            let ms = want_ms(m, a, 2, "tcp-read")?;
+            s.read_deadline(&mut buf, Instant::now() + ms)
+        } else {
+            s.read(&mut buf)
+        };
+        match r {
+            Ok(0) => Ok(Val::Eof),
+            Ok(n) => Ok(m.string(&String::from_utf8_lossy(&buf[..n]))),
+            Err(e) if e.is_timeout() => Ok(Val::Sym(Symbol::intern("timeout").index())),
+            Err(e) => Err(rerr(format!("tcp-read: {e}"))),
+        }
+    });
+    def!("tcp-write", 2, Some(3), |m, a| {
+        // (tcp-write s str [ms]): writes the whole string; `timeout` past
+        // the deadline (a prefix may already be out).
+        let s = want_native::<TcpStream>(m, a, 0, "tcp-write")?;
+        let data = want_string(m, a, 1, "tcp-write")?;
+        let r = if a > 2 {
+            let ms = want_ms(m, a, 2, "tcp-write")?;
+            s.write_all_deadline(data.as_bytes(), Instant::now() + ms)
+        } else {
+            s.write_all(data.as_bytes())
+        };
+        match r {
+            Ok(()) => Ok(Val::Unit),
+            Err(e) if e.is_timeout() => Ok(Val::Sym(Symbol::intern("timeout").index())),
+            Err(e) => Err(rerr(format!("tcp-write: {e}"))),
+        }
+    });
+    def!("tcp-close", 1, Some(1), |m, a| {
+        // Explicit close: the heap may hold the handle until collection,
+        // so shut the socket down now (EOF to the peer).
+        let s = want_native::<TcpStream>(m, a, 0, "tcp-close")?;
+        s.close();
+        Ok(Val::Unit)
     });
 }
 

@@ -636,3 +636,49 @@ fn timed_blocking_forms_return_false_or_timeout() {
     assert_eq!(ev(&i, "(car (ts-get ts (list '?) 1000))"), Value::Int(42));
     vm.shutdown();
 }
+
+#[test]
+fn tcp_echo_between_scheme_threads() {
+    let (vm, i) = interp(1);
+    // Server and client are both Scheme-level STING threads on one VP;
+    // every socket op parks only its own thread.
+    let v = ev(
+        &i,
+        "(let* ((l (tcp-listen 0))
+                (port (tcp-local-port l))
+                (server (fork-thread
+                          (lambda ()
+                            (let* ((s (tcp-accept l))
+                                   (msg (tcp-read s 16)))
+                              (tcp-write s msg)
+                              (tcp-close s)
+                              'served))))
+                (c (tcp-connect port)))
+           (tcp-write c \"ping\")
+           (let ((echoed (tcp-read c 16)))
+             (thread-wait server)
+             echoed))",
+    );
+    assert_eq!(v, Value::Str("ping".into()));
+    vm.shutdown();
+}
+
+#[test]
+fn tcp_deadlines_surface_as_timeout_symbol() {
+    let (vm, i) = interp(1);
+    let v = ev(
+        &i,
+        "(let ((l (tcp-listen 0)))
+           (tcp-accept l 25))",
+    );
+    assert_eq!(v, Value::sym("timeout"));
+    let v = ev(
+        &i,
+        "(let* ((l (tcp-listen 0))
+                (c (tcp-connect (tcp-local-port l)))
+                (s (tcp-accept l)))
+           (tcp-read s 8 25))",
+    );
+    assert_eq!(v, Value::sym("timeout"));
+    vm.shutdown();
+}
