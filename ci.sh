@@ -5,7 +5,8 @@
 #   ./ci.sh fmt      # just the format check
 #   ./ci.sh clippy   # just the lints
 #   ./ci.sh test     # just tier-1 (release build + full test suite)
-#   ./ci.sh doc      # just the rustdoc build (warnings are errors)
+#   ./ci.sh doc      # rustdoc build (warnings are errors), doctests, and
+#                    # a relative-link check over the top-level markdown
 #   ./ci.sh check    # model checker: sting-check self-tests + the deque/
 #                    # trace interleaving models over the production source
 #   ./ci.sh bench-smoke  # unified benchmark runner, smoke tier (<60s):
@@ -38,6 +39,25 @@ run_test() {
 run_doc() {
     step "cargo doc (RUSTDOCFLAGS=-D warnings)"
     RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
+    step "cargo test --doc (worked examples in the rustdoc)"
+    cargo test -q --doc --workspace
+    step "markdown link check (README.md, ARCHITECTURE.md)"
+    # Every relative link target in the tour documents must exist: these
+    # files name modules and documents by path, and a rename that orphans
+    # a link should fail CI, not a reader.  http(s) links are not fetched.
+    local bad=0 doc target
+    for doc in README.md ARCHITECTURE.md; do
+        while IFS= read -r target; do
+            target="${target%%#*}"          # strip fragment
+            [[ -z "$target" || "$target" == http* ]] && continue
+            if [[ ! -e "$target" ]]; then
+                echo "$doc: broken relative link -> $target" >&2
+                bad=1
+            fi
+        done < <(grep -oE '\]\(([^)]+)\)' "$doc" | sed -E 's/^\]\(//; s/\)$//')
+    done
+    [[ "$bad" -eq 0 ]] || { echo "link check FAILED" >&2; exit 1; }
+    echo "link check OK"
 }
 
 run_check() {
@@ -62,11 +82,11 @@ run_bench_smoke() {
     # gate against it at 100%: smoke timings on a loaded box jitter far
     # more than a full run, so this catches order-of-magnitude latency
     # regressions (a lost wake-up turns µs p50s into ms), while the
-    # committed full report (BENCH_PR6.json) stays the reference for
+    # committed full report (BENCH_PR7.json) stays the reference for
     # fine-grained comparisons.
     local against=()
-    if [[ -f BENCH_PR6_SMOKE.json ]]; then
-        against=(--against BENCH_PR6_SMOKE.json --threshold 1.0)
+    if [[ -f BENCH_PR7_SMOKE.json ]]; then
+        against=(--against BENCH_PR7_SMOKE.json --threshold 1.0)
     fi
     ./target/release/bench_all --smoke --out target/BENCH_SMOKE.json "${against[@]}"
 }

@@ -224,10 +224,16 @@ pub struct Regression {
     pub ratio: f64,
 }
 
-/// Compares `current` against `baseline` row-by-row on p50 and returns the
-/// rows whose p50 grew by more than `threshold` (0.10 = 10%). Rows present
-/// in only one report are skipped: suites evolve between PRs, and a renamed
-/// row should not read as a regression.
+/// Compares `current` against `baseline` row-by-row and returns the rows
+/// that regressed by more than `threshold` (0.10 = 10%) on **both** the
+/// p50 and the min statistic.  Requiring both is what makes the gate
+/// usable on a shared 1-CPU box: outside interference inflates the
+/// median (and p99) of whichever rows it lands on, but a run's best
+/// sample survives unless the load is sustained — while a genuine code
+/// regression shifts the whole distribution, floor included.  Rows
+/// present in only one report are skipped: suites evolve between PRs,
+/// and a renamed row should not read as a regression.  Rows without a
+/// positive baseline min (older reports) gate on p50 alone.
 pub fn compare(baseline: &BenchReport, current: &BenchReport, threshold: f64) -> Vec<Regression> {
     let mut regressions = Vec::new();
     for new_row in &current.rows {
@@ -238,7 +244,8 @@ pub fn compare(baseline: &BenchReport, current: &BenchReport, threshold: f64) ->
             continue;
         }
         let ratio = new_row.p50 / base_row.p50;
-        if ratio > 1.0 + threshold {
+        let min_ok = base_row.min > 0.0 && new_row.min / base_row.min <= 1.0 + threshold;
+        if ratio > 1.0 + threshold && !min_ok {
             regressions.push(Regression {
                 suite: new_row.suite.clone(),
                 name: new_row.name.clone(),
@@ -324,5 +331,26 @@ mod tests {
         assert_eq!(regs.len(), 1);
         assert_eq!(regs[0].name, "ctx-switch");
         assert!((regs[0].ratio - 1.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn compare_absolves_p50_spike_when_min_holds() {
+        // A p50 spike whose min is unmoved reads as interference, not a
+        // regression; a row whose floor also moved still gates.
+        let base = BenchReport {
+            config: vec![],
+            rows: vec![row("shape", "noisy", 100.0), row("shape", "slowed", 100.0)],
+            checks: vec![],
+        };
+        let mut noisy = row("shape", "noisy", 140.0);
+        noisy.min = 91.0; // floor held (base min is 90)
+        let current = BenchReport {
+            config: vec![],
+            rows: vec![noisy, row("shape", "slowed", 140.0)],
+            checks: vec![],
+        };
+        let regs = compare(&base, &current, 0.10);
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].name, "slowed");
     }
 }

@@ -314,6 +314,47 @@ pub fn steal_dispatches(threads: i64, yields: i64) -> f64 {
     (threads * (yields + 1)) as f64
 }
 
+/// Builds the priority-policy steal-throughput VM: one OS worker per VP,
+/// migrating priority-high, pinned to the locked (heap under the policy
+/// lock) or lock-free (banded multi-level deque) scheduler tier.
+pub fn steal_vm_priority(vps: usize, locked: bool, trace: bool) -> Arc<Vm> {
+    VmBuilder::new()
+        .vps(vps)
+        .processors(vps)
+        .policy(move |_| {
+            policies::priority_high()
+                .migrating(true)
+                .locked(locked)
+                .boxed()
+        })
+        .trace(trace)
+        .build()
+}
+
+/// [`steal_hammer`] with priorities: the forked threads cycle through the
+/// priority bands, so dispatch and stealing exercise the multi-level
+/// scan (or the heap's full ordering on the locked tier), not just one
+/// band.  Returns the checksum so the work cannot be optimized away.
+pub fn priority_steal_hammer(vm: &Arc<Vm>, threads: i64, yields: i64) -> i64 {
+    let ts: Vec<_> = (0..threads)
+        .map(|i| {
+            ThreadBuilder::new(vm)
+                .priority(i as i32 % sting::core::deque::BANDS as i32)
+                .on_vp(0)
+                .spawn(move |cx| {
+                    for _ in 0..yields {
+                        cx.yield_now();
+                    }
+                    i
+                })
+                .expect("VP 0 exists")
+        })
+        .collect();
+    ts.iter()
+        .map(|t| t.join_blocking().unwrap().as_int().unwrap())
+        .sum()
+}
+
 // --- E4: preemption inside critical sections ---
 
 /// Builds the single-VP, fast-tick VM the preemption experiment uses.

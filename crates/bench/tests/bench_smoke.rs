@@ -108,9 +108,11 @@ fn against_flags_synthetic_regression_and_clean_baseline_passes() {
     let current = BenchReport::from_json(&text).expect("parses");
     assert!(sting_bench::report::compare(&current, &current, 0.10).is_empty());
 
-    // Doctor a baseline: pretend dispatch used to be 30% faster on one
+    // Doctor a baseline: pretend dispatch used to be 10x faster on one
     // row, then ask bench_all to compare a fresh run against it.  The run
-    // must exit non-zero and name the slowed row.
+    // must exit non-zero and name the slowed row.  Both p50 and min are
+    // doctored — the gate requires the floor to have moved too, so a
+    // p50-only delta would read as interference and pass.
     let mut doctored = current.clone();
     let target = doctored
         .rows
@@ -118,6 +120,7 @@ fn against_flags_synthetic_regression_and_clean_baseline_passes() {
         .find(|r| r.suite == "gc" && r.name == "alloc-churn-16k-nursery")
         .expect("gc row present");
     target.p50 *= 0.1; // current will read as a 10x regression
+    target.min *= 0.1;
     let baseline_path = tmp("against_doctored.json");
     std::fs::write(&baseline_path, doctored.to_json()).expect("baseline written");
 
@@ -140,6 +143,43 @@ fn against_flags_synthetic_regression_and_clean_baseline_passes() {
     assert!(
         stderr.contains("REGRESSIONS") && stderr.contains("alloc-churn-16k-nursery"),
         "stderr must name the regressed row, got:\n{stderr}"
+    );
+}
+
+#[test]
+fn committed_artifacts_compare_clean() {
+    // The repo-root BENCH_PRn.json artifacts are same-epoch aggregates
+    // (see EXPERIMENTS.md, "Reading comparisons on a noisy host"); the
+    // newest must show no regression against its predecessor under the
+    // same rule `--against` applies.  This is the apples-to-apples form
+    // of the gate: a live run's verdict depends on the host's load epoch,
+    // but the committed artifacts were measured under matched conditions.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let load = |name: &str| {
+        let text =
+            std::fs::read_to_string(root.join(name)).unwrap_or_else(|e| panic!("read {name}: {e}"));
+        BenchReport::from_json(&text).unwrap_or_else(|e| panic!("parse {name}: {e}"))
+    };
+    let base = load("BENCH_PR6.json");
+    let current = load("BENCH_PR7.json");
+    let regs = sting_bench::report::compare(&base, &current, 0.10);
+    assert!(
+        regs.is_empty(),
+        "committed BENCH_PR7.json regressed vs BENCH_PR6.json: {:?}",
+        regs.iter()
+            .map(|r| format!("{}/{}", r.suite, r.name))
+            .collect::<Vec<_>>()
+    );
+    // And the acceptance gate for the banded-deque PR is recorded passing.
+    let gate = current
+        .checks
+        .iter()
+        .find(|c| c.name == "prio-deque>=1.3x-locked@4vp")
+        .expect("priority gate recorded in BENCH_PR7.json");
+    assert!(
+        gate.pass,
+        "priority gate failed in committed report: {}",
+        gate.detail
     );
 }
 

@@ -130,6 +130,22 @@ macro_rules! int_atomic {
                 })
             }
 
+            /// Atomic bitwise OR, returning the previous value (the
+            /// occupancy-bit publish in `sting_core::deque::MultiDeque`).
+            pub fn fetch_or(&self, d: $prim, ord: Ordering) -> $prim {
+                self.fetch_update_model(ord, |cur| cur | (d as u64), || {
+                    self.std.fetch_or(d, ord)
+                })
+            }
+
+            /// Atomic bitwise AND, returning the previous value (the
+            /// occupancy-bit clear in `sting_core::deque::MultiDeque`).
+            pub fn fetch_and(&self, d: $prim, ord: Ordering) -> $prim {
+                self.fetch_update_model(ord, |cur| cur & (d as u64), || {
+                    self.std.fetch_and(d, ord)
+                })
+            }
+
             fn fetch_update_model(
                 &self,
                 ord: Ordering,

@@ -431,3 +431,62 @@ fn claim_token_relaxed_claim_loses_payload() {
         "dropping the claim's Release half must lose the payload; got:\n{report}"
     );
 }
+
+/// The multi-level deque's occupancy-bit protocol
+/// (`sting_core::deque::MultiDeque`), transliterated: `slot` stands for a
+/// band's contents, bit 0 of `occ` for that band's occupancy bit.
+/// Publishing is contents-store then `fetch_or(Release)`; clearing is
+/// `fetch_and(AcqRel)`, re-check the contents, `fetch_or(Release)` back
+/// if the re-check sees any.  RMWs on `occ` serialize, so a clear racing
+/// a publish always lands before or after it in `occ`'s modification
+/// order — and the publish's **Release** (acquired by the clear's RMW) is
+/// what makes the racing push's contents visible to the re-check.
+/// Invariant: once both sides quiesce, contents present ⇒ bit set, else
+/// `pop`'s bitmask scan would never look at the band again.
+fn banded_bitmask_scenario(publish_ord: Ordering) {
+    let slot = Arc::new(AtomicUsize::new(0));
+    let occ = Arc::new(AtomicUsize::new(0));
+    let (slot2, occ2) = (slot.clone(), occ.clone());
+    let owner = thread::spawn(move || {
+        slot2.store(42, Ordering::Relaxed);
+        occ2.fetch_or(1, publish_ord);
+    });
+    let (slot3, occ3) = (slot.clone(), occ.clone());
+    let clearer = thread::spawn(move || {
+        // clear_if_empty: clear the bit, then re-check the band.
+        occ3.fetch_and(!1, Ordering::AcqRel);
+        if slot3.load(Ordering::Relaxed) != 0 {
+            occ3.fetch_or(1, Ordering::Release);
+        }
+    });
+    owner.join();
+    clearer.join();
+    if slot.load(Ordering::Relaxed) != 0 {
+        assert!(
+            occ.load(Ordering::Relaxed) & 1 != 0,
+            "occupancy bit stranded the item"
+        );
+    }
+}
+
+/// The production orderings: a Release publish is always seen by the
+/// clearer's re-check, so no interleaving strands an item behind a
+/// cleared bit.
+#[test]
+fn banded_bitmask_release_publish_never_strands() {
+    let explored = model(|| banded_bitmask_scenario(Ordering::Release));
+    assert!(explored.executions > 1);
+}
+
+/// MUTATION: the publish `fetch_or` weakened to Relaxed.  The clearer's
+/// RMW still serializes after the publish in `occ`'s modification order,
+/// but acquires nothing — its re-check can read the band as empty, skip
+/// the re-set, and strand the item behind a cleared bit.
+#[test]
+fn banded_bitmask_relaxed_publish_strands_item() {
+    let report = model_expect_failure(|| banded_bitmask_scenario(Ordering::Relaxed));
+    assert!(
+        report.contains("occupancy bit stranded the item"),
+        "dropping the publish Release must strand an item; got:\n{report}"
+    );
+}

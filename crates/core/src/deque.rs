@@ -1,5 +1,5 @@
-//! Lock-free scheduler queues: a Chase–Lev work-stealing deque and an
-//! MPSC submission stack.
+//! Lock-free scheduler queues: a Chase–Lev work-stealing deque, a banded
+//! multi-level variant for priority policies, and MPSC submission stacks.
 //!
 //! This module is the *mechanism* half of the two-tier scheduler described
 //! in DESIGN.md ("Scheduler fast path").  The paper's §3.3 observes that a
@@ -12,18 +12,55 @@
 //! idle sibling VPs [`steal`](Deque::steal) from the opposite end with
 //! one CAS per item.
 //!
-//! Two structures cooperate per VP:
+//! Four structures cooperate per VP:
 //!
 //! * [`Deque`] — the Chase–Lev deque \[Chase & Lev, SPAA 2005\], with the
 //!   memory orderings of Lê et al., *Correct and Efficient Work-Stealing
 //!   for Weak Memory Models* (PPoPP 2013).  Only the VP's driving worker
 //!   (the *owner*) may call [`push`](Deque::push) and [`pop`](Deque::pop);
 //!   any thread may [`steal`](Deque::steal).
+//! * [`MultiDeque`] — a small fixed array of [`BANDS`] Chase–Lev deques
+//!   indexed by priority band, plus one `AtomicUsize` of occupancy bits so
+//!   pop and steal find the highest non-empty band in O(1) without locks.
+//!   This is what lets priority and deadline policies ride the lock-free
+//!   tier instead of the locked policy path.
 //! * [`Injector`] — a Treiber-stack MPSC queue for *remote* submissions
 //!   (forks from host threads, cross-VP wake-ups, the timekeeper).  Any
 //!   thread may [`push`](Injector::push); the owner periodically
 //!   [`drain`](Injector::drain)s it into the deque, which restores arrival
-//!   order and makes the items stealable.
+//!   order and makes the items stealable.  [`Injector::push_batch`]
+//!   publishes *n* items with **one** CAS — the batched wake-up path
+//!   (`wake_all`, barrier release) uses it to amortize the slow path.
+//! * [`BandedInjector`] — the banded face of the injector: every
+//!   submission carries its priority band, so the owner's drain can fold
+//!   each item into the right [`MultiDeque`] band and the thief-side
+//!   rescue can prefer the highest band in the backlog.
+//!
+//! ## The occupancy-bit protocol
+//!
+//! Band `b`'s bit is set with `fetch_or` **after** the item is pushed
+//! (Release, so a scanner that Acquires the word also sees the push), and
+//! cleared with `fetch_and` only when a scan observed the band empty —
+//! followed by a re-check that re-sets the bit if an item raced in.  When
+//! clears can race pushes, the two RMWs serialize on the occupancy word,
+//! so the re-check always sees the racing push (the `fetch_or`'s Release
+//! is what carries it; the model-checker mutation in
+//! `crates/check/tests/litmus.rs` shows a Relaxed publish stranding an
+//! item behind a cleared bit).  A set bit for an empty band is harmless
+//! (one wasted probe); a clear bit for a non-empty band would be a lost
+//! item, and the protocol above makes that window close on the very next
+//! scan.
+//!
+//! [`MultiDeque`] keeps **every occupancy write on the owner**: `push`
+//! publishes, `pop` clears, and thieves treat the word as a read-only
+//! hint (a stale set bit costs a thief two loads to skip; [`Deque`]'s own
+//! top/bottom protocol re-validates every claim).  Single-writer
+//! occupancy buys the fast path its cheapest possible shape — a push
+//! whose band bit is already set (the steady state of a busy queue) skips
+//! the RMW entirely, because no concurrent clear can invalidate the
+//! owner's read of its own last write.  The clear itself still runs the
+//! full clear/re-check protocol above, so the structure stays correct if
+//! a future caller ever clears from a second thread.
 //!
 //! Items are boxed: a slot holds one pointer, so a torn read of a slot is
 //! impossible and the ABA question reduces to the monotonically increasing
@@ -373,6 +410,226 @@ impl<T> Drop for Deque<T> {
     }
 }
 
+/// Number of priority bands in the multi-level deque tier.
+///
+/// Small and fixed on purpose: the occupancy word needs one bit per band,
+/// the scan is a handful of loads, and the shipped policies quantize
+/// priorities (and deadlines) into this many urgency classes — see
+/// [`BandMap`](crate::pm::BandMap).
+pub const BANDS: usize = 4;
+
+/// A lock-free **multi-level** work-stealing deque: [`BANDS`] Chase–Lev
+/// deques indexed by priority band (higher band = more urgent), plus an
+/// O(1) non-empty-band bitmask so [`pop`](MultiDeque::pop) and
+/// [`steal`](MultiDeque::steal) scan highest-band-first without locks.
+///
+/// The owner/thief contract is the [`Deque`] one, band by band: one owner
+/// pushes and pops, any thread steals.  The occupancy word is
+/// single-writer: the owner publishes a band's bit after pushing into it
+/// (Release — see the module docs for why that ordering is load-bearing)
+/// and retires a bit when a pop scan finds the band empty, with a
+/// re-check that re-sets the bit if an item is still present.  Thieves
+/// only read the word, so a stale set bit costs them two loads, never a
+/// cache-line invalidation.
+#[derive(Debug)]
+#[repr(C)]
+pub struct MultiDeque<T> {
+    /// Bit `b` set ⇒ band `b` *may* be non-empty.  The invariant the
+    /// protocol maintains is one-sided: a non-empty band always has its
+    /// bit set once its push has returned; a set bit may be stale.
+    /// Written only by the owner (`repr(C)` puts it on the same cache
+    /// line as band 0's `top`/`bottom`, the other words every queue
+    /// operation already touches).
+    occupancy: AtomicUsize,
+    bands: [Deque<T>; BANDS],
+}
+
+impl<T> Default for MultiDeque<T> {
+    fn default() -> MultiDeque<T> {
+        MultiDeque::new()
+    }
+}
+
+impl<T> MultiDeque<T> {
+    /// Creates an empty multi-level deque with default per-band capacity.
+    pub fn new() -> MultiDeque<T> {
+        MultiDeque::with_capacity(INITIAL_CAPACITY)
+    }
+
+    /// Creates an empty multi-level deque whose bands each start with
+    /// `capacity` slots (rounded up to a power of two).
+    pub fn with_capacity(capacity: usize) -> MultiDeque<T> {
+        MultiDeque {
+            occupancy: AtomicUsize::new(0),
+            bands: std::array::from_fn(|_| Deque::with_capacity(capacity)),
+        }
+    }
+
+    /// Total number of items queued across all bands (a relaxed snapshot).
+    pub fn len(&self) -> usize {
+        self.bands.iter().map(Deque::len).sum()
+    }
+
+    /// Whether every band is observed empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of items in one band (a relaxed snapshot).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `band >= BANDS`.
+    pub fn band_len(&self, band: usize) -> usize {
+        self.bands[band].len()
+    }
+
+    /// Snapshot of the occupancy bitmask (bit `b` = band `b` may be
+    /// non-empty).  Exposed for tests and the model-checker scenarios that
+    /// assert the no-stranded-item invariant.
+    pub fn occupancy_bits(&self) -> usize {
+        self.occupancy.load(Ordering::Acquire)
+    }
+
+    /// The band-0 deque, for callers whose policy declared a single band
+    /// and who therefore bypass the occupancy word entirely — a
+    /// `BandMap::Single` ready queue is the plain Chase–Lev [`Deque`],
+    /// paying nothing for the bands it does not use.
+    ///
+    /// Mixing the two access styles on one `MultiDeque` is a logic error:
+    /// banded [`pop`](MultiDeque::pop)/[`steal`](MultiDeque::steal) scans
+    /// trust the occupancy bits, so an item pushed through `band0()`
+    /// (which never publishes a bit) is invisible to them until some
+    /// banded push of the same band publishes it.
+    pub fn band0(&self) -> &Deque<T> {
+        &self.bands[0]
+    }
+
+    /// Appends `item` to `band`.  **Owner only.**  Publishes the band's
+    /// occupancy bit after the push (Release), so any scanner that sees
+    /// the bit also sees the item.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `band >= BANDS`.
+    pub fn push(&self, band: usize, item: T) {
+        self.push_tagged(band, item, false);
+    }
+
+    /// [`MultiDeque::push`] with the [`Deque::push_tagged`] one-bit label.
+    pub fn push_tagged(&self, band: usize, item: T, tag: bool) {
+        self.bands[band].push_tagged(item, tag);
+        // Occupancy is single-writer (this owner), so reading our own last
+        // write is exact, and a busy band — bit already set — publishes
+        // with no RMW at all.  When the bit does need setting, Release
+        // pairs with the Acquire occupancy load in scans, so a scanner
+        // that sees the bit also sees the push.  (Were clears concurrent,
+        // the publish would have to be unconditional: the clear-side
+        // re-check only sees a racing push through the RMW serialization
+        // on this word — the litmus pair `banded_bitmask_*` in
+        // crates/check/tests/litmus.rs model-checks exactly that protocol,
+        // including the Relaxed-publish mutation stranding an item.)
+        if self.occupancy.load(Ordering::Relaxed) & (1 << band) == 0 {
+            self.occupancy.fetch_or(1 << band, Ordering::Release);
+        }
+    }
+
+    /// Removes the most urgent item: scans set occupancy bits highest
+    /// band first, popping from the band's hot end (`fifo == false`, the
+    /// wait-free LIFO pop) or its cold end (`fifo == true`, oldest-first
+    /// via the steal CAS).  **Owner only.**
+    pub fn pop(&self, fifo: bool) -> Option<T> {
+        loop {
+            let occ = self.occupancy.load(Ordering::Acquire);
+            let band = highest_band(occ)?;
+            let item = if fifo {
+                self.bands[band].steal_retrying()
+            } else {
+                self.bands[band].pop()
+            };
+            match item {
+                Some(item) => return Some(item),
+                // The bit was stale; retire it and rescan the rest.
+                None => self.clear_if_empty(band),
+            }
+        }
+    }
+
+    /// Attempts to steal the most urgent item.  Safe from any thread;
+    /// lock-free.  With `tagged_only`, a band whose oldest item is
+    /// untagged is *skipped* (not disturbed) and the scan falls through to
+    /// lower bands — a parked high-band item never blocks the theft of
+    /// fresh lower-band work, and with tags allowed the high band always
+    /// wins.  [`Steal::Retry`] means some band's CAS was lost to a
+    /// concurrent remover.
+    pub fn steal(&self, tagged_only: bool) -> Steal<T> {
+        let occ = self.occupancy.load(Ordering::Acquire);
+        let mut contended = false;
+        for band in (0..BANDS).rev() {
+            if occ & (1 << band) == 0 {
+                continue;
+            }
+            let attempt = if tagged_only {
+                self.bands[band].steal_tagged()
+            } else {
+                self.bands[band].steal()
+            };
+            match attempt {
+                Steal::Success(item) => return Steal::Success(item),
+                Steal::Retry => contended = true,
+                // A stale bit (or a tag decline) just falls through to the
+                // next band.  Thieves never write the occupancy word —
+                // that is what lets the owner's push skip the publish RMW
+                // when its bit is already set (see `push_tagged`); the
+                // owner retires stale bits on its next pop scan.
+                Steal::Empty => {}
+            }
+        }
+        if contended {
+            Steal::Retry
+        } else {
+            Steal::Empty
+        }
+    }
+
+    /// [`MultiDeque::steal`], retried until it yields an item or observes
+    /// every band empty.
+    pub fn steal_retrying(&self, tagged_only: bool) -> Option<T> {
+        loop {
+            match self.steal(tagged_only) {
+                Steal::Success(item) => return Some(item),
+                Steal::Empty => return None,
+                Steal::Retry => std::hint::spin_loop(),
+            }
+        }
+    }
+
+    /// Clears `band`'s occupancy bit, then re-checks the band and re-sets
+    /// the bit if an item is present after all.  Only the owner calls this
+    /// (from [`MultiDeque::pop`]), so the re-check cannot race a push; it
+    /// is kept because it is what makes the clear protocol safe even for
+    /// a concurrent clearer — the `fetch_and`/`fetch_or` pair serialize
+    /// against an unconditional publishing `fetch_or`, so a re-check is
+    /// guaranteed to see any push whose bit the clear clobbered (the
+    /// `banded_bitmask_*` litmus scenarios model-check that version).
+    fn clear_if_empty(&self, band: usize) {
+        self.occupancy.fetch_and(!(1 << band), Ordering::AcqRel);
+        if !self.bands[band].is_empty() {
+            self.occupancy.fetch_or(1 << band, Ordering::Release);
+        }
+    }
+}
+
+/// Index of the highest set bit among the low [`BANDS`] bits, if any.
+fn highest_band(occ: usize) -> Option<usize> {
+    let occ = occ & ((1 << BANDS) - 1);
+    if occ == 0 {
+        None
+    } else {
+        Some(usize::BITS as usize - 1 - occ.leading_zeros() as usize)
+    }
+}
+
 /// A lock-free multi-producer submission queue (Treiber stack, reversed on
 /// drain so items come out oldest-first).
 ///
@@ -443,6 +700,49 @@ impl<T> Injector<T> {
         self.len.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Appends a whole batch with **one** CAS: the items are linked into a
+    /// private chain first, then the chain head is published atomically.
+    /// A subsequent [`drain`](Injector::drain) yields the batch in its
+    /// original order, exactly as if each item had been
+    /// [`push`](Injector::push)ed individually with no interleaving.
+    ///
+    /// This is the batched wake-up fast path: a `wake_all` / barrier
+    /// release that makes *n* threads runnable pays one atomic publish
+    /// (plus one machine signal) instead of *n* of each.
+    pub fn push_batch(&self, items: impl IntoIterator<Item = T>) {
+        // Link the batch back-to-front so the *last* item sits nearest the
+        // stack head: drain reverses the chain, restoring batch order.
+        let mut first: *mut Node<T> = ptr::null_mut();
+        let mut last: *mut Node<T> = ptr::null_mut();
+        let mut count = 0usize;
+        for item in items {
+            let node = Box::into_raw(Box::new(Node { item, next: first }));
+            if first.is_null() {
+                last = node;
+            }
+            first = node;
+            count += 1;
+        }
+        if first.is_null() {
+            return;
+        }
+        // `first` is the newest item (future stack head), `last` the
+        // oldest; `last.next` splices onto the current head.
+        let mut head = self.head.load(Ordering::Relaxed);
+        loop {
+            // SAFETY: the chain is ours until the CAS publishes it.
+            unsafe { (*last).next = head };
+            match self
+                .head
+                .compare_exchange_weak(head, first, Ordering::Release, Ordering::Relaxed)
+            {
+                Ok(_) => break,
+                Err(current) => head = current,
+            }
+        }
+        self.len.fetch_add(count, Ordering::Relaxed);
+    }
+
     /// Atomically takes the whole backlog, oldest first.  Returns an empty
     /// vector (no allocation) when nothing is queued.
     pub fn drain(&self) -> Vec<T> {
@@ -466,6 +766,57 @@ impl<T> Injector<T> {
 impl<T> Drop for Injector<T> {
     fn drop(&mut self) {
         drop(self.drain());
+    }
+}
+
+/// The banded face of the [`Injector`]: a Treiber-stack MPSC submission
+/// queue whose entries carry their priority band, pairing with
+/// [`MultiDeque`] the way [`Injector`] pairs with [`Deque`].
+///
+/// Producers classify once at submission time (under
+/// [`BandMap::band`](crate::pm::BandMap)); the owner's drain folds each
+/// item into the right [`MultiDeque`] band, and the thief-side rescue can
+/// pick the most urgent eligible item out of the backlog instead of the
+/// merely oldest one.  [`push_batch`](BandedInjector::push_batch)
+/// publishes a mixed-band batch with a single CAS.
+#[derive(Debug, Default)]
+pub struct BandedInjector<T> {
+    inner: Injector<(usize, T)>,
+}
+
+impl<T> BandedInjector<T> {
+    /// Creates an empty banded injector.
+    pub fn new() -> BandedInjector<T> {
+        BandedInjector {
+            inner: Injector::new(),
+        }
+    }
+
+    /// Number of items currently queued (a relaxed snapshot).
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Whether the injector is observed empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Appends `item` classified into `band`.  Lock-free; any thread.
+    pub fn push(&self, band: usize, item: T) {
+        debug_assert!(band < BANDS);
+        self.inner.push((band, item));
+    }
+
+    /// Publishes a whole (possibly mixed-band) batch with one CAS; see
+    /// [`Injector::push_batch`].
+    pub fn push_batch(&self, items: impl IntoIterator<Item = (usize, T)>) {
+        self.inner.push_batch(items);
+    }
+
+    /// Atomically takes the whole backlog in arrival order.
+    pub fn drain(&self) -> Vec<(usize, T)> {
+        self.inner.drain()
     }
 }
 
@@ -579,5 +930,99 @@ mod tests {
         assert_eq!(q.drain(), (0..10).collect::<Vec<_>>());
         assert!(q.is_empty());
         assert_eq!(q.drain(), Vec::<i32>::new());
+    }
+
+    #[test]
+    fn injector_push_batch_is_one_publish_in_order() {
+        let q = Injector::new();
+        q.push(0);
+        q.push_batch([1, 2, 3]);
+        q.push(4);
+        q.push_batch(Vec::<i32>::new()); // empty batch: no-op
+        assert_eq!(q.len(), 5);
+        assert_eq!(q.drain(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn multi_deque_pop_serves_highest_band_first() {
+        let md = MultiDeque::new();
+        md.push(0, 10u64);
+        md.push(2, 30);
+        md.push(1, 20);
+        md.push(2, 31);
+        assert_eq!(md.len(), 4);
+        // FIFO within band, highest band first.
+        assert_eq!(md.pop(true), Some(30));
+        assert_eq!(md.pop(true), Some(31));
+        assert_eq!(md.pop(true), Some(20));
+        assert_eq!(md.pop(true), Some(10));
+        assert_eq!(md.pop(true), None);
+        assert!(md.is_empty());
+        // A failed full scan retires every stale occupancy bit.
+        assert_eq!(md.occupancy_bits() & ((1 << BANDS) - 1), 0);
+    }
+
+    #[test]
+    fn multi_deque_lifo_pop_within_band() {
+        let md = MultiDeque::new();
+        md.push(1, 1u64);
+        md.push(1, 2);
+        md.push(3, 9);
+        assert_eq!(md.pop(false), Some(9));
+        assert_eq!(md.pop(false), Some(2));
+        assert_eq!(md.pop(false), Some(1));
+        assert_eq!(md.pop(false), None);
+    }
+
+    #[test]
+    fn multi_deque_steal_prefers_high_band_and_skips_untagged() {
+        let md = MultiDeque::new();
+        md.push_tagged(0, 1u64, true);
+        md.push_tagged(3, 2, false); // high band, parked (untagged)
+                                     // Tag-only thief: the parked high-band item is skipped, the fresh
+                                     // low-band one is taken — no band blocks the scan.
+        assert_eq!(md.steal_retrying(true), Some(1));
+        assert_eq!(md.steal_retrying(true), None);
+        assert_eq!(md.band_len(3), 1);
+        // An unrestricted thief takes the high-band item.
+        assert_eq!(md.steal_retrying(false), Some(2));
+        assert_eq!(md.steal_retrying(false), None);
+    }
+
+    #[test]
+    fn multi_deque_occupancy_covers_nonempty_bands() {
+        let md = MultiDeque::new();
+        for band in 0..BANDS {
+            md.push(band, band as u64);
+            assert!(
+                md.occupancy_bits() & (1 << band) != 0,
+                "push must publish band {band}'s bit"
+            );
+        }
+        for _ in 0..BANDS {
+            md.pop(true);
+        }
+        // Quiesced and empty: every bit retires after one scan.
+        assert_eq!(md.pop(true), None);
+        for band in 0..BANDS {
+            assert!(
+                md.band_len(band) == 0,
+                "band {band} must be empty after drain"
+            );
+        }
+    }
+
+    #[test]
+    fn banded_injector_batch_keeps_arrival_order() {
+        let q = BandedInjector::new();
+        q.push(0, 'a');
+        q.push_batch([(3, 'b'), (1, 'c'), (3, 'd')]);
+        q.push(2, 'e');
+        assert_eq!(q.len(), 5);
+        assert_eq!(
+            q.drain(),
+            vec![(0, 'a'), (3, 'b'), (1, 'c'), (3, 'd'), (2, 'e')]
+        );
+        assert!(q.is_empty());
     }
 }

@@ -77,7 +77,7 @@ pub use error::CoreError;
 pub use group::ThreadGroup;
 pub use machine::PhysicalMachine;
 pub use metrics::{Histogram, HistogramSnapshot, Metrics, MetricsSnapshot};
-pub use pm::{DequeCaps, EnqueueState, PolicyManager, QueueKind, RunItem};
+pub use pm::{BandMap, DequeCaps, EnqueueState, PolicyManager, QueueKind, RunItem};
 pub use state::{StateRequest, ThreadState};
 pub use tc::Cx;
 pub use thread::{JoinNode, Thread, ThreadId, ThreadResult, Thunk, TryThunk};
@@ -86,4 +86,4 @@ pub use topology::Topology;
 pub use trace::{EventKind, TraceEvent, Tracer};
 pub use vm::Vm;
 pub use vp::Vp;
-pub use wait::{TimedOut, WaitList, Waiter, WakeReason};
+pub use wait::{TimedOut, WaitList, Waiter, WakeBatch, WakeReason};

@@ -57,35 +57,157 @@ impl RunItem {
     }
 }
 
-/// What a deque-tier VP may do with its [`Deque`](crate::deque::Deque),
-/// as declared by [`PolicyManager::queue_kind`].
+/// How a thread's [`priority`](crate::thread::Thread::priority) maps onto
+/// the [`BANDS`](crate::deque::BANDS) bands of the multi-level deque tier
+/// (higher band = dispatched first).
+///
+/// The map is declared once in [`DequeCaps`] and applied lock-free at
+/// every enqueue, so the policy manager never sees per-item traffic.
+///
+/// # Examples
+///
+/// ```
+/// use sting_core::deque::BANDS;
+/// use sting_core::pm::BandMap;
+///
+/// // FIFO/LIFO policies ignore priorities: everything is band 0.
+/// assert_eq!(BandMap::Single.band(7), 0);
+///
+/// // Speculative scheduling: higher priority value, higher band.
+/// assert_eq!(BandMap::PriorityHigh.band(-5), 0);
+/// assert_eq!(BandMap::PriorityHigh.band(2), 2);
+/// assert_eq!(BandMap::PriorityHigh.band(100), BANDS - 1);
+///
+/// // EDF: priorities are deadlines, quantized 1024-ticks-per-band;
+/// // an overdue deadline is maximally urgent.
+/// assert_eq!(BandMap::Deadline.band(-3), BANDS - 1);
+/// assert_eq!(BandMap::Deadline.band(500), BANDS - 1);
+/// assert_eq!(BandMap::Deadline.band(1500), BANDS - 2);
+/// assert_eq!(BandMap::Deadline.band(1 << 20), 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BandMap {
+    /// Every item lands in band 0 — the single-level discipline FIFO and
+    /// LIFO policies use (the default).
+    #[default]
+    Single,
+    /// Higher priority value ⇒ higher band, clamped into `0..BANDS`
+    /// (speculative scheduling: favour promising tasks).
+    PriorityHigh,
+    /// Priorities are deadlines: *lower* value ⇒ higher band, quantized
+    /// so each band covers a [`DEADLINE_BAND_SPAN`]-wide window and
+    /// everything at or past the last window shares band 0.  With
+    /// priority = deadline this is earliest-deadline-first, banded.
+    Deadline,
+}
+
+/// Width of one [`BandMap::Deadline`] quantization window, in priority
+/// units (deadlines `0..SPAN` are maximally urgent, `SPAN..2*SPAN` one
+/// band lower, and so on).
+pub const DEADLINE_BAND_SPAN: i32 = 1024;
+
+impl BandMap {
+    /// The band for an item of the given priority; always `< BANDS`.
+    pub fn band(&self, priority: i32) -> usize {
+        let top = crate::deque::BANDS - 1;
+        match self {
+            BandMap::Single => 0,
+            BandMap::PriorityHigh => priority.clamp(0, top as i32) as usize,
+            BandMap::Deadline => {
+                let window = (priority.max(0) / DEADLINE_BAND_SPAN) as usize;
+                top - window.min(top)
+            }
+        }
+    }
+}
+
+/// What a deque-tier VP may do with its
+/// [`MultiDeque`](crate::deque::MultiDeque), as declared by
+/// [`PolicyManager::queue_kind`].
+///
+/// # Examples
+///
+/// The shipped policies translate their builder switches into caps; a
+/// custom policy can hand back its own:
+///
+/// ```
+/// use sting_core::pm::{BandMap, DequeCaps, PolicyManager, QueueKind};
+/// use sting_core::policies;
+///
+/// // A migrating FIFO queue: single band, oldest-first, fresh-only steals.
+/// let kind = policies::local_fifo().migrating(true).queue_kind();
+/// assert_eq!(
+///     kind,
+///     QueueKind::Deque(DequeCaps {
+///         fifo: true,
+///         steal: true,
+///         steal_tcbs: false,
+///         bands: BandMap::Single,
+///     })
+/// );
+///
+/// // A priority queue rides the banded tier, FIFO within each band.
+/// let QueueKind::Deque(caps) = policies::priority_high().queue_kind() else {
+///     panic!("priority policies ride the deque tier");
+/// };
+/// assert_eq!(caps.bands, BandMap::PriorityHigh);
+/// assert!(caps.fifo);
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DequeCaps {
     /// Owner dequeues oldest-first (FIFO, via a top-end CAS) instead of
-    /// newest-first (LIFO, the wait-free bottom-end pop).
+    /// newest-first (LIFO, the wait-free bottom-end pop).  Applies within
+    /// each band; bands themselves are always served highest-first.
     pub fifo: bool,
     /// Sibling VPs may steal from this queue when idle.
     pub steal: bool,
     /// Thieves may take parked TCBs, not just fresh threads.
     pub steal_tcbs: bool,
+    /// How priorities map onto the multi-level deque's bands.
+    pub bands: BandMap,
 }
 
 /// Which tier of the two-tier scheduler serves a VP's ready queue (see
 /// DESIGN.md, "Scheduler fast path").
 ///
-/// Policies whose order is FIFO or LIFO and whose migration choices can be
-/// expressed as [`DequeCaps`] opt into the lock-free
-/// [`Deque`](crate::deque::Deque) tier; everything else — priority orders,
-/// global queues, custom policies — keeps the fully general locked
+/// Policies whose dispatch order is expressible as *bands served
+/// highest-first, FIFO or LIFO within a band* — the shipped FIFO, LIFO,
+/// priority and deadline policies all are, via [`BandMap`] — opt into the
+/// lock-free [`MultiDeque`](crate::deque::MultiDeque) tier; everything
+/// else (global queues, custom orders) keeps the fully general locked
 /// [`PolicyManager`] path.  The choice is made once, when the
 /// [`crate::vp::Vp`] is constructed.
+///
+/// # Examples
+///
+/// ```
+/// use sting_core::policies;
+/// use sting_core::VmBuilder;
+///
+/// // Priority policies ride the lock-free banded tier by default …
+/// let vm = VmBuilder::new()
+///     .vps(1)
+///     .policy(|_| policies::priority_high().boxed())
+///     .build();
+/// assert!(vm.vp(0).unwrap().lock_free_queue());
+/// vm.shutdown();
+///
+/// // … and `.locked(true)` is the explicit opt-out (A/B benchmarking).
+/// let vm = VmBuilder::new()
+///     .vps(1)
+///     .policy(|_| policies::priority_high().locked(true).boxed())
+///     .build();
+/// assert!(!vm.vp(0).unwrap().lock_free_queue());
+/// vm.shutdown();
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum QueueKind {
     /// Every enqueue/dequeue goes through the policy manager under the
     /// VP's policy lock (the fully general path; the default).
     Policy,
-    /// Enqueues/dequeues use the per-VP Chase–Lev deque; the policy
-    /// manager is consulted only for placement (`choose_vp`) and hints.
+    /// Enqueues/dequeues use the per-VP banded Chase–Lev deques; the
+    /// policy manager is consulted only for placement (`choose_vp`) and
+    /// hints.
     Deque(DequeCaps),
 }
 
@@ -115,6 +237,44 @@ pub enum EnqueueState {
 /// granularity, structure, serialization) they cover.  The thread
 /// controller is the only caller — "user applications need not be aware of
 /// the policy/thread manager interface".
+///
+/// # Examples
+///
+/// A complete (if spartan) custom policy is a stack and three methods;
+/// everything else has workable defaults:
+///
+/// ```
+/// use sting_core::pm::{EnqueueState, PolicyManager, RunItem};
+/// use sting_core::vp::Vp;
+/// use sting_core::VmBuilder;
+///
+/// #[derive(Default)]
+/// struct Stack(Vec<RunItem>);
+///
+/// impl PolicyManager for Stack {
+///     fn get_next_thread(&mut self, _vp: &Vp) -> Option<RunItem> {
+///         self.0.pop()
+///     }
+///     fn enqueue_thread(&mut self, _vp: &Vp, item: RunItem, _state: EnqueueState) {
+///         self.0.push(item);
+///     }
+///     fn len(&self) -> usize {
+///         self.0.len()
+///     }
+///     fn name(&self) -> &'static str {
+///         "toy-stack"
+///     }
+/// }
+///
+/// let vm = VmBuilder::new()
+///     .vps(1)
+///     .policy(|_| Box::new(Stack::default()))
+///     .build();
+/// assert_eq!(vm.vp(0).unwrap().policy_name(), "toy-stack");
+/// let t = vm.fork(|_| 6i64 * 7);
+/// assert_eq!(t.join_blocking().unwrap().as_int(), Some(42));
+/// vm.shutdown();
+/// ```
 pub trait PolicyManager: Send {
     /// Returns the next item to run on `vp`, or `None` if the VP has no
     /// local work.

@@ -20,17 +20,19 @@
 //! is earliest-deadline-first.
 //!
 //! The *serialization* dimension is decided by
-//! [`PolicyManager::queue_kind`]: a [`LocalQueue`] in FIFO or LIFO order
-//! is served by the lock-free [`crate::deque`] tier (opt out with
-//! [`LocalQueue::locked`]); priority orders, [`GlobalQueue`] and custom
-//! policies run under the VP's policy lock.  See DESIGN.md, "Scheduler
-//! fast path".
+//! [`PolicyManager::queue_kind`]: every [`LocalQueue`] order is served by
+//! the lock-free [`crate::deque`] tier — FIFO/LIFO on a single band,
+//! priority and deadline orders on the banded
+//! [`MultiDeque`](crate::deque::MultiDeque) via a
+//! [`BandMap`] (opt out with [`LocalQueue::locked`]);
+//! [`GlobalQueue`] and custom policies run under the VP's policy lock.
+//! See DESIGN.md, "Scheduler fast path".
 //!
 //! All of these are ordinary implementations of
 //! [`crate::pm::PolicyManager`] — applications are free to
 //! write their own (see `tests/custom_policy.rs` in the repository).
 
-use crate::pm::{DequeCaps, EnqueueState, PolicyManager, QueueKind, RunItem};
+use crate::pm::{BandMap, DequeCaps, EnqueueState, PolicyManager, QueueKind, RunItem};
 use crate::vp::Vp;
 use parking_lot::Mutex;
 use std::collections::{BinaryHeap, VecDeque};
@@ -263,16 +265,22 @@ impl PolicyManager for LocalQueue {
     }
 
     fn queue_kind(&self) -> QueueKind {
-        match self.order {
-            QueueOrder::Fifo | QueueOrder::Lifo if !self.locked => QueueKind::Deque(DequeCaps {
-                fifo: self.order == QueueOrder::Fifo,
-                steal: self.migrating,
-                steal_tcbs: self.migrate_tcbs,
-            }),
-            // Priority orders need the heap; `.locked(true)` is the
-            // explicit opt-out for A/B comparison.
-            _ => QueueKind::Policy,
+        // `.locked(true)` is the explicit opt-out for A/B comparison.
+        if self.locked {
+            return QueueKind::Policy;
         }
+        QueueKind::Deque(DequeCaps {
+            // Priority orders dispatch FIFO within a band, matching the
+            // heap's FIFO-among-equals tie-break.
+            fifo: self.order != QueueOrder::Lifo,
+            steal: self.migrating,
+            steal_tcbs: self.migrate_tcbs,
+            bands: match self.order {
+                QueueOrder::Fifo | QueueOrder::Lifo => BandMap::Single,
+                QueueOrder::PriorityHigh => BandMap::PriorityHigh,
+                QueueOrder::PriorityLow => BandMap::Deadline,
+            },
+        })
     }
 
     fn len(&self) -> usize {
@@ -393,11 +401,57 @@ pub fn local_lifo() -> LocalQueue {
 }
 
 /// A per-VP highest-priority-first queue (speculative scheduling).
+///
+/// Rides the lock-free banded deque tier: priorities are clamped into
+/// [`BANDS`](crate::deque::BANDS) bands ([`BandMap::PriorityHigh`]) and
+/// the highest non-empty band is dispatched first, FIFO within a band.
+///
+/// ```
+/// use sting_core::policies;
+/// use sting_core::{ThreadBuilder, VmBuilder};
+///
+/// let vm = VmBuilder::new()
+///     .vps(1)
+///     .policy(|_| policies::priority_high().boxed())
+///     .build();
+/// assert!(vm.vp(0).unwrap().lock_free_queue());
+///
+/// // Priority 3 lands in the top band; band 0 work waits behind it.
+/// let hi = ThreadBuilder::new(&vm).priority(3).spawn(|_| 9i64).unwrap();
+/// assert_eq!(hi.join_blocking().unwrap().as_int(), Some(9));
+/// vm.shutdown();
+/// ```
 pub fn priority_high() -> LocalQueue {
     LocalQueue::new(QueueOrder::PriorityHigh)
 }
 
 /// A per-VP lowest-value-first queue (EDF when priority = deadline).
+///
+/// Also rides the banded deque tier: deadlines are quantized into bands
+/// [`DEADLINE_BAND_SPAN`](crate::pm::DEADLINE_BAND_SPAN) wide
+/// ([`BandMap::Deadline`]), so the nearest-deadline window is dispatched
+/// first and overdue work is maximally urgent.
+///
+/// ```
+/// use sting_core::pm::BandMap;
+/// use sting_core::policies;
+/// use sting_core::{ThreadBuilder, VmBuilder};
+///
+/// let vm = VmBuilder::new()
+///     .vps(1)
+///     .policy(|_| policies::priority_low().boxed())
+///     .build();
+/// assert_eq!(vm.vp(0).unwrap().policy_name(), "priority-low");
+///
+/// // priority = deadline: a due-now task lands in the top band …
+/// assert_eq!(BandMap::Deadline.band(0), sting_core::deque::BANDS - 1);
+/// // … and a far-future one in the bottom band.
+/// assert_eq!(BandMap::Deadline.band(1 << 20), 0);
+///
+/// let soon = ThreadBuilder::new(&vm).priority(10).spawn(|_| 1i64).unwrap();
+/// assert_eq!(soon.join_blocking().unwrap().as_int(), Some(1));
+/// vm.shutdown();
+/// ```
 pub fn priority_low() -> LocalQueue {
     LocalQueue::new(QueueOrder::PriorityLow)
 }

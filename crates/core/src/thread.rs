@@ -494,45 +494,73 @@ impl Thread {
     }
 
     fn unblock_inner(self: &Arc<Thread>, claimed_gen: u32) {
-        let tcb = {
-            let mut core = self.core.lock();
-            match self.state() {
-                ThreadState::Blocked | ThreadState::Suspended => match core.parked.take() {
-                    Some(tcb) => {
-                        core.blocker = None;
-                        self.set_state(ThreadState::Evaluating);
-                        Some(tcb)
-                    }
-                    None => {
-                        // Raced with the parking VP: it will see the flag.
-                        core.wake_pending = true;
-                        None
-                    }
-                },
-                ThreadState::Evaluating => {
-                    // Woken before it even parked.
-                    core.wake_pending = true;
-                    None
-                }
-                _ => None,
-            }
-        };
-        if let Some(tcb) = tcb {
+        if let Some(tcb) = self.take_parked_tcb() {
             if let Some(vm) = self.vm() {
-                Counters::bump(&vm.counters().wakeups);
-                let vp = self.home_vp.load(Ordering::Relaxed) % vm.vp_count();
-                vm.metrics().note_wake(vp, self);
-                crate::trace_event!(
-                    vm.tracer(),
-                    crate::tls::current().map(|c| c.vp.index()),
-                    crate::trace::EventKind::Unblock,
-                    self.id.0,
-                    vp as u32,
-                    claimed_gen
-                );
+                let vp = self.note_unblock(&vm, claimed_gen);
                 vm.enqueue_parked(tcb, vp, crate::pm::EnqueueState::Unblocked);
             }
         }
+    }
+
+    /// [`Thread::unblock_claimed`], but the ready-queue publication is
+    /// deferred into `batch` (see [`crate::wait::WakeBatch`]).  The state
+    /// transition, wake-up counter and Unblock trace all happen here; only
+    /// the enqueue waits for the batch to publish.
+    pub(crate) fn unblock_deferred(
+        self: &Arc<Thread>,
+        gen: u64,
+        batch: &mut crate::wait::WakeBatch,
+    ) {
+        if let Some(tcb) = self.take_parked_tcb() {
+            if let Some(vm) = self.vm() {
+                let vp = self.note_unblock(&vm, gen as u32);
+                batch.add(vm, vp, tcb);
+            }
+        }
+    }
+
+    /// Claims the parked TCB if this thread is blocked/suspended with one,
+    /// transitioning it to `Evaluating`; records a pending wake-up
+    /// otherwise.
+    fn take_parked_tcb(&self) -> Option<Tcb> {
+        let mut core = self.core.lock();
+        match self.state() {
+            ThreadState::Blocked | ThreadState::Suspended => match core.parked.take() {
+                Some(tcb) => {
+                    core.blocker = None;
+                    self.set_state(ThreadState::Evaluating);
+                    Some(tcb)
+                }
+                None => {
+                    // Raced with the parking VP: it will see the flag.
+                    core.wake_pending = true;
+                    None
+                }
+            },
+            ThreadState::Evaluating => {
+                // Woken before it even parked.
+                core.wake_pending = true;
+                None
+            }
+            _ => None,
+        }
+    }
+
+    /// Wake-side bookkeeping for a taken TCB: counter, metrics stamp and
+    /// the Unblock trace event.  Returns the destination VP.
+    fn note_unblock(&self, vm: &Arc<Vm>, claimed_gen: u32) -> usize {
+        Counters::bump(&vm.counters().wakeups);
+        let vp = self.home_vp.load(Ordering::Relaxed) % vm.vp_count();
+        vm.metrics().note_wake(vp, self);
+        crate::trace_event!(
+            vm.tracer(),
+            crate::tls::current().map(|c| c.vp.index()),
+            crate::trace::EventKind::Unblock,
+            self.id.0,
+            vp as u32,
+            claimed_gen
+        );
+        vp
     }
 
     /// Finalizes the thread with `result`: sets `Determined`, publishes the

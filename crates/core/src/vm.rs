@@ -380,6 +380,18 @@ impl Vm {
         self.vps[vp].enqueue(RunItem::Parked(tcb), state);
     }
 
+    /// Enqueues many woken TCBs on `vp` in one batched publication (see
+    /// [`WakeBatch`](crate::wait::WakeBatch)).
+    pub(crate) fn enqueue_parked_batch(
+        self: &Arc<Vm>,
+        tcbs: Vec<crate::tcb::Tcb>,
+        vp: usize,
+        state: EnqueueState,
+    ) {
+        let vp = vp % self.vp_count();
+        self.vps[vp].enqueue_batch(tcbs.into_iter().map(RunItem::Parked).collect(), state);
+    }
+
     /// Wakes parked machine workers (new work is available).
     pub(crate) fn signal_work(&self) {
         if let Some(m) = self.machine.lock().clone() {

@@ -15,23 +15,26 @@
 //! The VP's ready queue is served by one of two tiers, chosen at
 //! construction from [`PolicyManager::queue_kind`]:
 //!
-//! * **Deque tier** (FIFO/LIFO policies): a lock-free
-//!   [`Deque`] the owning worker pushes and pops
-//!   without locks, plus an [`Injector`] for
-//!   submissions from other threads.  Idle sibling VPs steal from the
-//!   deque's cold end with one CAS — the paper's §3.3 "lock-free queue of
-//!   evaluating threads".  The policy manager is still consulted for
-//!   placement (`choose_vp`) and the idle hook (`vp_idle`); it just no
-//!   longer sees per-item traffic.
-//! * **Policy tier** (priority orders, global queues, custom policies):
-//!   every operation goes through the policy manager under the VP's policy
-//!   lock — the fully general path, and the pre-deque behaviour.
+//! * **Deque tier** (FIFO/LIFO *and* priority/deadline policies): a
+//!   lock-free banded [`MultiDeque`] the owning worker pushes and pops
+//!   without locks, plus a [`BandedInjector`] for submissions from other
+//!   threads.  Items are banded once at enqueue time by the policy's
+//!   [`BandMap`](crate::pm::BandMap); pop and steal serve the highest
+//!   non-empty band first (one atomic bitmask read), FIFO or LIFO within
+//!   a band.  Idle sibling VPs steal from a band's cold end with one CAS
+//!   — the paper's §3.3 "lock-free queue of evaluating threads".  The
+//!   policy manager is still consulted for placement (`choose_vp`) and
+//!   the idle hook (`vp_idle`); it just no longer sees per-item traffic.
+//! * **Policy tier** (global queues, custom policies, or any policy built
+//!   with `.locked(true)`): every operation goes through the policy
+//!   manager under the VP's policy lock — the fully general path, and the
+//!   pre-deque behaviour.
 //!
 //! See DESIGN.md, "Scheduler fast path", for the memory-ordering argument
 //! and the paper-operation-to-tier mapping.
 
 use crate::counters::Counters;
-use crate::deque::{Deque, Injector, Steal};
+use crate::deque::{BandedInjector, MultiDeque, Steal};
 use crate::pm::{DequeCaps, EnqueueState, PolicyManager, QueueKind, RunItem};
 use crate::tc;
 use crate::tcb::{Disposition, Tcb, TcbShared, ThreadFiber, Wakeup};
@@ -48,15 +51,23 @@ use sting_context::{Fiber, StackPool};
 /// fast path").  Present iff the VP's policy opted in via
 /// [`PolicyManager::queue_kind`].
 ///
-/// The [`Deque`] is owner-operated: only the worker driving this VP (the
-/// holder of `owner`) pushes and pops it.  Every other thread — host
+/// The [`MultiDeque`] is owner-operated: only the worker driving this VP
+/// (the holder of `owner`) pushes and pops it.  Every other thread — host
 /// forks, cross-VP wake-ups, the timekeeper — submits through the
-/// [`Injector`]; the owner folds the injector into the deque at each
-/// dequeue, which restores arrival order and makes the items stealable.
+/// [`BandedInjector`]; the owner folds the injector into the deque at
+/// each dequeue, which restores arrival order within each band and makes
+/// the items stealable.  An item's band is computed exactly once, at
+/// submission, from the policy's [`BandMap`](crate::pm::BandMap) — the
+/// same moment the locked tier's heap computes its sort key.
+///
+/// Policies that declared [`BandMap::Single`](crate::pm::BandMap) bypass
+/// the banded machinery entirely: every operation runs on the band-0
+/// [`Deque`](crate::deque::Deque) via [`MultiDeque::band0`], so FIFO/LIFO
+/// queues never read a priority or touch the occupancy word.
 struct FastQueue {
     caps: DequeCaps,
-    deque: Deque<RunItem>,
-    injector: Injector<RunItem>,
+    deque: MultiDeque<RunItem>,
+    injector: BandedInjector<RunItem>,
     /// Slice-scoped owner role.  The machine drives each VP from exactly
     /// one worker (index modulo processor count), but `PhysicalMachine::attach`
     /// is public, so two machines *can* be pointed at one VM; the guard
@@ -69,32 +80,86 @@ impl FastQueue {
     fn new(caps: DequeCaps) -> FastQueue {
         FastQueue {
             caps,
-            deque: Deque::new(),
-            injector: Injector::new(),
+            deque: MultiDeque::new(),
+            injector: BandedInjector::new(),
             owner: AtomicBool::new(false),
+        }
+    }
+
+    /// Whether the policy declared a single band, in which case every
+    /// queue operation bypasses the occupancy word and runs on the plain
+    /// band-0 Chase–Lev deque — byte for byte the pre-banded fast path.
+    /// A single-band policy pays nothing for the bands it does not use.
+    fn single(&self) -> bool {
+        matches!(self.caps.bands, crate::pm::BandMap::Single)
+    }
+
+    /// The band this item dispatches from, per the policy's declared map.
+    /// Single-band policies (FIFO/LIFO) never read the thread's priority.
+    fn band_of(&self, item: &RunItem) -> usize {
+        match self.caps.bands {
+            crate::pm::BandMap::Single => 0,
+            map => map.band(item.priority()),
         }
     }
 
     /// Owner-side push.  Fresh threads are tagged so thieves of a
     /// no-TCB-migration policy can decline parked items without claiming
-    /// them (see [`Deque::steal_tagged`]).
+    /// them (see [`MultiDeque::steal`]).
     fn push(&self, item: RunItem) {
         let fresh = item.is_fresh();
-        self.deque.push_tagged(item, fresh);
+        if self.single() {
+            self.deque.band0().push_tagged(item, fresh);
+        } else {
+            let band = self.caps.bands.band(item.priority());
+            self.deque.push_tagged(band, item, fresh);
+        }
     }
 
     /// Owner-side dequeue: fold in remote submissions, then take from the
-    /// end the policy's discipline dictates.
+    /// highest non-empty band, at the end the policy's discipline
+    /// dictates.
     fn pop(&self) -> Option<RunItem> {
-        for item in self.injector.drain() {
-            self.push(item);
-        }
-        if self.caps.fifo {
-            // Oldest first: the owner takes the steal end (one CAS).
-            self.deque.steal_retrying()
+        if self.single() {
+            for (_, item) in self.injector.drain() {
+                let fresh = item.is_fresh();
+                self.deque.band0().push_tagged(item, fresh);
+            }
+            if self.caps.fifo {
+                self.deque.band0().steal_retrying()
+            } else {
+                self.deque.band0().pop()
+            }
         } else {
-            // Newest first: the wait-free bottom-end pop.
-            self.deque.pop()
+            for (band, item) in self.injector.drain() {
+                let fresh = item.is_fresh();
+                self.deque.push_tagged(band, item, fresh);
+            }
+            self.deque.pop(self.caps.fifo)
+        }
+    }
+
+    /// Thief-side steal, dispatching to the band-aware scan or the plain
+    /// band-0 deque per the policy's declared band map.
+    fn steal(&self, tagged_only: bool) -> Steal<RunItem> {
+        if self.single() {
+            if tagged_only {
+                self.deque.band0().steal_tagged()
+            } else {
+                self.deque.band0().steal()
+            }
+        } else {
+            self.deque.steal(tagged_only)
+        }
+    }
+
+    /// [`FastQueue::steal`], retried until it yields an item or observes
+    /// the queue empty.
+    fn steal_retrying(&self) -> Option<RunItem> {
+        if self.single() {
+            self.deque.band0().steal_retrying()
+        } else {
+            self.deque.steal_retrying(false)
         }
     }
 }
@@ -211,11 +276,12 @@ impl Vp {
     /// declines.  Returns `None` on contention, when the policy declines,
     /// or when asked to migrate to itself.
     ///
-    /// On the deque tier this is one lock-free [`Deque::steal`] from the
-    /// cold (oldest) end — no lock is taken on the victim at all; a lost
-    /// CAS race counts as contention.  A stolen parked TCB is handed back
-    /// through the victim's injector when its capabilities forbid TCB
-    /// migration.  On the locked tier the policy's
+    /// On the deque tier this is one lock-free [`MultiDeque::steal`] from
+    /// the cold (oldest) end of the highest non-empty band — no lock is
+    /// taken on the victim at all; a lost CAS race counts as contention.
+    /// When the policy forbids TCB migration, a parked item at a band's
+    /// top is declined *without claiming it*, and the scan falls through
+    /// to lower bands.  On the locked tier the policy's
     /// [`PolicyManager::offer_migration`] is asked under `try_lock`, so
     /// concurrent idle VPs never deadlock on each other's policy locks.
     ///
@@ -240,39 +306,47 @@ impl Vp {
             }
             // When TCBs must stay home, only a fresh-tagged top item may
             // be taken; the tag check needs no claim, so declining a
-            // parked item leaves the victim's queue untouched.
-            let attempt = if fq.caps.steal_tcbs {
-                fq.deque.steal()
-            } else {
-                fq.deque.steal_tagged()
-            };
-            match attempt {
+            // parked item leaves the victim's queue untouched (and the
+            // scan moves on to the next lower band).
+            match fq.steal(!fq.caps.steal_tcbs) {
                 Steal::Success(item) => item,
                 Steal::Empty | Steal::Retry => {
                     // The deque gave nothing — but remote submissions may
                     // be backed up in the injector, and the owner could be
                     // stuck in a long quantum, never folding them in.  The
                     // locked tier could always surrender such work, so
-                    // rescue it here: take the oldest eligible item,
-                    // re-inject the rest in order.
+                    // rescue it here: take the highest-band eligible item
+                    // (oldest within its band — the same order the owner
+                    // would dispatch), re-inject the rest in one CAS.
                     let backlog = fq.injector.drain();
                     if backlog.is_empty() {
                         return None;
                     }
-                    let mut chosen = None;
-                    let mut rest = Vec::with_capacity(backlog.len());
-                    for it in backlog {
-                        if chosen.is_none() && (fq.caps.steal_tcbs || it.is_fresh()) {
-                            chosen = Some(it);
-                        } else {
-                            rest.push(it);
+                    // First occurrence at a strictly-higher band wins, so
+                    // ties keep arrival (FIFO-within-band) order.  The
+                    // eligibility check is band-aware by construction: a
+                    // high-band parked TCB never loses to a low-band fresh
+                    // thread when the policy allows TCB migration.
+                    let mut best: Option<(usize, usize)> = None; // (index, band)
+                    for (i, (band, it)) in backlog.iter().enumerate() {
+                        if (fq.caps.steal_tcbs || it.is_fresh())
+                            && best.is_none_or(|(_, b)| *band > b)
+                        {
+                            best = Some((i, *band));
                         }
                     }
-                    let returned = !rest.is_empty();
-                    for it in rest {
-                        fq.injector.push(it);
+                    let chosen_at = best.map(|(i, _)| i);
+                    let mut chosen = None;
+                    let mut rest = Vec::with_capacity(backlog.len());
+                    for (i, entry) in backlog.into_iter().enumerate() {
+                        if Some(i) == chosen_at {
+                            chosen = Some(entry.1);
+                        } else {
+                            rest.push(entry);
+                        }
                     }
-                    if returned {
+                    if !rest.is_empty() {
+                        fq.injector.push_batch(rest);
                         // The original submission signals were consumed;
                         // re-arm so the returned work is not stranded.
                         if let Some(vm) = &vm {
@@ -353,7 +427,8 @@ impl Vp {
             if owner {
                 fq.push(item);
             } else {
-                fq.injector.push(item);
+                let band = fq.band_of(&item);
+                fq.injector.push(band, item);
             }
             owner
         } else {
@@ -369,6 +444,49 @@ impl Vp {
             if !owner_push {
                 vm.signal_work();
             }
+        }
+    }
+
+    /// Enqueues many items at once — the batched-wake fast path used by
+    /// [`WaitList::wake_all`](crate::wait::WaitList) sweeps (broadcast,
+    /// barrier release).  Deque tier: all items are published with a
+    /// *single* injector CAS ([`BandedInjector::push_batch`]), preserving
+    /// arrival order within each band; locked tier: one policy-lock
+    /// acquisition covers the whole batch.  Either way the machine is
+    /// signalled once, not `n` times.
+    ///
+    /// Every item's Enqueue is traced *before* the batch becomes visible,
+    /// for the same audit-ordering reason as [`Vp::enqueue_from`].
+    pub(crate) fn enqueue_batch(self: &Arc<Vp>, items: Vec<RunItem>, state: EnqueueState) {
+        if items.is_empty() {
+            return;
+        }
+        let vm = self.vm.upgrade();
+        if let Some(vm) = &vm {
+            for item in &items {
+                let thread = item.thread();
+                vm.metrics().stamp_enqueue(self.index, thread);
+                crate::trace_event!(
+                    vm.tracer(),
+                    tls::current().map(|c| c.vp.index()),
+                    crate::trace::EventKind::Enqueue,
+                    thread.id().0,
+                    state as u32,
+                    self.index
+                );
+            }
+        }
+        if let Some(fq) = &self.fast {
+            fq.injector
+                .push_batch(items.into_iter().map(|it| (fq.band_of(&it), it)));
+        } else {
+            let mut pm = self.pm.lock();
+            for item in items {
+                pm.enqueue_thread(self, item, state);
+            }
+        }
+        if let Some(vm) = vm {
+            vm.signal_work();
         }
     }
 
@@ -460,8 +578,8 @@ impl Vp {
     pub(crate) fn drain_ready(&self) -> Vec<RunItem> {
         let mut out = Vec::new();
         if let Some(fq) = &self.fast {
-            out.extend(fq.injector.drain());
-            while let Some(item) = fq.deque.steal_retrying() {
+            out.extend(fq.injector.drain().into_iter().map(|(_, it)| it));
+            while let Some(item) = fq.steal_retrying() {
                 out.push(item);
             }
         }

@@ -406,6 +406,31 @@ impl Waiter {
         true
     }
 
+    /// [`Waiter::wake`], but a woken green thread's ready-queue publication
+    /// is deferred into `batch` instead of enqueued immediately, so a sweep
+    /// over many waiters (broadcast, barrier release) publishes them all
+    /// with one injector CAS at [`WakeBatch::publish`].  The claim, state
+    /// transition and Unblock trace still happen here, synchronously — only
+    /// the queue insertion is deferred.  OS-thread waiters are notified
+    /// immediately (a condvar has nothing to batch).
+    pub fn wake_into(&self, batch: &mut WakeBatch) -> bool {
+        if !self.node.state.claim(self.gen) {
+            return false;
+        }
+        match &self.node.parker {
+            Parker::Green(weak) => {
+                if let Some(thread) = weak.upgrade() {
+                    thread.unblock_deferred(self.gen, batch);
+                }
+            }
+            Parker::Os(p) => {
+                let _g = p.lock.lock();
+                p.cv.notify_all();
+            }
+        }
+        true
+    }
+
     /// Whether the episode is still armed (registered and not yet
     /// consumed).  [`WaitList::len`] counts only live entries.
     pub fn is_live(&self) -> bool {
@@ -555,6 +580,100 @@ impl Drop for ParkGuard<'_> {
     }
 }
 
+/// A set of woken-but-not-yet-enqueued threads, collected across a
+/// wait-list sweep and published to the ready queues in bulk.
+///
+/// Waking `n` threads one at a time costs `n` injector CASes and `n`
+/// machine signals; a batch groups the TCBs by destination VP and
+/// publishes each group with **one** CAS
+/// ([`BandedInjector::push_batch`](crate::deque::BandedInjector)) and one
+/// signal.  Arrival order is preserved, so FIFO-within-band dispatch of
+/// the woken set matches the wake order.
+///
+/// Dropping an unpublished batch publishes it — a woken TCB can never be
+/// lost to an early return or unwind.
+#[derive(Default)]
+pub struct WakeBatch {
+    /// The first wake-up, held inline: a sweep that claims exactly one
+    /// waiter (the overwhelmingly common case — `wake_one`, a lone joiner,
+    /// an uncontended lock handoff) publishes through the ordinary single
+    /// enqueue without ever allocating.
+    first: Option<(Arc<crate::vm::Vm>, usize, crate::tcb::Tcb)>,
+    rest: Vec<(Arc<crate::vm::Vm>, usize, crate::tcb::Tcb)>,
+}
+
+impl std::fmt::Debug for WakeBatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "WakeBatch({} pending)", self.len())
+    }
+}
+
+impl WakeBatch {
+    /// An empty batch.
+    pub fn new() -> WakeBatch {
+        WakeBatch::default()
+    }
+
+    /// How many wake-ups are pending publication.
+    pub fn len(&self) -> usize {
+        usize::from(self.first.is_some()) + self.rest.len()
+    }
+
+    /// Whether no wake-up is pending.
+    pub fn is_empty(&self) -> bool {
+        self.first.is_none() && self.rest.is_empty()
+    }
+
+    pub(crate) fn add(&mut self, vm: Arc<crate::vm::Vm>, vp: usize, tcb: crate::tcb::Tcb) {
+        if self.first.is_none() && self.rest.is_empty() {
+            self.first = Some((vm, vp, tcb));
+        } else {
+            self.rest.push((vm, vp, tcb));
+        }
+    }
+
+    /// Publishes every collected wake-up to its VP's ready queue, one
+    /// batched enqueue per destination VP.  Returns how many were
+    /// published.
+    pub fn publish(mut self) -> usize {
+        self.flush()
+    }
+
+    fn flush(&mut self) -> usize {
+        let Some((vm, vp, tcb)) = self.first.take() else {
+            return 0;
+        };
+        if self.rest.is_empty() {
+            // Single wake: the plain enqueue path, no batching machinery.
+            vm.enqueue_parked(tcb, vp, crate::pm::EnqueueState::Unblocked);
+            return 1;
+        }
+        let published = 1 + self.rest.len();
+        // Group by (vm, vp), preserving wake order within each group.
+        let mut groups: Vec<(Arc<crate::vm::Vm>, usize, Vec<crate::tcb::Tcb>)> =
+            vec![(vm, vp, vec![tcb])];
+        for (vm, vp, tcb) in self.rest.drain(..) {
+            match groups
+                .iter_mut()
+                .find(|g| Arc::ptr_eq(&g.0, &vm) && g.1 == vp)
+            {
+                Some(g) => g.2.push(tcb),
+                None => groups.push((vm, vp, vec![tcb])),
+            }
+        }
+        for (vm, vp, tcbs) in groups {
+            vm.enqueue_parked_batch(tcbs, vp, crate::pm::EnqueueState::Unblocked);
+        }
+        published
+    }
+}
+
+impl Drop for WakeBatch {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
 /// An ordered collection of registered [`Waiter`]s — the wait queue every
 /// blocking structure embeds (under its own lock).
 ///
@@ -611,13 +730,19 @@ impl WaitList {
 
     /// Wakes every live waiter, emptying the list.  Returns how many
     /// wake-ups were actually delivered.
+    ///
+    /// The woken green threads are published to their ready queues in
+    /// bulk through a [`WakeBatch`] — one injector CAS and one machine
+    /// signal per destination VP, however many waiters the sweep claims.
     pub fn wake_all(&mut self) -> usize {
+        let mut batch = WakeBatch::new();
         let mut woken = 0;
         for w in self.entries.drain(..) {
-            if w.wake() {
+            if w.wake_into(&mut batch) {
                 woken += 1;
             }
         }
+        batch.publish();
         woken
     }
 

@@ -4,9 +4,9 @@
 //! "Scheduler fast path").
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
-use sting_core::deque::{Deque, Injector, Steal};
+use sting_core::deque::{Deque, Injector, MultiDeque, Steal, BANDS};
 use sting_core::trace::EventKind;
 use sting_core::{policies, VmBuilder};
 
@@ -312,21 +312,195 @@ fn locked_escape_hatch_stays_on_policy_tier() {
     vm.shutdown();
 }
 
-/// Priority policies need their heap and stay on the locked tier; the
-/// fallback must remain fully functional.
+/// Priority policies ride the banded deque tier by default, and stay
+/// fully functional there; `.locked(true)` remains the policy-tier
+/// opt-out (the heap reference path the bench A/Bs against).
 #[test]
-fn priority_policies_stay_on_policy_tier() {
+fn priority_policies_ride_the_deque_tier() {
     let vm = VmBuilder::new()
         .vps(1)
         .processors(1)
         .policy(|_| policies::priority_high().boxed())
         .build();
-    assert!(!vm.vp(0).unwrap().lock_free_queue());
+    assert!(
+        vm.vp(0).unwrap().lock_free_queue(),
+        "priority policies must opt into the banded deque tier"
+    );
     let v = vm.run(|cx| {
         let t = cx.fork(|_| 21i64);
         cx.wait(&t).unwrap().as_int().unwrap() * 2
     });
     assert_eq!(v.unwrap().as_int(), Some(42));
+    vm.shutdown();
+
+    let vm = VmBuilder::new()
+        .vps(1)
+        .processors(1)
+        .policy(|_| policies::priority_high().locked(true).boxed())
+        .build();
+    assert!(
+        !vm.vp(0).unwrap().lock_free_queue(),
+        ".locked(true) must keep the heap-backed policy tier"
+    );
+    let v = vm.run(|cx| {
+        let t = cx.fork(|_| 21i64);
+        cx.wait(&t).unwrap().as_int().unwrap() * 2
+    });
+    assert_eq!(v.unwrap().as_int(), Some(42));
+    vm.shutdown();
+}
+
+/// 4 bands × 4 thieves over one `MultiDeque`: every item is claimed by
+/// exactly one side, no matter which band it sat in or how the occupancy
+/// bits churned.
+#[test]
+fn stress_multi_band_exactly_once_across_thieves() {
+    const ITEMS: u64 = 80_000;
+    const THIEVES: usize = 4;
+    let md: Arc<MultiDeque<u64>> = Arc::new(MultiDeque::with_capacity(8));
+    let done = Arc::new(AtomicBool::new(false));
+
+    let thieves: Vec<_> = (0..THIEVES)
+        .map(|_| {
+            let md = md.clone();
+            let done = done.clone();
+            std::thread::spawn(move || {
+                let mut got = Vec::new();
+                loop {
+                    match md.steal(false) {
+                        Steal::Success(v) => got.push(v),
+                        Steal::Retry => std::hint::spin_loop(),
+                        Steal::Empty => {
+                            if done.load(Ordering::Acquire) && md.is_empty() {
+                                break;
+                            }
+                            std::thread::yield_now();
+                        }
+                    }
+                }
+                got
+            })
+        })
+        .collect();
+
+    let mut owner_got = Vec::new();
+    for i in 0..ITEMS {
+        md.push((i % BANDS as u64) as usize, i);
+        // Owner pops race the thieves across all bands (alternate the
+        // within-band discipline to cover both ends).
+        if i % 3 == 0 {
+            if let Some(v) = md.pop(i % 2 == 0) {
+                owner_got.push(v);
+            }
+        }
+    }
+    done.store(true, Ordering::Release);
+
+    let mut seen = vec![false; ITEMS as usize];
+    let mut claim = |v: u64| {
+        assert!(!seen[v as usize], "item {v} claimed twice");
+        seen[v as usize] = true;
+    };
+    for v in owner_got {
+        claim(v);
+    }
+    for t in thieves {
+        for v in t.join().unwrap() {
+            claim(v);
+        }
+    }
+    let missing = seen.iter().filter(|s| !**s).count();
+    assert_eq!(missing, 0, "{missing} items lost across bands");
+}
+
+/// Band starvation order: with all bands populated, a quiesced drain
+/// serves bands strictly highest-first — the low band moves only once
+/// every higher band is empty — and FIFO within each band.
+#[test]
+fn low_band_drains_only_after_high_bands_empty() {
+    let md: MultiDeque<u64> = MultiDeque::new();
+    // Interleave pushes so every band fills while others are non-empty.
+    const PER_BAND: u64 = 25;
+    for i in 0..PER_BAND {
+        for band in 0..BANDS as u64 {
+            md.push(band as usize, band * PER_BAND + i);
+        }
+    }
+    let mut out = Vec::new();
+    while let Some(v) = md.pop(true) {
+        out.push(v);
+    }
+    assert_eq!(out.len(), (PER_BAND as usize) * BANDS);
+    let bands: Vec<u64> = out.iter().map(|v| v / PER_BAND).collect();
+    assert!(
+        bands.windows(2).all(|w| w[0] >= w[1]),
+        "a lower band was served while a higher one still held items: {bands:?}"
+    );
+    // FIFO within each band.
+    for band in 0..BANDS as u64 {
+        let in_band: Vec<u64> = out
+            .iter()
+            .copied()
+            .filter(|v| v / PER_BAND == band)
+            .collect();
+        let expected: Vec<u64> = (band * PER_BAND..(band + 1) * PER_BAND).collect();
+        assert_eq!(in_band, expected, "band {band} reordered");
+    }
+    assert!(md.is_empty());
+}
+
+/// A `WaitList::wake_all` sweep publishes all woken threads with one
+/// batched injector CAS; on a single FIFO VP they must then run in their
+/// wake (registration) order — the batched wake's FIFO-within-band
+/// property, observed end to end through thread joins.
+#[test]
+fn batched_wake_preserves_fifo_order_within_band() {
+    const WAITERS: i64 = 8;
+    let vm = VmBuilder::new()
+        .vps(1)
+        .processors(1)
+        .policy(|_| policies::local_fifo().boxed())
+        .build();
+    let release = Arc::new(AtomicBool::new(false));
+    let order: Arc<Mutex<Vec<i64>>> = Arc::new(Mutex::new(Vec::new()));
+    let r = release.clone();
+    // The gate cooperatively spins so the waiters get dispatched, then
+    // completes; its determination wakes every joiner in one sweep.
+    let gate = vm.fork(move |cx| {
+        while !r.load(Ordering::Acquire) {
+            cx.yield_now();
+        }
+        0i64
+    });
+    let waiters: Vec<_> = (0..WAITERS)
+        .map(|i| {
+            let g = gate.clone();
+            let order = order.clone();
+            vm.fork(move |cx| {
+                cx.wait(&g).unwrap();
+                order.lock().unwrap().push(i);
+                i
+            })
+        })
+        .collect();
+    // Let every waiter park on the gate's wait list (in fork order, since
+    // the single FIFO VP dispatches them in order).
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while vm.counters().snapshot().blocks < WAITERS as u64 {
+        assert!(Instant::now() < deadline, "waiters never parked");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    release.store(true, Ordering::Release);
+    for w in &waiters {
+        w.join_blocking().unwrap();
+    }
+    gate.join_blocking().unwrap();
+    let got = order.lock().unwrap().clone();
+    assert_eq!(
+        got,
+        (0..WAITERS).collect::<Vec<_>>(),
+        "batched wake must preserve FIFO order within the band"
+    );
     vm.shutdown();
 }
 

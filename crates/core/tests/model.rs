@@ -12,7 +12,7 @@
 
 use std::sync::Arc;
 use sting_check::{model, model_bounded, thread};
-use sting_core::deque::{Deque, Injector, Steal};
+use sting_core::deque::{BandedInjector, Deque, Injector, MultiDeque, Steal, BANDS};
 use sting_core::trace::{EventKind, Tracer};
 
 /// The pop/steal last-item race (deque.rs `pop`, `t == b` arm): with one
@@ -164,6 +164,99 @@ fn injector_drain_preserves_arrival_order() {
         let mut all = first;
         all.extend(q.drain());
         assert_eq!(all, [1, 2], "arrival order lost");
+    });
+}
+
+/// Two bands, an owner pushing into both while a thief steals: every item
+/// is claimed exactly once no matter how the occupancy bits interleave
+/// with the per-band Chase–Lev protocols.  The thief is spawned before
+/// the pushes, so the only happens-before edges are the ones the deque
+/// and bitmask protocols provide.
+#[test]
+fn multi_deque_two_band_exactly_once() {
+    model_bounded(2, || {
+        let md = Arc::new(MultiDeque::with_capacity(2));
+        let md2 = md.clone();
+        let thief = thread::spawn(move || match md2.steal(false) {
+            Steal::Success(v) => Some(v),
+            Steal::Empty | Steal::Retry => None,
+        });
+        md.push(0, 10u64);
+        md.push(1, 11u64);
+        let stolen = thief.join();
+        // Quiesced drain (the thief has joined, so pop's bitmask re-check
+        // loop sees coherent values and terminates).
+        let mut claimed: Vec<u64> = stolen.into_iter().collect();
+        while let Some(v) = md.pop(false) {
+            claimed.push(v);
+        }
+        claimed.sort_unstable();
+        assert_eq!(claimed, [10, 11], "lost or duplicated across bands");
+    });
+}
+
+/// The band-bitmask protocol's core obligation: a thief's
+/// `clear_if_empty` (fetch_and, then re-check, then fetch_or) racing an
+/// owner push to the same band must never leave the band's occupancy bit
+/// cleared while an item sits in the band — `pop` trusts the bitmask, so
+/// a stranded item would be invisible forever.  The dropped-Release
+/// mutation for this scenario lives in `crates/check/tests/litmus.rs`
+/// (`banded_bitmask_*`).
+#[test]
+fn multi_deque_occupancy_never_strands_an_item() {
+    model_bounded(2, || {
+        let md = Arc::new(MultiDeque::with_capacity(2));
+        // Seed band 1 so the thief's steal drains it and runs the
+        // clear-then-recheck against the owner's racing second push.
+        md.push(1, 1u64);
+        let md2 = md.clone();
+        let thief = thread::spawn(move || {
+            let a = match md2.steal(false) {
+                Steal::Success(v) => Some(v),
+                Steal::Empty | Steal::Retry => None,
+            };
+            let b = match md2.steal(false) {
+                Steal::Success(v) => Some(v),
+                Steal::Empty | Steal::Retry => None,
+            };
+            (a, b)
+        });
+        md.push(1, 2u64);
+        let (a, b) = thief.join();
+        let mut claimed: Vec<u64> = [a, b].into_iter().flatten().collect();
+        while let Some(v) = md.pop(true) {
+            claimed.push(v);
+        }
+        claimed.sort_unstable();
+        assert_eq!(claimed, [1, 2], "occupancy bit stranded an item");
+        assert!(md.is_empty());
+        assert_eq!(
+            md.occupancy_bits() & ((1 << BANDS) - 1),
+            0,
+            "quiesced empty deque must have no occupancy bits set"
+        );
+    });
+}
+
+/// `BandedInjector::push_batch` publishes its whole batch with one CAS: a
+/// concurrent drain sees either none of the batch or all of it, in order
+/// — never a partial or reordered slice.  This is the batched-wake
+/// atomicity the barrier/broadcast sweeps rely on.
+#[test]
+fn banded_injector_batch_publishes_atomically() {
+    model_bounded(2, || {
+        let q = Arc::new(BandedInjector::new());
+        let q2 = q.clone();
+        let producer = thread::spawn(move || q2.push_batch([(0usize, 1u64), (1usize, 2u64)]));
+        let first = q.drain();
+        assert!(
+            first.is_empty() || first == [(0, 1), (1, 2)],
+            "partial batch visible: {first:?}"
+        );
+        producer.join();
+        let mut all = first;
+        all.extend(q.drain());
+        assert_eq!(all, [(0, 1), (1, 2)], "batch lost or reordered");
     });
 }
 
