@@ -9,6 +9,9 @@
 #                    # a relative-link check over the top-level markdown
 #   ./ci.sh check    # model checker: sting-check self-tests + the deque/
 #                    # trace interleaving models over the production source
+#   ./ci.sh analyze  # static analyzer tier (<60s): the expect-flag corpus,
+#                    # the expect-clean sweep, the static/dynamic lock-order
+#                    # cross-check, and `repl --analyze` over the examples
 #   ./ci.sh bench-smoke  # unified benchmark runner, smoke tier (<60s):
 #                    # emits a schema-checked BENCH json and asserts the
 #                    # Figure 6 shape orderings
@@ -73,6 +76,21 @@ run_check() {
         cargo test -q -p sting-core --test model_wait
 }
 
+run_analyze() {
+    step "analyze: corpus (expect-flag) + clean sweep (expect-clean)"
+    cargo test -q -p sting-analyze
+    step "analyze: static/dynamic lock-order cross-check"
+    cargo test -q -p sting --test analyze_crosscheck
+    step "analyze: repl --analyze over the shipped examples (expect exit 0)"
+    cargo build -q -p sting --bin repl
+    ./target/debug/repl --analyze examples/scheme/*.scm
+    step "analyze: repl --analyze over the corpus (expect exit 1)"
+    if ./target/debug/repl --analyze crates/analyze/tests/corpus/*.scm; then
+        echo "corpus unexpectedly came back clean" >&2
+        exit 1
+    fi
+}
+
 run_bench_smoke() {
     step "bench-smoke: cargo build --release -p sting-bench --bin bench_all"
     cargo build --release -p sting-bench --bin bench_all
@@ -110,6 +128,7 @@ case "${1:-all}" in
     test) run_test ;;
     doc) run_doc ;;
     check) run_check ;;
+    analyze) run_analyze ;;
     bench-smoke) run_bench_smoke ;;
     miri) run_miri ;;
     all)
@@ -118,10 +137,11 @@ case "${1:-all}" in
         run_test
         run_doc
         run_check
+        run_analyze
         run_bench_smoke
         ;;
     *)
-        echo "usage: $0 [fmt|clippy|test|doc|check|bench-smoke|miri|all]" >&2
+        echo "usage: $0 [fmt|clippy|test|doc|check|analyze|bench-smoke|miri|all]" >&2
         exit 2
         ;;
 esac

@@ -1,0 +1,206 @@
+//! The abstract value domain.
+//!
+//! Following the abstracted abstract machine recipe (Might & Van Horn),
+//! every runtime value is projected onto a small finite lattice: closures
+//! collapse to their code object, synchronization objects collapse to the
+//! allocation [`Site`] that created them, and everything else is either a
+//! known small integer (needed for barrier/semaphore constructor
+//! arguments) or [`Atom::Opaque`].  Sets of atoms are capped; past the cap
+//! a value widens to [`AVal::Top`].
+
+use std::collections::BTreeSet;
+use std::fmt;
+use sting_scheme::Span;
+
+/// An allocation or call site: a code-object index plus the instruction
+/// index of the `Call` that executed there.  One abstract object stands
+/// for every concrete object a site ever allocates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Site {
+    /// Code object index in the [`Program`](sting_scheme::bytecode::Program).
+    pub code: u32,
+    /// Instruction index within the code object.
+    pub ip: u32,
+}
+
+/// The kind of synchronization object an allocation site produces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SyncKind {
+    /// `make-mutex` — non-reentrant exclusive lock.
+    Mutex,
+    /// `make-semaphore` — counting semaphore.
+    Semaphore,
+    /// `make-barrier` — n-party rendezvous.
+    Barrier,
+    /// `make-channel` — FIFO channel.
+    Channel,
+    /// `make-ts` — tuple space.
+    TupleSpace,
+    /// `make-stream` — stream with cursors.
+    Stream,
+}
+
+impl SyncKind {
+    /// Human-readable noun for diagnostics.
+    pub fn noun(self) -> &'static str {
+        match self {
+            SyncKind::Mutex => "mutex",
+            SyncKind::Semaphore => "semaphore",
+            SyncKind::Barrier => "barrier",
+            SyncKind::Channel => "channel",
+            SyncKind::TupleSpace => "tuple space",
+            SyncKind::Stream => "stream",
+        }
+    }
+}
+
+/// Statically known facts about one synchronization-object allocation site.
+#[derive(Debug, Clone)]
+pub struct ObjInfo {
+    /// What the constructor builds.
+    pub kind: SyncKind,
+    /// Source position of the constructor call.
+    pub span: Span,
+    /// Constant integer constructor argument when statically known
+    /// (barrier parties, initial semaphore permits).
+    pub ctor: Option<i64>,
+}
+
+/// One abstract value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Atom {
+    /// A closure over the given code object.
+    Closure(u32),
+    /// A primitive procedure, by name.
+    Prim(&'static str),
+    /// A synchronization object allocated at the site.
+    Obj(Site),
+    /// A thread forked at the site.
+    Thread(Site),
+    /// A known small integer (constructor arguments).
+    Int(i64),
+    /// Anything the analysis does not track.
+    Opaque,
+}
+
+/// A set of possible [`Atom`]s, widened to `Top` past [`AVal::CAP`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AVal {
+    /// Any value at all (widened).
+    Top,
+    /// One of the listed atoms.
+    Atoms(BTreeSet<Atom>),
+}
+
+impl AVal {
+    /// Widening cap on atom-set size.
+    pub const CAP: usize = 16;
+
+    /// The empty (bottom) value: no value flows here yet.
+    pub fn bot() -> AVal {
+        AVal::Atoms(BTreeSet::new())
+    }
+
+    /// A singleton value.
+    pub fn atom(a: Atom) -> AVal {
+        AVal::Atoms(BTreeSet::from([a]))
+    }
+
+    /// The untracked-but-present value.
+    pub fn opaque() -> AVal {
+        AVal::atom(Atom::Opaque)
+    }
+
+    /// Whether nothing flows here.
+    pub fn is_bot(&self) -> bool {
+        matches!(self, AVal::Atoms(s) if s.is_empty())
+    }
+
+    /// Least upper bound; returns whether `self` changed.
+    pub fn join(&mut self, other: &AVal) -> bool {
+        match (&mut *self, other) {
+            (AVal::Top, _) => false,
+            (_, AVal::Top) => {
+                *self = AVal::Top;
+                true
+            }
+            (AVal::Atoms(a), AVal::Atoms(b)) => {
+                let before = a.len();
+                a.extend(b.iter().copied());
+                if a.len() > AVal::CAP {
+                    *self = AVal::Top;
+                    return true;
+                }
+                a.len() != before
+            }
+        }
+    }
+
+    /// The closure code objects this value may be.
+    pub fn closures(&self) -> Vec<u32> {
+        match self {
+            AVal::Top => Vec::new(),
+            AVal::Atoms(s) => s
+                .iter()
+                .filter_map(|a| match a {
+                    Atom::Closure(c) => Some(*c),
+                    _ => None,
+                })
+                .collect(),
+        }
+    }
+
+    /// The synchronization-object sites this value may be.
+    pub fn obj_sites(&self) -> Vec<Site> {
+        match self {
+            AVal::Top => Vec::new(),
+            AVal::Atoms(s) => s
+                .iter()
+                .filter_map(|a| match a {
+                    Atom::Obj(site) => Some(*site),
+                    _ => None,
+                })
+                .collect(),
+        }
+    }
+
+    /// `Some(n)` when this value is exactly the integer `n`.
+    pub fn as_const_int(&self) -> Option<i64> {
+        match self {
+            AVal::Atoms(s) if s.len() == 1 => match s.iter().next() {
+                Some(Atom::Int(n)) => Some(*n),
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Site {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "code{}@{}", self.code, self.ip)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_widens_past_cap() {
+        let mut v = AVal::bot();
+        for i in 0..(AVal::CAP as i64 + 1) {
+            v.join(&AVal::atom(Atom::Int(i)));
+        }
+        assert_eq!(v, AVal::Top);
+    }
+
+    #[test]
+    fn join_reports_change() {
+        let mut v = AVal::atom(Atom::Opaque);
+        assert!(!v.join(&AVal::atom(Atom::Opaque)));
+        assert!(v.join(&AVal::atom(Atom::Int(1))));
+        assert_eq!(v.as_const_int(), None);
+        assert_eq!(AVal::atom(Atom::Int(3)).as_const_int(), Some(3));
+    }
+}

@@ -1,0 +1,209 @@
+//! # sting-analyze — static concurrency analysis for STING Scheme
+//!
+//! A flow-sensitive abstract interpreter over compiled Scheme bytecode
+//! ([`sting_scheme::bytecode`]) that models the substrate's concurrency
+//! effects — `fork-thread`, mutex acquire/release, semaphores, barrier
+//! arrivals, channel send/recv, tuple-space put/get and stream cursors —
+//! without running the program.  The design follows the abstracted
+//! abstract machine recipe (Might & Van Horn): a monovariant (0-CFA)
+//! value analysis resolves the call graph and collapses every
+//! synchronization object onto its allocation site, then per-abstract-
+//! thread walks over the resolved graph drive four detectors:
+//!
+//! * **lock-order cycles** — two threads that acquire the same mutexes
+//!   in opposite orders (potential deadlock);
+//! * **double acquire** — a non-reentrant mutex acquired again by a
+//!   thread that must already hold it (certain self-deadlock);
+//! * **barrier arity mismatch** — a barrier whose statically-countable
+//!   arrivals cannot match its declared party count;
+//! * **no reachable waker** — an untimed blocking operation (channel
+//!   recv, tuple-space get, cursor read, zero-permit semaphore acquire)
+//!   with no operation anywhere in the program that could wake it.
+//!
+//! The detectors follow an *only-flag-when-certain* policy: objects that
+//! escape into unmodeled code, widen past the atom cap, or are touched
+//! with timeouts are silently skipped, so a clean report means "nothing
+//! provably wrong", not "nothing wrong".  Diagnostics carry real source
+//! positions ([`Span`]) threaded from the reader through the compiler.
+//!
+//! ```
+//! let report = sting_analyze::analyze_source(
+//!     "(define m (make-mutex))\n(mutex-acquire m)\n(mutex-acquire m)",
+//! )
+//! .unwrap();
+//! assert_eq!(report.diagnostics.len(), 1);
+//! assert!(report.diagnostics[0].to_string().contains("3:1"));
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod detect;
+pub mod domain;
+pub mod flow;
+
+use std::fmt;
+use std::path::Path;
+use sting_scheme::bytecode::Program;
+use sting_scheme::{compile, expand, reader, SchemeError, Span};
+
+pub use domain::{Site, SyncKind};
+pub use flow::Flow;
+
+/// What a [`Diagnostic`] reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DiagnosticKind {
+    /// Mutexes acquired in a cyclic order across threads.
+    LockOrderCycle,
+    /// A non-reentrant mutex acquired while already held.
+    DoubleAcquire,
+    /// Barrier party count can never be met exactly.
+    BarrierArity,
+    /// A blocking operation no other operation can wake.
+    NoWaker,
+}
+
+impl DiagnosticKind {
+    /// Short stable tag, e.g. for machine-readable output.
+    pub fn tag(self) -> &'static str {
+        match self {
+            DiagnosticKind::LockOrderCycle => "lock-order-cycle",
+            DiagnosticKind::DoubleAcquire => "double-acquire",
+            DiagnosticKind::BarrierArity => "barrier-arity",
+            DiagnosticKind::NoWaker => "no-waker",
+        }
+    }
+}
+
+/// One analyzer finding, anchored to a source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Category of the finding.
+    pub kind: DiagnosticKind,
+    /// Source position of the offending operation.
+    pub span: Span,
+    /// Human-readable description (self-contained; cites related spans).
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: [{}] {}", self.span, self.kind.tag(), self.message)
+    }
+}
+
+/// One edge of the static lock-order graph: some thread may hold the
+/// mutex created at `held` while acquiring the one created at
+/// `acquired`.  The dynamic audit (`sting-core`) rebuilds the same graph
+/// from trace events, so the two can be cross-checked.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LockEdge {
+    /// Creation site of the mutex already held.
+    pub held: Span,
+    /// Creation site of the mutex being acquired.
+    pub acquired: Span,
+    /// Source position of the acquiring call.
+    pub at: Span,
+    /// Abstract thread performing the acquire.
+    pub thread: String,
+}
+
+impl fmt::Display for LockEdge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} -> {} (acquired at {} on {})",
+            self.held, self.acquired, self.at, self.thread
+        )
+    }
+}
+
+/// The analyzer's output: diagnostics plus the lock-order graph.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// Findings, in detector order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Every recorded lock-order edge (cyclic or not).
+    pub lock_edges: Vec<LockEdge>,
+}
+
+impl Report {
+    /// Whether the analysis found nothing to report.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_clean() {
+            writeln!(f, "no concurrency hazards found")?;
+        }
+        for d in &self.diagnostics {
+            writeln!(f, "{d}")?;
+        }
+        if !self.lock_edges.is_empty() {
+            writeln!(f, "lock-order graph:")?;
+        }
+        for e in &self.lock_edges {
+            writeln!(f, "  {e}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Analyzes an already-compiled program: `tops` are the top-level code
+/// objects in evaluation order (they form the main abstract thread).
+pub fn analyze_program(program: &Program, tops: &[u32]) -> Report {
+    let flow = Flow::analyze(program, tops);
+    let (diagnostics, lock_edges) = detect::Detect::run(&flow);
+    Report {
+        diagnostics,
+        lock_edges,
+    }
+}
+
+/// Reads, expands and compiles `src` with the standard prelude prepended
+/// (so programs resolve the same bindings the interpreter provides),
+/// then analyzes it.
+///
+/// # Errors
+///
+/// Read, expansion or compile errors from the Scheme front end.
+pub fn analyze_source(src: &str) -> Result<Report, SchemeError> {
+    analyze_chunks(&[sting_scheme::PRELUDE, src])
+}
+
+/// Like [`analyze_source`] but without the prelude (for self-contained
+/// programs and tests).
+///
+/// # Errors
+///
+/// Read, expansion or compile errors from the Scheme front end.
+pub fn analyze_source_bare(src: &str) -> Result<Report, SchemeError> {
+    analyze_chunks(&[src])
+}
+
+/// Reads and analyzes a Scheme file (with the prelude).
+///
+/// # Errors
+///
+/// I/O errors (reported as read errors) and front-end errors.
+pub fn analyze_file(path: impl AsRef<Path>) -> Result<Report, SchemeError> {
+    let path = path.as_ref();
+    let src = std::fs::read_to_string(path)
+        .map_err(|e| SchemeError::Read(format!("cannot read {}: {e}", path.display())))?;
+    analyze_source(&src)
+}
+
+fn analyze_chunks(chunks: &[&str]) -> Result<Report, SchemeError> {
+    let mut program = Program::default();
+    let mut tops = Vec::new();
+    for chunk in chunks {
+        for form in reader::read_all(chunk)? {
+            let core = expand::expand_top(&form)?;
+            tops.push(compile::compile_top(&core, &mut program)?);
+        }
+    }
+    Ok(analyze_program(&program, &tops))
+}

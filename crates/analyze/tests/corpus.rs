@@ -1,0 +1,130 @@
+//! The analyzer's acceptance corpus.
+//!
+//! Four programs under `tests/corpus/` each exhibit exactly one hazard
+//! class and must be flagged with a span-bearing diagnostic; every
+//! shipped example program and the prelude itself must come back clean
+//! (the only-flag-when-certain policy means zero diagnostics on working
+//! code is part of the analyzer's contract, not a nice-to-have).
+
+use sting_analyze::{analyze_file, analyze_source, analyze_source_bare, DiagnosticKind, Report};
+
+fn corpus(name: &str) -> Report {
+    let path = format!("{}/tests/corpus/{name}", env!("CARGO_MANIFEST_DIR"));
+    analyze_file(&path).unwrap_or_else(|e| panic!("analyzing {name}: {e}"))
+}
+
+/// Asserts exactly one diagnostic of `kind` whose rendering contains all
+/// of `needles` (span fragments and message keywords).
+fn expect_one(report: &Report, kind: DiagnosticKind, needles: &[&str]) {
+    assert_eq!(
+        report.diagnostics.len(),
+        1,
+        "expected exactly one diagnostic, got:\n{report}"
+    );
+    let d = &report.diagnostics[0];
+    assert_eq!(d.kind, kind, "wrong kind in:\n{report}");
+    let rendered = d.to_string();
+    for needle in needles {
+        assert!(
+            rendered.contains(needle),
+            "missing {needle:?} in {rendered:?}"
+        );
+    }
+}
+
+#[test]
+fn lock_cycle_flagged() {
+    let report = corpus("lock_cycle.scm");
+    // Both creation sites and both threads appear in the one message.
+    expect_one(
+        &report,
+        DiagnosticKind::LockOrderCycle,
+        &["lock-order-cycle", "3:12", "4:12", "acquired in a cycle"],
+    );
+    assert!(
+        report.lock_edges.len() >= 2,
+        "both orders should be in the exported graph:\n{report}"
+    );
+}
+
+#[test]
+fn barrier_arity_flagged() {
+    expect_one(
+        &corpus("barrier_arity.scm"),
+        DiagnosticKind::BarrierArity,
+        &["barrier-arity", "expects 3", "2 arrival"],
+    );
+}
+
+#[test]
+fn double_acquire_flagged() {
+    // The diagnostic anchors at the second acquire and cites the mutex's
+    // creation site.
+    expect_one(
+        &corpus("double_acquire.scm"),
+        DiagnosticKind::DoubleAcquire,
+        &["6:1", "double-acquire", "3:11"],
+    );
+}
+
+#[test]
+fn recv_with_no_sender_flagged() {
+    expect_one(
+        &corpus("recv_no_sender.scm"),
+        DiagnosticKind::NoWaker,
+        &["5:1", "no-waker"],
+    );
+}
+
+#[test]
+fn shipped_examples_are_clean() {
+    let dir = format!("{}/../../examples/scheme", env!("CARGO_MANIFEST_DIR"));
+    let mut checked = 0;
+    for entry in std::fs::read_dir(&dir).unwrap() {
+        let path = entry.unwrap().path();
+        if path.extension().is_some_and(|e| e == "scm") {
+            let report = analyze_file(&path).unwrap_or_else(|e| panic!("{path:?}: {e}"));
+            assert!(
+                report.is_clean(),
+                "false positive on {}:\n{report}",
+                path.display()
+            );
+            checked += 1;
+        }
+    }
+    assert!(checked >= 2, "expected to sweep the example programs");
+}
+
+#[test]
+fn prelude_is_clean() {
+    let report = analyze_source_bare(sting_scheme::PRELUDE).unwrap();
+    assert!(
+        report.is_clean(),
+        "false positive in the prelude:\n{report}"
+    );
+}
+
+#[test]
+fn analysis_is_deterministic() {
+    let first = corpus("lock_cycle.scm");
+    let second = corpus("lock_cycle.scm");
+    assert_eq!(first.diagnostics, second.diagnostics);
+    assert_eq!(first.lock_edges, second.lock_edges);
+}
+
+#[test]
+fn consistent_lock_order_is_clean_but_exported() {
+    let report = analyze_source(
+        "(define a (make-mutex))\n\
+         (define b (make-mutex))\n\
+         (define (go) (with-mutex a (lambda () (with-mutex b (lambda () 1)))))\n\
+         (fork-thread go)\n\
+         (fork-thread go)",
+    )
+    .unwrap();
+    assert!(report.is_clean(), "flagged a consistent order:\n{report}");
+    assert!(
+        !report.lock_edges.is_empty(),
+        "the a->b edge should still be exported"
+    );
+}

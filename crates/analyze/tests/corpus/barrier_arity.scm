@@ -1,0 +1,9 @@
+;; Expect: barrier-arity.  The barrier waits for three parties but only
+;; two threads can ever arrive, so both block forever.
+(define b (make-barrier 3))
+
+(define (phase)
+  (barrier-arrive b))
+
+(fork-thread phase)
+(fork-thread phase)

@@ -1,0 +1,7 @@
+;; Expect: double-acquire.  STING mutexes are not reentrant: the second
+;; acquire blocks on the lock the same thread already holds.
+(define m (make-mutex))
+
+(mutex-acquire m)
+(mutex-acquire m)
+(mutex-release m)

@@ -1,0 +1,19 @@
+;; Expect: lock-order-cycle.  Two threads acquire the same two mutexes in
+;; opposite orders — the classic AB/BA deadlock.
+(define ma (make-mutex))
+(define mb (make-mutex))
+
+(define (ab)
+  (mutex-acquire ma)
+  (mutex-acquire mb)
+  (mutex-release mb)
+  (mutex-release ma))
+
+(define (ba)
+  (mutex-acquire mb)
+  (mutex-acquire ma)
+  (mutex-release ma)
+  (mutex-release mb))
+
+(fork-thread ab)
+(fork-thread ba)

@@ -1,0 +1,5 @@
+;; Expect: no-waker.  The receive can never be satisfied: no reachable
+;; code sends on (or closes) the channel.
+(define ch (make-channel))
+
+(channel-recv ch)

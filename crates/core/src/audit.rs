@@ -87,6 +87,14 @@ pub enum FindingKind {
     /// path failed to deregister, so a structure may still count — or try
     /// to wake — a recycled thread.
     WaiterLeak,
+    /// Two (or more) mutexes were acquired in a cyclic order across
+    /// threads: the per-thread acquire-order graph rebuilt from
+    /// `LockAcquire`/`LockRelease` events contains a cycle.  The observed
+    /// run survived by luck of interleaving, but an adversarial schedule
+    /// deadlocks.  Presence-based, so it needs no truncation gating: a
+    /// missing prefix can only hide held locks and under-report edges,
+    /// never fabricate one.
+    LockOrderInversion,
 }
 
 /// The outcome of [`audit`]: the findings plus how much evidence they rest
@@ -144,6 +152,8 @@ struct ThreadAudit {
     /// Wait-episode generations (low 32 bits) seen cancelled or timed
     /// out; a later claimed wake-up on one of them is a violation.
     dead_episodes: std::collections::HashSet<u32>,
+    /// Mutex ids this thread currently holds (acquire order preserved).
+    held_locks: Vec<u32>,
     /// Lane vector clock: events seen per lane up to this thread's last
     /// involvement.
     clock: Vec<u64>,
@@ -159,6 +169,9 @@ pub fn audit(events: &[TraceEvent], truncated: bool) -> AuditReport {
     let mut lane_clock = vec![0u64; lanes];
     let mut threads: HashMap<u64, ThreadAudit> = HashMap::new();
     let mut findings = Vec::new();
+    // Acquire-order edges: (held, acquired) -> first observation.
+    let mut lock_edges: std::collections::BTreeMap<(u32, u32), (u64, u64, Vec<u64>)> =
+        std::collections::BTreeMap::new();
 
     for e in events {
         lane_clock[e.vp as usize] += 1;
@@ -259,6 +272,21 @@ pub fn audit(events: &[TraceEvent], truncated: bool) -> AuditReport {
                     });
                 }
             }
+            EventKind::LockAcquire => {
+                for &held in &st.held_locks {
+                    if held != e.a {
+                        lock_edges
+                            .entry((held, e.a))
+                            .or_insert_with(|| (e.thread, e.ts_ns, st.clock.clone()));
+                    }
+                }
+                st.held_locks.push(e.a);
+            }
+            EventKind::LockRelease => {
+                if let Some(pos) = st.held_locks.iter().rposition(|&id| id == e.a) {
+                    st.held_locks.remove(pos);
+                }
+            }
             EventKind::Steal
             | EventKind::Block
             | EventKind::Suspend
@@ -291,6 +319,72 @@ pub fn audit(events: &[TraceEvent], truncated: bool) -> AuditReport {
                 ),
             });
         }
+    }
+
+    // Lock-order inversion: cycles in the observed acquire-order graph.
+    // Presence-based, so it runs even on truncated histories.
+    let mut succ: std::collections::BTreeMap<u32, Vec<u32>> = std::collections::BTreeMap::new();
+    for &(h, a) in lock_edges.keys() {
+        succ.entry(h).or_default().push(a);
+    }
+    let reaches = |from: u32, to: u32| -> bool {
+        let mut seen = std::collections::BTreeSet::new();
+        let mut work = vec![from];
+        while let Some(n) = work.pop() {
+            if n == to {
+                return true;
+            }
+            if seen.insert(n) {
+                if let Some(next) = succ.get(&n) {
+                    work.extend(next.iter().copied());
+                }
+            }
+        }
+        false
+    };
+    let mut in_cycle: std::collections::BTreeSet<u32> = std::collections::BTreeSet::new();
+    let mut components: Vec<Vec<u32>> = Vec::new();
+    for &node in succ.keys() {
+        if in_cycle.contains(&node)
+            || !succ
+                .get(&node)
+                .is_some_and(|s| s.iter().any(|&n| reaches(n, node)))
+        {
+            continue;
+        }
+        // All mutexes mutually reachable with `node` form one component.
+        let comp: Vec<u32> = succ
+            .keys()
+            .copied()
+            .filter(|&m| reaches(node, m) && reaches(m, node))
+            .collect();
+        in_cycle.extend(comp.iter().copied());
+        components.push(comp);
+    }
+    for comp in components {
+        // Cite the earliest edge inside the component as the witness.
+        let witness = lock_edges
+            .iter()
+            .filter(|((h, a), _)| comp.contains(h) && comp.contains(a))
+            .min_by_key(|(_, (_, ts, _))| *ts);
+        let (&(h, a), &(thread, ts_ns, ref clock)) =
+            witness.expect("a cycle component has at least one internal edge");
+        let mutexes = comp
+            .iter()
+            .map(|id| id.to_string())
+            .collect::<Vec<_>>()
+            .join(", ");
+        findings.push(Finding {
+            kind: FindingKind::LockOrderInversion,
+            thread,
+            ts_ns,
+            clock: clock.clone(),
+            detail: format!(
+                "mutexes {{{mutexes}}} were acquired in inconsistent orders across \
+                 threads (first witnessed: thread {thread} acquired mutex {a} while \
+                 holding mutex {h})"
+            ),
+        });
     }
 
     AuditReport {

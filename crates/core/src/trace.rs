@@ -84,6 +84,13 @@ pub enum EventKind {
     /// The reactor driver delivered fd readiness as a claimed wake-up;
     /// payload `a` is the fd, `b` the readiness mask.
     IoReady = 16,
+    /// The running thread acquired a mutex; payload `a` is the mutex id.
+    /// Together with [`EventKind::LockRelease`] this reconstructs each
+    /// thread's lock-nesting order, which the audit cross-checks against
+    /// the static analyzer's lock-order graph.
+    LockAcquire = 17,
+    /// The running thread released a mutex; payload `a` is the mutex id.
+    LockRelease = 18,
 }
 
 impl EventKind {
@@ -107,6 +114,8 @@ impl EventKind {
             14 => WaiterCancelled,
             15 => IoWait,
             16 => IoReady,
+            17 => LockAcquire,
+            18 => LockRelease,
             _ => return None,
         })
     }
@@ -132,6 +141,8 @@ impl EventKind {
             WaiterCancelled => "waiter-cancelled",
             IoWait => "io-wait",
             IoReady => "io-ready",
+            LockAcquire => "lock-acquire",
+            LockRelease => "lock-release",
         }
     }
 }
@@ -439,6 +450,7 @@ pub fn text_dump(events: &[TraceEvent]) -> String {
                 format!(" (fd {}, mask {:#b})", e.a, e.b)
             }
             EventKind::Unblock if e.b != 0 => format!(" (vp {}, claimed gen {})", e.a, e.b),
+            EventKind::LockAcquire | EventKind::LockRelease => format!(" (mutex {})", e.a),
             _ if e.a != 0 || e.b != 0 => format!(" (a={}, b={})", e.a, e.b),
             _ => String::new(),
         };

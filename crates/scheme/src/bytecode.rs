@@ -6,6 +6,7 @@
 //! snapshot they were created against, so compilation never interferes
 //! with running code.
 
+use crate::sexp::Span;
 use sting_value::{Symbol, Value};
 
 /// One bytecode instruction.  Jump offsets are relative to the *next*
@@ -59,6 +60,23 @@ pub struct CodeObject {
     pub rest: bool,
     /// Diagnostic name.
     pub name: Option<Symbol>,
+    /// Source position per instruction (parallel to `ops`; the span of the
+    /// innermost enclosing surface form, [`Span::NONE`] when unknown).
+    pub spans: Vec<Span>,
+    /// Source position of the defining `lambda`/`define` form.
+    pub span: Span,
+}
+
+impl CodeObject {
+    /// The source span of instruction `ip`, falling back to the code
+    /// object's definition span.
+    pub fn span_at(&self, ip: usize) -> Span {
+        self.spans
+            .get(ip)
+            .copied()
+            .unwrap_or(Span::NONE)
+            .or(self.span)
+    }
 }
 
 /// An immutable snapshot of compiled code, constants and global names.

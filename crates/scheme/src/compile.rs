@@ -4,7 +4,7 @@
 use crate::bytecode::{CodeObject, Op, Program};
 use crate::error::SchemeError;
 use crate::expand::Core;
-use crate::sexp::Sexp;
+use crate::sexp::{Sexp, Span};
 use sting_value::{Symbol, Value};
 
 /// Compile-time lexical environment: a stack of frames of variable names.
@@ -44,22 +44,27 @@ pub fn compile_top(core: &Core, program: &mut Program) -> Result<u32, SchemeErro
         program,
         env: CEnv::default(),
         ops: Vec::new(),
+        spans: Vec::new(),
+        cur_span: Span::NONE,
     };
     match core {
         Core::Define(name, value) => {
             c.expr(value, false)?;
             let slot = c.program.global_slot(*name);
-            c.ops.push(Op::SetGlobal(slot));
+            c.emit(Op::SetGlobal(slot));
         }
         other => c.expr(other, false)?,
     }
-    c.ops.push(Op::Return);
+    c.emit(Op::Return);
     let ops = c.ops;
+    let spans = c.spans;
     Ok(program.add_code(CodeObject {
         ops,
         arity: 0,
         rest: false,
         name: None,
+        spans,
+        span: Span::NONE,
     }))
 }
 
@@ -67,6 +72,10 @@ struct Compiler<'a> {
     program: &'a mut Program,
     env: CEnv,
     ops: Vec<Op>,
+    /// Source span per emitted op, parallel to `ops`.
+    spans: Vec<Span>,
+    /// Span of the innermost enclosing surface form being compiled.
+    cur_span: Span,
 }
 
 impl Compiler<'_> {
@@ -74,15 +83,20 @@ impl Compiler<'_> {
         SchemeError::Compile(msg.into())
     }
 
+    fn emit(&mut self, op: Op) {
+        self.ops.push(op);
+        self.spans.push(self.cur_span);
+    }
+
     fn expr(&mut self, e: &Core, tail: bool) -> Result<(), SchemeError> {
         match e {
             Core::Quote(d) => self.constant(d),
             Core::Var(name) => {
                 match self.env.lookup(*name) {
-                    Some((depth, idx)) => self.ops.push(Op::Local(depth, idx)),
+                    Some((depth, idx)) => self.emit(Op::Local(depth, idx)),
                     None => {
                         let slot = self.program.global_slot(*name);
-                        self.ops.push(Op::Global(slot));
+                        self.emit(Op::Global(slot));
                     }
                 }
                 Ok(())
@@ -90,10 +104,10 @@ impl Compiler<'_> {
             Core::Set(name, value) => {
                 self.expr(value, false)?;
                 match self.env.lookup(*name) {
-                    Some((depth, idx)) => self.ops.push(Op::SetLocal(depth, idx)),
+                    Some((depth, idx)) => self.emit(Op::SetLocal(depth, idx)),
                     None => {
                         let slot = self.program.global_slot(*name);
-                        self.ops.push(Op::SetGlobal(slot));
+                        self.emit(Op::SetGlobal(slot));
                     }
                 }
                 Ok(())
@@ -101,10 +115,10 @@ impl Compiler<'_> {
             Core::If(cond, then, els) => {
                 self.expr(cond, false)?;
                 let jf = self.ops.len();
-                self.ops.push(Op::JumpIfFalse(0));
+                self.emit(Op::JumpIfFalse(0));
                 self.expr(then, tail)?;
                 let jend = self.ops.len();
-                self.ops.push(Op::Jump(0));
+                self.emit(Op::Jump(0));
                 let else_start = self.ops.len();
                 self.ops[jf] = Op::JumpIfFalse((else_start - jf - 1) as i32);
                 self.expr(els, tail)?;
@@ -117,7 +131,7 @@ impl Compiler<'_> {
                     let last = i + 1 == body.len();
                     self.expr(b, tail && last)?;
                     if !last {
-                        self.ops.push(Op::Pop);
+                        self.emit(Op::Pop);
                     }
                 }
                 Ok(())
@@ -127,32 +141,37 @@ impl Compiler<'_> {
                 rest,
                 body,
                 name,
+                span,
             } => {
-                let code = self.lambda(params, *rest, body, *name)?;
-                self.ops.push(Op::Closure(code));
+                let code = self.lambda(params, *rest, body, *name, *span)?;
+                self.emit(Op::Closure(code));
                 Ok(())
             }
-            Core::Call(f, args) => {
+            Core::Call(f, args, span) => {
+                let call_span = span.or(self.cur_span);
+                let saved = self.cur_span;
+                self.cur_span = call_span;
                 self.expr(f, false)?;
                 for a in args {
                     self.expr(a, false)?;
                 }
                 let n = u8::try_from(args.len())
                     .map_err(|_| Self::err("too many arguments (max 255)"))?;
-                self.ops
-                    .push(if tail { Op::TailCall(n) } else { Op::Call(n) });
+                self.cur_span = call_span;
+                self.emit(if tail { Op::TailCall(n) } else { Op::Call(n) });
+                self.cur_span = saved;
                 Ok(())
             }
             Core::Try { body, var, handler } => {
                 // (%try (lambda () body) (lambda (var) handler...))
                 let try_sym = self.program.global_slot(Symbol::intern("%try"));
-                self.ops.push(Op::Global(try_sym));
-                let body_code = self.lambda(&[], None, std::slice::from_ref(body), None)?;
-                self.ops.push(Op::Closure(body_code));
-                let handler_code = self.lambda(&[*var], None, handler, None)?;
-                self.ops.push(Op::Closure(handler_code));
-                self.ops
-                    .push(if tail { Op::TailCall(2) } else { Op::Call(2) });
+                self.emit(Op::Global(try_sym));
+                let body_code =
+                    self.lambda(&[], None, std::slice::from_ref(body), None, self.cur_span)?;
+                self.emit(Op::Closure(body_code));
+                let handler_code = self.lambda(&[*var], None, handler, None, self.cur_span)?;
+                self.emit(Op::Closure(handler_code));
+                self.emit(if tail { Op::TailCall(2) } else { Op::Call(2) });
                 Ok(())
             }
             Core::Define(..) => Err(Self::err(
@@ -167,6 +186,7 @@ impl Compiler<'_> {
         rest: Option<Symbol>,
         body: &[Core],
         name: Option<Symbol>,
+        span: Span,
     ) -> Result<u32, SchemeError> {
         let mut frame: Vec<Symbol> = params.to_vec();
         if let Some(r) = rest {
@@ -176,6 +196,8 @@ impl Compiler<'_> {
             u8::try_from(params.len()).map_err(|_| Self::err("too many parameters (max 255)"))?;
         self.env.push(frame);
         let saved_ops = std::mem::take(&mut self.ops);
+        let saved_spans = std::mem::take(&mut self.spans);
+        let saved_cur = std::mem::replace(&mut self.cur_span, span);
         let result = (|| -> Result<(), SchemeError> {
             if body.is_empty() {
                 return Err(Self::err("empty lambda body"));
@@ -184,13 +206,15 @@ impl Compiler<'_> {
                 let last = i + 1 == body.len();
                 self.expr(b, last)?;
                 if !last {
-                    self.ops.push(Op::Pop);
+                    self.emit(Op::Pop);
                 }
             }
-            self.ops.push(Op::Return);
+            self.emit(Op::Return);
             Ok(())
         })();
         let ops = std::mem::replace(&mut self.ops, saved_ops);
+        let spans = std::mem::replace(&mut self.spans, saved_spans);
+        self.cur_span = saved_cur;
         self.env.pop();
         result?;
         Ok(self.program.add_code(CodeObject {
@@ -198,21 +222,23 @@ impl Compiler<'_> {
             arity,
             rest: rest.is_some(),
             name,
+            spans,
+            span,
         }))
     }
 
     fn constant(&mut self, d: &Sexp) -> Result<(), SchemeError> {
         match d {
-            Sexp::Bool(true) => self.ops.push(Op::True),
-            Sexp::Bool(false) => self.ops.push(Op::False),
+            Sexp::Bool(true) => self.emit(Op::True),
+            Sexp::Bool(false) => self.emit(Op::False),
             Sexp::Int(i) if i32::try_from(*i).is_ok() => {
-                self.ops.push(Op::Int(*i as i32));
+                self.emit(Op::Int(*i as i32));
             }
-            Sexp::List(items, None) if items.is_empty() => self.ops.push(Op::Nil),
+            Sexp::List(items, None, _) if items.is_empty() => self.emit(Op::Nil),
             other => {
                 let v = sexp_to_value(other)?;
                 let k = self.program.add_constant(v);
-                self.ops.push(Op::Const(k));
+                self.emit(Op::Const(k));
             }
         }
         Ok(())
@@ -232,7 +258,7 @@ pub fn sexp_to_value(d: &Sexp) -> Result<Value, SchemeError> {
         Sexp::Char(c) => Value::Char(*c),
         Sexp::Str(s) => Value::from(s.as_str()),
         Sexp::Sym(s) => Value::Sym(*s),
-        Sexp::List(items, tail) => {
+        Sexp::List(items, tail, _) => {
             let mut v = match tail {
                 Some(t) => sexp_to_value(t)?,
                 None => Value::Nil,

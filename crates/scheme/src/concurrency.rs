@@ -16,7 +16,7 @@ use sting_core::net::{TcpListener, TcpStream, LOCALHOST};
 use sting_core::tc::{self, Cx};
 use sting_core::thread::{Thread, ThreadResult};
 use sting_core::ThreadState;
-use sting_sync::{Barrier, Mutex, Semaphore, Stream, StreamCursor};
+use sting_sync::{Barrier, Channel, Mutex, Semaphore, Stream, StreamCursor};
 use sting_tuple::{formal, lit, SpaceKind, Template, TemplateField, TupleSpace};
 use sting_value::{Symbol, Value};
 
@@ -483,6 +483,56 @@ pub(crate) fn add_defs(v: &mut Vec<Def>) {
         } else {
             Ok(Val::Bool(b.arrive()))
         }
+    });
+
+    // --- channels --------------------------------------------------------
+    def!("make-channel", 0, Some(1), |m, a| {
+        // (make-channel [capacity]): unbounded without a capacity.
+        let ch = if a > 0 {
+            Channel::bounded(want_int(m, a, 0, "make-channel")? as usize)
+        } else {
+            Channel::unbounded()
+        };
+        Ok(m.native(ch.to_value()))
+    });
+    def!("channel-send", 2, Some(2), |m, a| {
+        let ch = want_native::<Channel>(m, a, 0, "channel-send")?;
+        let v = m.arg(a, 1);
+        let sv = m.to_value(v)?;
+        ch.send(sv)
+            .map_err(|e| rerr(format!("channel-send: {e}")))?;
+        Ok(Val::Unit)
+    });
+    def!("channel-recv", 1, Some(2), |m, a| {
+        // (channel-recv ch [ms]): blocks for the next value; eof-object
+        // once the channel is closed and drained; with a timeout, the
+        // symbol `timeout` if nothing arrived in time.
+        let ch = want_native::<Channel>(m, a, 0, "channel-recv")?;
+        if a > 1 {
+            let ms = want_ms(m, a, 1, "channel-recv")?;
+            match ch.recv_timeout(ms) {
+                Ok(Some(v)) => Ok(m.from_value(&v)),
+                Ok(None) => Ok(Val::Eof),
+                Err(_) => Ok(Val::Sym(Symbol::intern("timeout").index())),
+            }
+        } else {
+            match ch.recv() {
+                Some(v) => Ok(m.from_value(&v)),
+                None => Ok(Val::Eof),
+            }
+        }
+    });
+    def!("channel-try-recv", 1, Some(1), |m, a| {
+        // Non-blocking: #f when nothing is immediately available.
+        let ch = want_native::<Channel>(m, a, 0, "channel-try-recv")?;
+        match ch.try_recv() {
+            Some(v) => Ok(m.from_value(&v)),
+            None => Ok(Val::Bool(false)),
+        }
+    });
+    def!("channel-close", 1, Some(1), |m, a| {
+        want_native::<Channel>(m, a, 0, "channel-close")?.close();
+        Ok(Val::Unit)
     });
 
     // --- streams ---------------------------------------------------------

@@ -7,7 +7,7 @@
 //! rewritten here.
 
 use crate::error::SchemeError;
-use crate::sexp::Sexp;
+use crate::sexp::{Sexp, Span};
 use sting_value::Symbol;
 
 /// A core expression.
@@ -31,11 +31,13 @@ pub enum Core {
         body: Vec<Core>,
         /// Name, for diagnostics (from `define` when available).
         name: Option<Symbol>,
+        /// Source position of the `lambda`/`define` form, if known.
+        span: Span,
     },
     /// Sequencing.
     Begin(Vec<Core>),
-    /// Application.
-    Call(Box<Core>, Vec<Core>),
+    /// Application; the [`Span`] is the call site.
+    Call(Box<Core>, Vec<Core>, Span),
     /// Exception handler: evaluate the first expression; on a raise, bind
     /// the raised value and evaluate the handler body.
     Try {
@@ -65,10 +67,10 @@ fn err(msg: impl Into<String>) -> SchemeError {
 /// [`SchemeError::Syntax`] on malformed special forms.
 pub fn expand_top(s: &Sexp) -> Result<Core, SchemeError> {
     match s {
-        Sexp::List(items, None) if !items.is_empty() => {
+        Sexp::List(items, None, span) if !items.is_empty() => {
             if let Some(head) = items[0].as_sym() {
                 if head == sym("define") {
-                    return expand_define(&items[1..]);
+                    return expand_define(&items[1..], *span);
                 }
             }
             expand(s)
@@ -77,10 +79,10 @@ pub fn expand_top(s: &Sexp) -> Result<Core, SchemeError> {
     }
 }
 
-fn expand_define(rest: &[Sexp]) -> Result<Core, SchemeError> {
+fn expand_define(rest: &[Sexp], span: Span) -> Result<Core, SchemeError> {
     match rest {
         // (define (f a b . r) body...)
-        [Sexp::List(sig, tail), body @ ..] if !sig.is_empty() => {
+        [Sexp::List(sig, tail, _), body @ ..] if !sig.is_empty() => {
             let name = sig[0]
                 .as_sym()
                 .ok_or_else(|| err("define: procedure name must be a symbol"))?;
@@ -103,6 +105,7 @@ fn expand_define(rest: &[Sexp]) -> Result<Core, SchemeError> {
                     rest: rest_param,
                     body,
                     name: Some(name),
+                    span,
                 }),
             ))
         }
@@ -131,9 +134,10 @@ pub fn expand(s: &Sexp) -> Result<Core, SchemeError> {
         | Sexp::Str(_)
         | Sexp::Vector(_) => Ok(Core::Quote(s.clone())),
         Sexp::Sym(v) => Ok(Core::Var(*v)),
-        Sexp::List(items, None) if items.is_empty() => Err(err("empty application ()")),
-        Sexp::List(_, Some(_)) => Err(err(format!("dotted expression {s}"))),
-        Sexp::List(items, None) => {
+        Sexp::List(items, None, _) if items.is_empty() => Err(err("empty application ()")),
+        Sexp::List(_, Some(_), _) => Err(err(format!("dotted expression {s}"))),
+        Sexp::List(items, None, span) => {
+            let span = *span;
             let head = items[0].as_sym();
             let rest = &items[1..];
             match head.map(|h| h.as_str().to_string()).as_deref() {
@@ -158,7 +162,7 @@ pub fn expand(s: &Sexp) -> Result<Core, SchemeError> {
                     [Sexp::Sym(v), e] => Ok(Core::Set(*v, Box::new(expand(e)?))),
                     _ => Err(err("set!: expected symbol and expression")),
                 },
-                Some("lambda") => expand_lambda(rest, None),
+                Some("lambda") => expand_lambda(rest, None, span),
                 Some("begin") => {
                     if rest.is_empty() {
                         Ok(Core::Quote(Sexp::Bool(false)))
@@ -167,11 +171,11 @@ pub fn expand(s: &Sexp) -> Result<Core, SchemeError> {
                     }
                 }
                 Some("define") => Err(err("define only allowed at top level or body start")),
-                Some("let") => expand_let(rest),
-                Some("let*") => expand_let_star(rest),
-                Some("letrec") | Some("letrec*") => expand_letrec(rest),
+                Some("let") => expand_let(rest, span),
+                Some("let*") => expand_let_star(rest, span),
+                Some("letrec") | Some("letrec*") => expand_letrec(rest, span),
                 Some("cond") => expand_cond(rest),
-                Some("case") => expand_case(rest),
+                Some("case") => expand_case(rest, span),
                 Some("and") => Ok(expand_and(rest)?),
                 Some("or") => Ok(expand_or(rest)?),
                 Some("when") => match rest {
@@ -190,8 +194,8 @@ pub fn expand(s: &Sexp) -> Result<Core, SchemeError> {
                     )),
                     _ => Err(err("unless: expected condition and body")),
                 },
-                Some("while") => expand_while(rest),
-                Some("do") => expand_do(rest),
+                Some("while") => expand_while(rest, span),
+                Some("do") => expand_do(rest, span),
                 Some("quasiquote") => match rest {
                     [t] => expand(&qq(t, 1)?),
                     _ => Err(err("quasiquote: expected one template")),
@@ -209,7 +213,9 @@ pub fn expand(s: &Sexp) -> Result<Core, SchemeError> {
                             rest: None,
                             body: vec![expand(e)?],
                             name: None,
+                            span,
                         }],
+                        span,
                     )),
                     _ => Err(err("delay: expected one expression")),
                 },
@@ -222,27 +228,29 @@ pub fn expand(s: &Sexp) -> Result<Core, SchemeError> {
                             rest: None,
                             body: vec![expand(e)?],
                             name: None,
+                            span,
                         }],
+                        span,
                     )),
                     _ => Err(err("future: expected one expression")),
                 },
                 _ => {
                     let f = expand(&items[0])?;
                     let args = rest.iter().map(expand).collect::<Result<Vec<_>, _>>()?;
-                    Ok(Core::Call(Box::new(f), args))
+                    Ok(Core::Call(Box::new(f), args, span))
                 }
             }
         }
     }
 }
 
-fn expand_lambda(rest: &[Sexp], name: Option<Symbol>) -> Result<Core, SchemeError> {
+fn expand_lambda(rest: &[Sexp], name: Option<Symbol>, span: Span) -> Result<Core, SchemeError> {
     match rest {
         [formals, body @ ..] if !body.is_empty() => {
             let (params, rest_param) = match formals {
                 // (lambda args body) — all-rest
                 Sexp::Sym(r) => (Vec::new(), Some(*r)),
-                Sexp::List(ps, tail) => {
+                Sexp::List(ps, tail, _) => {
                     let params = ps
                         .iter()
                         .map(|p| p.as_sym().ok_or_else(|| err("lambda: bad parameter")))
@@ -263,6 +271,7 @@ fn expand_lambda(rest: &[Sexp], name: Option<Symbol>) -> Result<Core, SchemeErro
                 rest: rest_param,
                 body: expand_body(body)?,
                 name,
+                span,
             })
         }
         _ => Err(err("lambda: expected formals and body")),
@@ -274,10 +283,10 @@ fn expand_body(body: &[Sexp]) -> Result<Vec<Core>, SchemeError> {
     let mut defines = Vec::new();
     let mut i = 0;
     while i < body.len() && body[i].is_form("define") {
-        let Sexp::List(items, None) = &body[i] else {
+        let Sexp::List(items, None, span) = &body[i] else {
             unreachable!()
         };
-        match expand_define(&items[1..])? {
+        match expand_define(&items[1..], *span)? {
             Core::Define(name, value) => defines.push((name, *value)),
             _ => unreachable!("expand_define yields Define"),
         }
@@ -303,9 +312,10 @@ fn expand_body(body: &[Sexp]) -> Result<Vec<Core>, SchemeError> {
         rest: None,
         body: inner,
         name: None,
+        span: Span::NONE,
     };
     let args = vec![Core::Quote(Sexp::Bool(false)); lam_params_len(&lam)];
-    Ok(vec![Core::Call(Box::new(lam), args)])
+    Ok(vec![Core::Call(Box::new(lam), args, Span::NONE)])
 }
 
 fn lam_params_len(l: &Core) -> usize {
@@ -315,66 +325,73 @@ fn lam_params_len(l: &Core) -> usize {
     }
 }
 
-fn expand_let(rest: &[Sexp]) -> Result<Core, SchemeError> {
+fn expand_let(rest: &[Sexp], span: Span) -> Result<Core, SchemeError> {
     match rest {
         // Named let: (let loop ((v e)...) body...)
-        [Sexp::Sym(name), Sexp::List(bindings, None), body @ ..] if !body.is_empty() => {
+        [Sexp::Sym(name), Sexp::List(bindings, None, _), body @ ..] if !body.is_empty() => {
             let (vars, inits) = split_bindings(bindings)?;
             // ((letrec ((name (lambda (vars) body))) name) inits...)
-            let lam = Sexp::list(
+            let lam = Sexp::list_at(
                 [
                     vec![Sexp::sym("lambda"), Sexp::list(vars.clone())],
                     body.to_vec(),
                 ]
                 .concat(),
+                span,
             );
-            let letrec = Sexp::list(vec![
-                Sexp::sym("letrec"),
-                Sexp::list(vec![Sexp::list(vec![Sexp::Sym(*name), lam])]),
-                Sexp::Sym(*name),
-            ]);
-            let call = Sexp::list([vec![letrec], inits].concat());
+            let letrec = Sexp::list_at(
+                vec![
+                    Sexp::sym("letrec"),
+                    Sexp::list(vec![Sexp::list(vec![Sexp::Sym(*name), lam])]),
+                    Sexp::Sym(*name),
+                ],
+                span,
+            );
+            let call = Sexp::list_at([vec![letrec], inits].concat(), span);
             expand(&call)
         }
-        [Sexp::List(bindings, None), body @ ..] if !body.is_empty() => {
+        [Sexp::List(bindings, None, _), body @ ..] if !body.is_empty() => {
             let (vars, inits) = split_bindings(bindings)?;
-            let lam =
-                Sexp::list([vec![Sexp::sym("lambda"), Sexp::list(vars)], body.to_vec()].concat());
-            expand(&Sexp::list([vec![lam], inits].concat()))
+            let lam = Sexp::list_at(
+                [vec![Sexp::sym("lambda"), Sexp::list(vars)], body.to_vec()].concat(),
+                span,
+            );
+            expand(&Sexp::list_at([vec![lam], inits].concat(), span))
         }
         _ => Err(err("let: malformed")),
     }
 }
 
-fn expand_let_star(rest: &[Sexp]) -> Result<Core, SchemeError> {
+fn expand_let_star(rest: &[Sexp], span: Span) -> Result<Core, SchemeError> {
     match rest {
-        [Sexp::List(bindings, None), body @ ..] if !body.is_empty() => {
+        [Sexp::List(bindings, None, _), body @ ..] if !body.is_empty() => {
             if bindings.is_empty() {
-                return expand(&Sexp::list(
+                return expand(&Sexp::list_at(
                     [vec![Sexp::sym("let"), Sexp::list(vec![])], body.to_vec()].concat(),
+                    span,
                 ));
             }
             let first = bindings[0].clone();
-            let rest_b = Sexp::list(
+            let rest_b = Sexp::list_at(
                 [
                     vec![Sexp::sym("let*"), Sexp::list(bindings[1..].to_vec())],
                     body.to_vec(),
                 ]
                 .concat(),
+                span,
             );
-            expand(&Sexp::list(vec![
-                Sexp::sym("let"),
-                Sexp::list(vec![first]),
-                rest_b,
-            ]))
+            expand(&Sexp::list_at(
+                vec![Sexp::sym("let"), Sexp::list(vec![first]), rest_b],
+                span,
+            ))
         }
         _ => Err(err("let*: malformed")),
     }
 }
 
-fn expand_letrec(rest: &[Sexp]) -> Result<Core, SchemeError> {
+fn expand_letrec(rest: &[Sexp], span: Span) -> Result<Core, SchemeError> {
     match rest {
-        [Sexp::List(bindings, None), body @ ..] if !body.is_empty() => {
+        [Sexp::List(bindings, None, _), body @ ..] if !body.is_empty() => {
             let (vars, inits) = split_bindings(bindings)?;
             // (let ((v #f)...) (set! v init)... body...)
             let false_bindings: Vec<Sexp> = vars
@@ -386,13 +403,14 @@ fn expand_letrec(rest: &[Sexp]) -> Result<Core, SchemeError> {
                 .zip(&inits)
                 .map(|(v, i)| Sexp::list(vec![Sexp::sym("set!"), v.clone(), i.clone()]))
                 .collect();
-            expand(&Sexp::list(
+            expand(&Sexp::list_at(
                 [
                     vec![Sexp::sym("let"), Sexp::list(false_bindings)],
                     sets,
                     body.to_vec(),
                 ]
                 .concat(),
+                span,
             ))
         }
         _ => Err(err("letrec: malformed")),
@@ -404,7 +422,7 @@ fn split_bindings(bindings: &[Sexp]) -> Result<(Vec<Sexp>, Vec<Sexp>), SchemeErr
     let mut inits = Vec::new();
     for b in bindings {
         match b {
-            Sexp::List(pair, None) if pair.len() == 2 && pair[0].as_sym().is_some() => {
+            Sexp::List(pair, None, _) if pair.len() == 2 && pair[0].as_sym().is_some() => {
                 vars.push(pair[0].clone());
                 inits.push(pair[1].clone());
             }
@@ -418,7 +436,7 @@ fn expand_cond(clauses: &[Sexp]) -> Result<Core, SchemeError> {
     match clauses {
         [] => Ok(Core::Quote(Sexp::Bool(false))),
         [clause, more @ ..] => match clause {
-            Sexp::List(c, None) if !c.is_empty() => {
+            Sexp::List(c, None, clause_span) if !c.is_empty() => {
                 let is_else = c[0].as_sym() == Some(Symbol::intern("else"));
                 if is_else {
                     if !more.is_empty() {
@@ -442,8 +460,10 @@ fn expand_cond(clauses: &[Sexp]) -> Result<Core, SchemeError> {
                                 Box::new(rest_core),
                             )],
                             name: None,
+                            span: *clause_span,
                         }),
                         vec![test],
+                        *clause_span,
                     ));
                 }
                 Ok(Core::If(
@@ -457,7 +477,7 @@ fn expand_cond(clauses: &[Sexp]) -> Result<Core, SchemeError> {
     }
 }
 
-fn expand_case(rest: &[Sexp]) -> Result<Core, SchemeError> {
+fn expand_case(rest: &[Sexp], span: Span) -> Result<Core, SchemeError> {
     // (case key ((d1 d2) body...) ... (else body...))
     match rest {
         [key, clauses @ ..] => {
@@ -465,7 +485,7 @@ fn expand_case(rest: &[Sexp]) -> Result<Core, SchemeError> {
             let mut cond_clauses: Vec<Sexp> = Vec::new();
             for c in clauses {
                 match c {
-                    Sexp::List(items, None) if !items.is_empty() => {
+                    Sexp::List(items, None, _) if !items.is_empty() => {
                         if items[0].as_sym() == Some(Symbol::intern("else")) {
                             cond_clauses.push(c.clone());
                         } else {
@@ -481,12 +501,15 @@ fn expand_case(rest: &[Sexp]) -> Result<Core, SchemeError> {
                     _ => return Err(err("case: bad clause")),
                 }
             }
-            let cond = Sexp::list([vec![Sexp::sym("cond")], cond_clauses].concat());
-            expand(&Sexp::list(vec![
-                Sexp::sym("let"),
-                Sexp::list(vec![Sexp::list(vec![Sexp::Sym(k), key.clone()])]),
-                cond,
-            ]))
+            let cond = Sexp::list_at([vec![Sexp::sym("cond")], cond_clauses].concat(), span);
+            expand(&Sexp::list_at(
+                vec![
+                    Sexp::sym("let"),
+                    Sexp::list(vec![Sexp::list(vec![Sexp::Sym(k), key.clone()])]),
+                    cond,
+                ],
+                span,
+            ))
         }
         _ => Err(err("case: malformed")),
     }
@@ -520,47 +543,48 @@ fn expand_or(rest: &[Sexp]) -> Result<Core, SchemeError> {
                         Box::new(expand_or(more)?),
                     )],
                     name: None,
+                    span: e.span(),
                 }),
                 vec![expand(e)?],
+                e.span(),
             ))
         }
     }
 }
 
-fn expand_while(rest: &[Sexp]) -> Result<Core, SchemeError> {
+fn expand_while(rest: &[Sexp], span: Span) -> Result<Core, SchemeError> {
     match rest {
         [test, body @ ..] if !body.is_empty() => {
             // (let loop () (when test body... (loop)))
             let loop_sym = Sexp::sym("%while-loop");
-            let when = Sexp::list(
+            let when = Sexp::list_at(
                 [
                     vec![Sexp::sym("when"), test.clone()],
                     body.to_vec(),
-                    vec![Sexp::list(vec![loop_sym.clone()])],
+                    vec![Sexp::list_at(vec![loop_sym.clone()], span)],
                 ]
                 .concat(),
+                span,
             );
-            expand(&Sexp::list(vec![
-                Sexp::sym("let"),
-                loop_sym,
-                Sexp::list(vec![]),
-                when,
-            ]))
+            expand(&Sexp::list_at(
+                vec![Sexp::sym("let"), loop_sym, Sexp::list(vec![]), when],
+                span,
+            ))
         }
         _ => Err(err("while: expected test and body")),
     }
 }
 
-fn expand_do(rest: &[Sexp]) -> Result<Core, SchemeError> {
+fn expand_do(rest: &[Sexp], span: Span) -> Result<Core, SchemeError> {
     // (do ((var init step)...) (test result...) body...)
     match rest {
-        [Sexp::List(specs, None), Sexp::List(exit, None), body @ ..] if !exit.is_empty() => {
+        [Sexp::List(specs, None, _), Sexp::List(exit, None, _), body @ ..] if !exit.is_empty() => {
             let mut vars = Vec::new();
             let mut inits = Vec::new();
             let mut steps = Vec::new();
             for s in specs {
                 match s {
-                    Sexp::List(parts, None) => match parts.as_slice() {
+                    Sexp::List(parts, None, _) => match parts.as_slice() {
                         [v, i] => {
                             vars.push(v.clone());
                             inits.push(i.clone());
@@ -577,29 +601,36 @@ fn expand_do(rest: &[Sexp]) -> Result<Core, SchemeError> {
                 }
             }
             let loop_sym = Sexp::sym("%do-loop");
-            let recur = Sexp::list([vec![loop_sym.clone()], steps].concat());
+            let recur = Sexp::list_at([vec![loop_sym.clone()], steps].concat(), span);
             let result = if exit.len() > 1 {
-                Sexp::list([vec![Sexp::sym("begin")], exit[1..].to_vec()].concat())
+                Sexp::list_at(
+                    [vec![Sexp::sym("begin")], exit[1..].to_vec()].concat(),
+                    span,
+                )
             } else {
                 Sexp::Bool(false)
             };
-            let if_form = Sexp::list(vec![
-                Sexp::sym("if"),
-                exit[0].clone(),
-                result,
-                Sexp::list([vec![Sexp::sym("begin")], body.to_vec(), vec![recur]].concat()),
-            ]);
+            let if_form = Sexp::list_at(
+                vec![
+                    Sexp::sym("if"),
+                    exit[0].clone(),
+                    result,
+                    Sexp::list_at(
+                        [vec![Sexp::sym("begin")], body.to_vec(), vec![recur]].concat(),
+                        span,
+                    ),
+                ],
+                span,
+            );
             let bindings: Vec<Sexp> = vars
                 .iter()
                 .zip(&inits)
                 .map(|(v, i)| Sexp::list(vec![v.clone(), i.clone()]))
                 .collect();
-            expand(&Sexp::list(vec![
-                Sexp::sym("let"),
-                loop_sym,
-                Sexp::list(bindings),
-                if_form,
-            ]))
+            expand(&Sexp::list_at(
+                vec![Sexp::sym("let"), loop_sym, Sexp::list(bindings), if_form],
+                span,
+            ))
         }
         _ => Err(err("do: malformed")),
     }
@@ -609,11 +640,11 @@ fn expand_try(rest: &[Sexp]) -> Result<Core, SchemeError> {
     // (try E (catch (x) H...))
     match rest {
         [body, catch] if catch.is_form("catch") => {
-            let Sexp::List(c, None) = catch else {
+            let Sexp::List(c, None, _) = catch else {
                 unreachable!()
             };
             match &c[1..] {
-                [Sexp::List(binder, None), handler @ ..]
+                [Sexp::List(binder, None, _), handler @ ..]
                     if binder.len() == 1 && !handler.is_empty() =>
                 {
                     let var = binder[0]
@@ -636,7 +667,7 @@ fn expand_try(rest: &[Sexp]) -> Result<Core, SchemeError> {
 /// template.
 fn qq(t: &Sexp, depth: u32) -> Result<Sexp, SchemeError> {
     match t {
-        Sexp::List(items, None) if t.is_form("unquote") => {
+        Sexp::List(items, None, _) if t.is_form("unquote") => {
             if depth == 1 {
                 Ok(items[1].clone())
             } else {
@@ -647,17 +678,17 @@ fn qq(t: &Sexp, depth: u32) -> Result<Sexp, SchemeError> {
                 ]))
             }
         }
-        Sexp::List(items, None) if t.is_form("quasiquote") => Ok(Sexp::list(vec![
+        Sexp::List(items, None, _) if t.is_form("quasiquote") => Ok(Sexp::list(vec![
             Sexp::sym("list"),
             Sexp::list(vec![Sexp::sym("quote"), Sexp::sym("quasiquote")]),
             qq(&items[1], depth + 1)?,
         ])),
-        Sexp::List(items, tail) => {
+        Sexp::List(items, tail, _) => {
             // Build with append/cons to honour unquote-splicing.
             let mut parts: Vec<Sexp> = Vec::new();
             for item in items {
                 if item.is_form("unquote-splicing") {
-                    let Sexp::List(us, None) = item else {
+                    let Sexp::List(us, None, _) = item else {
                         unreachable!()
                     };
                     if depth == 1 {
@@ -727,7 +758,7 @@ mod tests {
     #[test]
     fn let_becomes_application() {
         match x("(let ((a 1) (b 2)) b)") {
-            Core::Call(f, args) => {
+            Core::Call(f, args, _) => {
                 assert!(matches!(*f, Core::Lambda { .. }));
                 assert_eq!(args.len(), 2);
             }

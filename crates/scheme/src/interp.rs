@@ -42,8 +42,7 @@ impl Interp {
     /// the prelude (library procedures written in Scheme) loaded.
     pub fn new(vm: Arc<Vm>) -> Interp {
         let i = Interp::bare(vm);
-        i.eval(include_str!("prelude.scm"))
-            .expect("prelude evaluates");
+        i.eval(crate::PRELUDE).expect("prelude evaluates");
         i
     }
 

@@ -46,4 +46,9 @@ pub mod sexp;
 
 pub use error::SchemeError;
 pub use interp::Interp;
-pub use sexp::Sexp;
+pub use sexp::{Sexp, Span};
+
+/// The prelude source (library procedures written in Scheme), evaluated
+/// once per [`Interp`] and prepended by the static analyzer so analyzed
+/// programs resolve the same bindings the interpreter provides.
+pub const PRELUDE: &str = include_str!("prelude.scm");

@@ -18,6 +18,7 @@ use crate::convert::{self, SharedFrame};
 use crate::error::SchemeError;
 use crate::global::Globals;
 use crate::prims;
+use crate::sexp::Span;
 use std::collections::HashMap;
 use std::sync::Arc;
 use sting_areas::{Gc, Heap, HeapConfig, ObjKind, RootSet, Val, Word};
@@ -26,6 +27,15 @@ use sting_value::Value;
 
 /// Instructions executed between thread-controller polls.
 pub const CHECKPOINT_WINDOW: u32 = 256;
+
+/// Diagnostic suffix citing a source position, or empty when unknown.
+fn at_span(span: Span) -> String {
+    if span.is_none() {
+        String::new()
+    } else {
+        format!(" (at {span})")
+    }
+}
 
 enum EnvRef {
     Heap(Gc),
@@ -159,7 +169,9 @@ impl Machine {
         }
     }
 
-    pub(crate) fn push(&mut self, v: Val) {
+    /// Pushes a value onto the operand stack (extension primitives use
+    /// this with [`Machine::list_from_stack`] to build list results).
+    pub fn push(&mut self, v: Val) {
         self.stack.push(v);
     }
 
@@ -174,7 +186,7 @@ impl Machine {
 
     /// Argument `i` of the current primitive call (0-based); the args are
     /// the top `argc` stack slots.
-    pub(crate) fn arg(&self, argc: usize, i: usize) -> Val {
+    pub fn arg(&self, argc: usize, i: usize) -> Val {
         self.stack[self.stack.len() - argc + i]
     }
 
@@ -191,7 +203,7 @@ impl Machine {
     /// Pops the top `n` stack values and builds a proper list of them (the
     /// first-pushed value becomes the first element).  Items on the stack
     /// are GC roots, so this is safe under collection.
-    pub(crate) fn list_from_stack(&mut self, n: usize) -> Val {
+    pub fn list_from_stack(&mut self, n: usize) -> Val {
         let mut acc = Val::Nil;
         for _ in 0..n {
             let car = self.pop();
@@ -201,7 +213,7 @@ impl Machine {
     }
 
     /// Allocates a string object.
-    pub(crate) fn string(&mut self, s: &str) -> Val {
+    pub fn string(&mut self, s: &str) -> Val {
         let gc = with_heap!(self, &mut [], |heap, roots| heap.make_string(s, roots));
         Val::Obj(gc)
     }
@@ -283,7 +295,7 @@ impl Machine {
                 self.push(a);
             }
             let argc = args.len();
-            if self.begin_call(argc, false)? {
+            if self.begin_call(argc, false, Span::NONE)? {
                 let floor = self.frames.len();
                 self.execute(floor)
             } else {
@@ -322,8 +334,14 @@ impl Machine {
 
     /// Starts a call: stack holds `… f a1 … an`.  Returns `true` if a
     /// frame was pushed (closure call); `false` if a primitive ran and its
-    /// result is on the stack.
-    fn begin_call(&mut self, argc: usize, tail: bool) -> Result<bool, SchemeError> {
+    /// result is on the stack.  `call_span` is the call site's source
+    /// position, for diagnostics.
+    fn begin_call(
+        &mut self,
+        argc: usize,
+        tail: bool,
+        call_span: Span,
+    ) -> Result<bool, SchemeError> {
         let f = self.stack[self.stack.len() - argc - 1];
         match f {
             Val::Obj(gc) if self.heap.kind(gc) == ObjKind::Closure => {
@@ -335,11 +353,12 @@ impl Machine {
                 let name = code.name;
                 if argc < arity || (!rest && argc > arity) {
                     return Err(SchemeError::runtime(format!(
-                        "arity mismatch calling {}: expected {}{}, got {argc}",
+                        "arity mismatch calling {}: expected {}{}, got {argc}{}",
                         name.map(|s| s.to_string())
                             .unwrap_or_else(|| "#<lambda>".into()),
                         arity,
                         if rest { "+" } else { "" },
+                        at_span(call_span),
                     )));
                 }
                 // Collect rest args into a list.
@@ -383,7 +402,10 @@ impl Machine {
             Val::Native(slot) => {
                 let nv = self.heap.native(slot).clone();
                 let Some(p) = nv.native_as::<prims::Prim>() else {
-                    return Err(SchemeError::runtime(format!("not a procedure: {nv}")));
+                    return Err(SchemeError::runtime(format!(
+                        "not a procedure: {nv}{}",
+                        at_span(call_span)
+                    )));
                 };
                 let result = prims::dispatch(self, &p, argc)?;
                 // Pop args + fn, push result.
@@ -392,8 +414,9 @@ impl Machine {
                 Ok(false)
             }
             other => Err(SchemeError::runtime(format!(
-                "not a procedure: {}",
-                crate::print::display_val(self, other)
+                "not a procedure: {}{}",
+                crate::print::display_val(self, other),
+                at_span(call_span)
             ))),
         }
     }
@@ -431,10 +454,10 @@ impl Machine {
                 }
                 Op::Global(slot) => {
                     let name = self.program.global_names[slot as usize];
-                    let v = self
-                        .globals
-                        .get(name)
-                        .ok_or_else(|| SchemeError::runtime(format!("unbound variable: {name}")))?;
+                    let v = self.globals.get(name).ok_or_else(|| {
+                        let span = self.program.codes[frame.code as usize].span_at(frame.ip);
+                        SchemeError::runtime(format!("unbound variable: {name}{}", at_span(span)))
+                    })?;
                     let hv = self.from_value(&v);
                     self.push(hv);
                 }
@@ -450,10 +473,12 @@ impl Machine {
                     self.push(v);
                 }
                 Op::Call(n) => {
-                    self.begin_call(n as usize, false)?;
+                    let span = self.program.codes[frame.code as usize].span_at(frame.ip);
+                    self.begin_call(n as usize, false, span)?;
                 }
                 Op::TailCall(n) => {
-                    let pushed = self.begin_call(n as usize, true)?;
+                    let span = self.program.codes[frame.code as usize].span_at(frame.ip);
+                    let pushed = self.begin_call(n as usize, true, span)?;
                     if !pushed {
                         // Primitive in tail position: its result is the
                         // frame's return value.

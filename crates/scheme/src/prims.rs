@@ -948,14 +948,83 @@ fn assoc_like(m: &mut Machine, argc: usize, structural: bool) -> Result<Val, Sch
     }
 }
 
-/// Installs every primitive into `globals`.
+/// The signature of an extension primitive: `argc` arguments sit on the
+/// top of the machine's operand stack (read them with [`Machine::arg`]).
+pub type ExtPrimFn = fn(&mut Machine, usize) -> Result<Val, SchemeError>;
+
+/// An extension primitive registered by a crate layered above
+/// `sting-scheme` (e.g. the static analyzer, which depends on this crate
+/// and therefore cannot be a built-in).
+struct ExtDef {
+    name: &'static str,
+    min: usize,
+    max: Option<usize>,
+    f: ExtPrimFn,
+}
+
+static EXTENSIONS: parking_lot::Mutex<Vec<ExtDef>> = parking_lot::Mutex::new(Vec::new());
+
+/// Registers an extension primitive process-wide.  Re-registering a name
+/// replaces the previous definition.  Register before creating an
+/// [`Interp`](crate::Interp) — interpreters created earlier keep their
+/// existing global bindings.
+pub fn register_extension(name: &'static str, min: usize, max: Option<usize>, f: ExtPrimFn) {
+    let mut exts = EXTENSIONS.lock();
+    match exts.iter_mut().find(|d| d.name == name) {
+        Some(d) => {
+            d.min = min;
+            d.max = max;
+            d.f = f;
+        }
+        None => exts.push(ExtDef { name, min, max, f }),
+    }
+}
+
+/// The names of every registered primitive (built-ins, the concurrency
+/// table and extensions).  The static analyzer uses this to resolve
+/// global references in programs compiled without a live interpreter.
+pub fn names() -> Vec<&'static str> {
+    let mut v: Vec<&'static str> = defs().iter().map(|d| d.name).collect();
+    v.extend(EXTENSIONS.lock().iter().map(|d| d.name));
+    v
+}
+
+/// Installs every primitive into `globals`.  Extension primitives get ids
+/// above the built-in table; their table position is their registration
+/// order, which never shrinks, so ids stay valid.
 pub fn install(globals: &crate::global::Globals) {
-    for (i, d) in defs().iter().enumerate() {
+    let base = defs();
+    for (i, d) in base.iter().enumerate() {
         globals.set(
             Symbol::intern(d.name),
             Value::native("prim", Arc::new(Prim { id: i as u16 })),
         );
     }
+    for (i, d) in EXTENSIONS.lock().iter().enumerate() {
+        globals.set(
+            Symbol::intern(d.name),
+            Value::native(
+                "prim",
+                Arc::new(Prim {
+                    id: (base.len() + i) as u16,
+                }),
+            ),
+        );
+    }
+}
+
+fn check_arity(name: &str, min: usize, max: Option<usize>, argc: usize) -> Result<(), SchemeError> {
+    if argc < min || max.is_some_and(|mx| argc > mx) {
+        return Err(rerr(format!(
+            "{name}: expected {min}{} arguments, got {argc}",
+            match max {
+                Some(mx) if mx == min => String::new(),
+                Some(mx) => format!("..{mx}"),
+                None => "+".to_string(),
+            }
+        )));
+    }
+    Ok(())
 }
 
 /// Dispatches a primitive call; arguments are the top `argc` stack values
@@ -965,21 +1034,26 @@ pub(crate) fn dispatch(m: &mut Machine, p: &Prim, argc: usize) -> Result<Val, Sc
         static TABLE: Vec<Def> = defs();
     }
     TABLE.with(|t| {
-        let d = t
-            .get(p.id as usize)
-            .ok_or_else(|| rerr(format!("unknown primitive id {}", p.id)))?;
-        if argc < d.min || d.max.is_some_and(|mx| argc > mx) {
-            return Err(rerr(format!(
-                "{}: expected {}{} arguments, got {argc}",
-                d.name,
-                d.min,
-                match d.max {
-                    Some(mx) if mx == d.min => String::new(),
-                    Some(mx) => format!("..{mx}"),
-                    None => "+".to_string(),
-                }
-            )));
+        match t.get(p.id as usize) {
+            Some(d) => {
+                check_arity(d.name, d.min, d.max, argc)?;
+                (d.f)(m, argc)
+            }
+            None => {
+                // Extension ids live past the built-in table.  Copy the
+                // definition out so the registry lock is not held while
+                // the primitive runs (it may recursively dispatch).
+                let ext = {
+                    let exts = EXTENSIONS.lock();
+                    exts.get(p.id as usize - t.len())
+                        .map(|d| (d.name, d.min, d.max, d.f))
+                };
+                let Some((name, min, max, f)) = ext else {
+                    return Err(rerr(format!("unknown primitive id {}", p.id)));
+                };
+                check_arity(name, min, max, argc)?;
+                f(m, argc)
+            }
         }
-        (d.f)(m, argc)
     })
 }

@@ -1,12 +1,14 @@
 //! The reader: text → s-expressions.
 
 use crate::error::SchemeError;
-use crate::sexp::Sexp;
+use crate::sexp::{Sexp, Span};
 
 struct Reader<'a> {
     src: &'a [u8],
     pos: usize,
     line: usize,
+    /// Byte offset of the start of the current line, for column tracking.
+    line_start: usize,
 }
 
 /// Reads every datum in `src`.
@@ -20,6 +22,7 @@ pub fn read_all(src: &str) -> Result<Vec<Sexp>, SchemeError> {
         src: src.as_bytes(),
         pos: 0,
         line: 1,
+        line_start: 0,
     };
     let mut out = Vec::new();
     loop {
@@ -50,6 +53,11 @@ impl Reader<'_> {
         SchemeError::Read(format!("line {}: {}", self.line, msg))
     }
 
+    /// The position of the *next* byte, 1-based.
+    fn here(&self) -> Span {
+        Span::at(self.line as u32, (self.pos - self.line_start + 1) as u32)
+    }
+
     fn at_end(&self) -> bool {
         self.pos >= self.src.len()
     }
@@ -63,6 +71,7 @@ impl Reader<'_> {
         self.pos += 1;
         if b == b'\n' {
             self.line += 1;
+            self.line_start = self.pos;
         }
         Some(b)
     }
@@ -109,30 +118,37 @@ impl Reader<'_> {
         let Some(b) = self.peek() else {
             return Err(self.err("unexpected end of input"));
         };
+        let span = self.here();
         match b {
             b'(' | b'[' => {
                 self.bump();
-                self.list(if b == b'(' { b')' } else { b']' })
+                self.list(if b == b'(' { b')' } else { b']' }, span)
             }
             b')' | b']' => Err(self.err("unexpected close parenthesis")),
             b'\'' => {
                 self.bump();
-                Ok(Sexp::list(vec![Sexp::sym("quote"), self.datum()?]))
+                Ok(Sexp::list_at(vec![Sexp::sym("quote"), self.datum()?], span))
             }
             b'`' => {
                 self.bump();
-                Ok(Sexp::list(vec![Sexp::sym("quasiquote"), self.datum()?]))
+                Ok(Sexp::list_at(
+                    vec![Sexp::sym("quasiquote"), self.datum()?],
+                    span,
+                ))
             }
             b',' => {
                 self.bump();
                 if self.peek() == Some(b'@') {
                     self.bump();
-                    Ok(Sexp::list(vec![
-                        Sexp::sym("unquote-splicing"),
-                        self.datum()?,
-                    ]))
+                    Ok(Sexp::list_at(
+                        vec![Sexp::sym("unquote-splicing"), self.datum()?],
+                        span,
+                    ))
                 } else {
-                    Ok(Sexp::list(vec![Sexp::sym("unquote"), self.datum()?]))
+                    Ok(Sexp::list_at(
+                        vec![Sexp::sym("unquote"), self.datum()?],
+                        span,
+                    ))
                 }
             }
             b'"' => self.string(),
@@ -141,7 +157,7 @@ impl Reader<'_> {
         }
     }
 
-    fn list(&mut self, close: u8) -> Result<Sexp, SchemeError> {
+    fn list(&mut self, close: u8, span: Span) -> Result<Sexp, SchemeError> {
         let mut items = Vec::new();
         let tail = None;
         loop {
@@ -150,7 +166,7 @@ impl Reader<'_> {
                 None => return Err(self.err("unterminated list")),
                 Some(b) if b == close => {
                     self.bump();
-                    return Ok(Sexp::List(items, tail.map(Box::new)));
+                    return Ok(Sexp::List(items, tail.map(Box::new), span));
                 }
                 Some(b')') | Some(b']') => return Err(self.err("mismatched close parenthesis")),
                 Some(b'.') if self.is_lone_dot() => {
@@ -166,11 +182,11 @@ impl Reader<'_> {
                     self.bump();
                     // Normalize (a . (b c)) to (a b c).
                     return Ok(match t {
-                        Sexp::List(mut more, t2) => {
+                        Sexp::List(mut more, t2, _) => {
                             items.append(&mut more);
-                            Sexp::List(items, t2)
+                            Sexp::List(items, t2, span)
                         }
-                        other => Sexp::List(items, Some(Box::new(other))),
+                        other => Sexp::List(items, Some(Box::new(other)), span),
                     });
                 }
                 _ => {
@@ -234,9 +250,10 @@ impl Reader<'_> {
                 Ok(Sexp::Bool(false))
             }
             Some(b'(') => {
+                let span = self.here();
                 self.bump();
-                match self.list(b')')? {
-                    Sexp::List(items, None) => Ok(Sexp::Vector(items)),
+                match self.list(b')', span)? {
+                    Sexp::List(items, None, _) => Ok(Sexp::Vector(items)),
                     _ => Err(self.err("dotted vector literal")),
                 }
             }
@@ -370,6 +387,19 @@ mod tests {
     #[test]
     fn unicode_strings() {
         assert_eq!(read_one("\"λx\"").unwrap(), Sexp::Str("λx".to_string()));
+    }
+
+    #[test]
+    fn list_spans() {
+        let all = read_all("(a b)\n  (c (d))").unwrap();
+        assert_eq!(all[0].span(), Span::at(1, 1));
+        assert_eq!(all[1].span(), Span::at(2, 3));
+        let Sexp::List(items, None, _) = &all[1] else {
+            panic!("expected a list");
+        };
+        assert_eq!(items[1].span(), Span::at(2, 6));
+        // Quote sugar carries the quote mark's position.
+        assert_eq!(read_one("\n'x").unwrap().span(), Span::at(2, 1));
     }
 
     #[test]

@@ -3,8 +3,54 @@
 use std::fmt;
 use sting_value::Symbol;
 
+/// A source position (1-based line and column).  `Span::NONE` (all zeros)
+/// means "unknown" — synthesized forms from macro expansion inherit the
+/// span of the surface form they came from, or carry `NONE` when there is
+/// none.  Spans are metadata: they never participate in [`Sexp`] equality.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash)]
+pub struct Span {
+    /// 1-based source line (0 = unknown).
+    pub line: u32,
+    /// 1-based source column (0 = unknown).
+    pub col: u32,
+}
+
+impl Span {
+    /// The unknown span.
+    pub const NONE: Span = Span { line: 0, col: 0 };
+
+    /// A span at `line`:`col`.
+    pub fn at(line: u32, col: u32) -> Span {
+        Span { line, col }
+    }
+
+    /// Whether this span carries no position information.
+    pub fn is_none(&self) -> bool {
+        self.line == 0
+    }
+
+    /// This span, or `other` if this one is unknown.
+    pub fn or(self, other: Span) -> Span {
+        if self.is_none() {
+            other
+        } else {
+            self
+        }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_none() {
+            write!(f, "?:?")
+        } else {
+            write!(f, "{}:{}", self.line, self.col)
+        }
+    }
+}
+
 /// A read s-expression.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub enum Sexp {
     /// Integer literal.
     Int(i64),
@@ -19,10 +65,29 @@ pub enum Sexp {
     /// Symbol.
     Sym(Symbol),
     /// Proper list `(a b c)`; `tail` is the dotted tail of an improper
-    /// list, if any.
-    List(Vec<Sexp>, Option<Box<Sexp>>),
+    /// list, if any.  The [`Span`] is the position of the opening
+    /// parenthesis (or [`Span::NONE`] for synthesized lists).
+    List(Vec<Sexp>, Option<Box<Sexp>>, Span),
     /// Vector literal `#(a b c)`.
     Vector(Vec<Sexp>),
+}
+
+// Spans are diagnostic metadata: two s-expressions are equal when their
+// structure is, wherever they were read from.
+impl PartialEq for Sexp {
+    fn eq(&self, other: &Sexp) -> bool {
+        match (self, other) {
+            (Sexp::Int(a), Sexp::Int(b)) => a == b,
+            (Sexp::Float(a), Sexp::Float(b)) => a == b,
+            (Sexp::Bool(a), Sexp::Bool(b)) => a == b,
+            (Sexp::Char(a), Sexp::Char(b)) => a == b,
+            (Sexp::Str(a), Sexp::Str(b)) => a == b,
+            (Sexp::Sym(a), Sexp::Sym(b)) => a == b,
+            (Sexp::List(a, at, _), Sexp::List(b, bt, _)) => a == b && at == bt,
+            (Sexp::Vector(a), Sexp::Vector(b)) => a == b,
+            _ => false,
+        }
+    }
 }
 
 impl Sexp {
@@ -31,14 +96,28 @@ impl Sexp {
         Sexp::Sym(Symbol::intern(name))
     }
 
-    /// A proper list.
+    /// A proper list (no source position).
     pub fn list(items: Vec<Sexp>) -> Sexp {
-        Sexp::List(items, None)
+        Sexp::List(items, None, Span::NONE)
+    }
+
+    /// A proper list at a source position.
+    pub fn list_at(items: Vec<Sexp>, span: Span) -> Sexp {
+        Sexp::List(items, None, span)
+    }
+
+    /// The source position of this datum, if known (lists only: atoms do
+    /// not carry positions).
+    pub fn span(&self) -> Span {
+        match self {
+            Sexp::List(_, _, span) => *span,
+            _ => Span::NONE,
+        }
     }
 
     /// Whether this is the empty list `()`.
     pub fn is_nil(&self) -> bool {
-        matches!(self, Sexp::List(items, None) if items.is_empty())
+        matches!(self, Sexp::List(items, None, _) if items.is_empty())
     }
 
     /// The symbol, if this is one.
@@ -52,7 +131,7 @@ impl Sexp {
     /// Whether this is a proper list headed by the symbol `name`.
     pub fn is_form(&self, name: &str) -> bool {
         match self {
-            Sexp::List(items, None) => items
+            Sexp::List(items, None, _) => items
                 .first()
                 .and_then(Sexp::as_sym)
                 .is_some_and(|s| s == Symbol::intern(name)),
@@ -73,7 +152,7 @@ impl fmt::Display for Sexp {
             Sexp::Char(c) => write!(f, "#\\{c}"),
             Sexp::Str(s) => write!(f, "{s:?}"),
             Sexp::Sym(s) => write!(f, "{s}"),
-            Sexp::List(items, tail) => {
+            Sexp::List(items, tail, _) => {
                 write!(f, "(")?;
                 for (i, x) in items.iter().enumerate() {
                     if i > 0 {
@@ -97,5 +176,27 @@ impl fmt::Display for Sexp {
                 write!(f, ")")
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_do_not_affect_equality() {
+        let a = Sexp::list(vec![Sexp::Int(1), Sexp::Int(2)]);
+        let b = Sexp::list_at(vec![Sexp::Int(1), Sexp::Int(2)], Span::at(3, 7));
+        assert_eq!(a, b);
+        assert_eq!(b.span(), Span::at(3, 7));
+        assert!(a.span().is_none());
+    }
+
+    #[test]
+    fn span_display() {
+        assert_eq!(Span::at(12, 4).to_string(), "12:4");
+        assert_eq!(Span::NONE.to_string(), "?:?");
+        assert_eq!(Span::NONE.or(Span::at(1, 1)), Span::at(1, 1));
+        assert_eq!(Span::at(2, 2).or(Span::at(1, 1)), Span::at(2, 2));
     }
 }

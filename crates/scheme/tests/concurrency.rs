@@ -682,3 +682,43 @@ fn tcp_deadlines_surface_as_timeout_symbol() {
     assert_eq!(v, Value::sym("timeout"));
     vm.shutdown();
 }
+
+#[test]
+fn channels_send_recv_across_threads() {
+    let (vm, i) = interp(2);
+    // A producer feeds ten ints through a bounded channel; the consumer
+    // sums them and sees eof after the close.
+    let v = ev(
+        &i,
+        "(define ch (make-channel 4))
+         (define producer
+           (fork-thread
+            (lambda ()
+              (let loop ((n 1))
+                (if (<= n 10)
+                    (begin (channel-send ch n) (loop (+ n 1)))
+                    (channel-close ch))))))
+         (let loop ((total 0))
+           (let ((v (channel-recv ch)))
+             (if (eof-object? v)
+                 (begin (thread-wait producer) total)
+                 (loop (+ total v)))))",
+    );
+    assert_eq!(v.as_int(), Some(55));
+    vm.shutdown();
+}
+
+#[test]
+fn channel_try_recv_and_timeout() {
+    let (vm, i) = interp(1);
+    ev(&i, "(define ch (make-channel))");
+    // Nothing queued: try-recv is #f, a timed recv reports 'timeout.
+    assert_eq!(ev(&i, "(channel-try-recv ch)"), Value::Bool(false));
+    assert_eq!(ev(&i, "(channel-recv ch 5)"), Value::sym("timeout"));
+    ev(&i, "(channel-send ch 'ping)");
+    assert_eq!(ev(&i, "(channel-try-recv ch)"), Value::sym("ping"));
+    // Receiving from a closed channel yields eof, not an error.
+    ev(&i, "(channel-close ch)");
+    assert_eq!(ev(&i, "(eof-object? (channel-recv ch))"), Value::Bool(true));
+    vm.shutdown();
+}

@@ -275,6 +275,23 @@ fn runtime_errors_are_raised() {
 }
 
 #[test]
+fn runtime_errors_cite_source_positions() {
+    let (vm, i) = interp();
+    // The offending call starts at line 2, column 3.
+    let err = i
+        .eval("(define (id x) x)\n  (id 1 2)")
+        .expect_err("arity mismatch")
+        .to_string();
+    assert!(err.contains("(at 2:3)"), "no span in: {err}");
+    let err = i
+        .eval("\n (no-such-fn)")
+        .expect_err("unbound variable")
+        .to_string();
+    assert!(err.contains("(at 2:2)"), "no span in: {err}");
+    vm.shutdown();
+}
+
+#[test]
 fn variadic_procedures() {
     let (vm, i) = interp();
     ev(&i, "(define (f . args) (length args))");

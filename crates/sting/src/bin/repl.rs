@@ -1,10 +1,15 @@
 //! An interactive STING Scheme REPL.
 //!
-//! Usage: `cargo run --release -p sting-scheme --bin repl [--vps N] [file.scm ...]`
+//! Usage: `cargo run --release -p sting --bin repl [--vps N] [--analyze] [file.scm ...]`
 //!
 //! Files are loaded in order, then an interactive prompt starts.  REPL
 //! commands: `,threads` dumps the machine state, `,counters` prints
 //! substrate counters, `,quit` exits.
+//!
+//! With `--analyze`, the files are **not** run: each is checked by the
+//! static concurrency analyzer and its report printed; the exit status is
+//! non-zero if any file produced diagnostics.  The `(analyze src)` and
+//! `(analyze-file path)` primitives are available interactively either way.
 
 use std::io::{BufRead, Write};
 use sting_core::VmBuilder;
@@ -43,19 +48,53 @@ fn balanced(src: &str) -> bool {
     depth <= 0 && !in_str
 }
 
+/// Runs the static analyzer over `files`, printing each report.
+/// Returns the number of files with diagnostics.
+fn analyze_files(files: &[String]) -> usize {
+    let mut flagged = 0;
+    for f in files {
+        match sting::analyze::analyze_file(f) {
+            Ok(report) => {
+                println!("; {f}:");
+                print!("{report}");
+                if !report.is_clean() {
+                    flagged += 1;
+                }
+            }
+            Err(e) => {
+                eprintln!("; cannot analyze {f}: {e}");
+                flagged += 1;
+            }
+        }
+    }
+    flagged
+}
+
 fn main() {
     let mut args = std::env::args().skip(1).peekable();
     let mut vps = 2usize;
+    let mut analyze = false;
     let mut files = Vec::new();
     while let Some(a) = args.next() {
         match a.as_str() {
             "--vps" => {
                 vps = args.next().and_then(|s| s.parse().ok()).unwrap_or(2);
             }
+            "--analyze" => analyze = true,
             f => files.push(f.to_string()),
         }
     }
 
+    if analyze {
+        if files.is_empty() {
+            eprintln!("; --analyze requires at least one file");
+            std::process::exit(2);
+        }
+        let flagged = analyze_files(&files);
+        std::process::exit(i32::from(flagged > 0));
+    }
+
+    sting::install_analyze_prims();
     let vm = VmBuilder::new().vps(vps).name("repl").build();
     let interp = Interp::new(vm.clone());
 

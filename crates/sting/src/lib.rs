@@ -10,6 +10,8 @@
 //!   barrier synchronization.
 //! * [`mod@tuple`] (`sting-tuple`) — first-class tuple spaces.
 //! * [`scheme`] (`sting-scheme`) — the Scheme computation language.
+//! * [`analyze`] (`sting-analyze`) — static concurrency analysis of
+//!   Scheme programs (deadlock, lost-wakeup and protocol-arity bugs).
 //! * [`areas`] (`sting-areas`) — per-thread generational heaps.
 //! * [`context`] (`sting-context`) — stackful contexts and stacks.
 //! * [`value`] (`sting-value`) — substrate values.
@@ -28,6 +30,7 @@
 
 #![deny(missing_docs)]
 
+pub use sting_analyze as analyze;
 pub use sting_areas as areas;
 pub use sting_context as context;
 pub use sting_core as core;
@@ -36,6 +39,61 @@ pub use sting_sync as sync;
 #[allow(rustdoc::bare_urls)]
 pub use sting_tuple as tuple;
 pub use sting_value as value;
+
+/// The `(analyze ...)` / `(analyze-file ...)` Scheme primitives.
+///
+/// The static analyzer depends on `sting-scheme`, so its primitives
+/// cannot be built-ins; this module registers them through the extension
+/// table instead.  Call [`install_analyze_prims`] before creating an
+/// [`Interp`](sting_scheme::Interp).
+mod analyze_prims {
+    use sting_areas::{ObjKind, Val};
+    use sting_scheme::machine::Machine;
+    use sting_scheme::{prims, print, SchemeError};
+
+    /// Registers `(analyze src)` and `(analyze-file path)`.
+    ///
+    /// `(analyze src)` takes a source string (or a quoted form, which is
+    /// printed back to source text) and returns the list of diagnostic
+    /// strings; `(analyze-file path)` analyzes a file the same way.  An
+    /// empty result list means the analyzer found nothing to report.
+    pub fn install() {
+        prims::register_extension("analyze", 1, Some(1), prim_analyze);
+        prims::register_extension("analyze-file", 1, Some(1), prim_analyze_file);
+    }
+
+    fn report_val(m: &mut Machine, report: &sting_analyze::Report) -> Val {
+        let mut n = 0;
+        for d in &report.diagnostics {
+            let s = m.string(&d.to_string());
+            m.push(s);
+            n += 1;
+        }
+        m.list_from_stack(n)
+    }
+
+    fn prim_analyze(m: &mut Machine, argc: usize) -> Result<Val, SchemeError> {
+        let src = match m.arg(argc, 0) {
+            Val::Obj(gc) if m.heap.kind(gc) == ObjKind::Str => m.heap.string_value(gc),
+            v => print::write_val(m, v),
+        };
+        let report = sting_analyze::analyze_source(&src)
+            .map_err(|e| SchemeError::runtime(format!("analyze: {e}")))?;
+        Ok(report_val(m, &report))
+    }
+
+    fn prim_analyze_file(m: &mut Machine, argc: usize) -> Result<Val, SchemeError> {
+        let path = match m.arg(argc, 0) {
+            Val::Obj(gc) if m.heap.kind(gc) == ObjKind::Str => m.heap.string_value(gc),
+            _ => return Err(SchemeError::runtime("analyze-file: expected a path string")),
+        };
+        let report = sting_analyze::analyze_file(&path)
+            .map_err(|e| SchemeError::runtime(format!("analyze-file: {e}")))?;
+        Ok(report_val(m, &report))
+    }
+}
+
+pub use analyze_prims::install as install_analyze_prims;
 
 /// The most commonly used items, in one import.
 pub mod prelude {

@@ -11,13 +11,20 @@
 //! if the body raises, via an RAII [`MutexGuard`].
 
 use crate::wait::{block_until_deadline, TimedOut, WaitList, Waiter};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use sting_core::tc;
+use sting_core::trace::EventKind;
 use sting_value::Value;
 
+/// Process-wide mutex id source; ids appear as the payload of
+/// `lock-acquire` / `lock-release` trace events.  Starts at 1 so id 0
+/// never appears (trace payloads use 0 for "not applicable").
+static NEXT_ID: AtomicU32 = AtomicU32::new(1);
+
 struct Inner {
+    id: u32,
     locked: AtomicBool,
     waiters: parking_lot::Mutex<WaitList>,
 }
@@ -52,11 +59,42 @@ impl Mutex {
     pub fn new(active_spins: u32, passive_spins: u32) -> Mutex {
         Mutex {
             inner: Arc::new(Inner {
+                id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
                 locked: AtomicBool::new(false),
                 waiters: parking_lot::Mutex::new(WaitList::new()),
             }),
             active_spins,
             passive_spins,
+        }
+    }
+
+    /// The mutex's process-unique id, as recorded in `lock-acquire` /
+    /// `lock-release` trace events.
+    pub fn id(&self) -> u32 {
+        self.inner.id
+    }
+
+    /// Records a lock event on the flight recorder when the caller is a
+    /// STING thread and tracing is on.
+    fn trace(&self, kind: EventKind) {
+        if let Some(cx) = tc::Cx::current() {
+            let vp = cx.current_vp().index();
+            let vm = cx.vm();
+            sting_core::trace_event!(
+                vm.tracer(),
+                Some(vp),
+                kind,
+                cx.current_thread().id().0,
+                self.inner.id
+            );
+        }
+    }
+
+    /// Builds the guard for a just-won lock, recording the acquisition.
+    fn won(&self) -> MutexGuard {
+        self.trace(EventKind::LockAcquire);
+        MutexGuard {
+            mutex: self.clone(),
         }
     }
 
@@ -66,9 +104,7 @@ impl Mutex {
 
     /// Attempts to acquire without waiting.
     pub fn try_acquire(&self) -> Option<MutexGuard> {
-        self.try_lock_raw().then(|| MutexGuard {
-            mutex: self.clone(),
-        })
+        self.try_lock_raw().then(|| self.won())
     }
 
     /// Acquires the mutex (`mutex-acquire`): active spin, then passive
@@ -92,18 +128,14 @@ impl Mutex {
         // Phase 1: active spinning — keep the VP.
         for _ in 0..self.active_spins {
             if self.try_lock_raw() {
-                return Some(MutexGuard {
-                    mutex: self.clone(),
-                });
+                return Some(self.won());
             }
             std::hint::spin_loop();
         }
         // Phase 2: passive spinning — yield the VP between attempts.
         for _ in 0..self.passive_spins {
             if self.try_lock_raw() {
-                return Some(MutexGuard {
-                    mutex: self.clone(),
-                });
+                return Some(self.won());
             }
             if tc::yield_now().is_err() {
                 // Off-thread caller: no VP to yield.
@@ -113,17 +145,13 @@ impl Mutex {
         // Phase 3: block on the mutex.
         block_until_deadline(&Value::sym("mutex"), deadline, |w: &Waiter| {
             if self.try_lock_raw() {
-                return Some(MutexGuard {
-                    mutex: self.clone(),
-                });
+                return Some(self.won());
             }
             let mut waiters = self.inner.waiters.lock();
             // Re-check under the waiter lock so a release that raced with
             // us cannot strand us (it wakes everyone registered).
             if self.try_lock_raw() {
-                return Some(MutexGuard {
-                    mutex: self.clone(),
-                });
+                return Some(self.won());
             }
             waiters.push(w.clone());
             None
@@ -162,6 +190,7 @@ impl Mutex {
     }
 
     fn release_raw(&self) {
+        self.trace(EventKind::LockRelease);
         self.inner.locked.store(false, Ordering::Release);
         self.inner.waiters.lock().wake_all();
     }

@@ -1,7 +1,7 @@
 ;; A master/slave farm over a first-class tuple space (§4.2) — load into
 ;; the REPL:
 ;;
-;;   cargo run --release -p sting-scheme --bin repl -- examples/scheme/farm.scm
+;;   cargo run --release -p sting --bin repl -- examples/scheme/farm.scm
 
 (define ts (make-ts))
 

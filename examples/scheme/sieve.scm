@@ -1,7 +1,7 @@
 ;; Figure 2's Sieve of Eratosthenes over synchronizing streams — a
 ;; standalone STING Scheme program.  Load into the REPL:
 ;;
-;;   cargo run --release -p sting-scheme --bin repl -- examples/scheme/sieve.scm
+;;   cargo run --release -p sting --bin repl -- examples/scheme/sieve.scm
 
 (define (make-filter n input output)
   (fork-thread
