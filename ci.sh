@@ -15,6 +15,9 @@
 #   ./ci.sh bench-smoke  # unified benchmark runner, smoke tier (<60s):
 #                    # emits a schema-checked BENCH json and asserts the
 #                    # Figure 6 shape orderings
+#   ./ci.sh shard    # sharded-fleet tier (<60s): fleet + sharded tuple
+#                    # integration tests, then a 2-shard farm smoke run
+#                    # whose merged per-shard trace must audit clean
 #   ./ci.sh miri     # deque/trace unit tests under Miri (skips with a
 #                    # notice if no nightly Miri toolchain is installed)
 set -euo pipefail
@@ -74,6 +77,9 @@ run_check() {
     step "model checker: production blocking-protocol models (--cfg sting_check)"
     RUSTFLAGS="--cfg sting_check" CARGO_TARGET_DIR=target/check \
         cargo test -q -p sting-core --test model_wait
+    step "model checker: cross-shard mailbox models (--cfg sting_check)"
+    RUSTFLAGS="--cfg sting_check" CARGO_TARGET_DIR=target/check \
+        cargo test -q -p sting-core --test model_fleet
 }
 
 run_analyze() {
@@ -100,13 +106,22 @@ run_bench_smoke() {
     # gate against it at 100%: smoke timings on a loaded box jitter far
     # more than a full run, so this catches order-of-magnitude latency
     # regressions (a lost wake-up turns µs p50s into ms), while the
-    # committed full report (BENCH_PR7.json) stays the reference for
+    # committed full report (BENCH_PR9.json) stays the reference for
     # fine-grained comparisons.
     local against=()
-    if [[ -f BENCH_PR7_SMOKE.json ]]; then
-        against=(--against BENCH_PR7_SMOKE.json --threshold 1.0)
+    if [[ -f BENCH_PR9_SMOKE.json ]]; then
+        against=(--against BENCH_PR9_SMOKE.json --threshold 1.0)
     fi
     ./target/release/bench_all --smoke --out target/BENCH_SMOKE.json "${against[@]}"
+}
+
+run_shard() {
+    step "shard: fleet + sharded tuple-space integration tests"
+    cargo test -q -p sting-core --test fleet
+    cargo test -q -p sting-tuple --test sharded
+    step "shard: 2-shard farm smoke + merged trace audit (shard_smoke)"
+    cargo build --release -p sting-bench --bin shard_smoke
+    ./target/release/shard_smoke
 }
 
 run_miri() {
@@ -130,6 +145,7 @@ case "${1:-all}" in
     check) run_check ;;
     analyze) run_analyze ;;
     bench-smoke) run_bench_smoke ;;
+    shard) run_shard ;;
     miri) run_miri ;;
     all)
         run_fmt
@@ -139,9 +155,10 @@ case "${1:-all}" in
         run_check
         run_analyze
         run_bench_smoke
+        run_shard
         ;;
     *)
-        echo "usage: $0 [fmt|clippy|test|doc|check|analyze|bench-smoke|miri|all]" >&2
+        echo "usage: $0 [fmt|clippy|test|doc|check|analyze|bench-smoke|shard|miri|all]" >&2
         exit 2
         ;;
 esac

@@ -40,6 +40,8 @@ enum Wake {
     Send,
     /// `ts-put` / `ts-spawn` for a `ts-get` / `ts-rd`.
     TsPut,
+    /// `fleet-ts-put` for a routed `fleet-ts-get` / `fleet-ts-rd`.
+    FleetTsPut,
     /// `stream-attach!` / `stream-close!` for a cursor read.
     Feed,
     /// `semaphore-release` for a `semaphore-acquire`.
@@ -51,6 +53,7 @@ impl Wake {
         match self {
             Wake::Send => "channel-send or channel-close",
             Wake::TsPut => "ts-put or ts-spawn",
+            Wake::FleetTsPut => "fleet-ts-put",
             Wake::Feed => "stream-attach! or stream-close!",
             Wake::SemRelease => "semaphore-release",
         }
@@ -426,7 +429,7 @@ impl<'f, 'p> Detect<'f, 'p> {
             // different object, so the site leaves the must set (but stays
             // in may: the old instance may genuinely still be held).
             "make-mutex" | "make-semaphore" | "make-barrier" | "make-channel" | "make-ts"
-            | "make-stream" => {
+            | "fleet-ts" | "make-stream" => {
                 cur.must.remove(&site);
                 cur
             }
@@ -523,6 +526,27 @@ impl<'f, 'p> Detect<'f, 'p> {
             "ts-put" | "ts-spawn" => {
                 let sites = self.sites_of(arg0, SyncKind::TupleSpace);
                 self.wake(Wake::TsPut, &sites, thread);
+                cur
+            }
+            // Cross-shard tuple ops (sting_tuple::ShardedSpace): a routed
+            // blocking read parks exactly like a local one and can only be
+            // woken by a deposit into the sharded space; the timed forms
+            // (argc >= 3) are exempt.
+            "fleet-ts-get" | "fleet-ts-rd" => {
+                if info.argc < 3 {
+                    let sites = self.sites_of(arg0, SyncKind::TupleSpace);
+                    let op = if name == "fleet-ts-get" {
+                        "fleet-ts-get"
+                    } else {
+                        "fleet-ts-rd"
+                    };
+                    self.block(op, Wake::FleetTsPut, sites, span, thread);
+                }
+                cur
+            }
+            "fleet-ts-put" => {
+                let sites = self.sites_of(arg0, SyncKind::TupleSpace);
+                self.wake(Wake::FleetTsPut, &sites, thread);
                 cur
             }
             "cursor-hd" | "cursor-next!" => {

@@ -22,6 +22,7 @@ pub const CONSTRUCTORS: &[(&str, SyncKind)] = &[
     ("make-barrier", SyncKind::Barrier),
     ("make-channel", SyncKind::Channel),
     ("make-ts", SyncKind::TupleSpace),
+    ("fleet-ts", SyncKind::TupleSpace),
     ("make-stream", SyncKind::Stream),
 ];
 
@@ -56,6 +57,11 @@ const MODELED_PRIMS: &[&str] = &[
     "ts-try-get",
     "ts-try-rd",
     "ts-spawn",
+    "fleet-ts-put",
+    "fleet-ts-get",
+    "fleet-ts-rd",
+    "fleet-ts-try-get",
+    "fleet-ts-try-rd",
     "stream-attach!",
     "stream-close!",
     "stream-cursor",

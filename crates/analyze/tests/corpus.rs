@@ -1,6 +1,6 @@
 //! The analyzer's acceptance corpus.
 //!
-//! Four programs under `tests/corpus/` each exhibit exactly one hazard
+//! The programs under `tests/corpus/` each exhibit exactly one hazard
 //! class and must be flagged with a span-bearing diagnostic; every
 //! shipped example program and the prelude itself must come back clean
 //! (the only-flag-when-certain policy means zero diagnostics on working
@@ -73,6 +73,19 @@ fn recv_with_no_sender_flagged() {
         &corpus("recv_no_sender.scm"),
         DiagnosticKind::NoWaker,
         &["5:1", "no-waker"],
+    );
+}
+
+#[test]
+fn routed_get_with_no_put_flagged() {
+    // The cross-shard tier of the sharded tuple space registers with the
+    // same no-waker detector as the local ops: a routed get with no
+    // reachable fleet-ts-put is flagged, and the message names the
+    // missing waker.
+    expect_one(
+        &corpus("routed_get_no_put.scm"),
+        DiagnosticKind::NoWaker,
+        &["6:1", "no-waker", "fleet-ts-get", "fleet-ts-put"],
     );
 }
 

@@ -1,0 +1,6 @@
+;; Expect: no-waker.  The routed cross-shard get can never be satisfied:
+;; no reachable code deposits into the sharded tuple space.
+(define fl (fleet-spawn 2))
+(define sts (fleet-ts fl))
+
+(fleet-ts-get sts (list 'job '?))

@@ -37,7 +37,7 @@ fn parse_args() -> Result<Args, String> {
         smoke: false,
         iters: None,
         reps: None,
-        out: "BENCH_PR7.json".to_string(),
+        out: "BENCH_PR9.json".to_string(),
         against: None,
         threshold: 0.10,
     };
@@ -77,6 +77,24 @@ fn run_reps(reps: u64, mk: impl Fn() -> Arc<Vm>, workload: impl Fn(&Arc<Vm>)) ->
         samples.push(start.elapsed().as_nanos() as f64);
         vm.shutdown();
     }
+    Dist::from_samples(samples)
+}
+
+/// [`run_reps`] over a fleet: one `shards`-shard fleet (4 VPs total,
+/// untraced) and one sharded space serve every rep, with a warm-up run
+/// first — a cold fleet's first workload pays worker spin-up and stack
+/// allocation, which would drown the short tree rows.
+fn run_fleet_reps(reps: u64, shards: usize, workload: impl Fn(&Fleet, &ShardedSpace)) -> Dist {
+    let fleet = shapes::shard_fleet(shards, 4, false);
+    let ts = ShardedSpace::new(&fleet);
+    workload(&fleet, &ts); // warm-up: workers spun up, stacks pooled
+    let mut samples = Vec::with_capacity(reps as usize);
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        workload(&fleet, &ts);
+        samples.push(start.elapsed().as_nanos() as f64);
+    }
+    fleet.shutdown();
     Dist::from_samples(samples)
 }
 
@@ -340,6 +358,84 @@ fn main() -> ExitCode {
         let row = BenchRow::from_dist("shape", &format!("tuple-locks-{name}"), "ns/run", &d);
         print_row(&row);
         rows.push(row);
+    }
+
+    // --- E7: sharded fleets over the partitioned tuple-space fabric.
+    // Total VPs (4) and total work stay fixed as the shard count rises,
+    // so the rows isolate what partitioning buys: per-partition locks,
+    // shorter waiter chains, and shard-local wake-ups. ---
+    let shard_counts: &[usize] = if args.smoke { &[1, 2] } else { &[1, 2, 4] };
+    println!(
+        "shard: farm {} jobs / tree depth {} across {:?} shards (4 VPs total)",
+        scale.shard_jobs, scale.shard_tree_depth, shard_counts
+    );
+    let mut shard_farm_p50: Vec<f64> = Vec::new();
+    for &shards in shard_counts {
+        let jobs = scale.shard_jobs;
+        let d = run_fleet_reps(reps, shards, |fleet, ts| {
+            shapes::shard_farm_workload(fleet, ts, jobs, 16);
+        });
+        shard_farm_p50.push(d.p50());
+        let row = BenchRow::from_dist("shard", &format!("farm-{shards}shard"), "ns/run", &d);
+        print_row(&row);
+        rows.push(row);
+        let depth = scale.shard_tree_depth;
+        let d = run_fleet_reps(reps, shards, |fleet, _ts| {
+            shapes::shard_tree_workload(fleet, depth);
+        });
+        let row = BenchRow::from_dist("shard", &format!("tree-{shards}shard"), "ns/run", &d);
+        print_row(&row);
+        rows.push(row);
+    }
+    // The scaling claim is a full-scale gate (4 shards, 2000 jobs); the
+    // smoke tier runs only the 1- and 2-shard rows alongside the rest of
+    // tier 1, so there the ratio is recorded but only advisory.
+    let top = *shard_counts.last().unwrap();
+    let speedup = shard_farm_p50[0] / shard_farm_p50[shard_farm_p50.len() - 1];
+    let (gate, bar) = if args.smoke {
+        ("info:shard:farm-2shard>=1.2x-1shard", 1.2)
+    } else {
+        ("shard:farm-4shard>=1.6x-1shard", 1.6)
+    };
+    checks.push(Check {
+        name: gate.to_string(),
+        pass: speedup >= bar,
+        detail: format!(
+            "farm p50 {:.0} ns at 1 shard vs {:.0} ns at {top} shards ({:.2}x, 4 VPs total)",
+            shard_farm_p50[0],
+            shard_farm_p50[shard_farm_p50.len() - 1],
+            speedup
+        ),
+    });
+    // Fleet-wide trace audit over the merged rings: the multi-shard farm
+    // must leave no lost wake-up, leaked waiter, or post-cancel wake
+    // across any shard's ring once the Lamport merge orders them.
+    {
+        let fleet = shapes::shard_fleet(top, 4, true);
+        let ts = ShardedSpace::new(&fleet);
+        shapes::shard_farm_workload(&fleet, &ts, scale.shard_jobs, 16);
+        let report = fleet.trace_audit();
+        let bad = report
+            .findings
+            .iter()
+            .filter(|f| {
+                matches!(
+                    f.kind,
+                    sting::core::audit::FindingKind::WaiterLeak
+                        | sting::core::audit::FindingKind::LostWakeup
+                        | sting::core::audit::FindingKind::WakeAfterCancel
+                )
+            })
+            .count();
+        checks.push(Check {
+            name: format!("shard:merged-audit-clean@{top}shard"),
+            pass: bad == 0,
+            detail: format!(
+                "{bad} wake/waiter violations in the merged {top}-shard farm trace ({} findings total)",
+                report.findings.len()
+            ),
+        });
+        fleet.shutdown();
     }
 
     // --- Storage model: scavenge pauses and allocation churn ---

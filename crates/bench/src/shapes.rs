@@ -43,6 +43,10 @@ pub struct Scale {
     pub gc_collections: u64,
     /// Cons cells allocated for the GC churn row.
     pub gc_conses: u64,
+    /// E7 sharded-farm job count (split across the fleet's shards).
+    pub shard_jobs: usize,
+    /// E7 sharded-tree depth.
+    pub shard_tree_depth: u32,
 }
 
 impl Scale {
@@ -62,6 +66,8 @@ impl Scale {
             tuple_rounds: 20,
             gc_collections: 2_000,
             gc_conses: 2_000_000,
+            shard_jobs: 2_000,
+            shard_tree_depth: 10,
         }
     }
 
@@ -81,6 +87,8 @@ impl Scale {
             tuple_rounds: 3,
             gc_collections: 200,
             gc_conses: 100_000,
+            shard_jobs: 400,
+            shard_tree_depth: 6,
         }
     }
 }
@@ -232,18 +240,24 @@ pub fn farm_workload(vm: &Arc<Vm>, jobs: usize) {
 
 /// Result-parallel binary tree: `2^depth` leaves, one thread per node.
 pub fn tree_workload(vm: &Arc<Vm>, depth: u32) {
-    fn tree(cx: &Cx, depth: u32) -> i64 {
-        if depth == 0 {
-            1
-        } else {
-            let l = cx.fork(move |cx| tree(cx, depth - 1));
-            let r = cx.fork(move |cx| tree(cx, depth - 1));
-            cx.touch(&l).unwrap().as_int().unwrap() + cx.touch(&r).unwrap().as_int().unwrap()
-        }
-    }
     let expect = 1i64 << depth;
-    let got = vm.run(move |cx| tree(cx, depth)).unwrap().as_int().unwrap();
+    let got = vm
+        .run(move |cx| tree_node(cx, depth))
+        .unwrap()
+        .as_int()
+        .unwrap();
     assert_eq!(got, expect);
+}
+
+/// One node of the result-parallel tree (shared with the sharded variant).
+fn tree_node(cx: &Cx, depth: u32) -> i64 {
+    if depth == 0 {
+        1
+    } else {
+        let l = cx.fork(move |cx| tree_node(cx, depth - 1));
+        let r = cx.fork(move |cx| tree_node(cx, depth - 1));
+        cx.touch(&l).unwrap().as_int().unwrap() + cx.touch(&r).unwrap().as_int().unwrap()
+    }
 }
 
 /// 4-VP VM scheduled from one global FIFO queue.
@@ -434,6 +448,123 @@ pub fn tuple_locks_workload(vm: &Arc<Vm>, ts: &TupleSpace, keys: i64, rounds: i6
     for w in workers {
         w.join_blocking().unwrap();
     }
+}
+
+// --- E7: sharded fleets over the partitioned tuple-space fabric ---
+
+/// Builds a fleet of `shards` shards holding the *total* VP count fixed
+/// (`shards × vps_per_shard == total_vps`), so multi-shard rows measure
+/// partitioning — smaller wake herds, per-partition locks, shorter waiter
+/// chains — rather than extra hardware.
+pub fn shard_fleet(shards: usize, total_vps: usize, trace: bool) -> Fleet {
+    assert_eq!(total_vps % shards, 0, "shards must divide total_vps");
+    let mut b = Fleet::builder()
+        .shards(shards)
+        .vps_per_shard(total_vps / shards)
+        .trace(trace);
+    if trace {
+        // The farm's wake sweeps are event-dense; keep the rings deep
+        // enough that the merged audit sees whole episodes.
+        b = b.trace_capacity(1 << 16);
+    }
+    b.build()
+}
+
+/// Two keys per shard — a job key and an ack key — whose arity-2 tuples
+/// both route to that shard's own partition: the per-shard mailboxes of
+/// [`shard_farm_workload`].  Routing is a stable hash, so scanning small
+/// integers finds the pairs almost immediately.
+pub fn shard_keys(ts: &ShardedSpace) -> Vec<(i64, i64)> {
+    let mut keys: Vec<Vec<i64>> = vec![Vec::new(); ts.partitions()];
+    let mut missing = 2 * keys.len();
+    for k in 0..i64::MAX {
+        let owner = ts.partition_of_tuple(&[Value::Int(k), Value::Int(0)]);
+        if keys[owner].len() < 2 {
+            keys[owner].push(k);
+            missing -= 1;
+            if missing == 0 {
+                break;
+            }
+        }
+    }
+    keys.into_iter().map(|ks| (ks[0], ks[1])).collect()
+}
+
+/// The farm over the sharded space: one logical job pool, `workers`
+/// long-lived workers, every job acknowledged through the space.
+/// Sharding partitions the pool — per shard, one master deposits a job
+/// under the shard's job key and blocks for its ack (a window of one, so
+/// consumers genuinely park between jobs) while `workers / shards`
+/// workers block-`get` jobs, crunch them, and deposit acks, all forked
+/// on the owning shard.  Total jobs and total workers stay fixed as the
+/// shard count varies, so rows are comparable; what shrinks with more
+/// shards is the *interference* — each deposit's wake sweep and
+/// blocked-chain scan cover only that shard's workers instead of the
+/// whole farm's.
+pub fn shard_farm_workload(fleet: &Fleet, ts: &ShardedSpace, jobs: usize, workers: usize) {
+    let shards = fleet.len();
+    assert!(
+        workers.is_multiple_of(shards)
+            && jobs.is_multiple_of(workers)
+            && jobs.is_multiple_of(shards),
+        "shards must divide workers and jobs"
+    );
+    let keys = shard_keys(ts);
+    let per_shard = jobs / shards;
+    let per_worker = jobs / workers;
+    let mut threads = Vec::new();
+    for (s, &(job_key, ack_key)) in keys.iter().enumerate() {
+        let master = ts.clone();
+        threads.push(fleet.shard(s).fork(move |cx| {
+            let acks = Template::new(vec![lit(Value::Int(ack_key)), formal()]);
+            let mut acc = 0i64;
+            for i in 0..per_shard {
+                master.put(vec![Value::Int(job_key), Value::Int(i as i64)]);
+                acc ^= master.get(&acks)[0].as_int().unwrap();
+                cx.checkpoint();
+            }
+            acc
+        }));
+        for _ in 0..workers / shards {
+            let worker = ts.clone();
+            threads.push(fleet.shard(s).fork(move |cx| {
+                let t = Template::new(vec![lit(Value::Int(job_key)), formal()]);
+                for _ in 0..per_worker {
+                    let mut x = worker.get(&t)[0].as_int().unwrap();
+                    for _ in 0..32 {
+                        x = x.wrapping_mul(1103515245).wrapping_add(12345);
+                    }
+                    worker.put(vec![Value::Int(ack_key), Value::Int(x)]);
+                    cx.checkpoint();
+                }
+                0i64
+            }));
+        }
+    }
+    for t in threads {
+        t.join_blocking().unwrap();
+    }
+    assert!(ts.is_empty(), "farm jobs or acks lost or duplicated");
+}
+
+/// The result-parallel tree with its top `log2(shards)` levels split
+/// across the fleet: each shard computes an independent subtree, so fork
+/// and touch traffic stays shard-local below the roots.
+pub fn shard_tree_workload(fleet: &Fleet, depth: u32) {
+    let shards = fleet.len();
+    assert!(
+        shards.is_power_of_two() && depth >= shards.trailing_zeros(),
+        "shards must be a power of two no deeper than the tree"
+    );
+    let sub = depth - shards.trailing_zeros();
+    let roots: Vec<_> = (0..shards)
+        .map(|s| fleet.shard(s).fork(move |cx| tree_node(cx, sub)))
+        .collect();
+    let total: i64 = roots
+        .into_iter()
+        .map(|t| t.join_blocking().unwrap().as_int().unwrap())
+        .sum();
+    assert_eq!(total, 1i64 << depth);
 }
 
 // --- Storage model: scavenge pauses and allocation churn ---

@@ -160,25 +160,25 @@ fn committed_artifacts_compare_clean() {
             std::fs::read_to_string(root.join(name)).unwrap_or_else(|e| panic!("read {name}: {e}"));
         BenchReport::from_json(&text).unwrap_or_else(|e| panic!("parse {name}: {e}"))
     };
-    let base = load("BENCH_PR6.json");
-    let current = load("BENCH_PR7.json");
+    let base = load("BENCH_PR7.json");
+    let current = load("BENCH_PR9.json");
     let regs = sting_bench::report::compare(&base, &current, 0.10);
     assert!(
         regs.is_empty(),
-        "committed BENCH_PR7.json regressed vs BENCH_PR6.json: {:?}",
+        "committed BENCH_PR9.json regressed vs BENCH_PR7.json: {:?}",
         regs.iter()
             .map(|r| format!("{}/{}", r.suite, r.name))
             .collect::<Vec<_>>()
     );
-    // And the acceptance gate for the banded-deque PR is recorded passing.
+    // And the acceptance gate for the sharded-fleet PR is recorded passing.
     let gate = current
         .checks
         .iter()
-        .find(|c| c.name == "prio-deque>=1.3x-locked@4vp")
-        .expect("priority gate recorded in BENCH_PR7.json");
+        .find(|c| c.name == "shard:farm-4shard>=1.6x-1shard")
+        .expect("shard scaling gate recorded in BENCH_PR9.json");
     assert!(
         gate.pass,
-        "priority gate failed in committed report: {}",
+        "shard scaling gate failed in committed report: {}",
         gate.detail
     );
 }

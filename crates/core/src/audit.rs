@@ -14,6 +14,21 @@
 //! index on every tracer lane — which each [`Finding`] carries so a report
 //! pinpoints *which* cross-lane ordering went wrong, not just which thread.
 //!
+//! ## Multi-ring (fleet) input
+//!
+//! The stream need not come from a single tracer: a fleet merge
+//! concatenates every shard's rings (lanes remapped to stay disjoint,
+//! see [`Fleet::merged_snapshot`](crate::fleet::Fleet::merged_snapshot))
+//! and re-sorts by [`sort_events`](crate::trace::sort_events) order —
+//! Lamport clock first, timestamp as tiebreaker.  The per-thread checks
+//! stay sound on such interleaved input because (a) thread ids are unique
+//! fleet-wide, (b) each shard's clock is strictly increasing so within-lane
+//! order survives the merge, and (c) the mailbox fabric witnesses the
+//! sender's clock before the receiver records, so one thread's events
+//! order cause-before-effect even across a shard handoff.  Lane indices
+//! are taken as opaque: the replay sizes its clocks from the maximum lane
+//! present rather than assuming one process's dense `0..=vps` lane set.
+//!
 //! ## Soundness under partial traces
 //!
 //! Rings overwrite their oldest events when full, and tracing can be
@@ -159,11 +174,13 @@ struct ThreadAudit {
     clock: Vec<u64>,
 }
 
-/// Replays `events` (which must be timestamp-sorted, as
-/// [`Tracer::snapshot`](crate::trace::Tracer::snapshot) returns them) and
-/// checks every [`FindingKind`] invariant.  `truncated` is whether any ring
-/// was lapped (see [`Tracer::truncated`](crate::trace::Tracer::truncated));
-/// it gates the checks that reason about event *absence*.
+/// Replays `events` (which must be in [`sort_events`](crate::trace::sort_events)
+/// order — Lamport clock then timestamp, as [`Tracer::snapshot`](crate::trace::Tracer::snapshot)
+/// and fleet merges return them) and checks every [`FindingKind`]
+/// invariant.  `truncated` is whether any ring was lapped (see
+/// [`Tracer::truncated`](crate::trace::Tracer::truncated)); for merged
+/// multi-shard input, pass the OR across every shard's tracer.  It gates
+/// the checks that reason about event *absence*.
 pub fn audit(events: &[TraceEvent], truncated: bool) -> AuditReport {
     let lanes = events.iter().map(|e| e.vp as usize + 1).max().unwrap_or(1);
     let mut lane_clock = vec![0u64; lanes];
@@ -286,6 +303,27 @@ pub fn audit(events: &[TraceEvent], truncated: bool) -> AuditReport {
                 if let Some(pos) = st.held_locks.iter().rposition(|&id| id == e.a) {
                     st.held_locks.remove(pos);
                 }
+            }
+            EventKind::Handoff => {
+                // A cross-shard handoff consumes the source shard's
+                // pending enqueue — the item left that shard's queues for
+                // the mailbox — and the destination re-publishes it with
+                // its own Enqueue before dispatching.  Without consuming
+                // here, every handoff would read as one enqueue too many
+                // and surface as a phantom LostWakeup at end of stream.
+                if st.pending_enqueues == 0 && st.forked && !truncated {
+                    findings.push(Finding {
+                        kind: FindingKind::StealWithoutEnqueue,
+                        thread: e.thread,
+                        ts_ns: e.ts_ns,
+                        clock: st.clock.clone(),
+                        detail: format!(
+                            "handed off from shard {} to shard {} with no unconsumed enqueue",
+                            e.a, e.b
+                        ),
+                    });
+                }
+                st.pending_enqueues = st.pending_enqueues.saturating_sub(1);
             }
             EventKind::Steal
             | EventKind::Block

@@ -40,6 +40,8 @@ pub struct VmBuilder {
     metrics: bool,
     metrics_sample: u64,
     io_workers: usize,
+    shard: usize,
+    tid_source: Option<Arc<std::sync::atomic::AtomicU64>>,
 }
 
 /// Everything [`Vm::create`](Vm) needs besides the policy managers,
@@ -53,6 +55,10 @@ pub(crate) struct VmConfig {
     pub(crate) metrics: bool,
     pub(crate) metrics_sample: u64,
     pub(crate) io_workers: usize,
+    /// Shard index within a fleet (0 standalone).
+    pub(crate) shard: usize,
+    /// Shared thread-id counter for fleet-unique ids (`None` standalone).
+    pub(crate) tid_source: Option<Arc<std::sync::atomic::AtomicU64>>,
 }
 
 impl std::fmt::Debug for VmBuilder {
@@ -91,7 +97,22 @@ impl VmBuilder {
             metrics: true,
             metrics_sample: crate::metrics::DEFAULT_SAMPLE_PERIOD,
             io_workers: crate::io::DEFAULT_IO_WORKERS,
+            shard: 0,
+            tid_source: None,
         }
+    }
+
+    /// Marks the VM as shard `shard` of a fleet, drawing thread ids from
+    /// `tid_source` so ids stay unique fleet-wide.  Used by
+    /// [`crate::fleet::FleetBuilder`]; standalone VMs keep the defaults.
+    pub fn shard_identity(
+        mut self,
+        shard: usize,
+        tid_source: Arc<std::sync::atomic::AtomicU64>,
+    ) -> VmBuilder {
+        self.shard = shard;
+        self.tid_source = Some(tid_source);
+        self
     }
 
     /// Sets the VM name (diagnostics).
@@ -208,6 +229,8 @@ impl VmBuilder {
                 metrics: self.metrics,
                 metrics_sample: self.metrics_sample,
                 io_workers: self.io_workers,
+                shard: self.shard,
+                tid_source: self.tid_source.take(),
             },
         );
         let machine = self.machine.take().unwrap_or_else(|| {

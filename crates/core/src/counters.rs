@@ -76,6 +76,10 @@ counters! {
     suspends,
     /// Threads migrated between virtual processors.
     migrations,
+    /// Threads handed off to another VM shard over the fleet fabric.
+    handoffs,
+    /// Tuple-space operations routed to a remote shard partition.
+    routed_ops,
     /// Threads that reached the determined state.
     determinations,
     /// Threads determined by an uncaught exception.

@@ -49,6 +49,7 @@ pub mod builder;
 pub mod counters;
 pub mod deque;
 pub mod error;
+pub mod fleet;
 pub mod group;
 pub mod io;
 pub mod machine;
@@ -74,6 +75,7 @@ pub use audit::{AuditReport, Finding, FindingKind};
 pub use builder::{ThreadBuilder, VmBuilder};
 pub use counters::{CounterSnapshot, Counters};
 pub use error::CoreError;
+pub use fleet::{Fleet, FleetBuilder};
 pub use group::ThreadGroup;
 pub use machine::PhysicalMachine;
 pub use metrics::{Histogram, HistogramSnapshot, Metrics, MetricsSnapshot};

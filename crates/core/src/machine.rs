@@ -140,10 +140,15 @@ fn attached_vms(shared: &MachineShared) -> Vec<Arc<Vm>> {
 }
 
 fn worker_loop(shared: &MachineShared, index: usize, processors: usize) {
+    // Reused across passes: re-collecting the attachment list every pass
+    // costs an allocation per pass per worker, and a fleet multiplies the
+    // pass frequency by its shard count.
+    let mut vms: Vec<Arc<Vm>> = Vec::new();
     while !shared.stop.load(Ordering::Acquire) {
         let epoch = *shared.work_epoch.lock();
         let mut did_work = false;
-        for vm in attached_vms(shared) {
+        vms.extend(shared.vms.read().iter().filter_map(Weak::upgrade));
+        for vm in &vms {
             if vm.is_stopped() {
                 continue;
             }
@@ -156,6 +161,9 @@ fn worker_loop(shared: &MachineShared, index: usize, processors: usize) {
             }
             vm.active_slices.fetch_sub(1, Ordering::AcqRel);
         }
+        // Drop the strong refs before parking so a detached VM's teardown
+        // is never pinned by an idle worker.
+        vms.clear();
         if !did_work {
             let mut g = shared.work_epoch.lock();
             if *g == epoch && !shared.stop.load(Ordering::Acquire) {
@@ -180,10 +188,11 @@ fn timekeeper_loop(shared: &MachineShared) {
                     0
                 );
             }
-            if vm
-                .timers()
-                .next_deadline()
-                .is_some_and(|d| d <= std::time::Instant::now())
+            if vm.timers().has_pending()
+                && vm
+                    .timers()
+                    .next_deadline()
+                    .is_some_and(|d| d <= std::time::Instant::now())
             {
                 vm.process_timers();
             }

@@ -382,6 +382,17 @@ pub fn current_vp() -> Option<Arc<Vp>> {
     tls::current().map(|c| c.vp)
 }
 
+/// The VM (shard) driving the calling thread, if on one.
+pub fn current_vm() -> Option<Arc<crate::vm::Vm>> {
+    current_vp().map(|vp| vp.vm())
+}
+
+/// The shard index of the VM driving the calling thread (`0` on a
+/// standalone VM), if on a thread.  See [`crate::fleet`].
+pub fn current_shard() -> Option<usize> {
+    current_vm().map(|vm| vm.shard_id())
+}
+
 /// Switches back to the scheduler with `disposition`; returns on resume.
 pub(crate) fn switch_out(disposition: Disposition) -> Wakeup {
     let cur = tls::current().expect("switch_out called off-thread");

@@ -141,7 +141,11 @@ pub struct Thread {
     group: Arc<ThreadGroup>,
     parent: Weak<Thread>,
     children: Mutex<Vec<Weak<Thread>>>,
-    pub(crate) vm: Weak<Vm>,
+    /// Owning VM (shard).  Interior-mutable so a cross-shard handoff can
+    /// re-home the thread while it is quiescent (owned by exactly one
+    /// mailbox, neither queued nor running); every reader goes through
+    /// [`Thread::vm`], so a re-home is a single uncontended lock.
+    vm: Mutex<Weak<Vm>>,
     /// VP the thread last ran on (or was scheduled on); wake-ups go here.
     pub(crate) home_vp: AtomicUsize,
     /// Metrics stamp: [`Metrics::now_ns`](crate::metrics::Metrics) at the
@@ -208,7 +212,7 @@ impl Thread {
             group: group.clone(),
             parent: parent.clone(),
             children: Mutex::new(Vec::new()),
-            vm: Arc::downgrade(vm),
+            vm: Mutex::new(Arc::downgrade(vm)),
             home_vp: AtomicUsize::new(0),
             enqueued_at_ns: AtomicU64::new(0),
             blocked_at_ns: AtomicU64::new(0),
@@ -613,7 +617,21 @@ impl Thread {
     }
 
     pub(crate) fn vm(&self) -> Option<Arc<Vm>> {
-        self.vm.upgrade()
+        self.vm.lock().upgrade()
+    }
+
+    /// Whether this thread belongs to `vm` (same shard).
+    pub(crate) fn belongs_to(&self, vm: &Arc<Vm>) -> bool {
+        self.vm.lock().ptr_eq(&Arc::downgrade(vm))
+    }
+
+    /// Re-points the thread at a new owning shard.  Caller must hold the
+    /// only reference to the thread's run state (a handed-off `RunItem`):
+    /// the thread is neither queued, running, nor parked on the source
+    /// shard when this runs, so readers racing `vm()` see either shard
+    /// coherently and both are valid wake targets during the handoff.
+    pub(crate) fn rehome(&self, vm: &Arc<Vm>) {
+        *self.vm.lock() = Arc::downgrade(vm);
     }
 
     /// Drains pending asynchronous requests (called by the owning thread at

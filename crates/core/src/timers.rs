@@ -21,6 +21,7 @@ use crate::wait::WaitNode;
 use parking_lot::Mutex;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -114,6 +115,12 @@ impl Inner {
 #[derive(Default)]
 pub struct Timers {
     inner: Mutex<Inner>,
+    /// Live entries, mirrored outside the lock so the per-slice
+    /// [`Timers::take_due`] poll can skip the mutex (and the caller can
+    /// skip reading the clock) on the common no-timers path — machines
+    /// sweep every attached VM's timers once per pass, so a fleet pays
+    /// this per shard.
+    pending: AtomicUsize,
 }
 
 impl std::fmt::Debug for Timers {
@@ -131,7 +138,9 @@ impl Timers {
     /// Schedules `thread` to be woken at `when`.  Cancel with the returned
     /// id if the thread is woken early.
     pub fn add(&self, when: Instant, thread: Arc<Thread>) -> TimerId {
-        self.inner.lock().add(when, EntryKind::Resume(thread))
+        let id = self.inner.lock().add(when, EntryKind::Resume(thread));
+        self.pending.fetch_add(1, Ordering::Release);
+        id
     }
 
     /// Schedules the deadline of a timed park: at `when`, episode `gen` of
@@ -144,9 +153,12 @@ impl Timers {
         node: Arc<WaitNode>,
         gen: u64,
     ) -> TimerId {
-        self.inner
+        let id = self
+            .inner
             .lock()
-            .add(when, EntryKind::WaitDeadline { thread, node, gen })
+            .add(when, EntryKind::WaitDeadline { thread, node, gen });
+        self.pending.fetch_add(1, Ordering::Release);
+        id
     }
 
     /// Cancels a pending entry.  Returns `false` if it already fired (or
@@ -159,6 +171,7 @@ impl Timers {
         }
         inner.cancelled.insert(id.0);
         inner.maybe_compact();
+        self.pending.fetch_sub(1, Ordering::Release);
         true
     }
 
@@ -166,6 +179,9 @@ impl Timers {
     /// is at or before `now`.  Tombstones encountered on the way are
     /// discarded silently.
     pub(crate) fn take_due(&self, now: Instant) -> Vec<Due> {
+        if !self.has_pending() {
+            return Vec::new();
+        }
         let mut inner = self.inner.lock();
         let mut due = Vec::new();
         while let Some(Reverse(head)) = inner.heap.peek() {
@@ -177,6 +193,7 @@ impl Timers {
                 continue;
             }
             inner.live.remove(&entry.seq);
+            self.pending.fetch_sub(1, Ordering::Release);
             due.push(match entry.kind {
                 EntryKind::Resume(t) => Due::Resume(t),
                 EntryKind::WaitDeadline { thread, node, gen } => {
@@ -199,6 +216,15 @@ impl Timers {
             inner.cancelled.remove(&seq);
         }
         None
+    }
+
+    /// Whether any live wake-up is pending, without taking the lock.
+    ///
+    /// A concurrent `add` racing past the check is caught on the next
+    /// sweep — the slack is bounded by one preemption tick, which is
+    /// already the timer wheel's precision.
+    pub(crate) fn has_pending(&self) -> bool {
+        self.pending.load(Ordering::Acquire) != 0
     }
 
     /// Number of pending live wake-ups (cancelled tombstones excluded).

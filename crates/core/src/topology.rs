@@ -46,6 +46,17 @@ pub enum Topology {
         /// Dimension.
         dim: u32,
     },
+    /// A fleet of `shards` VM shards with `vps` VPs each (see
+    /// [`crate::fleet`]).  Global VP index = `shard * vps + local`.
+    /// Left/right walk the shard-local ring; up/down step to the same
+    /// local index on the neighbouring shard — a `shards × vps` torus
+    /// whose rows are shards.
+    Sharded {
+        /// Number of VM shards.
+        shards: usize,
+        /// VPs per shard.
+        vps: usize,
+    },
 }
 
 impl Topology {
@@ -69,12 +80,34 @@ impl Topology {
         Topology::Hypercube { dim }
     }
 
+    /// A fleet topology: `shards` shards of `vps` VPs each.
+    pub fn sharded(shards: usize, vps: usize) -> Topology {
+        Topology::Sharded { shards, vps }
+    }
+
+    /// The shard owning global VP `vp` (fleet topologies only).
+    pub fn shard_of(&self, vp: usize) -> Option<usize> {
+        match *self {
+            Topology::Sharded { shards, vps } if vps > 0 && vp < shards * vps => Some(vp / vps),
+            _ => None,
+        }
+    }
+
+    /// The shard-local index of global VP `vp` (fleet topologies only).
+    pub fn local_of(&self, vp: usize) -> Option<usize> {
+        match *self {
+            Topology::Sharded { shards, vps } if vps > 0 && vp < shards * vps => Some(vp % vps),
+            _ => None,
+        }
+    }
+
     /// Number of VPs the topology addresses.
     pub fn len(&self) -> usize {
         match *self {
             Topology::Ring { n } => n,
             Topology::Mesh { rows, cols } | Topology::Torus { rows, cols } => rows * cols,
             Topology::Hypercube { dim } => 1usize << dim,
+            Topology::Sharded { shards, vps } => shards * vps,
         }
     }
 
@@ -88,7 +121,7 @@ impl Topology {
         match *self {
             Topology::Ring { n } => (n > 0).then(|| (vp + n - 1) % n),
             Topology::Mesh { cols, .. } => (!vp.is_multiple_of(cols)).then(|| vp - 1),
-            Topology::Torus { cols, .. } => {
+            Topology::Torus { cols, .. } | Topology::Sharded { vps: cols, .. } => {
                 let row = vp / cols;
                 Some(row * cols + (vp % cols + cols - 1) % cols)
             }
@@ -103,7 +136,7 @@ impl Topology {
             Topology::Mesh { rows, cols } => {
                 (vp % cols + 1 < cols && vp < rows * cols).then(|| vp + 1)
             }
-            Topology::Torus { cols, .. } => {
+            Topology::Torus { cols, .. } | Topology::Sharded { vps: cols, .. } => {
                 let row = vp / cols;
                 Some(row * cols + (vp % cols + 1) % cols)
             }
@@ -115,7 +148,11 @@ impl Topology {
     pub fn up(&self, vp: usize) -> Option<usize> {
         match *self {
             Topology::Mesh { cols, .. } => (vp >= cols).then(|| vp - cols),
-            Topology::Torus { rows, cols } => {
+            Topology::Torus { rows, cols }
+            | Topology::Sharded {
+                shards: rows,
+                vps: cols,
+            } => {
                 let col = vp % cols;
                 let row = vp / cols;
                 Some(((row + rows - 1) % rows) * cols + col)
@@ -128,7 +165,11 @@ impl Topology {
     pub fn down(&self, vp: usize) -> Option<usize> {
         match *self {
             Topology::Mesh { rows, cols } => (vp + cols < rows * cols).then(|| vp + cols),
-            Topology::Torus { rows, cols } => {
+            Topology::Torus { rows, cols }
+            | Topology::Sharded {
+                shards: rows,
+                vps: cols,
+            } => {
                 let col = vp % cols;
                 let row = vp / cols;
                 Some(((row + 1) % rows) * cols + col)
@@ -156,7 +197,7 @@ impl Topology {
                 v.dedup();
                 v
             }
-            Topology::Mesh { .. } | Topology::Torus { .. } => {
+            Topology::Mesh { .. } | Topology::Torus { .. } | Topology::Sharded { .. } => {
                 let mut v: Vec<usize> = [self.up(vp), self.down(vp), self.left(vp), self.right(vp)]
                     .into_iter()
                     .flatten()

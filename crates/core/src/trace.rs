@@ -91,6 +91,13 @@ pub enum EventKind {
     LockAcquire = 17,
     /// The running thread released a mutex; payload `a` is the mutex id.
     LockRelease = 18,
+    /// A ready thread was handed off between VM shards over the fleet
+    /// mailbox fabric; payload `a` is the source shard, `b` the
+    /// destination shard.  Recorded on the source shard at the moment the
+    /// item leaves its queues; the destination's own [`EventKind::Enqueue`]
+    /// re-publishes it, so the audit treats a handoff as consuming one
+    /// pending enqueue (like a dispatch) rather than as a steal.
+    Handoff = 19,
 }
 
 impl EventKind {
@@ -116,6 +123,7 @@ impl EventKind {
             16 => IoReady,
             17 => LockAcquire,
             18 => LockRelease,
+            19 => Handoff,
             _ => return None,
         })
     }
@@ -143,6 +151,7 @@ impl EventKind {
             IoReady => "io-ready",
             LockAcquire => "lock-acquire",
             LockRelease => "lock-release",
+            Handoff => "handoff",
         }
     }
 }
@@ -163,6 +172,14 @@ pub struct TraceEvent {
     pub a: u32,
     /// Second event-specific payload word.
     pub b: u32,
+    /// Lamport logical clock at the moment of recording.  Within one
+    /// tracer the clock is a strictly increasing counter; across tracers
+    /// it is advanced by [`Tracer::witness`] whenever a cross-shard
+    /// message arrives, so causally related events on different shards
+    /// always compare in cause-before-effect order.  Merged snapshots
+    /// sort by `(lc, ts_ns)`, which makes the ordering stable under
+    /// per-shard clock drift.
+    pub lc: u64,
 }
 
 /// One ring slot: a sequence word plus the packed event fields.
@@ -179,6 +196,8 @@ struct Slot {
     thread: AtomicU64,
     /// a (low 32 bits) | b (high 32 bits).
     aux: AtomicU64,
+    /// Lamport clock value.
+    lc: AtomicU64,
 }
 
 impl Slot {
@@ -189,6 +208,7 @@ impl Slot {
             meta: AtomicU64::new(0),
             thread: AtomicU64::new(0),
             aux: AtomicU64::new(0),
+            lc: AtomicU64::new(0),
         }
     }
 }
@@ -208,7 +228,8 @@ impl Ring {
         }
     }
 
-    fn record(&self, ts_ns: u64, vp: u32, kind: EventKind, thread: u64, a: u32, b: u32) {
+    #[allow(clippy::too_many_arguments)]
+    fn record(&self, ts_ns: u64, vp: u32, kind: EventKind, thread: u64, a: u32, b: u32, lc: u64) {
         let ticket = self.head.fetch_add(1, Ordering::Relaxed);
         let slot = &self.slots[(ticket % self.slots.len() as u64) as usize];
         // Invalidate the slot first so a concurrent reader can't match the
@@ -228,6 +249,7 @@ impl Ring {
         slot.thread.store(thread, Ordering::Release);
         slot.aux
             .store(a as u64 | ((b as u64) << 32), Ordering::Release);
+        slot.lc.store(lc, Ordering::Release);
         slot.seq.store(ticket + 1, Ordering::Release);
     }
 
@@ -249,6 +271,7 @@ impl Ring {
             let meta = slot.meta.load(Ordering::Acquire);
             let thread = slot.thread.load(Ordering::Acquire);
             let aux = slot.aux.load(Ordering::Acquire);
+            let lc = slot.lc.load(Ordering::Acquire);
             // Re-check the sequence: if it changed, a writer lapped us and
             // the words above may mix generations.
             if slot.seq.load(Ordering::Acquire) != ticket + 1 {
@@ -264,6 +287,7 @@ impl Ring {
                 thread,
                 a: (aux & 0xffff_ffff) as u32,
                 b: (aux >> 32) as u32,
+                lc,
             });
         }
     }
@@ -286,6 +310,10 @@ pub struct Tracer {
     enabled: AtomicBool,
     epoch: Instant,
     rings: Box<[Ring]>,
+    /// Lamport logical clock: bumped on every record, advanced past a
+    /// remote peer's clock by [`Tracer::witness`] when a cross-shard
+    /// message is received.
+    clock: AtomicU64,
 }
 
 impl std::fmt::Debug for Tracer {
@@ -307,6 +335,7 @@ impl Tracer {
             enabled: AtomicBool::new(enabled),
             epoch: Instant::now(),
             rings: (0..=vps).map(|_| Ring::new(capacity)).collect(),
+            clock: AtomicU64::new(0),
         }
     }
 
@@ -341,7 +370,32 @@ impl Tracer {
             _ => self.rings.len() - 1,
         };
         let ts = self.epoch.elapsed().as_nanos() as u64;
-        self.rings[lane].record(ts, lane as u32, kind, thread, a, b);
+        let lc = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+        self.rings[lane].record(ts, lane as u32, kind, thread, a, b, lc);
+    }
+
+    /// Current Lamport clock value.  A cross-shard sender reads this after
+    /// recording its send-side event and ships the value with the message.
+    pub fn clock(&self) -> u64 {
+        self.clock.load(Ordering::Relaxed)
+    }
+
+    /// Advances the clock past a remote peer's value (`max(local, seen)`),
+    /// so every event the receiver records after draining the message is
+    /// logically later than everything the sender recorded before posting
+    /// it.  The merge sort in [`crate::fleet::Fleet::merged_snapshot`]
+    /// depends on exactly this invariant.
+    pub fn witness(&self, seen: u64) {
+        let mut cur = self.clock.load(Ordering::Relaxed);
+        while cur < seen {
+            match self
+                .clock
+                .compare_exchange_weak(cur, seen, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(now) => cur = now,
+            }
+        }
     }
 
     /// Total events recorded since creation (including any the rings have
@@ -359,16 +413,31 @@ impl Tracer {
     }
 
     /// Copies out all resident events, merged across lanes and sorted by
-    /// timestamp.  Safe to call while the VM is running (a best-effort
-    /// snapshot) or after it drains (exact).
+    /// logical clock (timestamp as the tiebreaker).  Safe to call while
+    /// the VM is running (a best-effort snapshot) or after it drains
+    /// (exact).
     pub fn snapshot(&self) -> Vec<TraceEvent> {
         let mut out = Vec::new();
         for (lane, ring) in self.rings.iter().enumerate() {
             ring.drain_into(&mut out, lane as u32);
         }
-        out.sort_by_key(|e| e.ts_ns);
+        sort_events(&mut out);
         out
     }
+
+    /// Number of lanes (VP rings plus the external lane).
+    pub fn lanes(&self) -> usize {
+        self.rings.len()
+    }
+}
+
+/// Sorts events into merge-stable replay order: Lamport clock first (the
+/// cross-shard causal order), timestamp as the within-clock tiebreaker.
+/// Fleet-wide merges concatenate per-shard snapshots and re-sort with this
+/// same key, so a merged trace and a single-shard trace replay under
+/// identical rules.
+pub fn sort_events(events: &mut [TraceEvent]) {
+    events.sort_by_key(|e| (e.lc, e.ts_ns));
 }
 
 /// Renders events in the `chrome://tracing` JSON array format (also
@@ -442,6 +511,7 @@ pub fn text_dump(events: &[TraceEvent]) -> String {
         let detail = match e.kind {
             EventKind::Switch => format!(" ({})", switch_disposition(e.a)),
             EventKind::Migrate => format!(" (vp{} -> vp{})", e.a, e.b),
+            EventKind::Handoff => format!(" (shard{} -> shard{})", e.a, e.b),
             EventKind::Steal => format!(" (depth {})", e.a),
             EventKind::Enqueue => format!(" (state {}, vp {})", e.a, e.b),
             EventKind::BlockTimeout => format!(" (gen {})", e.b),
@@ -579,8 +649,32 @@ mod tests {
                 thread: 42,
                 a: 3,
                 b: 1,
+                lc: 1,
             }]
         );
+    }
+
+    #[test]
+    fn lamport_clock_is_strictly_increasing_and_witnessable() {
+        let a = Tracer::new(1, 64, true);
+        let b = Tracer::new(1, 64, true);
+        a.record(Some(0), EventKind::Fork, 1, 0, 0);
+        a.record(Some(0), EventKind::Enqueue, 1, 0, 0);
+        // Simulate a cross-shard message: b witnesses a's clock, so b's
+        // next event sorts after everything a recorded before the send.
+        b.witness(a.clock());
+        b.record(Some(0), EventKind::Enqueue, 1, 0, 0);
+        let ea = a.snapshot();
+        let eb = b.snapshot();
+        assert_eq!(ea.iter().map(|e| e.lc).collect::<Vec<_>>(), vec![1, 2]);
+        assert_eq!(eb[0].lc, 3);
+        // A stale witness never moves the clock backwards.
+        a.witness(0);
+        assert_eq!(a.clock(), 2);
+        // Merged order is cause-before-effect regardless of wall clocks.
+        let mut merged = [ea, eb].concat();
+        sort_events(&mut merged);
+        assert_eq!(merged.last().unwrap().lc, 3);
     }
 
     #[test]

@@ -41,8 +41,16 @@ pub struct Vm {
     io_driver: Arc<IoDriver>,
     all_threads: Mutex<(Vec<Weak<Thread>>, usize)>,
     stop: AtomicBool,
-    next_tid: AtomicU64,
+    /// Thread-id source.  Shared across every shard of a fleet so ids are
+    /// unique fleet-wide (merged traces must never conflate two threads).
+    next_tid: Arc<AtomicU64>,
     next_fork_vp: AtomicUsize,
+    /// This VM's index within its fleet (0 for a standalone VM).
+    shard: usize,
+    /// Cross-shard fabric, installed once by [`crate::fleet::Fleet`].
+    /// Standalone VMs never set it, so the hot-path check is a single
+    /// acquire load that stays `None`.
+    fabric: std::sync::OnceLock<Arc<crate::fleet::Fabric>>,
     /// Number of VP slices currently executing on machine workers; used to
     /// quiesce before draining at shutdown.
     pub(crate) active_slices: AtomicUsize,
@@ -98,8 +106,12 @@ impl Vm {
                 io_driver,
                 all_threads: Mutex::new((Vec::new(), 0)),
                 stop: AtomicBool::new(false),
-                next_tid: AtomicU64::new(1),
+                next_tid: config
+                    .tid_source
+                    .unwrap_or_else(|| Arc::new(AtomicU64::new(1))),
                 next_fork_vp: AtomicUsize::new(0),
+                shard: config.shard,
+                fabric: std::sync::OnceLock::new(),
                 active_slices: AtomicUsize::new(0),
                 machine: Mutex::new(None),
             }
@@ -218,6 +230,24 @@ impl Vm {
         self.next_tid.fetch_add(1, Ordering::Relaxed)
     }
 
+    /// This VM's shard index within its fleet (0 when standalone).
+    pub fn shard_id(&self) -> usize {
+        self.shard
+    }
+
+    /// The cross-shard fabric, if this VM is part of a [`crate::fleet::Fleet`].
+    pub(crate) fn fabric(&self) -> Option<&Arc<crate::fleet::Fabric>> {
+        self.fabric.get()
+    }
+
+    /// Installs the fleet fabric.  Called once per shard by the fleet
+    /// builder, before any cross-shard traffic exists.
+    pub(crate) fn install_fabric(&self, fabric: Arc<crate::fleet::Fabric>) {
+        if self.fabric.set(fabric).is_err() {
+            panic!("fabric installed twice on shard {}", self.shard);
+        }
+    }
+
     /// Forks `f` as a scheduled thread on a VP chosen round-robin.
     pub fn fork<F, V>(self: &Arc<Vm>, f: F) -> Arc<Thread>
     where
@@ -305,7 +335,7 @@ impl Vm {
     ) -> Arc<Thread> {
         let opts = opts.unwrap_or_default();
         let parent = tc::current_thread()
-            .filter(|t| t.vm.ptr_eq(&Arc::downgrade(self)))
+            .filter(|t| t.belongs_to(self))
             .map(|t| Arc::downgrade(&t))
             .unwrap_or_default();
         let group = opts.group.unwrap_or_else(|| {
@@ -402,6 +432,12 @@ impl Vm {
     /// Drains due timers, waking suspended threads and expiring timed
     /// parks.  Called by machine workers and the timekeeper.
     pub(crate) fn process_timers(self: &Arc<Vm>) {
+        // Fast path: skip the clock read and the wheel lock when nothing is
+        // pending — workers sweep every attached VM each pass, so a fleet
+        // would otherwise pay both per shard per pass.
+        if !self.timers.has_pending() {
+            return;
+        }
         let due = self.timers.take_due(std::time::Instant::now());
         for entry in due {
             match entry {

@@ -522,6 +522,13 @@ impl Vp {
             },
             None => None,
         };
+        // Cross-shard fabric: drain inbound handoffs/calls once per slice
+        // and, when the slice ends empty-handed, ask a sibling shard for
+        // work.  Standalone VMs pay one acquire load for the `None`.
+        let fabric = vm.fabric().cloned();
+        if let Some(fabric) = &fabric {
+            fabric.pump(&vm, self);
+        }
         let mut ran = false;
         for _ in 0..budget {
             if vm.is_stopped() {
@@ -568,7 +575,29 @@ impl Vp {
                 }
             }
         }
+        if !ran {
+            if let Some(fabric) = &fabric {
+                fabric.request_work(&vm);
+            }
+        }
         ran
+    }
+
+    /// Pops one migratable item from this VP's own ready queue for a
+    /// cross-shard handoff (see [`crate::fleet`]).  Uses the thief-side
+    /// steal protocol on the VP's own deque — claiming from the cold end,
+    /// exactly the item an in-shard thief would take, so the owner/thief
+    /// CASes arbitrate correctly even though the caller is the owning
+    /// worker.  Locked-tier VPs never surrender.
+    pub(crate) fn surrender_for_fleet(&self) -> Option<RunItem> {
+        let fq = self.fast.as_ref()?;
+        if !fq.caps.steal {
+            return None;
+        }
+        match fq.steal(!fq.caps.steal_tcbs) {
+            Steal::Success(item) => Some(item),
+            Steal::Empty | Steal::Retry => None,
+        }
     }
 
     /// Empties both queue tiers, returning everything that was ready.

@@ -16,6 +16,7 @@ fn ev(ts: u64, vp: u32, kind: EventKind, thread: u64, a: u32, b: u32) -> TraceEv
         thread,
         a,
         b,
+        lc: ts,
     }
 }
 

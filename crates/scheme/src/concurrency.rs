@@ -12,12 +12,14 @@ use parking_lot::Mutex as PlMutex;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use sting_areas::Val;
+use sting_core::fleet::Fleet;
 use sting_core::net::{TcpListener, TcpStream, LOCALHOST};
 use sting_core::tc::{self, Cx};
 use sting_core::thread::{Thread, ThreadResult};
+use sting_core::vm::Vm;
 use sting_core::ThreadState;
 use sting_sync::{Barrier, Channel, Mutex, Semaphore, Stream, StreamCursor};
-use sting_tuple::{formal, lit, SpaceKind, Template, TemplateField, TupleSpace};
+use sting_tuple::{formal, lit, ShardedSpace, SpaceKind, Template, TemplateField, TupleSpace};
 use sting_value::{Symbol, Value};
 
 fn cx() -> Result<Cx, SchemeError> {
@@ -156,6 +158,29 @@ fn bindings_to_val(m: &mut Machine, bindings: Vec<Value>) -> Val {
     m.list_from_stack(bindings.len())
 }
 
+/// The `(vm-metrics)` row list for one VM (see the prim's doc comment).
+fn metrics_rows(m: &mut Machine, vm: &Arc<Vm>) -> Val {
+    let snap = vm.metrics().snapshot();
+    let rows = [
+        ("dispatch", snap.dispatch),
+        ("steal", snap.steal),
+        ("block-wake", snap.wake),
+        ("gc-pause", snap.gc_pause),
+    ];
+    for (name, h) in &rows {
+        m.push(Val::Sym(Symbol::intern(name).index()));
+        m.push(Val::Int(h.count as i64));
+        m.push(Val::Int(h.min as i64));
+        m.push(Val::Float(h.mean()));
+        m.push(Val::Int(h.p50() as i64));
+        m.push(Val::Int(h.p99() as i64));
+        m.push(Val::Int(h.max as i64));
+        let row = m.list_from_stack(7);
+        m.push(row);
+    }
+    m.list_from_stack(rows.len())
+}
+
 /// A fluid (dynamic binding) key.
 #[derive(Debug)]
 pub struct Fluid {
@@ -283,6 +308,10 @@ pub(crate) fn add_defs(v: &mut Vec<Def>) {
     def!("vp-count", 0, Some(0), |_m, _a| {
         let cx = cx()?;
         Ok(Val::Int(cx.vm().vp_count() as i64))
+    });
+    def!("current-shard", 0, Some(0), |_m, _a| {
+        // The calling thread's VM shard index (0 on an unsharded VM).
+        Ok(Val::Int(tc::current_shard().unwrap_or(0) as i64))
     });
     // Flight recorder (scheduler event tracing).  `trace-start` /
     // `trace-stop` toggle recording on the running VM; `trace-dump`
@@ -703,6 +732,133 @@ pub(crate) fn add_defs(v: &mut Vec<Def>) {
         Ok(Val::Unit)
     });
 
+    // --- fleets (sharded virtual machines) --------------------------------
+    // A fleet is a set of cooperating VM shards on one physical machine
+    // (sting_core::fleet): work spreads between shards over per-pair
+    // mailboxes, and a sharded tuple space partitions its tuples across
+    // the shards by the same (arity, field₀) hash its buckets use.
+    def!("fleet-spawn", 1, Some(2), |m, a| {
+        // (fleet-spawn n [vps-per-shard]): a traced fleet of n VM shards.
+        let n = want_int(m, a, 0, "fleet-spawn")?.max(1) as usize;
+        let vps = if a > 1 {
+            want_int(m, a, 1, "fleet-spawn")?.max(1) as usize
+        } else {
+            1
+        };
+        let fleet = Fleet::builder()
+            .shards(n)
+            .vps_per_shard(vps)
+            .trace(true)
+            .build();
+        Ok(m.native(Value::native("fleet", Arc::new(fleet))))
+    });
+    def!("fleet-size", 1, Some(1), |m, a| {
+        let fleet = want_native::<Fleet>(m, a, 0, "fleet-size")?;
+        Ok(Val::Int(fleet.len() as i64))
+    });
+    def!("fleet-fork", 3, Some(3), |m, a| {
+        // (fleet-fork fleet shard thunk): run thunk as a thread on `shard`.
+        let fleet = want_native::<Fleet>(m, a, 0, "fleet-fork")?;
+        let shard = want_int(m, a, 1, "fleet-fork")? as usize;
+        let thunk = want_thunk_value(m, a, 2, "fleet-fork")?;
+        if shard >= fleet.len() {
+            return Err(rerr(format!(
+                "fleet-fork: shard {shard} out of range 0..{}",
+                fleet.len()
+            )));
+        }
+        let program = m.program.clone();
+        let globals = m.globals.clone();
+        let fluids = m.fluids.clone();
+        let t = fleet.shard(shard).fork_try(move |cx2| {
+            machine::run_thunk_in_fresh_machine(cx2, program, globals, fluids, &thunk)
+        });
+        Ok(thread_val(m, &t))
+    });
+    def!("fleet-ts", 1, Some(1), |m, a| {
+        // (fleet-ts fleet): a tuple space partitioned across the shards.
+        let fleet = want_native::<Fleet>(m, a, 0, "fleet-ts")?;
+        Ok(m.native(ShardedSpace::new(&fleet).to_value()))
+    });
+    def!("fleet-ts-put", 2, Some(2), |m, a| {
+        let ts = want_native::<ShardedSpace>(m, a, 0, "fleet-ts-put")?;
+        let items = want_list(m, a, 1, "fleet-ts-put")?;
+        let mut fields = Vec::with_capacity(items.len());
+        for &it in &items {
+            fields.push(m.to_value(it)?);
+        }
+        ts.put(fields);
+        Ok(Val::Unit)
+    });
+    def!("fleet-ts-get", 2, Some(3), |m, a| {
+        // (fleet-ts-get sts tmpl [ms]): #f if nothing matched within `ms`.
+        let ts = want_native::<ShardedSpace>(m, a, 0, "fleet-ts-get")?;
+        let t = want_template(m, a, 1, "fleet-ts-get")?;
+        if a > 2 {
+            let ms = want_ms(m, a, 2, "fleet-ts-get")?;
+            match ts.get_timeout(&t, ms) {
+                Some(b) => Ok(bindings_to_val(m, b)),
+                None => Ok(Val::Bool(false)),
+            }
+        } else {
+            let b = ts.get(&t);
+            Ok(bindings_to_val(m, b))
+        }
+    });
+    def!("fleet-ts-rd", 2, Some(3), |m, a| {
+        // (fleet-ts-rd sts tmpl [ms]): #f if nothing matched within `ms`.
+        let ts = want_native::<ShardedSpace>(m, a, 0, "fleet-ts-rd")?;
+        let t = want_template(m, a, 1, "fleet-ts-rd")?;
+        if a > 2 {
+            let ms = want_ms(m, a, 2, "fleet-ts-rd")?;
+            match ts.rd_timeout(&t, ms) {
+                Some(b) => Ok(bindings_to_val(m, b)),
+                None => Ok(Val::Bool(false)),
+            }
+        } else {
+            let b = ts.rd(&t);
+            Ok(bindings_to_val(m, b))
+        }
+    });
+    def!("fleet-ts-try-get", 2, Some(2), |m, a| {
+        let ts = want_native::<ShardedSpace>(m, a, 0, "fleet-ts-try-get")?;
+        let t = want_template(m, a, 1, "fleet-ts-try-get")?;
+        match ts.try_get(&t) {
+            Some(b) => Ok(bindings_to_val(m, b)),
+            None => Ok(Val::Bool(false)),
+        }
+    });
+    def!("fleet-ts-try-rd", 2, Some(2), |m, a| {
+        let ts = want_native::<ShardedSpace>(m, a, 0, "fleet-ts-try-rd")?;
+        let t = want_template(m, a, 1, "fleet-ts-try-rd")?;
+        match ts.try_rd(&t) {
+            Some(b) => Ok(bindings_to_val(m, b)),
+            None => Ok(Val::Bool(false)),
+        }
+    });
+    def!("fleet-audit", 1, Some(1), |m, a| {
+        // The fleet-wide merged replay through the invariant linter,
+        // rendered as a string (shards' rings merge on the Lamport clock).
+        let fleet = want_native::<Fleet>(m, a, 0, "fleet-audit")?;
+        let report = fleet.trace_audit();
+        Ok(m.string(&report.to_string()))
+    });
+    def!("fleet-handoffs", 1, Some(1), |m, a| {
+        // Threads handed off between shards, summed over the fleet.
+        let fleet = want_native::<Fleet>(m, a, 0, "fleet-handoffs")?;
+        let n: u64 = fleet
+            .shards()
+            .iter()
+            .map(|vm| vm.counters().snapshot().handoffs)
+            .sum();
+        Ok(Val::Int(n as i64))
+    });
+    def!("fleet-shutdown", 1, Some(1), |m, a| {
+        let fleet = want_native::<Fleet>(m, a, 0, "fleet-shutdown")?;
+        fleet.shutdown();
+        Ok(Val::Unit)
+    });
+
     // --- fluids (dynamic bindings) ---------------------------------------
     def!("make-fluid", 1, Some(1), |m, a| {
         use std::sync::atomic::{AtomicU64, Ordering};
@@ -744,6 +900,8 @@ pub(crate) fn add_defs(v: &mut Vec<Def>) {
             "blocks" => snap.blocks,
             "wakeups" => snap.wakeups,
             "migrations" => snap.migrations,
+            "handoffs" => snap.handoffs,
+            "routed-ops" => snap.routed_ops,
             "determinations" => snap.determinations,
             "exceptions" => snap.exceptions,
             other => return Err(rerr(format!("substrate-counter: unknown counter {other}"))),
@@ -767,26 +925,22 @@ pub(crate) fn add_defs(v: &mut Vec<Def>) {
     // (vm-metrics) -> ((name count min-ns mean-ns p50-ns p99-ns max-ns) ...)
     // for dispatch, steal, block-wake and gc-pause latency histograms (see
     // `sting_core::metrics`; scheduler rows are 1-in-N sampled).
-    def!("vm-metrics", 0, Some(0), |m, _a| {
-        let snap = cx()?.vm().metrics().snapshot();
-        let rows = [
-            ("dispatch", snap.dispatch),
-            ("steal", snap.steal),
-            ("block-wake", snap.wake),
-            ("gc-pause", snap.gc_pause),
-        ];
-        for (name, h) in &rows {
-            m.push(Val::Sym(Symbol::intern(name).index()));
-            m.push(Val::Int(h.count as i64));
-            m.push(Val::Int(h.min as i64));
-            m.push(Val::Float(h.mean()));
-            m.push(Val::Int(h.p50() as i64));
-            m.push(Val::Int(h.p99() as i64));
-            m.push(Val::Int(h.max as i64));
-            let row = m.list_from_stack(7);
-            m.push(row);
+    // (vm-metrics fleet) -> ((shard rows) ...): the same rows per shard.
+    def!("vm-metrics", 0, Some(1), |m, a| {
+        if a > 0 {
+            let fleet = want_native::<Fleet>(m, a, 0, "vm-metrics")?;
+            let shards: Vec<Arc<Vm>> = fleet.shards().to_vec();
+            for (s, vm) in shards.iter().enumerate() {
+                m.push(Val::Int(s as i64));
+                let rows = metrics_rows(m, vm);
+                m.push(rows);
+                let entry = m.list_from_stack(2);
+                m.push(entry);
+            }
+            return Ok(m.list_from_stack(shards.len()));
         }
-        Ok(m.list_from_stack(rows.len()))
+        let vm = cx()?.vm().clone();
+        Ok(metrics_rows(m, &vm))
     });
 
     // --- sockets --------------------------------------------------------

@@ -722,3 +722,52 @@ fn channel_try_recv_and_timeout() {
     assert_eq!(ev(&i, "(eof-object? (channel-recv ch))"), Value::Bool(true));
     vm.shutdown();
 }
+
+#[test]
+fn fleet_sharded_tuple_space_from_scheme() {
+    // A fleet of 2 VM shards driven entirely from Scheme: master/slave
+    // over a sharded tuple space, shard-aware metrics, fleet-wide audit.
+    let (vm, i) = interp(1);
+    ev(&i, "(define fl (fleet-spawn 2))");
+    assert_eq!(ev(&i, "(fleet-size fl)").as_int(), Some(2));
+    ev(&i, "(define sts (fleet-ts fl))");
+    let v = ev(
+        &i,
+        r#"
+(let ((worker
+       (fleet-fork fl 0
+         (lambda ()
+           (let loop ((acc 0))
+             (let ((job (fleet-ts-get sts (list 'job '?))))
+               (let ((n (car job)))
+                 (if (< n 0)
+                     acc
+                     (begin
+                       (fleet-ts-put sts (list 'ack n (* n n)))
+                       (loop (+ acc 1))))))))))
+      (prober (fleet-fork fl 1 (lambda () (current-shard)))))
+  ;; Deposits from the host VM take the off-fleet direct path.
+  (let put-loop ((n 0))
+    (when (< n 8) (fleet-ts-put sts (list 'job n)) (put-loop (+ n 1))))
+  (let collect ((n 0) (total 0))
+    (if (= n 8)
+        (begin
+          (fleet-ts-put sts (list 'job -1))
+          (thread-wait worker)
+          (+ total (* 1000 (thread-wait prober))))
+        (let ((ack (fleet-ts-get sts (list 'ack n '?))))
+          (collect (+ n 1) (+ total (car ack)))))))
+"#,
+    );
+    let expect: i64 = (0..8i64).map(|n| n * n).sum::<i64>() + 1000;
+    assert_eq!(v.as_int(), Some(expect));
+    // Shard-aware metrics: one (shard rows) entry per shard.
+    assert_eq!(ev(&i, "(length (vm-metrics fl))").as_int(), Some(2));
+    let report = format!("{}", ev(&i, "(fleet-audit fl)"));
+    assert!(
+        report.contains("finding"),
+        "unexpected audit shape: {report}"
+    );
+    ev(&i, "(fleet-shutdown fl)");
+    vm.shutdown();
+}

@@ -100,7 +100,7 @@ pub mod prelude {
     pub use sting_core::policies;
     pub use sting_core::tc;
     pub use sting_core::{
-        Cx, PhysicalMachine, PolicyManager, Thread, ThreadBuilder, ThreadGroup, ThreadState,
+        Cx, Fleet, PhysicalMachine, PolicyManager, Thread, ThreadBuilder, ThreadGroup, ThreadState,
         Topology, Vm, VmBuilder,
     };
     pub use sting_scheme::Interp;
@@ -108,6 +108,6 @@ pub mod prelude {
         block_on_group, race, wait_for_all, wait_for_one, Barrier, Channel, Future, IVar, Mutex,
         Semaphore, Stream,
     };
-    pub use sting_tuple::{formal, lit, SpaceKind, Template, TupleSpace};
+    pub use sting_tuple::{formal, lit, ShardedSpace, SpaceKind, Template, TupleSpace};
     pub use sting_value::{Symbol, Value};
 }

@@ -39,7 +39,11 @@ pub struct HashedRep {
     wild: Mutex<Vec<Blocked>>,
 }
 
-fn hash_key(arity: usize, f0: Option<&Value>) -> u64 {
+/// The routing hash shared by the in-rep buckets and the cross-shard
+/// partition map ([`crate::sharded`]): both address by `(arity, field₀)`,
+/// so a sharded space's partition choice and the partition rep's bucket
+/// choice are two moduli of the same key.
+pub(crate) fn hash_key(arity: usize, f0: Option<&Value>) -> u64 {
     let mut h = DefaultHasher::new();
     arity.hash(&mut h);
     if let Some(v) = f0 {

@@ -31,10 +31,12 @@
 
 pub mod hashed;
 pub mod rep;
+pub mod sharded;
 pub mod space;
 pub mod specialize;
 pub mod template;
 
+pub use sharded::ShardedSpace;
 pub use space::{SpaceKind, TupleSpace};
 pub use specialize::{infer, OpSketch};
 pub use template::{formal, lit, Template, TemplateField};

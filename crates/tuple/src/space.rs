@@ -289,6 +289,18 @@ impl TupleSpace {
         }
     }
 
+    /// Registers a wait episode in this space only (no parent chain) —
+    /// the sharded fabric registers per partition, and partitions are
+    /// parentless by construction.
+    pub(crate) fn register_local(&self, template: &Template, waiter: Waiter) {
+        self.inner.rep.register(template, waiter);
+    }
+
+    /// Re-donates one wake-up to this space only (no parent chain).
+    pub(crate) fn rewake_local(&self) {
+        self.inner.rep.rewake_one();
+    }
+
     /// Wraps the space as a substrate value (spaces are first-class).
     pub fn to_value(&self) -> Value {
         Value::native("tuple-space", Arc::new(self.clone()))
