@@ -98,8 +98,10 @@ mod mailbox {
     /// A full ring overflows into a mutex-protected side queue rather than
     /// blocking: with shards multiplexed on one worker, a producer spinning
     /// for ring space could be holding the very OS thread the consumer
-    /// needs.  The overflow path is never taken by the model tests and is
-    /// compiled out under `sting_check`.
+    /// needs.  While spilled messages wait, every later push joins them in
+    /// the side queue and `drain` empties the ring before taking it, so
+    /// delivery stays FIFO across a spill.  The overflow path is never
+    /// taken by the model tests and is compiled out under `sting_check`.
     pub struct Mailbox<T> {
         mask: usize,
         slots: Box<[UnsafeCell<Option<T>>]>,
@@ -113,6 +115,14 @@ mod mailbox {
         cons: AtomicBool,
         #[cfg(not(sting_check))]
         overflow: parking_lot::Mutex<std::collections::VecDeque<T>>,
+        /// Whether `overflow` holds spilled messages.  While set, `push`
+        /// routes *every* message through the overflow queue — a newer
+        /// message slotted into freed ring space would otherwise be
+        /// drained (ring first) ahead of older spilled ones, breaking the
+        /// FIFO contract.  Set by the producer and cleared by the
+        /// consumer, each under the `overflow` mutex.
+        #[cfg(not(sting_check))]
+        spilled: AtomicBool,
     }
 
     // SAFETY: the ring hands each `T` from exactly one thread to exactly
@@ -137,6 +147,8 @@ mod mailbox {
                 cons: AtomicBool::new(false),
                 #[cfg(not(sting_check))]
                 overflow: parking_lot::Mutex::new(std::collections::VecDeque::new()),
+                #[cfg(not(sting_check))]
+                spilled: AtomicBool::new(false),
             }
         }
 
@@ -154,7 +166,9 @@ mod mailbox {
         }
 
         /// Delivers `value` to the consumer side.  Never blocks and never
-        /// drops: a full ring spills to the overflow queue.
+        /// drops: a full ring spills to the overflow queue, and while
+        /// spilled messages wait, later pushes follow them there so
+        /// arrival order survives the spill.
         pub fn push(&self, value: T) {
             // Claim the producer role.  Contention is only between VPs of
             // the same shard and the critical section is a handful of
@@ -164,7 +178,18 @@ mod mailbox {
             }
             let tail = self.tail.load(Ordering::Relaxed);
             let head = self.head.load(Ordering::Acquire);
-            if tail.wrapping_sub(head) <= self.mask {
+            // A stale `spilled` read is safe in both directions: producers
+            // are serialized by `prod` (Release/Acquire), so a set flag is
+            // always visible, and racing the consumer's clear at worst
+            // routes one more message through the overflow queue — still
+            // in order, since the queue it joins was (or just was) the
+            // tail of the line.
+            #[cfg(not(sting_check))]
+            let to_ring =
+                tail.wrapping_sub(head) <= self.mask && !self.spilled.load(Ordering::Relaxed);
+            #[cfg(sting_check)]
+            let to_ring = tail.wrapping_sub(head) <= self.mask;
+            if to_ring {
                 // SAFETY: slot `tail` is unpublished (only this claimed
                 // producer writes it; the consumer reads slots only below
                 // the published tail).
@@ -174,7 +199,11 @@ mod mailbox {
                 self.tail.store(tail.wrapping_add(1), Ordering::Release);
             } else {
                 #[cfg(not(sting_check))]
-                self.overflow.lock().push_back(value);
+                {
+                    let mut overflow = self.overflow.lock();
+                    overflow.push_back(value);
+                    self.spilled.store(true, Ordering::Relaxed);
+                }
                 #[cfg(sting_check)]
                 panic!("mailbox ring overflow under model check");
             }
@@ -193,23 +222,39 @@ mod mailbox {
             }
             let mut n = 0;
             let mut head = self.head.load(Ordering::Relaxed);
-            let tail = self.tail.load(Ordering::Acquire);
-            while head != tail {
-                // SAFETY: `head` is published (< tail) and only this
-                // claimed consumer takes from it.
-                let v = unsafe { (*self.slots[head & self.mask].get()).take() };
-                head = head.wrapping_add(1);
-                // Release so the producer's Acquire of `head` sees the
-                // slot vacated before it reuses it.
-                self.head.store(head, Ordering::Release);
-                if let Some(v) = v {
-                    f(v);
-                    n += 1;
+            // Exhaust the ring (re-reading `tail`) before touching the
+            // overflow queue: everything spilled is newer than everything
+            // in the ring (while `spilled` is set no push lands in the
+            // ring), so ring-then-overflow is arrival order only if the
+            // ring is empty when the overflow is taken.
+            loop {
+                let tail = self.tail.load(Ordering::Acquire);
+                if head == tail {
+                    break;
+                }
+                while head != tail {
+                    // SAFETY: `head` is published (< tail) and only this
+                    // claimed consumer takes from it.
+                    let v = unsafe { (*self.slots[head & self.mask].get()).take() };
+                    head = head.wrapping_add(1);
+                    // Release so the producer's Acquire of `head` sees the
+                    // slot vacated before it reuses it.
+                    self.head.store(head, Ordering::Release);
+                    if let Some(v) = v {
+                        f(v);
+                        n += 1;
+                    }
                 }
             }
             #[cfg(not(sting_check))]
             {
-                let spilled = std::mem::take(&mut *self.overflow.lock());
+                // Take and clear under one lock hold so a producer that
+                // sees `spilled` unset also sees the queue empty.
+                let spilled = {
+                    let mut overflow = self.overflow.lock();
+                    self.spilled.store(false, Ordering::Relaxed);
+                    std::mem::take(&mut *overflow)
+                };
                 for v in spilled {
                     f(v);
                     n += 1;
@@ -232,7 +277,16 @@ enum FabricMsg {
     Handoff(RunItem),
     /// Run this closure on the destination shard (routed tuple-space
     /// partition operations, remote administrative work).
-    Call(RoutedCall),
+    Call {
+        /// The closure to run on the destination shard.
+        f: RoutedCall,
+        /// Whether the shutdown sweep must still run the closure.  State
+        /// transfers (routed tuple deposits) set this — dropping one
+        /// would silently lose the tuple; reply-side closures clear it,
+        /// since their waiters were already completed by the home
+        /// shard's drain.
+        apply_at_shutdown: bool,
+    },
     /// The shard `from` is idle and asks the destination for work.
     WorkRequest {
         /// Requesting (idle) shard.
@@ -292,7 +346,24 @@ impl Fabric {
     /// call is inline (the local fast path costs nothing); otherwise it is
     /// posted over the mailbox, stamped with the sender's clock, and the
     /// destination machine is signalled.
+    ///
+    /// A call still in a mailbox when the fleet shuts down is **dropped**
+    /// by the sweep — correct for reply-side closures, whose waiters the
+    /// home shard's drain already completed.  Calls that transfer state
+    /// the fabric must not lose go through [`Fabric::call_durable`].
     pub fn call(&self, from: &Arc<Vm>, to: usize, f: RoutedCall) {
+        self.post_call(from, to, f, false);
+    }
+
+    /// [`Fabric::call`], but the closure is still applied by the shutdown
+    /// sweep if it is in flight when the fleet stops: routed tuple-space
+    /// deposits use this so a `put` posted just before shutdown is never
+    /// silently lost.
+    pub fn call_durable(&self, from: &Arc<Vm>, to: usize, f: RoutedCall) {
+        self.post_call(from, to, f, true);
+    }
+
+    fn post_call(&self, from: &Arc<Vm>, to: usize, f: RoutedCall, apply_at_shutdown: bool) {
         let me = from.shard_id();
         if me == to {
             f(from);
@@ -302,7 +373,10 @@ impl Fabric {
         let lc = from.tracer().clock();
         self.boxes[me * self.shards.len() + to].push(Stamped {
             lc,
-            msg: FabricMsg::Call(f),
+            msg: FabricMsg::Call {
+                f,
+                apply_at_shutdown,
+            },
         });
         if let Some(dest) = self.shard_vm(to) {
             dest.signal_work();
@@ -342,7 +416,7 @@ impl Fabric {
                         vp.enqueue(item, EnqueueState::Migrated);
                         delivered = true;
                     }
-                    FabricMsg::Call(f) => {
+                    FabricMsg::Call { f, .. } => {
                         f(vm);
                         delivered = true;
                     }
@@ -422,11 +496,17 @@ impl Fabric {
 
     /// Shutdown sweep: empties every mailbox, completing in-flight
     /// handed-off threads with the same `vm-shutdown` error
-    /// [`Vm::drain`](crate::vm::Vm) uses and dropping pending calls (their
-    /// waiters were already completed by their home shard's drain).
+    /// [`Vm::drain`](crate::vm::Vm) uses, **applying** durable calls
+    /// (routed deposits — dropping one would lose its tuple), and
+    /// dropping plain calls (their waiters were already completed by
+    /// their home shard's drain).
     fn sweep(&self) {
+        let n = self.shards.len();
         let shutdown_err: ThreadResult = Err(Value::sym("vm-shutdown"));
-        for mbx in &self.boxes {
+        for (idx, mbx) in self.boxes.iter().enumerate() {
+            // `boxes[from * n + to]`: the destination shard owns the
+            // state a durable call mutates.
+            let dest = self.shard_vm(idx % n);
             mbx.drain(|stamped| match stamped.msg {
                 FabricMsg::Handoff(item) => match item {
                     RunItem::Fresh(t) => t.complete(shutdown_err.clone()),
@@ -438,7 +518,23 @@ impl Fabric {
                         }
                     }
                 },
-                FabricMsg::Call(_) | FabricMsg::WorkRequest { .. } => {}
+                FabricMsg::Call {
+                    f,
+                    apply_at_shutdown: true,
+                } => {
+                    // The shard VM is stopped but the shared structures
+                    // the closure touches are intact; a wake it attempts
+                    // lands on an already-cancelled episode and is a
+                    // harmless no-op.
+                    if let Some(vm) = &dest {
+                        f(vm);
+                    }
+                }
+                FabricMsg::Call {
+                    apply_at_shutdown: false,
+                    ..
+                }
+                | FabricMsg::WorkRequest { .. } => {}
             });
         }
     }
@@ -742,8 +838,71 @@ mod tests {
         }
         let mut got = Vec::new();
         m.drain(|v| got.push(v));
-        got.sort_unstable();
         assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+
+    /// Pushes racing a drain while older messages sit spilled must not
+    /// jump the queue through freed ring slots: the reentrant pushes here
+    /// land while the consumer has already vacated ring space, which the
+    /// pre-fix code let the *next* spill overtake.
+    #[test]
+    fn mailbox_stays_fifo_across_an_overflow_spill() {
+        let m = Mailbox::new(4);
+        let m = &m;
+        for i in 0..5u64 {
+            m.push(i); // 0..=3 fill the ring, 4 spills
+        }
+        let got = std::cell::RefCell::new(Vec::new());
+        m.drain(|v: u64| {
+            if v == 0 {
+                // Concurrent producer: ring slots are free again, but 4
+                // is still spilled — these must be delivered after it.
+                for i in 5..9 {
+                    m.push(i);
+                }
+            }
+            got.borrow_mut().push(v);
+        });
+        m.push(9); // spill drained: back to the ring
+        m.drain(|v| got.borrow_mut().push(v));
+        assert_eq!(got.into_inner(), (0..10).collect::<Vec<_>>());
+    }
+
+    /// An in-flight durable call (a routed deposit) survives shutdown —
+    /// the sweep applies it — while a plain call is dropped.
+    #[test]
+    fn shutdown_sweep_applies_durable_calls_and_drops_plain_ones() {
+        use std::sync::atomic::AtomicBool;
+        let fleet = Fleet::builder().shards(2).build();
+        let fabric = fleet.fabric().unwrap().clone();
+        // Stop the shards first: pump no longer drains, so both calls
+        // are still sitting in the mailbox when the sweep runs.
+        for vm in fleet.shards() {
+            vm.shutdown();
+        }
+        let durable = Arc::new(AtomicBool::new(false));
+        let flag = durable.clone();
+        fabric.call_durable(
+            fleet.shard(0),
+            1,
+            Box::new(move |_vm| flag.store(true, Ordering::Release)),
+        );
+        let plain = Arc::new(AtomicBool::new(false));
+        let flag = plain.clone();
+        fabric.call(
+            fleet.shard(0),
+            1,
+            Box::new(move |_vm| flag.store(true, Ordering::Release)),
+        );
+        fleet.shutdown();
+        assert!(
+            durable.load(Ordering::Acquire),
+            "the sweep must apply in-flight durable calls"
+        );
+        assert!(
+            !plain.load(Ordering::Acquire),
+            "plain calls are dropped at shutdown"
+        );
     }
 
     #[test]

@@ -119,7 +119,8 @@ pub struct Timers {
     /// [`Timers::take_due`] poll can skip the mutex (and the caller can
     /// skip reading the clock) on the common no-timers path — machines
     /// sweep every attached VM's timers once per pass, so a fleet pays
-    /// this per shard.
+    /// this per shard.  Writes happen only while `inner` is held, so the
+    /// mirror never under-counts entries already in the heap.
     pending: AtomicUsize,
 }
 
@@ -138,8 +139,15 @@ impl Timers {
     /// Schedules `thread` to be woken at `when`.  Cancel with the returned
     /// id if the thread is woken early.
     pub fn add(&self, when: Instant, thread: Arc<Thread>) -> TimerId {
-        let id = self.inner.lock().add(when, EntryKind::Resume(thread));
+        let mut inner = self.inner.lock();
+        let id = inner.add(when, EntryKind::Resume(thread));
+        // Increment while still holding the lock: every decrement
+        // (`take_due`, `cancel`) runs under it, so `pending` can never
+        // under-count entries already in the heap — a late increment
+        // ordered after an early decrement would transiently wrap the
+        // counter and defeat the `has_pending` fast path.
         self.pending.fetch_add(1, Ordering::Release);
+        drop(inner);
         id
     }
 
@@ -153,11 +161,11 @@ impl Timers {
         node: Arc<WaitNode>,
         gen: u64,
     ) -> TimerId {
-        let id = self
-            .inner
-            .lock()
-            .add(when, EntryKind::WaitDeadline { thread, node, gen });
+        let mut inner = self.inner.lock();
+        let id = inner.add(when, EntryKind::WaitDeadline { thread, node, gen });
+        // Under the lock for the same reason as `Timers::add`.
         self.pending.fetch_add(1, Ordering::Release);
+        drop(inner);
         id
     }
 

@@ -17,7 +17,10 @@
 //!   candidate partition is owned by a *different* shard (one partition
 //!   in the common literal-keyed case; two when the arity-only partition
 //!   where live-thread-headed tuples land differs).  Deposits ship to the
-//!   owner as a fire-and-forget [`Fabric::call`]; blocking reads ship a
+//!   owner as a fire-and-forget [`Fabric::call_durable`] (applied even by
+//!   the shutdown sweep, so a routed `put` is never lost — though the
+//!   putting shard's own *non-blocking* probes may miss it until the
+//!   owner applies it; see [`ShardedSpace::put`]); blocking reads ship a
 //!   *register-and-check* closure per owner (template + shared reply
 //!   cell + the caller's wait episode) so the match scan, waiter
 //!   registration, and wake all execute with owner-shard locality, and
@@ -185,24 +188,40 @@ impl ShardedSpace {
     /// Deposits a passive tuple into its partition.  Cross-shard deposits
     /// ship to the owner (fire-and-forget) so the match scan and any
     /// wake-ups run with owner-shard locality.
+    ///
+    /// A routed deposit is therefore *asynchronous*: until the owner
+    /// applies it, the putting thread's own immediately-following
+    /// [`try_get`](ShardedSpace::try_get) / [`try_rd`](ShardedSpace::try_rd)
+    /// / [`len`](ShardedSpace::len) can miss the tuple — there is no
+    /// cross-shard read-your-writes for non-blocking probes.  Blocking
+    /// reads are unaffected (a same-thread `get` after a `put` queues its
+    /// owner closure behind the deposit in the same FIFO mailbox; reads
+    /// from elsewhere park until the deposit lands and wakes them).  The
+    /// deposit itself is never lost: one still in flight at fleet
+    /// shutdown is applied by the fabric's shutdown sweep
+    /// ([`Fabric::call_durable`]).
     pub fn put(&self, fields: Vec<Value>) {
         let dest = self.partition_of_tuple(&fields);
         match (self.inner.fabric.as_ref(), self.local_shard()) {
             (Some(fabric), Some(me)) if me != dest => {
                 let part = self.inner.partitions[dest].clone();
                 let vm = tc::current_vm().expect("local_shard implies a current VM");
-                fabric.call(&vm, dest, Box::new(move |_vm| part.put(fields)));
+                fabric.call_durable(&vm, dest, Box::new(move |_vm| part.put(fields)));
             }
             _ => self.inner.partitions[dest].put(fields),
         }
     }
 
     /// Non-blocking removal across the template's candidate partitions.
+    /// May miss a tuple whose routed deposit is still in flight — see
+    /// [`ShardedSpace::put`].
     pub fn try_get(&self, template: &Template) -> Option<Vec<Value>> {
         self.try_parts(template, true)
     }
 
     /// Non-blocking read across the template's candidate partitions.
+    /// May miss a tuple whose routed deposit is still in flight — see
+    /// [`ShardedSpace::put`].
     pub fn try_rd(&self, template: &Template) -> Option<Vec<Value>> {
         self.try_parts(template, false)
     }
@@ -354,6 +373,14 @@ impl ShardedSpace {
                         if !matches!(*cell, Reply::Waiting) {
                             return; // answered by a sibling owner, or abandoned
                         }
+                        // Register *before* probing (the same order
+                        // `direct_blocking` uses): a deposit landing between
+                        // a failed probe and a later registration would find
+                        // no waiter to wake while the requester is already
+                        // parked — the one tuple it will ever match would
+                        // slip by.  A registration made moot by the probe
+                        // below dies with the episode and is pruned lazily.
+                        part.register_local(&template, w.clone());
                         let got = if remove {
                             part.try_get(&template)
                         } else {
@@ -363,13 +390,22 @@ impl ShardedSpace {
                             Some(b) => {
                                 *cell = Reply::Filled(b);
                                 drop(cell);
-                                w.wake();
+                                // Self-served: wake the parked requester.  A
+                                // failed claim means a concurrent deposit (or
+                                // the requester's timeout) already consumed
+                                // the episode we just registered; if it was a
+                                // deposit, its wake-up was spent on us, so
+                                // re-donate one to the partition's remaining
+                                // waiters.
+                                if !w.wake() {
+                                    part.rewake_local();
+                                }
                             }
                             None => {
+                                // Registered and no match yet: a future
+                                // deposit on this owner wakes the requester
+                                // across the fabric.
                                 drop(cell);
-                                // A future deposit on this owner wakes the
-                                // requester across the fabric.
-                                part.register_local(&template, w);
                             }
                         }
                     }),

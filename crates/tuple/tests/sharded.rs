@@ -239,6 +239,55 @@ fn routed_timeout_conserves_deposits() {
     fleet.shutdown();
 }
 
+/// The owner closure must register its waiter *before* probing: with the
+/// old probe-then-register order, a deposit landing in that window found
+/// no waiter to wake (the requester was already parked) and the only
+/// matching tuple sat unobserved — `get` hung and `get_timeout` returned
+/// `None` despite a present match.  Owner-local puts on a second VP of
+/// the owner shard race the closure directly; every round must complete.
+#[test]
+fn routed_get_never_misses_a_concurrent_deposit() {
+    let fleet = Fleet::builder()
+        .shards(2)
+        .vps_per_shard(2)
+        // Two OS workers even on a 1-CPU host: the probe→register window
+        // only opens when the owner's pump and the putter's VP run on
+        // different workers, so kernel preemption can split them.
+        .processors(2)
+        .trace(true)
+        .trace_capacity(1 << 15)
+        .build();
+    let ts = ShardedSpace::new(&fleet);
+    let (k, owner) = exclusive_key(&ts);
+    let other = (owner + 1) % 2;
+    for round in 0..100i64 {
+        let getter = {
+            let ts = ts.clone();
+            fleet.shard(other).fork(move |_cx| {
+                let t = Template::new(vec![lit(Value::Int(k)), formal()]);
+                ts.get_timeout(&t, Duration::from_secs(30))
+                    .expect("deposit missed: owner closure lost the register/deposit race")[0]
+                    .clone()
+            })
+        };
+        // Deliberately unsynchronized with the getter's registration —
+        // the deposit races the owner closure's probe.
+        let putter = {
+            let ts = ts.clone();
+            fleet.shard(owner).fork(move |_cx| {
+                ts.put(vec![Value::Int(k), Value::Int(round)]);
+                0i64
+            })
+        };
+        putter.join_blocking().unwrap();
+        assert_eq!(getter.join_blocking(), Ok(Value::Int(round)));
+        assert!(ts.is_empty(), "tuple stranded after round {round}");
+    }
+    assert_eq!(ts.blocked(), 0, "waiter leaked");
+    assert_fleet_clean(&fleet);
+    fleet.shutdown();
+}
+
 /// Satellite: terminating a thread parked in a *routed* get cancels its
 /// shipped episode without losing the next deposit's wake — the peer
 /// blocked on the same remote partition still completes, and both shards
