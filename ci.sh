@@ -18,6 +18,10 @@
 #   ./ci.sh shard    # sharded-fleet tier (<60s): fleet + sharded tuple
 #                    # integration tests, then a 2-shard farm smoke run
 #                    # whose merged per-shard trace must audit clean
+#   ./ci.sh io       # reactor-backend matrix: the net/io integration
+#                    # suites forced onto epoll and then io_uring via
+#                    # STING_IO_BACKEND (uring leg skips with a notice
+#                    # on kernels without io_uring)
 #   ./ci.sh miri     # deque/trace unit tests under Miri (skips with a
 #                    # notice if no nightly Miri toolchain is installed)
 set -euo pipefail
@@ -106,11 +110,13 @@ run_bench_smoke() {
     # gate against it at 100%: smoke timings on a loaded box jitter far
     # more than a full run, so this catches order-of-magnitude latency
     # regressions (a lost wake-up turns µs p50s into ms), while the
-    # committed full report (BENCH_PR9.json) stays the reference for
-    # fine-grained comparisons.
+    # committed full report (BENCH_PR10.json) stays the reference for
+    # fine-grained comparisons.  Server rows are backend-labeled
+    # (echo-rtt-epoll / echo-rtt-uring), so the gate also catches one
+    # backend regressing while the other stays healthy.
     local against=()
-    if [[ -f BENCH_PR9_SMOKE.json ]]; then
-        against=(--against BENCH_PR9_SMOKE.json --threshold 1.0)
+    if [[ -f BENCH_PR10_SMOKE.json ]]; then
+        against=(--against BENCH_PR10_SMOKE.json --threshold 1.0)
     fi
     ./target/release/bench_all --smoke --out target/BENCH_SMOKE.json "${against[@]}"
 }
@@ -122,6 +128,24 @@ run_shard() {
     step "shard: 2-shard farm smoke + merged trace audit (shard_smoke)"
     cargo build --release -p sting-bench --bin shard_smoke
     ./target/release/shard_smoke
+}
+
+run_io() {
+    step "io: net/io suites pinned to epoll (STING_IO_BACKEND=epoll)"
+    STING_IO_BACKEND=epoll cargo test -q -p sting-core --test net --test io
+    # The in-test matrix already covers both backends when the kernel
+    # supports io_uring; the uring leg additionally proves the env-var
+    # selection path end to end.  Skip-not-fail on old kernels, like the
+    # miri tier without a nightly toolchain: the ignored probe test fails
+    # exactly when the kernel refuses the ring.
+    if cargo test -q -p sting-core --lib uring::tests::uring_supported_probe \
+        -- --ignored >/dev/null 2>&1; then
+        step "io: net/io suites pinned to io_uring (STING_IO_BACKEND=uring)"
+        STING_IO_BACKEND=uring cargo test -q -p sting-core --test net --test io
+        STING_IO_BACKEND=uring cargo test -q -p sting-core --lib uring::
+    else
+        step "io: uring leg SKIPPED (io_uring unavailable on this kernel)"
+    fi
 }
 
 run_miri() {
@@ -146,6 +170,7 @@ case "${1:-all}" in
     analyze) run_analyze ;;
     bench-smoke) run_bench_smoke ;;
     shard) run_shard ;;
+    io) run_io ;;
     miri) run_miri ;;
     all)
         run_fmt
@@ -156,9 +181,10 @@ case "${1:-all}" in
         run_analyze
         run_bench_smoke
         run_shard
+        run_io
         ;;
     *)
-        echo "usage: $0 [fmt|clippy|test|doc|check|analyze|bench-smoke|shard|miri|all]" >&2
+        echo "usage: $0 [fmt|clippy|test|doc|check|analyze|bench-smoke|shard|io|miri|all]" >&2
         exit 2
         ;;
 esac

@@ -37,7 +37,7 @@ fn parse_args() -> Result<Args, String> {
         smoke: false,
         iters: None,
         reps: None,
-        out: "BENCH_PR9.json".to_string(),
+        out: "BENCH_PR10.json".to_string(),
         against: None,
         threshold: 0.10,
     };
@@ -462,19 +462,58 @@ fn main() -> ExitCode {
         "server: echo ({} connections on {} vps, {} echoes)",
         sscale.conns, sscale.vps, sscale.echoes
     );
-    match sting_bench::server::run(&sscale) {
-        Ok((srows, schecks)) => {
-            for r in &srows {
-                print_row(r);
+    let server_backends = sting_bench::server::backends();
+    if server_backends.len() == 1 {
+        println!("server: io_uring unavailable on this kernel, epoll-only rows");
+    }
+    for (backend, label) in server_backends {
+        match sting_bench::server::run(&sscale, backend, label) {
+            Ok((srows, schecks)) => {
+                for r in &srows {
+                    print_row(r);
+                }
+                rows.extend(srows);
+                checks.extend(schecks);
             }
-            rows.extend(srows);
-            checks.extend(schecks);
+            Err(e) => checks.push(Check {
+                name: format!("server:echo-bench-{label}"),
+                pass: false,
+                detail: e,
+            }),
         }
-        Err(e) => checks.push(Check {
-            name: "server:echo-bench".to_string(),
-            pass: false,
-            detail: e,
-        }),
+    }
+    // Full-mode acceptance gates comparing the two backends on the same
+    // scale: io_uring must hold RTT parity (within 25% — the win is
+    // syscall count, not per-op latency) and spend strictly fewer kernel
+    // round-trips per delivered wake than epoll, thanks to batched
+    // submission.  Smoke runs are too short/noisy to gate on.
+    if !args.smoke {
+        let find = |name: &str| {
+            rows.iter()
+                .find(|r| r.suite == "server" && r.name == name)
+                .map(|r| r.mean)
+        };
+        if let (Some(ep_rtt), Some(ur_rtt)) = (find("echo-rtt-epoll"), find("echo-rtt-uring")) {
+            checks.push(Check {
+                name: "server:uring-rtt-parity".to_string(),
+                pass: ur_rtt <= ep_rtt * 1.25,
+                detail: format!(
+                    "uring p-mean rtt {ur_rtt:.0}ns vs epoll {ep_rtt:.0}ns (gate: <=1.25x)"
+                ),
+            });
+        }
+        if let (Some(ep_spw), Some(ur_spw)) = (
+            find("syscalls-per-wake-epoll"),
+            find("syscalls-per-wake-uring"),
+        ) {
+            checks.push(Check {
+                name: "server:uring-fewer-syscalls-per-wake".to_string(),
+                pass: ur_spw < ep_spw,
+                detail: format!(
+                    "uring {ur_spw:.2} syscalls/wake vs epoll {ep_spw:.2} (batched submission)"
+                ),
+            });
+        }
     }
 
     // --- Metrics overhead: the same steal-throughput hammer with the

@@ -10,11 +10,17 @@
 //! full tier holds 10 000 connections, and with both ends in one process
 //! the fd budget would be the thing under test instead of the substrate.
 //!
-//! Rows (suite `server`):
-//! * `connections-held` — peak concurrently-open connection threads.
-//! * `block-wake` — the VM's wake histogram (ns), sampled 1:1.
-//! * `echo-rtt` — client-observed round-trip (ns), the end-to-end check
-//!   that the latency the substrate reports is the latency a peer sees.
+//! Rows (suite `server`, each suffixed with the reactor backend label —
+//! `-epoll` / `-uring` — so the two backends keep separate baselines):
+//! * `connections-held-{backend}` — peak concurrently-open connection
+//!   threads.
+//! * `block-wake-{backend}` — the VM's wake histogram (ns), sampled 1:1.
+//! * `echo-rtt-{backend}` — client-observed round-trip (ns), the
+//!   end-to-end check that the latency the substrate reports is the
+//!   latency a peer sees.
+//! * `syscalls-per-wake-{backend}` — reactor kernel round-trips divided
+//!   by delivered wakes, snapshotted under load: the cost model io_uring's
+//!   batched submission exists to shrink.
 
 use crate::report::{BenchRow, Check};
 use std::io::{Read, Write};
@@ -23,8 +29,18 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use sting::core::net::{TcpListener, LOCALHOST};
-use sting::core::HistogramSnapshot;
+use sting::core::{HistogramSnapshot, IoBackend};
 use sting::prelude::*;
+
+/// The backend matrix for the server suite: epoll unconditionally,
+/// io_uring when the kernel supports it.  Labels become row-name suffixes.
+pub fn backends() -> Vec<(IoBackend, &'static str)> {
+    let mut v = vec![(IoBackend::Epoll, "epoll")];
+    if sting::core::uring::uring_supported() {
+        v.push((IoBackend::IoUring, "uring"));
+    }
+    v
+}
 
 /// Knobs for one server-bench run.
 pub struct ServerScale {
@@ -74,18 +90,24 @@ fn row_from_hist(name: &str, h: &HistogramSnapshot) -> BenchRow {
     }
 }
 
-/// Runs the echo-server benchmark; returns its rows and checks.
+/// Runs the echo-server benchmark on one reactor backend; returns its
+/// rows and checks, all suffixed `-{label}`.
 ///
 /// # Errors
 ///
 /// A human-readable description when the server cannot bind, the client
 /// subprocess cannot start, or either side misbehaves.
-pub fn run(scale: &ServerScale) -> Result<(Vec<BenchRow>, Vec<Check>), String> {
+pub fn run(
+    scale: &ServerScale,
+    backend: IoBackend,
+    label: &str,
+) -> Result<(Vec<BenchRow>, Vec<Check>), String> {
     let vm = VmBuilder::new()
         .vps(scale.vps)
         .stack_size(32 * 1024)
         .metrics(true)
         .metrics_sample(1)
+        .io_backend(backend)
         .name("echo-bench")
         .build();
 
@@ -170,6 +192,7 @@ pub fn run(scale: &ServerScale) -> Result<(Vec<BenchRow>, Vec<Check>), String> {
 
     // Snapshot under load: every connection still held, echoes done.
     let wake = vm.metrics().snapshot().wake;
+    let io = vm.io_driver().stats();
     let held = peak.load(Ordering::SeqCst);
 
     // Release the client (stdin EOF) and let the teardown drain.
@@ -195,7 +218,7 @@ pub fn run(scale: &ServerScale) -> Result<(Vec<BenchRow>, Vec<Check>), String> {
 
     rows.push(BenchRow {
         suite: "server".to_string(),
-        name: "connections-held".to_string(),
+        name: format!("connections-held-{label}"),
         unit: "connections".to_string(),
         samples: 1,
         min: held as f64,
@@ -205,15 +228,36 @@ pub fn run(scale: &ServerScale) -> Result<(Vec<BenchRow>, Vec<Check>), String> {
         paper_us: None,
     });
     checks.push(Check {
-        name: format!("server:holds>={conns}-connection-threads"),
+        name: format!("server:holds>={conns}-connection-threads-{label}"),
         pass: held >= conns,
         detail: format!(
-            "peak {held} concurrent connection threads on {} vps",
+            "peak {held} concurrent connection threads on {} vps ({label})",
             scale.vps
         ),
     });
+    checks.push(Check {
+        name: format!("server:backend-resolved-{label}"),
+        pass: io.backend == label,
+        detail: format!("driver resolved to {} (requested {label})", io.backend),
+    });
 
-    rows.push(row_from_hist("block-wake", &wake));
+    rows.push(row_from_hist(&format!("block-wake-{label}"), &wake));
+
+    // Reactor kernel round-trips per delivered wake, under load.  One
+    // number per run, but with 1:1 metrics sampling it is an exact count,
+    // not an estimate.
+    let per_wake = io.syscalls as f64 / (io.wakes.max(1)) as f64;
+    rows.push(BenchRow {
+        suite: "server".to_string(),
+        name: format!("syscalls-per-wake-{label}"),
+        unit: "syscalls/wake".to_string(),
+        samples: io.wakes,
+        min: per_wake,
+        mean: per_wake,
+        p50: per_wake,
+        p99: per_wake,
+        paper_us: None,
+    });
 
     // Client-observed RTT, reported on its stdout as
     // `rtt <count> <min> <mean> <p50> <p99>` (ns).
@@ -221,7 +265,7 @@ pub fn run(scale: &ServerScale) -> Result<(Vec<BenchRow>, Vec<Check>), String> {
     if parts.len() == 5 {
         rows.push(BenchRow {
             suite: "server".to_string(),
-            name: "echo-rtt".to_string(),
+            name: format!("echo-rtt-{label}"),
             unit: "ns".to_string(),
             samples: parts[0].parse().unwrap_or(0),
             min: parts[1].parse().unwrap_or(0.0),

@@ -332,7 +332,8 @@ pub fn audit(events: &[TraceEvent], truncated: bool) -> AuditReport {
             | EventKind::Preempt
             | EventKind::StateRequest
             | EventKind::IoWait
-            | EventKind::IoReady => {}
+            | EventKind::IoReady
+            | EventKind::IoError => {}
         }
     }
 

@@ -40,6 +40,7 @@ pub struct VmBuilder {
     metrics: bool,
     metrics_sample: u64,
     io_workers: usize,
+    io_backend: crate::reactor::IoBackend,
     shard: usize,
     tid_source: Option<Arc<std::sync::atomic::AtomicU64>>,
 }
@@ -55,6 +56,8 @@ pub(crate) struct VmConfig {
     pub(crate) metrics: bool,
     pub(crate) metrics_sample: u64,
     pub(crate) io_workers: usize,
+    /// Reactor backend for the VM's I/O driver.
+    pub(crate) io_backend: crate::reactor::IoBackend,
     /// Shard index within a fleet (0 standalone).
     pub(crate) shard: usize,
     /// Shared thread-id counter for fleet-unique ids (`None` standalone).
@@ -97,6 +100,7 @@ impl VmBuilder {
             metrics: true,
             metrics_sample: crate::metrics::DEFAULT_SAMPLE_PERIOD,
             io_workers: crate::io::DEFAULT_IO_WORKERS,
+            io_backend: crate::reactor::IoBackend::from_env(),
             shard: 0,
             tid_source: None,
         }
@@ -215,6 +219,17 @@ impl VmBuilder {
         self
     }
 
+    /// Reactor backend for the VM's non-blocking I/O driver (see
+    /// [`IoBackend`](crate::reactor::IoBackend)).  The default is
+    /// [`Auto`](crate::reactor::IoBackend::Auto) — io_uring when the
+    /// kernel supports it, epoll otherwise — unless the `STING_IO_BACKEND`
+    /// environment variable (`auto` | `epoll` | `uring`) overrides it; an
+    /// explicit call here beats both.
+    pub fn io_backend(mut self, backend: crate::reactor::IoBackend) -> VmBuilder {
+        self.io_backend = backend;
+        self
+    }
+
     /// Builds the VM, attaches it to its machine, and returns it running.
     pub fn build(mut self) -> Arc<Vm> {
         let policies: Vec<_> = (0..self.vps).map(|i| (self.policy)(i)).collect();
@@ -229,6 +244,7 @@ impl VmBuilder {
                 metrics: self.metrics,
                 metrics_sample: self.metrics_sample,
                 io_workers: self.io_workers,
+                io_backend: self.io_backend,
                 shard: self.shard,
                 tid_source: self.tid_source.take(),
             },

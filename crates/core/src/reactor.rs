@@ -82,12 +82,68 @@ pub trait Reactor: Send + Sync + 'static {
 
     /// Kicks a concurrent [`Reactor::wait`] awake from any thread.
     fn notify(&self);
+
+    /// Cumulative kernel round-trips this backend has made (arms, waits,
+    /// kicks — the per-backend cost model the `server/syscalls-per-wake`
+    /// benchmark rows divide down).  Backends that do not count return 0.
+    fn syscalls(&self) -> u64 {
+        0
+    }
+}
+
+/// Which [`Reactor`] backend a VM's I/O driver should use.
+///
+/// Selected at build time via
+/// [`VmBuilder::io_backend`](crate::builder::VmBuilder::io_backend); the
+/// `STING_IO_BACKEND` environment variable (`auto` | `epoll` | `uring`)
+/// overrides the *default* so CI can sweep the matrix without code
+/// changes, but an explicit builder choice always wins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IoBackend {
+    /// Probe io_uring at driver start and fall back to epoll when the
+    /// kernel (or a seccomp filter) refuses the ring. The default.
+    #[default]
+    Auto,
+    /// The epoll backend ([`EpollReactor`]): one `epoll_ctl` per arm.
+    Epoll,
+    /// The io_uring backend ([`UringReactor`](crate::uring::UringReactor)):
+    /// batched arms, one `io_uring_enter` per dispatch pass.  Driver
+    /// start-up fails if the kernel lacks io_uring — use [`IoBackend::Auto`]
+    /// for graceful fallback.
+    IoUring,
+}
+
+impl IoBackend {
+    /// The default backend: `STING_IO_BACKEND` when set (unknown values
+    /// are ignored), else [`IoBackend::Auto`].
+    pub fn from_env() -> IoBackend {
+        match std::env::var("STING_IO_BACKEND").as_deref() {
+            Ok("epoll") => IoBackend::Epoll,
+            Ok("uring") | Ok("io_uring") => IoBackend::IoUring,
+            _ => IoBackend::Auto,
+        }
+    }
+
+    /// Builds the chosen reactor, resolving [`IoBackend::Auto`] by
+    /// probing io_uring first.  Returns the reactor and the resolved
+    /// backend label ("epoll" / "uring") for metrics rows.
+    fn build(self) -> sys::Result<(Arc<dyn Reactor>, &'static str)> {
+        match self {
+            IoBackend::Epoll => Ok((Arc::new(EpollReactor::new()?), "epoll")),
+            IoBackend::IoUring => Ok((Arc::new(crate::uring::UringReactor::new()?), "uring")),
+            IoBackend::Auto => match crate::uring::UringReactor::new() {
+                Ok(r) => Ok((Arc::new(r), "uring")),
+                Err(_) => Ok((Arc::new(EpollReactor::new()?), "epoll")),
+            },
+        }
+    }
 }
 
 /// The Linux backend: an epoll instance plus an eventfd for [`Reactor::notify`].
 pub struct EpollReactor {
     ep: RawFd,
     wake: RawFd,
+    syscalls: std::sync::atomic::AtomicU64,
 }
 
 /// Token reserved for the internal eventfd registration.
@@ -111,7 +167,15 @@ impl EpollReactor {
             let _ = sys::close(ep);
             return Err(e);
         }
-        Ok(EpollReactor { ep, wake })
+        Ok(EpollReactor {
+            ep,
+            wake,
+            syscalls: std::sync::atomic::AtomicU64::new(0),
+        })
+    }
+
+    fn count(&self, n: u64) {
+        self.syscalls.fetch_add(n, Ordering::Relaxed);
     }
 }
 
@@ -124,8 +188,10 @@ impl Reactor for EpollReactor {
         if mask & WRITE != 0 {
             events |= sys::EPOLLOUT;
         }
+        self.count(1);
         match sys::epoll_ctl(self.ep, sys::EPOLL_CTL_ADD, fd, events, token) {
             Err(sys::Errno(sys::EEXIST)) => {
+                self.count(1);
                 sys::epoll_ctl(self.ep, sys::EPOLL_CTL_MOD, fd, events, token)
             }
             other => other,
@@ -133,11 +199,13 @@ impl Reactor for EpollReactor {
     }
 
     fn forget(&self, fd: RawFd) {
+        self.count(1);
         let _ = sys::epoll_ctl(self.ep, sys::EPOLL_CTL_DEL, fd, 0, 0);
     }
 
     fn wait(&self, out: &mut Vec<ReadyEvent>, timeout_ms: i32) -> sys::Result<()> {
         let mut buf = [sys::EpollEvent::zeroed(); 64];
+        self.count(1);
         let n = sys::epoll_wait(self.ep, &mut buf, timeout_ms)?;
         for ev in &buf[..n] {
             let (bits, token) = (ev.events, ev.data);
@@ -145,6 +213,7 @@ impl Reactor for EpollReactor {
                 // Drain the eventfd so the level-triggered registration
                 // goes quiet until the next notify.
                 let mut count = [0u8; 8];
+                self.count(1);
                 let _ = sys::read(self.wake, &mut count);
                 continue;
             }
@@ -164,7 +233,12 @@ impl Reactor for EpollReactor {
     }
 
     fn notify(&self) {
+        self.count(1);
         let _ = sys::write(self.wake, &1u64.to_ne_bytes());
+    }
+
+    fn syscalls(&self) -> u64 {
+        self.syscalls.load(Ordering::Relaxed)
     }
 }
 
@@ -197,6 +271,11 @@ impl FdWaiters {
 struct Registry {
     fds: HashMap<RawFd, FdWaiters>,
     next_id: u64,
+    /// Set (under the lock) when the driver can no longer deliver events —
+    /// shutdown, or a fatal reactor error.  Checked by every registration
+    /// so a `wait_ready` racing the shutdown drain fails fast instead of
+    /// parking forever against a dead reactor.
+    stopped: bool,
 }
 
 impl Registry {
@@ -282,8 +361,30 @@ pub struct IoDriver {
     registry: Mutex<Registry>,
     handle: Mutex<Option<std::thread::JoinHandle<()>>>,
     stop: AtomicBool,
+    /// Requested backend; consulted once, when the reactor is first built.
+    backend: Mutex<IoBackend>,
+    /// Resolved backend label ("epoll" / "uring" / a test reactor's
+    /// "custom"), for [`IoDriver::stats`].
+    resolved: OnceLock<&'static str>,
+    /// Successful waiter wake-ups delivered by dispatch — the denominator
+    /// of the syscalls-per-wake benchmark rows.
+    wakes: std::sync::atomic::AtomicU64,
     /// For trace events; set once by [`Vm::create`](crate::vm::Vm).
     vm: OnceLock<Weak<Vm>>,
+}
+
+/// A snapshot of [`IoDriver`] counters, surfaced to Scheme as
+/// `(vm-io-stats)` and to the benchmark harness for the
+/// `server/syscalls-per-wake` rows.
+#[derive(Debug, Clone, Copy)]
+pub struct IoStats {
+    /// Resolved backend label: "epoll", "uring", or "custom" for an
+    /// installed test reactor ("unstarted" before first use).
+    pub backend: &'static str,
+    /// Kernel round-trips the reactor backend has made so far.
+    pub syscalls: u64,
+    /// Parked I/O threads successfully woken by readiness dispatch.
+    pub wakes: u64,
 }
 
 impl IoDriver {
@@ -293,7 +394,27 @@ impl IoDriver {
             registry: Mutex::new(Registry::default()),
             handle: Mutex::new(None),
             stop: AtomicBool::new(false),
+            backend: Mutex::new(IoBackend::from_env()),
+            resolved: OnceLock::new(),
+            wakes: std::sync::atomic::AtomicU64::new(0),
             vm: OnceLock::new(),
+        }
+    }
+
+    /// Selects the backend for the not-yet-built reactor.  No-op once the
+    /// reactor exists (first `wait_ready` or an [`IoDriver::install_reactor`]).
+    pub(crate) fn set_backend(&self, backend: IoBackend) {
+        *self.backend.lock() = backend;
+    }
+
+    /// Current counters: resolved backend label, backend syscalls, wakes
+    /// delivered.
+    pub fn stats(&self) -> IoStats {
+        let syscalls = self.reactor.lock().as_ref().map_or(0, |r| r.syscalls());
+        IoStats {
+            backend: self.resolved.get().copied().unwrap_or("unstarted"),
+            syscalls,
+            wakes: self.wakes.load(Ordering::Relaxed),
         }
     }
 
@@ -308,6 +429,7 @@ impl IoDriver {
         let mut g = self.reactor.lock();
         if g.is_none() {
             *g = Some(reactor);
+            let _ = self.resolved.set("custom");
         }
     }
 
@@ -316,7 +438,8 @@ impl IoDriver {
         if let Some(r) = &*g {
             return Ok(r.clone());
         }
-        let r: Arc<dyn Reactor> = Arc::new(EpollReactor::new()?);
+        let (r, label) = self.backend.lock().build()?;
+        let _ = self.resolved.set(label);
         *g = Some(r.clone());
         Ok(r)
     }
@@ -340,26 +463,72 @@ impl IoDriver {
             events.clear();
             // The timeout is a liveness backstop; notify() provides the
             // prompt path for shutdown.
-            if reactor.wait(&mut events, 250).is_err() {
-                break;
+            match reactor.wait(&mut events, 250) {
+                Ok(()) => {}
+                // A signal mid-wait is not a reactor failure.
+                Err(sys::Errno(sys::EINTR)) => continue,
+                Err(sys::Errno(errno)) => {
+                    // The reactor is dead.  Surface the errno, then fall
+                    // through to the drain below — every parked waiter
+                    // gets a spurious wake rather than hanging until VM
+                    // shutdown, and later registrations fail fast.
+                    if let Some(vm) = self.vm.get().and_then(Weak::upgrade) {
+                        crate::trace_event!(
+                            vm.tracer(),
+                            None,
+                            EventKind::IoError,
+                            u64::MAX,
+                            errno as u32,
+                            0
+                        );
+                    }
+                    break;
+                }
             }
             for ev in events.drain(..) {
                 self.dispatch(&reactor, ev.token as i64 as RawFd, ev.mask);
             }
         }
+        // Loop exit — requested stop or reactor failure.  Either way no
+        // further events will be delivered, so nothing may stay parked and
+        // nothing new may register.
+        self.drain_and_wake();
+    }
+
+    /// Marks the registry stopped and spuriously wakes every registered
+    /// waiter.  Shared by [`IoDriver::stop`] and the driver loop's error
+    /// exit; idempotent.
+    fn drain_and_wake(&self) {
+        let fds: Vec<FdWaiters> = {
+            let mut reg = self.registry.lock();
+            reg.stopped = true;
+            reg.fds.drain().map(|(_, e)| e).collect()
+        };
+        for entry in fds {
+            for (_, w) in [entry.read, entry.write].into_iter().flatten() {
+                w.wake();
+            }
+        }
     }
 
     fn dispatch(&self, reactor: &Arc<dyn Reactor>, fd: RawFd, mask: u8) {
-        let (woken, remaining) = self.registry.lock().take_ready(fd, mask);
-        // Re-arm for the direction still waited on (the one-shot fired for
-        // both) before waking anyone, so a woken thread re-registering
-        // observes a consistent interest set.
-        if remaining != 0 {
-            let _ = reactor.arm(fd, remaining, fd as u64);
-        }
+        let woken = {
+            let mut reg = self.registry.lock();
+            let (woken, remaining) = reg.take_ready(fd, mask);
+            // Re-arm for the direction still waited on (the one-shot fired
+            // for both) while *holding* the registry lock: a concurrent
+            // `wait_ready` for the other direction serializes against this
+            // critical section, so its register + arm cannot be clobbered
+            // by a stale re-arm computed from the pre-registration mask.
+            if remaining != 0 {
+                let _ = reactor.arm(fd, remaining, fd as u64);
+            }
+            woken
+        };
         for w in woken {
             let thread = w.thread_id();
             if w.wake() {
+                self.wakes.fetch_add(1, Ordering::Relaxed);
                 if let Some(vm) = self.vm.get().and_then(Weak::upgrade) {
                     crate::trace_event!(
                         vm.tracer(),
@@ -388,7 +557,10 @@ impl IoDriver {
     /// # Errors
     ///
     /// Registration failures (e.g. the fd is closed or the process is out
-    /// of fds for the epoll instance) surface as the raw errno.
+    /// of fds for the epoll instance) surface as the raw errno, and a
+    /// driver that has stopped — VM shutdown, or a dead reactor — reports
+    /// [`ESHUTDOWN`](sys::ESHUTDOWN) so callers fail fast instead of
+    /// parking against a reactor that will never deliver.
     pub fn wait_ready(
         self: &Arc<IoDriver>,
         fd: RawFd,
@@ -399,11 +571,27 @@ impl IoDriver {
         let reactor = self.shared_reactor()?;
         self.ensure_started(&reactor);
         let w = Waiter::current();
-        let (id, displaced, mask) = self.registry.lock().register(fd, write, w.clone());
+        // Register *and* arm under one registry-lock hold: the armed
+        // interest always matches the registry contents, so neither a
+        // dispatch re-arm nor a concurrent registration for the other
+        // direction can clobber this one (they serialize on the lock).
+        // The stop check rides the same hold — after the shutdown drain
+        // has flushed the registry (which set `stopped` under this lock),
+        // no registration can slip in behind it.
+        let (id, displaced, armed) = {
+            let mut reg = self.registry.lock();
+            if reg.stopped {
+                drop(reg);
+                let _ = w.retire();
+                return Err(sys::Errno(sys::ESHUTDOWN));
+            }
+            let (id, displaced, mask) = reg.register(fd, write, w.clone());
+            (id, displaced, reactor.arm(fd, mask, fd as u64))
+        };
         if let Some(old) = displaced {
             old.wake();
         }
-        if let Err(e) = reactor.arm(fd, mask, fd as u64) {
+        if let Err(e) = armed {
             self.registry.lock().deregister(fd, write, id);
             let _ = w.retire();
             return Err(e);
@@ -446,15 +634,10 @@ impl IoDriver {
                 let _ = h.join();
             }
         }
-        let fds: Vec<FdWaiters> = {
-            let mut reg = self.registry.lock();
-            reg.fds.drain().map(|(_, e)| e).collect()
-        };
-        for entry in fds {
-            for (_, w) in [entry.read, entry.write].into_iter().flatten() {
-                w.wake();
-            }
-        }
+        // The driver loop drains on exit too, but a driver that was never
+        // started (or is stopping itself) still needs the sweep — and the
+        // `stopped` mark that makes late registrations fail fast.
+        self.drain_and_wake();
     }
 }
 
@@ -549,6 +732,18 @@ mod tests {
         queue: Mutex<Vec<ReadyEvent>>,
         kicked: std::sync::Condvar,
         lock: std::sync::Mutex<()>,
+        /// Interleaving control: arms whose interest mask equals
+        /// `Gate::block_mask` park until [`ScriptedReactor::open_gate`] —
+        /// lets a test hold the driver mid-dispatch, in its re-arm call,
+        /// and script what races against it.
+        gate: std::sync::Mutex<Gate>,
+        gate_cv: std::sync::Condvar,
+    }
+
+    #[derive(Default)]
+    struct Gate {
+        block_mask: Option<u8>,
+        entered: bool,
     }
 
     impl ScriptedReactor {
@@ -558,6 +753,8 @@ mod tests {
                 queue: Mutex::new(Vec::new()),
                 kicked: std::sync::Condvar::new(),
                 lock: std::sync::Mutex::new(()),
+                gate: std::sync::Mutex::new(Gate::default()),
+                gate_cv: std::sync::Condvar::new(),
             })
         }
 
@@ -565,10 +762,42 @@ mod tests {
             self.queue.lock().push(ev);
             self.notify();
         }
+
+        /// Arms with exactly this interest mask will park at the gate.
+        fn close_gate(&self, mask: u8) {
+            let mut g = self.gate.lock().unwrap();
+            g.block_mask = Some(mask);
+            g.entered = false;
+        }
+
+        /// Blocks until some arm call has parked at the closed gate.
+        fn await_gate(&self) {
+            let mut g = self.gate.lock().unwrap();
+            while !g.entered {
+                g = self.gate_cv.wait(g).unwrap();
+            }
+        }
+
+        /// Releases every arm parked at the gate.
+        fn open_gate(&self) {
+            let mut g = self.gate.lock().unwrap();
+            g.block_mask = None;
+            self.gate_cv.notify_all();
+        }
     }
 
     impl Reactor for ScriptedReactor {
         fn arm(&self, fd: RawFd, mask: u8, token: u64) -> sys::Result<()> {
+            {
+                let mut g = self.gate.lock().unwrap();
+                if g.block_mask == Some(mask) {
+                    g.entered = true;
+                    self.gate_cv.notify_all();
+                    while g.block_mask == Some(mask) {
+                        g = self.gate_cv.wait(g).unwrap();
+                    }
+                }
+            }
             self.armed.lock().push((fd, mask, token));
             Ok(())
         }
@@ -636,6 +865,163 @@ mod tests {
             .unwrap();
         assert_eq!(reason, WakeReason::TimedOut);
         assert!(driver.registry.lock().fds.is_empty());
+        driver.stop();
+    }
+
+    /// Regression: `dispatch` used to re-arm the `remaining` interest
+    /// *after* releasing the registry lock, so a `wait_ready` for the
+    /// other direction could register + arm in that window and have its
+    /// interest clobbered by the driver's stale re-arm — the new waiter
+    /// parked until a spurious wake.  The gate holds the driver inside its
+    /// re-arm call to force exactly that interleaving; with the re-arm
+    /// under the lock, the late reader serializes behind it and the last
+    /// armed interest must include READ.
+    #[test]
+    fn dispatch_rearm_cannot_clobber_concurrent_registration() {
+        let driver = Arc::new(IoDriver::new());
+        let reactor = ScriptedReactor::new();
+        driver.install_reactor(reactor.clone());
+
+        // A writer parks; the driver arms (5, WRITE).
+        let d = driver.clone();
+        let writer =
+            std::thread::spawn(move || d.wait_ready(5, true, &Value::sym("io-write"), None));
+        while !reactor
+            .armed
+            .lock()
+            .iter()
+            .any(|&(fd, m, _)| fd == 5 && m == WRITE)
+        {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        // Deliver READ readiness: nobody waits on READ, so dispatch wakes
+        // no one and re-arms the remaining WRITE interest — where the
+        // closed gate catches it, mid-dispatch.
+        reactor.close_gate(WRITE);
+        reactor.inject(ReadyEvent {
+            token: 5,
+            mask: READ,
+        });
+        reactor.await_gate();
+        // While the driver is held in its re-arm, a reader arrives.  Its
+        // READ|WRITE arm passes the WRITE-only gate; the fix makes it
+        // queue on the registry lock instead of racing.
+        let d = driver.clone();
+        let reader =
+            std::thread::spawn(move || d.wait_ready(5, false, &Value::sym("io-read"), None));
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        reactor.open_gate();
+        while !reactor
+            .armed
+            .lock()
+            .iter()
+            .any(|&(fd, m, _)| fd == 5 && m == READ | WRITE)
+        {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        {
+            let armed = reactor.armed.lock();
+            let last = armed.iter().rev().find(|&&(fd, _, _)| fd == 5).unwrap();
+            assert_ne!(
+                last.1 & READ,
+                0,
+                "reader interest clobbered by stale re-arm: {:?}",
+                *armed
+            );
+        }
+        reactor.inject(ReadyEvent {
+            token: 5,
+            mask: READ | WRITE,
+        });
+        assert_eq!(reader.join().unwrap().unwrap(), WakeReason::Woken);
+        assert_eq!(writer.join().unwrap().unwrap(), WakeReason::Woken);
+        driver.stop();
+    }
+
+    /// Regression: a `wait_ready` racing `stop()` could register *after*
+    /// the shutdown drain flushed the registry and park forever against a
+    /// dead reactor (`ensure_started` silently no-ops once the stop flag
+    /// is set).  Registration now checks the stop mark under the registry
+    /// lock and fails fast.
+    #[test]
+    fn wait_ready_after_stop_fails_fast() {
+        let driver = Arc::new(IoDriver::new());
+        driver.install_reactor(ScriptedReactor::new());
+        driver.stop();
+        let err = driver
+            .wait_ready(13, false, &Value::sym("io-read"), None)
+            .unwrap_err();
+        assert_eq!(err.0, sys::ESHUTDOWN);
+        assert!(driver.registry.lock().fds.is_empty());
+    }
+
+    /// A reactor that dies on the first kick: `wait` blocks until some
+    /// `arm`/`notify` arrives, then reports EBADF — modelling the backend
+    /// failing underneath a running driver.
+    struct DyingReactor {
+        kicked: std::sync::Mutex<bool>,
+        cv: std::sync::Condvar,
+    }
+
+    impl Reactor for DyingReactor {
+        fn arm(&self, _fd: RawFd, _mask: u8, _token: u64) -> sys::Result<()> {
+            self.notify();
+            Ok(())
+        }
+
+        fn forget(&self, _fd: RawFd) {}
+
+        fn wait(&self, _out: &mut Vec<ReadyEvent>, timeout_ms: i32) -> sys::Result<()> {
+            let mut k = self.kicked.lock().unwrap();
+            while !*k {
+                let (g, t) = self
+                    .cv
+                    .wait_timeout(
+                        k,
+                        std::time::Duration::from_millis(timeout_ms.max(1) as u64),
+                    )
+                    .unwrap();
+                k = g;
+                if t.timed_out() {
+                    break;
+                }
+            }
+            if *k {
+                Err(sys::Errno(9)) // EBADF
+            } else {
+                Ok(())
+            }
+        }
+
+        fn notify(&self) {
+            *self.kicked.lock().unwrap() = true;
+            self.cv.notify_all();
+        }
+    }
+
+    /// Regression: `drive()` used to break out of its loop on a
+    /// `reactor.wait` error without waking registered waiters — every
+    /// parked I/O thread hung until VM shutdown.  The driver now drains
+    /// the registry on loop exit, so the parked waiter below gets its
+    /// spurious wake, and later registrations fail fast.
+    #[test]
+    fn reactor_failure_wakes_parked_waiters() {
+        let driver = Arc::new(IoDriver::new());
+        driver.install_reactor(Arc::new(DyingReactor {
+            kicked: std::sync::Mutex::new(false),
+            cv: std::sync::Condvar::new(),
+        }));
+        // The arm kicks the driver, the driver's wait dies, the drain
+        // wakes us: this returns (spuriously) instead of hanging.
+        let reason = driver
+            .wait_ready(21, false, &Value::sym("io-read"), None)
+            .unwrap();
+        assert_eq!(reason, WakeReason::Woken);
+        // The failed driver marked itself stopped before waking anyone.
+        let err = driver
+            .wait_ready(21, false, &Value::sym("io-read"), None)
+            .unwrap_err();
+        assert_eq!(err.0, sys::ESHUTDOWN);
         driver.stop();
     }
 

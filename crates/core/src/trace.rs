@@ -98,6 +98,11 @@ pub enum EventKind {
     /// re-publishes it, so the audit treats a handoff as consuming one
     /// pending enqueue (like a dispatch) rather than as a steal.
     Handoff = 19,
+    /// The I/O driver's reactor backend failed fatally (`Reactor::wait`
+    /// errored); payload `a` is the raw errno.  Recorded once, as the
+    /// driver loop exits and drains its registry — every parked I/O
+    /// thread is spuriously woken rather than left hanging.
+    IoError = 20,
 }
 
 impl EventKind {
@@ -124,6 +129,7 @@ impl EventKind {
             17 => LockAcquire,
             18 => LockRelease,
             19 => Handoff,
+            20 => IoError,
             _ => return None,
         })
     }
@@ -152,6 +158,7 @@ impl EventKind {
             LockAcquire => "lock-acquire",
             LockRelease => "lock-release",
             Handoff => "handoff",
+            IoError => "io-error",
         }
     }
 }
@@ -516,6 +523,7 @@ pub fn text_dump(events: &[TraceEvent]) -> String {
             EventKind::Enqueue => format!(" (state {}, vp {})", e.a, e.b),
             EventKind::BlockTimeout => format!(" (gen {})", e.b),
             EventKind::WaiterCancelled => format!(" ({}, gen {})", cancel_origin(e.a), e.b),
+            EventKind::IoError => format!(" (errno {})", e.a),
             EventKind::IoWait | EventKind::IoReady => {
                 format!(" (fd {}, mask {:#b})", e.a, e.b)
             }

@@ -93,6 +93,7 @@ impl Vm {
                 })
                 .collect();
             let io_driver = Arc::new(IoDriver::new());
+            io_driver.set_backend(config.io_backend);
             io_driver.bind_vm(weak);
             Vm {
                 name: config.name,

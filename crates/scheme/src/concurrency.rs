@@ -942,6 +942,20 @@ pub(crate) fn add_defs(v: &mut Vec<Def>) {
         let vm = cx()?.vm().clone();
         Ok(metrics_rows(m, &vm))
     });
+    // (vm-io-stats) -> (backend syscalls wakes): the VM's reactor-driver
+    // counters — which backend the I/O driver resolved to ("epoll",
+    // "uring", or "unstarted" before any I/O), how many kernel
+    // round-trips that backend has made, and how many parked threads its
+    // dispatch woke.  syscalls/wakes is the per-wake syscall cost the
+    // io_uring backend exists to shrink.
+    def!("vm-io-stats", 0, Some(0), |m, _a| {
+        let vm = cx()?.vm().clone();
+        let stats = vm.io_driver().stats();
+        m.push(Val::Sym(Symbol::intern(stats.backend).index()));
+        m.push(Val::Int(stats.syscalls as i64));
+        m.push(Val::Int(stats.wakes as i64));
+        Ok(m.list_from_stack(3))
+    });
 
     // --- sockets --------------------------------------------------------
     // Reactor-backed TCP (sting_core::net): each call blocks only the

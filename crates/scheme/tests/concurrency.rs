@@ -664,6 +664,41 @@ fn tcp_echo_between_scheme_threads() {
 }
 
 #[test]
+fn vm_io_stats_reports_backend_and_counters() {
+    let (vm, i) = interp(1);
+    // Before any socket I/O the driver has not built its reactor.
+    assert_eq!(ev(&i, "(car (vm-io-stats))"), Value::sym("unstarted"));
+    // One echo round trip forces the driver up; afterwards the stats name
+    // a real backend and show kernel work plus at least one wake.
+    ev(
+        &i,
+        "(let* ((l (tcp-listen 0))
+                (port (tcp-local-port l))
+                (server (fork-thread
+                          (lambda ()
+                            (let* ((s (tcp-accept l))
+                                   (msg (tcp-read s 16)))
+                              (tcp-write s msg)
+                              (tcp-close s)))))
+                (c (tcp-connect port)))
+           (tcp-write c \"ping\")
+           (tcp-read c 16)
+           (thread-wait server))",
+    );
+    let stats = ev(&i, "(vm-io-stats)");
+    let items: Vec<Value> = stats.list_iter().cloned().collect();
+    assert_eq!(items.len(), 3, "stats should be (backend syscalls wakes)");
+    assert!(
+        items[0] == Value::sym("epoll") || items[0] == Value::sym("uring"),
+        "unexpected backend: {:?}",
+        items[0]
+    );
+    assert!(items[1].as_int().unwrap() > 0, "no syscalls counted");
+    assert!(items[2].as_int().unwrap() > 0, "no wakes counted");
+    vm.shutdown();
+}
+
+#[test]
 fn tcp_deadlines_surface_as_timeout_symbol() {
     let (vm, i) = interp(1);
     let v = ev(
